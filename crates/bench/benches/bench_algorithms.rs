@@ -1,0 +1,53 @@
+//! Criterion timings for E1: single-pair search algorithms.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use pathsearch::{AltPreprocessing, Goal, Searcher, alt, astar, bidirectional};
+use roadnet::NodeId;
+use roadnet::generators::NetworkClass;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_algorithms");
+    for class in NetworkClass::ALL {
+        let g = class.generate(2_000, 0xBE).expect("valid network");
+        let n = g.num_nodes() as u32;
+        // A long diagonal-ish query: the regime where algorithms differ.
+        let (s, t) = (NodeId(0), NodeId(n - 1));
+
+        group.bench_function(format!("dijkstra/{}", class.name()), |b| {
+            let mut searcher = Searcher::new();
+            b.iter(|| {
+                let st = searcher.run(&g, black_box(s), &Goal::Single(t));
+                black_box(st.settled)
+            })
+        });
+        group.bench_function(format!("astar/{}", class.name()), |b| {
+            b.iter(|| {
+                let (p, st) = astar(&g, black_box(s), t);
+                black_box((p.map(|p| p.distance()), st.settled))
+            })
+        });
+        group.bench_function(format!("bidirectional/{}", class.name()), |b| {
+            b.iter(|| {
+                let (p, st) = bidirectional(&g, black_box(s), t);
+                black_box((p.map(|p| p.distance()), st.settled))
+            })
+        });
+        let pre = AltPreprocessing::build(&g, 8);
+        group.bench_function(format!("alt-8/{}", class.name()), |b| {
+            b.iter(|| {
+                let (p, st) = alt(&g, &pre, black_box(s), t);
+                black_box((p.map(|p| p.distance()), st.settled))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

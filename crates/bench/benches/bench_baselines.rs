@@ -1,0 +1,42 @@
+//! Criterion timings for E2: one privacy technique end to end per
+//! iteration, on the same true query.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use opaque::{PathQuery, Technique, run_technique};
+use roadnet::{NodeId, SpatialIndex};
+use roadnet::generators::NetworkClass;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let g = NetworkClass::Grid.generate(1_600, 0xBE).expect("valid network");
+    let idx = SpatialIndex::build(&g);
+    let n = g.num_nodes() as u32;
+    let q = PathQuery::new(NodeId(3), NodeId(n - 5));
+
+    let techniques = [
+        Technique::Direct,
+        Technique::Landmark { num_landmarks: 16 },
+        Technique::Cloaking { cell_size: 4.0 },
+        Technique::NaiveFakes { num_fakes: 8 },
+        Technique::Opaque { f_s: 3, f_t: 3 },
+    ];
+
+    let mut group = c.benchmark_group("e2_techniques");
+    for tech in techniques {
+        group.bench_function(tech.name(), |b| {
+            b.iter(|| {
+                let r = run_technique(&g, &idx, black_box(&q), tech, 0xBE);
+                black_box(r.server_settled)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion timings for E4: MSMD sharing policies (Lemma 1 in wall-clock
+//! form) across obfuscated-query shapes.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use opaque::{ClientId, ClientRequest, FakeSelection, Obfuscator, PathQuery, ProtectionSettings};
+use pathsearch::{SharingPolicy, msmd};
+use roadnet::NodeId;
+use roadnet::generators::NetworkClass;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let g = NetworkClass::Geometric.generate(3_000, 0xBE).expect("valid network");
+    let n = g.num_nodes() as u32;
+    let mut ob = Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xBE);
+
+    let mut group = c.benchmark_group("e4_msmd");
+    for (f_s, f_t) in [(2u32, 2u32), (4, 4), (8, 8)] {
+        let req = ClientRequest::new(
+            ClientId(0),
+            PathQuery::new(NodeId(7), NodeId(n - 11)),
+            ProtectionSettings::new(f_s, f_t).expect("positive"),
+        );
+        let unit = ob.obfuscate_independent(&req).expect("map large enough");
+        let (s, t) = (unit.query.sources().to_vec(), unit.query.targets().to_vec());
+
+        for policy in [SharingPolicy::None, SharingPolicy::PerSource, SharingPolicy::Auto] {
+            group.bench_function(format!("{}x{}/{}", f_s, f_t, policy.name()), |b| {
+                b.iter(|| {
+                    let r = msmd(&g, black_box(&s), black_box(&t), policy);
+                    black_box(r.stats.settled)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion timings for E5/E8: obfuscator throughput — independent vs
+//! shared vs clustered formulation of a 16-client batch.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use opaque::{ClusteringConfig, FakeSelection, ObfuscationMode, Obfuscator};
+use roadnet::SpatialIndex;
+use roadnet::generators::NetworkClass;
+use std::hint::black_box;
+use std::time::Duration;
+use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
+
+fn bench(c: &mut Criterion) {
+    let g = NetworkClass::Grid.generate(2_500, 0xBE).expect("valid network");
+    let idx = SpatialIndex::build(&g);
+    let requests = generate_requests(
+        &g,
+        &idx,
+        &WorkloadConfig {
+            num_requests: 16,
+            queries: QueryDistribution::Hotspot { hotspots: 3, exponent: 1.0, spread: 0.08 },
+            protection: ProtectionDistribution::Fixed { f_s: 4, f_t: 4 },
+            seed: 0xBE,
+        },
+    );
+
+    let mut group = c.benchmark_group("e5_obfuscation");
+    for mode in [
+        ObfuscationMode::Independent,
+        ObfuscationMode::SharedGlobal,
+        ObfuscationMode::SharedClustered(ClusteringConfig::default()),
+    ] {
+        group.bench_function(mode.name(), |b| {
+            // Fresh obfuscator per iteration batch keeps RNG state
+            // comparable across modes.
+            b.iter_batched(
+                || Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xBE),
+                |mut ob| {
+                    let units = ob.obfuscate_batch(black_box(&requests), mode).expect("ok");
+                    black_box(units.len())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion timings for E9: search over paged storage — CCAM clustering
+//! vs random placement under a starved buffer.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use pathsearch::{Goal, Searcher};
+use roadnet::generators::NetworkClass;
+use roadnet::{NodeId, PageLayout, PagePlacement, PagedGraph};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let g = NetworkClass::Grid.generate(2_500, 0xBE).expect("valid network");
+    let n = g.num_nodes() as u32;
+    let (s, t) = (NodeId(1), NodeId(n - 2));
+
+    let mut group = c.benchmark_group("e9_storage");
+    group.bench_function("in-memory", |b| {
+        let mut searcher = Searcher::new();
+        b.iter(|| {
+            let st = searcher.run(&g, black_box(s), &Goal::Single(t));
+            black_box(st.settled)
+        })
+    });
+    for placement in [PagePlacement::Connectivity, PagePlacement::Random { seed: 1 }] {
+        let layout = PageLayout::build(&g, placement, PageLayout::DEFAULT_SLOTS_PER_PAGE);
+        let buffer = (layout.num_pages() / 8).max(2);
+        let paged = PagedGraph::new(&g, layout, buffer);
+        group.bench_function(format!("paged/{}", placement.name()), |b| {
+            let mut searcher = Searcher::new();
+            b.iter(|| {
+                let st = searcher.run(&paged, black_box(s), &Goal::Single(t));
+                black_box((st.settled, paged.io_stats().faults))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion timings for E7: end-to-end cost of one obfuscated query per
+//! fake-selection strategy (formulation + MSMD evaluation).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use opaque::{ClientId, ClientRequest, FakeSelection, Obfuscator, PathQuery, ProtectionSettings};
+use pathsearch::{SharingPolicy, msmd};
+use roadnet::NodeId;
+use roadnet::generators::NetworkClass;
+use std::hint::black_box;
+use std::time::Duration;
+use workload::{PopulationConfig, population_weights};
+
+fn bench(c: &mut Criterion) {
+    let g = NetworkClass::Geometric.generate(2_000, 0xBE).expect("valid network");
+    let n = g.num_nodes() as u32;
+    let weights = population_weights(&g, &PopulationConfig::default());
+    let req = ClientRequest::new(
+        ClientId(0),
+        PathQuery::new(NodeId(11), NodeId(n - 3)),
+        ProtectionSettings::new(4, 4).expect("positive"),
+    );
+
+    let mut group = c.benchmark_group("e7_strategies");
+    for strategy in [
+        FakeSelection::Uniform,
+        FakeSelection::default_ring(),
+        FakeSelection::default_network_ring(),
+        FakeSelection::Weighted,
+    ] {
+        group.bench_function(strategy.name(), |b| {
+            b.iter_batched(
+                || Obfuscator::new(g.clone(), strategy, 0xBE).with_weights(weights.clone()),
+                |mut ob| {
+                    let unit = ob.obfuscate_independent(black_box(&req)).expect("ok");
+                    let r = msmd(
+                        &g,
+                        unit.query.sources(),
+                        unit.query.targets(),
+                        SharingPolicy::PerSource,
+                    );
+                    black_box(r.stats.settled)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion timings for E10: full OPAQUE pipeline (obfuscate → serve →
+//! filter) for a 16-client batch under each obfuscation mode.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use opaque::{
+    ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator, OpaqueSystem,
+};
+use pathsearch::SharingPolicy;
+use roadnet::SpatialIndex;
+use roadnet::generators::NetworkClass;
+use std::hint::black_box;
+use std::time::Duration;
+use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
+
+fn bench(c: &mut Criterion) {
+    let g = NetworkClass::Grid.generate(2_500, 0xBE).expect("valid network");
+    let idx = SpatialIndex::build(&g);
+    let requests = generate_requests(
+        &g,
+        &idx,
+        &WorkloadConfig {
+            num_requests: 16,
+            queries: QueryDistribution::Hotspot { hotspots: 3, exponent: 1.0, spread: 0.08 },
+            protection: ProtectionDistribution::Fixed { f_s: 4, f_t: 4 },
+            seed: 0xBE,
+        },
+    );
+
+    let mut group = c.benchmark_group("e10_system");
+    for mode in [
+        ObfuscationMode::Independent,
+        ObfuscationMode::SharedGlobal,
+        ObfuscationMode::SharedClustered(ClusteringConfig::default()),
+    ] {
+        group.bench_function(mode.name(), |b| {
+            b.iter_batched(
+                || {
+                    OpaqueSystem::new(
+                        Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xBE),
+                        DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
+                    )
+                },
+                |mut sys| {
+                    let (results, report) =
+                        sys.process_batch(black_box(&requests), mode).expect("ok");
+                    black_box((results.len(), report.server_settled))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

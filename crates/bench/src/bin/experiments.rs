@@ -1,0 +1,64 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! experiments                 # run everything at full scale
+//! experiments e3 e6           # run a subset
+//! experiments --quick         # CI-sized inputs
+//! experiments --json out.json # also dump machine-readable results
+//! ```
+
+use bench::experiments::{ALL_IDS, run_by_id};
+use bench::{ExperimentTable, Scale};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::full();
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--json" => {
+                json_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [--json PATH] [e1 .. e12]");
+                return;
+            }
+            id => ids.push(id.to_ascii_lowercase()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut stdout = std::io::stdout().lock();
+    let mut results: Vec<ExperimentTable> = Vec::new();
+    for id in &ids {
+        match run_by_id(id, &scale) {
+            Some(table) => {
+                writeln!(stdout, "{}", table.render()).expect("stdout");
+                results.push(table);
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {})", ALL_IDS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("tables serialize");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {} experiment tables to {path}", results.len());
+    }
+}

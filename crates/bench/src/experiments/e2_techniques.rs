@@ -1,0 +1,117 @@
+//! E2 — location-privacy technique comparison (Figure 2, §II).
+//!
+//! The paper argues qualitatively that landmarks and cloaking return
+//! irrelevant paths, naive fake queries are exact but wasteful, and OPAQUE
+//! is exact *and* efficient. This experiment measures all five techniques
+//! on the same query population and turns Figure 2 into numbers: service
+//! quality (true-path rate), endpoint displacement, server cost, and
+//! breach probability.
+
+use crate::setup::{Scale, network_with_index};
+use crate::table::{ExperimentTable, f3};
+use opaque::{PathQuery, Technique, run_technique};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roadnet::NodeId;
+use roadnet::generators::NetworkClass;
+
+/// Run E2.
+pub fn run(scale: &Scale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "E2",
+        "privacy technique comparison",
+        "Figure 2(a-d) / §II",
+        &[
+            "technique",
+            "true-path rate",
+            "mean displacement",
+            "pairs/query",
+            "settled/query",
+            "breach prob",
+        ],
+    );
+    let (g, idx) = network_with_index(NetworkClass::Grid, scale);
+    let n = g.num_nodes() as u32;
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    let queries: Vec<PathQuery> = (0..scale.queries)
+        .map(|_| loop {
+            let s = NodeId(rng.gen_range(0..n));
+            let d = NodeId(rng.gen_range(0..n));
+            if s != d {
+                break PathQuery::new(s, d);
+            }
+        })
+        .collect();
+
+    // Cloaking cell ≈ 4 blocks; landmark set and fake count chosen so the
+    // naive baseline matches OPAQUE's 1/9 breach probability.
+    let cell = (g.bbox().width() / 10.0).max(1.0);
+    let techniques = [
+        Technique::Direct,
+        Technique::Landmark { num_landmarks: 16 },
+        Technique::Cloaking { cell_size: cell },
+        Technique::NaiveFakes { num_fakes: 8 },
+        Technique::Opaque { f_s: 3, f_t: 3 },
+    ];
+
+    for tech in techniques {
+        let mut exact = 0usize;
+        let mut displacement = 0.0;
+        let mut pairs = 0u64;
+        let mut settled = 0u64;
+        let mut breach = 0.0;
+        for (i, q) in queries.iter().enumerate() {
+            let r = run_technique(&g, &idx, q, tech, 0xE2 ^ i as u64);
+            exact += r.true_path_returned as usize;
+            displacement += r.endpoint_displacement;
+            pairs += r.pairs_evaluated;
+            settled += r.server_settled;
+            breach += r.breach_probability;
+        }
+        let qn = queries.len() as f64;
+        t.row(vec![
+            tech.name().into(),
+            f3(exact as f64 / qn),
+            f3(displacement / qn),
+            f3(pairs as f64 / qn),
+            f3(settled as f64 / qn),
+            f3(breach / qn),
+        ]);
+    }
+    t.note("direct: exact result, breach 1.0 — the privacy problem of Figure 2(a)");
+    t.note("landmark/cloaking: protected but true-path rate collapses — Figures 2(b,c)");
+    t.note("naive-fakes vs opaque at equal breach 1/9: opaque settles fewer nodes — Figure 2(d) vs OPAQUE");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_shape_matches_paper_claims() {
+        let t = run(&Scale::quick());
+        assert_eq!(t.rows.len(), 5);
+        let by_name = |n: &str| t.rows.iter().find(|r| r[0] == n).unwrap().clone();
+
+        let direct = by_name("direct");
+        assert_eq!(direct[1], "1.00");
+        assert_eq!(direct[5], "1.00");
+
+        // Landmark almost never returns the true path.
+        let landmark = by_name("landmark");
+        assert!(landmark[1].parse::<f64>().unwrap() < 0.5);
+
+        // Naive fakes and OPAQUE both always return the true path…
+        let naive = by_name("naive-fakes");
+        let opq = by_name("opaque");
+        assert_eq!(naive[1], "1.00");
+        assert_eq!(opq[1], "1.00");
+        // …at the same breach probability…
+        assert_eq!(naive[5], opq[5]);
+        // …but OPAQUE settles fewer nodes (Lemma 1 sharing).
+        let naive_settled: f64 = naive[4].parse().unwrap();
+        let opq_settled: f64 = opq[4].parse().unwrap();
+        assert!(opq_settled < naive_settled, "opaque {opq_settled} vs naive {naive_settled}");
+    }
+}

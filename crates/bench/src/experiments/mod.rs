@@ -1,0 +1,50 @@
+//! The experiment suite — one module per paper artifact (see DESIGN.md §3).
+
+pub mod e1_algorithms;
+pub mod e2_techniques;
+pub mod e3_breach;
+pub mod e4_cost_model;
+pub mod e5_shared;
+pub mod e6_collusion;
+pub mod e7_strategies;
+pub mod e8_clustering;
+pub mod e9_storage;
+pub mod e10_scaling;
+pub mod e11_intersection;
+pub mod e12_batching;
+
+use crate::setup::Scale;
+use crate::table::ExperimentTable;
+
+/// All experiment ids, in run order.
+pub const ALL_IDS: [&str; 12] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+
+/// Run one experiment by id.
+pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
+    match id {
+        "e1" => Some(e1_algorithms::run(scale)),
+        "e2" => Some(e2_techniques::run(scale)),
+        "e3" => Some(e3_breach::run(scale)),
+        "e4" => Some(e4_cost_model::run(scale)),
+        "e5" => Some(e5_shared::run(scale)),
+        "e6" => Some(e6_collusion::run(scale)),
+        "e7" => Some(e7_strategies::run(scale)),
+        "e8" => Some(e8_clustering::run(scale)),
+        "e9" => Some(e9_storage::run(scale)),
+        "e10" => Some(e10_scaling::run(scale)),
+        "e11" => Some(e11_intersection::run(scale)),
+        "e12" => Some(e12_batching::run(scale)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("e99", &Scale::quick()).is_none());
+    }
+}

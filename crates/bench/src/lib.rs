@@ -1,0 +1,20 @@
+//! # bench — experiment harness for the OPAQUE reproduction
+//!
+//! Regenerates every paper artifact as a table (see DESIGN.md §3 for the
+//! experiment index). Run the whole suite with:
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments
+//! cargo run -p bench --release --bin experiments -- e4 e5   # a subset
+//! cargo run -p bench --release --bin experiments -- --quick # CI scale
+//! ```
+//!
+//! Criterion micro-benchmarks (timings rather than operation counts) live
+//! in `crates/bench/benches/`, one per experiment family.
+
+pub mod experiments;
+pub mod setup;
+pub mod table;
+
+pub use setup::Scale;
+pub use table::{ExperimentTable, f3};

@@ -1,0 +1,241 @@
+//! Client-side privacy ledger.
+//!
+//! The obfuscator discards satisfied requests (§IV), so *clients* are the
+//! only party that can track their own cumulative exposure. The ledger
+//! operationalizes what the attack experiments (E6, E11) show: privacy is
+//! a property of a client's whole query *history*, not of one obfuscated
+//! query —
+//!
+//! * repeating a query under different obfuscations invites the
+//!   intersection attack (tracked as [`ExposureReport::intersection_risk`]);
+//! * participating in shared queries exposes the client to its co-members
+//!   (tracked as the worst-case residual breach if all of them collude).
+
+use crate::obfuscator::ObfuscationUnit;
+use crate::query::{ClientId, PathQuery};
+use roadnet::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// One client's record for a repeated true query.
+#[derive(Clone, Debug)]
+struct QueryHistory {
+    /// Distinct obfuscations observed for this true query.
+    obfuscations: Vec<(Vec<NodeId>, Vec<NodeId>)>,
+    /// Times the query was issued.
+    issues: u32,
+}
+
+/// Tracks everything a single client has revealed across batches.
+#[derive(Clone, Debug, Default)]
+pub struct PrivacyLedger {
+    client: Option<ClientId>,
+    histories: HashMap<PathQuery, QueryHistory>,
+    /// Worst (largest) single-query breach probability accepted so far.
+    worst_breach: f64,
+    /// Worst residual breach under full collusion of shared-query
+    /// co-members.
+    worst_collusion_breach: f64,
+    batches: u32,
+}
+
+/// Summary of a client's cumulative exposure.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExposureReport {
+    /// Batches (obfuscated queries) this client participated in.
+    pub batches: u32,
+    /// Worst per-query breach probability across the history.
+    pub worst_breach: f64,
+    /// Worst residual breach if every co-member of a shared query colluded
+    /// (1.0 when the client ever appeared alone with all-revealed cover).
+    pub worst_collusion_breach: f64,
+    /// Breach probability of the most-repeated query under an
+    /// intersection attack over its distinct observed obfuscations
+    /// (1.0 = already pinpointable).
+    pub intersection_risk: f64,
+}
+
+impl PrivacyLedger {
+    /// A fresh ledger for one client.
+    pub fn new(client: ClientId) -> Self {
+        PrivacyLedger { client: Some(client), ..Default::default() }
+    }
+
+    /// Record the unit that answered one of this client's requests.
+    ///
+    /// # Panics
+    /// Panics if the unit does not carry the ledger's client.
+    pub fn record(&mut self, unit: &ObfuscationUnit) {
+        let client = self.client.expect("ledger constructed with a client");
+        let request = unit
+            .requests
+            .iter()
+            .find(|r| r.client == client)
+            .unwrap_or_else(|| panic!("unit does not carry client {client:?}"));
+        self.batches += 1;
+        self.worst_breach = self.worst_breach.max(unit.query.breach_probability());
+
+        // Full-collusion residual: every other member reveals its pair.
+        let mut revealed_s: HashSet<NodeId> = HashSet::new();
+        let mut revealed_t: HashSet<NodeId> = HashSet::new();
+        for r in &unit.requests {
+            if r.client != client {
+                revealed_s.insert(r.query.source);
+                revealed_t.insert(r.query.destination);
+            }
+        }
+        let residual_s = unit
+            .query
+            .sources()
+            .iter()
+            .filter(|s| !revealed_s.contains(s))
+            .count();
+        let residual_t = unit
+            .query
+            .targets()
+            .iter()
+            .filter(|t| !revealed_t.contains(t))
+            .count();
+        let own_survives = !revealed_s.contains(&request.query.source)
+            && !revealed_t.contains(&request.query.destination);
+        let collusion = if own_survives && residual_s > 0 && residual_t > 0 {
+            1.0 / (residual_s as f64 * residual_t as f64)
+        } else if own_survives {
+            1.0
+        } else {
+            // Colluders' reveals would (wrongly) exclude the client's own
+            // pair — the attack cannot name it.
+            0.0
+        };
+        self.worst_collusion_breach = self.worst_collusion_breach.max(collusion);
+
+        // Intersection bookkeeping for the repeated-query channel.
+        let entry = self
+            .histories
+            .entry(request.query)
+            .or_insert_with(|| QueryHistory { obfuscations: Vec::new(), issues: 0 });
+        entry.issues += 1;
+        let shape = (unit.query.sources().to_vec(), unit.query.targets().to_vec());
+        if !entry.obfuscations.contains(&shape) {
+            entry.obfuscations.push(shape);
+        }
+    }
+
+    /// Current exposure summary.
+    pub fn report(&self) -> ExposureReport {
+        let mut intersection_risk = 0.0f64;
+        for h in self.histories.values() {
+            // Survivors of intersecting all distinct observed obfuscations.
+            let mut survivors: Option<HashSet<(NodeId, NodeId)>> = None;
+            for (sources, targets) in &h.obfuscations {
+                let round: HashSet<(NodeId, NodeId)> = sources
+                    .iter()
+                    .flat_map(|&s| targets.iter().map(move |&t| (s, t)))
+                    .collect();
+                survivors = Some(match survivors {
+                    None => round,
+                    Some(prev) => prev.intersection(&round).copied().collect(),
+                });
+            }
+            if let Some(s) = survivors {
+                if !s.is_empty() {
+                    intersection_risk = intersection_risk.max(1.0 / s.len() as f64);
+                }
+            }
+        }
+        ExposureReport {
+            batches: self.batches,
+            worst_breach: self.worst_breach,
+            worst_collusion_breach: self.worst_collusion_breach,
+            intersection_risk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obfuscator::{FakeSelection, Obfuscator};
+    use crate::query::{ClientRequest, ProtectionSettings};
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn obfuscator(consistent: bool) -> Obfuscator {
+        let map = grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
+            .unwrap();
+        Obfuscator::new(map, FakeSelection::Uniform, 77).with_consistent_fakes(consistent)
+    }
+
+    fn request(i: u32, s: u32, t: u32, f: u32) -> ClientRequest {
+        ClientRequest::new(
+            ClientId(i),
+            PathQuery::new(NodeId(s), NodeId(t)),
+            ProtectionSettings::new(f, f).unwrap(),
+        )
+    }
+
+    #[test]
+    fn single_independent_query_exposure() {
+        let mut ob = obfuscator(false);
+        let unit = ob.obfuscate_independent(&request(0, 0, 399, 4)).unwrap();
+        let mut ledger = PrivacyLedger::new(ClientId(0));
+        ledger.record(&unit);
+        let rep = ledger.report();
+        assert_eq!(rep.batches, 1);
+        assert!((rep.worst_breach - 1.0 / 16.0).abs() < 1e-12);
+        // No co-members → full collusion leaves everything intact.
+        assert!((rep.worst_collusion_breach - 1.0 / 16.0).abs() < 1e-12);
+        assert!((rep.intersection_risk - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_fresh_obfuscations_raise_intersection_risk() {
+        let mut ob = obfuscator(false);
+        let mut ledger = PrivacyLedger::new(ClientId(0));
+        for _ in 0..5 {
+            ledger.record(&ob.obfuscate_independent(&request(0, 0, 399, 4)).unwrap());
+        }
+        let rep = ledger.report();
+        assert!(
+            rep.intersection_risk > 0.5,
+            "five fresh 4x4 obfuscations should almost pinpoint: {}",
+            rep.intersection_risk
+        );
+        // Per-query breach looks unchanged — exactly the blind spot the
+        // ledger exists to expose.
+        assert!((rep.worst_breach - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistent_fakes_keep_intersection_risk_nominal() {
+        let mut ob = obfuscator(true);
+        let mut ledger = PrivacyLedger::new(ClientId(0));
+        for _ in 0..5 {
+            ledger.record(&ob.obfuscate_independent(&request(0, 0, 399, 4)).unwrap());
+        }
+        let rep = ledger.report();
+        assert!((rep.intersection_risk - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_queries_expose_collusion_risk() {
+        let mut ob = obfuscator(false);
+        let reqs = vec![request(0, 0, 399, 3), request(1, 21, 378, 3), request(2, 42, 357, 3)];
+        let unit = ob.obfuscate_shared(&reqs).unwrap();
+        let mut ledger = PrivacyLedger::new(ClientId(0));
+        ledger.record(&unit);
+        let rep = ledger.report();
+        // Shared breach is better than independent…
+        assert!(rep.worst_breach <= 1.0 / 9.0 + 1e-12);
+        // …but full collusion of the two co-members is strictly worse than
+        // the nominal shared guarantee.
+        assert!(rep.worst_collusion_breach > rep.worst_breach);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not carry")]
+    fn recording_a_foreign_unit_panics() {
+        let mut ob = obfuscator(false);
+        let unit = ob.obfuscate_independent(&request(3, 0, 399, 2)).unwrap();
+        let mut ledger = PrivacyLedger::new(ClientId(0));
+        ledger.record(&unit);
+    }
+}

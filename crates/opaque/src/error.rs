@@ -1,0 +1,72 @@
+//! Error types for the OPAQUE pipeline.
+
+use roadnet::NodeId;
+use std::fmt;
+
+/// Errors raised by the obfuscator, server, or filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpaqueError {
+    /// Protection settings must request at least the true endpoint
+    /// (`f_S ≥ 1`, `f_T ≥ 1`).
+    InvalidProtection { f_s: u32, f_t: u32 },
+    /// The obfuscator could not find enough distinct fake endpoints (map too
+    /// small for the requested anonymity).
+    NotEnoughFakes { requested: usize, available: usize },
+    /// A query endpoint is not a node of the map.
+    UnknownNode { node: NodeId },
+    /// The server's candidate set is missing the path a client asked for —
+    /// either the pair is disconnected or the server misbehaved.
+    MissingResult { source: NodeId, destination: NodeId },
+    /// A returned candidate path failed verification against the
+    /// obfuscator's map (tampering or map mismatch).
+    CorruptResult { source: NodeId, destination: NodeId },
+    /// A batch submitted for shared obfuscation was empty.
+    EmptyBatch,
+}
+
+impl fmt::Display for OpaqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpaqueError::InvalidProtection { f_s, f_t } => {
+                write!(f, "invalid protection settings (f_S={f_s}, f_T={f_t}); both must be >= 1")
+            }
+            OpaqueError::NotEnoughFakes { requested, available } => {
+                write!(f, "cannot pick {requested} fake endpoints, only {available} candidates available")
+            }
+            OpaqueError::UnknownNode { node } => write!(f, "node {node} is not on the map"),
+            OpaqueError::MissingResult { source, destination } => {
+                write!(f, "no candidate path answers Q({source}, {destination})")
+            }
+            OpaqueError::CorruptResult { source, destination } => {
+                write!(f, "candidate path for Q({source}, {destination}) failed verification")
+            }
+            OpaqueError::EmptyBatch => write!(f, "empty request batch"),
+        }
+    }
+}
+
+impl std::error::Error for OpaqueError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, OpaqueError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_parameters() {
+        let e = OpaqueError::InvalidProtection { f_s: 0, f_t: 3 };
+        assert!(e.to_string().contains("f_S=0"));
+        let e = OpaqueError::NotEnoughFakes { requested: 10, available: 4 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('4'));
+        let e = OpaqueError::MissingResult { source: NodeId(1), destination: NodeId(2) };
+        assert!(e.to_string().contains("Q(1, 2)"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(OpaqueError::EmptyBatch);
+        assert!(!e.to_string().is_empty());
+    }
+}

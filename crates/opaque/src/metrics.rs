@@ -1,0 +1,119 @@
+//! Privacy metrics beyond the paper's breach probability.
+//!
+//! Definition 2 quantifies protection as `1/(|S|·|T|)` under a uniform
+//! prior. This module adds the standard information-theoretic companions —
+//! adversary-posterior entropy and the equivalent anonymity-set size — used
+//! by experiments E3/E6/E7 to compare strategies whose *nominal* breach
+//! probability is identical but whose resistance to informed adversaries
+//! differs.
+
+/// Breach probability under a uniform prior (Definition 2).
+pub fn breach_probability(num_sources: usize, num_targets: usize) -> f64 {
+    assert!(num_sources > 0 && num_targets > 0, "sets must be non-empty");
+    1.0 / (num_sources as f64 * num_targets as f64)
+}
+
+/// Shannon entropy (bits) of a discrete distribution. Zero-probability
+/// entries contribute nothing; the distribution need not be normalized
+/// (it is normalized internally).
+pub fn entropy_bits(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+    assert!(total > 0.0, "distribution must have positive mass");
+    let mut h = 0.0;
+    for &w in weights {
+        if w > 0.0 {
+            let p = w / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Effective anonymity-set size `2^H` of a posterior: the number of
+/// equally-likely candidates that would give the adversary the same
+/// uncertainty. For a uniform posterior over `k` pairs this is exactly `k`
+/// (and breach probability is `1/k`).
+pub fn effective_anonymity(weights: &[f64]) -> f64 {
+    entropy_bits(weights).exp2()
+}
+
+/// Posterior over candidate (source, target) pairs given per-node
+/// plausibility weights: `P(s,t) ∝ w_s(s) · w_t(t)`.
+///
+/// Returns the flattened (source-major) posterior, normalized. This models
+/// the background-knowledge adversary of §II: a server that knows, e.g.,
+/// which addresses are residential can down-weight implausible endpoints.
+pub fn endpoint_posterior(source_weights: &[f64], target_weights: &[f64]) -> Vec<f64> {
+    assert!(!source_weights.is_empty() && !target_weights.is_empty());
+    let mut post = Vec::with_capacity(source_weights.len() * target_weights.len());
+    for &ws in source_weights {
+        for &wt in target_weights {
+            post.push((ws * wt).max(0.0));
+        }
+    }
+    let total: f64 = post.iter().sum();
+    assert!(total > 0.0, "posterior must have positive mass");
+    for p in &mut post {
+        *p /= total;
+    }
+    post
+}
+
+/// The adversary's best-guess success probability: the maximum of the
+/// posterior (MAP rule).
+pub fn map_success_probability(posterior: &[f64]) -> f64 {
+    posterior.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breach_matches_definition_2() {
+        assert!((breach_probability(2, 3) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(breach_probability(1, 1), 1.0);
+    }
+
+    #[test]
+    fn uniform_entropy_is_log_k() {
+        let w = vec![1.0; 8];
+        assert!((entropy_bits(&w) - 3.0).abs() < 1e-12);
+        assert!((effective_anonymity(&w) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_posterior_reduces_anonymity() {
+        let uniform = vec![1.0; 4];
+        let skewed = vec![10.0, 1.0, 1.0, 1.0];
+        assert!(effective_anonymity(&skewed) < effective_anonymity(&uniform));
+        assert!(map_success_probability(&endpoint_posterior(&[10.0, 1.0], &[1.0, 1.0])) > 0.25);
+    }
+
+    #[test]
+    fn posterior_is_normalized_product() {
+        let post = endpoint_posterior(&[1.0, 3.0], &[1.0, 1.0]);
+        let sum: f64 = post.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // P(s2, ·) should carry 3/4 of the mass.
+        assert!((post[2] + post[3] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_posterior_map_equals_breach() {
+        let post = endpoint_posterior(&[1.0; 2], &[1.0; 3]);
+        assert!((map_success_probability(&post) - breach_probability(2, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_are_ignored_by_entropy() {
+        let h = entropy_bits(&[0.5, 0.5, 0.0]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn all_zero_distribution_panics() {
+        let _ = entropy_bits(&[0.0, 0.0]);
+    }
+}

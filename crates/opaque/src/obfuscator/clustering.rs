@@ -1,0 +1,197 @@
+//! Path-query clustering — the first step of query obfuscation (§IV: "the
+//! former step partitions the received queries into disjoint query sets").
+//!
+//! Shared obfuscation only pays off when the clustered queries are
+//! *spatially compatible*: Lemma 1 charges every source a tree reaching the
+//! farthest target, so mixing a downtown commute with a cross-state trip
+//! into one `Q(S,T)` forces huge trees for everyone. The greedy clusterer
+//! below therefore groups requests whose sources and destinations both lie
+//! within a radius proportional to the batch's typical query length,
+//! capping cluster size so one obfuscated query never grows unbounded.
+
+use crate::query::ClientRequest;
+use roadnet::{Point, RoadNetwork};
+
+/// Parameters for [`cluster_requests`].
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusteringConfig {
+    /// Cluster admission radius, as a multiple of the batch's median query
+    /// Euclidean length. A request joins a cluster only if its source lies
+    /// within this radius of the cluster's source centroid *and* its
+    /// destination within the radius of the destination centroid.
+    pub radius_scale: f64,
+    /// Maximum number of requests per cluster (≥ 1).
+    pub max_cluster_size: usize,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig { radius_scale: 0.75, max_cluster_size: 8 }
+    }
+}
+
+/// A cluster of mutually compatible requests, by index into the input batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    pub members: Vec<usize>,
+}
+
+/// Greedy single-pass clustering of `requests`, deterministic in input
+/// order. Every request lands in exactly one cluster.
+pub fn cluster_requests(
+    map: &RoadNetwork,
+    requests: &[ClientRequest],
+    cfg: &ClusteringConfig,
+) -> Vec<Cluster> {
+    assert!(cfg.max_cluster_size >= 1, "clusters must hold at least one request");
+    assert!(cfg.radius_scale >= 0.0, "radius scale must be non-negative");
+    if requests.is_empty() {
+        return Vec::new();
+    }
+
+    // Admission radius from the batch's median query length — robust to a
+    // few outlier long-haul queries.
+    let mut lengths: Vec<f64> = requests
+        .iter()
+        .map(|r| map.euclidean(r.query.source, r.query.destination))
+        .collect();
+    lengths.sort_by(f64::total_cmp);
+    let median = lengths[lengths.len() / 2].max(f64::EPSILON);
+    let radius = cfg.radius_scale * median;
+
+    struct Centroids {
+        members: Vec<usize>,
+        src_sum: Point,
+        dst_sum: Point,
+    }
+    impl Centroids {
+        fn src_centroid(&self) -> Point {
+            let k = self.members.len() as f64;
+            Point::new(self.src_sum.x / k, self.src_sum.y / k)
+        }
+        fn dst_centroid(&self) -> Point {
+            let k = self.members.len() as f64;
+            Point::new(self.dst_sum.x / k, self.dst_sum.y / k)
+        }
+    }
+
+    let mut clusters: Vec<Centroids> = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        let s = map.point(r.query.source);
+        let t = map.point(r.query.destination);
+        let slot = clusters.iter().position(|c| {
+            c.members.len() < cfg.max_cluster_size
+                && c.src_centroid().distance(s) <= radius
+                && c.dst_centroid().distance(t) <= radius
+        });
+        match slot {
+            Some(j) => {
+                let c = &mut clusters[j];
+                c.members.push(i);
+                c.src_sum = Point::new(c.src_sum.x + s.x, c.src_sum.y + s.y);
+                c.dst_sum = Point::new(c.dst_sum.x + t.x, c.dst_sum.y + t.y);
+            }
+            None => clusters.push(Centroids { members: vec![i], src_sum: s, dst_sum: t }),
+        }
+    }
+    clusters.into_iter().map(|c| Cluster { members: c.members }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{ClientId, PathQuery, ProtectionSettings};
+    use roadnet::generators::{GridConfig, grid_network};
+    use roadnet::NodeId;
+
+    fn request(i: u32, s: u32, t: u32) -> ClientRequest {
+        ClientRequest::new(
+            ClientId(i),
+            PathQuery::new(NodeId(s), NodeId(t)),
+            ProtectionSettings::new(2, 2).unwrap(),
+        )
+    }
+
+    fn map() -> RoadNetwork {
+        grid_network(&GridConfig { width: 20, height: 20, seed: 0, jitter: 0.0, ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn nearby_queries_cluster_together() {
+        let g = map();
+        // Two pairs of almost-identical commutes plus one far-away query.
+        let reqs = vec![
+            request(0, 0, 19),       // top-left → top-right
+            request(1, 20, 39),      // one row down, same direction
+            request(2, 380, 399),    // bottom row, far from the first two sources
+        ];
+        let clusters = cluster_requests(&g, &reqs, &ClusteringConfig::default());
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].members, vec![0, 1]);
+        assert_eq!(clusters[1].members, vec![2]);
+    }
+
+    #[test]
+    fn every_request_lands_in_exactly_one_cluster() {
+        let g = map();
+        let reqs: Vec<ClientRequest> =
+            (0..30).map(|i| request(i, i * 13 % 400, (i * 29 + 170) % 400)).collect();
+        let clusters = cluster_requests(&g, &reqs, &ClusteringConfig::default());
+        let mut seen = vec![false; reqs.len()];
+        for c in &clusters {
+            for &m in &c.members {
+                assert!(!seen[m], "request {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "request missing from clusters");
+    }
+
+    #[test]
+    fn max_cluster_size_is_enforced() {
+        let g = map();
+        // 10 identical queries; cap at 4.
+        let reqs: Vec<ClientRequest> = (0..10).map(|i| request(i, 0, 399)).collect();
+        let cfg = ClusteringConfig { max_cluster_size: 4, ..Default::default() };
+        let clusters = cluster_requests(&g, &reqs, &cfg);
+        assert_eq!(clusters.len(), 3); // 4 + 4 + 2
+        for c in &clusters {
+            assert!(c.members.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn zero_radius_isolates_distinct_queries() {
+        let g = map();
+        let reqs = vec![request(0, 0, 399), request(1, 1, 398)];
+        let cfg = ClusteringConfig { radius_scale: 0.0, ..Default::default() };
+        let clusters = cluster_requests(&g, &reqs, &cfg);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn identical_queries_share_a_cluster_even_at_zero_radius() {
+        let g = map();
+        let reqs = vec![request(0, 0, 399), request(1, 0, 399)];
+        let cfg = ClusteringConfig { radius_scale: 0.0, ..Default::default() };
+        let clusters = cluster_requests(&g, &reqs, &cfg);
+        assert_eq!(clusters.len(), 1, "distance 0 ≤ radius 0 must admit");
+    }
+
+    #[test]
+    fn empty_batch_gives_no_clusters() {
+        let g = map();
+        assert!(cluster_requests(&g, &[], &ClusteringConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn huge_radius_groups_everything_up_to_cap() {
+        let g = map();
+        let reqs: Vec<ClientRequest> = (0..6).map(|i| request(i, i * 50, 399 - i * 30)).collect();
+        let cfg = ClusteringConfig { radius_scale: 1e6, max_cluster_size: 100 };
+        let clusters = cluster_requests(&g, &reqs, &cfg);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members.len(), 6);
+    }
+}

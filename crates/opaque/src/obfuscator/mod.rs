@@ -1,0 +1,468 @@
+//! The path query obfuscator (§IV, Figures 5–6).
+//!
+//! The obfuscator is the trusted third party between clients and the
+//! directions-search server. It keeps a simple road map (generated, in this
+//! reproduction, by `roadnet::generators` standing in for TIGER/Line), and
+//! turns client requests `⟨u, (s,t), (f_S, f_T)⟩` into obfuscated path
+//! queries:
+//!
+//! * [`Obfuscator::obfuscate_independent`] — one `Q(S,T)` per request with
+//!   `|S| = f_S`, `|T| = f_T` (Figure 3);
+//! * [`Obfuscator::obfuscate_shared`] — one `Q(S,T)` for a group of
+//!   requests with `{sᵢ} ⊆ S`, `{tᵢ} ⊆ T`, `|S| ≥ max f_Sᵢ`,
+//!   `|T| ≥ max f_Tᵢ` (Figure 4);
+//! * [`Obfuscator::obfuscate_batch`] — the full §IV pipeline: cluster the
+//!   batch ([`clustering`]), then obfuscate each cluster.
+
+pub mod clustering;
+pub mod strategy;
+
+pub use clustering::{Cluster, ClusteringConfig, cluster_requests};
+pub use strategy::{FakeSelection, SelectionContext, select_fakes};
+
+use crate::error::{OpaqueError, Result};
+use crate::query::{ClientRequest, ObfuscatedPathQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roadnet::{NodeId, RoadNetwork, SpatialIndex};
+use std::collections::HashSet;
+
+/// How a batch of requests is turned into obfuscated queries.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ObfuscationMode {
+    /// One independently obfuscated query per request (Figure 3).
+    Independent,
+    /// A single shared obfuscated query for the whole batch (Figure 4).
+    SharedGlobal,
+    /// Cluster the batch spatially, one shared query per cluster (§IV).
+    SharedClustered(ClusteringConfig),
+}
+
+impl ObfuscationMode {
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObfuscationMode::Independent => "independent",
+            ObfuscationMode::SharedGlobal => "shared-global",
+            ObfuscationMode::SharedClustered(_) => "shared-clustered",
+        }
+    }
+}
+
+/// One obfuscated query together with the requests it answers. The unit the
+/// server processes and the candidate-result filter later unpacks.
+#[derive(Clone, Debug)]
+pub struct ObfuscationUnit {
+    pub query: ObfuscatedPathQuery,
+    pub requests: Vec<ClientRequest>,
+}
+
+impl ObfuscationUnit {
+    /// Check the Definition 1 invariants for every carried request: the
+    /// true endpoints are embedded and the requested protection met.
+    pub fn is_well_formed(&self) -> bool {
+        self.requests.iter().all(|r| {
+            self.query.covers(&r.query) && self.query.satisfies(&r.protection)
+        })
+    }
+}
+
+/// The trusted obfuscator. Owns its map copy, a spatial index over it, the
+/// fake-selection strategy, optional plausibility weights, and a seeded RNG
+/// (all obfuscation is reproducible given the seed).
+pub struct Obfuscator {
+    map: RoadNetwork,
+    index: SpatialIndex,
+    strategy: FakeSelection,
+    weights: Option<Vec<f64>>,
+    rng: StdRng,
+    /// Memo of independently obfuscated queries, keyed by the true query
+    /// and its protection sizes. See [`Obfuscator::with_consistent_fakes`].
+    consistency_cache: Option<std::collections::HashMap<(crate::query::PathQuery, u32, u32), ObfuscatedPathQuery>>,
+}
+
+impl Obfuscator {
+    /// Build an obfuscator over `map` with the given strategy and RNG seed.
+    pub fn new(map: RoadNetwork, strategy: FakeSelection, seed: u64) -> Self {
+        let index = SpatialIndex::build(&map);
+        Obfuscator {
+            map,
+            index,
+            strategy,
+            weights: None,
+            rng: StdRng::seed_from_u64(seed),
+            consistency_cache: None,
+        }
+    }
+
+    /// Enable **consistent fakes**: the same true query (with the same
+    /// protection sizes) is always obfuscated into the same `Q(S,T)`.
+    ///
+    /// Without this, a client that re-issues a query — retrying after a
+    /// timeout, or checking directions again the next morning — receives a
+    /// fresh fake set each time. A server that links the requests (same
+    /// anonymous session, timing, or simply the only overlap between two
+    /// obfuscated queries) can *intersect* the represented pair sets; only
+    /// the true pair survives every round, so the breach probability decays
+    /// from `1/(|S|·|T|)` to 1 in a handful of repetitions (see
+    /// [`crate::attack::intersection_attack`] and experiment E11).
+    ///
+    /// The memo applies to *independent* obfuscation only: shared queries
+    /// mix batches, so their composition legitimately varies. The paper
+    /// discards satisfied requests "for sake of security" (§IV);
+    /// remembering only the query→fakes mapping (not who asked) preserves
+    /// that property while closing the intersection channel.
+    pub fn with_consistent_fakes(mut self, enabled: bool) -> Self {
+        self.consistency_cache = enabled.then(std::collections::HashMap::new);
+        self
+    }
+
+    /// Attach per-node plausibility weights (enables
+    /// [`FakeSelection::Weighted`] and lets experiments model the
+    /// background-knowledge adversary).
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` differs from the map's node count.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.map.num_nodes(), "one weight per node");
+        self.weights = Some(weights);
+        self
+    }
+
+    /// The obfuscator's map.
+    pub fn map(&self) -> &RoadNetwork {
+        &self.map
+    }
+
+    /// The active fake-selection strategy.
+    pub fn strategy(&self) -> FakeSelection {
+        self.strategy
+    }
+
+    /// Plausibility weights, if attached.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    fn check_request(&self, r: &ClientRequest) -> Result<()> {
+        let n = self.map.num_nodes();
+        for node in [r.query.source, r.query.destination] {
+            if node.index() >= n {
+                return Err(OpaqueError::UnknownNode { node });
+            }
+        }
+        if r.protection.f_s == 0 || r.protection.f_t == 0 {
+            return Err(OpaqueError::InvalidProtection {
+                f_s: r.protection.f_s,
+                f_t: r.protection.f_t,
+            });
+        }
+        Ok(())
+    }
+
+    fn pick(
+        &mut self,
+        anchor: NodeId,
+        counterpart: NodeId,
+        exclude: &HashSet<NodeId>,
+        count: usize,
+    ) -> Result<Vec<NodeId>> {
+        let ctx = SelectionContext {
+            map: &self.map,
+            index: &self.index,
+            weights: self.weights.as_deref(),
+            anchor,
+            counterpart,
+        };
+        select_fakes(self.strategy, &ctx, exclude, count, &mut self.rng)
+    }
+
+    /// Independently obfuscate one request (Figure 3): `|S| = f_S` and
+    /// `|T| = f_T`, with the true endpoints embedded.
+    pub fn obfuscate_independent(&mut self, request: &ClientRequest) -> Result<ObfuscationUnit> {
+        self.check_request(request)?;
+        let cache_key =
+            (request.query, request.protection.f_s, request.protection.f_t);
+        if let Some(cache) = &self.consistency_cache {
+            if let Some(query) = cache.get(&cache_key) {
+                return Ok(ObfuscationUnit { query: query.clone(), requests: vec![*request] });
+            }
+        }
+        let q = request.query;
+        // Fakes may not collide with either true endpoint: a fake source
+        // equal to the true destination (or vice versa) would shrink the
+        // sorted sets below the requested sizes.
+        let mut exclude: HashSet<NodeId> = [q.source, q.destination].into_iter().collect();
+
+        let fake_sources =
+            self.pick(q.source, q.destination, &exclude, request.protection.f_s as usize - 1)?;
+        exclude.extend(fake_sources.iter().copied());
+        let fake_targets =
+            self.pick(q.destination, q.source, &exclude, request.protection.f_t as usize - 1)?;
+
+        let mut sources = fake_sources;
+        sources.push(q.source);
+        let mut targets = fake_targets;
+        targets.push(q.destination);
+        let unit = ObfuscationUnit {
+            query: ObfuscatedPathQuery::new(sources, targets),
+            requests: vec![*request],
+        };
+        debug_assert!(unit.is_well_formed());
+        if let Some(cache) = &mut self.consistency_cache {
+            cache.insert(cache_key, unit.query.clone());
+        }
+        Ok(unit)
+    }
+
+    /// Obfuscate a group of requests into one shared query (Figure 4):
+    /// every true source/destination is embedded and the *strictest*
+    /// protection setting in the group is met. Requests whose endpoints
+    /// overlap shrink the true sets — fakes are added until the size
+    /// constraints hold.
+    pub fn obfuscate_shared(&mut self, requests: &[ClientRequest]) -> Result<ObfuscationUnit> {
+        if requests.is_empty() {
+            return Err(OpaqueError::EmptyBatch);
+        }
+        for r in requests {
+            self.check_request(r)?;
+        }
+
+        let mut sources: Vec<NodeId> = requests.iter().map(|r| r.query.source).collect();
+        let mut targets: Vec<NodeId> = requests.iter().map(|r| r.query.destination).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        targets.sort_unstable();
+        targets.dedup();
+
+        let need_s = requests.iter().map(|r| r.protection.f_s).max().expect("non-empty") as usize;
+        let need_t = requests.iter().map(|r| r.protection.f_t).max().expect("non-empty") as usize;
+
+        let mut exclude: HashSet<NodeId> =
+            sources.iter().chain(targets.iter()).copied().collect();
+
+        // Anchor each fake on a member request round-robin, so fakes are
+        // plausible for every participant rather than clustering around one.
+        if sources.len() < need_s {
+            let missing = need_s - sources.len();
+            for k in 0..missing {
+                let r = &requests[k % requests.len()];
+                let fake = self.pick(r.query.source, r.query.destination, &exclude, 1)?;
+                exclude.extend(fake.iter().copied());
+                sources.extend(fake);
+            }
+        }
+        if targets.len() < need_t {
+            let missing = need_t - targets.len();
+            for k in 0..missing {
+                let r = &requests[k % requests.len()];
+                let fake = self.pick(r.query.destination, r.query.source, &exclude, 1)?;
+                exclude.extend(fake.iter().copied());
+                targets.extend(fake);
+            }
+        }
+
+        let unit = ObfuscationUnit {
+            query: ObfuscatedPathQuery::new(sources, targets),
+            requests: requests.to_vec(),
+        };
+        debug_assert!(unit.is_well_formed());
+        Ok(unit)
+    }
+
+    /// The full §IV obfuscation pipeline for a batch of requests.
+    pub fn obfuscate_batch(
+        &mut self,
+        requests: &[ClientRequest],
+        mode: ObfuscationMode,
+    ) -> Result<Vec<ObfuscationUnit>> {
+        if requests.is_empty() {
+            return Err(OpaqueError::EmptyBatch);
+        }
+        match mode {
+            ObfuscationMode::Independent => {
+                requests.iter().map(|r| self.obfuscate_independent(r)).collect()
+            }
+            ObfuscationMode::SharedGlobal => Ok(vec![self.obfuscate_shared(requests)?]),
+            ObfuscationMode::SharedClustered(cfg) => {
+                let clusters = cluster_requests(&self.map, requests, &cfg);
+                clusters
+                    .into_iter()
+                    .map(|c| {
+                        let members: Vec<ClientRequest> =
+                            c.members.iter().map(|&i| requests[i]).collect();
+                        self.obfuscate_shared(&members)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{ClientId, PathQuery, ProtectionSettings};
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn obfuscator(strategy: FakeSelection) -> Obfuscator {
+        let map =
+            grid_network(&GridConfig { width: 20, height: 20, seed: 1, ..Default::default() })
+                .unwrap();
+        Obfuscator::new(map, strategy, 42)
+    }
+
+    fn request(i: u32, s: u32, t: u32, f_s: u32, f_t: u32) -> ClientRequest {
+        ClientRequest::new(
+            ClientId(i),
+            PathQuery::new(NodeId(s), NodeId(t)),
+            ProtectionSettings::new(f_s, f_t).unwrap(),
+        )
+    }
+
+    #[test]
+    fn independent_meets_exact_sizes() {
+        for strategy in [FakeSelection::Uniform, FakeSelection::default_ring()] {
+            let mut ob = obfuscator(strategy);
+            let r = request(0, 5, 390, 3, 4);
+            let unit = ob.obfuscate_independent(&r).unwrap();
+            assert_eq!(unit.query.sources().len(), 3, "{}", strategy.name());
+            assert_eq!(unit.query.targets().len(), 4, "{}", strategy.name());
+            assert!(unit.query.covers(&r.query));
+            assert!(unit.is_well_formed());
+            assert!((unit.query.breach_probability() - 1.0 / 12.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn protection_of_one_means_no_fakes() {
+        let mut ob = obfuscator(FakeSelection::Uniform);
+        let r = request(0, 5, 390, 1, 1);
+        let unit = ob.obfuscate_independent(&r).unwrap();
+        assert_eq!(unit.query.sources(), &[NodeId(5)]);
+        assert_eq!(unit.query.targets(), &[NodeId(390)]);
+        assert_eq!(unit.query.breach_probability(), 1.0);
+    }
+
+    #[test]
+    fn shared_embeds_all_true_endpoints_and_respects_max_protection() {
+        let mut ob = obfuscator(FakeSelection::default_ring());
+        let reqs =
+            vec![request(0, 0, 399, 2, 3), request(1, 21, 378, 4, 2), request(2, 40, 360, 3, 3)];
+        let unit = ob.obfuscate_shared(&reqs).unwrap();
+        for r in &reqs {
+            assert!(unit.query.covers(&r.query));
+            assert!(unit.query.satisfies(&r.protection));
+        }
+        assert!(unit.query.sources().len() >= 4);
+        assert!(unit.query.targets().len() >= 3);
+        assert!(unit.is_well_formed());
+    }
+
+    #[test]
+    fn shared_with_enough_true_endpoints_adds_no_fakes() {
+        let mut ob = obfuscator(FakeSelection::Uniform);
+        // 4 distinct sources and destinations; protection only asks for 3.
+        let reqs = vec![
+            request(0, 0, 399, 3, 3),
+            request(1, 21, 378, 3, 3),
+            request(2, 40, 360, 3, 3),
+            request(3, 60, 340, 3, 3),
+        ];
+        let unit = ob.obfuscate_shared(&reqs).unwrap();
+        assert_eq!(unit.query.sources().len(), 4, "true sources suffice");
+        assert_eq!(unit.query.targets().len(), 4, "true targets suffice");
+    }
+
+    #[test]
+    fn shared_handles_overlapping_endpoints() {
+        let mut ob = obfuscator(FakeSelection::Uniform);
+        // Both clients start at node 0 — the true source set has size 1, so
+        // a fake must be added to reach f_S = 2.
+        let reqs = vec![request(0, 0, 399, 2, 2), request(1, 0, 380, 2, 2)];
+        let unit = ob.obfuscate_shared(&reqs).unwrap();
+        assert!(unit.query.sources().len() >= 2);
+        assert!(unit.query.targets().len() >= 2);
+        assert!(unit.is_well_formed());
+    }
+
+    #[test]
+    fn batch_modes_cover_all_requests() {
+        let reqs: Vec<ClientRequest> =
+            (0..8).map(|i| request(i, i * 37 % 400, (i * 53 + 200) % 400, 2, 2)).collect();
+        for mode in [
+            ObfuscationMode::Independent,
+            ObfuscationMode::SharedGlobal,
+            ObfuscationMode::SharedClustered(ClusteringConfig::default()),
+        ] {
+            let mut ob = obfuscator(FakeSelection::default_ring());
+            let units = ob.obfuscate_batch(&reqs, mode).unwrap();
+            let covered: usize = units.iter().map(|u| u.requests.len()).sum();
+            assert_eq!(covered, reqs.len(), "{}", mode.name());
+            for u in &units {
+                assert!(u.is_well_formed(), "{}", mode.name());
+            }
+            match mode {
+                ObfuscationMode::Independent => assert_eq!(units.len(), 8),
+                ObfuscationMode::SharedGlobal => assert_eq!(units.len(), 1),
+                ObfuscationMode::SharedClustered(_) => assert!(!units.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_reduces_total_pairs_versus_independent() {
+        // The efficiency claim behind Figure 4: k requests sharing fakes
+        // produce far fewer server-side pairs than k independent queries.
+        let reqs: Vec<ClientRequest> =
+            (0..6).map(|i| request(i, i * 2, 399 - i * 3, 4, 4)).collect();
+        let mut ob1 = obfuscator(FakeSelection::default_ring());
+        let indep = ob1.obfuscate_batch(&reqs, ObfuscationMode::Independent).unwrap();
+        let mut ob2 = obfuscator(FakeSelection::default_ring());
+        let shared = ob2.obfuscate_batch(&reqs, ObfuscationMode::SharedGlobal).unwrap();
+        let indep_pairs: usize = indep.iter().map(|u| u.query.num_pairs()).sum();
+        let shared_pairs: usize = shared.iter().map(|u| u.query.num_pairs()).sum();
+        assert!(
+            shared_pairs < indep_pairs,
+            "shared {shared_pairs} pairs vs independent {indep_pairs}"
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut ob = obfuscator(FakeSelection::Uniform);
+        assert!(matches!(ob.obfuscate_shared(&[]), Err(OpaqueError::EmptyBatch)));
+        let bad = request(0, 9999, 1, 2, 2);
+        assert!(matches!(
+            ob.obfuscate_independent(&bad),
+            Err(OpaqueError::UnknownNode { .. })
+        ));
+        // Map has 400 nodes; asking for 500 sources cannot be satisfied.
+        let greedy = request(0, 0, 399, 500, 2);
+        assert!(matches!(
+            ob.obfuscate_independent(&greedy),
+            Err(OpaqueError::NotEnoughFakes { .. })
+        ));
+    }
+
+    #[test]
+    fn same_seed_reproduces_obfuscation() {
+        let r = request(0, 5, 390, 3, 3);
+        let mut a = obfuscator(FakeSelection::default_ring());
+        let mut b = obfuscator(FakeSelection::default_ring());
+        assert_eq!(
+            a.obfuscate_independent(&r).unwrap().query,
+            b.obfuscate_independent(&r).unwrap().query
+        );
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(ObfuscationMode::Independent.name(), "independent");
+        assert_eq!(ObfuscationMode::SharedGlobal.name(), "shared-global");
+        assert_eq!(
+            ObfuscationMode::SharedClustered(ClusteringConfig::default()).name(),
+            "shared-clustered"
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Wire protocol of the OPAQUE deployment (Figures 5–6).
+//!
+//! Four message kinds flow through the system:
+//!
+//! 1. [`RequestMsg`] — client → obfuscator, over the secure channel:
+//!    `⟨u, (s,t), (f_S, f_T)⟩`;
+//! 2. [`ObfuscatedQueryMsg`] — obfuscator → server: the anonymized
+//!    `Q(S, T)` (no client identities cross this hop);
+//! 3. [`CandidateResultsMsg`] — server → obfuscator: all `|S|×|T|`
+//!    candidate paths;
+//! 4. [`ResultMsg`] — obfuscator → client, secure channel: the one path
+//!    answering the client's true query.
+//!
+//! Messages serialize with serde; [`wire_size`] measures their JSON
+//! encoding so experiments can report real bytes per hop rather than
+//! node-count proxies. The secure channel itself is modelled, not
+//! implemented — the paper assumes it (§IV); what the experiments observe
+//! is *what* crosses each hop and *how big* it is, which is exactly what
+//! [`HopTraffic`] accumulates.
+
+use crate::query::{ClientId, ObfuscatedPathQuery, PathQuery, ProtectionSettings};
+use pathsearch::{MsmdResult, Path};
+use serde::Serialize;
+
+/// Client → obfuscator (secure channel): one directions request.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RequestMsg {
+    pub client: ClientId,
+    pub query: PathQuery,
+    pub protection: ProtectionSettings,
+}
+
+/// Obfuscator → server: an anonymized obfuscated path query. Carries no
+/// client identity — the server sees only endpoint sets.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ObfuscatedQueryMsg {
+    /// Correlation id so the obfuscator can match responses to in-flight
+    /// queries (opaque to the server; fresh per query).
+    pub query_id: u64,
+    pub query: ObfuscatedPathQuery,
+}
+
+/// Server → obfuscator: candidate result paths for every connected pair,
+/// in source-major order of the sorted endpoint sets.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CandidateResultsMsg {
+    pub query_id: u64,
+    /// `paths[i][j]` answers `(sources[i], targets[j])`; `None` when
+    /// disconnected.
+    pub paths: Vec<Vec<Option<Path>>>,
+}
+
+impl CandidateResultsMsg {
+    /// Package an MSMD evaluation for the wire.
+    pub fn from_result(query_id: u64, result: &MsmdResult) -> Self {
+        CandidateResultsMsg { query_id, paths: result.paths.clone() }
+    }
+}
+
+/// Obfuscator → client (secure channel): the requested path.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResultMsg {
+    pub client: ClientId,
+    pub path: Path,
+}
+
+/// Serialized size of a message in bytes (compact JSON encoding — a
+/// reasonable stand-in for any self-describing wire format; experiments
+/// compare hops, not codecs).
+pub fn wire_size<M: Serialize>(msg: &M) -> usize {
+    serde_json::to_vec(msg).map(|v| v.len()).unwrap_or(0)
+}
+
+/// Byte counters for the three hops of Figure 5.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HopTraffic {
+    /// Client → obfuscator requests (secure channel up).
+    pub requests_bytes: u64,
+    /// Obfuscator → server obfuscated queries.
+    pub queries_bytes: u64,
+    /// Server → obfuscator candidate results.
+    pub candidates_bytes: u64,
+    /// Obfuscator → client delivered results (secure channel down).
+    pub results_bytes: u64,
+}
+
+impl HopTraffic {
+    /// Record one request message.
+    pub fn record_request(&mut self, m: &RequestMsg) {
+        self.requests_bytes += wire_size(m) as u64;
+    }
+
+    /// Record one obfuscated query message.
+    pub fn record_query(&mut self, m: &ObfuscatedQueryMsg) {
+        self.queries_bytes += wire_size(m) as u64;
+    }
+
+    /// Record one candidate-results message.
+    pub fn record_candidates(&mut self, m: &CandidateResultsMsg) {
+        self.candidates_bytes += wire_size(m) as u64;
+    }
+
+    /// Record one delivered result.
+    pub fn record_result(&mut self, m: &ResultMsg) {
+        self.results_bytes += wire_size(m) as u64;
+    }
+
+    /// Download amplification at the obfuscator: candidate bytes received
+    /// per result byte delivered — the measurable form of §II's
+    /// "overconsumption of … network resources".
+    pub fn candidate_amplification(&self) -> f64 {
+        if self.results_bytes == 0 {
+            0.0
+        } else {
+            self.candidates_bytes as f64 / self.results_bytes as f64
+        }
+    }
+
+    /// Total bytes over all hops.
+    pub fn total_bytes(&self) -> u64 {
+        self.requests_bytes + self.queries_bytes + self.candidates_bytes + self.results_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obfuscator::{FakeSelection, Obfuscator};
+    use crate::query::ClientRequest;
+    use crate::server::DirectionsServer;
+    use pathsearch::SharingPolicy;
+    use roadnet::NodeId;
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn request() -> RequestMsg {
+        RequestMsg {
+            client: ClientId(7),
+            query: PathQuery::new(NodeId(1), NodeId(2)),
+            protection: ProtectionSettings::new(3, 3).unwrap(),
+        }
+    }
+
+    #[test]
+    fn messages_round_trip_through_serde() {
+        let m = request();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RequestMsg = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+
+        let q = ObfuscatedQueryMsg {
+            query_id: 99,
+            query: ObfuscatedPathQuery::new(vec![NodeId(1)], vec![NodeId(2), NodeId(3)]),
+        };
+        let back: ObfuscatedQueryMsg =
+            serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn obfuscated_query_msg_carries_no_client_identity() {
+        // Structural check on the serialized form: the server-facing hop
+        // must contain no "client" field anywhere.
+        let q = ObfuscatedQueryMsg {
+            query_id: 1,
+            query: ObfuscatedPathQuery::new(vec![NodeId(1)], vec![NodeId(2)]),
+        };
+        let json = serde_json::to_string(&q).unwrap();
+        assert!(!json.contains("client"), "server hop leaked identity: {json}");
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = ObfuscatedQueryMsg {
+            query_id: 1,
+            query: ObfuscatedPathQuery::new(vec![NodeId(1)], vec![NodeId(2)]),
+        };
+        let big = ObfuscatedQueryMsg {
+            query_id: 1,
+            query: ObfuscatedPathQuery::new(
+                (0..50).map(NodeId).collect(),
+                (50..120).map(NodeId).collect(),
+            ),
+        };
+        assert!(wire_size(&big) > wire_size(&small) * 5);
+    }
+
+    #[test]
+    fn traffic_accounting_through_a_real_exchange() {
+        let map = grid_network(&GridConfig { width: 12, height: 12, seed: 3, ..Default::default() })
+            .unwrap();
+        let mut ob = Obfuscator::new(map.clone(), FakeSelection::default_ring(), 5);
+        let mut server = DirectionsServer::new(map, SharingPolicy::PerSource);
+        let mut traffic = HopTraffic::default();
+
+        let req = ClientRequest::new(
+            ClientId(0),
+            PathQuery::new(NodeId(0), NodeId(143)),
+            ProtectionSettings::new(3, 3).unwrap(),
+        );
+        traffic.record_request(&RequestMsg {
+            client: req.client,
+            query: req.query,
+            protection: req.protection,
+        });
+
+        let unit = ob.obfuscate_independent(&req).unwrap();
+        let qmsg = ObfuscatedQueryMsg { query_id: 1, query: unit.query.clone() };
+        traffic.record_query(&qmsg);
+
+        let result = server.process(&unit.query);
+        let cmsg = CandidateResultsMsg::from_result(1, &result);
+        traffic.record_candidates(&cmsg);
+
+        let delivered = crate::filter::filter_candidates(&unit, &result, None).unwrap();
+        traffic.record_result(&ResultMsg {
+            client: delivered[0].client,
+            path: delivered[0].path.clone(),
+        });
+
+        assert!(traffic.requests_bytes > 0);
+        assert!(traffic.queries_bytes > 0);
+        assert!(traffic.candidates_bytes > traffic.results_bytes,
+            "9 candidate paths outweigh 1 delivered path");
+        // Amplification for a 3×3 query is roughly the candidate count.
+        let amp = traffic.candidate_amplification();
+        assert!(amp > 2.0 && amp < 40.0, "amplification {amp} implausible");
+        assert_eq!(
+            traffic.total_bytes(),
+            traffic.requests_bytes
+                + traffic.queries_bytes
+                + traffic.candidates_bytes
+                + traffic.results_bytes
+        );
+    }
+
+    #[test]
+    fn empty_traffic_has_zero_amplification() {
+        assert_eq!(HopTraffic::default().candidate_amplification(), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The directions-search server with its obfuscated path query processor
+//! (§IV).
+//!
+//! The server is semi-trusted: it evaluates whatever queries it receives,
+//! honestly, but observes them all — which is why it receives only
+//! obfuscated queries. [`DirectionsServer`] wraps any [`GraphView`] (the
+//! plain in-memory network or the CCAM paged store), answers plain path
+//! queries with single-pair Dijkstra and obfuscated queries with the MSMD
+//! processor, and keeps cumulative load counters so experiments can compare
+//! what different obfuscation regimes cost the provider.
+
+use crate::query::{ObfuscatedPathQuery, PathQuery};
+use pathsearch::{Goal, MsmdResult, Path, Searcher, SearchStats, SharingPolicy, msmd};
+use roadnet::GraphView;
+
+/// Cumulative server-side load counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServerStats {
+    /// Obfuscated queries processed.
+    pub obfuscated_queries: u64,
+    /// Plain (unprotected) queries processed.
+    pub plain_queries: u64,
+    /// Total (source, target) pairs evaluated.
+    pub pairs_evaluated: u64,
+    /// Candidate result paths produced (connected pairs only).
+    pub paths_returned: u64,
+    /// Aggregated search counters.
+    pub search: SearchStats,
+}
+
+/// The server: a graph view, an MSMD sharing policy, and load counters.
+pub struct DirectionsServer<G> {
+    graph: G,
+    policy: SharingPolicy,
+    searcher: Searcher,
+    stats: ServerStats,
+}
+
+impl<G: GraphView> DirectionsServer<G> {
+    /// A server over `graph` evaluating obfuscated queries under `policy`.
+    pub fn new(graph: G, policy: SharingPolicy) -> Self {
+        DirectionsServer { graph, policy, searcher: Searcher::new(), stats: ServerStats::default() }
+    }
+
+    /// The sharing policy in use.
+    pub fn policy(&self) -> SharingPolicy {
+        self.policy
+    }
+
+    /// The wrapped graph view.
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// Cumulative counters since construction (or the last reset).
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Zero the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ServerStats::default();
+    }
+
+    /// Evaluate a *plain* path query — what an unprotected client would
+    /// send. Returns the shortest path, or `None` when disconnected.
+    pub fn process_plain(&mut self, q: &PathQuery) -> Option<Path> {
+        let run = self.searcher.run(&self.graph, q.source, &Goal::Single(q.destination));
+        self.stats.plain_queries += 1;
+        self.stats.pairs_evaluated += 1;
+        self.stats.search.merge(run);
+        let path = self.searcher.path_to(q.destination);
+        if path.is_some() {
+            self.stats.paths_returned += 1;
+        }
+        path
+    }
+
+    /// Evaluate an obfuscated path query: all `|S|×|T|` pairs, via the MSMD
+    /// processor. The full candidate matrix goes back to the obfuscator.
+    pub fn process(&mut self, q: &ObfuscatedPathQuery) -> MsmdResult {
+        let result = msmd(&self.graph, q.sources(), q.targets(), self.policy);
+        self.stats.obfuscated_queries += 1;
+        self.stats.pairs_evaluated += q.num_pairs() as u64;
+        self.stats.paths_returned += result.num_paths() as u64;
+        self.stats.search.merge(result.stats);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generators::{GridConfig, grid_network};
+    use roadnet::NodeId;
+
+    fn server() -> DirectionsServer<roadnet::RoadNetwork> {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        DirectionsServer::new(g, SharingPolicy::PerSource)
+    }
+
+    #[test]
+    fn plain_query_returns_shortest_path() {
+        let mut sv = server();
+        let p = sv.process_plain(&PathQuery::new(NodeId(0), NodeId(143))).unwrap();
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.destination(), NodeId(143));
+        assert!(p.verify(sv.graph(), 1e-9));
+        assert_eq!(sv.stats().plain_queries, 1);
+        assert_eq!(sv.stats().paths_returned, 1);
+    }
+
+    #[test]
+    fn obfuscated_query_answers_every_pair() {
+        let mut sv = server();
+        let q = ObfuscatedPathQuery::new(
+            vec![NodeId(0), NodeId(11)],
+            vec![NodeId(143), NodeId(132), NodeId(70)],
+        );
+        let r = sv.process(&q);
+        assert_eq!(r.num_paths(), 6);
+        assert_eq!(sv.stats().pairs_evaluated, 6);
+        assert_eq!(sv.stats().obfuscated_queries, 1);
+        assert_eq!(sv.stats().paths_returned, 6);
+        // The result matrix lines up with the sorted S/T sets.
+        for (i, &s) in q.sources().iter().enumerate() {
+            for (j, &t) in q.targets().iter().enumerate() {
+                let p = r.paths[i][j].as_ref().unwrap();
+                assert_eq!(p.source(), s);
+                assert_eq!(p.destination(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_across_queries() {
+        let mut sv = server();
+        sv.process_plain(&PathQuery::new(NodeId(0), NodeId(1)));
+        let q = ObfuscatedPathQuery::new(vec![NodeId(5)], vec![NodeId(100), NodeId(101)]);
+        sv.process(&q);
+        let st = sv.stats();
+        assert_eq!(st.plain_queries, 1);
+        assert_eq!(st.obfuscated_queries, 1);
+        assert_eq!(st.pairs_evaluated, 3);
+        assert!(st.search.settled > 0);
+        sv.reset_stats();
+        assert_eq!(sv.stats(), ServerStats::default());
+    }
+
+    #[test]
+    fn server_works_over_paged_storage() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        let paged = roadnet::PagedGraph::ccam(&g, 16);
+        let mut sv = DirectionsServer::new(&paged, SharingPolicy::PerSource);
+        let q = ObfuscatedPathQuery::new(vec![NodeId(0)], vec![NodeId(143)]);
+        let r = sv.process(&q);
+        assert_eq!(r.num_paths(), 1);
+        assert!(paged.io_stats().faults > 0, "search must have touched pages");
+    }
+}

@@ -1,0 +1,231 @@
+//! ALT — A* with Landmarks and the Triangle inequality (Goldberg &
+//! Harrelson, SODA 2005).
+//!
+//! An *extension* beyond the paper's Dijkstra/A* baseline: precompute
+//! shortest-path distances from a few well-spread landmark nodes; then
+//! `h(n) = max_L |d(L, t) − d(L, n)|` lower-bounds the remaining network
+//! distance by the triangle inequality. Unlike the Euclidean heuristic, ALT
+//! reasons in *network* distance, so it stays strong on topologies where
+//! straight-line distance is misleading (the radial class in E1) — and it
+//! gives the reproduction a second, stronger goal-directed baseline for
+//! what single-pair search can achieve against the MSMD sharing numbers.
+//!
+//! Landmarks are chosen by farthest-point ("avoid") selection. The
+//! preprocessing assumes a symmetric (undirected) network, which every
+//! `roadnet` generator guarantees.
+
+use crate::astar::astar_with;
+use crate::dijkstra::{Goal, Searcher};
+use crate::path::Path;
+use crate::stats::SearchStats;
+use roadnet::{GraphView, NodeId};
+
+/// Precomputed landmark distance tables.
+#[derive(Clone, Debug)]
+pub struct AltPreprocessing {
+    landmarks: Vec<NodeId>,
+    /// `dist[l][n]` = network distance from `landmarks[l]` to node `n`
+    /// (infinite for unreachable nodes).
+    dist: Vec<Vec<f64>>,
+}
+
+impl AltPreprocessing {
+    /// Select `num_landmarks` landmarks by farthest-point selection (first
+    /// landmark = node 0's farthest reachable node, then iteratively the
+    /// node maximizing the minimum distance to the chosen set) and run one
+    /// full Dijkstra per landmark.
+    ///
+    /// # Panics
+    /// Panics if `num_landmarks` is 0 or exceeds the node count.
+    pub fn build<G: GraphView>(g: &G, num_landmarks: usize) -> Self {
+        let n = g.num_nodes();
+        assert!(num_landmarks >= 1, "need at least one landmark");
+        assert!(num_landmarks <= n, "more landmarks than nodes");
+        let mut searcher = Searcher::new();
+
+        // Bootstrap: full tree from node 0, take the farthest reachable
+        // node as the first landmark (a graph periphery point).
+        searcher.run(g, NodeId(0), &Goal::AllNodes);
+        let first = (0..n)
+            .filter_map(|i| {
+                let node = NodeId::from_index(i);
+                searcher.distance(node).filter(|d| d.is_finite()).map(|d| (node, d))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(node, _)| node)
+            .unwrap_or(NodeId(0));
+
+        let mut landmarks = Vec::with_capacity(num_landmarks);
+        let mut dist: Vec<Vec<f64>> = Vec::with_capacity(num_landmarks);
+        let mut min_dist = vec![f64::INFINITY; n];
+        let mut current = first;
+        for _ in 0..num_landmarks {
+            landmarks.push(current);
+            searcher.run(g, current, &Goal::AllNodes);
+            let table: Vec<f64> = (0..n)
+                .map(|i| searcher.distance(NodeId::from_index(i)).unwrap_or(f64::INFINITY))
+                .collect();
+            for (m, &d) in min_dist.iter_mut().zip(&table) {
+                if d < *m {
+                    *m = d;
+                }
+            }
+            dist.push(table);
+            // Next landmark: farthest from the chosen set (finite only).
+            current = (0..n)
+                .filter(|&i| min_dist[i].is_finite())
+                .max_by(|&a, &b| min_dist[a].total_cmp(&min_dist[b]))
+                .map(NodeId::from_index)
+                .unwrap_or(current);
+        }
+        AltPreprocessing { landmarks, dist }
+    }
+
+    /// The selected landmark nodes.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Triangle-inequality lower bound on the network distance `‖n, t‖`.
+    ///
+    /// On undirected graphs `‖n,t‖ ≥ |d(L,t) − d(L,n)|` for every landmark
+    /// `L`; the heuristic takes the best (max) bound. Unreachable entries
+    /// contribute nothing.
+    #[inline]
+    pub fn lower_bound(&self, n: NodeId, t: NodeId) -> f64 {
+        let mut best = 0.0f64;
+        for table in &self.dist {
+            let (dn, dt) = (table[n.index()], table[t.index()]);
+            if dn.is_finite() && dt.is_finite() {
+                let bound = (dt - dn).abs();
+                if bound > best {
+                    best = bound;
+                }
+            }
+        }
+        best
+    }
+
+    /// Memory footprint of the tables, in entries (nodes × landmarks).
+    pub fn table_entries(&self) -> usize {
+        self.dist.iter().map(Vec::len).sum()
+    }
+}
+
+/// ALT search from `s` to `t` using precomputed landmark tables.
+pub fn alt<G: GraphView>(
+    g: &G,
+    pre: &AltPreprocessing,
+    s: NodeId,
+    t: NodeId,
+) -> (Option<Path>, SearchStats) {
+    astar_with(g, s, t, |n| pre.lower_bound(n, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::astar;
+    use crate::dijkstra::shortest_path;
+    use roadnet::generators::{GridConfig, NetworkClass, grid_network};
+
+    #[test]
+    fn alt_matches_dijkstra_on_all_classes() {
+        for class in NetworkClass::ALL {
+            let g = class.generate(600, 3).unwrap();
+            let pre = AltPreprocessing::build(&g, 6);
+            let n = g.num_nodes() as u32;
+            for (s, t) in [(0, n - 1), (n / 4, 3 * n / 4), (5, 5)] {
+                let (p, _) = alt(&g, &pre, NodeId(s), NodeId(t));
+                let d = shortest_path(&g, NodeId(s), NodeId(t)).unwrap();
+                let p = p.unwrap();
+                assert!(
+                    (p.distance() - d.distance()).abs() < 1e-9,
+                    "{} ({s},{t}): {} vs {}",
+                    class.name(),
+                    p.distance(),
+                    d.distance()
+                );
+                assert!(p.verify(&g, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn alt_settles_no_more_than_dijkstra() {
+        let g = NetworkClass::Radial.generate(800, 5).unwrap();
+        let pre = AltPreprocessing::build(&g, 8);
+        let n = g.num_nodes() as u32;
+        let mut searcher = Searcher::new();
+        let mut alt_total = 0u64;
+        let mut dij_total = 0u64;
+        for (s, t) in [(1, n - 2), (n / 3, 2 * n / 3), (10, n / 2)] {
+            let (_, st) = alt(&g, &pre, NodeId(s), NodeId(t));
+            alt_total += st.settled;
+            dij_total += searcher.run(&g, NodeId(s), &Goal::Single(NodeId(t))).settled;
+        }
+        assert!(alt_total <= dij_total, "ALT {alt_total} vs Dijkstra {dij_total}");
+    }
+
+    #[test]
+    fn alt_beats_euclidean_astar_on_radial_networks() {
+        // Straight-line distance is a poor bound when paths must follow
+        // rings; landmark bounds reason in network distance.
+        let g = NetworkClass::Radial.generate(800, 7).unwrap();
+        let pre = AltPreprocessing::build(&g, 8);
+        let n = g.num_nodes() as u32;
+        let mut alt_total = 0u64;
+        let mut astar_total = 0u64;
+        for (s, t) in [(1u32, n - 2), (n / 3, 2 * n / 3), (10, n / 2), (2, n - 10)] {
+            let (_, a) = alt(&g, &pre, NodeId(s), NodeId(t));
+            let (_, e) = astar(&g, NodeId(s), NodeId(t));
+            alt_total += a.settled;
+            astar_total += e.settled;
+        }
+        assert!(
+            alt_total < astar_total,
+            "ALT {alt_total} should beat Euclidean A* {astar_total} on radial"
+        );
+    }
+
+    #[test]
+    fn landmarks_are_distinct_and_spread() {
+        let g = grid_network(&GridConfig { width: 20, height: 20, seed: 1, ..Default::default() })
+            .unwrap();
+        let pre = AltPreprocessing::build(&g, 4);
+        let set: std::collections::HashSet<_> = pre.landmarks().iter().collect();
+        assert_eq!(set.len(), 4, "landmarks must be distinct");
+        assert_eq!(pre.table_entries(), 4 * 400);
+    }
+
+    #[test]
+    fn lower_bound_is_admissible() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 2, ..Default::default() })
+            .unwrap();
+        let pre = AltPreprocessing::build(&g, 5);
+        for (a, b) in [(0u32, 143u32), (7, 100), (50, 51), (12, 12)] {
+            let truth = crate::dijkstra::shortest_distance(&g, NodeId(a), NodeId(b)).unwrap();
+            let bound = pre.lower_bound(NodeId(a), NodeId(b));
+            assert!(
+                bound <= truth + 1e-9,
+                "bound {bound} exceeds true distance {truth} for ({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_landmark_works() {
+        let g = grid_network(&GridConfig { width: 6, height: 6, ..Default::default() }).unwrap();
+        let pre = AltPreprocessing::build(&g, 1);
+        let (p, _) = alt(&g, &pre, NodeId(0), NodeId(35));
+        let d = shortest_path(&g, NodeId(0), NodeId(35)).unwrap();
+        assert!((p.unwrap().distance() - d.distance()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one landmark")]
+    fn zero_landmarks_panics() {
+        let g = grid_network(&GridConfig { width: 4, height: 4, ..Default::default() }).unwrap();
+        let _ = AltPreprocessing::build(&g, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! A* search \[2\] with the Euclidean heuristic.
+//!
+//! The paper lists A* alongside Dijkstra as the server's path-query
+//! evaluator (§I). On road networks whose weights dominate straight-line
+//! distance (all our generators guarantee this), the Euclidean heuristic is
+//! admissible and consistent, so A* returns exact shortest paths while
+//! settling a fraction of Dijkstra's search area — a useful baseline when
+//! measuring what multi-destination sharing buys (a goal-directed search
+//! cannot aim at many destinations at once, which is exactly the trade-off
+//! obfuscated query processing faces).
+
+use crate::path::Path;
+use crate::stats::SearchStats;
+use roadnet::{GraphView, NodeId, Point};
+use std::collections::BinaryHeap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    f: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.f.total_cmp(&self.f).then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// A* from `s` to `t` with an arbitrary heuristic `h(n)` estimating the
+/// remaining distance from `n` to `t`.
+///
+/// Exact iff `h` is admissible (never overestimates); the stale-entry check
+/// additionally assumes consistency, which all heuristics in this crate
+/// (Euclidean, scaled Euclidean, ALT) satisfy. Returns the path (or `None`
+/// if unreachable) and the run's counters.
+pub fn astar_with<G, H>(g: &G, s: NodeId, t: NodeId, h: H) -> (Option<Path>, SearchStats)
+where
+    G: GraphView,
+    H: Fn(NodeId) -> f64,
+{
+    let n = g.num_nodes();
+    assert!(s.index() < n && t.index() < n, "endpoint out of range");
+    let mut stats = SearchStats::one_run();
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![NIL; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[s.index()] = 0.0;
+    heap.push(HeapEntry { f: h(s), node: s });
+    stats.heap_pushes += 1;
+
+    while let Some(HeapEntry { f, node }) = heap.pop() {
+        stats.heap_pops += 1;
+        if settled[node.index()] {
+            continue;
+        }
+        // Stale check: recomputing f from the current g-value is cheaper
+        // than storing g in the heap entry and is exact for consistent h.
+        if f > dist[node.index()] + h(node) + 1e-12 {
+            continue;
+        }
+        settled[node.index()] = true;
+        stats.settled += 1;
+        if node == t {
+            let mut nodes = vec![t];
+            let mut cur = t;
+            while parent[cur.index()] != NIL {
+                cur = NodeId(parent[cur.index()]);
+                nodes.push(cur);
+            }
+            nodes.reverse();
+            return (Some(Path::new(nodes, dist[t.index()])), stats);
+        }
+        let d_node = dist[node.index()];
+        g.for_each_arc(node, &mut |to, w| {
+            stats.relaxed += 1;
+            let cand = d_node + w;
+            if cand < dist[to.index()] {
+                dist[to.index()] = cand;
+                parent[to.index()] = node.0;
+                heap.push(HeapEntry { f: cand + h(to), node: to });
+                stats.heap_pushes += 1;
+            }
+        });
+    }
+    (None, stats)
+}
+
+/// A* using the Euclidean heuristic scaled by `h_scale`.
+///
+/// `h_scale = 1.0` is admissible whenever edge weights are at least the
+/// Euclidean distance between their endpoints
+/// ([`roadnet::RoadNetwork::euclidean_admissible`]); larger scales trade
+/// exactness for speed (weighted A*).
+pub fn astar_scaled<G: GraphView>(
+    g: &G,
+    s: NodeId,
+    t: NodeId,
+    h_scale: f64,
+) -> (Option<Path>, SearchStats) {
+    assert!(h_scale >= 0.0 && h_scale.is_finite(), "invalid heuristic scale");
+    let goal: Point = g.point(t);
+    astar_with(g, s, t, |node| g.point(node).distance(goal) * h_scale)
+}
+
+/// Exact A* (`h_scale = 1.0`).
+pub fn astar<G: GraphView>(g: &G, s: NodeId, t: NodeId) -> (Option<Path>, SearchStats) {
+    astar_scaled(g, s, t, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::shortest_path;
+    use roadnet::generators::{GeometricConfig, GridConfig, grid_network, random_geometric};
+
+    #[test]
+    fn astar_matches_dijkstra_on_grid() {
+        let g = grid_network(&GridConfig { width: 15, height: 15, seed: 4, ..Default::default() })
+            .unwrap();
+        for (s, t) in [(0u32, 224u32), (7, 120), (200, 3), (50, 50)] {
+            let (ap, _) = astar(&g, NodeId(s), NodeId(t));
+            let dp = shortest_path(&g, NodeId(s), NodeId(t));
+            match (ap, dp) {
+                (Some(a), Some(d)) => {
+                    assert!((a.distance() - d.distance()).abs() < 1e-9, "({s},{t})");
+                    assert!(a.verify(&g, 1e-9));
+                }
+                (None, None) => {}
+                other => panic!("reachability mismatch for ({s},{t}): {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn astar_settles_fewer_nodes_than_dijkstra() {
+        let g = random_geometric(&GeometricConfig { num_nodes: 2000, seed: 8, ..Default::default() })
+            .unwrap();
+        let s = NodeId(0);
+        let t = NodeId(1999);
+        let (_, a_stats) = astar(&g, s, t);
+        let mut searcher = crate::dijkstra::Searcher::new();
+        let d_stats = searcher.run(&g, s, &crate::dijkstra::Goal::Single(t));
+        assert!(
+            a_stats.settled < d_stats.settled,
+            "A* {} vs Dijkstra {}",
+            a_stats.settled,
+            d_stats.settled
+        );
+    }
+
+    #[test]
+    fn weighted_astar_is_faster_but_bounded_suboptimal() {
+        let g = grid_network(&GridConfig { width: 25, height: 25, seed: 6, ..Default::default() })
+            .unwrap();
+        let (s, t) = (NodeId(0), NodeId(624));
+        let (exact, exact_stats) = astar(&g, s, t);
+        let (greedy, greedy_stats) = astar_scaled(&g, s, t, 2.0);
+        let exact = exact.unwrap();
+        let greedy = greedy.unwrap();
+        // Weighted A* with scale w is w-suboptimal at worst.
+        assert!(greedy.distance() <= exact.distance() * 2.0 + 1e-9);
+        assert!(greedy.distance() >= exact.distance() - 1e-9);
+        assert!(greedy_stats.settled <= exact_stats.settled);
+    }
+
+    #[test]
+    fn zero_scale_degenerates_to_dijkstra() {
+        let g = grid_network(&GridConfig { width: 10, height: 10, seed: 2, ..Default::default() })
+            .unwrap();
+        let (p, _) = astar_scaled(&g, NodeId(0), NodeId(99), 0.0);
+        let d = shortest_path(&g, NodeId(0), NodeId(99)).unwrap();
+        assert!((p.unwrap().distance() - d.distance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_and_unreachable_cases() {
+        let g = grid_network(&GridConfig { width: 4, height: 4, ..Default::default() }).unwrap();
+        let (p, _) = astar(&g, NodeId(5), NodeId(5));
+        assert!(p.unwrap().is_trivial());
+    }
+}

@@ -1,0 +1,188 @@
+//! The Lemma 1 cost model.
+//!
+//! §III-B estimates the cost of a Dijkstra search "with s as the center and
+//! the distance from s to t as the radius of a search area … as
+//! `O(‖s,t‖²)`", and Lemma 1 extends this to an obfuscated path query:
+//! `O(Σ_{s∈S} max_{t∈T} ‖s,t‖²)`. This module turns the asymptotic claim
+//! into a *calibrated, testable* model: fit the constant on sample queries,
+//! then predict the cost of arbitrary (obfuscated) queries and compare with
+//! measurements (experiment E4).
+
+use crate::dijkstra::{Goal, Searcher};
+use rand::Rng;
+use roadnet::{GraphView, NodeId};
+
+/// `settled ≈ coeff · ‖s,t‖²`, fitted through the origin by least squares.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Settled nodes per squared unit of network distance.
+    pub coeff: f64,
+    /// Coefficient of determination of the fit on the calibration sample.
+    pub r_squared: f64,
+    /// Number of (distance, settled) observations used.
+    pub samples: usize,
+}
+
+impl CostModel {
+    /// Fit the model on `samples` random single-pair queries over `g`.
+    ///
+    /// Observations with zero distance (s == t) are skipped. Requires at
+    /// least one usable observation.
+    pub fn calibrate<G, R>(g: &G, samples: usize, rng: &mut R) -> CostModel
+    where
+        G: GraphView,
+        R: Rng + ?Sized,
+    {
+        let n = g.num_nodes();
+        assert!(n >= 2, "need at least two nodes to calibrate");
+        let mut searcher = Searcher::new();
+        let mut obs: Vec<(f64, f64)> = Vec::with_capacity(samples);
+        while obs.len() < samples {
+            let s = NodeId(rng.gen_range(0..n as u32));
+            let t = NodeId(rng.gen_range(0..n as u32));
+            if s == t {
+                continue;
+            }
+            let stats = searcher.run(g, s, &Goal::Single(t));
+            let Some(d) = searcher.distance(t) else { continue };
+            if d <= 0.0 {
+                continue;
+            }
+            obs.push((d, stats.settled as f64));
+        }
+        Self::fit(&obs)
+    }
+
+    /// Fit from explicit `(distance, settled)` observations.
+    pub fn fit(observations: &[(f64, f64)]) -> CostModel {
+        assert!(!observations.is_empty(), "need observations to fit");
+        // Least squares through origin for y = c·x with x = d².
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        for &(d, y) in observations {
+            let x = d * d;
+            sxy += x * y;
+            sxx += x * x;
+        }
+        let coeff = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+
+        let mean_y: f64 =
+            observations.iter().map(|&(_, y)| y).sum::<f64>() / observations.len() as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for &(d, y) in observations {
+            let pred = coeff * d * d;
+            ss_res += (y - pred) * (y - pred);
+            ss_tot += (y - mean_y) * (y - mean_y);
+        }
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        CostModel { coeff, r_squared, samples: observations.len() }
+    }
+
+    /// Predicted settled nodes for a single-pair query of network distance `d`.
+    pub fn predict(&self, d: f64) -> f64 {
+        self.coeff * d * d
+    }
+
+    /// Lemma 1: predicted total settled nodes for an obfuscated query, given
+    /// for each source the *maximum* network distance to any target.
+    pub fn predict_obfuscated(&self, max_dist_per_source: &[f64]) -> f64 {
+        max_dist_per_source.iter().map(|&d| self.predict(d)).sum()
+    }
+}
+
+/// Measured vs predicted pair, with relative error, as recorded by E4.
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+pub struct CostObservation {
+    pub predicted: f64,
+    pub measured: f64,
+}
+
+impl CostObservation {
+    /// `|measured − predicted| / measured` (0 when both are 0).
+    pub fn relative_error(&self) -> f64 {
+        if self.measured == 0.0 {
+            if self.predicted == 0.0 { 0.0 } else { f64::INFINITY }
+        } else {
+            (self.measured - self.predicted).abs() / self.measured
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+    use roadnet::generators::{GridConfig, grid_network};
+
+    #[test]
+    fn fit_recovers_exact_quadratic() {
+        let obs: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 3.5 * (i * i) as f64)).collect();
+        let m = CostModel::fit(&obs);
+        assert!((m.coeff - 3.5).abs() < 1e-9);
+        assert!(m.r_squared > 0.999999);
+        assert_eq!(m.samples, 19);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let obs: Vec<(f64, f64)> = (1..50)
+            .map(|i| {
+                let d = i as f64 / 2.0;
+                // ±10% deterministic "noise".
+                let noise = 1.0 + 0.1 * ((i % 5) as f64 - 2.0) / 2.0;
+                (d, 2.0 * d * d * noise)
+            })
+            .collect();
+        let m = CostModel::fit(&obs);
+        assert!((m.coeff - 2.0).abs() < 0.2, "coeff {}", m.coeff);
+        assert!(m.r_squared > 0.9);
+    }
+
+    #[test]
+    fn calibration_on_grid_explains_cost_well() {
+        // On a grid, the settled area of a Dijkstra ball of radius d is
+        // genuinely Θ(d²), so the model should fit tightly.
+        let g = grid_network(&GridConfig { width: 40, height: 40, seed: 17, ..Default::default() })
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let m = CostModel::calibrate(&g, 60, &mut rng);
+        assert!(m.coeff > 0.0);
+        assert!(m.r_squared > 0.6, "r² {} too low for a grid", m.r_squared);
+
+        // Out-of-sample check on a fresh *interior* query: the quadratic
+        // model assumes the Dijkstra ball is not clipped by the network
+        // boundary, so corner-to-corner pairs (clipped to a quarter-ball)
+        // are exactly where the O(d²) bound is loose.
+        let mut searcher = Searcher::new();
+        let (s, t) = (NodeId(20 * 40 + 20), NodeId(28 * 40 + 28));
+        let stats = searcher.run(&g, s, &Goal::Single(t));
+        let d = searcher.distance(t).unwrap();
+        let obs = CostObservation { predicted: m.predict(d), measured: stats.settled as f64 };
+        assert!(obs.relative_error() < 0.8, "relative error {}", obs.relative_error());
+    }
+
+    #[test]
+    fn obfuscated_prediction_is_sum_over_sources() {
+        let m = CostModel { coeff: 2.0, r_squared: 1.0, samples: 0 };
+        let pred = m.predict_obfuscated(&[1.0, 2.0, 3.0]);
+        assert!((pred - 2.0 * (1.0 + 4.0 + 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(CostObservation { predicted: 0.0, measured: 0.0 }.relative_error(), 0.0);
+        assert!(CostObservation { predicted: 1.0, measured: 0.0 }
+            .relative_error()
+            .is_infinite());
+        let o = CostObservation { predicted: 8.0, measured: 10.0 };
+        assert!((o.relative_error() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need observations")]
+    fn empty_fit_panics() {
+        let _ = CostModel::fit(&[]);
+    }
+}

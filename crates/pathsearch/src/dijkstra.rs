@@ -1,0 +1,396 @@
+//! Dijkstra's algorithm \[1\] — the server's baseline path-query evaluator —
+//! including the single-source **multi-destination** variant the paper's
+//! Lemma 1 builds on: "Dijkstra's algorithm is extensible to search paths
+//! from a single source to multiple destinations by forming a spanning tree
+//! until all the destinations are reached" (§III-B).
+//!
+//! The implementation is a lazy-deletion binary-heap Dijkstra over a
+//! reusable, epoch-stamped search space ([`Searcher`]), so repeated queries
+//! on the same network pay no per-query `O(n)` initialization — the cost of
+//! a query is proportional to the area it actually explores, which is the
+//! quantity Lemma 1 reasons about.
+
+use crate::path::Path;
+use crate::stats::SearchStats;
+use roadnet::{GraphView, NodeId};
+use std::collections::BinaryHeap;
+
+/// Search termination condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Goal {
+    /// Settle every reachable node (full spanning tree).
+    AllNodes,
+    /// Stop as soon as this node is settled.
+    Single(NodeId),
+    /// Stop as soon as *all* of these nodes are settled — the
+    /// multi-destination extension of §III-B.
+    Set(Vec<NodeId>),
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Max-heap entry ordered so the *smallest* distance pops first.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    key: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse on key for min-heap behaviour; tie-break on node id for
+        // determinism across runs.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// Reusable search space: distance/parent labels validated by an epoch
+/// stamp, so starting a new search is O(1).
+///
+/// After [`Searcher::run`] the labels of the *last* search remain readable
+/// through [`Searcher::distance`] / [`Searcher::path_to`] until the next
+/// search starts.
+#[derive(Debug, Default)]
+pub struct Searcher {
+    dist: Vec<f64>,
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl Searcher {
+    /// Create an empty searcher; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, NIL);
+            self.stamp.resize(n, 0);
+        }
+        self.heap.clear();
+        // Epoch 0 is the "never touched" stamp; skip it on wrap-around.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn is_current(&self, n: NodeId) -> bool {
+        self.stamp[n.index()] == self.epoch
+    }
+
+    #[inline]
+    fn label(&mut self, n: NodeId, d: f64, parent: u32) {
+        let i = n.index();
+        self.dist[i] = d;
+        self.parent[i] = parent;
+        self.stamp[i] = self.epoch;
+    }
+
+    /// Run Dijkstra from `source` until `goal` is met. Returns per-run
+    /// counters; query labels afterwards via [`Searcher::distance`] and
+    /// [`Searcher::path_to`].
+    pub fn run<G: GraphView>(&mut self, g: &G, source: NodeId, goal: &Goal) -> SearchStats {
+        let n = g.num_nodes();
+        assert!(source.index() < n, "source out of range");
+        self.begin(n);
+        let mut stats = SearchStats::one_run();
+
+        // `settled` marker: parent stays NIL for the source, so track
+        // settledness via a sentinel on dist updates — we reuse the stamp
+        // array by storing *labelled* state and a separate settled bitmap
+        // would cost O(n); instead mark settled by negating the stamp trick:
+        // a node is settled once popped fresh. Lazy deletion guarantees the
+        // first fresh pop carries the final distance.
+        let mut remaining: Vec<NodeId> = match goal {
+            Goal::Set(set) => {
+                let mut v = set.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            _ => Vec::new(),
+        };
+        let mut remaining_count = remaining.len();
+
+        self.label(source, 0.0, NIL);
+        self.heap.push(HeapEntry { key: 0.0, node: source });
+        stats.heap_pushes += 1;
+
+        let mut settled_flag = vec![0u64; n.div_ceil(64)]; // settled-node bitmap
+        let is_settled = |flags: &mut Vec<u64>, node: NodeId| -> bool {
+            let (w, b) = (node.index() / 64, node.index() % 64);
+            let hit = flags[w] >> b & 1 == 1;
+            flags[w] |= 1 << b;
+            hit
+        };
+
+        while let Some(HeapEntry { key, node }) = self.heap.pop() {
+            stats.heap_pops += 1;
+            // Stale entry: a shorter label was already settled.
+            if key > self.dist[node.index()] || is_settled(&mut settled_flag, node) {
+                continue;
+            }
+            stats.settled += 1;
+
+            match goal {
+                Goal::Single(t) if *t == node => return stats,
+                Goal::Set(_) => {
+                    if let Ok(pos) = remaining.binary_search(&node) {
+                        remaining.remove(pos);
+                        remaining_count -= 1;
+                        if remaining_count == 0 {
+                            return stats;
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            let d_node = self.dist[node.index()];
+            let epoch = self.epoch;
+            // Split borrows: relax arcs, pushing improved labels.
+            let (dist, parent, stamp, heap) =
+                (&mut self.dist, &mut self.parent, &mut self.stamp, &mut self.heap);
+            g.for_each_arc(node, &mut |to, w| {
+                stats.relaxed += 1;
+                let cand = d_node + w;
+                let i = to.index();
+                let fresh = stamp[i] != epoch;
+                if fresh || cand < dist[i] {
+                    dist[i] = cand;
+                    parent[i] = node.0;
+                    stamp[i] = epoch;
+                    heap.push(HeapEntry { key: cand, node: to });
+                    stats.heap_pushes += 1;
+                }
+            });
+        }
+        stats
+    }
+
+    /// Final distance to `n` from the last run's source, if `n` was
+    /// labelled. Only exact (settled) for nodes the run settled before
+    /// terminating; for an early-terminated run, nodes beyond the goal may
+    /// carry tentative labels.
+    pub fn distance(&self, n: NodeId) -> Option<f64> {
+        if n.index() < self.stamp.len() && self.is_current(n) {
+            Some(self.dist[n.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Reconstruct the path from the last run's source to `t`.
+    pub fn path_to(&self, t: NodeId) -> Option<Path> {
+        if t.index() >= self.stamp.len() || !self.is_current(t) {
+            return None;
+        }
+        let mut nodes = vec![t];
+        let mut cur = t;
+        while self.parent[cur.index()] != NIL {
+            cur = NodeId(self.parent[cur.index()]);
+            nodes.push(cur);
+            debug_assert!(nodes.len() <= self.stamp.len(), "parent cycle");
+        }
+        nodes.reverse();
+        Some(Path::new(nodes, self.dist[t.index()]))
+    }
+}
+
+/// One-shot shortest path `P(s,t)`; `None` if `t` is unreachable.
+pub fn shortest_path<G: GraphView>(g: &G, s: NodeId, t: NodeId) -> Option<Path> {
+    let mut searcher = Searcher::new();
+    searcher.run(g, s, &Goal::Single(t));
+    searcher.path_to(t)
+}
+
+/// One-shot shortest-path distance `‖s,t‖`.
+pub fn shortest_distance<G: GraphView>(g: &G, s: NodeId, t: NodeId) -> Option<f64> {
+    let mut searcher = Searcher::new();
+    searcher.run(g, s, &Goal::Single(t));
+    searcher.distance(t)
+}
+
+/// One-shot single-source multi-destination search (§III-B): paths from `s`
+/// to each target, in target order, plus the run's counters.
+pub fn multi_destination<G: GraphView>(
+    g: &G,
+    s: NodeId,
+    targets: &[NodeId],
+) -> (Vec<Option<Path>>, SearchStats) {
+    let mut searcher = Searcher::new();
+    let stats = searcher.run(g, s, &Goal::Set(targets.to_vec()));
+    let paths = targets.iter().map(|&t| searcher.path_to(t)).collect();
+    (paths, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generators::{GridConfig, grid_network};
+    use roadnet::{GraphBuilder, Point};
+
+    fn diamond() -> roadnet::RoadNetwork {
+        // 0 —1→ 1 —1→ 3 ; 0 —3→ 2 —0.5→ 3 : best 0→1→3 = 2.0
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 3.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_shortest_path_in_diamond() {
+        let g = diamond();
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert!((p.distance() - 2.0).abs() < 1e-12);
+        assert!(p.verify(&g, 1e-9));
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = diamond();
+        let p = shortest_path(&g, NodeId(2), NodeId(2)).unwrap();
+        assert!(p.is_trivial());
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Point::new(0.0, 0.0)).unwrap();
+        b.add_node(Point::new(1.0, 0.0)).unwrap();
+        b.add_node(Point::new(2.0, 0.0)).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(shortest_path(&g, NodeId(0), NodeId(2)).is_none());
+        assert!(shortest_distance(&g, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn early_termination_settles_fewer_nodes_than_full_tree() {
+        let g = grid_network(&GridConfig { width: 24, height: 24, seed: 1, ..Default::default() })
+            .unwrap();
+        let mut s = Searcher::new();
+        let full = s.run(&g, NodeId(0), &Goal::AllNodes);
+        let single = s.run(&g, NodeId(0), &Goal::Single(NodeId(25))); // a nearby node
+        assert!(single.settled < full.settled / 4, "{} vs {}", single.settled, full.settled);
+        assert_eq!(full.settled, 24 * 24, "full tree settles every node");
+    }
+
+    #[test]
+    fn multi_destination_matches_individual_searches() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 3, ..Default::default() })
+            .unwrap();
+        let s = NodeId(5);
+        let targets = [NodeId(100), NodeId(37), NodeId(143), NodeId(9)];
+        let (paths, stats) = multi_destination(&g, s, &targets);
+        for (i, &t) in targets.iter().enumerate() {
+            let solo = shortest_path(&g, s, t).unwrap();
+            let multi = paths[i].as_ref().unwrap();
+            assert!((solo.distance() - multi.distance()).abs() < 1e-9, "target {t}");
+            assert!(multi.verify(&g, 1e-9));
+        }
+        // Multi-destination cost ≤ sum of individual costs.
+        let individual: u64 = targets
+            .iter()
+            .map(|&t| {
+                let mut se = Searcher::new();
+                se.run(&g, s, &Goal::Single(t)).settled
+            })
+            .sum();
+        assert!(stats.settled <= individual);
+    }
+
+    #[test]
+    fn multi_destination_cost_tracks_farthest_target_only() {
+        // Lemma 1's observation: adding near targets to a far one is ~free.
+        let g = grid_network(&GridConfig { width: 30, height: 30, seed: 7, ..Default::default() })
+            .unwrap();
+        let s = NodeId(0);
+        let far = NodeId(30 * 30 - 1);
+        let mut searcher = Searcher::new();
+        let far_only = searcher.run(&g, s, &Goal::Set(vec![far]));
+        let with_near = searcher.run(&g, s, &Goal::Set(vec![far, NodeId(31), NodeId(62), NodeId(100)]));
+        let ratio = with_near.settled as f64 / far_only.settled as f64;
+        assert!(ratio <= 1.05, "near targets inflated cost by {ratio}");
+    }
+
+    #[test]
+    fn duplicate_targets_are_handled() {
+        let g = diamond();
+        let (paths, _) = multi_destination(&g, NodeId(0), &[NodeId(3), NodeId(3)]);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0], paths[1]);
+    }
+
+    #[test]
+    fn searcher_reuse_resets_labels() {
+        let g = diamond();
+        let mut s = Searcher::new();
+        s.run(&g, NodeId(0), &Goal::AllNodes);
+        assert!(s.distance(NodeId(3)).is_some());
+        s.run(&g, NodeId(3), &Goal::Single(NodeId(2)));
+        // Distance now from node 3, not node 0.
+        assert!((s.distance(NodeId(2)).unwrap() - 0.5).abs() < 1e-12);
+        // Node 1 may or may not be labelled; if labelled, from the new source.
+        if let Some(d) = s.distance(NodeId(1)) {
+            assert!(d >= 0.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths: parents must be chosen deterministically.
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let p1 = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        let p2 = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p1, p2);
+        assert!((p1.distance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let g = grid_network(&GridConfig { width: 10, height: 10, seed: 0, ..Default::default() })
+            .unwrap();
+        let mut s = Searcher::new();
+        let st = s.run(&g, NodeId(0), &Goal::AllNodes);
+        assert_eq!(st.runs, 1);
+        assert_eq!(st.settled, 100);
+        assert!(st.relaxed >= st.settled);
+        assert!(st.heap_pops <= st.heap_pushes);
+    }
+}

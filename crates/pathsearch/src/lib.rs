@@ -1,0 +1,57 @@
+//! # pathsearch — shortest-path algorithms for the OPAQUE reproduction
+//!
+//! The directions-search server of the paper (Lee, Lee, Leong & Zheng,
+//! ICDE 2009) answers path queries with "well-known shortest path
+//! algorithms" (§I) and answers *obfuscated* path queries with
+//! multiple-source multiple-destination (MSMD) searches (§IV). This crate
+//! implements all of them over any [`roadnet::GraphView`] — so the same
+//! algorithms run against the plain in-memory network or the CCAM-style
+//! paged store, with computation counted by [`SearchStats`] and I/O counted
+//! by the storage layer:
+//!
+//! * [`dijkstra`] — lazy-deletion Dijkstra with a reusable epoch-stamped
+//!   search space; single-destination, full-tree, and the paper's
+//!   multi-destination early-termination variant;
+//! * [`mod@astar`] — exact and weighted A* with the Euclidean heuristic;
+//! * [`mod@alt`] — ALT (A* with landmarks + triangle inequality), an extension
+//!   whose heuristic reasons in network distance;
+//! * [`mod@bidirectional`] — bidirectional Dijkstra, the strongest single-pair
+//!   baseline;
+//! * [`multi`] — the MSMD processor with selectable sharing policies;
+//! * [`cost`] — the calibrated `O(‖s,t‖²)` cost model of Lemma 1.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use roadnet::generators::{GridConfig, grid_network};
+//! use roadnet::NodeId;
+//! use pathsearch::{shortest_path, msmd, SharingPolicy};
+//!
+//! let net = grid_network(&GridConfig { width: 10, height: 10, ..Default::default() }).unwrap();
+//! let path = shortest_path(&net, NodeId(0), NodeId(99)).unwrap();
+//! assert!(path.verify(&net, 1e-9));
+//!
+//! // An obfuscated query: 2 sources × 2 destinations, one shared tree per source.
+//! let r = msmd(&net, &[NodeId(0), NodeId(9)], &[NodeId(99), NodeId(90)], SharingPolicy::PerSource);
+//! assert_eq!(r.num_paths(), 4);
+//! ```
+
+pub mod alt;
+pub mod astar;
+pub mod bidirectional;
+pub mod cost;
+pub mod dijkstra;
+pub mod multi;
+pub mod path;
+pub mod range;
+pub mod stats;
+
+pub use alt::{AltPreprocessing, alt};
+pub use astar::{astar, astar_scaled, astar_with};
+pub use range::{range_search, ring_search};
+pub use bidirectional::bidirectional;
+pub use cost::{CostModel, CostObservation};
+pub use dijkstra::{Goal, Searcher, multi_destination, shortest_distance, shortest_path};
+pub use multi::{MsmdResult, SharingPolicy, msmd};
+pub use path::Path;
+pub use stats::SearchStats;

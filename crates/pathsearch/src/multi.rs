@@ -1,0 +1,313 @@
+//! Multiple-source multiple-destination (MSMD) path search — the engine of
+//! the obfuscated path query processor (§IV: "a set of efficient multiple
+//! source multiple destination path search algorithms have been designed and
+//! implemented by OPAQUE").
+//!
+//! An obfuscated path query `Q(S, T)` stands for the set of path queries
+//! `{Q(s,t) : s ∈ S, t ∈ T}` and the server must answer *all* of them
+//! (Definition 1 — it cannot know which is real). Three evaluation policies
+//! are provided:
+//!
+//! * [`SharingPolicy::None`] — `|S|·|T|` independent single-pair Dijkstra
+//!   runs; the naive baseline whose cost obfuscation must beat;
+//! * [`SharingPolicy::PerSource`] — one multi-destination Dijkstra per
+//!   source, the strategy behind Lemma 1's
+//!   `O(Σ_{s∈S} max_{t∈T} ‖s,t‖²)` bound;
+//! * [`SharingPolicy::Auto`] — per-source sharing over the smaller of the
+//!   two sides: when `|T| < |S|` and the network is symmetric (undirected),
+//!   run one multi-destination search per *target* instead and transpose,
+//!   reducing the spanning-tree count from `|S|` to `min(|S|, |T|)`.
+
+use crate::dijkstra::{Goal, Searcher};
+use crate::path::Path;
+use crate::stats::SearchStats;
+use roadnet::{GraphView, NodeId};
+
+/// Evaluation strategy for an MSMD query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SharingPolicy {
+    /// Independent Dijkstra per (source, target) pair.
+    None,
+    /// One multi-destination Dijkstra per source (§III-B).
+    PerSource,
+    /// Per-source sharing over the smaller side when the graph view reports
+    /// itself symmetric ([`GraphView::is_symmetric`]); on directed views it
+    /// safely degrades to [`SharingPolicy::PerSource`].
+    Auto,
+}
+
+impl SharingPolicy {
+    /// Short name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SharingPolicy::None => "naive",
+            SharingPolicy::PerSource => "per-source",
+            SharingPolicy::Auto => "auto",
+        }
+    }
+}
+
+/// Result of one MSMD evaluation: `paths[i][j]` answers `Q(sources[i],
+/// targets[j])` (`None` when disconnected), with aggregate and per-tree
+/// counters.
+#[derive(Clone, Debug)]
+pub struct MsmdResult {
+    pub paths: Vec<Vec<Option<Path>>>,
+    pub stats: SearchStats,
+    /// Counters per spanning tree actually grown (one per source for
+    /// `PerSource`, per pair for `None`, per smaller-side element for
+    /// `Auto`).
+    pub per_tree: Vec<SearchStats>,
+}
+
+impl MsmdResult {
+    /// Total number of result paths (excluding unreachable pairs).
+    pub fn num_paths(&self) -> usize {
+        self.paths.iter().flatten().filter(|p| p.is_some()).count()
+    }
+
+    /// Network distance `‖s_i, t_j‖`, if connected.
+    pub fn distance(&self, i: usize, j: usize) -> Option<f64> {
+        self.paths[i][j].as_ref().map(|p| p.distance())
+    }
+}
+
+/// Evaluate the MSMD query `(sources × targets)` under `policy`.
+///
+/// # Panics
+/// Panics if `sources` or `targets` is empty or contains an out-of-range
+/// node — an obfuscated query always carries at least the true endpoints.
+pub fn msmd<G: GraphView>(
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    policy: SharingPolicy,
+) -> MsmdResult {
+    assert!(!sources.is_empty() && !targets.is_empty(), "S and T must be non-empty");
+    let n = g.num_nodes();
+    for &x in sources.iter().chain(targets) {
+        assert!(x.index() < n, "node {x} out of range");
+    }
+
+    match policy {
+        SharingPolicy::None => msmd_naive(g, sources, targets),
+        SharingPolicy::PerSource => msmd_per_source(g, sources, targets),
+        SharingPolicy::Auto => {
+            if targets.len() < sources.len() && g.is_symmetric() {
+                let transposed = msmd_per_source(g, targets, sources);
+                transpose(transposed, sources.len(), targets.len())
+            } else {
+                msmd_per_source(g, sources, targets)
+            }
+        }
+    }
+}
+
+fn msmd_naive<G: GraphView>(g: &G, sources: &[NodeId], targets: &[NodeId]) -> MsmdResult {
+    let mut searcher = Searcher::new();
+    let mut stats = SearchStats::default();
+    let mut per_tree = Vec::with_capacity(sources.len() * targets.len());
+    let mut paths = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let mut row = Vec::with_capacity(targets.len());
+        for &t in targets {
+            let run = searcher.run(g, s, &Goal::Single(t));
+            stats.merge(run);
+            per_tree.push(run);
+            row.push(searcher.path_to(t));
+        }
+        paths.push(row);
+    }
+    MsmdResult { paths, stats, per_tree }
+}
+
+fn msmd_per_source<G: GraphView>(g: &G, sources: &[NodeId], targets: &[NodeId]) -> MsmdResult {
+    let mut searcher = Searcher::new();
+    let mut stats = SearchStats::default();
+    let mut per_tree = Vec::with_capacity(sources.len());
+    let goal = Goal::Set(targets.to_vec());
+    let mut paths = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let run = searcher.run(g, s, &goal);
+        stats.merge(run);
+        per_tree.push(run);
+        paths.push(targets.iter().map(|&t| searcher.path_to(t)).collect());
+    }
+    MsmdResult { paths, stats, per_tree }
+}
+
+/// Transpose a result computed with sources/targets swapped (undirected
+/// networks only; paths are reversed back into `s → t` orientation).
+fn transpose(r: MsmdResult, num_sources: usize, num_targets: usize) -> MsmdResult {
+    debug_assert_eq!(r.paths.len(), num_targets);
+    let mut paths: Vec<Vec<Option<Path>>> = (0..num_sources)
+        .map(|_| vec![None; num_targets])
+        .collect();
+    for (j, row) in r.paths.into_iter().enumerate() {
+        for (i, p) in row.into_iter().enumerate() {
+            paths[i][j] = p.map(|mut p| {
+                p.reverse();
+                p
+            });
+        }
+    }
+    MsmdResult { paths, stats: r.stats, per_tree: r.per_tree }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // (i, j) index the result matrix and both sets in lockstep
+mod tests {
+    use super::*;
+    use roadnet::generators::{GridConfig, NetworkClass, grid_network};
+
+    fn net() -> roadnet::RoadNetwork {
+        grid_network(&GridConfig { width: 16, height: 16, seed: 21, ..Default::default() }).unwrap()
+    }
+
+    fn sample_sets(n: u32) -> (Vec<NodeId>, Vec<NodeId>) {
+        let sources = vec![NodeId(0), NodeId(n / 5), NodeId(n / 2)];
+        let targets = vec![NodeId(n - 1), NodeId(n - n / 4), NodeId(2 * n / 3), NodeId(n / 7)];
+        (sources, targets)
+    }
+
+    #[test]
+    fn all_policies_agree_on_distances() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        let naive = msmd(&g, &s, &t, SharingPolicy::None);
+        let shared = msmd(&g, &s, &t, SharingPolicy::PerSource);
+        let auto = msmd(&g, &s, &t, SharingPolicy::Auto);
+        for i in 0..s.len() {
+            for j in 0..t.len() {
+                let d0 = naive.distance(i, j).unwrap();
+                let d1 = shared.distance(i, j).unwrap();
+                let d2 = auto.distance(i, j).unwrap();
+                assert!((d0 - d1).abs() < 1e-9, "naive vs per-source at ({i},{j})");
+                assert!((d0 - d2).abs() < 1e-9, "naive vs auto at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_verifiable_and_oriented() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        for policy in [SharingPolicy::None, SharingPolicy::PerSource, SharingPolicy::Auto] {
+            let r = msmd(&g, &s, &t, policy);
+            for i in 0..s.len() {
+                for j in 0..t.len() {
+                    let p = r.paths[i][j].as_ref().unwrap();
+                    assert_eq!(p.source(), s[i], "{}", policy.name());
+                    assert_eq!(p.destination(), t[j], "{}", policy.name());
+                    assert!(p.verify(&g, 1e-9), "{}", policy.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_reduces_settled_nodes() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        let naive = msmd(&g, &s, &t, SharingPolicy::None);
+        let shared = msmd(&g, &s, &t, SharingPolicy::PerSource);
+        assert!(
+            shared.stats.settled < naive.stats.settled,
+            "shared {} vs naive {}",
+            shared.stats.settled,
+            naive.stats.settled
+        );
+        assert_eq!(shared.per_tree.len(), s.len());
+        assert_eq!(naive.per_tree.len(), s.len() * t.len());
+    }
+
+    #[test]
+    fn auto_picks_smaller_side() {
+        let g = net();
+        // 5 sources, 2 targets: auto should grow only 2 trees.
+        let sources: Vec<NodeId> = (0..5).map(|i| NodeId(i * 40)).collect();
+        let targets = vec![NodeId(255), NodeId(17)];
+        let auto = msmd(&g, &sources, &targets, SharingPolicy::Auto);
+        assert_eq!(auto.per_tree.len(), 2);
+        // And still answer all 10 pairs correctly.
+        let naive = msmd(&g, &sources, &targets, SharingPolicy::None);
+        for i in 0..5 {
+            for j in 0..2 {
+                assert!(
+                    (auto.distance(i, j).unwrap() - naive.distance(i, j).unwrap()).abs() < 1e-9
+                );
+                let p = auto.paths[i][j].as_ref().unwrap();
+                assert_eq!(p.source(), sources[i]);
+                assert_eq!(p.destination(), targets[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_all_network_classes() {
+        for class in NetworkClass::ALL {
+            let g = class.generate(500, 3).unwrap();
+            let n = g.num_nodes() as u32;
+            let s = vec![NodeId(0), NodeId(n / 2)];
+            let t = vec![NodeId(n - 1), NodeId(n / 3), NodeId(2 * n / 5)];
+            let r = msmd(&g, &s, &t, SharingPolicy::Auto);
+            assert_eq!(r.num_paths(), 6, "{}", class.name());
+        }
+    }
+
+    #[test]
+    fn overlapping_sources_and_targets() {
+        let g = net();
+        let s = vec![NodeId(10), NodeId(20)];
+        let t = vec![NodeId(20), NodeId(10)];
+        let r = msmd(&g, &s, &t, SharingPolicy::PerSource);
+        // Q(10,10) and Q(20,20) are trivial paths.
+        assert!(r.paths[0][1].as_ref().unwrap().is_trivial());
+        assert!(r.paths[1][0].as_ref().unwrap().is_trivial());
+        assert!(r.paths[0][0].as_ref().unwrap().distance() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sources_panic() {
+        let g = net();
+        let _ = msmd(&g, &[], &[NodeId(0)], SharingPolicy::PerSource);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(SharingPolicy::None.name(), "naive");
+        assert_eq!(SharingPolicy::PerSource.name(), "per-source");
+        assert_eq!(SharingPolicy::Auto.name(), "auto");
+    }
+
+    #[test]
+    fn auto_does_not_transpose_on_directed_graphs() {
+        use roadnet::{GraphBuilder, Point};
+        // Directed chain 0 → 1 → 2 with an expensive reverse detour
+        // 2 → 3 → 0: transposing roles would compute wrong distances.
+        let mut b = GraphBuilder::directed();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 10.0).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 10.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(!roadnet::GraphView::is_symmetric(&g));
+
+        // 3 sources, 1 target: Auto would love to transpose, but must not.
+        let sources = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let targets = vec![NodeId(2)];
+        let auto = msmd(&g, &sources, &targets, SharingPolicy::Auto);
+        let naive = msmd(&g, &sources, &targets, SharingPolicy::None);
+        for i in 0..3 {
+            assert_eq!(auto.distance(i, 0), naive.distance(i, 0), "source {i}");
+        }
+        // Directed distances are asymmetric: 0→2 is 2, 2→0 is 20.
+        assert!((auto.distance(0, 0).unwrap() - 2.0).abs() < 1e-12);
+        // Auto fell back to one tree per source.
+        assert_eq!(auto.per_tree.len(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! The result-path type returned by every search algorithm.
+
+use roadnet::{GraphView, NodeId};
+
+/// A path `⟨(s, n₀), (n₀, n₁), … (n_y, t)⟩` (§III-A) with its total
+/// distance. Stored as the node sequence from source to destination
+/// inclusive; a trivial path (source == destination) has one node and
+/// distance 0.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    distance: f64,
+}
+
+impl Path {
+    /// Construct from a node sequence and precomputed distance.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or the distance is negative/non-finite —
+    /// both indicate a bug in the producing algorithm, not user input.
+    pub fn new(nodes: Vec<NodeId>, distance: f64) -> Self {
+        assert!(!nodes.is_empty(), "a path has at least its source node");
+        assert!(distance.is_finite() && distance >= 0.0, "invalid path distance {distance}");
+        Path { nodes, distance }
+    }
+
+    /// The trivial path from a node to itself.
+    pub fn trivial(node: NodeId) -> Self {
+        Path { nodes: vec![node], distance: 0.0 }
+    }
+
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Total path distance `‖s,t‖` when produced by a shortest-path search.
+    pub fn distance(&self) -> f64 {
+        self.distance
+    }
+
+    /// Node sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of edges (hops).
+    pub fn num_edges(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True when the path only consists of its source.
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Check the path against a graph: every consecutive pair must be
+    /// connected by an arc, and the stored distance must equal the sum of
+    /// the *cheapest* connecting arcs within `eps`.
+    ///
+    /// Used by tests and by the candidate-result-path filter as a defence
+    /// against a faulty (or tampering) server.
+    pub fn verify<G: GraphView>(&self, g: &G, eps: f64) -> bool {
+        let mut total = 0.0;
+        for w in self.nodes.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            let mut best = f64::INFINITY;
+            g.for_each_arc(u, &mut |to, weight| {
+                if to == v && weight < best {
+                    best = weight;
+                }
+            });
+            if !best.is_finite() {
+                return false; // consecutive nodes not adjacent
+            }
+            total += best;
+        }
+        (total - self.distance).abs() <= eps * (1.0 + self.distance)
+    }
+
+    /// Reverse the path in place (valid on undirected networks).
+    pub fn reverse(&mut self) {
+        self.nodes.reverse();
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "path[{} → {}, {} edges, d={:.3}]",
+            self.source(), self.destination(), self.num_edges(), self.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::{GraphBuilder, Point};
+
+    fn line_graph() -> roadnet::RoadNetwork {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2)], 3.0);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.destination(), NodeId(2));
+        assert_eq!(p.num_edges(), 2);
+        assert_eq!(p.distance(), 3.0);
+        assert!(!p.is_trivial());
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(5));
+        assert!(p.is_trivial());
+        assert_eq!(p.source(), p.destination());
+        assert_eq!(p.distance(), 0.0);
+        assert_eq!(p.num_edges(), 0);
+    }
+
+    #[test]
+    fn verify_accepts_correct_path() {
+        let g = line_graph();
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)], 6.0);
+        assert!(p.verify(&g, 1e-9));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_distance() {
+        let g = line_graph();
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2)], 5.0); // true cost 3
+        assert!(!p.verify(&g, 1e-9));
+    }
+
+    #[test]
+    fn verify_rejects_non_adjacent_hop() {
+        let g = line_graph();
+        let p = Path::new(vec![NodeId(0), NodeId(2)], 3.0);
+        assert!(!p.verify(&g, 1e-9));
+    }
+
+    #[test]
+    fn reverse_swaps_endpoints() {
+        let mut p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2)], 3.0);
+        p.reverse();
+        assert_eq!(p.source(), NodeId(2));
+        assert_eq!(p.destination(), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least its source")]
+    fn empty_path_panics() {
+        let _ = Path::new(vec![], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid path distance")]
+    fn negative_distance_panics() {
+        let _ = Path::new(vec![NodeId(0)], -1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = Path::new(vec![NodeId(0), NodeId(3)], 1.5);
+        let s = p.to_string();
+        assert!(s.contains("0 → 3") && s.contains("1 edges"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Bounded-radius (range) search: enumerate every node within a given
+//! *network* distance of a source.
+//!
+//! The Euclidean ring used by the obfuscator's geometric strategy is only a
+//! proxy — Lemma 1's cost bound is in network distance, and on networks
+//! with detours the two can disagree badly. Range search gives the
+//! obfuscator the exact tool: the set of candidate fakes whose network
+//! distance from the anchor lies in a chosen band.
+
+use crate::stats::SearchStats;
+use roadnet::{GraphView, NodeId};
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    d: f64,
+    node: NodeId,
+}
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.d == other.d && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.d.total_cmp(&self.d).then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// All nodes with network distance ≤ `radius` from `source` (including the
+/// source at distance 0), in ascending distance order, plus run counters.
+///
+/// Cost is proportional to the ball's area — `O(radius²)` on road networks —
+/// independent of total network size.
+pub fn range_search<G: GraphView>(
+    g: &G,
+    source: NodeId,
+    radius: f64,
+) -> (Vec<(NodeId, f64)>, SearchStats) {
+    assert!(source.index() < g.num_nodes(), "source out of range");
+    assert!(radius >= 0.0 && radius.is_finite(), "radius must be finite and non-negative");
+    let mut stats = SearchStats::one_run();
+
+    // Local hash-based labels keep the cost output-sensitive: no O(n)
+    // allocation for what is usually a small ball.
+    let mut dist: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
+    let mut settled: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    let mut heap = BinaryHeap::new();
+    let mut out = Vec::new();
+
+    dist.insert(source, 0.0);
+    heap.push(HeapEntry { d: 0.0, node: source });
+    stats.heap_pushes += 1;
+
+    while let Some(HeapEntry { d, node }) = heap.pop() {
+        stats.heap_pops += 1;
+        if d > radius {
+            break; // every remaining label is farther
+        }
+        if !settled.insert(node) {
+            continue;
+        }
+        stats.settled += 1;
+        out.push((node, d));
+        g.for_each_arc(node, &mut |to, w| {
+            stats.relaxed += 1;
+            let cand = d + w;
+            if cand <= radius {
+                let better = dist.get(&to).is_none_or(|&old| cand < old);
+                if better && !settled.contains(&to) {
+                    dist.insert(to, cand);
+                    heap.push(HeapEntry { d: cand, node: to });
+                    stats.heap_pushes += 1;
+                }
+            }
+        });
+    }
+    (out, stats)
+}
+
+/// Nodes whose network distance from `source` lies in `[lo, hi]`, ascending
+/// by distance.
+pub fn ring_search<G: GraphView>(
+    g: &G,
+    source: NodeId,
+    lo: f64,
+    hi: f64,
+) -> (Vec<(NodeId, f64)>, SearchStats) {
+    assert!(lo >= 0.0 && hi >= lo, "invalid ring bounds");
+    let (ball, stats) = range_search(g, source, hi);
+    let ring = ball.into_iter().filter(|&(_, d)| d >= lo).collect();
+    (ring, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{Goal, Searcher};
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn net() -> roadnet::RoadNetwork {
+        grid_network(&GridConfig { width: 14, height: 14, seed: 6, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn range_matches_full_dijkstra_labels() {
+        let g = net();
+        let source = NodeId(90);
+        let radius = 4.0;
+        let (ball, _) = range_search(&g, source, radius);
+        let mut searcher = Searcher::new();
+        searcher.run(&g, source, &Goal::AllNodes);
+        // Every returned node has the exact Dijkstra distance…
+        for &(n, d) in &ball {
+            let truth = searcher.distance(n).unwrap();
+            assert!((d - truth).abs() < 1e-9, "node {n}: {d} vs {truth}");
+            assert!(d <= radius);
+        }
+        // …and no in-range node is missing.
+        let in_ball: std::collections::HashSet<NodeId> = ball.iter().map(|&(n, _)| n).collect();
+        for n in g.nodes() {
+            if searcher.distance(n).unwrap() <= radius {
+                assert!(in_ball.contains(&n), "missing node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_sorted_by_distance_and_starts_at_source() {
+        let g = net();
+        let (ball, _) = range_search(&g, NodeId(0), 3.0);
+        assert_eq!(ball[0], (NodeId(0), 0.0));
+        for w in ball.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn zero_radius_returns_only_source() {
+        let g = net();
+        let (ball, stats) = range_search(&g, NodeId(5), 0.0);
+        assert_eq!(ball, vec![(NodeId(5), 0.0)]);
+        assert_eq!(stats.settled, 1);
+    }
+
+    #[test]
+    fn cost_is_output_sensitive() {
+        let g = grid_network(&GridConfig { width: 40, height: 40, seed: 1, ..Default::default() })
+            .unwrap();
+        let (_, small) = range_search(&g, NodeId(820), 2.0);
+        let (_, large) = range_search(&g, NodeId(820), 10.0);
+        assert!(small.settled * 4 < large.settled, "{} vs {}", small.settled, large.settled);
+        assert!((large.settled as usize) < g.num_nodes());
+    }
+
+    #[test]
+    fn ring_filters_lower_bound() {
+        let g = net();
+        let (ring, _) = ring_search(&g, NodeId(90), 2.0, 4.0);
+        assert!(!ring.is_empty());
+        for &(_, d) in &ring {
+            assert!((2.0..=4.0).contains(&d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ring bounds")]
+    fn inverted_ring_panics() {
+        let g = net();
+        let _ = ring_search(&g, NodeId(0), 5.0, 1.0);
+    }
+}

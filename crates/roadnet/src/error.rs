@@ -1,0 +1,104 @@
+//! Error types for road-network construction and I/O.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Errors raised while building, loading, or querying a road network.
+#[derive(Debug)]
+pub enum RoadNetError {
+    /// An edge referenced a node id outside `0..num_nodes`.
+    NodeOutOfRange { node: NodeId, num_nodes: usize },
+    /// An edge weight was negative, NaN, or infinite.
+    InvalidWeight { from: NodeId, to: NodeId, weight: f64 },
+    /// A self-loop `(n, n)` was supplied; road segments connect distinct
+    /// endpoints in this model.
+    SelfLoop { node: NodeId },
+    /// A node coordinate was NaN or infinite.
+    InvalidCoordinate { node: NodeId },
+    /// The network has no nodes.
+    EmptyNetwork,
+    /// A parse error in the TLN (TIGER/Line-like network) text format.
+    Parse { line: usize, message: String },
+    /// An underlying I/O error while reading or writing network files.
+    Io(std::io::Error),
+    /// Two nodes are not connected (no path exists between them).
+    Disconnected { from: NodeId, to: NodeId },
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (network has {num_nodes} nodes)")
+            }
+            RoadNetError::InvalidWeight { from, to, weight } => {
+                write!(f, "edge ({from}, {to}) has invalid weight {weight}; weights must be finite and non-negative")
+            }
+            RoadNetError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+            RoadNetError::InvalidCoordinate { node } => {
+                write!(f, "node {node} has a non-finite coordinate")
+            }
+            RoadNetError::EmptyNetwork => write!(f, "road network has no nodes"),
+            RoadNetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            RoadNetError::Io(e) => write!(f, "i/o error: {e}"),
+            RoadNetError::Disconnected { from, to } => {
+                write!(f, "no path connects {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoadNetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RoadNetError {
+    fn from(e: std::io::Error) -> Self {
+        RoadNetError::Io(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, RoadNetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = RoadNetError::NodeOutOfRange { node: NodeId(9), num_nodes: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+
+        let e = RoadNetError::InvalidWeight { from: NodeId(1), to: NodeId(2), weight: -1.0 };
+        assert!(e.to_string().contains("-1"));
+
+        let e = RoadNetError::SelfLoop { node: NodeId(4) };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RoadNetError = io.into();
+        assert!(matches!(e, RoadNetError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = RoadNetError::Parse { line: 17, message: "bad token".into() };
+        let s = e.to_string();
+        assert!(s.contains("17") && s.contains("bad token"));
+    }
+}

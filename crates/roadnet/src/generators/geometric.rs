@@ -1,0 +1,181 @@
+//! Random geometric network generator.
+//!
+//! `num_nodes` points are scattered uniformly in a square; each node links
+//! to its `k` nearest neighbours (duplicate links collapse to one edge).
+//! k-NN graphs over uniform points are near-planar with road-like degrees.
+//! Any residual components are stitched together through their closest node
+//! pairs, so the result is always connected.
+
+use crate::error::Result;
+use crate::geo::Point;
+use crate::graph::{GraphBuilder, RoadNetwork};
+use crate::ids::NodeId;
+use crate::spatial::SpatialIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters for [`random_geometric`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct GeometricConfig {
+    /// Number of nodes (≥ 2).
+    pub num_nodes: usize,
+    /// Side length of the square the nodes are scattered in. If 0, a side
+    /// proportional to `sqrt(num_nodes)` is chosen so density stays constant
+    /// across sizes (≈ 1 node per unit area).
+    pub side: f64,
+    /// Each node connects to its `k` nearest neighbours.
+    pub k: usize,
+    /// Edge weight = Euclidean length × uniform sample from this range
+    /// (lower bound ≥ 1 keeps A* admissible).
+    pub weight_factor: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeometricConfig {
+    fn default() -> Self {
+        GeometricConfig { num_nodes: 1000, side: 0.0, k: 3, weight_factor: (1.0, 1.25), seed: 0 }
+    }
+}
+
+/// Generate a random geometric network per `cfg`.
+pub fn random_geometric(cfg: &GeometricConfig) -> Result<RoadNetwork> {
+    assert!(cfg.num_nodes >= 2, "need at least 2 nodes");
+    assert!(cfg.k >= 1, "k must be at least 1");
+    assert!(
+        cfg.weight_factor.0 >= 1.0 && cfg.weight_factor.1 >= cfg.weight_factor.0,
+        "weight factors must satisfy 1 <= lo <= hi"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x67656f6d); // "geom"
+    let side = if cfg.side > 0.0 { cfg.side } else { (cfg.num_nodes as f64).sqrt() };
+
+    let points: Vec<Point> = (0..cfg.num_nodes)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    let index = SpatialIndex::from_points(points.clone());
+
+    let mut b = GraphBuilder::new();
+    b.reserve(cfg.num_nodes, cfg.num_nodes * cfg.k);
+    for p in &points {
+        b.add_node(*p)?;
+    }
+
+    let weight = |len: f64, rng: &mut StdRng| {
+        if cfg.weight_factor.0 == cfg.weight_factor.1 {
+            len * cfg.weight_factor.0
+        } else {
+            len * rng.gen_range(cfg.weight_factor.0..cfg.weight_factor.1)
+        }
+    };
+
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(cfg.num_nodes * cfg.k);
+    let add_unique =
+        |b: &mut GraphBuilder, rng: &mut StdRng, seen: &mut HashSet<(u32, u32)>, a: NodeId, c: NodeId| -> Result<()> {
+            let key = (a.0.min(c.0), a.0.max(c.0));
+            if seen.insert(key) {
+                let len = points[a.index()].distance(points[c.index()]);
+                let w = weight(len, rng);
+                b.add_edge(a, c, w)?;
+            }
+            Ok(())
+        };
+
+    for (i, p) in points.iter().enumerate() {
+        let me = NodeId::from_index(i);
+        // k+1 because the node itself is its own nearest neighbour.
+        for nb in index.k_nearest(*p, cfg.k + 1) {
+            if nb != me {
+                add_unique(&mut b, &mut rng, &mut seen, me, nb)?;
+            }
+        }
+    }
+
+    // Stitch any remaining components to the largest one through the closest
+    // pair of nodes (scan-based: component counts are tiny in practice).
+    let g = b.clone().build()?;
+    if !g.is_connected() {
+        let labels = g.component_labels();
+        let num = labels.iter().copied().max().unwrap() as usize + 1;
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num];
+        for (i, &l) in labels.iter().enumerate() {
+            members[l as usize].push(NodeId::from_index(i));
+        }
+        members.sort_by_key(|m| std::cmp::Reverse(m.len()));
+        let mut main: Vec<NodeId> = members[0].clone();
+        for comp in &members[1..] {
+            let mut best = (f64::INFINITY, comp[0], main[0]);
+            for &u in comp {
+                for &v in &main {
+                    let d = points[u.index()].distance(points[v.index()]);
+                    if d < best.0 {
+                        best = (d, u, v);
+                    }
+                }
+            }
+            add_unique(&mut b, &mut rng, &mut seen, best.1, best.2)?;
+            main.extend_from_slice(comp);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometric_is_connected_admissible_and_sparse() {
+        let g = random_geometric(&GeometricConfig { num_nodes: 500, ..Default::default() }).unwrap();
+        assert_eq!(g.num_nodes(), 500);
+        assert!(g.is_connected());
+        assert!(g.euclidean_admissible(1e-9));
+        // k-NN with k=3 yields between n*k/2 and n*k undirected edges.
+        assert!(g.num_edges() >= 500 * 3 / 2);
+        assert!(g.num_edges() <= 500 * 4); // some slack for stitching
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let g = random_geometric(&GeometricConfig { num_nodes: 200, seed: 5, ..Default::default() })
+            .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            let key = (e.a.0.min(e.b.0), e.a.0.max(e.b.0));
+            assert!(seen.insert(key), "duplicate edge {:?}", key);
+        }
+    }
+
+    #[test]
+    fn density_is_constant_across_sizes() {
+        let small = random_geometric(&GeometricConfig { num_nodes: 250, ..Default::default() }).unwrap();
+        let large = random_geometric(&GeometricConfig { num_nodes: 1000, ..Default::default() }).unwrap();
+        let d_small = small.num_nodes() as f64 / (small.bbox().width() * small.bbox().height());
+        let d_large = large.num_nodes() as f64 / (large.bbox().width() * large.bbox().height());
+        assert!((d_small / d_large - 1.0).abs() < 0.35, "densities {d_small} vs {d_large}");
+    }
+
+    #[test]
+    fn explicit_side_is_respected() {
+        let g = random_geometric(&GeometricConfig {
+            num_nodes: 100,
+            side: 50.0,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(g.bbox().max.x <= 50.0 && g.bbox().max.y <= 50.0);
+    }
+
+    #[test]
+    fn tiny_network_still_works() {
+        let g = random_geometric(&GeometricConfig { num_nodes: 2, k: 1, ..Default::default() }).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        let _ = random_geometric(&GeometricConfig { k: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,207 @@
+//! Manhattan-style grid network generator.
+//!
+//! Nodes sit on a `width × height` lattice (optionally jittered); edges link
+//! 4-neighbours. A random fraction of edges is knocked out to break the
+//! perfect symmetry of a pure lattice — real street grids have dead ends and
+//! missing links — while a random spanning tree is always preserved so the
+//! network stays connected.
+
+use crate::error::Result;
+use crate::geo::Point;
+use crate::graph::{GraphBuilder, RoadNetwork};
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`grid_network`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct GridConfig {
+    /// Number of lattice columns (≥ 2).
+    pub width: usize,
+    /// Number of lattice rows (≥ 2).
+    pub height: usize,
+    /// Distance between adjacent lattice points.
+    pub spacing: f64,
+    /// Coordinates are jittered by up to ± `jitter × spacing / 2` per axis.
+    /// 0.0 gives a perfect lattice.
+    pub jitter: f64,
+    /// Edge weight = Euclidean length × uniform sample from this range.
+    /// Lower bound must be ≥ 1 to keep A* admissible.
+    pub weight_factor: (f64, f64),
+    /// Fraction of non-spanning-tree edges removed (dead ends, missing
+    /// links). 0.0 keeps the full lattice.
+    pub knockout: f64,
+    /// RNG seed; same seed ⇒ same network.
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            width: 32,
+            height: 32,
+            spacing: 1.0,
+            jitter: 0.2,
+            weight_factor: (1.0, 1.3),
+            knockout: 0.08,
+            seed: 0,
+        }
+    }
+}
+
+/// Tiny union-find used to pick a random spanning tree.
+struct Dsu(Vec<u32>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n as u32).collect())
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        if self.0[x as usize] != x {
+            let r = self.find(self.0[x as usize]);
+            self.0[x as usize] = r;
+            r
+        } else {
+            x
+        }
+    }
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.0[ra as usize] = rb;
+        true
+    }
+}
+
+/// Generate a grid network per `cfg`.
+///
+/// # Errors
+/// Propagates builder validation errors; with a valid config (dimensions
+/// ≥ 2, weight factors ≥ 1) generation always succeeds.
+pub fn grid_network(cfg: &GridConfig) -> Result<RoadNetwork> {
+    assert!(cfg.width >= 2 && cfg.height >= 2, "grid must be at least 2x2");
+    assert!(
+        cfg.weight_factor.0 >= 1.0 && cfg.weight_factor.1 >= cfg.weight_factor.0,
+        "weight factors must satisfy 1 <= lo <= hi"
+    );
+    assert!((0.0..=1.0).contains(&cfg.knockout), "knockout must be a fraction");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6772_6964); // "grid"
+
+    let mut b = GraphBuilder::new();
+    b.reserve(cfg.width * cfg.height, 2 * cfg.width * cfg.height);
+    let id = |x: usize, y: usize| NodeId::from_index(y * cfg.width + x);
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            let jx = if cfg.jitter > 0.0 {
+                rng.gen_range(-0.5..0.5) * cfg.jitter * cfg.spacing
+            } else {
+                0.0
+            };
+            let jy = if cfg.jitter > 0.0 {
+                rng.gen_range(-0.5..0.5) * cfg.jitter * cfg.spacing
+            } else {
+                0.0
+            };
+            b.add_node(Point::new(x as f64 * cfg.spacing + jx, y as f64 * cfg.spacing + jy))?;
+        }
+    }
+
+    // Candidate lattice edges, shuffled; a random spanning tree (union-find
+    // over the shuffled order) is kept unconditionally, the rest survive
+    // with probability 1 - knockout.
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            if x + 1 < cfg.width {
+                candidates.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < cfg.height {
+                candidates.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    candidates.shuffle(&mut rng);
+    let mut dsu = Dsu::new(cfg.width * cfg.height);
+    for (a, c) in candidates {
+        let in_tree = dsu.union(a.0, c.0);
+        if in_tree || rng.gen::<f64>() >= cfg.knockout {
+            let factor = if cfg.weight_factor.0 == cfg.weight_factor.1 {
+                cfg.weight_factor.0
+            } else {
+                rng.gen_range(cfg.weight_factor.0..cfg.weight_factor.1)
+            };
+            b.add_euclidean_edge(a, c, factor)?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_connected_and_admissible() {
+        let g = grid_network(&GridConfig::default()).unwrap();
+        assert_eq!(g.num_nodes(), 32 * 32);
+        assert!(g.is_connected());
+        assert!(g.euclidean_admissible(1e-9));
+    }
+
+    #[test]
+    fn zero_knockout_keeps_full_lattice() {
+        let cfg = GridConfig { width: 5, height: 4, knockout: 0.0, ..GridConfig::default() };
+        let g = grid_network(&cfg).unwrap();
+        // Full lattice edge count: h*(w-1) + w*(h-1).
+        assert_eq!(g.num_edges(), 4 * 4 + 5 * 3);
+    }
+
+    #[test]
+    fn heavy_knockout_stays_connected() {
+        let cfg = GridConfig { width: 20, height: 20, knockout: 0.9, seed: 3, ..GridConfig::default() };
+        let g = grid_network(&cfg).unwrap();
+        assert!(g.is_connected(), "spanning tree must survive knockout");
+        // Must have at least the spanning tree.
+        assert!(g.num_edges() >= g.num_nodes() - 1);
+        // And far fewer than the full lattice.
+        assert!(g.num_edges() < 2 * 19 * 20);
+    }
+
+    #[test]
+    fn no_jitter_gives_exact_lattice_coordinates() {
+        let cfg = GridConfig { width: 3, height: 3, jitter: 0.0, spacing: 2.0, ..GridConfig::default() };
+        let g = grid_network(&cfg).unwrap();
+        assert_eq!(g.point(NodeId(4)), Point::new(2.0, 2.0)); // center node
+    }
+
+    #[test]
+    fn constant_weight_factor_is_exact() {
+        let cfg = GridConfig {
+            width: 4,
+            height: 4,
+            jitter: 0.0,
+            weight_factor: (1.0, 1.0),
+            knockout: 0.0,
+            ..GridConfig::default()
+        };
+        let g = grid_network(&cfg).unwrap();
+        for e in g.edges() {
+            assert!((e.weight - 1.0).abs() < 1e-12, "unit lattice edges have weight 1");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_grid_panics() {
+        let _ = grid_network(&GridConfig { width: 1, height: 5, ..GridConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "weight factors")]
+    fn inadmissible_weights_panic() {
+        let _ = grid_network(&GridConfig { weight_factor: (0.5, 0.8), ..GridConfig::default() });
+    }
+}

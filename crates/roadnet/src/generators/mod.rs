@@ -1,0 +1,122 @@
+//! Synthetic road-network generators.
+//!
+//! The paper obtains its maps from TIGER/Line \[11\]; those files are not
+//! available offline, so experiments run on seeded synthetic networks that
+//! reproduce the structural properties the paper's claims depend on:
+//!
+//! * **planar-like, low degree** — road junctions connect 2–4 segments;
+//! * **near-Euclidean weights** — segment cost is the straight-line distance
+//!   scaled by a jitter factor ≥ 1 (detours), which keeps the Euclidean A*
+//!   heuristic admissible and makes the `O(‖s,t‖²)` search-area cost model
+//!   of Lemma 1 meaningful;
+//! * **connectivity** — every generator returns one connected component.
+//!
+//! Three families are provided, to show results are not an artifact of one
+//! topology: [`grid`] (Manhattan-style), [`geometric`] (random planar-ish
+//! k-NN graph, closest to suburban TIGER tracts), and [`radial`]
+//! (ring-and-spoke "old city").
+
+pub mod geometric;
+pub mod grid;
+pub mod radial;
+
+pub use geometric::{GeometricConfig, random_geometric};
+pub use grid::{GridConfig, grid_network};
+pub use radial::{RadialConfig, radial_city};
+
+use crate::error::Result;
+use crate::graph::RoadNetwork;
+
+/// The three generator families, as a value — experiments sweep over this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum NetworkClass {
+    /// Manhattan-style grid with perturbed weights and random knockouts.
+    Grid,
+    /// Random geometric k-nearest-neighbour network.
+    Geometric,
+    /// Ring-and-spoke radial city.
+    Radial,
+}
+
+impl NetworkClass {
+    /// All classes, for sweeps.
+    pub const ALL: [NetworkClass; 3] =
+        [NetworkClass::Grid, NetworkClass::Geometric, NetworkClass::Radial];
+
+    /// Short name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkClass::Grid => "grid",
+            NetworkClass::Geometric => "geometric",
+            NetworkClass::Radial => "radial",
+        }
+    }
+
+    /// Generate a network of roughly `target_nodes` nodes with the family's
+    /// default parameters and the given `seed`.
+    pub fn generate(self, target_nodes: usize, seed: u64) -> Result<RoadNetwork> {
+        match self {
+            NetworkClass::Grid => {
+                let side = (target_nodes as f64).sqrt().round().max(2.0) as usize;
+                grid_network(&GridConfig { width: side, height: side, seed, ..GridConfig::default() })
+            }
+            NetworkClass::Geometric => random_geometric(&GeometricConfig {
+                num_nodes: target_nodes.max(2),
+                seed,
+                ..GeometricConfig::default()
+            }),
+            NetworkClass::Radial => {
+                // rings * spokes + 1 ≈ target. Keep the default spoke count.
+                let cfg = RadialConfig::default();
+                let rings = ((target_nodes.saturating_sub(1)) / cfg.spokes).max(1);
+                radial_city(&RadialConfig { rings, seed, ..cfg })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_generate_connected_admissible_networks() {
+        for class in NetworkClass::ALL {
+            let g = class.generate(400, 7).unwrap();
+            assert!(g.num_nodes() >= 200, "{} too small: {}", class.name(), g.num_nodes());
+            assert!(g.is_connected(), "{} disconnected", class.name());
+            assert!(g.euclidean_admissible(1e-9), "{} weights below euclidean", class.name());
+            let deg = g.avg_degree();
+            assert!((1.5..=8.0).contains(&deg), "{} degree {deg} not road-like", class.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for class in NetworkClass::ALL {
+            let a = class.generate(300, 42).unwrap();
+            let b = class.generate(300, 42).unwrap();
+            assert_eq!(a.num_nodes(), b.num_nodes());
+            assert_eq!(a.num_edges(), b.num_edges());
+            let ea: Vec<_> = a.edges().to_vec();
+            let eb: Vec<_> = b.edges().to_vec();
+            assert_eq!(ea, eb, "{} not deterministic", class.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = NetworkClass::Geometric.generate(300, 1).unwrap();
+        let b = NetworkClass::Geometric.generate(300, 2).unwrap();
+        // Same node count but different coordinates.
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_ne!(a.points()[0], b.points()[0]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(NetworkClass::Grid.name(), "grid");
+        assert_eq!(NetworkClass::Geometric.name(), "geometric");
+        assert_eq!(NetworkClass::Radial.name(), "radial");
+    }
+}

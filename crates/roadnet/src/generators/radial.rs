@@ -1,0 +1,159 @@
+//! Radial ("old city") network generator: concentric rings connected by
+//! spokes around a central node.
+//!
+//! This family stresses search algorithms differently from grids: paths
+//! between points on opposite sides of the city are funnelled through inner
+//! rings or the centre, so spanning-tree search areas (the quantity in
+//! Lemma 1's cost bound) grow faster with distance than on a grid.
+
+use crate::error::Result;
+use crate::geo::Point;
+use crate::graph::{GraphBuilder, RoadNetwork};
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`radial_city`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RadialConfig {
+    /// Number of concentric rings (≥ 1).
+    pub rings: usize,
+    /// Number of nodes per ring (≥ 3).
+    pub spokes: usize,
+    /// Radial distance between consecutive rings.
+    pub ring_gap: f64,
+    /// Edge weight = Euclidean length × uniform sample from this range.
+    pub weight_factor: (f64, f64),
+    /// Probability that a spoke segment between two consecutive rings is
+    /// present (ring edges are always present; connectivity is maintained by
+    /// guaranteeing at least one spoke per ring pair).
+    pub spoke_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RadialConfig {
+    fn default() -> Self {
+        RadialConfig {
+            rings: 12,
+            spokes: 24,
+            ring_gap: 1.0,
+            weight_factor: (1.0, 1.2),
+            spoke_prob: 0.6,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate a radial city network per `cfg`.
+pub fn radial_city(cfg: &RadialConfig) -> Result<RoadNetwork> {
+    assert!(cfg.rings >= 1, "need at least one ring");
+    assert!(cfg.spokes >= 3, "need at least 3 spokes");
+    assert!(
+        cfg.weight_factor.0 >= 1.0 && cfg.weight_factor.1 >= cfg.weight_factor.0,
+        "weight factors must satisfy 1 <= lo <= hi"
+    );
+    assert!((0.0..=1.0).contains(&cfg.spoke_prob), "spoke_prob must be a fraction");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7261_6469); // "radi"
+
+    let mut b = GraphBuilder::new();
+    b.reserve(cfg.rings * cfg.spokes + 1, cfg.rings * cfg.spokes * 2);
+    let center = b.add_node(Point::new(0.0, 0.0))?;
+    // Node layout: ring r (1-based), spoke s → id 1 + (r-1)*spokes + s.
+    let id = |r: usize, s: usize| NodeId::from_index(1 + (r - 1) * cfg.spokes + s);
+    for r in 1..=cfg.rings {
+        let radius = r as f64 * cfg.ring_gap;
+        for s in 0..cfg.spokes {
+            let theta = s as f64 / cfg.spokes as f64 * std::f64::consts::TAU;
+            b.add_node(Point::new(radius * theta.cos(), radius * theta.sin()))?;
+        }
+    }
+
+    let factor = |rng: &mut StdRng| {
+        if cfg.weight_factor.0 == cfg.weight_factor.1 {
+            cfg.weight_factor.0
+        } else {
+            rng.gen_range(cfg.weight_factor.0..cfg.weight_factor.1)
+        }
+    };
+
+    // Ring edges: consecutive nodes on the same ring.
+    for r in 1..=cfg.rings {
+        for s in 0..cfg.spokes {
+            let f = factor(&mut rng);
+            b.add_euclidean_edge(id(r, s), id(r, (s + 1) % cfg.spokes), f)?;
+        }
+    }
+    // Spokes: centre to ring 1, then ring r to ring r+1. At least one spoke
+    // per ring pair is forced so every ring is reachable.
+    for s in 0..cfg.spokes {
+        let f = factor(&mut rng);
+        if s == 0 || rng.gen::<f64>() < cfg.spoke_prob {
+            b.add_euclidean_edge(center, id(1, s), f)?;
+        }
+    }
+    for r in 1..cfg.rings {
+        let forced = rng.gen_range(0..cfg.spokes);
+        for s in 0..cfg.spokes {
+            if s == forced || rng.gen::<f64>() < cfg.spoke_prob {
+                let f = factor(&mut rng);
+                b.add_euclidean_edge(id(r, s), id(r + 1, s), f)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_radial_is_connected_and_admissible() {
+        let g = radial_city(&RadialConfig::default()).unwrap();
+        assert_eq!(g.num_nodes(), 12 * 24 + 1);
+        assert!(g.is_connected());
+        assert!(g.euclidean_admissible(1e-9));
+    }
+
+    #[test]
+    fn single_ring_works() {
+        let g = radial_city(&RadialConfig { rings: 1, spokes: 5, ..Default::default() }).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn zero_spoke_probability_still_connects() {
+        let g = radial_city(&RadialConfig { spoke_prob: 0.0, seed: 9, ..Default::default() }).unwrap();
+        assert!(g.is_connected(), "forced spokes must keep rings attached");
+    }
+
+    #[test]
+    fn full_spokes_edge_count() {
+        let cfg = RadialConfig { rings: 3, spokes: 4, spoke_prob: 1.0, ..Default::default() };
+        let g = radial_city(&cfg).unwrap();
+        // ring edges: 3*4; centre spokes: 4; inter-ring spokes: 2*4.
+        assert_eq!(g.num_edges(), 12 + 4 + 8);
+    }
+
+    #[test]
+    fn rings_lie_at_expected_radii() {
+        let g = radial_city(&RadialConfig {
+            rings: 2,
+            spokes: 4,
+            ring_gap: 3.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let origin = Point::new(0.0, 0.0);
+        assert!((g.point(NodeId(1)).distance(origin) - 3.0).abs() < 1e-9);
+        assert!((g.point(NodeId(5)).distance(origin) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 spokes")]
+    fn too_few_spokes_panics() {
+        let _ = radial_city(&RadialConfig { spokes: 2, ..Default::default() });
+    }
+}

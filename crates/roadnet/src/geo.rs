@@ -1,0 +1,203 @@
+//! Planar geometry primitives used by the road-network model.
+//!
+//! The paper models a road network as a weighted graph whose nodes represent
+//! geographic locations (§III-A). All obfuscation strategies and the A*
+//! heuristic reason about straight-line (Euclidean) distance between node
+//! coordinates, so the geometry layer is deliberately simple: points in the
+//! plane plus a handful of distance/box helpers.
+
+use std::fmt;
+
+/// A point in the plane. Coordinates are abstract map units (the generators
+/// produce networks where one unit is comparable to one "block").
+#[derive(Clone, Copy, PartialEq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparisons are needed).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// True if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned bounding box.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BoundingBox {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// An "empty" box that expands to fit the first point added.
+    pub fn empty() -> Self {
+        BoundingBox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Box spanning exactly the given corners.
+    pub fn new(min: Point, max: Point) -> Self {
+        BoundingBox { min, max }
+    }
+
+    /// Compute the bounding box of an iterator of points.
+    pub fn of_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b.extend(p);
+        }
+        b
+    }
+
+    /// Grow the box to include `p`.
+    pub fn extend(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// True if no point has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x
+    }
+
+    /// Width of the box (0 for empty boxes).
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height of the box (0 for empty boxes).
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Length of the diagonal. A useful scale for "how far apart can two
+    /// locations on this map possibly be".
+    pub fn diagonal(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.min.distance(self.max)
+        }
+    }
+
+    /// True if `p` lies inside (or on the border of) the box.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-3.0, 7.25);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 6.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Point::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn bbox_of_points_covers_all() {
+        let pts = vec![
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.5),
+            Point::new(4.0, 2.0),
+        ];
+        let b = BoundingBox::of_points(pts.iter().copied());
+        assert_eq!(b.min, Point::new(-2.0, 0.5));
+        assert_eq!(b.max, Point::new(4.0, 5.0));
+        for p in pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn empty_bbox_behaves() {
+        let b = BoundingBox::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.width(), 0.0);
+        assert_eq!(b.height(), 0.0);
+        assert_eq!(b.diagonal(), 0.0);
+        assert!(!b.contains(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn bbox_dimensions() {
+        let b = BoundingBox::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(b.width(), 3.0);
+        assert_eq!(b.height(), 4.0);
+        assert!((b.diagonal() - 5.0).abs() < 1e-12);
+        assert_eq!(b.center(), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn point_finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

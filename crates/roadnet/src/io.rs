@@ -1,0 +1,254 @@
+//! TLN — a TIGER/Line-like plain-text network exchange format.
+//!
+//! The paper's obfuscator keeps "a simple road map (e.g., obtained from
+//! Tiger/Line)" (§IV). Real TIGER/Line files are unavailable offline, so
+//! this module defines a minimal line-oriented format carrying exactly what
+//! the system needs — node coordinates and weighted segments — and readers/
+//! writers for it. Generated networks can be exported, archived with
+//! experiment results, and re-imported bit-exactly (coordinates and weights
+//! round-trip through `{:.17e}` formatting).
+//!
+//! ```text
+//! TLN 1 undirected
+//! # comment lines and blank lines are ignored
+//! N <id> <x> <y>
+//! E <a> <b> <weight>
+//! ```
+//!
+//! Node ids must be dense (`0..n`) but may appear in any order; edges may
+//! only reference declared ids.
+
+use crate::error::{Result, RoadNetError};
+use crate::geo::Point;
+use crate::graph::{GraphBuilder, RoadNetwork};
+use crate::ids::NodeId;
+use std::io::{BufRead, Write};
+
+const MAGIC: &str = "TLN";
+const VERSION: &str = "1";
+
+/// Serialize `g` in TLN format.
+pub fn write_tln<W: Write>(g: &RoadNetwork, w: &mut W) -> Result<()> {
+    let mode = if g.is_directed() { "directed" } else { "undirected" };
+    writeln!(w, "{MAGIC} {VERSION} {mode}")?;
+    writeln!(w, "# nodes={} edges={}", g.num_nodes(), g.num_edges())?;
+    for n in g.nodes() {
+        let p = g.point(n);
+        writeln!(w, "N {} {:.17e} {:.17e}", n, p.x, p.y)?;
+    }
+    for e in g.edges() {
+        writeln!(w, "E {} {} {:.17e}", e.a, e.b, e.weight)?;
+    }
+    Ok(())
+}
+
+/// Parse a TLN document into a [`RoadNetwork`].
+pub fn read_tln<R: BufRead>(r: &mut R) -> Result<RoadNetwork> {
+    let mut lines = r.lines().enumerate();
+
+    let (first_no, first) = loop {
+        match lines.next() {
+            Some((no, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('#') {
+                    break (no + 1, t.to_string());
+                }
+            }
+            None => {
+                return Err(RoadNetError::Parse { line: 0, message: "empty document".into() })
+            }
+        }
+    };
+    let mut hdr = first.split_whitespace();
+    if hdr.next() != Some(MAGIC) || hdr.next() != Some(VERSION) {
+        return Err(RoadNetError::Parse {
+            line: first_no,
+            message: format!("expected header '{MAGIC} {VERSION} <mode>', got '{first}'"),
+        });
+    }
+    let directed = match hdr.next() {
+        Some("directed") => true,
+        Some("undirected") => false,
+        other => {
+            return Err(RoadNetError::Parse {
+                line: first_no,
+                message: format!("expected mode directed|undirected, got {other:?}"),
+            })
+        }
+    };
+
+    let mut points: Vec<Option<Point>> = Vec::new();
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    for (no, line) in lines {
+        let no = no + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a token");
+        let parse_f = |s: Option<&str>, what: &str| -> Result<f64> {
+            s.and_then(|v| v.parse::<f64>().ok())
+                .ok_or_else(|| RoadNetError::Parse { line: no, message: format!("bad {what}") })
+        };
+        let parse_u = |s: Option<&str>, what: &str| -> Result<u32> {
+            s.and_then(|v| v.parse::<u32>().ok())
+                .ok_or_else(|| RoadNetError::Parse { line: no, message: format!("bad {what}") })
+        };
+        match tag {
+            "N" => {
+                let id = parse_u(parts.next(), "node id")? as usize;
+                let x = parse_f(parts.next(), "x coordinate")?;
+                let y = parse_f(parts.next(), "y coordinate")?;
+                if points.len() <= id {
+                    points.resize(id + 1, None);
+                }
+                if points[id].is_some() {
+                    return Err(RoadNetError::Parse {
+                        line: no,
+                        message: format!("duplicate node id {id}"),
+                    });
+                }
+                points[id] = Some(Point::new(x, y));
+            }
+            "E" => {
+                let a = parse_u(parts.next(), "edge endpoint")?;
+                let b = parse_u(parts.next(), "edge endpoint")?;
+                let w = parse_f(parts.next(), "edge weight")?;
+                edges.push((a, b, w));
+            }
+            other => {
+                return Err(RoadNetError::Parse {
+                    line: no,
+                    message: format!("unknown record tag '{other}'"),
+                })
+            }
+        }
+        if parts.next().is_some() {
+            return Err(RoadNetError::Parse { line: no, message: "trailing tokens".into() });
+        }
+    }
+
+    let mut b = if directed { GraphBuilder::directed() } else { GraphBuilder::new() };
+    b.reserve(points.len(), edges.len());
+    for (i, p) in points.iter().enumerate() {
+        match p {
+            Some(p) => {
+                b.add_node(*p)?;
+            }
+            None => {
+                return Err(RoadNetError::Parse {
+                    line: 0,
+                    message: format!("node ids not dense: id {i} missing"),
+                })
+            }
+        }
+    }
+    for (a, bb, w) in edges {
+        b.add_edge(NodeId(a), NodeId(bb), w)?;
+    }
+    b.build()
+}
+
+/// Write `g` to a file at `path` in TLN format.
+pub fn save_tln(g: &RoadNetwork, path: &std::path::Path) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_tln(g, &mut f)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Read a TLN file from `path`.
+pub fn load_tln(path: &std::path::Path) -> Result<RoadNetwork> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_tln(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GridConfig, grid_network};
+
+    fn round_trip(g: &RoadNetwork) -> RoadNetwork {
+        let mut buf = Vec::new();
+        write_tln(g, &mut buf).unwrap();
+        read_tln(&mut std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_exactly() {
+        let g = grid_network(&GridConfig { width: 6, height: 5, seed: 11, ..Default::default() })
+            .unwrap();
+        let h = round_trip(&g);
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        for n in g.nodes() {
+            assert_eq!(g.point(n), h.point(n));
+        }
+        assert_eq!(g.edges(), h.edges());
+        assert_eq!(g.is_directed(), h.is_directed());
+    }
+
+    #[test]
+    fn directed_flag_round_trips() {
+        let mut b = GraphBuilder::directed();
+        let a = b.add_node(Point::new(0.0, 0.0)).unwrap();
+        let c = b.add_node(Point::new(1.0, 1.0)).unwrap();
+        b.add_edge(a, c, 2.0).unwrap();
+        let g = b.build().unwrap();
+        let h = round_trip(&g);
+        assert!(h.is_directed());
+        assert_eq!(h.num_arcs(), 1);
+    }
+
+    #[test]
+    fn comments_blanks_and_order_are_tolerated() {
+        let doc = "\n# preamble\nTLN 1 undirected\n\nE 0 1 2.5\nN 1 1.0 0.0\n# interleaved\nN 0 0.0 0.0\n";
+        let g = read_tln(&mut std::io::Cursor::new(doc)).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges()[0].weight, 2.5);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        for doc in ["XYZ 1 undirected\n", "TLN 2 undirected\n", "TLN 1 sideways\n", ""] {
+            let err = read_tln(&mut std::io::Cursor::new(doc)).unwrap_err();
+            assert!(matches!(err, RoadNetError::Parse { .. }), "doc {doc:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let cases = [
+            "TLN 1 undirected\nN 0 0.0\n",            // missing y
+            "TLN 1 undirected\nN 0 0.0 0.0 extra\n",  // trailing token
+            "TLN 1 undirected\nQ 0\n",                // unknown tag
+            "TLN 1 undirected\nN 0 a 0.0\n",          // bad float
+            "TLN 1 undirected\nN 0 0 0\nN 0 1 1\n",   // duplicate id
+            "TLN 1 undirected\nN 1 0 0\n",            // non-dense ids
+            "TLN 1 undirected\nN 0 0 0\nN 1 1 1\nE 0 5 1.0\n", // edge to unknown node
+        ];
+        for doc in cases {
+            let err = read_tln(&mut std::io::Cursor::new(doc)).unwrap_err();
+            assert!(
+                matches!(err, RoadNetError::Parse { .. } | RoadNetError::NodeOutOfRange { .. }),
+                "doc {doc:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("roadnet_tln_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.tln");
+        let g = grid_network(&GridConfig { width: 4, height: 4, ..Default::default() }).unwrap();
+        save_tln(&g, &path).unwrap();
+        let h = load_tln(&path).unwrap();
+        assert_eq!(g.edges(), h.edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

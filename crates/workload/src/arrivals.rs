@@ -1,0 +1,236 @@
+//! Temporal request arrivals and batching windows.
+//!
+//! The paper's obfuscator receives a *stream* of requests and clusters
+//! "the received queries" (§IV) — which implicitly requires collecting
+//! requests for some window before obfuscating them together. This module
+//! models that: Poisson arrivals over a time horizon, and a windowing
+//! function turning the stream into batches. Experiment E12 sweeps the
+//! window length to expose the deployment trade-off (bigger windows →
+//! bigger batches → better sharing and breach probability, but higher
+//! answer latency).
+
+use crate::distributions::QuerySampler;
+use crate::generator::WorkloadConfig;
+use opaque::{ClientId, ClientRequest, PathQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roadnet::{RoadNetwork, SpatialIndex};
+
+/// A request stamped with its arrival time (seconds from stream start).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimedRequest {
+    pub arrival: f64,
+    pub request: ClientRequest,
+}
+
+/// Parameters for [`poisson_stream`].
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ArrivalConfig {
+    /// Mean request arrivals per second (λ of the Poisson process).
+    pub rate_per_sec: f64,
+    /// Length of the generated stream, in seconds.
+    pub horizon_secs: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig { rate_per_sec: 2.0, horizon_secs: 60.0 }
+    }
+}
+
+/// Generate a Poisson request stream over `map`. Spatial/protection
+/// characteristics come from `workload` (its `num_requests` is ignored —
+/// the stream length is governed by the horizon); timing from `arrivals`.
+pub fn poisson_stream(
+    map: &RoadNetwork,
+    index: &SpatialIndex,
+    workload: &WorkloadConfig,
+    arrivals: &ArrivalConfig,
+) -> Vec<TimedRequest> {
+    assert!(arrivals.rate_per_sec > 0.0, "arrival rate must be positive");
+    assert!(arrivals.horizon_secs > 0.0, "horizon must be positive");
+    let mut rng = StdRng::seed_from_u64(workload.seed ^ 0x6172_7276); // "arrv"
+    let sampler = QuerySampler::new(map, index, workload.queries, &mut rng);
+
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let mut id = 0u32;
+    loop {
+        // Exponential inter-arrival times: -ln(U)/λ.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / arrivals.rate_per_sec;
+        if t >= arrivals.horizon_secs {
+            break;
+        }
+        let (s, d) = sampler.sample(&mut rng);
+        let protection = sample_protection(workload, &mut rng);
+        out.push(TimedRequest {
+            arrival: t,
+            request: ClientRequest::new(ClientId(id), PathQuery::new(s, d), protection),
+        });
+        id += 1;
+    }
+    out
+}
+
+fn sample_protection(
+    workload: &WorkloadConfig,
+    rng: &mut StdRng,
+) -> opaque::ProtectionSettings {
+    use crate::generator::ProtectionDistribution;
+    match workload.protection {
+        ProtectionDistribution::Fixed { f_s, f_t } => {
+            opaque::ProtectionSettings::new(f_s, f_t).expect("validated at construction")
+        }
+        ProtectionDistribution::UniformRange { lo, hi } => {
+            opaque::ProtectionSettings::new(rng.gen_range(lo..=hi), rng.gen_range(lo..=hi))
+                .expect("range >= 1")
+        }
+    }
+}
+
+/// One batch cut from the stream, with its latency accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowBatch {
+    /// Requests that arrived within the window, in arrival order.
+    pub requests: Vec<ClientRequest>,
+    /// Time the batch is released to the obfuscator (window close).
+    pub release_at: f64,
+    /// Mean time the batch's requests waited from arrival to release.
+    pub mean_wait: f64,
+}
+
+/// Cut a stream into fixed-length windows. Empty windows produce no batch.
+pub fn window_batches(stream: &[TimedRequest], window_secs: f64) -> Vec<WindowBatch> {
+    assert!(window_secs > 0.0, "window must be positive");
+    let mut batches: Vec<WindowBatch> = Vec::new();
+    let mut current: Vec<&TimedRequest> = Vec::new();
+    let mut window_end = window_secs;
+
+    let flush = |current: &mut Vec<&TimedRequest>, window_end: f64, batches: &mut Vec<WindowBatch>| {
+        if current.is_empty() {
+            return;
+        }
+        let mean_wait =
+            current.iter().map(|r| window_end - r.arrival).sum::<f64>() / current.len() as f64;
+        batches.push(WindowBatch {
+            requests: current.iter().map(|r| r.request).collect(),
+            release_at: window_end,
+            mean_wait,
+        });
+        current.clear();
+    };
+
+    for tr in stream {
+        while tr.arrival >= window_end {
+            flush(&mut current, window_end, &mut batches);
+            window_end += window_secs;
+        }
+        current.push(tr);
+    }
+    flush(&mut current, window_end, &mut batches);
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ProtectionDistribution;
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn setup() -> (RoadNetwork, SpatialIndex) {
+        let g = grid_network(&GridConfig { width: 15, height: 15, seed: 8, ..Default::default() })
+            .unwrap();
+        let idx = SpatialIndex::build(&g);
+        (g, idx)
+    }
+
+    fn stream(rate: f64, horizon: f64, seed: u64) -> Vec<TimedRequest> {
+        let (g, idx) = setup();
+        poisson_stream(
+            &g,
+            &idx,
+            &WorkloadConfig { seed, ..Default::default() },
+            &ArrivalConfig { rate_per_sec: rate, horizon_secs: horizon },
+        )
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_honoured() {
+        let s = stream(5.0, 200.0, 1);
+        let got = s.len() as f64 / 200.0;
+        assert!((got - 5.0).abs() < 0.75, "rate {got} too far from 5.0");
+        // Arrival times strictly increasing, within the horizon.
+        for w in s.windows(2) {
+            assert!(w[0].arrival < w[1].arrival);
+        }
+        assert!(s.last().unwrap().arrival < 200.0);
+        // Client ids dense in arrival order.
+        for (i, tr) in s.iter().enumerate() {
+            assert_eq!(tr.request.client, ClientId(i as u32));
+        }
+    }
+
+    #[test]
+    fn windowing_partitions_the_stream() {
+        let s = stream(3.0, 50.0, 2);
+        let batches = window_batches(&s, 5.0);
+        let total: usize = batches.iter().map(|b| b.requests.len()).sum();
+        assert_eq!(total, s.len(), "every request lands in exactly one batch");
+        for b in &batches {
+            assert!(b.mean_wait >= 0.0 && b.mean_wait <= 5.0 + 1e-9);
+            assert!((b.release_at / 5.0).fract().abs() < 1e-9, "release on window boundary");
+        }
+    }
+
+    #[test]
+    fn bigger_windows_mean_bigger_batches_and_longer_waits() {
+        let s = stream(4.0, 100.0, 3);
+        let small = window_batches(&s, 1.0);
+        let large = window_batches(&s, 10.0);
+        let mean_size = |b: &[WindowBatch]| {
+            b.iter().map(|x| x.requests.len()).sum::<usize>() as f64 / b.len() as f64
+        };
+        let mean_wait = |b: &[WindowBatch]| {
+            b.iter().map(|x| x.mean_wait * x.requests.len() as f64).sum::<f64>()
+                / b.iter().map(|x| x.requests.len()).sum::<usize>() as f64
+        };
+        assert!(mean_size(&large) > mean_size(&small) * 5.0);
+        assert!(mean_wait(&large) > mean_wait(&small));
+    }
+
+    #[test]
+    fn sparse_stream_skips_empty_windows() {
+        let s = stream(0.05, 100.0, 4); // ~5 requests over 100s
+        let batches = window_batches(&s, 1.0);
+        assert_eq!(batches.iter().map(|b| b.requests.len()).sum::<usize>(), s.len());
+        for b in &batches {
+            assert!(!b.requests.is_empty(), "no empty batches emitted");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(stream(2.0, 30.0, 9), stream(2.0, 30.0, 9));
+        assert_ne!(stream(2.0, 30.0, 9), stream(2.0, 30.0, 10));
+    }
+
+    #[test]
+    fn protection_range_respected_in_stream() {
+        let (g, idx) = setup();
+        let s = poisson_stream(
+            &g,
+            &idx,
+            &WorkloadConfig {
+                protection: ProtectionDistribution::UniformRange { lo: 2, hi: 4 },
+                seed: 5,
+                ..Default::default()
+            },
+            &ArrivalConfig { rate_per_sec: 3.0, horizon_secs: 40.0 },
+        );
+        for tr in &s {
+            assert!((2..=4).contains(&tr.request.protection.f_s));
+            assert!((2..=4).contains(&tr.request.protection.f_t));
+        }
+    }
+}

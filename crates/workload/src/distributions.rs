@@ -1,0 +1,235 @@
+//! Spatial query distributions.
+//!
+//! Experiments need control over *where* clients travel: uniformly random
+//! trips, trips concentrated on a few hotspots (malls, hospitals — the
+//! query pattern that makes shared obfuscation shine), and commuter flows
+//! from residential rings into a centre. Each distribution draws (source,
+//! destination) node pairs over a given map, deterministically per seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use roadnet::{NodeId, Point, RoadNetwork, SpatialIndex};
+
+/// How (source, destination) pairs are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum QueryDistribution {
+    /// Both endpoints uniform over all nodes.
+    Uniform,
+    /// Destinations cluster around `hotspots` random attraction points with
+    /// Zipf-like popularity (exponent `exponent`); sources are uniform.
+    /// `spread` is the hotspot radius as a fraction of the map diagonal.
+    Hotspot { hotspots: usize, exponent: f64, spread: f64 },
+    /// Commuter pattern: sources drawn from the map's outer ring,
+    /// destinations from a disk around the centre with radius
+    /// `center_radius` (fraction of the diagonal).
+    Commuter { center_radius: f64 },
+}
+
+impl QueryDistribution {
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryDistribution::Uniform => "uniform",
+            QueryDistribution::Hotspot { .. } => "hotspot",
+            QueryDistribution::Commuter { .. } => "commuter",
+        }
+    }
+}
+
+/// Sampler binding a distribution to a map.
+pub struct QuerySampler<'a> {
+    map: &'a RoadNetwork,
+    index: &'a SpatialIndex,
+    distribution: QueryDistribution,
+    /// Hotspot centres and their (normalized cumulative) popularity, built
+    /// once per sampler for `Hotspot`.
+    hotspot_centres: Vec<Point>,
+    hotspot_cdf: Vec<f64>,
+}
+
+impl<'a> QuerySampler<'a> {
+    /// Build a sampler; hotspot layouts are derived from `rng` (call with a
+    /// seeded RNG for reproducibility).
+    pub fn new(
+        map: &'a RoadNetwork,
+        index: &'a SpatialIndex,
+        distribution: QueryDistribution,
+        rng: &mut StdRng,
+    ) -> Self {
+        let (hotspot_centres, hotspot_cdf) = match distribution {
+            QueryDistribution::Hotspot { hotspots, exponent, .. } => {
+                assert!(hotspots >= 1, "need at least one hotspot");
+                assert!(exponent >= 0.0, "zipf exponent must be non-negative");
+                let bb = map.bbox();
+                let centres: Vec<Point> = (0..hotspots)
+                    .map(|_| {
+                        Point::new(
+                            rng.gen_range(bb.min.x..=bb.max.x),
+                            rng.gen_range(bb.min.y..=bb.max.y),
+                        )
+                    })
+                    .collect();
+                // Zipf weights 1/rank^exponent, as a CDF.
+                let mut cdf = Vec::with_capacity(hotspots);
+                let mut acc = 0.0;
+                for rank in 1..=hotspots {
+                    acc += 1.0 / (rank as f64).powf(exponent);
+                    cdf.push(acc);
+                }
+                for c in &mut cdf {
+                    *c /= acc;
+                }
+                (centres, cdf)
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
+        QuerySampler { map, index, distribution, hotspot_centres, hotspot_cdf }
+    }
+
+    fn uniform_node(&self, rng: &mut StdRng) -> NodeId {
+        NodeId(rng.gen_range(0..self.map.num_nodes() as u32))
+    }
+
+    fn node_near(&self, p: Point, radius: f64, rng: &mut StdRng) -> NodeId {
+        // Uniform point in the disk, snapped to the nearest node.
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = radius * rng.gen_range(0.0f64..1.0).sqrt();
+        self.index.nearest(Point::new(p.x + r * theta.cos(), p.y + r * theta.sin()))
+    }
+
+    /// Draw one (source, destination) pair with distinct endpoints.
+    pub fn sample(&self, rng: &mut StdRng) -> (NodeId, NodeId) {
+        let diag = self.map.bbox().diagonal();
+        for _ in 0..1000 {
+            let (s, t) = match self.distribution {
+                QueryDistribution::Uniform => (self.uniform_node(rng), self.uniform_node(rng)),
+                QueryDistribution::Hotspot { spread, .. } => {
+                    let x = rng.gen_range(0.0f64..1.0);
+                    let idx = self.hotspot_cdf.partition_point(|&c| c < x);
+                    let centre = self.hotspot_centres[idx.min(self.hotspot_centres.len() - 1)];
+                    (self.uniform_node(rng), self.node_near(centre, spread * diag, rng))
+                }
+                QueryDistribution::Commuter { center_radius } => {
+                    let bb = self.map.bbox();
+                    let centre = bb.center();
+                    let r_inner = center_radius * diag;
+                    // Sources: rejection-sample nodes outside 2×r_inner.
+                    let mut s = self.uniform_node(rng);
+                    for _ in 0..100 {
+                        if self.map.point(s).distance(centre) > 2.0 * r_inner {
+                            break;
+                        }
+                        s = self.uniform_node(rng);
+                    }
+                    (s, self.node_near(centre, r_inner, rng))
+                }
+            };
+            if s != t {
+                return (s, t);
+            }
+        }
+        panic!("could not draw distinct endpoints; map too small");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn setup() -> (RoadNetwork, SpatialIndex) {
+        let g = grid_network(&GridConfig { width: 25, height: 25, seed: 1, ..Default::default() })
+            .unwrap();
+        let idx = SpatialIndex::build(&g);
+        (g, idx)
+    }
+
+    #[test]
+    fn uniform_draws_distinct_valid_pairs() {
+        let (g, idx) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampler = QuerySampler::new(&g, &idx, QueryDistribution::Uniform, &mut rng);
+        for _ in 0..200 {
+            let (s, t) = sampler.sample(&mut rng);
+            assert_ne!(s, t);
+            assert!(s.index() < g.num_nodes() && t.index() < g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_destinations() {
+        let (g, idx) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = QueryDistribution::Hotspot { hotspots: 2, exponent: 1.0, spread: 0.05 };
+        let sampler = QuerySampler::new(&g, &idx, dist, &mut rng);
+        let targets: Vec<Point> =
+            (0..300).map(|_| g.point(sampler.sample(&mut rng).1)).collect();
+        // Destinations should occupy a small fraction of the map: measure
+        // the mean pairwise distance against uniform sampling.
+        let mean_dist = |pts: &[Point]| {
+            let mut total = 0.0;
+            let mut count = 0;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len().min(i + 20) {
+                    total += pts[i].distance(pts[j]);
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        let uniform_sampler = QuerySampler::new(&g, &idx, QueryDistribution::Uniform, &mut rng);
+        let uniform_targets: Vec<Point> =
+            (0..300).map(|_| g.point(uniform_sampler.sample(&mut rng).1)).collect();
+        assert!(
+            mean_dist(&targets) < mean_dist(&uniform_targets) * 0.8,
+            "hotspot {} vs uniform {}",
+            mean_dist(&targets),
+            mean_dist(&uniform_targets)
+        );
+    }
+
+    #[test]
+    fn commuter_sources_are_peripheral_destinations_central() {
+        let (g, idx) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = QueryDistribution::Commuter { center_radius: 0.1 };
+        let sampler = QuerySampler::new(&g, &idx, dist, &mut rng);
+        let centre = g.bbox().center();
+        let diag = g.bbox().diagonal();
+        let mut src_sum = 0.0;
+        let mut dst_sum = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let (s, t) = sampler.sample(&mut rng);
+            src_sum += g.point(s).distance(centre);
+            dst_sum += g.point(t).distance(centre);
+        }
+        let (src_mean, dst_mean) = (src_sum / n as f64, dst_sum / n as f64);
+        assert!(dst_mean < 0.15 * diag, "destinations not central: {dst_mean}");
+        assert!(src_mean > dst_mean * 2.0, "sources {src_mean} vs destinations {dst_mean}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let (g, idx) = setup();
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dist = QueryDistribution::Hotspot { hotspots: 3, exponent: 1.2, spread: 0.1 };
+            let sampler = QuerySampler::new(&g, &idx, dist, &mut rng);
+            (0..10).map(|_| sampler.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(QueryDistribution::Uniform.name(), "uniform");
+        assert_eq!(
+            QueryDistribution::Hotspot { hotspots: 1, exponent: 1.0, spread: 0.1 }.name(),
+            "hotspot"
+        );
+        assert_eq!(QueryDistribution::Commuter { center_radius: 0.1 }.name(), "commuter");
+    }
+}

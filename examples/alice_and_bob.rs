@@ -1,0 +1,78 @@
+//! Alice & Bob: independent vs shared obfuscated path queries.
+//!
+//! Walks through the paper's §III-C running example. Alice submits
+//! Q(s_A, t_A) with settings (f_S=2, f_T=3); Bob submits Q(s_B, t_B) with
+//! (f_S=2, f_T=2). The example formulates them both ways —
+//! two independent obfuscated queries (Figure 3) and one shared obfuscated
+//! query (Figure 4) — and compares what the server sees, what it costs,
+//! and what each client's breach probability becomes.
+//!
+//! ```text
+//! cargo run --example alice_and_bob
+//! ```
+
+use opaque::{
+    ClientId, ClientRequest, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator,
+    OpaqueSystem, PathQuery, ProtectionSettings,
+};
+use pathsearch::SharingPolicy;
+use roadnet::generators::{GridConfig, grid_network};
+use roadnet::{Point, SpatialIndex};
+
+fn main() {
+    let map = grid_network(&GridConfig { width: 24, height: 24, seed: 1271, ..Default::default() })
+        .expect("valid network");
+    let index = SpatialIndex::build(&map);
+
+    let alice = ClientRequest::new(
+        ClientId(0),
+        PathQuery::new(
+            index.nearest(Point::new(2.0, 3.0)),   // Alice's home
+            index.nearest(Point::new(20.0, 18.0)), // the clinic
+        ),
+        ProtectionSettings::new(2, 3).expect("valid"), // the paper's S_A/T_A sizes
+    );
+    let bob = ClientRequest::new(
+        ClientId(1),
+        PathQuery::new(
+            index.nearest(Point::new(5.0, 20.0)), // Bob's office
+            index.nearest(Point::new(21.0, 4.0)), // the stadium
+        ),
+        ProtectionSettings::new(2, 2).expect("valid"), // the paper's S_B/T_B sizes
+    );
+    let requests = [alice, bob];
+
+    for mode in [ObfuscationMode::Independent, ObfuscationMode::SharedGlobal] {
+        let mut system = OpaqueSystem::new(
+            Obfuscator::new(map.clone(), FakeSelection::default_ring(), 7),
+            DirectionsServer::new(map.clone(), SharingPolicy::PerSource),
+        );
+        let (results, report) = system.process_batch(&requests, mode).expect("pipeline ok");
+
+        println!("=== {} obfuscation ===", report.mode);
+        println!(
+            "server saw {} obfuscated quer{} covering {} pairs ({} fakes added)",
+            report.num_units,
+            if report.num_units == 1 { "y" } else { "ies" },
+            report.total_pairs,
+            report.fakes_added
+        );
+        println!("server settled {} nodes", report.server_settled);
+        for (client, breach) in &report.per_client_breach {
+            let name = if client.0 == 0 { "Alice" } else { "Bob" };
+            println!("  {name}: breach probability {breach:.4}");
+        }
+        for r in &results {
+            let name = if r.client.0 == 0 { "Alice" } else { "Bob" };
+            println!(
+                "  {name} received the exact path: {} hops, distance {:.2}",
+                r.path.num_edges(),
+                r.path.distance()
+            );
+        }
+        println!();
+    }
+
+    println!("Sharing reuses Alice's and Bob's true endpoints as each other's cover:");
+    println!("fewer fakes, fewer pairs — and a lower breach probability for both.");
+}

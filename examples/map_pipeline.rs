@@ -1,0 +1,80 @@
+//! Map pipeline: generate → export (TLN) → reload → serve from paged
+//! storage with ALT acceleration.
+//!
+//! The operator-tooling path: a deployment generates (or imports) its road
+//! network once, archives it in the TLN exchange format, and serves it
+//! through the CCAM-style page store, with landmark tables precomputed for
+//! fast single-pair queries.
+//!
+//! ```text
+//! cargo run --example map_pipeline
+//! ```
+
+use pathsearch::{AltPreprocessing, Goal, Searcher, alt};
+use roadnet::generators::{GeometricConfig, random_geometric};
+use roadnet::io::{load_tln, save_tln};
+use roadnet::{GraphView, NodeId, PagedGraph};
+
+fn main() {
+    // 1. Generate a city-scale network (stands in for a TIGER/Line import).
+    let net = random_geometric(&GeometricConfig { num_nodes: 3_000, seed: 42, ..Default::default() })
+        .expect("generator produces a valid network");
+    println!(
+        "generated: {} nodes, {} segments, avg degree {:.2}",
+        net.num_nodes(),
+        net.num_edges(),
+        net.avg_degree()
+    );
+
+    // 2. Archive and reload through the TLN text format (bit-exact).
+    let path = std::env::temp_dir().join("opaque_map_pipeline.tln");
+    save_tln(&net, &path).expect("write TLN");
+    let reloaded = load_tln(&path).expect("read TLN");
+    assert_eq!(net.edges(), reloaded.edges(), "round trip must be exact");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("archived to {} ({bytes} bytes) and reloaded bit-exact", path.display());
+
+    // 3. Serve through the CCAM page store with a small buffer and measure
+    //    the I/O a long query costs.
+    let paged = PagedGraph::ccam(&reloaded, 16);
+    println!(
+        "paged store: {} pages of {} slots, buffer 16 pages, colocation {:.2}",
+        paged.layout().num_pages(),
+        paged.layout().slots_per_page(),
+        paged.layout().colocation_ratio(&reloaded),
+    );
+    let (s, t) = (NodeId(0), NodeId(reloaded.num_nodes() as u32 - 1));
+    let mut searcher = Searcher::new();
+    let stats = searcher.run(&paged, s, &Goal::Single(t));
+    let io = paged.io_stats();
+    println!(
+        "dijkstra {s} → {t}: settled {} nodes, {} page faults ({:.0}% buffer hits)",
+        stats.settled,
+        io.faults,
+        io.hit_ratio() * 100.0
+    );
+
+    // 4. Precompute ALT landmarks and run the same query goal-directed.
+    let pre = AltPreprocessing::build(&reloaded, 8);
+    let (path_alt, alt_stats) = alt(&reloaded, &pre, s, t);
+    let path_alt = path_alt.expect("connected");
+    let d_direct = searcher.distance(t).expect("connected");
+    assert!((path_alt.distance() - d_direct).abs() < 1e-9);
+    println!(
+        "alt with {} landmarks ({} table entries): settled {} nodes ({}x fewer), same distance {:.2}",
+        pre.landmarks().len(),
+        pre.table_entries(),
+        alt_stats.settled,
+        stats.settled / alt_stats.settled.max(1),
+        path_alt.distance()
+    );
+
+    // GraphView is one interface over both representations.
+    let deg_mem = reloaded.degree(NodeId(7));
+    let mut deg_paged = 0;
+    paged.for_each_arc(NodeId(7), &mut |_, _| deg_paged += 1);
+    assert_eq!(deg_mem, deg_paged);
+    println!("in-memory and paged views agree — same GraphView, different cost model");
+
+    std::fs::remove_file(&path).ok();
+}

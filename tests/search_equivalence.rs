@@ -1,0 +1,183 @@
+//! Property-based equivalence of all shortest-path algorithms.
+//!
+//! Strategy: generate random connected weighted graphs, compare every
+//! algorithm in `pathsearch` against a simple Bellman–Ford oracle written
+//! here (different algorithm, independently coded — a real oracle, not a
+//! mirror of the implementation under test).
+
+use proptest::prelude::*;
+use roadnet::{GraphBuilder, GraphView, NodeId, Point, RoadNetwork};
+
+/// Bellman–Ford distances from `s` — the test oracle.
+fn bellman_ford(g: &RoadNetwork, s: NodeId) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[s.index()] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in g.nodes() {
+            if dist[u.index()].is_infinite() {
+                continue;
+            }
+            let du = dist[u.index()];
+            g.for_each_arc(u, &mut |v, w| {
+                if du + w < dist[v.index()] {
+                    dist[v.index()] = du + w;
+                    changed = true;
+                }
+            });
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Random connected graph: a random spanning tree plus extra random edges,
+/// with positive weights that dominate Euclidean distance (keeps A*
+/// admissible).
+fn arb_graph(max_nodes: usize) -> impl Strategy<Value = RoadNetwork> {
+    (2..max_nodes)
+        .prop_flat_map(|n| {
+            let coords = proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n);
+            let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+            let extra = proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..3.0), 0..n);
+            (coords, parents, extra)
+        })
+        .prop_map(|(coords, parents, extra)| {
+            let mut b = GraphBuilder::new();
+            for (x, y) in &coords {
+                b.add_node(Point::new(*x, *y)).expect("finite coords");
+            }
+            let n = coords.len();
+            let euclid = |a: usize, c: usize| {
+                Point::new(coords[a].0, coords[a].1).distance(Point::new(coords[c].0, coords[c].1))
+            };
+            // Spanning tree: node i+1 attaches to a random earlier node.
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = (*p as usize) % child;
+                let w = euclid(parent, child).max(f64::EPSILON) * 1.1;
+                b.add_edge(NodeId::from_index(parent), NodeId::from_index(child), w)
+                    .expect("valid tree edge");
+            }
+            for (a, c, factor) in extra {
+                let (a, c) = (a as usize % n, c as usize % n);
+                if a != c {
+                    let w = euclid(a, c).max(f64::EPSILON) * factor;
+                    // Duplicate edges are fine: parallel roads exist.
+                    b.add_edge(NodeId::from_index(a), NodeId::from_index(c), w)
+                        .expect("valid extra edge");
+                }
+            }
+            b.build().expect("non-empty graph")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in arb_graph(40), s_raw in 0u32..40, t_raw in 0u32..40) {
+        let n = g.num_nodes() as u32;
+        let (s, t) = (NodeId(s_raw % n), NodeId(t_raw % n));
+        let oracle = bellman_ford(&g, s);
+        let got = pathsearch::shortest_distance(&g, s, t);
+        match got {
+            Some(d) => prop_assert!((d - oracle[t.index()]).abs() < 1e-9,
+                "dijkstra {d} vs oracle {}", oracle[t.index()]),
+            None => prop_assert!(oracle[t.index()].is_infinite()),
+        }
+    }
+
+    #[test]
+    fn astar_and_bidirectional_match_dijkstra(g in arb_graph(40), s_raw in 0u32..40, t_raw in 0u32..40) {
+        let n = g.num_nodes() as u32;
+        let (s, t) = (NodeId(s_raw % n), NodeId(t_raw % n));
+        let d = pathsearch::shortest_distance(&g, s, t);
+        let (a, _) = pathsearch::astar(&g, s, t);
+        let (bi, _) = pathsearch::bidirectional(&g, s, t);
+        match d {
+            Some(d) => {
+                let a = a.expect("A* must reach whatever Dijkstra reaches");
+                let bi = bi.expect("bidirectional must reach whatever Dijkstra reaches");
+                prop_assert!((a.distance() - d).abs() < 1e-9, "astar {} vs {d}", a.distance());
+                prop_assert!((bi.distance() - d).abs() < 1e-9, "bidi {} vs {d}", bi.distance());
+                prop_assert!(a.verify(&g, 1e-9));
+                prop_assert!(bi.verify(&g, 1e-9));
+            }
+            None => {
+                prop_assert!(a.is_none());
+                prop_assert!(bi.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn msmd_policies_agree_with_pairwise_dijkstra(
+        g in arb_graph(30),
+        src_raw in proptest::collection::vec(0u32..30, 1..4),
+        dst_raw in proptest::collection::vec(0u32..30, 1..4),
+    ) {
+        let n = g.num_nodes() as u32;
+        let mut sources: Vec<NodeId> = src_raw.iter().map(|&x| NodeId(x % n)).collect();
+        let mut targets: Vec<NodeId> = dst_raw.iter().map(|&x| NodeId(x % n)).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        targets.sort_unstable();
+        targets.dedup();
+
+        for policy in [
+            pathsearch::SharingPolicy::None,
+            pathsearch::SharingPolicy::PerSource,
+            pathsearch::SharingPolicy::Auto,
+        ] {
+            let r = pathsearch::msmd(&g, &sources, &targets, policy);
+            for (i, &s) in sources.iter().enumerate() {
+                for (j, &t) in targets.iter().enumerate() {
+                    let truth = pathsearch::shortest_distance(&g, s, t);
+                    match (r.distance(i, j), truth) {
+                        (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9,
+                            "{}: ({i},{j}) {a} vs {b}", policy.name()),
+                        (None, None) => {}
+                        other => prop_assert!(false, "{}: reachability mismatch {other:?}", policy.name()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_metric_satisfies_triangle_inequality(
+        g in arb_graph(25),
+        a_raw in 0u32..25, b_raw in 0u32..25, c_raw in 0u32..25,
+    ) {
+        let n = g.num_nodes() as u32;
+        let (a, b, c) = (NodeId(a_raw % n), NodeId(b_raw % n), NodeId(c_raw % n));
+        // The generated graph is connected (spanning tree), so all finite.
+        let ab = pathsearch::shortest_distance(&g, a, b).expect("connected");
+        let bc = pathsearch::shortest_distance(&g, b, c).expect("connected");
+        let ac = pathsearch::shortest_distance(&g, a, c).expect("connected");
+        prop_assert!(ac <= ab + bc + 1e-9, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+        // Undirected graph: symmetry.
+        let ba = pathsearch::shortest_distance(&g, b, a).expect("connected");
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn returned_paths_are_internally_consistent(g in arb_graph(30), s_raw in 0u32..30, t_raw in 0u32..30) {
+        let n = g.num_nodes() as u32;
+        let (s, t) = (NodeId(s_raw % n), NodeId(t_raw % n));
+        if let Some(p) = pathsearch::shortest_path(&g, s, t) {
+            prop_assert_eq!(p.source(), s);
+            prop_assert_eq!(p.destination(), t);
+            prop_assert!(p.verify(&g, 1e-9));
+            // No repeated nodes on a shortest path with positive weights.
+            let mut seen = std::collections::HashSet::new();
+            for node in p.nodes() {
+                prop_assert!(seen.insert(*node), "cycle in shortest path");
+            }
+        }
+    }
+}
