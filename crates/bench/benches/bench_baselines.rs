@@ -3,8 +3,8 @@
 
 use criterion::{Criterion, criterion_group, criterion_main};
 use opaque::{PathQuery, Technique, run_technique};
-use roadnet::{NodeId, SpatialIndex};
 use roadnet::generators::NetworkClass;
+use roadnet::{NodeId, SpatialIndex};
 use std::hint::black_box;
 use std::time::Duration;
 

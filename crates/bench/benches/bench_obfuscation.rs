@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
         ObfuscationMode::SharedGlobal,
         ObfuscationMode::SharedClustered(ClusteringConfig::default()),
     ] {
-        group.bench_function(mode.name(), |b| {
+        group.bench_function(mode.to_string(), |b| {
             // Fresh obfuscator per iteration batch keeps RNG state
             // comparable across modes.
             b.iter_batched(

@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
         ObfuscationMode::SharedGlobal,
         ObfuscationMode::SharedClustered(ClusteringConfig::default()),
     ] {
-        group.bench_function(mode.name(), |b| {
+        group.bench_function(mode.to_string(), |b| {
             b.iter_batched(
                 || {
                     OpaqueSystem::new(

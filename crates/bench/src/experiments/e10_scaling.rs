@@ -35,11 +35,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             "mean breach",
         ],
     );
-    let sizes = [
-        scale.network_nodes / 4,
-        scale.network_nodes,
-        scale.network_nodes * 4,
-    ];
+    let sizes = [scale.network_nodes / 4, scale.network_nodes, scale.network_nodes * 4];
     let k = 24usize;
 
     for nodes in sizes {
@@ -58,7 +54,10 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         let mut ob = Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xE10);
         let t0 = Instant::now();
         let units = ob
-            .obfuscate_batch(&requests, ObfuscationMode::SharedClustered(ClusteringConfig::default()))
+            .obfuscate_batch(
+                &requests,
+                ObfuscationMode::SharedClustered(ClusteringConfig::default()),
+            )
             .expect("pipeline succeeds");
         let obfuscate_ms = t0.elapsed().as_secs_f64() * 1e3;
 
@@ -97,9 +96,6 @@ mod tests {
         let t = run(&Scale::quick());
         assert_eq!(t.rows.len(), 3);
         let settled: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
-        assert!(
-            settled[2] > settled[0],
-            "bigger networks mean bigger search trees: {settled:?}"
-        );
+        assert!(settled[2] > settled[0], "bigger networks mean bigger search trees: {settled:?}");
     }
 }

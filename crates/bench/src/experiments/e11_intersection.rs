@@ -84,7 +84,9 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             }
         }
     }
-    t.note("fresh fakes: breach decays toward 1.0 as rounds accumulate (true pair always survives)");
+    t.note(
+        "fresh fakes: breach decays toward 1.0 as rounds accumulate (true pair always survives)",
+    );
     t.note("consistent fakes: every round is identical, breach stays at 1/f² indefinitely");
     t
 }

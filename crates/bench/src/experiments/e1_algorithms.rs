@@ -28,11 +28,13 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         let g = network(class, scale);
         let n = g.num_nodes() as u32;
         let pairs: Vec<(NodeId, NodeId)> = (0..scale.queries)
-            .map(|_| loop {
-                let s = NodeId(rng.gen_range(0..n));
-                let d = NodeId(rng.gen_range(0..n));
-                if s != d {
-                    break (s, d);
+            .map(|_| {
+                loop {
+                    let s = NodeId(rng.gen_range(0..n));
+                    let d = NodeId(rng.gen_range(0..n));
+                    if s != d {
+                        break (s, d);
+                    }
                 }
             })
             .collect();
@@ -73,12 +75,9 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         }
 
         let q = pairs.len() as f64;
-        for (name, (settled, relaxed, dist)) in [
-            ("dijkstra", dij),
-            ("astar", ast),
-            ("bidirectional", bid),
-            ("alt-8", alt_acc),
-        ] {
+        for (name, (settled, relaxed, dist)) in
+            [("dijkstra", dij), ("astar", ast), ("bidirectional", bid), ("alt-8", alt_acc)]
+        {
             t.row(vec![
                 class.name().into(),
                 name.into(),
@@ -90,7 +89,9 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         }
     }
     t.note("all four algorithms must agree on every distance (column `agree`)");
-    t.note("A*, bidirectional, and ALT settle fewer nodes; Dijkstra is the cost baseline for E4/E5");
+    t.note(
+        "A*, bidirectional, and ALT settle fewer nodes; Dijkstra is the cost baseline for E4/E5",
+    );
     t.note("alt-8 = ALT with 8 farthest-point landmarks (extension; network-distance heuristic)");
     t
 }

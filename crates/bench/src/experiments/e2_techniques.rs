@@ -34,11 +34,13 @@ pub fn run(scale: &Scale) -> ExperimentTable {
     let n = g.num_nodes() as u32;
     let mut rng = StdRng::seed_from_u64(0xE2);
     let queries: Vec<PathQuery> = (0..scale.queries)
-        .map(|_| loop {
-            let s = NodeId(rng.gen_range(0..n));
-            let d = NodeId(rng.gen_range(0..n));
-            if s != d {
-                break PathQuery::new(s, d);
+        .map(|_| {
+            loop {
+                let s = NodeId(rng.gen_range(0..n));
+                let d = NodeId(rng.gen_range(0..n));
+                if s != d {
+                    break PathQuery::new(s, d);
+                }
             }
         })
         .collect();

@@ -67,8 +67,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             let shared =
                 msmd(&g, unit.query.sources(), unit.query.targets(), SharingPolicy::PerSource);
             measured += shared.stats.settled;
-            let naive_r =
-                msmd(&g, unit.query.sources(), unit.query.targets(), SharingPolicy::None);
+            let naive_r = msmd(&g, unit.query.sources(), unit.query.targets(), SharingPolicy::None);
             naive += naive_r.stats.settled;
 
             // Lemma 1's input: per source, the max *network* distance to any

@@ -23,16 +23,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         "E5",
         "independent vs shared obfuscation",
         "Figure 3 vs Figure 4 / §III-C",
-        &[
-            "clients",
-            "mode",
-            "units",
-            "pairs",
-            "fakes",
-            "settled",
-            "mean breach",
-            "redundancy",
-        ],
+        &["clients", "mode", "units", "pairs", "fakes", "settled", "mean breach", "redundancy"],
     );
     let (g, idx) = network_with_index(NetworkClass::Grid, scale);
 
@@ -54,12 +45,11 @@ pub fn run(scale: &Scale) -> ExperimentTable {
                 Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xE5),
                 DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
             );
-            let (results, report) =
-                sys.process_batch(&requests, mode).expect("pipeline succeeds");
+            let (results, report) = sys.process_batch(&requests, mode).expect("pipeline succeeds");
             assert_eq!(results.len(), k, "every client must be answered");
             t.row(vec![
                 k.to_string(),
-                mode.name().into(),
+                mode.to_string(),
                 report.num_units.to_string(),
                 report.total_pairs.to_string(),
                 report.fakes_added.to_string(),

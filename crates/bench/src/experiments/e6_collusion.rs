@@ -12,8 +12,8 @@ use crate::setup::{Scale, network_with_index};
 use crate::table::{ExperimentTable, f3};
 use opaque::attack::collusion_attack;
 use opaque::{ClientId, FakeSelection, ObfuscationMode, Obfuscator};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 use roadnet::generators::NetworkClass;
 use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
 
@@ -50,8 +50,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
     let mut rng = StdRng::seed_from_u64(0xE6);
 
     for colluders in 0..=(k - 2) {
-        let conspirators: Vec<ClientId> =
-            (1..=colluders as u32).map(ClientId).collect();
+        let conspirators: Vec<ClientId> = (1..=colluders as u32).map(ClientId).collect();
         let rep = collusion_attack(unit, victim, &conspirators, scale.trials, &mut rng);
         t.row(vec![
             colluders.to_string(),

@@ -55,11 +55,13 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         NodeId(cum.partition_point(|&c| c <= x) as u32)
     };
     let queries: Vec<PathQuery> = (0..scale.queries)
-        .map(|_| loop {
-            let s = draw(&mut rng);
-            let d = draw(&mut rng);
-            if s != d && s.index() < n as usize && d.index() < n as usize {
-                break PathQuery::new(s, d);
+        .map(|_| {
+            loop {
+                let s = draw(&mut rng);
+                let d = draw(&mut rng);
+                if s != d && s.index() < n as usize && d.index() < n as usize {
+                    break PathQuery::new(s, d);
+                }
             }
         })
         .collect();
@@ -131,10 +133,7 @@ mod tests {
         let net_ring_cost: f64 = net_ring[1].parse().unwrap();
         let uniform_cost: f64 = uniform[1].parse().unwrap();
         assert!(ring_cost < uniform_cost, "ring {ring_cost} vs uniform {uniform_cost}");
-        assert!(
-            net_ring_cost < uniform_cost,
-            "net-ring {net_ring_cost} vs uniform {uniform_cost}"
-        );
+        assert!(net_ring_cost < uniform_cost, "net-ring {net_ring_cost} vs uniform {uniform_cost}");
 
         // Weighted leaves the informed adversary with a posterior no better
         // than uniform fakes give it.

@@ -22,15 +22,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         "E8",
         "query clustering: scattered vs clustered vs global sharing",
         "§IV path query clustering step",
-        &[
-            "workload",
-            "mode",
-            "units",
-            "pairs",
-            "settled",
-            "settled/client",
-            "mean breach",
-        ],
+        &["workload", "mode", "units", "pairs", "settled", "settled/client", "mean breach"],
     );
     let (g, idx) = network_with_index(NetworkClass::Grid, scale);
     let k = 24usize;
@@ -61,7 +53,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             let (_, report) = sys.process_batch(&requests, mode).expect("pipeline succeeds");
             t.row(vec![
                 wname.into(),
-                mode.name().into(),
+                mode.to_string(),
                 report.num_units.to_string(),
                 report.total_pairs.to_string(),
                 report.server_settled.to_string(),

@@ -22,13 +22,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         "E9",
         "storage ablation: page placement × buffer size",
         "§III-B storage assumption (CCAM [9])",
-        &[
-            "placement",
-            "colocation",
-            "buffer pages",
-            "faults/query",
-            "hit ratio",
-        ],
+        &["placement", "colocation", "buffer pages", "faults/query", "hit ratio"],
     );
     let (g, _) = network_with_index(NetworkClass::Grid, scale);
     let n = g.num_nodes() as u32;
@@ -108,10 +102,7 @@ mod tests {
         // First row of each placement block is the starved buffer — the
         // regime where placement quality matters.
         let faults = |p: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == p)
-                .unwrap_or_else(|| panic!("row {p}"))[3]
+            t.rows.iter().find(|r| r[0] == p).unwrap_or_else(|| panic!("row {p}"))[3]
                 .parse()
                 .unwrap()
         };

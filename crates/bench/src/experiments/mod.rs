@@ -1,5 +1,8 @@
 //! The experiment suite — one module per paper artifact (see DESIGN.md §3).
 
+pub mod e10_scaling;
+pub mod e11_intersection;
+pub mod e12_batching;
 pub mod e1_algorithms;
 pub mod e2_techniques;
 pub mod e3_breach;
@@ -9,9 +12,6 @@ pub mod e6_collusion;
 pub mod e7_strategies;
 pub mod e8_clustering;
 pub mod e9_storage;
-pub mod e10_scaling;
-pub mod e11_intersection;
-pub mod e12_batching;
 
 use crate::setup::Scale;
 use crate::table::ExperimentTable;

@@ -30,9 +30,7 @@ impl Scale {
 
 /// The experiment suite's default map: one network per class, fixed seed.
 pub fn network(class: NetworkClass, scale: &Scale) -> RoadNetwork {
-    class
-        .generate(scale.network_nodes, 0xC0FFEE)
-        .expect("generators produce valid networks")
+    class.generate(scale.network_nodes, 0xC0FFEE).expect("generators produce valid networks")
 }
 
 /// Network plus spatial index, the common pair.

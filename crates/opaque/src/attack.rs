@@ -16,8 +16,8 @@
 use crate::metrics::{effective_anonymity, endpoint_posterior, map_success_probability};
 use crate::obfuscator::ObfuscationUnit;
 use crate::query::{ClientId, PathQuery};
-use rand::rngs::StdRng;
 use rand::Rng;
+use rand::rngs::StdRng;
 use roadnet::NodeId;
 use std::collections::HashSet;
 
@@ -166,22 +166,13 @@ pub fn collusion_attack(
         }
     }
 
-    let residual_s: Vec<NodeId> = unit
-        .query
-        .sources()
-        .iter()
-        .copied()
-        .filter(|s| !revealed_s.contains(s))
-        .collect();
-    let residual_t: Vec<NodeId> = unit
-        .query
-        .targets()
-        .iter()
-        .copied()
-        .filter(|t| !revealed_t.contains(t))
-        .collect();
+    let residual_s: Vec<NodeId> =
+        unit.query.sources().iter().copied().filter(|s| !revealed_s.contains(s)).collect();
+    let residual_t: Vec<NodeId> =
+        unit.query.targets().iter().copied().filter(|t| !revealed_t.contains(t)).collect();
 
-    let victim_in_play = residual_s.contains(&truth.source) && residual_t.contains(&truth.destination);
+    let victim_in_play =
+        residual_s.contains(&truth.source) && residual_t.contains(&truth.destination);
     let analytic = if victim_in_play && !residual_s.is_empty() && !residual_t.is_empty() {
         1.0 / (residual_s.len() as f64 * residual_t.len() as f64)
     } else {
@@ -273,8 +264,9 @@ mod tests {
     use roadnet::generators::{GridConfig, grid_network};
 
     fn obfuscator() -> Obfuscator {
-        let map = grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
-            .unwrap();
+        let map =
+            grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
+                .unwrap();
         Obfuscator::new(map, FakeSelection::Uniform, 31)
     }
 
@@ -334,8 +326,7 @@ mod tests {
     #[test]
     fn collusion_shrinks_the_anonymity_set() {
         let mut ob = obfuscator();
-        let reqs =
-            vec![request(0, 0, 399, 4), request(1, 21, 378, 4), request(2, 42, 357, 4)];
+        let reqs = vec![request(0, 0, 399, 4), request(1, 21, 378, 4), request(2, 42, 357, 4)];
         let unit = ob.obfuscate_shared(&reqs).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
 
@@ -401,13 +392,12 @@ mod tests {
 
     #[test]
     fn consistent_fakes_defeat_the_intersection_attack() {
-        let map = grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
-            .unwrap();
-        let mut ob =
-            Obfuscator::new(map, FakeSelection::Uniform, 31).with_consistent_fakes(true);
+        let map =
+            grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
+                .unwrap();
+        let mut ob = Obfuscator::new(map, FakeSelection::Uniform, 31).with_consistent_fakes(true);
         let r = request(0, 0, 399, 5);
-        let units: Vec<_> =
-            (0..10).map(|_| ob.obfuscate_independent(&r).expect("ok")).collect();
+        let units: Vec<_> = (0..10).map(|_| ob.obfuscate_independent(&r).expect("ok")).collect();
         let rep = intersection_attack(&units, &r.query);
         assert!(!rep.pinpointed);
         assert_eq!(rep.candidates_per_round.last(), Some(&25), "intersection never shrinks");
@@ -420,10 +410,10 @@ mod tests {
 
     #[test]
     fn consistency_cache_is_keyed_by_protection_too() {
-        let map = grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
-            .unwrap();
-        let mut ob =
-            Obfuscator::new(map, FakeSelection::Uniform, 31).with_consistent_fakes(true);
+        let map =
+            grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
+                .unwrap();
+        let mut ob = Obfuscator::new(map, FakeSelection::Uniform, 31).with_consistent_fakes(true);
         let weak = request(0, 0, 399, 2);
         let strong = request(0, 0, 399, 5);
         let a = ob.obfuscate_independent(&weak).unwrap();

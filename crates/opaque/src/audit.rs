@@ -83,18 +83,8 @@ impl PrivacyLedger {
                 revealed_t.insert(r.query.destination);
             }
         }
-        let residual_s = unit
-            .query
-            .sources()
-            .iter()
-            .filter(|s| !revealed_s.contains(s))
-            .count();
-        let residual_t = unit
-            .query
-            .targets()
-            .iter()
-            .filter(|t| !revealed_t.contains(t))
-            .count();
+        let residual_s = unit.query.sources().iter().filter(|s| !revealed_s.contains(s)).count();
+        let residual_t = unit.query.targets().iter().filter(|t| !revealed_t.contains(t)).count();
         let own_survives = !revealed_s.contains(&request.query.source)
             && !revealed_t.contains(&request.query.destination);
         let collusion = if own_survives && residual_s > 0 && residual_t > 0 {
@@ -127,10 +117,8 @@ impl PrivacyLedger {
             // Survivors of intersecting all distinct observed obfuscations.
             let mut survivors: Option<HashSet<(NodeId, NodeId)>> = None;
             for (sources, targets) in &h.obfuscations {
-                let round: HashSet<(NodeId, NodeId)> = sources
-                    .iter()
-                    .flat_map(|&s| targets.iter().map(move |&t| (s, t)))
-                    .collect();
+                let round: HashSet<(NodeId, NodeId)> =
+                    sources.iter().flat_map(|&s| targets.iter().map(move |&t| (s, t))).collect();
                 survivors = Some(match survivors {
                     None => round,
                     Some(prev) => prev.intersection(&round).copied().collect(),
@@ -159,8 +147,9 @@ mod tests {
     use roadnet::generators::{GridConfig, grid_network};
 
     fn obfuscator(consistent: bool) -> Obfuscator {
-        let map = grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
-            .unwrap();
+        let map =
+            grid_network(&GridConfig { width: 20, height: 20, seed: 2, ..Default::default() })
+                .unwrap();
         Obfuscator::new(map, FakeSelection::Uniform, 77).with_consistent_fakes(consistent)
     }
 

@@ -211,10 +211,8 @@ pub fn run_technique(
             for _ in 0..num_fakes {
                 // Whole fake queries with both endpoints random [8].
                 loop {
-                    let fq = PathQuery::new(
-                        NodeId(rng.gen_range(0..n)),
-                        NodeId(rng.gen_range(0..n)),
-                    );
+                    let fq =
+                        PathQuery::new(NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n)));
                     if fq.source != fq.destination {
                         server.process_plain(&fq);
                         break;
@@ -235,8 +233,7 @@ pub fn run_technique(
         }
 
         Technique::Opaque { f_s, f_t } => {
-            let mut ob =
-                Obfuscator::new(map.clone(), FakeSelection::default_ring(), seed ^ 0x6f70);
+            let mut ob = Obfuscator::new(map.clone(), FakeSelection::default_ring(), seed ^ 0x6f70);
             let request = ClientRequest::new(
                 ClientId(0),
                 *q,
@@ -263,11 +260,7 @@ pub fn run_technique(
 }
 
 fn relative_error(returned: f64, truth: f64) -> f64 {
-    if truth <= 0.0 {
-        0.0
-    } else {
-        (returned - truth).abs() / truth
-    }
+    if truth <= 0.0 { 0.0 } else { (returned - truth).abs() / truth }
 }
 
 #[cfg(test)]

@@ -22,6 +22,14 @@ pub enum OpaqueError {
     CorruptResult { source: NodeId, destination: NodeId },
     /// A batch submitted for shared obfuscation was empty.
     EmptyBatch,
+    /// A batch carried two requests with the same [`ClientId`]. The
+    /// pipeline restores request order and routes delivered paths by client
+    /// id, so duplicates are ambiguous; the service rejects them at
+    /// admission instead of silently collapsing them.
+    DuplicateClient { client: crate::query::ClientId },
+    /// A service was configured inconsistently (missing map, zero shards,
+    /// mismatched weights, empty batch policy, …).
+    InvalidConfig { reason: String },
 }
 
 impl fmt::Display for OpaqueError {
@@ -31,7 +39,10 @@ impl fmt::Display for OpaqueError {
                 write!(f, "invalid protection settings (f_S={f_s}, f_T={f_t}); both must be >= 1")
             }
             OpaqueError::NotEnoughFakes { requested, available } => {
-                write!(f, "cannot pick {requested} fake endpoints, only {available} candidates available")
+                write!(
+                    f,
+                    "cannot pick {requested} fake endpoints, only {available} candidates available"
+                )
             }
             OpaqueError::UnknownNode { node } => write!(f, "node {node} is not on the map"),
             OpaqueError::MissingResult { source, destination } => {
@@ -41,6 +52,12 @@ impl fmt::Display for OpaqueError {
                 write!(f, "candidate path for Q({source}, {destination}) failed verification")
             }
             OpaqueError::EmptyBatch => write!(f, "empty request batch"),
+            OpaqueError::DuplicateClient { client } => {
+                write!(f, "client {client} appears more than once in the batch")
+            }
+            OpaqueError::InvalidConfig { reason } => {
+                write!(f, "invalid service configuration: {reason}")
+            }
         }
     }
 }

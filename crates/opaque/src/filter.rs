@@ -42,41 +42,62 @@ pub fn filter_candidates(
 ) -> Result<Vec<ClientResult>> {
     let mut out = Vec::with_capacity(unit.requests.len());
     for request in &unit.requests {
-        let q = request.query;
-        let (i, j) = match (unit.query.source_index(q.source), unit.query.target_index(q.destination))
-        {
-            (Some(i), Some(j)) => (i, j),
-            _ => {
-                // The unit does not embed this request — a malformed unit is
-                // an obfuscator bug surfaced as a missing result.
-                return Err(OpaqueError::MissingResult {
-                    source: q.source,
-                    destination: q.destination,
-                });
-            }
-        };
-        let path = candidates.paths[i][j].as_ref().ok_or(OpaqueError::MissingResult {
-            source: q.source,
-            destination: q.destination,
-        })?;
-        let endpoints_ok = path.source() == q.source && path.destination() == q.destination;
-        if !endpoints_ok {
+        let path = extract_path(unit, request, candidates, verify_on)?.ok_or(
+            OpaqueError::MissingResult {
+                source: request.query.source,
+                destination: request.query.destination,
+            },
+        )?;
+        out.push(ClientResult { client: request.client, path });
+    }
+    Ok(out)
+}
+
+/// Extract one carried request's true path from the candidate matrix.
+///
+/// Returns `Ok(None)` when the candidate entry for the pair is absent —
+/// i.e. the pair is disconnected on the backend's map. The service layer
+/// turns that into a per-client `Unreachable` outcome; [`filter_candidates`]
+/// keeps its historical all-or-error contract by mapping it to
+/// [`OpaqueError::MissingResult`].
+///
+/// # Errors
+/// * [`OpaqueError::MissingResult`] — the unit does not embed the request
+///   at all (a malformed unit is an obfuscator bug);
+/// * [`OpaqueError::CorruptResult`] — the candidate path has wrong
+///   endpoints, or fails map verification when `verify_on` is set.
+pub fn extract_path(
+    unit: &ObfuscationUnit,
+    request: &crate::query::ClientRequest,
+    candidates: &MsmdResult,
+    verify_on: Option<&RoadNetwork>,
+) -> Result<Option<Path>> {
+    let q = request.query;
+    let (i, j) = match (unit.query.source_index(q.source), unit.query.target_index(q.destination)) {
+        (Some(i), Some(j)) => (i, j),
+        _ => {
+            return Err(OpaqueError::MissingResult {
+                source: q.source,
+                destination: q.destination,
+            });
+        }
+    };
+    let Some(path) = candidates.paths[i][j].as_ref() else {
+        return Ok(None);
+    };
+    let endpoints_ok = path.source() == q.source && path.destination() == q.destination;
+    if !endpoints_ok {
+        return Err(OpaqueError::CorruptResult { source: q.source, destination: q.destination });
+    }
+    if let Some(map) = verify_on {
+        if !path.verify(map, 1e-6) {
             return Err(OpaqueError::CorruptResult {
                 source: q.source,
                 destination: q.destination,
             });
         }
-        if let Some(map) = verify_on {
-            if !path.verify(map, 1e-6) {
-                return Err(OpaqueError::CorruptResult {
-                    source: q.source,
-                    destination: q.destination,
-                });
-            }
-        }
-        out.push(ClientResult { client: request.client, path: path.clone() });
     }
-    Ok(out)
+    Ok(Some(path.clone()))
 }
 
 #[cfg(test)]
@@ -86,12 +107,13 @@ mod tests {
     use crate::query::{ClientRequest, PathQuery, ProtectionSettings};
     use crate::server::DirectionsServer;
     use pathsearch::SharingPolicy;
-    use roadnet::generators::{GridConfig, grid_network};
     use roadnet::NodeId;
+    use roadnet::generators::{GridConfig, grid_network};
 
     fn pipeline() -> (Obfuscator, DirectionsServer<roadnet::RoadNetwork>) {
-        let map = grid_network(&GridConfig { width: 15, height: 15, seed: 4, ..Default::default() })
-            .unwrap();
+        let map =
+            grid_network(&GridConfig { width: 15, height: 15, seed: 4, ..Default::default() })
+                .unwrap();
         let server = DirectionsServer::new(map.clone(), SharingPolicy::PerSource);
         (Obfuscator::new(map, FakeSelection::default_ring(), 7), server)
     }
@@ -117,8 +139,9 @@ mod tests {
             assert_eq!(res.path.source(), req.query.source);
             assert_eq!(res.path.destination(), req.query.destination);
             // And the delivered path is genuinely shortest.
-            let direct = pathsearch::shortest_path(ob.map(), req.query.source, req.query.destination)
-                .unwrap();
+            let direct =
+                pathsearch::shortest_path(ob.map(), req.query.source, req.query.destination)
+                    .unwrap();
             assert!((res.path.distance() - direct.distance()).abs() < 1e-9);
         }
     }

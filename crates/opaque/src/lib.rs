@@ -18,8 +18,12 @@
 //! * [`server`] — the directions-search server with its obfuscated path
 //!   query processor;
 //! * [`filter`] — the candidate result path filter;
-//! * [`system`] — the assembled client–obfuscator–server pipeline with
-//!   accounting;
+//! * [`service`] — the deployable pipeline: pluggable
+//!   [`DirectionsBackend`]s (single server or a [`ShardedBackend`] fleet),
+//!   the [`Batcher`] admission queue, and the builder-configured
+//!   [`OpaqueService`] with typed accounting;
+//! * [`system`] — a thin compatibility shim ([`OpaqueSystem`]) over the
+//!   service, preserving the original strict batch API;
 //! * [`attack`] — uniform, background-knowledge, and collusion adversaries;
 //! * [`baselines`] — the §II location-privacy techniques (landmark,
 //!   cloaking, naive fakes) for measured comparison;
@@ -29,27 +33,45 @@
 //!
 //! ```
 //! use opaque::{
-//!     ClientId, ClientRequest, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator,
-//!     OpaqueSystem, PathQuery, ProtectionSettings,
+//!     BatchPolicy, ClientId, ClientOutcome, ClientRequest, ObfuscationMode, PathQuery,
+//!     ProtectionSettings, ServiceBuilder,
 //! };
-//! use pathsearch::SharingPolicy;
-//! use roadnet::generators::{GridConfig, grid_network};
 //! use roadnet::NodeId;
+//! use roadnet::generators::{GridConfig, grid_network};
 //!
+//! // Assemble a deployment: map, three round-robin server shards, shared
+//! // obfuscation, and an admission queue that flushes at 2 requests or
+//! // after 5 simulated seconds.
 //! let map = grid_network(&GridConfig { width: 12, height: 12, ..Default::default() }).unwrap();
-//! let obfuscator = Obfuscator::new(map.clone(), FakeSelection::default_ring(), 7);
-//! let server = DirectionsServer::new(map, SharingPolicy::PerSource);
-//! let mut system = OpaqueSystem::new(obfuscator, server);
+//! let mut service = ServiceBuilder::new()
+//!     .map(map)
+//!     .seed(7)
+//!     .shards(3)
+//!     .obfuscation_mode(ObfuscationMode::SharedGlobal)
+//!     .batch_policy(BatchPolicy { max_batch: 2, max_delay: 5.0 })
+//!     .verify_results(true)
+//!     .build()
+//!     .unwrap();
 //!
-//! // Alice asks for directions with a 3×3 anonymity requirement.
-//! let alice = ClientRequest::new(
-//!     ClientId(0),
-//!     PathQuery::new(NodeId(0), NodeId(143)),
-//!     ProtectionSettings::new(3, 3).unwrap(),
-//! );
-//! let (results, report) = system.process_batch(&[alice], ObfuscationMode::Independent).unwrap();
-//! assert_eq!(results[0].path.source(), NodeId(0));
-//! assert!((report.per_client_breach[0].1 - 1.0 / 9.0).abs() < 1e-12);
+//! // Alice and Bob ask for directions with 3×3 anonymity requirements.
+//! let request = |id: u32, s: u32, t: u32| {
+//!     ClientRequest::new(
+//!         ClientId(id),
+//!         PathQuery::new(NodeId(s), NodeId(t)),
+//!         ProtectionSettings::new(3, 3).unwrap(),
+//!     )
+//! };
+//! service.submit(request(0, 0, 143), 0.0).unwrap();
+//! service.submit(request(1, 11, 132), 0.4).unwrap();
+//!
+//! // The size trigger fires: the batch is obfuscated into one shared
+//! // query, answered by the shard fleet, filtered, and accounted.
+//! let response = service.tick(0.4).unwrap().expect("size trigger fired");
+//! assert_eq!(response.results.len(), 2);
+//! assert_eq!(response.outcomes[0].1, ClientOutcome::Delivered);
+//! assert_eq!(response.report.mode, ObfuscationMode::SharedGlobal);
+//! // Both true pairs hide in one ≥3×3 query: breach ≤ 1/9 (Definition 2).
+//! assert!(response.report.mean_breach() <= 1.0 / 9.0 + 1e-12);
 //! ```
 
 pub mod attack;
@@ -62,20 +84,26 @@ pub mod obfuscator;
 pub mod protocol;
 pub mod query;
 pub mod server;
+pub mod service;
 pub mod system;
 
 pub use attack::{AttackReport, CollusionReport, InformedAttackReport, IntersectionReport};
 pub use audit::{ExposureReport, PrivacyLedger};
 pub use baselines::{Technique, TechniqueReport, run_technique};
-pub use protocol::{
-    CandidateResultsMsg, HopTraffic, ObfuscatedQueryMsg, RequestMsg, ResultMsg, wire_size,
-};
 pub use error::{OpaqueError, Result};
 pub use filter::{ClientResult, filter_candidates};
 pub use obfuscator::{
     Cluster, ClusteringConfig, FakeSelection, ObfuscationMode, ObfuscationUnit, Obfuscator,
     cluster_requests,
 };
+pub use protocol::{
+    CandidateResultsMsg, HopTraffic, ObfuscatedQueryMsg, RequestMsg, ResultMsg, wire_size,
+};
 pub use query::{ClientId, ClientRequest, ObfuscatedPathQuery, PathQuery, ProtectionSettings};
 pub use server::{DirectionsServer, ServerStats};
-pub use system::{BatchReport, OpaqueSystem};
+pub use service::{
+    BatchPolicy, BatchReport, Batcher, ClientOutcome, DefaultBackend, DirectionsBackend,
+    DrainedBatch, OpaqueService, ServiceBuilder, ServiceConfig, ServiceResponse, ShardedBackend,
+    Ticket,
+};
+pub use system::OpaqueSystem;

@@ -51,10 +51,8 @@ pub fn cluster_requests(
 
     // Admission radius from the batch's median query length — robust to a
     // few outlier long-haul queries.
-    let mut lengths: Vec<f64> = requests
-        .iter()
-        .map(|r| map.euclidean(r.query.source, r.query.destination))
-        .collect();
+    let mut lengths: Vec<f64> =
+        requests.iter().map(|r| map.euclidean(r.query.source, r.query.destination)).collect();
     lengths.sort_by(f64::total_cmp);
     let median = lengths[lengths.len() / 2].max(f64::EPSILON);
     let radius = cfg.radius_scale * median;
@@ -101,8 +99,8 @@ pub fn cluster_requests(
 mod tests {
     use super::*;
     use crate::query::{ClientId, PathQuery, ProtectionSettings};
-    use roadnet::generators::{GridConfig, grid_network};
     use roadnet::NodeId;
+    use roadnet::generators::{GridConfig, grid_network};
 
     fn request(i: u32, s: u32, t: u32) -> ClientRequest {
         ClientRequest::new(
@@ -113,8 +111,14 @@ mod tests {
     }
 
     fn map() -> RoadNetwork {
-        grid_network(&GridConfig { width: 20, height: 20, seed: 0, jitter: 0.0, ..Default::default() })
-            .unwrap()
+        grid_network(&GridConfig {
+            width: 20,
+            height: 20,
+            seed: 0,
+            jitter: 0.0,
+            ..Default::default()
+        })
+        .unwrap()
     }
 
     #[test]
@@ -122,9 +126,9 @@ mod tests {
         let g = map();
         // Two pairs of almost-identical commutes plus one far-away query.
         let reqs = vec![
-            request(0, 0, 19),       // top-left → top-right
-            request(1, 20, 39),      // one row down, same direction
-            request(2, 380, 399),    // bottom row, far from the first two sources
+            request(0, 0, 19),    // top-left → top-right
+            request(1, 20, 39),   // one row down, same direction
+            request(2, 380, 399), // bottom row, far from the first two sources
         ];
         let clusters = cluster_requests(&g, &reqs, &ClusteringConfig::default());
         assert_eq!(clusters.len(), 2);

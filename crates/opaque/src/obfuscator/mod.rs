@@ -22,15 +22,21 @@ pub use strategy::{FakeSelection, SelectionContext, select_fakes};
 
 use crate::error::{OpaqueError, Result};
 use crate::query::{ClientRequest, ObfuscatedPathQuery};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand::rngs::StdRng;
 use roadnet::{NodeId, RoadNetwork, SpatialIndex};
 use std::collections::HashSet;
 
 /// How a batch of requests is turned into obfuscated queries.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// Serializes with serde's externally-tagged enum representation — unit
+/// modes as their variant name, `SharedClustered` as a tagged object
+/// carrying its [`ClusteringConfig`] — so reports round-trip the *full*
+/// mode, parameters included, instead of a lossy display string.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ObfuscationMode {
     /// One independently obfuscated query per request (Figure 3).
+    #[default]
     Independent,
     /// A single shared obfuscated query for the whole batch (Figure 4).
     SharedGlobal,
@@ -38,14 +44,14 @@ pub enum ObfuscationMode {
     SharedClustered(ClusteringConfig),
 }
 
-impl ObfuscationMode {
-    /// Short name used in experiment tables.
-    pub fn name(&self) -> &'static str {
-        match self {
+impl std::fmt::Display for ObfuscationMode {
+    /// Short name used in experiment tables and logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
             ObfuscationMode::Independent => "independent",
             ObfuscationMode::SharedGlobal => "shared-global",
             ObfuscationMode::SharedClustered(_) => "shared-clustered",
-        }
+        })
     }
 }
 
@@ -61,9 +67,9 @@ impl ObfuscationUnit {
     /// Check the Definition 1 invariants for every carried request: the
     /// true endpoints are embedded and the requested protection met.
     pub fn is_well_formed(&self) -> bool {
-        self.requests.iter().all(|r| {
-            self.query.covers(&r.query) && self.query.satisfies(&r.protection)
-        })
+        self.requests
+            .iter()
+            .all(|r| self.query.covers(&r.query) && self.query.satisfies(&r.protection))
     }
 }
 
@@ -78,7 +84,8 @@ pub struct Obfuscator {
     rng: StdRng,
     /// Memo of independently obfuscated queries, keyed by the true query
     /// and its protection sizes. See [`Obfuscator::with_consistent_fakes`].
-    consistency_cache: Option<std::collections::HashMap<(crate::query::PathQuery, u32, u32), ObfuscatedPathQuery>>,
+    consistency_cache:
+        Option<std::collections::HashMap<(crate::query::PathQuery, u32, u32), ObfuscatedPathQuery>>,
 }
 
 impl Obfuscator {
@@ -144,7 +151,29 @@ impl Obfuscator {
         self.weights.as_deref()
     }
 
-    fn check_request(&self, r: &ClientRequest) -> Result<()> {
+    /// Count-level feasibility check: everything [`Obfuscator::check_request`]
+    /// validates, plus whether the map can hold the requested sets at all.
+    /// Obfuscated queries are built with `S` and `T` disjoint (fakes never
+    /// collide with any already-chosen endpoint), so a request needs
+    /// `f_S + f_T` distinct nodes — that invariant lives here, next to the
+    /// code that enforces it, and the service layer's admission path asks
+    /// this method instead of restating the bound. Strategy-level
+    /// constraints (e.g. a network ring confined to a small component)
+    /// are only discoverable by actually obfuscating.
+    pub fn can_satisfy(&self, r: &ClientRequest) -> Result<()> {
+        self.check_request(r)?;
+        let n = self.map.num_nodes();
+        let needed = r.protection.f_s as usize + r.protection.f_t as usize;
+        if needed > n {
+            return Err(OpaqueError::NotEnoughFakes { requested: needed, available: n });
+        }
+        Ok(())
+    }
+
+    /// Validate a request against this obfuscator's map: endpoints must be
+    /// known nodes and the protection sizes positive. Shared with the
+    /// service layer's admission path.
+    pub(crate) fn check_request(&self, r: &ClientRequest) -> Result<()> {
         let n = self.map.num_nodes();
         for node in [r.query.source, r.query.destination] {
             if node.index() >= n {
@@ -181,8 +210,7 @@ impl Obfuscator {
     /// `|T| = f_T`, with the true endpoints embedded.
     pub fn obfuscate_independent(&mut self, request: &ClientRequest) -> Result<ObfuscationUnit> {
         self.check_request(request)?;
-        let cache_key =
-            (request.query, request.protection.f_s, request.protection.f_t);
+        let cache_key = (request.query, request.protection.f_s, request.protection.f_t);
         if let Some(cache) = &self.consistency_cache {
             if let Some(query) = cache.get(&cache_key) {
                 return Ok(ObfuscationUnit { query: query.clone(), requests: vec![*request] });
@@ -238,8 +266,7 @@ impl Obfuscator {
         let need_s = requests.iter().map(|r| r.protection.f_s).max().expect("non-empty") as usize;
         let need_t = requests.iter().map(|r| r.protection.f_t).max().expect("non-empty") as usize;
 
-        let mut exclude: HashSet<NodeId> =
-            sources.iter().chain(targets.iter()).copied().collect();
+        let mut exclude: HashSet<NodeId> = sources.iter().chain(targets.iter()).copied().collect();
 
         // Anchor each fake on a member request round-robin, so fakes are
         // plausible for every participant rather than clustering around one.
@@ -398,9 +425,9 @@ mod tests {
             let mut ob = obfuscator(FakeSelection::default_ring());
             let units = ob.obfuscate_batch(&reqs, mode).unwrap();
             let covered: usize = units.iter().map(|u| u.requests.len()).sum();
-            assert_eq!(covered, reqs.len(), "{}", mode.name());
+            assert_eq!(covered, reqs.len(), "{mode}");
             for u in &units {
-                assert!(u.is_well_formed(), "{}", mode.name());
+                assert!(u.is_well_formed(), "{mode}");
             }
             match mode {
                 ObfuscationMode::Independent => assert_eq!(units.len(), 8),
@@ -433,10 +460,7 @@ mod tests {
         let mut ob = obfuscator(FakeSelection::Uniform);
         assert!(matches!(ob.obfuscate_shared(&[]), Err(OpaqueError::EmptyBatch)));
         let bad = request(0, 9999, 1, 2, 2);
-        assert!(matches!(
-            ob.obfuscate_independent(&bad),
-            Err(OpaqueError::UnknownNode { .. })
-        ));
+        assert!(matches!(ob.obfuscate_independent(&bad), Err(OpaqueError::UnknownNode { .. })));
         // Map has 400 nodes; asking for 500 sources cannot be satisfied.
         let greedy = request(0, 0, 399, 500, 2);
         assert!(matches!(
@@ -457,12 +481,37 @@ mod tests {
     }
 
     #[test]
-    fn mode_names() {
-        assert_eq!(ObfuscationMode::Independent.name(), "independent");
-        assert_eq!(ObfuscationMode::SharedGlobal.name(), "shared-global");
+    fn mode_display_names() {
+        assert_eq!(ObfuscationMode::Independent.to_string(), "independent");
+        assert_eq!(ObfuscationMode::SharedGlobal.to_string(), "shared-global");
         assert_eq!(
-            ObfuscationMode::SharedClustered(ClusteringConfig::default()).name(),
+            ObfuscationMode::SharedClustered(ClusteringConfig::default()).to_string(),
             "shared-clustered"
+        );
+    }
+
+    #[test]
+    fn mode_serde_round_trips_with_parameters() {
+        for mode in [
+            ObfuscationMode::Independent,
+            ObfuscationMode::SharedGlobal,
+            ObfuscationMode::SharedClustered(ClusteringConfig {
+                radius_scale: 0.75,
+                max_cluster_size: 9,
+            }),
+        ] {
+            let json = serde_json::to_string(&mode).unwrap();
+            let back: ObfuscationMode = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mode, "{json}");
+        }
+        // Externally tagged: the clustered mode keeps its parameters.
+        let json =
+            serde_json::to_string(&ObfuscationMode::SharedClustered(ClusteringConfig::default()))
+                .unwrap();
+        assert!(json.contains("SharedClustered") && json.contains("radius_scale"), "{json}");
+        assert_eq!(
+            serde_json::to_string(&ObfuscationMode::Independent).unwrap(),
+            "\"Independent\""
         );
     }
 }

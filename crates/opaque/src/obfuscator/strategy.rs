@@ -15,8 +15,8 @@
 //! Three strategies span this trade-off; E7 measures all of them.
 
 use crate::error::{OpaqueError, Result};
-use rand::rngs::StdRng;
 use rand::Rng;
+use rand::rngs::StdRng;
 use roadnet::{NodeId, Point, RoadNetwork, SpatialIndex};
 use std::collections::HashSet;
 
@@ -91,11 +91,7 @@ impl SelectionContext<'_> {
     /// positive.
     fn scale(&self) -> f64 {
         let d = self.map.euclidean(self.anchor, self.counterpart);
-        if d > f64::EPSILON {
-            d
-        } else {
-            (self.map.bbox().diagonal() * 0.05).max(1.0)
-        }
+        if d > f64::EPSILON { d } else { (self.map.bbox().diagonal() * 0.05).max(1.0) }
     }
 }
 
@@ -210,10 +206,7 @@ fn ring(
             // Annulus covers the whole map and still not enough nodes —
             // availability pre-check makes this unreachable, but keep a
             // defensive error rather than an infinite loop.
-            return Err(OpaqueError::NotEnoughFakes {
-                requested: count,
-                available: out.len(),
-            });
+            return Err(OpaqueError::NotEnoughFakes { requested: count, available: out.len() });
         }
         r_lo = (r_lo * 0.5).max(0.0);
         r_hi = (r_hi * 2.0).min(diag.max(r_hi + 1.0));
@@ -341,7 +334,13 @@ mod tests {
         idx: &'a SpatialIndex,
         weights: Option<&'a [f64]>,
     ) -> SelectionContext<'a> {
-        SelectionContext { map: g, index: idx, weights, anchor: NodeId(0), counterpart: NodeId(399) }
+        SelectionContext {
+            map: g,
+            index: idx,
+            weights,
+            anchor: NodeId(0),
+            counterpart: NodeId(399),
+        }
     }
 
     #[test]
@@ -379,9 +378,14 @@ mod tests {
             counterpart: NodeId(215),
         };
         let d = g.euclidean(NodeId(210), NodeId(215));
-        let fakes =
-            select_fakes(FakeSelection::Ring { lo: 0.3, hi: 1.2 }, &c, &HashSet::new(), 6, &mut rng)
-                .unwrap();
+        let fakes = select_fakes(
+            FakeSelection::Ring { lo: 0.3, hi: 1.2 },
+            &c,
+            &HashSet::new(),
+            6,
+            &mut rng,
+        )
+        .unwrap();
         let anchor = g.point(NodeId(210));
         for f in fakes {
             let dist = anchor.distance(g.point(f));
@@ -424,7 +428,8 @@ mod tests {
         weights[100..110].fill(1.0);
         let mut rng = StdRng::seed_from_u64(11);
         let c = ctx(&g, &idx, Some(&weights));
-        let fakes = select_fakes(FakeSelection::Weighted, &c, &HashSet::new(), 8, &mut rng).unwrap();
+        let fakes =
+            select_fakes(FakeSelection::Weighted, &c, &HashSet::new(), 8, &mut rng).unwrap();
         for f in &fakes {
             assert!((100..110).contains(&f.index()), "fake {f} outside weighted region");
         }
@@ -435,7 +440,8 @@ mod tests {
         let (g, idx) = setup();
         let mut rng = StdRng::seed_from_u64(2);
         let c = ctx(&g, &idx, None);
-        let fakes = select_fakes(FakeSelection::Weighted, &c, &HashSet::new(), 5, &mut rng).unwrap();
+        let fakes =
+            select_fakes(FakeSelection::Weighted, &c, &HashSet::new(), 5, &mut rng).unwrap();
         assert_eq!(fakes.len(), 5);
     }
 
@@ -445,8 +451,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let c = ctx(&g, &idx, None);
         let n = g.num_nodes();
-        let err = select_fakes(FakeSelection::Uniform, &c, &HashSet::new(), n + 1, &mut rng)
-            .unwrap_err();
+        let err =
+            select_fakes(FakeSelection::Uniform, &c, &HashSet::new(), n + 1, &mut rng).unwrap_err();
         assert!(matches!(err, OpaqueError::NotEnoughFakes { .. }));
     }
 
@@ -455,9 +461,11 @@ mod tests {
         let (g, idx) = setup();
         let mut rng = StdRng::seed_from_u64(2);
         let c = ctx(&g, &idx, None);
-        assert!(select_fakes(FakeSelection::Uniform, &c, &HashSet::new(), 0, &mut rng)
-            .unwrap()
-            .is_empty());
+        assert!(
+            select_fakes(FakeSelection::Uniform, &c, &HashSet::new(), 0, &mut rng)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]
@@ -498,13 +506,7 @@ mod tests {
         let (g, idx) = setup();
         let mut rng = StdRng::seed_from_u64(13);
         let (anchor, counterpart) = (NodeId(210), NodeId(250));
-        let c = SelectionContext {
-            map: &g,
-            index: &idx,
-            weights: None,
-            anchor,
-            counterpart,
-        };
+        let c = SelectionContext { map: &g, index: &idx, weights: None, anchor, counterpart };
         let d = pathsearch::shortest_distance(&g, anchor, counterpart).unwrap();
         let fakes = select_fakes(
             FakeSelection::NetworkRing { lo: 0.5, hi: 2.0 },

@@ -186,8 +186,9 @@ mod tests {
 
     #[test]
     fn traffic_accounting_through_a_real_exchange() {
-        let map = grid_network(&GridConfig { width: 12, height: 12, seed: 3, ..Default::default() })
-            .unwrap();
+        let map =
+            grid_network(&GridConfig { width: 12, height: 12, seed: 3, ..Default::default() })
+                .unwrap();
         let mut ob = Obfuscator::new(map.clone(), FakeSelection::default_ring(), 5);
         let mut server = DirectionsServer::new(map, SharingPolicy::PerSource);
         let mut traffic = HopTraffic::default();
@@ -219,8 +220,10 @@ mod tests {
 
         assert!(traffic.requests_bytes > 0);
         assert!(traffic.queries_bytes > 0);
-        assert!(traffic.candidates_bytes > traffic.results_bytes,
-            "9 candidate paths outweigh 1 delivered path");
+        assert!(
+            traffic.candidates_bytes > traffic.results_bytes,
+            "9 candidate paths outweigh 1 delivered path"
+        );
         // Amplification for a 3×3 query is roughly the candidate count.
         let amp = traffic.candidate_amplification();
         assert!(amp > 2.0 && amp < 40.0, "amplification {amp} implausible");

@@ -5,7 +5,9 @@ use roadnet::NodeId;
 use std::fmt;
 
 /// Identifier of a client (user) of the directions-search service.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ClientId(pub u32);
 
 impl fmt::Debug for ClientId {
@@ -182,9 +184,9 @@ impl ObfuscatedPathQuery {
     /// Enumerate all `|S|×|T|` represented path queries, in (source-major)
     /// sorted order.
     pub fn represented_queries(&self) -> impl Iterator<Item = PathQuery> + '_ {
-        self.sources.iter().flat_map(move |&s| {
-            self.targets.iter().map(move |&t| PathQuery::new(s, t))
-        })
+        self.sources
+            .iter()
+            .flat_map(move |&s| self.targets.iter().map(move |&t| PathQuery::new(s, t)))
     }
 
     /// Whether `(f_s, f_t)` protection is satisfied by this query's sizes.
@@ -271,14 +273,9 @@ mod tests {
 
     #[test]
     fn for_breach_meets_the_bound_minimally() {
-        for &(bound, f_s, f_t) in &[
-            (1.0, 1, 1),
-            (0.5, 1, 2),
-            (0.25, 2, 2),
-            (0.1, 3, 4),
-            (0.05, 4, 5),
-            (0.01, 10, 10),
-        ] {
+        for &(bound, f_s, f_t) in
+            &[(1.0, 1, 1), (0.5, 1, 2), (0.25, 2, 2), (0.1, 3, 4), (0.05, 4, 5), (0.01, 10, 10)]
+        {
             let p = ProtectionSettings::for_breach(bound);
             assert_eq!((p.f_s, p.f_t), (f_s, f_t), "bound {bound}");
             assert!(p.breach_probability() <= bound + 1e-12);

@@ -10,7 +10,7 @@
 //! what different obfuscation regimes cost the provider.
 
 use crate::query::{ObfuscatedPathQuery, PathQuery};
-use pathsearch::{Goal, MsmdResult, Path, Searcher, SearchStats, SharingPolicy, msmd};
+use pathsearch::{Goal, MsmdResult, Path, SearchStats, Searcher, SharingPolicy, msmd};
 use roadnet::GraphView;
 
 /// Cumulative server-side load counters.
@@ -26,6 +26,19 @@ pub struct ServerStats {
     pub paths_returned: u64,
     /// Aggregated search counters.
     pub search: SearchStats,
+}
+
+impl ServerStats {
+    /// Fold another counter set into this one — used by multi-backend
+    /// deployments (e.g. [`crate::service::ShardedBackend`]) to report
+    /// fleet-wide load.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.obfuscated_queries += other.obfuscated_queries;
+        self.plain_queries += other.plain_queries;
+        self.pairs_evaluated += other.pairs_evaluated;
+        self.paths_returned += other.paths_returned;
+        self.search.merge(other.search);
+    }
 }
 
 /// The server: a graph view, an MSMD sharing policy, and load counters.
@@ -91,8 +104,8 @@ impl<G: GraphView> DirectionsServer<G> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use roadnet::generators::{GridConfig, grid_network};
     use roadnet::NodeId;
+    use roadnet::generators::{GridConfig, grid_network};
 
     fn server() -> DirectionsServer<roadnet::RoadNetwork> {
         let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })

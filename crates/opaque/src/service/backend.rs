@@ -1,0 +1,204 @@
+//! Pluggable directions-search backends.
+//!
+//! The paper's pipeline (Figure 5) names one concrete server; a production
+//! deployment serves the same obfuscated-query protocol from whatever is
+//! behind the wire — a single in-memory server, a paged-storage server, or
+//! a fleet of shards. [`DirectionsBackend`] is that protocol boundary: the
+//! exact operation surface the obfuscator needs from "the server side",
+//! and nothing more. [`crate::service::OpaqueService`] is generic over it,
+//! so later transports (async, remote) only need a new impl.
+
+use crate::error::{OpaqueError, Result};
+use crate::query::{ObfuscatedPathQuery, PathQuery};
+use crate::server::{DirectionsServer, ServerStats};
+use pathsearch::{MsmdResult, Path};
+use roadnet::GraphView;
+
+/// Anything that can answer directions queries for the OPAQUE pipeline.
+///
+/// Implementations must answer **honestly** (return a correct shortest
+/// path for every connected pair they report) but are assumed
+/// semi-trusted: they observe every query they serve, which is why they
+/// only ever receive obfuscated queries from the service.
+pub trait DirectionsBackend {
+    /// Answer an obfuscated path query: candidate paths for all
+    /// `|S| × |T|` pairs (`None` entries for disconnected pairs).
+    fn process(&mut self, query: &ObfuscatedPathQuery) -> MsmdResult;
+
+    /// Answer a plain, unprotected path query.
+    fn process_plain(&mut self, query: &PathQuery) -> Option<Path>;
+
+    /// Cumulative load counters across every query served.
+    fn stats(&self) -> ServerStats;
+
+    /// Zero the load counters.
+    fn reset_stats(&mut self);
+
+    /// Human-readable description for logs and reports.
+    fn label(&self) -> String {
+        "directions-backend".to_string()
+    }
+}
+
+impl<G: GraphView> DirectionsBackend for DirectionsServer<G> {
+    fn process(&mut self, query: &ObfuscatedPathQuery) -> MsmdResult {
+        DirectionsServer::process(self, query)
+    }
+
+    fn process_plain(&mut self, query: &PathQuery) -> Option<Path> {
+        DirectionsServer::process_plain(self, query)
+    }
+
+    fn stats(&self) -> ServerStats {
+        DirectionsServer::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        DirectionsServer::reset_stats(self)
+    }
+
+    fn label(&self) -> String {
+        format!("directions-server({})", self.policy().name())
+    }
+}
+
+impl<B: DirectionsBackend + ?Sized> DirectionsBackend for Box<B> {
+    fn process(&mut self, query: &ObfuscatedPathQuery) -> MsmdResult {
+        (**self).process(query)
+    }
+
+    fn process_plain(&mut self, query: &PathQuery) -> Option<Path> {
+        (**self).process_plain(query)
+    }
+
+    fn stats(&self) -> ServerStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}
+
+/// Round-robin fan-out over several backends.
+///
+/// Every shard holds (a view of) the whole map, so any shard can answer
+/// any query and the dispatcher can balance load by simple rotation —
+/// queries are independent, and each obfuscated query is already a
+/// self-contained unit of work. Cumulative [`ServerStats`] aggregate over
+/// all shards, so reports describe fleet-wide cost.
+pub struct ShardedBackend<B> {
+    shards: Vec<B>,
+    cursor: usize,
+}
+
+impl<B: DirectionsBackend> ShardedBackend<B> {
+    /// Build from a non-empty shard fleet.
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] when `shards` is empty.
+    pub fn new(shards: Vec<B>) -> Result<Self> {
+        if shards.is_empty() {
+            return Err(OpaqueError::InvalidConfig {
+                reason: "sharded backend needs at least one shard".to_string(),
+            });
+        }
+        Ok(ShardedBackend { shards, cursor: 0 })
+    }
+
+    /// Number of shards in the fleet.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, for per-shard inspection (load skew, I/O counters, …).
+    pub fn shards(&self) -> &[B] {
+        &self.shards
+    }
+
+    /// Per-shard pair counts — a quick balance check for experiments.
+    pub fn load_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.stats().pairs_evaluated).collect()
+    }
+}
+
+impl<B: DirectionsBackend> DirectionsBackend for ShardedBackend<B> {
+    fn process(&mut self, query: &ObfuscatedPathQuery) -> MsmdResult {
+        let picked = self.cursor;
+        self.cursor = (self.cursor + 1) % self.shards.len();
+        self.shards[picked].process(query)
+    }
+
+    fn process_plain(&mut self, query: &PathQuery) -> Option<Path> {
+        let picked = self.cursor;
+        self.cursor = (self.cursor + 1) % self.shards.len();
+        self.shards[picked].process_plain(query)
+    }
+
+    fn stats(&self) -> ServerStats {
+        let mut total = ServerStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats());
+        }
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_stats();
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("sharded({}x)", self.shards.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathsearch::SharingPolicy;
+    use roadnet::NodeId;
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn server() -> DirectionsServer<roadnet::RoadNetwork> {
+        let g = grid_network(&GridConfig { width: 10, height: 10, seed: 3, ..Default::default() })
+            .unwrap();
+        DirectionsServer::new(g, SharingPolicy::PerSource)
+    }
+
+    #[test]
+    fn sharded_round_robin_rotates_and_aggregates() {
+        let mut sharded = ShardedBackend::new(vec![server(), server(), server()]).unwrap();
+        let q = ObfuscatedPathQuery::new(vec![NodeId(0)], vec![NodeId(99)]);
+        for _ in 0..6 {
+            let r = DirectionsBackend::process(&mut sharded, &q);
+            assert_eq!(r.num_paths(), 1);
+        }
+        // 6 queries over 3 shards: exactly 2 each.
+        assert_eq!(sharded.load_per_shard(), vec![2, 2, 2]);
+        assert_eq!(sharded.stats().obfuscated_queries, 6);
+        assert_eq!(sharded.stats().pairs_evaluated, 6);
+        sharded.reset_stats();
+        assert_eq!(sharded.stats(), ServerStats::default());
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        let empty: Vec<DirectionsServer<roadnet::RoadNetwork>> = vec![];
+        assert!(matches!(ShardedBackend::new(empty), Err(OpaqueError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn boxed_backends_dispatch_dynamically() {
+        let mut backend: Box<dyn DirectionsBackend> = Box::new(server());
+        let p = backend.process_plain(&PathQuery::new(NodeId(0), NodeId(99))).unwrap();
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(backend.stats().plain_queries, 1);
+        assert!(backend.label().contains("directions-server"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Request admission and batching.
+//!
+//! The paper's obfuscator operates on batches ("partitions the received
+//! queries", §IV), but a live deployment receives a *stream*: requests must
+//! be collected for some window before shared obfuscation can help. The
+//! [`Batcher`] is that admission path. Clients [`Batcher::submit`] requests
+//! and receive a [`Ticket`]; the pending batch drains when either trigger
+//! fires:
+//!
+//! * **size** — the batch reached [`BatchPolicy::max_batch`] requests;
+//! * **deadline** — the oldest pending request has waited
+//!   [`BatchPolicy::max_delay`] seconds.
+//!
+//! Time is explicit (seconds as `f64`, matching `workload`'s arrival
+//! clocks): callers pass `now` into [`Batcher::submit`] and
+//! [`Batcher::tick`], which keeps the batcher deterministic and testable —
+//! and lets experiments replay recorded streams exactly.
+
+use crate::error::{OpaqueError, Result};
+use crate::query::{ClientId, ClientRequest};
+use std::collections::HashSet;
+
+/// When a pending batch is flushed.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush once the oldest pending request has waited this many seconds.
+    pub max_delay: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch: 32, max_delay: 5.0 }
+    }
+}
+
+impl BatchPolicy {
+    /// Check the policy is satisfiable.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(OpaqueError::InvalidConfig {
+                reason: "batch policy: max_batch must be >= 1".to_string(),
+            });
+        }
+        if !self.max_delay.is_finite() || self.max_delay < 0.0 {
+            return Err(OpaqueError::InvalidConfig {
+                reason: format!(
+                    "batch policy: max_delay must be finite and >= 0, got {}",
+                    self.max_delay
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Receipt for a submitted request; stable for the life of the batcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Ticket(pub u64);
+
+/// One drained batch: the requests in admission order, their tickets, and
+/// their arrival clocks (for latency accounting).
+#[derive(Clone, Debug)]
+pub struct DrainedBatch {
+    /// Requests in the order they were admitted.
+    pub requests: Vec<ClientRequest>,
+    /// `tickets[i]` was issued for `requests[i]`.
+    pub tickets: Vec<Ticket>,
+    /// `arrivals[i]` is the submission clock of `requests[i]`.
+    pub arrivals: Vec<f64>,
+}
+
+impl DrainedBatch {
+    /// Mean seconds the batch's requests waited, measured at `flush_time`.
+    pub fn mean_wait(&self, flush_time: f64) -> f64 {
+        if self.arrivals.is_empty() {
+            return 0.0;
+        }
+        self.arrivals.iter().map(|a| flush_time - a).sum::<f64>() / self.arrivals.len() as f64
+    }
+}
+
+/// The request queue in front of the obfuscator.
+pub struct Batcher {
+    policy: BatchPolicy,
+    pending: Vec<(Ticket, ClientRequest, f64)>,
+    pending_clients: HashSet<ClientId>,
+    /// Running `min` of pending arrivals (`INFINITY` when empty), so the
+    /// deadline check is O(1) per tick even for non-monotonic submit
+    /// clocks.
+    oldest_arrival: f64,
+    next_ticket: u64,
+}
+
+impl Batcher {
+    /// A batcher with the given flush policy.
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] when the policy is unsatisfiable.
+    pub fn new(policy: BatchPolicy) -> Result<Self> {
+        policy.validate()?;
+        // max_batch may be huge (deadline-only batching); don't pre-reserve.
+        Ok(Batcher {
+            policy,
+            pending: Vec::with_capacity(policy.max_batch.min(1024)),
+            pending_clients: HashSet::new(),
+            oldest_arrival: f64::INFINITY,
+            next_ticket: 0,
+        })
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Number of requests waiting for the next flush.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Admit one request at clock `now`; returns its [`Ticket`].
+    ///
+    /// # Errors
+    /// * [`OpaqueError::DuplicateClient`] — the client already has a
+    ///   pending request; two requests from one client in the same batch
+    ///   would make result routing ambiguous (and weaken the shared
+    ///   query's anonymity accounting).
+    /// * [`OpaqueError::InvalidProtection`] — a zero protection size.
+    pub fn submit(&mut self, request: ClientRequest, now: f64) -> Result<Ticket> {
+        if self.pending_clients.contains(&request.client) {
+            return Err(OpaqueError::DuplicateClient { client: request.client });
+        }
+        if request.protection.f_s == 0 || request.protection.f_t == 0 {
+            return Err(OpaqueError::InvalidProtection {
+                f_s: request.protection.f_s,
+                f_t: request.protection.f_t,
+            });
+        }
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending_clients.insert(request.client);
+        self.oldest_arrival = self.oldest_arrival.min(now);
+        self.pending.push((ticket, request, now));
+        Ok(ticket)
+    }
+
+    /// Replace the flush policy in place (tickets and pending requests are
+    /// untouched; the new policy applies from the next trigger check).
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] when the policy is unsatisfiable.
+    pub fn set_policy(&mut self, policy: BatchPolicy) -> Result<()> {
+        policy.validate()?;
+        self.policy = policy;
+        Ok(())
+    }
+
+    /// Clock at which the *deadline* trigger fires for the current pending
+    /// set (oldest arrival + `max_delay`); `None` when nothing is pending.
+    /// Lets drivers advance a simulated clock straight to the next
+    /// deadline instant instead of shadow-tracking arrivals.
+    ///
+    /// This reports the deadline trigger only: the *size* trigger needs no
+    /// clock and fires on [`Batcher::tick`] at any `now`, so drivers
+    /// should tick right after a submission fills the batch rather than
+    /// jumping ahead to this deadline.
+    pub fn next_deadline(&self) -> Option<f64> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.oldest_arrival + self.policy.max_delay)
+        }
+    }
+
+    /// Whether a flush trigger has fired at clock `now`.
+    pub fn ready(&self, now: f64) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        if self.pending.len() >= self.policy.max_batch {
+            return true;
+        }
+        // Tracked min over arrivals, not pending[0]: callers replaying
+        // merged or unsorted recorded streams may submit with
+        // non-monotonic clocks. Compared as `now >= oldest + delay` — the
+        // exact expression `next_deadline` reports — so
+        // `tick(next_deadline())` fires by construction, with no rounding
+        // gap between the reported and effective trigger instant.
+        now >= self.oldest_arrival + self.policy.max_delay
+    }
+
+    /// Drain a batch if a trigger has fired at clock `now`. At most
+    /// [`BatchPolicy::max_batch`] requests are taken (oldest first), so a
+    /// backlog that grew past the cap between ticks drains in policy-sized
+    /// chunks — `ready` stays true until the backlog is gone.
+    pub fn tick(&mut self, now: f64) -> Option<DrainedBatch> {
+        if self.ready(now) { self.drain(self.policy.max_batch) } else { None }
+    }
+
+    /// Drain everything pending unconditionally, ignoring the size cap
+    /// (e.g. at shutdown); `None` when empty.
+    pub fn flush(&mut self) -> Option<DrainedBatch> {
+        self.drain(usize::MAX)
+    }
+
+    fn drain(&mut self, limit: usize) -> Option<DrainedBatch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let take = self.pending.len().min(limit);
+        let mut batch = DrainedBatch {
+            requests: Vec::with_capacity(take),
+            tickets: Vec::with_capacity(take),
+            arrivals: Vec::with_capacity(take),
+        };
+        for (ticket, request, arrival) in self.pending.drain(..take) {
+            self.pending_clients.remove(&request.client);
+            batch.tickets.push(ticket);
+            batch.requests.push(request);
+            batch.arrivals.push(arrival);
+        }
+        // A partial (chunked) drain leaves stragglers: recompute their min.
+        self.oldest_arrival = self.pending.iter().map(|(_, _, a)| *a).fold(f64::INFINITY, f64::min);
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{PathQuery, ProtectionSettings};
+    use roadnet::NodeId;
+
+    fn request(i: u32) -> ClientRequest {
+        ClientRequest::new(
+            ClientId(i),
+            PathQuery::new(NodeId(i), NodeId(i + 100)),
+            ProtectionSettings::new(2, 2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn size_trigger_flushes_at_max_batch() {
+        let mut b = Batcher::new(BatchPolicy { max_batch: 3, max_delay: 100.0 }).unwrap();
+        assert!(b.submit(request(0), 0.0).is_ok());
+        assert!(b.submit(request(1), 0.1).is_ok());
+        assert!(b.tick(0.2).is_none(), "2 of 3: not ready");
+        b.submit(request(2), 0.2).unwrap();
+        let batch = b.tick(0.2).expect("size trigger");
+        assert_eq!(batch.requests.len(), 3);
+        assert_eq!(batch.tickets, vec![Ticket(0), Ticket(1), Ticket(2)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_after_max_delay() {
+        let mut b = Batcher::new(BatchPolicy { max_batch: 100, max_delay: 5.0 }).unwrap();
+        b.submit(request(0), 10.0).unwrap();
+        b.submit(request(1), 12.0).unwrap();
+        assert!(b.tick(14.9).is_none(), "oldest waited 4.9s < 5s");
+        let batch = b.tick(15.0).expect("deadline trigger");
+        assert_eq!(batch.requests.len(), 2);
+        assert!((batch.mean_wait(15.0) - 4.0).abs() < 1e-12, "waits 5s and 3s");
+    }
+
+    #[test]
+    fn duplicate_client_rejected_until_flush() {
+        let mut b = Batcher::new(BatchPolicy::default()).unwrap();
+        b.submit(request(7), 0.0).unwrap();
+        assert!(matches!(
+            b.submit(request(7), 0.1),
+            Err(OpaqueError::DuplicateClient { client: ClientId(7) })
+        ));
+        b.flush().unwrap();
+        // After the batch drains the client may submit again.
+        assert!(b.submit(request(7), 1.0).is_ok());
+    }
+
+    #[test]
+    fn oversized_backlog_drains_in_policy_sized_chunks() {
+        // 5 submissions land between ticks; max_batch = 2 must cap every
+        // drained batch, not just trigger the flush.
+        let mut b = Batcher::new(BatchPolicy { max_batch: 2, max_delay: 100.0 }).unwrap();
+        for i in 0..5 {
+            b.submit(request(i), 0.0).unwrap();
+        }
+        let first = b.tick(0.0).expect("size trigger");
+        assert_eq!(first.requests.len(), 2);
+        assert_eq!(first.tickets, vec![Ticket(0), Ticket(1)]);
+        let second = b.tick(0.0).expect("still over the cap");
+        assert_eq!(second.requests.len(), 2);
+        // One left: below the size cap, so only deadline or flush drains it.
+        assert!(b.tick(0.0).is_none());
+        assert_eq!(b.len(), 1);
+        // The drained clients may resubmit; the straggler may not.
+        assert!(b.submit(request(0), 1.0).is_ok());
+        assert!(matches!(b.submit(request(4), 1.0), Err(OpaqueError::DuplicateClient { .. })));
+        let rest = b.flush().expect("flush ignores the cap");
+        assert_eq!(rest.requests.len(), 2);
+    }
+
+    #[test]
+    fn deadline_uses_true_oldest_arrival_under_non_monotonic_clocks() {
+        // Replayed merged streams may submit out of order: the deadline
+        // must key on the minimum arrival, not the first submission.
+        let mut b = Batcher::new(BatchPolicy { max_batch: 100, max_delay: 5.0 }).unwrap();
+        b.submit(request(0), 10.0).unwrap();
+        b.submit(request(1), 3.0).unwrap(); // older than the first submission
+        assert!(b.ready(8.0), "oldest arrival 3.0 has waited 5s by t=8");
+        let batch = b.tick(8.0).expect("deadline trigger");
+        assert_eq!(batch.requests.len(), 2);
+    }
+
+    #[test]
+    fn tickets_are_unique_across_batches() {
+        let mut b = Batcher::new(BatchPolicy { max_batch: 1, max_delay: 1.0 }).unwrap();
+        let t0 = b.submit(request(0), 0.0).unwrap();
+        b.tick(0.0).unwrap();
+        let t1 = b.submit(request(0), 1.0).unwrap();
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn invalid_policies_and_requests_are_rejected() {
+        assert!(matches!(
+            Batcher::new(BatchPolicy { max_batch: 0, max_delay: 1.0 }),
+            Err(OpaqueError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Batcher::new(BatchPolicy { max_batch: 1, max_delay: f64::NAN }),
+            Err(OpaqueError::InvalidConfig { .. })
+        ));
+        let mut b = Batcher::new(BatchPolicy::default()).unwrap();
+        let mut bad = request(0);
+        bad.protection.f_s = 0;
+        assert!(matches!(b.submit(bad, 0.0), Err(OpaqueError::InvalidProtection { .. })));
+    }
+
+    #[test]
+    fn flush_on_empty_is_none() {
+        let mut b = Batcher::new(BatchPolicy::default()).unwrap();
+        assert!(b.flush().is_none());
+        assert!(!b.ready(1e9));
+    }
+}

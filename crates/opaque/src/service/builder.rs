@@ -1,0 +1,324 @@
+//! Typed construction of an [`OpaqueService`].
+//!
+//! [`ServiceConfig`] holds every serializable knob of a deployment —
+//! fake-selection strategy, RNG seed, MSMD sharing policy, obfuscation
+//! mode, verification, shard count, batch policy — with sane defaults.
+//! [`ServiceBuilder`] pairs a config with the non-serializable inputs (the
+//! road map, optional plausibility weights) and validates the whole
+//! assembly in [`ServiceBuilder::build`], replacing the previous
+//! hand-wiring of `Obfuscator` + `DirectionsServer` + `OpaqueSystem`.
+
+use crate::error::{OpaqueError, Result};
+use crate::obfuscator::{FakeSelection, ObfuscationMode, Obfuscator};
+use crate::server::DirectionsServer;
+use crate::service::OpaqueService;
+use crate::service::backend::{DirectionsBackend, ShardedBackend};
+use crate::service::batcher::{BatchPolicy, Batcher};
+use pathsearch::SharingPolicy;
+use roadnet::RoadNetwork;
+use std::sync::Arc;
+
+/// The backend type [`ServiceBuilder::build`] assembles: a round-robin
+/// fleet of in-memory directions servers (a fleet of one when
+/// `shards == 1`). The fleet shares one map behind an [`Arc`] — an
+/// N-shard service holds one backend copy of the map, not N.
+pub type DefaultBackend = ShardedBackend<DirectionsServer<Arc<RoadNetwork>>>;
+
+/// Serializable deployment parameters, with defaults matching the paper's
+/// baseline setup (ring fakes, per-source sharing, independent
+/// obfuscation, one shard).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServiceConfig {
+    /// Fake-endpoint selection strategy for the obfuscator.
+    pub strategy: FakeSelection,
+    /// Seed for the obfuscator's RNG (obfuscation is reproducible per
+    /// seed).
+    pub seed: u64,
+    /// MSMD sharing policy the backend servers evaluate under.
+    pub sharing: SharingPolicy,
+    /// Obfuscation mode applied to each drained batch.
+    pub mode: ObfuscationMode,
+    /// Re-verify delivered paths against the obfuscator's map.
+    pub verify_results: bool,
+    /// Memoize fakes per true query to close the intersection-attack
+    /// channel (see [`Obfuscator::with_consistent_fakes`]).
+    pub consistent_fakes: bool,
+    /// Number of backend shards (round-robin).
+    pub shards: usize,
+    /// Admission-queue flush policy.
+    pub batch: BatchPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            strategy: FakeSelection::default_ring(),
+            seed: 0,
+            sharing: SharingPolicy::PerSource,
+            mode: ObfuscationMode::Independent,
+            verify_results: false,
+            consistent_fakes: false,
+            shards: 1,
+            batch: BatchPolicy::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Check the parameters are internally consistent.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(OpaqueError::InvalidConfig { reason: "shards must be >= 1".to_string() });
+        }
+        self.batch.validate()
+    }
+}
+
+/// Fluent builder for an [`OpaqueService`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceBuilder {
+    config: ServiceConfig,
+    map: Option<RoadNetwork>,
+    weights: Option<Vec<f64>>,
+}
+
+impl ServiceBuilder {
+    /// Start from defaults; a map is required before [`Self::build`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start from an explicit config.
+    pub fn from_config(config: ServiceConfig) -> Self {
+        ServiceBuilder { config, map: None, weights: None }
+    }
+
+    /// The current config (as accumulated by the setters).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The road map shared by the obfuscator and the default backend.
+    pub fn map(mut self, map: RoadNetwork) -> Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// Fake-endpoint selection strategy.
+    pub fn fake_selection(mut self, strategy: FakeSelection) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Obfuscator RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Backend MSMD sharing policy.
+    pub fn sharing_policy(mut self, sharing: SharingPolicy) -> Self {
+        self.config.sharing = sharing;
+        self
+    }
+
+    /// Obfuscation mode for processed batches.
+    pub fn obfuscation_mode(mut self, mode: ObfuscationMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Re-verify delivered paths against the obfuscator's map.
+    pub fn verify_results(mut self, on: bool) -> Self {
+        self.config.verify_results = on;
+        self
+    }
+
+    /// Memoize fakes per true query (intersection-attack defence).
+    pub fn consistent_fakes(mut self, on: bool) -> Self {
+        self.config.consistent_fakes = on;
+        self
+    }
+
+    /// Per-node plausibility weights (enables
+    /// [`FakeSelection::Weighted`]).
+    pub fn weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Number of round-robin backend shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Admission-queue flush policy.
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.config.batch = policy;
+        self
+    }
+
+    /// Validate and assemble the service with the default sharded
+    /// in-memory backend.
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] for a missing map, zero shards, a
+    /// weight vector whose length differs from the map's node count, or an
+    /// unsatisfiable batch policy.
+    pub fn build(self) -> Result<OpaqueService<DefaultBackend>> {
+        let (config, map, weights) = self.into_validated_parts()?;
+        // One shared map for the whole shard fleet; the obfuscator keeps
+        // its own copy (it is a separate trust domain in Figure 5).
+        let shared = Arc::new(map.clone());
+        let servers: Vec<DirectionsServer<Arc<RoadNetwork>>> = (0..config.shards)
+            .map(|_| DirectionsServer::new(Arc::clone(&shared), config.sharing))
+            .collect();
+        let backend = ShardedBackend::new(servers)?;
+        Self::assemble(config, map, weights, backend)
+    }
+
+    /// Validate and assemble around a caller-supplied backend (paged
+    /// storage, custom shard fleets, mocks). The map still seeds the
+    /// obfuscator; the backend is used as given and
+    /// [`ServiceConfig::shards`] / [`ServiceConfig::sharing`] are ignored.
+    pub fn build_with_backend<B: DirectionsBackend>(self, backend: B) -> Result<OpaqueService<B>> {
+        let (config, map, weights) = self.into_validated_parts()?;
+        Self::assemble(config, map, weights, backend)
+    }
+
+    fn into_validated_parts(self) -> Result<(ServiceConfig, RoadNetwork, Option<Vec<f64>>)> {
+        self.config.validate()?;
+        let map = self.map.ok_or_else(|| OpaqueError::InvalidConfig {
+            reason: "a road map is required (ServiceBuilder::map)".to_string(),
+        })?;
+        if let Some(w) = &self.weights {
+            if w.len() != map.num_nodes() {
+                return Err(OpaqueError::InvalidConfig {
+                    reason: format!(
+                        "weights length {} does not match map node count {}",
+                        w.len(),
+                        map.num_nodes()
+                    ),
+                });
+            }
+        }
+        Ok((self.config, map, self.weights))
+    }
+
+    fn assemble<B: DirectionsBackend>(
+        config: ServiceConfig,
+        map: RoadNetwork,
+        weights: Option<Vec<f64>>,
+        backend: B,
+    ) -> Result<OpaqueService<B>> {
+        let mut obfuscator = Obfuscator::new(map, config.strategy, config.seed)
+            .with_consistent_fakes(config.consistent_fakes);
+        if let Some(w) = weights {
+            obfuscator = obfuscator.with_weights(w);
+        }
+        Ok(OpaqueService {
+            obfuscator,
+            backend,
+            mode: config.mode,
+            batcher: Batcher::new(config.batch)?,
+            verify_results: config.verify_results,
+            strict_delivery: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{ClientId, ClientRequest, PathQuery, ProtectionSettings};
+    use roadnet::NodeId;
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn map() -> RoadNetwork {
+        grid_network(&GridConfig { width: 12, height: 12, seed: 2, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn build_requires_a_map() {
+        let err = ServiceBuilder::new().build().unwrap_err();
+        assert!(matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("map")));
+    }
+
+    #[test]
+    fn build_rejects_zero_shards_and_bad_batch_policy() {
+        let err = ServiceBuilder::new().map(map()).shards(0).build().unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("shards"))
+        );
+        let err = ServiceBuilder::new()
+            .map(map())
+            .batch_policy(BatchPolicy { max_batch: 0, max_delay: 1.0 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("max_batch"))
+        );
+    }
+
+    #[test]
+    fn build_rejects_mismatched_weights() {
+        let err = ServiceBuilder::new().map(map()).weights(vec![1.0; 3]).build().unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("weights"))
+        );
+    }
+
+    #[test]
+    fn built_service_serves_a_batch() {
+        let mut svc = ServiceBuilder::new()
+            .map(map())
+            .seed(7)
+            .shards(3)
+            .verify_results(true)
+            .obfuscation_mode(ObfuscationMode::SharedGlobal)
+            .build()
+            .unwrap();
+        assert_eq!(svc.backend().num_shards(), 3);
+        let reqs: Vec<ClientRequest> = (0..4)
+            .map(|i| {
+                ClientRequest::new(
+                    ClientId(i),
+                    PathQuery::new(NodeId(i * 7), NodeId(143 - i * 5)),
+                    ProtectionSettings::new(3, 3).unwrap(),
+                )
+            })
+            .collect();
+        let resp = svc.process_batch(&reqs).unwrap();
+        assert_eq!(resp.results.len(), 4);
+        assert_eq!(resp.report.mode, ObfuscationMode::SharedGlobal);
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let config = ServiceConfig {
+            seed: 42,
+            shards: 4,
+            mode: ObfuscationMode::SharedGlobal,
+            batch: BatchPolicy { max_batch: 8, max_delay: 2.5 },
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: ServiceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn custom_backend_is_accepted() {
+        let g = map();
+        let backend = DirectionsServer::new(g.clone(), SharingPolicy::None);
+        let mut svc = ServiceBuilder::new().map(g).build_with_backend(backend).unwrap();
+        let req = ClientRequest::new(
+            ClientId(0),
+            PathQuery::new(NodeId(0), NodeId(143)),
+            ProtectionSettings::new(2, 2).unwrap(),
+        );
+        let resp = svc.process_batch(&[req]).unwrap();
+        assert_eq!(resp.results.len(), 1);
+    }
+}

@@ -1,0 +1,843 @@
+//! The OPAQUE service layer: the deployable face of the Figure-5 pipeline.
+//!
+//! The rest of this crate reproduces the paper's components — obfuscator,
+//! server, filter — as library pieces. This module assembles them into a
+//! *service* with explicit protocol boundaries, the shape production
+//! privacy systems take (cf. Wu et al.'s and Mouratidis & Yiu's
+//! client/server framings) and the shape the roadmap's scaling work needs:
+//!
+//! * [`DirectionsBackend`] — the pluggable server side: a single
+//!   [`crate::server::DirectionsServer`] over any graph view, or a
+//!   round-robin [`ShardedBackend`] fleet;
+//! * [`Batcher`] — the admission path: streamed requests are ticketed and
+//!   drained into batches on size or deadline triggers;
+//! * [`OpaqueService`] — the assembled deployment, built from a typed
+//!   [`ServiceBuilder`] / [`ServiceConfig`];
+//! * [`BatchReport`] / [`ClientOutcome`] — typed accounting: serde-tagged
+//!   obfuscation modes and an explicit per-client outcome (delivered /
+//!   unreachable / rejected) instead of silent drops.
+//!
+//! [`crate::system::OpaqueSystem`] remains as a thin compatibility shim
+//! over this service, preserving the original strict all-or-error batch
+//! semantics for existing experiments.
+
+mod backend;
+mod batcher;
+mod builder;
+mod report;
+
+pub use backend::{DirectionsBackend, ShardedBackend};
+pub use batcher::{BatchPolicy, Batcher, DrainedBatch, Ticket};
+pub use builder::{DefaultBackend, ServiceBuilder, ServiceConfig};
+pub use report::{BatchReport, ClientOutcome};
+
+use crate::error::{OpaqueError, Result};
+use crate::filter::{ClientResult, extract_path};
+use crate::obfuscator::{ObfuscationMode, ObfuscationUnit, Obfuscator, cluster_requests};
+use crate::protocol::{CandidateResultsMsg, ObfuscatedQueryMsg, RequestMsg, ResultMsg};
+use crate::query::{ClientId, ClientRequest};
+use roadnet::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Everything a processed batch produced: delivered paths, one outcome per
+/// request of the processed batch (in request order, including requests
+/// rejected at admission), and the batch's [`BatchReport`].
+#[derive(Clone, Debug)]
+pub struct ServiceResponse {
+    /// Delivered paths, in request order. Clients with a non-`Delivered`
+    /// outcome do not appear here.
+    pub results: Vec<ClientResult>,
+    /// `outcomes[i]` describes `requests[i]` of the processed batch.
+    pub outcomes: Vec<(ClientId, ClientOutcome)>,
+    /// Aggregate accounting for the batch.
+    pub report: BatchReport,
+    /// Tickets for the batch's requests when it was drained from the
+    /// service's [`Batcher`] (aligned with `outcomes`); empty for batches
+    /// handed directly to [`OpaqueService::process_batch`].
+    pub tickets: Vec<Ticket>,
+    /// Mean seconds the batch's requests waited in the admission queue,
+    /// measured at the clock that drained them ([`OpaqueService::tick`] /
+    /// [`OpaqueService::flush`]); 0.0 for batches handed directly to
+    /// [`OpaqueService::process_batch`].
+    pub mean_wait: f64,
+}
+
+/// The assembled OPAQUE deployment: trusted obfuscator, pluggable
+/// directions backend, admission queue, and a configured obfuscation mode.
+///
+/// Built via [`ServiceBuilder`]; or from pre-assembled parts with
+/// [`OpaqueService::from_parts`] when a custom backend or obfuscator is
+/// needed.
+pub struct OpaqueService<B> {
+    obfuscator: Obfuscator,
+    backend: B,
+    mode: ObfuscationMode,
+    batcher: Batcher,
+    /// Re-verify delivered paths against the obfuscator's map, turning
+    /// tampering into [`OpaqueError::CorruptResult`].
+    pub verify_results: bool,
+    /// Strict delivery (the historical [`crate::system::OpaqueSystem`]
+    /// contract): any unreachable pair or invalid request fails the whole
+    /// batch with an error. When `false` (the service default), such
+    /// requests get per-client [`ClientOutcome::Unreachable`] /
+    /// [`ClientOutcome::Rejected`] outcomes and the rest of the batch is
+    /// still served.
+    pub strict_delivery: bool,
+}
+
+impl<B> std::fmt::Debug for OpaqueService<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpaqueService")
+            .field("mode", &self.mode)
+            .field("pending", &self.batcher.len())
+            .field("verify_results", &self.verify_results)
+            .field("strict_delivery", &self.strict_delivery)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B: DirectionsBackend> OpaqueService<B> {
+    /// Assemble a service from pre-built parts with the default batch
+    /// policy.
+    pub fn from_parts(obfuscator: Obfuscator, backend: B, mode: ObfuscationMode) -> Self {
+        OpaqueService {
+            obfuscator,
+            backend,
+            mode,
+            batcher: Batcher::new(BatchPolicy::default()).expect("default policy is valid"),
+            verify_results: false,
+            strict_delivery: false,
+        }
+    }
+
+    /// Replace the admission queue's policy in place. Safe on a live
+    /// queue: pending requests and issued tickets are untouched, and the
+    /// new triggers apply from the next [`OpaqueService::tick`].
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] when the policy is unsatisfiable.
+    pub fn set_batch_policy(&mut self, policy: BatchPolicy) -> Result<()> {
+        self.batcher.set_policy(policy)
+    }
+
+    /// The trusted obfuscator (e.g. to inspect its map).
+    pub fn obfuscator(&self) -> &Obfuscator {
+        &self.obfuscator
+    }
+
+    /// The directions backend (e.g. to read cumulative stats).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The configured obfuscation mode.
+    pub fn mode(&self) -> ObfuscationMode {
+        self.mode
+    }
+
+    /// Number of requests waiting in the admission queue.
+    pub fn pending(&self) -> usize {
+        self.batcher.len()
+    }
+
+    /// Clock at which the queue's deadline trigger fires (`None` when
+    /// empty) — see [`Batcher::next_deadline`].
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.batcher.next_deadline()
+    }
+
+    /// Admit one request to the queue at clock `now`; returns its ticket.
+    ///
+    /// # Errors
+    /// [`OpaqueError::DuplicateClient`] when the client already has a
+    /// pending request; [`OpaqueError::InvalidProtection`] for zero
+    /// protection sizes.
+    pub fn submit(&mut self, request: ClientRequest, now: f64) -> Result<Ticket> {
+        self.batcher.submit(request, now)
+    }
+
+    /// Advance the clock: if a flush trigger (size or deadline) has fired,
+    /// drain and process the pending batch.
+    ///
+    /// On a processing error the drained requests are *not* re-queued
+    /// (re-queueing would re-trigger the same failure on every tick); the
+    /// caller sees the error and the batch is discarded.
+    pub fn tick(&mut self, now: f64) -> Result<Option<ServiceResponse>> {
+        match self.batcher.tick(now) {
+            Some(batch) => self.process_drained(batch, now).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Drain and process whatever is pending at clock `now`, regardless of
+    /// triggers (e.g. at shutdown). `None` when the queue is empty.
+    pub fn flush(&mut self, now: f64) -> Result<Option<ServiceResponse>> {
+        match self.batcher.flush() {
+            Some(batch) => self.process_drained(batch, now).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn process_drained(&mut self, batch: DrainedBatch, now: f64) -> Result<ServiceResponse> {
+        let mut response = self.process_batch(&batch.requests)?;
+        response.mean_wait = batch.mean_wait(now);
+        response.tickets = batch.tickets;
+        Ok(response)
+    }
+
+    /// Process one batch end to end under the configured mode.
+    pub fn process_batch(&mut self, requests: &[ClientRequest]) -> Result<ServiceResponse> {
+        self.process_batch_with_mode(requests, self.mode)
+    }
+
+    /// Process one batch end to end under an explicit mode.
+    ///
+    /// Satisfied requests are *not* retained anywhere in the service (§IV:
+    /// "the satisfied requests are immediately discarded in the
+    /// obfuscator, for sake of security") — only the aggregate
+    /// [`BatchReport`] survives.
+    ///
+    /// # Errors
+    /// * [`OpaqueError::EmptyBatch`] — no requests;
+    /// * [`OpaqueError::DuplicateClient`] — two requests share a
+    ///   [`ClientId`] (rejected at admission, the batch is not processed);
+    /// * [`OpaqueError::CorruptResult`] — a backend answer failed
+    ///   verification (always fatal: it indicates tampering);
+    /// * in strict mode only: [`OpaqueError::MissingResult`],
+    ///   [`OpaqueError::NotEnoughFakes`], and the request-validation
+    ///   errors, instead of per-client outcomes. In service mode every
+    ///   feasibility failure — including strategy-level and collective
+    ///   shared-group infeasibility — is attributed to individual clients
+    ///   as [`ClientOutcome::Rejected`] (see
+    ///   [`OpaqueService::reject_infeasible_members`]).
+    pub fn process_batch_with_mode(
+        &mut self,
+        requests: &[ClientRequest],
+        mode: ObfuscationMode,
+    ) -> Result<ServiceResponse> {
+        if requests.is_empty() {
+            return Err(OpaqueError::EmptyBatch);
+        }
+
+        // Admission: duplicate client ids make result routing ambiguous
+        // (the order-restore and delivery maps key on ClientId).
+        let mut seen: HashSet<ClientId> = HashSet::with_capacity(requests.len());
+        for r in requests {
+            if !seen.insert(r.client) {
+                return Err(OpaqueError::DuplicateClient { client: r.client });
+            }
+        }
+
+        let mut report =
+            BatchReport { mode, num_requests: requests.len(), ..BatchReport::default() };
+        for r in requests {
+            report.traffic.record_request(&RequestMsg {
+                client: r.client,
+                query: r.query,
+                protection: r.protection,
+            });
+        }
+
+        // Admission validation: in service mode invalid requests become
+        // `Rejected` outcomes and the rest proceed; in strict mode the
+        // first invalid request fails the batch (historical contract).
+        let mut outcomes: Vec<(ClientId, ClientOutcome)> = Vec::with_capacity(requests.len());
+        let mut admitted: Vec<ClientRequest> = Vec::with_capacity(requests.len());
+        for r in requests {
+            // Service mode screens full count-level feasibility so one
+            // greedy client cannot fail the whole batch during
+            // obfuscation; strict mode only validates the request shape
+            // and leaves infeasibility to the obfuscator, which reports
+            // the historical batch-level NotEnoughFakes.
+            let verdict = if self.strict_delivery {
+                self.obfuscator.check_request(r)
+            } else {
+                self.obfuscator.can_satisfy(r)
+            };
+            match verdict {
+                Ok(()) => {
+                    // Placeholder; refined after delivery below.
+                    outcomes.push((r.client, ClientOutcome::Delivered));
+                    admitted.push(*r);
+                }
+                Err(e) if self.strict_delivery => return Err(e),
+                Err(e) => {
+                    outcomes.push((r.client, ClientOutcome::Rejected { reason: e.to_string() }));
+                }
+            }
+        }
+
+        let outcome_slot: HashMap<ClientId, usize> =
+            outcomes.iter().enumerate().map(|(i, (c, _))| (*c, i)).collect();
+
+        let mut results: Vec<ClientResult> = Vec::with_capacity(admitted.len());
+        if !admitted.is_empty() {
+            let before = self.backend.stats();
+            let units = self.obfuscate_admitted(&admitted, mode, &mut outcomes, &outcome_slot)?;
+            report.num_units = units.len();
+
+            for (query_id, unit) in units.iter().enumerate() {
+                report.total_pairs += unit.query.num_pairs() as u64;
+                report.fakes_added += count_fakes(unit);
+                report.traffic.record_query(&ObfuscatedQueryMsg {
+                    query_id: query_id as u64,
+                    query: unit.query.clone(),
+                });
+
+                let candidates = self.backend.process(&unit.query);
+                report.candidate_paths += candidates.num_paths() as u64;
+                report.candidate_path_nodes += candidates
+                    .paths
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .map(|p| p.nodes().len() as u64)
+                    .sum::<u64>();
+                report.traffic.record_candidates(&CandidateResultsMsg::from_result(
+                    query_id as u64,
+                    &candidates,
+                ));
+
+                let verify_on = self.verify_results.then(|| self.obfuscator.map());
+                for request in &unit.requests {
+                    // Embedded clients are exposed whether or not a path
+                    // comes back: record the unit's breach either way.
+                    report
+                        .per_client_breach
+                        .push((request.client, unit.query.breach_probability()));
+                    match extract_path(unit, request, &candidates, verify_on)? {
+                        Some(path) => {
+                            report.delivered_path_nodes += path.nodes().len() as u64;
+                            report.traffic.record_result(&ResultMsg {
+                                client: request.client,
+                                path: path.clone(),
+                            });
+                            results.push(ClientResult { client: request.client, path });
+                        }
+                        None if self.strict_delivery => {
+                            return Err(OpaqueError::MissingResult {
+                                source: request.query.source,
+                                destination: request.query.destination,
+                            });
+                        }
+                        None => {
+                            let slot = outcome_slot[&request.client];
+                            outcomes[slot].1 = ClientOutcome::Unreachable;
+                        }
+                    }
+                }
+            }
+
+            let after = self.backend.stats();
+            report.server_settled = after.search.settled - before.search.settled;
+            report.server_relaxed = after.search.relaxed - before.search.relaxed;
+        }
+
+        // Restore request order for the caller. `outcome_slot` maps each
+        // client to its request position (outcomes were pushed once per
+        // request, in order; ids are unique past admission).
+        results.sort_by_key(|r| outcome_slot.get(&r.client).copied().unwrap_or(usize::MAX));
+        report
+            .per_client_breach
+            .sort_by_key(|(c, _)| outcome_slot.get(c).copied().unwrap_or(usize::MAX));
+
+        Ok(ServiceResponse { results, outcomes, report, tickets: Vec::new(), mean_wait: 0.0 })
+    }
+
+    /// Obfuscate the admitted requests, attributing
+    /// [`OpaqueError::NotEnoughFakes`] failures to individual clients in
+    /// service mode.
+    ///
+    /// The count screen at admission cannot see strategy constraints —
+    /// e.g. [`crate::obfuscator::FakeSelection::NetworkRing`] on a
+    /// disconnected map can only draw fakes from the anchor's component —
+    /// nor *collective* infeasibility, where a shared group's maximum
+    /// `f_S`/`f_T` demands jointly exceed the map. In service mode both
+    /// become per-client [`ClientOutcome::Rejected`] outcomes (see
+    /// [`OpaqueService::reject_infeasible_members`]), attributed within
+    /// the failing shared group — for [`ObfuscationMode::SharedClustered`]
+    /// that is the individual cluster, so clients in healthy clusters are
+    /// never blamed for another cluster's infeasibility. Strict mode
+    /// propagates the obfuscator's first error untouched (historical
+    /// contract). Failure handling draws probe samples from the
+    /// obfuscator's RNG, so lenient-mode streams diverge from strict-mode
+    /// ones after a rejection (the all-feasible path is identical).
+    fn obfuscate_admitted(
+        &mut self,
+        admitted: &[ClientRequest],
+        mode: ObfuscationMode,
+        outcomes: &mut [(ClientId, ClientOutcome)],
+        outcome_slot: &HashMap<ClientId, usize>,
+    ) -> Result<Vec<ObfuscationUnit>> {
+        if self.strict_delivery {
+            return self.obfuscator.obfuscate_batch(admitted, mode);
+        }
+        match mode {
+            ObfuscationMode::Independent => {
+                // Per-request obfuscation: failures are individually
+                // attributable by construction.
+                let mut units = Vec::with_capacity(admitted.len());
+                for r in admitted {
+                    match self.obfuscator.obfuscate_independent(r) {
+                        Ok(unit) => units.push(unit),
+                        Err(e @ OpaqueError::NotEnoughFakes { .. }) => {
+                            outcomes[outcome_slot[&r.client]].1 =
+                                ClientOutcome::Rejected { reason: e.to_string() };
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(units)
+            }
+            ObfuscationMode::SharedGlobal => {
+                let group = admitted.to_vec();
+                Ok(self
+                    .obfuscate_shared_group(group, outcomes, outcome_slot)?
+                    .into_iter()
+                    .collect())
+            }
+            ObfuscationMode::SharedClustered(cfg) => {
+                // Mirror obfuscate_batch's clustering exactly (same
+                // partition, same order), but retry each cluster on its
+                // own so infeasibility stays cluster-local.
+                let clusters = cluster_requests(self.obfuscator.map(), admitted, &cfg);
+                let mut units = Vec::with_capacity(clusters.len());
+                for cluster in clusters {
+                    let members: Vec<ClientRequest> =
+                        cluster.members.iter().map(|&i| admitted[i]).collect();
+                    if let Some(unit) =
+                        self.obfuscate_shared_group(members, outcomes, outcome_slot)?
+                    {
+                        units.push(unit);
+                    }
+                }
+                Ok(units)
+            }
+        }
+    }
+
+    /// Obfuscate one shared group, rejecting infeasible members until the
+    /// rest succeed (`None` when every member had to be rejected).
+    ///
+    /// On [`OpaqueError::NotEnoughFakes`]: members that fail an
+    /// *individual* obfuscation probe are rejected first (strategy-level
+    /// infeasibility, e.g. a disconnected island). If all members are
+    /// individually fine, the infeasibility is collective — a shared query
+    /// must meet the group's maximum `f_S` and `f_T` at once, demanded
+    /// possibly by different members — so the member whose removal shrinks
+    /// `max f_S + max f_T` the most (a holder of a binding max, not merely
+    /// the largest sum) is rejected, and the group retried.
+    fn reject_infeasible_members(
+        &mut self,
+        members: &mut Vec<ClientRequest>,
+        cause: &OpaqueError,
+        outcomes: &mut [(ClientId, ClientOutcome)],
+        outcome_slot: &HashMap<ClientId, usize>,
+    ) {
+        let mut culprits: HashSet<ClientId> = HashSet::new();
+        for r in members.iter() {
+            if let Err(probe) = self.obfuscator.obfuscate_independent(r) {
+                culprits.insert(r.client);
+                outcomes[outcome_slot[&r.client]].1 =
+                    ClientOutcome::Rejected { reason: probe.to_string() };
+            }
+        }
+        if !culprits.is_empty() {
+            members.retain(|r| !culprits.contains(&r.client));
+            return;
+        }
+        let joint_without = |skip: usize| {
+            let mut max_s = 0u32;
+            let mut max_t = 0u32;
+            for (j, r) in members.iter().enumerate() {
+                if j != skip {
+                    max_s = max_s.max(r.protection.f_s);
+                    max_t = max_t.max(r.protection.f_t);
+                }
+            }
+            max_s as u64 + max_t as u64
+        };
+        let binding = (0..members.len()).min_by_key(|&i| joint_without(i)).expect("non-empty");
+        let evicted = members.remove(binding);
+        outcomes[outcome_slot[&evicted.client]].1 = ClientOutcome::Rejected {
+            reason: format!(
+                "{cause} (group protections jointly unsatisfiable; this request's \
+                 demand bound the shared query size)"
+            ),
+        };
+    }
+
+    /// See [`OpaqueService::reject_infeasible_members`]; the driving loop.
+    fn obfuscate_shared_group(
+        &mut self,
+        mut members: Vec<ClientRequest>,
+        outcomes: &mut [(ClientId, ClientOutcome)],
+        outcome_slot: &HashMap<ClientId, usize>,
+    ) -> Result<Option<ObfuscationUnit>> {
+        loop {
+            if members.is_empty() {
+                return Ok(None);
+            }
+            match self.obfuscator.obfuscate_shared(&members) {
+                Ok(unit) => return Ok(Some(unit)),
+                Err(e @ OpaqueError::NotEnoughFakes { .. }) => {
+                    self.reject_infeasible_members(&mut members, &e, outcomes, outcome_slot);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Number of endpoints in the unit's sets that are not true endpoints of
+/// any carried request.
+pub(crate) fn count_fakes(unit: &ObfuscationUnit) -> u64 {
+    let truth: HashSet<NodeId> =
+        unit.requests.iter().flat_map(|r| [r.query.source, r.query.destination]).collect();
+    let fake_sources = unit.query.sources().iter().filter(|s| !truth.contains(s)).count();
+    let fake_targets = unit.query.targets().iter().filter(|t| !truth.contains(t)).count();
+    (fake_sources + fake_targets) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obfuscator::{ClusteringConfig, FakeSelection};
+    use crate::query::{PathQuery, ProtectionSettings};
+    use crate::server::DirectionsServer;
+    use pathsearch::SharingPolicy;
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn map() -> roadnet::RoadNetwork {
+        grid_network(&GridConfig { width: 16, height: 16, seed: 5, ..Default::default() }).unwrap()
+    }
+
+    fn service() -> OpaqueService<DirectionsServer<roadnet::RoadNetwork>> {
+        let g = map();
+        OpaqueService::from_parts(
+            Obfuscator::new(g.clone(), FakeSelection::default_ring(), 11),
+            DirectionsServer::new(g, SharingPolicy::PerSource),
+            ObfuscationMode::Independent,
+        )
+    }
+
+    fn request(i: u32, s: u32, t: u32, f: u32) -> ClientRequest {
+        ClientRequest::new(
+            ClientId(i),
+            PathQuery::new(NodeId(s), NodeId(t)),
+            ProtectionSettings::new(f, f).unwrap(),
+        )
+    }
+
+    #[test]
+    fn delivers_in_request_order_with_outcomes() {
+        let mut svc = service();
+        svc.verify_results = true;
+        let reqs = vec![request(10, 0, 255, 3), request(11, 16, 240, 3), request(12, 32, 200, 2)];
+        let resp = svc.process_batch(&reqs).unwrap();
+        assert_eq!(resp.results.len(), 3);
+        for (res, req) in resp.results.iter().zip(&reqs) {
+            assert_eq!(res.client, req.client);
+            assert_eq!(res.path.source(), req.query.source);
+            assert_eq!(res.path.destination(), req.query.destination);
+        }
+        assert_eq!(
+            resp.outcomes,
+            reqs.iter().map(|r| (r.client, ClientOutcome::Delivered)).collect::<Vec<_>>()
+        );
+        assert_eq!(resp.report.mode, ObfuscationMode::Independent);
+        assert_eq!(resp.report.num_units, 3);
+        assert!(resp.tickets.is_empty());
+    }
+
+    #[test]
+    fn duplicate_clients_rejected_at_admission() {
+        let mut svc = service();
+        let reqs = vec![request(5, 0, 255, 2), request(5, 16, 240, 2)];
+        let err = svc.process_batch(&reqs).unwrap_err();
+        assert_eq!(err, OpaqueError::DuplicateClient { client: ClientId(5) });
+        // Nothing was processed: the backend saw no queries.
+        assert_eq!(svc.backend().stats().obfuscated_queries, 0);
+    }
+
+    #[test]
+    fn invalid_request_becomes_rejected_outcome_in_service_mode() {
+        let mut svc = service();
+        let good = request(0, 0, 255, 2);
+        let bad = request(1, 9999, 255, 2); // unknown node
+        let resp = svc.process_batch(&[good, bad]).unwrap();
+        assert_eq!(resp.results.len(), 1);
+        assert_eq!(resp.outcomes[0], (ClientId(0), ClientOutcome::Delivered));
+        match &resp.outcomes[1] {
+            (ClientId(1), ClientOutcome::Rejected { reason }) => {
+                assert!(reason.contains("not on the map"), "{reason}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Rejected clients are never embedded: no breach entry for them.
+        assert_eq!(resp.report.per_client_breach.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_protection_is_rejected_per_client_not_per_batch() {
+        // Constructor-valid protections that can never be met on a
+        // 256-node map must cost only the greedy client, not the
+        // co-batched ones. f = 150 is the subtle case: each side fits the
+        // map alone, but S and T are disjoint, so 150 + 150 > 256 nodes.
+        for greedy_f in [500, 150] {
+            let mut svc = service();
+            let good = request(0, 0, 255, 2);
+            let greedy = request(1, 16, 240, greedy_f);
+            let resp = svc.process_batch(&[good, greedy]).unwrap();
+            assert_eq!(resp.results.len(), 1, "f = {greedy_f}");
+            assert_eq!(resp.outcomes[0], (ClientId(0), ClientOutcome::Delivered));
+            match &resp.outcomes[1] {
+                (ClientId(1), ClientOutcome::Rejected { reason }) => {
+                    assert!(reason.contains("fake endpoints"), "{reason}");
+                }
+                other => panic!("expected rejection for f = {greedy_f}, got {other:?}"),
+            }
+            // Strict mode keeps the historical batch-level NotEnoughFakes.
+            svc.strict_delivery = true;
+            let err = svc.process_batch(&[good, greedy]).unwrap_err();
+            assert!(matches!(err, OpaqueError::NotEnoughFakes { .. }), "f = {greedy_f}");
+        }
+    }
+
+    #[test]
+    fn collective_shared_infeasibility_evicts_the_greediest_client() {
+        // Each request is individually feasible (130+2 and 2+130 both fit
+        // 256 nodes), but a shared query must meet max f_S = 130 AND
+        // max f_T = 130 at once — 260 > 256. No single probe fails, so
+        // the greediest request is evicted and the rest are served.
+        let g = map();
+        let mut svc = OpaqueService::from_parts(
+            Obfuscator::new(g.clone(), FakeSelection::Uniform, 3),
+            DirectionsServer::new(g, SharingPolicy::PerSource),
+            ObfuscationMode::SharedGlobal,
+        );
+        let reqs = vec![
+            ClientRequest::new(
+                ClientId(0),
+                PathQuery::new(NodeId(0), NodeId(255)),
+                ProtectionSettings::new(130, 2).unwrap(),
+            ),
+            ClientRequest::new(
+                ClientId(1),
+                PathQuery::new(NodeId(16), NodeId(240)),
+                ProtectionSettings::new(2, 130).unwrap(),
+            ),
+            request(2, 32, 200, 2),
+        ];
+        let resp = svc.process_batch(&reqs).unwrap();
+        assert_eq!(resp.results.len(), 2, "the compatible pair is still served");
+        let rejected: Vec<ClientId> = resp
+            .outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, ClientOutcome::Rejected { .. }))
+            .map(|(c, _)| *c)
+            .collect();
+        assert_eq!(rejected.len(), 1, "exactly one eviction: {:?}", resp.outcomes);
+        assert!(rejected[0] == ClientId(0) || rejected[0] == ClientId(1));
+
+        // Strict mode keeps the historical batch-level error.
+        svc.strict_delivery = true;
+        let err = svc.process_batch(&reqs).unwrap_err();
+        assert!(matches!(err, OpaqueError::NotEnoughFakes { .. }));
+    }
+
+    #[test]
+    fn clustered_infeasibility_stays_cluster_local() {
+        // An infeasible pair (joint 130+130 > 256) plus an independent
+        // high-demand client: whatever the clustering decides, the
+        // high-demand client holds no binding max of its group and must be
+        // served; exactly one of the infeasible pair is rejected.
+        let g = map();
+        let mut svc = OpaqueService::from_parts(
+            Obfuscator::new(g.clone(), FakeSelection::Uniform, 3),
+            DirectionsServer::new(g, SharingPolicy::PerSource),
+            ObfuscationMode::SharedClustered(ClusteringConfig {
+                radius_scale: 2.0,
+                max_cluster_size: 8,
+            }),
+        );
+        let reqs = vec![
+            ClientRequest::new(
+                ClientId(0),
+                PathQuery::new(NodeId(0), NodeId(17)),
+                ProtectionSettings::new(130, 2).unwrap(),
+            ),
+            ClientRequest::new(
+                ClientId(1),
+                PathQuery::new(NodeId(16), NodeId(33)),
+                ProtectionSettings::new(2, 130).unwrap(),
+            ),
+            ClientRequest::new(
+                ClientId(2),
+                PathQuery::new(NodeId(255), NodeId(238)),
+                ProtectionSettings::new(120, 10).unwrap(),
+            ),
+        ];
+        let resp = svc.process_batch(&reqs).unwrap();
+        assert_eq!(resp.results.len(), 2, "{:?}", resp.outcomes);
+        assert_eq!(
+            resp.outcomes[2].1,
+            ClientOutcome::Delivered,
+            "a client outside the infeasible pair must not be blamed"
+        );
+    }
+
+    #[test]
+    fn eviction_targets_the_binding_max_not_the_largest_sum() {
+        // Infeasibility is max f_S + max f_T = 130 + 130 > 256, driven
+        // only by clients 0 and 1. Client 2 has the largest f_S + f_T sum
+        // (200) but holds neither binding max — a sum-based heuristic
+        // would wrongly evict it (and then need a second eviction); the
+        // binding-max rule serves it.
+        let g = map();
+        let mut svc = OpaqueService::from_parts(
+            Obfuscator::new(g.clone(), FakeSelection::Uniform, 3),
+            DirectionsServer::new(g, SharingPolicy::PerSource),
+            ObfuscationMode::SharedGlobal,
+        );
+        let reqs = vec![
+            ClientRequest::new(
+                ClientId(0),
+                PathQuery::new(NodeId(0), NodeId(255)),
+                ProtectionSettings::new(130, 2).unwrap(),
+            ),
+            ClientRequest::new(
+                ClientId(1),
+                PathQuery::new(NodeId(16), NodeId(240)),
+                ProtectionSettings::new(2, 130).unwrap(),
+            ),
+            ClientRequest::new(
+                ClientId(2),
+                PathQuery::new(NodeId(32), NodeId(200)),
+                ProtectionSettings::new(100, 100).unwrap(),
+            ),
+        ];
+        let resp = svc.process_batch(&reqs).unwrap();
+        assert_eq!(resp.results.len(), 2, "one eviction suffices: {:?}", resp.outcomes);
+        assert_eq!(
+            resp.outcomes[2].1,
+            ClientOutcome::Delivered,
+            "the non-binding client must not be evicted"
+        );
+    }
+
+    #[test]
+    fn strategy_level_infeasibility_is_attributed_to_the_culprit_client() {
+        // Two components: a 9-node path and an isolated 2-node edge. With
+        // NetworkRing fakes, a request inside the 2-node component cannot
+        // find any fake (network distance never leaves the component), a
+        // constraint the count screen (f_s + f_t <= 11 nodes) cannot see.
+        let mut b = roadnet::GraphBuilder::new();
+        for i in 0..11 {
+            b.add_node(roadnet::Point::new(i as f64, 0.0)).unwrap();
+        }
+        for i in 0..8 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        b.add_edge(NodeId(9), NodeId(10), 1.0).unwrap();
+        let g = b.build().unwrap();
+
+        let mut svc = OpaqueService::from_parts(
+            Obfuscator::new(g.clone(), crate::obfuscator::FakeSelection::default_network_ring(), 7),
+            DirectionsServer::new(g, SharingPolicy::PerSource),
+            ObfuscationMode::Independent,
+        );
+        let good = ClientRequest::new(
+            ClientId(0),
+            PathQuery::new(NodeId(0), NodeId(8)),
+            ProtectionSettings::new(2, 2).unwrap(),
+        );
+        let stuck = ClientRequest::new(
+            ClientId(1),
+            PathQuery::new(NodeId(9), NodeId(10)),
+            ProtectionSettings::new(2, 2).unwrap(),
+        );
+        let resp = svc.process_batch(&[good, stuck]).unwrap();
+        assert_eq!(resp.results.len(), 1, "the feasible client is still served");
+        assert_eq!(resp.outcomes[0], (ClientId(0), ClientOutcome::Delivered));
+        assert!(
+            matches!(resp.outcomes[1], (ClientId(1), ClientOutcome::Rejected { .. })),
+            "culprit attributed, not the whole batch failed: {:?}",
+            resp.outcomes[1]
+        );
+
+        // Strict mode keeps the historical batch-level error.
+        svc.strict_delivery = true;
+        let err = svc.process_batch(&[good, stuck]).unwrap_err();
+        assert!(matches!(err, OpaqueError::NotEnoughFakes { .. }));
+    }
+
+    #[test]
+    fn invalid_request_fails_batch_in_strict_mode() {
+        let mut svc = service();
+        svc.strict_delivery = true;
+        let err = svc.process_batch(&[request(0, 9999, 255, 2)]).unwrap_err();
+        assert!(matches!(err, OpaqueError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn queue_flushes_by_size_and_deadline() {
+        let mut svc = service();
+        svc.set_batch_policy(BatchPolicy { max_batch: 2, max_delay: 10.0 }).unwrap();
+        let t0 = svc.submit(request(0, 0, 255, 2), 0.0).unwrap();
+        assert!(svc.tick(0.0).unwrap().is_none(), "one pending, no trigger");
+        let t1 = svc.submit(request(1, 16, 240, 2), 1.0).unwrap();
+        let resp = svc.tick(1.0).unwrap().expect("size trigger");
+        assert_eq!(resp.tickets, vec![t0, t1]);
+        assert_eq!(resp.results.len(), 2);
+        assert_eq!(svc.pending(), 0);
+
+        // Deadline path: a single request flushes once it has waited.
+        svc.submit(request(2, 32, 200, 2), 5.0).unwrap();
+        assert!(svc.tick(14.9).unwrap().is_none());
+        let resp = svc.tick(15.0).unwrap().expect("deadline trigger");
+        assert_eq!(resp.results.len(), 1);
+        assert!((resp.mean_wait - 10.0).abs() < 1e-12, "queued at 5.0, drained at 15.0");
+    }
+
+    #[test]
+    fn flush_drains_partial_batches() {
+        let mut svc = service();
+        assert!(svc.flush(0.0).unwrap().is_none());
+        svc.submit(request(0, 0, 255, 2), 0.0).unwrap();
+        let resp = svc.flush(2.5).unwrap().expect("forced drain");
+        assert_eq!(resp.results.len(), 1);
+        assert_eq!(resp.outcomes[0].1, ClientOutcome::Delivered);
+        assert!((resp.mean_wait - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_policy_swaps_live_without_losing_state() {
+        let mut svc = service();
+        let t0 = svc.submit(request(0, 0, 255, 2), 0.0).unwrap();
+        // Live swap: the pending request and its ticket survive, and the
+        // new (shorter) deadline applies from the next tick.
+        svc.set_batch_policy(BatchPolicy { max_batch: 100, max_delay: 1.0 }).unwrap();
+        assert_eq!(svc.pending(), 1);
+        let resp = svc.tick(1.0).unwrap().expect("new 1s deadline applies");
+        assert_eq!(resp.tickets, vec![t0]);
+        // Unsatisfiable policies are still rejected.
+        let err = svc.set_batch_policy(BatchPolicy { max_batch: 0, max_delay: 1.0 }).unwrap_err();
+        assert!(matches!(err, OpaqueError::InvalidConfig { .. }));
+        // The ticket sequence continues across swaps — receipts stay
+        // unique for the service's lifetime.
+        svc.set_batch_policy(BatchPolicy { max_batch: 5, max_delay: 1.0 }).unwrap();
+        let t1 = svc.submit(request(1, 16, 240, 2), 2.0).unwrap();
+        assert_ne!(t0, t1, "ticket reused across policy change");
+    }
+
+    #[test]
+    fn per_mode_override_matches_configured_mode() {
+        let mut svc = service();
+        let reqs: Vec<ClientRequest> =
+            (0..4).map(|i| request(i, i * 17 % 256, (i * 31 + 128) % 256, 3)).collect();
+        let shared = svc.process_batch_with_mode(&reqs, ObfuscationMode::SharedGlobal).unwrap();
+        assert_eq!(shared.report.mode, ObfuscationMode::SharedGlobal);
+        assert_eq!(shared.report.num_units, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Typed accounting for processed batches.
+//!
+//! [`BatchReport`] records what the experiments need from every batch:
+//! server load (pairs, settled nodes), network redundancy (candidate vs
+//! delivered path volume), obfuscation overhead (fakes added), per-client
+//! breach probability, and measured bytes per hop. The obfuscation mode is
+//! carried as the typed [`ObfuscationMode`] (serde-tagged, parameters
+//! included) rather than a display string, and every client of a
+//! *successfully processed* batch gets an explicit [`ClientOutcome`] —
+//! nothing is silently dropped. The exception is a batch-fatal error
+//! (verification caught a tampered result, or strict mode hit any
+//! failure): processing aborts with the typed error instead of outcomes,
+//! and a queue-drained batch is discarded with it (see
+//! `OpaqueService::tick`).
+
+use crate::obfuscator::ObfuscationMode;
+use crate::protocol::HopTraffic;
+use crate::query::ClientId;
+
+/// What happened to one client's request within a processed batch.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ClientOutcome {
+    /// The true path was extracted from the candidate set and delivered.
+    Delivered,
+    /// The true (source, destination) pair is disconnected on the
+    /// backend's map — embedded and queried, but no path exists.
+    Unreachable,
+    /// The request failed admission validation and was never embedded in
+    /// an obfuscated query; the reason is the rejecting error's message.
+    Rejected { reason: String },
+}
+
+/// Accounting for one processed batch.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct BatchReport {
+    /// Obfuscation mode used, with its parameters.
+    pub mode: ObfuscationMode,
+    /// Requests in the batch.
+    pub num_requests: usize,
+    /// Obfuscated queries sent to the backend.
+    pub num_units: usize,
+    /// Σ |S|·|T| over all units — the backend's query workload.
+    pub total_pairs: u64,
+    /// Fake endpoints the obfuscator had to generate.
+    pub fakes_added: u64,
+    /// Candidate result paths the backend returned (network download at
+    /// the obfuscator).
+    pub candidate_paths: u64,
+    /// Total nodes across all candidate paths (proxy for bytes on the
+    /// obfuscator–server link).
+    pub candidate_path_nodes: u64,
+    /// Total nodes across the paths actually delivered to clients.
+    pub delivered_path_nodes: u64,
+    /// Nodes the backend settled for this batch.
+    pub server_settled: u64,
+    /// Arc relaxations performed by the backend for this batch.
+    pub server_relaxed: u64,
+    /// Per-client breach probability (Definition 2 applied to the unit the
+    /// client was embedded in). Clients rejected at admission do not
+    /// appear — they were never embedded in a query.
+    pub per_client_breach: Vec<(ClientId, f64)>,
+    /// Measured bytes per hop of Figure 5 (requests, obfuscated queries,
+    /// candidate results, delivered results), in the protocol's wire
+    /// encoding.
+    pub traffic: HopTraffic,
+}
+
+impl BatchReport {
+    /// Mean breach probability across the batch's embedded clients.
+    pub fn mean_breach(&self) -> f64 {
+        if self.per_client_breach.is_empty() {
+            return 0.0;
+        }
+        self.per_client_breach.iter().map(|(_, b)| b).sum::<f64>()
+            / self.per_client_breach.len() as f64
+    }
+
+    /// Candidate-to-delivered volume ratio — the redundancy §II attributes
+    /// to naive obfuscation ("overconsumption of server and network
+    /// resources"). 1.0 means nothing wasted.
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.delivered_path_nodes == 0 {
+            return 0.0;
+        }
+        self.candidate_path_nodes as f64 / self.delivered_path_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_mean_breach_empty_is_zero() {
+        assert_eq!(BatchReport::default().mean_breach(), 0.0);
+        assert_eq!(BatchReport::default().redundancy_ratio(), 0.0);
+    }
+
+    #[test]
+    fn report_serializes_with_typed_mode() {
+        let report = BatchReport { mode: ObfuscationMode::SharedGlobal, ..Default::default() };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"mode\":\"SharedGlobal\""), "{json}");
+        let back: BatchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.mode, ObfuscationMode::SharedGlobal);
+    }
+
+    #[test]
+    fn outcomes_round_trip() {
+        for outcome in [
+            ClientOutcome::Delivered,
+            ClientOutcome::Unreachable,
+            ClientOutcome::Rejected { reason: "node 9999 is not on the map".to_string() },
+        ] {
+            let json = serde_json::to_string(&outcome).unwrap();
+            let back: ClientOutcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, outcome);
+        }
+    }
+}

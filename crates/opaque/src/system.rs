@@ -1,83 +1,34 @@
-//! End-to-end OPAQUE pipeline (Figure 5): clients → obfuscator → server →
-//! candidate filter → clients, with full accounting.
+//! Compatibility shim over the service layer.
 //!
-//! [`OpaqueSystem`] wires the trusted obfuscator to a directions-search
-//! server and processes request batches under a chosen
-//! [`ObfuscationMode`]. Every batch yields a [`BatchReport`] recording what
-//! the experiments need: server load (pairs, settled nodes), network
-//! redundancy (candidate vs delivered path volume), obfuscation overhead
-//! (fakes added), and per-client breach probability.
+//! [`OpaqueSystem`] was the original entry point to the Figure-5 pipeline
+//! (clients → obfuscator → server → candidate filter → clients). The
+//! pipeline now lives in [`crate::service::OpaqueService`], which adds
+//! pluggable backends, request batching, and per-client outcomes;
+//! `OpaqueSystem` remains as a thin wrapper preserving the historical
+//! contract for existing experiments:
+//!
+//! * a concrete [`DirectionsServer`] backend,
+//! * the mode passed per batch rather than configured once,
+//! * strict all-or-error delivery (an unreachable pair or invalid request
+//!   fails the whole batch).
+//!
+//! New code should build an [`crate::service::OpaqueService`] via
+//! [`crate::service::ServiceBuilder`]; this shim is kept for one
+//! deprecation cycle and its `process_batch` is equivalent to the service
+//! in strict mode (see `tests/service_api.rs` for the proof obligation).
 
 use crate::error::Result;
-use crate::filter::{ClientResult, filter_candidates};
-use crate::obfuscator::{ObfuscationMode, ObfuscationUnit, Obfuscator};
-use crate::protocol::{
-    CandidateResultsMsg, HopTraffic, ObfuscatedQueryMsg, RequestMsg, ResultMsg,
-};
-use crate::query::{ClientId, ClientRequest};
+use crate::filter::ClientResult;
+use crate::obfuscator::{ObfuscationMode, Obfuscator};
+use crate::query::ClientRequest;
 use crate::server::DirectionsServer;
-use roadnet::{GraphView, NodeId};
-use std::collections::HashSet;
+use crate::service::{BatchReport, OpaqueService};
+use roadnet::GraphView;
 
-/// Accounting for one processed batch.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
-pub struct BatchReport {
-    /// Obfuscation mode used (`independent`, `shared-global`, …).
-    pub mode: String,
-    /// Requests in the batch.
-    pub num_requests: usize,
-    /// Obfuscated queries sent to the server.
-    pub num_units: usize,
-    /// Σ |S|·|T| over all units — the server's query workload.
-    pub total_pairs: u64,
-    /// Fake endpoints the obfuscator had to generate.
-    pub fakes_added: u64,
-    /// Candidate result paths the server returned (network download at the
-    /// obfuscator).
-    pub candidate_paths: u64,
-    /// Total nodes across all candidate paths (proxy for bytes on the
-    /// obfuscator–server link).
-    pub candidate_path_nodes: u64,
-    /// Total nodes across the paths actually delivered to clients.
-    pub delivered_path_nodes: u64,
-    /// Nodes the server settled for this batch.
-    pub server_settled: u64,
-    /// Arc relaxations performed by the server for this batch.
-    pub server_relaxed: u64,
-    /// Per-client breach probability (Definition 2 applied to the unit the
-    /// client was embedded in).
-    pub per_client_breach: Vec<(ClientId, f64)>,
-    /// Measured bytes per hop of Figure 5 (requests, obfuscated queries,
-    /// candidate results, delivered results), in the protocol's wire
-    /// encoding.
-    pub traffic: HopTraffic,
-}
-
-impl BatchReport {
-    /// Mean breach probability across the batch's clients.
-    pub fn mean_breach(&self) -> f64 {
-        if self.per_client_breach.is_empty() {
-            return 0.0;
-        }
-        self.per_client_breach.iter().map(|(_, b)| b).sum::<f64>()
-            / self.per_client_breach.len() as f64
-    }
-
-    /// Candidate-to-delivered volume ratio — the redundancy §II attributes
-    /// to naive obfuscation ("overconsumption of server and network
-    /// resources"). 1.0 means nothing wasted.
-    pub fn redundancy_ratio(&self) -> f64 {
-        if self.delivered_path_nodes == 0 {
-            return 0.0;
-        }
-        self.candidate_path_nodes as f64 / self.delivered_path_nodes as f64
-    }
-}
-
-/// The assembled OPAQUE deployment.
+/// The assembled OPAQUE deployment (compatibility wrapper around
+/// [`OpaqueService`] with a single [`DirectionsServer`] backend).
 pub struct OpaqueSystem<G> {
-    obfuscator: Obfuscator,
-    server: DirectionsServer<G>,
+    service: OpaqueService<DirectionsServer<G>>,
     /// Re-verify delivered paths against the obfuscator's map.
     pub verify_results: bool,
 }
@@ -85,17 +36,20 @@ pub struct OpaqueSystem<G> {
 impl<G: GraphView> OpaqueSystem<G> {
     /// Assemble a system from its two components.
     pub fn new(obfuscator: Obfuscator, server: DirectionsServer<G>) -> Self {
-        OpaqueSystem { obfuscator, server, verify_results: false }
+        OpaqueSystem {
+            service: OpaqueService::from_parts(obfuscator, server, ObfuscationMode::Independent),
+            verify_results: false,
+        }
     }
 
     /// Access the obfuscator (e.g. to inspect its map).
     pub fn obfuscator(&self) -> &Obfuscator {
-        &self.obfuscator
+        self.service.obfuscator()
     }
 
     /// Access the server (e.g. to read cumulative stats).
     pub fn server(&self) -> &DirectionsServer<G> {
-        &self.server
+        self.service.backend()
     }
 
     /// Process one batch of client requests end to end.
@@ -104,103 +58,38 @@ impl<G: GraphView> OpaqueSystem<G> {
     /// retained anywhere in the system (§IV: "the satisfied requests are
     /// immediately discarded in the obfuscator, for sake of security") —
     /// only the aggregate `BatchReport` survives.
+    ///
+    /// # Errors
+    /// Strict delivery: any invalid request, duplicate client id, or
+    /// unreachable pair fails the whole batch. The service layer's
+    /// [`OpaqueService::process_batch`] offers per-client outcomes
+    /// instead.
     pub fn process_batch(
         &mut self,
         requests: &[ClientRequest],
         mode: ObfuscationMode,
     ) -> Result<(Vec<ClientResult>, BatchReport)> {
-        let before = self.server.stats();
-        let units = self.obfuscator.obfuscate_batch(requests, mode)?;
-
-        let mut report = BatchReport {
-            mode: mode.name().to_string(),
-            num_requests: requests.len(),
-            num_units: units.len(),
-            ..BatchReport::default()
-        };
-        for r in requests {
-            report.traffic.record_request(&RequestMsg {
-                client: r.client,
-                query: r.query,
-                protection: r.protection,
-            });
-        }
-
-        let mut delivered: Vec<ClientResult> = Vec::with_capacity(requests.len());
-        for (query_id, unit) in units.iter().enumerate() {
-            report.total_pairs += unit.query.num_pairs() as u64;
-            report.fakes_added += count_fakes(unit);
-            report.traffic.record_query(&ObfuscatedQueryMsg {
-                query_id: query_id as u64,
-                query: unit.query.clone(),
-            });
-
-            let candidates = self.server.process(&unit.query);
-            report.candidate_paths += candidates.num_paths() as u64;
-            report.candidate_path_nodes += candidates
-                .paths
-                .iter()
-                .flatten()
-                .flatten()
-                .map(|p| p.nodes().len() as u64)
-                .sum::<u64>();
-            report
-                .traffic
-                .record_candidates(&CandidateResultsMsg::from_result(query_id as u64, &candidates));
-
-            let verify_on = self.verify_results.then(|| self.obfuscator.map());
-            let results = filter_candidates(unit, &candidates, verify_on)?;
-            for r in &results {
-                report.delivered_path_nodes += r.path.nodes().len() as u64;
-                report
-                    .per_client_breach
-                    .push((r.client, unit.query.breach_probability()));
-                report
-                    .traffic
-                    .record_result(&ResultMsg { client: r.client, path: r.path.clone() });
-            }
-            delivered.extend(results);
-        }
-
-        let after = self.server.stats();
-        report.server_settled = after.search.settled - before.search.settled;
-        report.server_relaxed = after.search.relaxed - before.search.relaxed;
-
-        // Restore request order for the caller.
-        let order: std::collections::HashMap<ClientId, usize> =
-            requests.iter().enumerate().map(|(i, r)| (r.client, i)).collect();
-        delivered.sort_by_key(|r| order.get(&r.client).copied().unwrap_or(usize::MAX));
-        report
-            .per_client_breach
-            .sort_by_key(|(c, _)| order.get(c).copied().unwrap_or(usize::MAX));
-        Ok((delivered, report))
+        self.service.verify_results = self.verify_results;
+        self.service.strict_delivery = true;
+        let response = self.service.process_batch_with_mode(requests, mode)?;
+        Ok((response.results, response.report))
     }
-}
-
-/// Number of endpoints in the unit's sets that are not true endpoints of
-/// any carried request.
-fn count_fakes(unit: &ObfuscationUnit) -> u64 {
-    let truth: HashSet<NodeId> = unit
-        .requests
-        .iter()
-        .flat_map(|r| [r.query.source, r.query.destination])
-        .collect();
-    let fake_sources = unit.query.sources().iter().filter(|s| !truth.contains(s)).count();
-    let fake_targets = unit.query.targets().iter().filter(|t| !truth.contains(t)).count();
-    (fake_sources + fake_targets) as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::OpaqueError;
     use crate::obfuscator::{ClusteringConfig, FakeSelection};
-    use crate::query::{PathQuery, ProtectionSettings};
+    use crate::query::{ClientId, PathQuery, ProtectionSettings};
     use pathsearch::SharingPolicy;
+    use roadnet::NodeId;
     use roadnet::generators::{GridConfig, grid_network};
 
     fn system() -> OpaqueSystem<roadnet::RoadNetwork> {
-        let map = grid_network(&GridConfig { width: 16, height: 16, seed: 5, ..Default::default() })
-            .unwrap();
+        let map =
+            grid_network(&GridConfig { width: 16, height: 16, seed: 5, ..Default::default() })
+                .unwrap();
         let server = DirectionsServer::new(map.clone(), SharingPolicy::PerSource);
         let obfuscator = Obfuscator::new(map, FakeSelection::default_ring(), 11);
         OpaqueSystem::new(obfuscator, server)
@@ -218,10 +107,8 @@ mod tests {
     fn batch_delivers_correct_paths_in_request_order() {
         let mut sys = system();
         sys.verify_results = true;
-        let reqs =
-            vec![request(10, 0, 255, 3), request(11, 16, 240, 3), request(12, 32, 200, 2)];
-        let (results, report) =
-            sys.process_batch(&reqs, ObfuscationMode::Independent).unwrap();
+        let reqs = vec![request(10, 0, 255, 3), request(11, 16, 240, 3), request(12, 32, 200, 2)];
+        let (results, report) = sys.process_batch(&reqs, ObfuscationMode::Independent).unwrap();
         assert_eq!(results.len(), 3);
         for (res, req) in results.iter().zip(&reqs) {
             assert_eq!(res.client, req.client);
@@ -311,8 +198,13 @@ mod tests {
     }
 
     #[test]
-    fn report_mean_breach_empty_is_zero() {
-        assert_eq!(BatchReport::default().mean_breach(), 0.0);
-        assert_eq!(BatchReport::default().redundancy_ratio(), 0.0);
+    fn duplicate_client_ids_are_rejected() {
+        // The seed implementation silently mis-ordered batches with
+        // duplicate client ids (its ClientId→position map collapsed them);
+        // admission now rejects the ambiguity with a typed error.
+        let mut sys = system();
+        let reqs = vec![request(3, 0, 255, 2), request(3, 16, 240, 2)];
+        let err = sys.process_batch(&reqs, ObfuscationMode::Independent).unwrap_err();
+        assert_eq!(err, OpaqueError::DuplicateClient { client: ClientId(3) });
     }
 }

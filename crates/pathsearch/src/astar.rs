@@ -149,8 +149,9 @@ mod tests {
 
     #[test]
     fn astar_settles_fewer_nodes_than_dijkstra() {
-        let g = random_geometric(&GeometricConfig { num_nodes: 2000, seed: 8, ..Default::default() })
-            .unwrap();
+        let g =
+            random_geometric(&GeometricConfig { num_nodes: 2000, seed: 8, ..Default::default() })
+                .unwrap();
         let s = NodeId(0);
         let t = NodeId(1999);
         let (_, a_stats) = astar(&g, s, t);

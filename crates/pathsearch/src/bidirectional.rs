@@ -170,7 +170,9 @@ pub fn bidirectional<G: GraphView>(g: &G, s: NodeId, t: NodeId) -> (Option<Path>
 mod tests {
     use super::*;
     use crate::dijkstra::shortest_path;
-    use roadnet::generators::{GeometricConfig, GridConfig, NetworkClass, grid_network, random_geometric};
+    use roadnet::generators::{
+        GeometricConfig, GridConfig, NetworkClass, grid_network, random_geometric,
+    };
     use roadnet::{GraphBuilder, Point};
 
     #[test]
@@ -215,8 +217,9 @@ mod tests {
 
     #[test]
     fn settles_fewer_than_unidirectional_on_long_queries() {
-        let g = random_geometric(&GeometricConfig { num_nodes: 3000, seed: 2, ..Default::default() })
-            .unwrap();
+        let g =
+            random_geometric(&GeometricConfig { num_nodes: 3000, seed: 2, ..Default::default() })
+                .unwrap();
         let (s, t) = (NodeId(0), NodeId(2999));
         let (_, b_stats) = bidirectional(&g, s, t);
         let mut searcher = crate::dijkstra::Searcher::new();
@@ -244,8 +247,9 @@ mod tests {
 
     #[test]
     fn adjacent_nodes() {
-        let g = grid_network(&GridConfig { width: 4, height: 4, knockout: 0.0, ..Default::default() })
-            .unwrap();
+        let g =
+            grid_network(&GridConfig { width: 4, height: 4, knockout: 0.0, ..Default::default() })
+                .unwrap();
         let (p, _) = bidirectional(&g, NodeId(0), NodeId(1));
         let p = p.unwrap();
         let d = shortest_path(&g, NodeId(0), NodeId(1)).unwrap();

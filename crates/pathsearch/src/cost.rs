@@ -143,13 +143,16 @@ mod tests {
     #[test]
     fn calibration_on_grid_explains_cost_well() {
         // On a grid, the settled area of a Dijkstra ball of radius d is
-        // genuinely Θ(d²), so the model should fit tightly.
+        // genuinely Θ(d²). The fit is only moderately tight, though:
+        // uniform pairs include many near-boundary sources whose balls are
+        // clipped to a half or quarter, spreading settled counts by up to
+        // ~4× at equal d (measured r² across seeds: ≈ 0.34–0.67).
         let g = grid_network(&GridConfig { width: 40, height: 40, seed: 17, ..Default::default() })
             .unwrap();
         let mut rng = StdRng::seed_from_u64(99);
         let m = CostModel::calibrate(&g, 60, &mut rng);
         assert!(m.coeff > 0.0);
-        assert!(m.r_squared > 0.6, "r² {} too low for a grid", m.r_squared);
+        assert!(m.r_squared > 0.25, "r² {} too low for a grid", m.r_squared);
 
         // Out-of-sample check on a fresh *interior* query: the quadratic
         // model assumes the Dijkstra ball is not clipped by the network
@@ -164,6 +167,41 @@ mod tests {
     }
 
     #[test]
+    fn fit_on_unclipped_interior_balls_is_tight() {
+        // The regression guard for the fitting machinery itself: search
+        // from the grid centre to targets within radius < 20 keeps every
+        // Dijkstra ball entirely inside the 40×40 network, the regime the
+        // O(d²) model actually describes. A fitting bug that degrades the
+        // model shows up here, without the boundary-clipping spread that
+        // forces the uniform-pair bound above to be loose.
+        let g = grid_network(&GridConfig { width: 40, height: 40, seed: 17, ..Default::default() })
+            .unwrap();
+        let centre = NodeId(20 * 40 + 20);
+        let mut searcher = Searcher::new();
+        let mut obs: Vec<(f64, f64)> = Vec::new();
+        for (dx, dy) in [
+            (3i32, 1i32),
+            (0, 5),
+            (6, 2),
+            (4, 4),
+            (8, 1),
+            (2, 9),
+            (10, 3),
+            (7, 7),
+            (12, 2),
+            (5, 11),
+        ] {
+            let t = NodeId(((20 + dy) * 40 + 20 + dx) as u32);
+            let stats = searcher.run(&g, centre, &Goal::Single(t));
+            let d = searcher.distance(t).expect("grid is connected");
+            obs.push((d, stats.settled as f64));
+        }
+        let m = CostModel::fit(&obs);
+        assert!(m.coeff > 0.0);
+        assert!(m.r_squared > 0.6, "interior r² {} too low", m.r_squared);
+    }
+
+    #[test]
     fn obfuscated_prediction_is_sum_over_sources() {
         let m = CostModel { coeff: 2.0, r_squared: 1.0, samples: 0 };
         let pred = m.predict_obfuscated(&[1.0, 2.0, 3.0]);
@@ -173,9 +211,7 @@ mod tests {
     #[test]
     fn relative_error_edge_cases() {
         assert_eq!(CostObservation { predicted: 0.0, measured: 0.0 }.relative_error(), 0.0);
-        assert!(CostObservation { predicted: 1.0, measured: 0.0 }
-            .relative_error()
-            .is_infinite());
+        assert!(CostObservation { predicted: 1.0, measured: 0.0 }.relative_error().is_infinite());
         let o = CostObservation { predicted: 8.0, measured: 10.0 };
         assert!((o.relative_error() - 0.2).abs() < 1e-12);
     }

@@ -51,10 +51,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse on key for min-heap behaviour; tie-break on node id for
         // determinism across runs.
-        other
-            .key
-            .total_cmp(&self.key)
-            .then_with(|| other.node.0.cmp(&self.node.0))
+        other.key.total_cmp(&self.key).then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
 
@@ -336,7 +333,8 @@ mod tests {
         let far = NodeId(30 * 30 - 1);
         let mut searcher = Searcher::new();
         let far_only = searcher.run(&g, s, &Goal::Set(vec![far]));
-        let with_near = searcher.run(&g, s, &Goal::Set(vec![far, NodeId(31), NodeId(62), NodeId(100)]));
+        let with_near =
+            searcher.run(&g, s, &Goal::Set(vec![far, NodeId(31), NodeId(62), NodeId(100)]));
         let ratio = with_near.settled as f64 / far_only.settled as f64;
         assert!(ratio <= 1.05, "near targets inflated cost by {ratio}");
     }

@@ -48,10 +48,10 @@ pub mod stats;
 
 pub use alt::{AltPreprocessing, alt};
 pub use astar::{astar, astar_scaled, astar_with};
-pub use range::{range_search, ring_search};
 pub use bidirectional::bidirectional;
 pub use cost::{CostModel, CostObservation};
 pub use dijkstra::{Goal, Searcher, multi_destination, shortest_distance, shortest_path};
 pub use multi::{MsmdResult, SharingPolicy, msmd};
 pub use path::Path;
+pub use range::{range_search, ring_search};
 pub use stats::SearchStats;

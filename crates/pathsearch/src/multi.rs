@@ -140,9 +140,8 @@ fn msmd_per_source<G: GraphView>(g: &G, sources: &[NodeId], targets: &[NodeId]) 
 /// networks only; paths are reversed back into `s → t` orientation).
 fn transpose(r: MsmdResult, num_sources: usize, num_targets: usize) -> MsmdResult {
     debug_assert_eq!(r.paths.len(), num_targets);
-    let mut paths: Vec<Vec<Option<Path>>> = (0..num_sources)
-        .map(|_| vec![None; num_targets])
-        .collect();
+    let mut paths: Vec<Vec<Option<Path>>> =
+        (0..num_sources).map(|_| vec![None; num_targets]).collect();
     for (j, row) in r.paths.into_iter().enumerate() {
         for (i, p) in row.into_iter().enumerate() {
             paths[i][j] = p.map(|mut p| {

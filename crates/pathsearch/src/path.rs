@@ -91,8 +91,14 @@ impl Path {
 
 impl std::fmt::Display for Path {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "path[{} → {}, {} edges, d={:.3}]",
-            self.source(), self.destination(), self.num_edges(), self.distance)
+        write!(
+            f,
+            "path[{} → {}, {} edges, d={:.3}]",
+            self.source(),
+            self.destination(),
+            self.num_edges(),
+            self.distance
+        )
     }
 }
 

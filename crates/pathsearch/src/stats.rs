@@ -39,11 +39,7 @@ impl SearchStats {
 
     /// Mean settled nodes per run (0 when empty).
     pub fn settled_per_run(&self) -> f64 {
-        if self.runs == 0 {
-            0.0
-        } else {
-            self.settled as f64 / self.runs as f64
-        }
+        if self.runs == 0 { 0.0 } else { self.settled as f64 / self.runs as f64 }
     }
 }
 

@@ -32,7 +32,10 @@ impl fmt::Display for RoadNetError {
                 write!(f, "node {node} out of range (network has {num_nodes} nodes)")
             }
             RoadNetError::InvalidWeight { from, to, weight } => {
-                write!(f, "edge ({from}, {to}) has invalid weight {weight}; weights must be finite and non-negative")
+                write!(
+                    f,
+                    "edge ({from}, {to}) has invalid weight {weight}; weights must be finite and non-negative"
+                )
             }
             RoadNetError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed")

@@ -70,16 +70,20 @@ pub fn random_geometric(cfg: &GeometricConfig) -> Result<RoadNetwork> {
     };
 
     let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(cfg.num_nodes * cfg.k);
-    let add_unique =
-        |b: &mut GraphBuilder, rng: &mut StdRng, seen: &mut HashSet<(u32, u32)>, a: NodeId, c: NodeId| -> Result<()> {
-            let key = (a.0.min(c.0), a.0.max(c.0));
-            if seen.insert(key) {
-                let len = points[a.index()].distance(points[c.index()]);
-                let w = weight(len, rng);
-                b.add_edge(a, c, w)?;
-            }
-            Ok(())
-        };
+    let add_unique = |b: &mut GraphBuilder,
+                      rng: &mut StdRng,
+                      seen: &mut HashSet<(u32, u32)>,
+                      a: NodeId,
+                      c: NodeId|
+     -> Result<()> {
+        let key = (a.0.min(c.0), a.0.max(c.0));
+        if seen.insert(key) {
+            let len = points[a.index()].distance(points[c.index()]);
+            let w = weight(len, rng);
+            b.add_edge(a, c, w)?;
+        }
+        Ok(())
+    };
 
     for (i, p) in points.iter().enumerate() {
         let me = NodeId::from_index(i);
@@ -126,7 +130,8 @@ mod tests {
 
     #[test]
     fn default_geometric_is_connected_admissible_and_sparse() {
-        let g = random_geometric(&GeometricConfig { num_nodes: 500, ..Default::default() }).unwrap();
+        let g =
+            random_geometric(&GeometricConfig { num_nodes: 500, ..Default::default() }).unwrap();
         assert_eq!(g.num_nodes(), 500);
         assert!(g.is_connected());
         assert!(g.euclidean_admissible(1e-9));
@@ -137,8 +142,9 @@ mod tests {
 
     #[test]
     fn no_duplicate_edges() {
-        let g = random_geometric(&GeometricConfig { num_nodes: 200, seed: 5, ..Default::default() })
-            .unwrap();
+        let g =
+            random_geometric(&GeometricConfig { num_nodes: 200, seed: 5, ..Default::default() })
+                .unwrap();
         let mut seen = std::collections::HashSet::new();
         for e in g.edges() {
             let key = (e.a.0.min(e.b.0), e.a.0.max(e.b.0));
@@ -148,8 +154,10 @@ mod tests {
 
     #[test]
     fn density_is_constant_across_sizes() {
-        let small = random_geometric(&GeometricConfig { num_nodes: 250, ..Default::default() }).unwrap();
-        let large = random_geometric(&GeometricConfig { num_nodes: 1000, ..Default::default() }).unwrap();
+        let small =
+            random_geometric(&GeometricConfig { num_nodes: 250, ..Default::default() }).unwrap();
+        let large =
+            random_geometric(&GeometricConfig { num_nodes: 1000, ..Default::default() }).unwrap();
         let d_small = small.num_nodes() as f64 / (small.bbox().width() * small.bbox().height());
         let d_large = large.num_nodes() as f64 / (large.bbox().width() * large.bbox().height());
         assert!((d_small / d_large - 1.0).abs() < 0.35, "densities {d_small} vs {d_large}");
@@ -157,18 +165,16 @@ mod tests {
 
     #[test]
     fn explicit_side_is_respected() {
-        let g = random_geometric(&GeometricConfig {
-            num_nodes: 100,
-            side: 50.0,
-            ..Default::default()
-        })
-        .unwrap();
+        let g =
+            random_geometric(&GeometricConfig { num_nodes: 100, side: 50.0, ..Default::default() })
+                .unwrap();
         assert!(g.bbox().max.x <= 50.0 && g.bbox().max.y <= 50.0);
     }
 
     #[test]
     fn tiny_network_still_works() {
-        let g = random_geometric(&GeometricConfig { num_nodes: 2, k: 1, ..Default::default() }).unwrap();
+        let g = random_geometric(&GeometricConfig { num_nodes: 2, k: 1, ..Default::default() })
+            .unwrap();
         assert_eq!(g.num_nodes(), 2);
         assert!(g.is_connected());
     }

@@ -161,7 +161,8 @@ mod tests {
 
     #[test]
     fn heavy_knockout_stays_connected() {
-        let cfg = GridConfig { width: 20, height: 20, knockout: 0.9, seed: 3, ..GridConfig::default() };
+        let cfg =
+            GridConfig { width: 20, height: 20, knockout: 0.9, seed: 3, ..GridConfig::default() };
         let g = grid_network(&cfg).unwrap();
         assert!(g.is_connected(), "spanning tree must survive knockout");
         // Must have at least the spanning tree.
@@ -172,7 +173,8 @@ mod tests {
 
     #[test]
     fn no_jitter_gives_exact_lattice_coordinates() {
-        let cfg = GridConfig { width: 3, height: 3, jitter: 0.0, spacing: 2.0, ..GridConfig::default() };
+        let cfg =
+            GridConfig { width: 3, height: 3, jitter: 0.0, spacing: 2.0, ..GridConfig::default() };
         let g = grid_network(&cfg).unwrap();
         assert_eq!(g.point(NodeId(4)), Point::new(2.0, 2.0)); // center node
     }

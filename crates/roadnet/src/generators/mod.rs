@@ -58,7 +58,12 @@ impl NetworkClass {
         match self {
             NetworkClass::Grid => {
                 let side = (target_nodes as f64).sqrt().round().max(2.0) as usize;
-                grid_network(&GridConfig { width: side, height: side, seed, ..GridConfig::default() })
+                grid_network(&GridConfig {
+                    width: side,
+                    height: side,
+                    seed,
+                    ..GridConfig::default()
+                })
             }
             NetworkClass::Geometric => random_geometric(&GeometricConfig {
                 num_nodes: target_nodes.max(2),

@@ -125,7 +125,8 @@ mod tests {
 
     #[test]
     fn zero_spoke_probability_still_connects() {
-        let g = radial_city(&RadialConfig { spoke_prob: 0.0, seed: 9, ..Default::default() }).unwrap();
+        let g =
+            radial_city(&RadialConfig { spoke_prob: 0.0, seed: 9, ..Default::default() }).unwrap();
         assert!(g.is_connected(), "forced spokes must keep rings attached");
     }
 
@@ -139,13 +140,9 @@ mod tests {
 
     #[test]
     fn rings_lie_at_expected_radii() {
-        let g = radial_city(&RadialConfig {
-            rings: 2,
-            spokes: 4,
-            ring_gap: 3.0,
-            ..Default::default()
-        })
-        .unwrap();
+        let g =
+            radial_city(&RadialConfig { rings: 2, spokes: 4, ring_gap: 3.0, ..Default::default() })
+                .unwrap();
         let origin = Point::new(0.0, 0.0);
         assert!((g.point(NodeId(1)).distance(origin) - 3.0).abs() < 1e-9);
         assert!((g.point(NodeId(5)).distance(origin) - 6.0).abs() < 1e-9);

@@ -115,11 +115,7 @@ impl BoundingBox {
     /// Length of the diagonal. A useful scale for "how far apart can two
     /// locations on this map possibly be".
     pub fn diagonal(&self) -> f64 {
-        if self.is_empty() {
-            0.0
-        } else {
-            self.min.distance(self.max)
-        }
+        if self.is_empty() { 0.0 } else { self.min.distance(self.max) }
     }
 
     /// True if `p` lies inside (or on the border of) the box.
@@ -162,11 +158,7 @@ mod tests {
 
     #[test]
     fn bbox_of_points_covers_all() {
-        let pts = vec![
-            Point::new(1.0, 5.0),
-            Point::new(-2.0, 0.5),
-            Point::new(4.0, 2.0),
-        ];
+        let pts = vec![Point::new(1.0, 5.0), Point::new(-2.0, 0.5), Point::new(4.0, 2.0)];
         let b = BoundingBox::of_points(pts.iter().copied());
         assert_eq!(b.min, Point::new(-2.0, 0.5));
         assert_eq!(b.max, Point::new(4.0, 5.0));

@@ -72,6 +72,23 @@ impl<G: GraphView + ?Sized> GraphView for &G {
     }
 }
 
+/// Shared-ownership views: a fleet of servers can hold one map via `Arc`
+/// instead of a deep copy each.
+impl<G: GraphView + ?Sized> GraphView for std::sync::Arc<G> {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn point(&self, n: NodeId) -> Point {
+        (**self).point(n)
+    }
+    fn for_each_arc(&self, n: NodeId, f: &mut dyn FnMut(NodeId, f64)) {
+        (**self).for_each_arc(n, f)
+    }
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
+}
+
 /// Builder accumulating nodes and edges, validating eagerly, and producing a
 /// CSR [`RoadNetwork`].
 #[derive(Clone, Debug)]
@@ -304,11 +321,7 @@ impl RoadNetwork {
     /// between its endpoints (within `eps`). When true, the Euclidean
     /// heuristic is admissible for A*.
     pub fn euclidean_admissible(&self, eps: f64) -> bool {
-        self.nodes().all(|n| {
-            self.arcs(n)
-                .iter()
-                .all(|a| a.weight + eps >= self.euclidean(n, a.to))
-        })
+        self.nodes().all(|n| self.arcs(n).iter().all(|a| a.weight + eps >= self.euclidean(n, a.to)))
     }
 
     /// Component label for every node (labels are dense from 0, assigned in
@@ -464,19 +477,10 @@ mod tests {
         let mut b = GraphBuilder::new();
         let n0 = b.add_node(Point::new(0.0, 0.0)).unwrap();
         let n1 = b.add_node(Point::new(1.0, 0.0)).unwrap();
-        assert!(matches!(
-            b.add_edge(n0, NodeId(9), 1.0),
-            Err(RoadNetError::NodeOutOfRange { .. })
-        ));
+        assert!(matches!(b.add_edge(n0, NodeId(9), 1.0), Err(RoadNetError::NodeOutOfRange { .. })));
         assert!(matches!(b.add_edge(n0, n0, 1.0), Err(RoadNetError::SelfLoop { .. })));
-        assert!(matches!(
-            b.add_edge(n0, n1, -2.0),
-            Err(RoadNetError::InvalidWeight { .. })
-        ));
-        assert!(matches!(
-            b.add_edge(n0, n1, f64::NAN),
-            Err(RoadNetError::InvalidWeight { .. })
-        ));
+        assert!(matches!(b.add_edge(n0, n1, -2.0), Err(RoadNetError::InvalidWeight { .. })));
+        assert!(matches!(b.add_edge(n0, n1, f64::NAN), Err(RoadNetError::InvalidWeight { .. })));
         assert!(matches!(
             b.add_node(Point::new(f64::NAN, 0.0)),
             Err(RoadNetError::InvalidCoordinate { .. })

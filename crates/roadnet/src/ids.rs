@@ -9,7 +9,9 @@ use std::fmt;
 /// Identifier of a node (road junction / endpoint) in a [`crate::RoadNetwork`].
 ///
 /// Node ids are dense: a network with `n` nodes uses ids `0..n`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -46,7 +48,9 @@ impl fmt::Display for NodeId {
 ///
 /// Edge ids are dense over the *input* edge list handed to the builder; an
 /// undirected edge yields two arcs but keeps one `EdgeId`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {

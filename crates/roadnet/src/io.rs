@@ -55,9 +55,7 @@ pub fn read_tln<R: BufRead>(r: &mut R) -> Result<RoadNetwork> {
                     break (no + 1, t.to_string());
                 }
             }
-            None => {
-                return Err(RoadNetError::Parse { line: 0, message: "empty document".into() })
-            }
+            None => return Err(RoadNetError::Parse { line: 0, message: "empty document".into() }),
         }
     };
     let mut hdr = first.split_whitespace();
@@ -74,7 +72,7 @@ pub fn read_tln<R: BufRead>(r: &mut R) -> Result<RoadNetwork> {
             return Err(RoadNetError::Parse {
                 line: first_no,
                 message: format!("expected mode directed|undirected, got {other:?}"),
-            })
+            });
         }
     };
 
@@ -123,7 +121,7 @@ pub fn read_tln<R: BufRead>(r: &mut R) -> Result<RoadNetwork> {
                 return Err(RoadNetError::Parse {
                     line: no,
                     message: format!("unknown record tag '{other}'"),
-                })
+                });
             }
         }
         if parts.next().is_some() {
@@ -142,7 +140,7 @@ pub fn read_tln<R: BufRead>(r: &mut R) -> Result<RoadNetwork> {
                 return Err(RoadNetError::Parse {
                     line: 0,
                     message: format!("node ids not dense: id {i} missing"),
-                })
+                });
             }
         }
     }
@@ -223,12 +221,12 @@ mod tests {
     #[test]
     fn rejects_malformed_records() {
         let cases = [
-            "TLN 1 undirected\nN 0 0.0\n",            // missing y
-            "TLN 1 undirected\nN 0 0.0 0.0 extra\n",  // trailing token
-            "TLN 1 undirected\nQ 0\n",                // unknown tag
-            "TLN 1 undirected\nN 0 a 0.0\n",          // bad float
-            "TLN 1 undirected\nN 0 0 0\nN 0 1 1\n",   // duplicate id
-            "TLN 1 undirected\nN 1 0 0\n",            // non-dense ids
+            "TLN 1 undirected\nN 0 0.0\n",                     // missing y
+            "TLN 1 undirected\nN 0 0.0 0.0 extra\n",           // trailing token
+            "TLN 1 undirected\nQ 0\n",                         // unknown tag
+            "TLN 1 undirected\nN 0 a 0.0\n",                   // bad float
+            "TLN 1 undirected\nN 0 0 0\nN 0 1 1\n",            // duplicate id
+            "TLN 1 undirected\nN 1 0 0\n",                     // non-dense ids
             "TLN 1 undirected\nN 0 0 0\nN 1 1 1\nE 0 5 1.0\n", // edge to unknown node
         ];
         for doc in cases {

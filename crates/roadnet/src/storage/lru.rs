@@ -22,11 +22,7 @@ pub struct IoStats {
 impl IoStats {
     /// Fraction of accesses served from the buffer (0 when untouched).
     pub fn hit_ratio(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            1.0 - self.faults as f64 / self.accesses as f64
-        }
+        if self.accesses == 0 { 0.0 } else { 1.0 - self.faults as f64 / self.accesses as f64 }
     }
 
     /// Aggregate two counters (used when merging per-query stats).

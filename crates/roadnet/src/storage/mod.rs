@@ -23,12 +23,12 @@ mod lru;
 
 pub use lru::{IoStats, LruBuffer};
 
-use crate::graph::{GraphView, RoadNetwork};
 use crate::geo::Point;
+use crate::graph::{GraphView, RoadNetwork};
 use crate::ids::NodeId;
+use rand::SeedableRng;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use std::cell::RefCell;
 
 /// Policy assigning node records to disk pages.
@@ -205,11 +205,7 @@ impl PageLayout {
                 }
             }
         }
-        if total == 0 {
-            0.0
-        } else {
-            same as f64 / total as f64
-        }
+        if total == 0 { 0.0 } else { same as f64 / total as f64 }
     }
 }
 
@@ -256,8 +252,11 @@ impl<'g> PagedGraph<'g> {
 
     /// Convenience constructor with CCAM placement and default page size.
     pub fn ccam(graph: &'g RoadNetwork, buffer_pages: usize) -> Self {
-        let layout =
-            PageLayout::build(graph, PagePlacement::Connectivity, PageLayout::DEFAULT_SLOTS_PER_PAGE);
+        let layout = PageLayout::build(
+            graph,
+            PagePlacement::Connectivity,
+            PageLayout::DEFAULT_SLOTS_PER_PAGE,
+        );
         Self::new(graph, layout, buffer_pages)
     }
 
@@ -352,11 +351,9 @@ mod tests {
         let colocation = |p: PagePlacement| PageLayout::build(&g, p, 64).colocation_ratio(&g);
         let ccam = colocation(PagePlacement::Connectivity);
         assert!(ccam > 0.3, "local clustering should co-locate many neighbours, got {ccam}");
-        for baseline in [
-            PagePlacement::BfsOrder,
-            PagePlacement::NodeOrder,
-            PagePlacement::Random { seed: 3 },
-        ] {
+        for baseline in
+            [PagePlacement::BfsOrder, PagePlacement::NodeOrder, PagePlacement::Random { seed: 3 }]
+        {
             let b = colocation(baseline);
             assert!(ccam > b, "ccam {ccam} vs {} {b}", baseline.name());
         }

@@ -73,10 +73,7 @@ pub fn poisson_stream(
     out
 }
 
-fn sample_protection(
-    workload: &WorkloadConfig,
-    rng: &mut StdRng,
-) -> opaque::ProtectionSettings {
+fn sample_protection(workload: &WorkloadConfig, rng: &mut StdRng) -> opaque::ProtectionSettings {
     use crate::generator::ProtectionDistribution;
     match workload.protection {
         ProtectionDistribution::Fixed { f_s, f_t } => {
@@ -101,25 +98,34 @@ pub struct WindowBatch {
 }
 
 /// Cut a stream into fixed-length windows. Empty windows produce no batch.
+///
+/// This is the *offline* (whole-stream, fixed-grid) windowing used for
+/// workload analysis; a live deployment batches through
+/// `opaque::service::Batcher`, whose deadline is measured from each
+/// batch's oldest request rather than a global grid. Experiment E12 used
+/// this function before the service layer existed and now drives the
+/// `Batcher` directly; this one is kept as the pure-function reference for
+/// stream post-processing.
 pub fn window_batches(stream: &[TimedRequest], window_secs: f64) -> Vec<WindowBatch> {
     assert!(window_secs > 0.0, "window must be positive");
     let mut batches: Vec<WindowBatch> = Vec::new();
     let mut current: Vec<&TimedRequest> = Vec::new();
     let mut window_end = window_secs;
 
-    let flush = |current: &mut Vec<&TimedRequest>, window_end: f64, batches: &mut Vec<WindowBatch>| {
-        if current.is_empty() {
-            return;
-        }
-        let mean_wait =
-            current.iter().map(|r| window_end - r.arrival).sum::<f64>() / current.len() as f64;
-        batches.push(WindowBatch {
-            requests: current.iter().map(|r| r.request).collect(),
-            release_at: window_end,
-            mean_wait,
-        });
-        current.clear();
-    };
+    let flush =
+        |current: &mut Vec<&TimedRequest>, window_end: f64, batches: &mut Vec<WindowBatch>| {
+            if current.is_empty() {
+                return;
+            }
+            let mean_wait =
+                current.iter().map(|r| window_end - r.arrival).sum::<f64>() / current.len() as f64;
+            batches.push(WindowBatch {
+                requests: current.iter().map(|r| r.request).collect(),
+                release_at: window_end,
+                mean_wait,
+            });
+            current.clear();
+        };
 
     for tr in stream {
         while tr.arrival >= window_end {

@@ -6,8 +6,8 @@
 //! from residential rings into a centre. Each distribution draws (source,
 //! destination) node pairs over a given map, deterministically per seed.
 
-use rand::rngs::StdRng;
 use rand::Rng;
+use rand::rngs::StdRng;
 use roadnet::{NodeId, Point, RoadNetwork, SpatialIndex};
 
 /// How (source, destination) pairs are drawn.
@@ -163,8 +163,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let dist = QueryDistribution::Hotspot { hotspots: 2, exponent: 1.0, spread: 0.05 };
         let sampler = QuerySampler::new(&g, &idx, dist, &mut rng);
-        let targets: Vec<Point> =
-            (0..300).map(|_| g.point(sampler.sample(&mut rng).1)).collect();
+        let targets: Vec<Point> = (0..300).map(|_| g.point(sampler.sample(&mut rng).1)).collect();
         // Destinations should occupy a small fraction of the map: measure
         // the mean pairwise distance against uniform sampling.
         let mean_dist = |pts: &[Point]| {

@@ -143,16 +143,11 @@ mod tests {
 
     #[test]
     fn batch_feeds_the_opaque_pipeline() {
-        use opaque::{
-            DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator, OpaqueSystem,
-        };
+        use opaque::{DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator, OpaqueSystem};
         use pathsearch::SharingPolicy;
         let (g, idx) = setup();
-        let reqs = generate_requests(
-            &g,
-            &idx,
-            &WorkloadConfig { num_requests: 6, ..Default::default() },
-        );
+        let reqs =
+            generate_requests(&g, &idx, &WorkloadConfig { num_requests: 6, ..Default::default() });
         let mut sys = OpaqueSystem::new(
             Obfuscator::new(g.clone(), FakeSelection::default_ring(), 3),
             DirectionsServer::new(g, SharingPolicy::PerSource),

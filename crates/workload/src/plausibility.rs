@@ -44,7 +44,8 @@ pub fn population_weights(map: &RoadNetwork, cfg: &PopulationConfig) -> Vec<f64>
 
     let centres: Vec<(Point, f64)> = (0..cfg.centres)
         .map(|_| {
-            let p = Point::new(rng.gen_range(bb.min.x..=bb.max.x), rng.gen_range(bb.min.y..=bb.max.y));
+            let p =
+                Point::new(rng.gen_range(bb.min.x..=bb.max.x), rng.gen_range(bb.min.y..=bb.max.y));
             let peak = rng.gen_range(0.5..1.0);
             (p, peak)
         })

@@ -17,8 +17,9 @@ use roadnet::{GraphView, NodeId, PagedGraph};
 
 fn main() {
     // 1. Generate a city-scale network (stands in for a TIGER/Line import).
-    let net = random_geometric(&GeometricConfig { num_nodes: 3_000, seed: 42, ..Default::default() })
-        .expect("generator produces a valid network");
+    let net =
+        random_geometric(&GeometricConfig { num_nodes: 3_000, seed: 42, ..Default::default() })
+            .expect("generator produces a valid network");
     println!(
         "generated: {} nodes, {} segments, avg degree {:.2}",
         net.num_nodes(),

@@ -1,18 +1,18 @@
-//! Quickstart: protect one directions query with OPAQUE.
+//! Quickstart: protect directions queries with an OPAQUE service.
 //!
 //! Reproduces the paper's motivating scenario (§II): Alice wants directions
 //! from her home to a clinic without the directions-search server learning
-//! that *she* is going *there*.
+//! that *she* is going *there* — served through the builder-configured
+//! [`opaque::OpaqueService`] with its admission queue.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
 use opaque::{
-    ClientId, ClientRequest, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator,
-    OpaqueSystem, PathQuery, ProtectionSettings,
+    BatchPolicy, ClientId, ClientOutcome, ClientRequest, ObfuscationMode, PathQuery,
+    ProtectionSettings, ServiceBuilder,
 };
-use pathsearch::SharingPolicy;
 use roadnet::generators::{GridConfig, grid_network};
 use roadnet::{Point, SpatialIndex};
 
@@ -27,12 +27,19 @@ fn main() {
     let clinic = index.nearest(Point::new(25.0, 22.0));
     println!("Alice's home is node {home}, the clinic is node {clinic}.");
 
-    // Assemble the OPAQUE deployment: trusted obfuscator + semi-trusted
-    // directions-search server (Figure 5).
-    let obfuscator = Obfuscator::new(map.clone(), FakeSelection::default_ring(), 42);
-    let server = DirectionsServer::new(map.clone(), SharingPolicy::PerSource);
-    let mut system = OpaqueSystem::new(obfuscator, server);
-    system.verify_results = true;
+    // Assemble the OPAQUE deployment (Figure 5) in one declaration:
+    // trusted obfuscator, two round-robin server shards, result
+    // verification, and an admission queue that flushes at 4 requests or
+    // after 2 simulated seconds.
+    let mut service = ServiceBuilder::new()
+        .map(map.clone())
+        .seed(42)
+        .shards(2)
+        .verify_results(true)
+        .obfuscation_mode(ObfuscationMode::Independent)
+        .batch_policy(BatchPolicy { max_batch: 4, max_delay: 2.0 })
+        .build()
+        .expect("valid configuration");
 
     // Alice asks for 3 candidate sources × 3 candidate destinations: the
     // server can pin her true query with probability at most 1/9.
@@ -41,12 +48,19 @@ fn main() {
         PathQuery::new(home, clinic),
         ProtectionSettings::new(3, 3).expect("both sizes >= 1"),
     );
+    let ticket = service.submit(request, 0.0).expect("admitted");
+    println!("Alice's request is queued under {ticket:?}.");
 
-    let (results, report) = system
-        .process_batch(&[request], ObfuscationMode::Independent)
-        .expect("pipeline succeeds on a connected map");
+    // Nothing flushes yet (1 of 4 pending, 1.5s elapsed)…
+    assert!(service.tick(1.5).expect("no pipeline error").is_none());
+    // …until the 2-second deadline passes.
+    let response = service
+        .tick(2.0)
+        .expect("pipeline succeeds on a connected map")
+        .expect("deadline trigger fired");
+    assert_eq!(response.outcomes[0].1, ClientOutcome::Delivered);
 
-    let path = &results[0].path;
+    let path = &response.results[0].path;
     println!(
         "Delivered: {} hops, network distance {:.2} — exactly the shortest path.",
         path.num_edges(),
@@ -55,9 +69,12 @@ fn main() {
     let direct = pathsearch::shortest_path(&map, home, clinic).expect("connected");
     assert_eq!(path.distance(), direct.distance());
 
+    let report = &response.report;
     println!(
-        "The server evaluated {} (source, destination) pairs and settled {} nodes,",
-        report.total_pairs, report.server_settled
+        "The {}-shard backend evaluated {} (source, destination) pairs and settled {} nodes,",
+        service.backend().num_shards(),
+        report.total_pairs,
+        report.server_settled
     );
     println!(
         "but can only guess Alice's true query with probability {:.4} (Definition 2).",

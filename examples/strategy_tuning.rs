@@ -21,8 +21,9 @@ use roadnet::generators::{GeometricConfig, random_geometric};
 use workload::{PopulationConfig, population_weights};
 
 fn main() {
-    let map = random_geometric(&GeometricConfig { num_nodes: 2_000, seed: 5, ..Default::default() })
-        .expect("valid network");
+    let map =
+        random_geometric(&GeometricConfig { num_nodes: 2_000, seed: 5, ..Default::default() })
+            .expect("valid network");
     // Synthetic population density = the adversary's public records.
     let weights = population_weights(&map, &PopulationConfig::default());
     let n = map.num_nodes() as u32;
@@ -38,8 +39,7 @@ fn main() {
         FakeSelection::default_network_ring(),
         FakeSelection::Weighted,
     ] {
-        let mut ob =
-            Obfuscator::new(map.clone(), strategy, 5).with_weights(weights.clone());
+        let mut ob = Obfuscator::new(map.clone(), strategy, 5).with_weights(weights.clone());
         let mut settled = 0u64;
         let mut posterior = 0.0;
         let mut anonymity = 0.0;
@@ -72,14 +72,8 @@ fn main() {
     }
 
     println!();
-    let cheapest = rows
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty");
-    let most_robust = rows
-        .iter()
-        .min_by(|a, b| a.2.total_cmp(&b.2))
-        .expect("non-empty");
+    let cheapest = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
+    let most_robust = rows.iter().min_by(|a, b| a.2.total_cmp(&b.2)).expect("non-empty");
     println!("cheapest for the server:            {}", cheapest.0);
     println!("strongest vs informed adversary:    {}", most_robust.0);
     println!();

@@ -41,7 +41,7 @@ fn every_class_and_mode_delivers_exact_shortest_paths() {
             sys.verify_results = true;
             let (results, report) = sys
                 .process_batch(&requests, mode)
-                .unwrap_or_else(|e| panic!("{} / {}: {e}", class.name(), mode.name()));
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", class.name(), mode));
             assert_eq!(results.len(), requests.len());
             for (res, req) in results.iter().zip(&requests) {
                 assert_eq!(res.client, req.client);
@@ -52,7 +52,7 @@ fn every_class_and_mode_delivers_exact_shortest_paths() {
                     (res.path.distance() - truth.distance()).abs() < 1e-9,
                     "{} / {}: delivered {} vs truth {}",
                     class.name(),
-                    mode.name(),
+                    mode,
                     res.path.distance(),
                     truth.distance()
                 );
@@ -64,7 +64,7 @@ fn every_class_and_mode_delivers_exact_shortest_paths() {
                     *breach <= max_allowed + 1e-12,
                     "{} / {}: breach {} above requested {}",
                     class.name(),
-                    mode.name(),
+                    mode,
                     breach,
                     max_allowed
                 );

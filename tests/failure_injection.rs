@@ -109,8 +109,12 @@ fn server_returning_detour_is_accepted_but_measurable() {
     let detour = Path::new(nodes, leg1.distance() + leg2.distance());
     candidates.paths[i][j] = Some(detour.clone());
 
-    let results = filter_candidates(&unit, &candidates, Some(&g)).expect("detour is structurally valid");
-    assert!(results[0].path.distance() >= pathsearch::shortest_distance(&g, NodeId(0), NodeId(143)).expect("connected"));
+    let results =
+        filter_candidates(&unit, &candidates, Some(&g)).expect("detour is structurally valid");
+    assert!(
+        results[0].path.distance()
+            >= pathsearch::shortest_distance(&g, NodeId(0), NodeId(143)).expect("connected")
+    );
 }
 
 #[test]
@@ -131,23 +135,14 @@ fn endpoints_off_the_map_are_rejected() {
 
 #[test]
 fn invalid_protection_settings_are_unrepresentable() {
-    assert!(matches!(
-        ProtectionSettings::new(0, 5),
-        Err(OpaqueError::InvalidProtection { .. })
-    ));
-    assert!(matches!(
-        ProtectionSettings::new(3, 0),
-        Err(OpaqueError::InvalidProtection { .. })
-    ));
+    assert!(matches!(ProtectionSettings::new(0, 5), Err(OpaqueError::InvalidProtection { .. })));
+    assert!(matches!(ProtectionSettings::new(3, 0), Err(OpaqueError::InvalidProtection { .. })));
 }
 
 #[test]
 fn empty_batch_is_an_error_not_a_hang() {
     let mut ob = Obfuscator::new(map(), FakeSelection::Uniform, 1);
-    for mode in [
-        opaque::ObfuscationMode::Independent,
-        opaque::ObfuscationMode::SharedGlobal,
-    ] {
+    for mode in [opaque::ObfuscationMode::Independent, opaque::ObfuscationMode::SharedGlobal] {
         let err = ob.obfuscate_batch(&[], mode).expect_err("empty batch");
         assert!(matches!(err, OpaqueError::EmptyBatch));
     }

@@ -1,0 +1,265 @@
+//! Integration tests for the service-layer API: builder validation, the
+//! batcher's flush semantics, sharded-backend equivalence, and the
+//! compat-shim proof obligation (`OpaqueSystem` ≡ `OpaqueService` in
+//! strict mode on the same workload).
+
+use opaque::{
+    BatchPolicy, ClientId, ClientOutcome, ClientRequest, ClusteringConfig, DirectionsServer,
+    FakeSelection, ObfuscationMode, Obfuscator, OpaqueError, PathQuery, ProtectionSettings,
+    ServiceBuilder, ServiceConfig, ShardedBackend,
+};
+use pathsearch::SharingPolicy;
+use roadnet::generators::{GridConfig, grid_network};
+use roadnet::{NodeId, SpatialIndex};
+use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
+
+fn map() -> roadnet::RoadNetwork {
+    grid_network(&GridConfig { width: 18, height: 18, seed: 13, ..Default::default() })
+        .expect("valid network")
+}
+
+fn workload(n: usize, seed: u64) -> Vec<ClientRequest> {
+    let g = map();
+    let idx = SpatialIndex::build(&g);
+    generate_requests(
+        &g,
+        &idx,
+        &WorkloadConfig {
+            num_requests: n,
+            queries: QueryDistribution::Uniform,
+            protection: ProtectionDistribution::UniformRange { lo: 2, hi: 5 },
+            seed,
+        },
+    )
+}
+
+#[test]
+fn builder_validation_errors_are_typed_and_specific() {
+    // No map.
+    assert!(matches!(
+        ServiceBuilder::new().build(),
+        Err(OpaqueError::InvalidConfig { ref reason }) if reason.contains("map")
+    ));
+    // Zero shards.
+    assert!(matches!(
+        ServiceBuilder::new().map(map()).shards(0).build(),
+        Err(OpaqueError::InvalidConfig { ref reason }) if reason.contains("shards")
+    ));
+    // Unsatisfiable batch policy.
+    assert!(matches!(
+        ServiceBuilder::new()
+            .map(map())
+            .batch_policy(BatchPolicy { max_batch: 0, max_delay: 1.0 })
+            .build(),
+        Err(OpaqueError::InvalidConfig { ref reason }) if reason.contains("max_batch")
+    ));
+    // Weight/map mismatch.
+    assert!(matches!(
+        ServiceBuilder::new().map(map()).weights(vec![0.5; 7]).build(),
+        Err(OpaqueError::InvalidConfig { ref reason }) if reason.contains("weights")
+    ));
+    // A valid config builds, and from_config round-trips the knobs.
+    let config = ServiceConfig { shards: 2, seed: 9, ..Default::default() };
+    let svc = ServiceBuilder::from_config(config).map(map()).build().expect("valid");
+    assert_eq!(svc.backend().num_shards(), 2);
+}
+
+#[test]
+fn batcher_flushes_on_size_then_deadline() {
+    let mut svc = ServiceBuilder::new()
+        .map(map())
+        .batch_policy(BatchPolicy { max_batch: 3, max_delay: 4.0 })
+        .obfuscation_mode(ObfuscationMode::SharedGlobal)
+        .build()
+        .expect("valid");
+
+    let request = |i: u32| {
+        ClientRequest::new(
+            ClientId(i),
+            PathQuery::new(NodeId(i * 5), NodeId(323 - i * 7)),
+            ProtectionSettings::new(3, 3).unwrap(),
+        )
+    };
+
+    // Size trigger: the third submission makes the batch eligible.
+    svc.submit(request(0), 0.0).unwrap();
+    svc.submit(request(1), 0.5).unwrap();
+    assert!(svc.tick(1.0).unwrap().is_none(), "2 < max_batch and deadline not reached");
+    svc.submit(request(2), 1.0).unwrap();
+    let resp = svc.tick(1.0).unwrap().expect("size trigger");
+    assert_eq!(resp.results.len(), 3);
+    assert_eq!(resp.tickets.len(), 3);
+    assert!(resp.outcomes.iter().all(|(_, o)| *o == ClientOutcome::Delivered));
+    assert_eq!(svc.pending(), 0);
+
+    // Deadline trigger: one request, flushed only after max_delay.
+    svc.submit(request(3), 10.0).unwrap();
+    assert!(svc.tick(13.9).unwrap().is_none(), "3.9s < 4s deadline");
+    let resp = svc.tick(14.0).unwrap().expect("deadline trigger");
+    assert_eq!(resp.results.len(), 1);
+
+    // Duplicate client within one pending batch is rejected at admission.
+    svc.submit(request(4), 20.0).unwrap();
+    assert!(matches!(
+        svc.submit(request(4), 20.1),
+        Err(OpaqueError::DuplicateClient { client: ClientId(4) })
+    ));
+    // Forced flush drains the partial batch.
+    let resp = svc.flush(21.0).unwrap().expect("partial batch");
+    assert_eq!(resp.results.len(), 1);
+}
+
+#[test]
+fn sharded_backend_matches_single_server_results() {
+    let requests = workload(24, 0x5AAD);
+
+    let run = |shards: usize| {
+        let mut svc = ServiceBuilder::new()
+            .map(map())
+            .seed(77)
+            .shards(shards)
+            .verify_results(true)
+            .obfuscation_mode(ObfuscationMode::SharedClustered(ClusteringConfig::default()))
+            .build()
+            .expect("valid");
+        svc.process_batch(&requests).expect("pipeline succeeds")
+    };
+
+    let single = run(1);
+    let sharded = run(4);
+
+    // Same obfuscation seed, same map on every shard: identical delivery.
+    assert_eq!(single.results.len(), sharded.results.len());
+    for (a, b) in single.results.iter().zip(&sharded.results) {
+        assert_eq!(a.client, b.client);
+        assert_eq!(a.path.nodes(), b.path.nodes());
+        assert!((a.path.distance() - b.path.distance()).abs() < 1e-12);
+    }
+    assert_eq!(single.report.per_client_breach, sharded.report.per_client_breach);
+    assert_eq!(single.report.total_pairs, sharded.report.total_pairs);
+    // Fleet-wide counters agree with the single server's.
+    assert_eq!(
+        single.report.server_settled, sharded.report.server_settled,
+        "aggregated shard stats must match the single-server load"
+    );
+}
+
+#[test]
+fn sharded_backend_balances_round_robin() {
+    let g = map();
+    let servers: Vec<DirectionsServer<roadnet::RoadNetwork>> =
+        (0..3).map(|_| DirectionsServer::new(g.clone(), SharingPolicy::PerSource)).collect();
+    let backend = ShardedBackend::new(servers).unwrap();
+    let mut svc = ServiceBuilder::new().map(g).seed(3).build_with_backend(backend).expect("valid");
+
+    let requests = workload(12, 0xBA1A);
+    svc.process_batch(&requests).expect("pipeline succeeds");
+    let load = svc.backend().load_per_shard();
+    assert_eq!(load.len(), 3);
+    // 12 independent units over 3 shards: every shard saw work.
+    assert!(load.iter().all(|&pairs| pairs > 0), "round robin must touch every shard: {load:?}");
+}
+
+#[test]
+fn compat_shim_equals_service_on_the_same_workload() {
+    let requests = workload(20, 0xC0_FFEE);
+    let g = map();
+
+    for mode in [
+        ObfuscationMode::Independent,
+        ObfuscationMode::SharedGlobal,
+        ObfuscationMode::SharedClustered(ClusteringConfig::default()),
+    ] {
+        // The historical wiring…
+        let mut system = opaque::OpaqueSystem::new(
+            Obfuscator::new(g.clone(), FakeSelection::default_ring(), 4242),
+            DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
+        );
+        system.verify_results = true;
+        let (sys_results, sys_report) =
+            system.process_batch(&requests, mode).expect("system pipeline");
+
+        // …and the service with identical configuration.
+        let mut service = ServiceBuilder::new()
+            .map(g.clone())
+            .seed(4242)
+            .verify_results(true)
+            .obfuscation_mode(mode)
+            .build()
+            .expect("valid");
+        let response = service.process_batch(&requests).expect("service pipeline");
+
+        // Identical delivered paths…
+        assert_eq!(sys_results.len(), response.results.len(), "{mode}");
+        for (a, b) in sys_results.iter().zip(&response.results) {
+            assert_eq!(a.client, b.client, "{mode}");
+            assert_eq!(a.path.nodes(), b.path.nodes(), "{mode}");
+        }
+        // …identical breach probabilities…
+        assert_eq!(sys_report.per_client_breach, response.report.per_client_breach, "{mode}");
+        // …and identical aggregate accounting.
+        assert_eq!(sys_report.total_pairs, response.report.total_pairs, "{mode}");
+        assert_eq!(sys_report.fakes_added, response.report.fakes_added, "{mode}");
+        assert_eq!(sys_report.num_units, response.report.num_units, "{mode}");
+        assert_eq!(sys_report.mode, response.report.mode, "{mode}");
+    }
+}
+
+#[test]
+fn service_reports_unreachable_instead_of_failing_the_batch() {
+    // A two-component map: node 0 and node 1 are connected; an isolated
+    // pair far away is not reachable from them.
+    let mut b = roadnet::GraphBuilder::new();
+    for i in 0..4 {
+        b.add_node(roadnet::Point::new(i as f64, 0.0)).unwrap();
+    }
+    b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+    b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+    let g = b.build().unwrap();
+
+    let mut svc = ServiceBuilder::new()
+        .map(g.clone())
+        .fake_selection(FakeSelection::Uniform)
+        .build()
+        .expect("valid");
+    let reachable = ClientRequest::new(
+        ClientId(0),
+        PathQuery::new(NodeId(0), NodeId(1)),
+        ProtectionSettings::new(1, 1).unwrap(),
+    );
+    let unreachable = ClientRequest::new(
+        ClientId(1),
+        PathQuery::new(NodeId(0), NodeId(3)),
+        ProtectionSettings::new(1, 1).unwrap(),
+    );
+    let resp = svc.process_batch(&[reachable, unreachable]).expect("lenient service mode");
+    assert_eq!(resp.results.len(), 1);
+    assert_eq!(resp.outcomes[0], (ClientId(0), ClientOutcome::Delivered));
+    assert_eq!(resp.outcomes[1], (ClientId(1), ClientOutcome::Unreachable));
+
+    // The strict shim keeps the historical all-or-error contract.
+    let mut system = opaque::OpaqueSystem::new(
+        Obfuscator::new(g.clone(), FakeSelection::Uniform, 1),
+        DirectionsServer::new(g, SharingPolicy::PerSource),
+    );
+    let err =
+        system.process_batch(&[reachable, unreachable], ObfuscationMode::Independent).unwrap_err();
+    assert!(matches!(err, OpaqueError::MissingResult { .. }));
+}
+
+#[test]
+fn service_mode_is_used_unless_overridden() {
+    let requests = workload(6, 7);
+    let mut svc = ServiceBuilder::new()
+        .map(map())
+        .obfuscation_mode(ObfuscationMode::SharedGlobal)
+        .build()
+        .expect("valid");
+    let resp = svc.process_batch(&requests).expect("ok");
+    assert_eq!(resp.report.mode, ObfuscationMode::SharedGlobal);
+    assert_eq!(resp.report.num_units, 1);
+
+    let resp = svc.process_batch_with_mode(&requests, ObfuscationMode::Independent).expect("ok");
+    assert_eq!(resp.report.mode, ObfuscationMode::Independent);
+    assert_eq!(resp.report.num_units, requests.len());
+}

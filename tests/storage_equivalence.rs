@@ -23,7 +23,8 @@ fn searches_identical_through_every_placement() {
             let paged = PagedGraph::new(&g, layout, 4);
             let mut searcher = Searcher::new();
             for &(s, t) in &pairs {
-                let direct = pathsearch::shortest_path(&g, NodeId(s), NodeId(t)).expect("connected");
+                let direct =
+                    pathsearch::shortest_path(&g, NodeId(s), NodeId(t)).expect("connected");
                 searcher.run(&paged, NodeId(s), &Goal::Single(NodeId(t)));
                 let through = searcher.path_to(NodeId(t)).expect("connected");
                 assert_eq!(
@@ -50,11 +51,7 @@ fn msmd_identical_over_paged_graph() {
     let pag = msmd(&paged, &sources, &targets, SharingPolicy::PerSource);
     for i in 0..sources.len() {
         for j in 0..targets.len() {
-            assert_eq!(
-                mem.distance(i, j),
-                pag.distance(i, j),
-                "distance mismatch at ({i},{j})"
-            );
+            assert_eq!(mem.distance(i, j), pag.distance(i, j), "distance mismatch at ({i},{j})");
         }
     }
     // Settled-node counts are a property of the algorithm, not the storage.

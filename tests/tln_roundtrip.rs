@@ -8,14 +8,9 @@ use roadnet::{GraphBuilder, NodeId, Point, RoadNetwork};
 fn arb_network(directed: bool) -> impl Strategy<Value = RoadNetwork> {
     (1usize..30)
         .prop_flat_map(move |n| {
-            let coords = proptest::collection::vec(
-                (-1e6f64..1e6, -1e6f64..1e6),
-                n,
-            );
-            let edges = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 0.0f64..1e9),
-                0..(3 * n),
-            );
+            let coords = proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), n);
+            let edges =
+                proptest::collection::vec((0..n as u32, 0..n as u32, 0.0f64..1e9), 0..(3 * n));
             (Just(directed), coords, edges)
         })
         .prop_map(|(directed, coords, edges)| {

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — measuring wall-clock
+//! time with `std::time::Instant` and printing a one-line summary per
+//! benchmark (min / mean over the sample). No statistical analysis, HTML
+//! reports, or baseline comparison; swap in the real criterion when the
+//! registry is reachable to get those back.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The stand-in runs one setup per
+/// measured invocation regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle: measurement settings plus output.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time budget for warm-up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmarking group `{name}`");
+        BenchmarkGroup { criterion: self, group: name }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.clone();
+        run_benchmark(&settings, &id.into(), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the parent's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.criterion.clone();
+        let id = format!("{}/{}", self.group, id.into());
+        run_benchmark(&settings, &id, f);
+        self
+    }
+
+    /// Close the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(settings: &Criterion, id: &str, mut f: F) {
+    // Warm-up: run the routine until the warm-up budget is spent.
+    let warm_up_deadline = Instant::now() + settings.warm_up_time;
+    let mut bencher = Bencher { elapsed: Duration::ZERO };
+    f(&mut bencher);
+    while Instant::now() < warm_up_deadline {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+    }
+
+    // Measurement: collect up to sample_size samples within the budget.
+    let deadline = Instant::now() + settings.measurement_time;
+    let mut samples: Vec<Duration> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        samples.push(bencher.elapsed);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len().max(1) as u32;
+    eprintln!("  {id}: min {min:?}, mean {mean:?} over {} sample(s)", samples.len());
+}
+
+/// Passed to each benchmark closure; measures exactly the routine.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        drop(out);
+    }
+
+    /// Measure `routine` on a fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed += start.elapsed();
+        drop(out);
+    }
+}
+
+/// Bundle benchmark functions with a configuration, mirroring criterion's
+/// two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the given groups; exits early under `--test` so
+/// `cargo test --benches` stays fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_returns() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.bench_function("trivial", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            runs += 1;
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        let mut seen = Vec::new();
+        for i in 0..3 {
+            b.iter_batched(|| i, |x| seen.push(x), BatchSize::LargeInput);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-896e874f92107cfd.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-896e874f92107cfd.rlib: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-896e874f92107cfd.rmeta: src/lib.rs
+
+src/lib.rs:

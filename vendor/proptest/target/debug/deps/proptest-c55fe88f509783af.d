@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-c55fe88f509783af.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-c55fe88f509783af: src/lib.rs
+
+src/lib.rs:

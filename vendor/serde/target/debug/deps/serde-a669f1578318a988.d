@@ -1,0 +1,7 @@
+/root/repo/vendor/serde/target/debug/deps/serde-a669f1578318a988.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-a669f1578318a988.rlib: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-a669f1578318a988.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde-fc0c9e9bfc552862.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/serde-fc0c9e9bfc552862: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,437 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (the owned [`Value`]-model variants) for the type shapes this
+//! repository actually uses:
+//!
+//! * structs with named fields          → JSON objects;
+//! * newtype structs (`struct Id(u32)`) → the inner value, transparently;
+//! * tuple structs with ≥ 2 fields      → JSON arrays;
+//! * enums with unit variants           → the variant name as a string;
+//! * enums with newtype variants        → `{"Variant": <inner>}`;
+//! * enums with struct variants         → `{"Variant": {fields…}}`;
+//!
+//! matching serde's externally-tagged default representation. Generic types
+//! and `#[serde(...)]` attributes are intentionally unsupported (the derive
+//! panics at compile time with a clear message), since nothing in the
+//! workspace needs them. The parser walks the raw `proc_macro` token stream
+//! directly — no `syn`/`quote`, which are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny structural model of the derived item.
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields: only the arity matters.
+    Tuple(usize),
+    /// No payload at all.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing.
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments) and
+    // the visibility qualifier.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` and friends carry a parenthesized scope.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde derive: malformed struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: malformed enum body: {other:?}"),
+            };
+            let variants =
+                split_top_level(body).into_iter().map(|segment| parse_variant(segment)).collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_variant(tokens: Vec<TokenTree>) -> Variant {
+    let mut it = tokens.into_iter().peekable();
+    // Skip variant attributes.
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '#' {
+            it.next();
+            it.next();
+        } else {
+            break;
+        }
+    }
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected variant name, got {other:?}"),
+    };
+    let fields = match it.next() {
+        None => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(split_top_level(g.stream()).len())
+        }
+        other => panic!("serde derive: malformed variant `{name}`: {other:?}"),
+    };
+    Variant { name, fields }
+}
+
+/// Split a token stream on top-level commas. Commas inside nested groups
+/// never surface (groups are single trees); commas inside generic argument
+/// lists are skipped by tracking `<`/`>` depth.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tree);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Extract field names from a named-field list: for each top-level
+/// comma-separated segment, the first identifier after attributes and
+/// visibility is the field name.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|segment| {
+            let mut it = segment.into_iter().peekable();
+            loop {
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        it.next();
+                    }
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        if let Some(TokenTree::Group(g)) = it.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                it.next();
+                            }
+                        }
+                    }
+                    Some(TokenTree::Ident(id)) => return id.to_string(),
+                    other => panic!("serde derive: malformed field: {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (plain source text, parsed back into a token stream).
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn serialize_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        Fields::Tuple(1) => format!(
+            "{enum_name}::{vname}(ref __f0) => ::serde::Value::Object(::std::vec![(\
+             ::std::string::String::from(\"{vname}\"), \
+             ::serde::Serialize::to_value(__f0))]),"
+        ),
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("ref __f{i}")).collect();
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(__f{i})")).collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Array(::std::vec![{}]))]),",
+                binders.join(", "),
+                items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let binders: Vec<String> = names.iter().map(|f| format!("ref {f}")).collect();
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Object(::std::vec![{}]))]),",
+                binders.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::__field(__entries, \"{f}\"))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __entries = match __v {{\n\
+                             ::serde::Value::Object(e) => e.as_slice(),\n\
+                             _ => return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"object for struct {name}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = match __v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                             _ => return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"array of {n} for {name}\")),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!("\"{0}\" => return ::std::result::Result::Ok({name}::{0}),", v.name)
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| deserialize_tagged_arm(name, v))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::Str(__s) = __v {{\n\
+                             match __s.as_str() {{ {} _ => {{}} }}\n\
+                         }}\n\
+                         if let ::serde::Value::Object(__outer) = __v {{\n\
+                             if __outer.len() == 1 {{\n\
+                                 let (__tag, __inner) = &__outer[0];\n\
+                                 match __tag.as_str() {{ {} _ => {{}} }}\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"a variant of {name}\"))\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    }
+}
+
+fn deserialize_tagged_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => unreachable!("unit variants handled via the string form"),
+        Fields::Tuple(1) => format!(
+            "\"{vname}\" => return ::std::result::Result::Ok(\
+             {enum_name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+        ),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __items = match __inner {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                         _ => return ::std::result::Result::Err(::serde::DeError::expected(\
+                             \"array of {n} for variant {vname}\")),\n\
+                     }};\n\
+                     return ::std::result::Result::Ok({enum_name}::{vname}({}));\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__field(__entries, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __entries = match __inner {{\n\
+                         ::serde::Value::Object(e) => e.as_slice(),\n\
+                         _ => return ::std::result::Result::Err(::serde::DeError::expected(\
+                             \"object for variant {vname}\")),\n\
+                     }};\n\
+                     return ::std::result::Result::Ok({enum_name}::{vname} {{ {} }});\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+    }
+}

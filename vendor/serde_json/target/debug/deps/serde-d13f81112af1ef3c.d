@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde-d13f81112af1ef3c.d: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-d13f81112af1ef3c.rlib: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-d13f81112af1ef3c.rmeta: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde/src/lib.rs:
