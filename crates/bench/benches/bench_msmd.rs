@@ -3,7 +3,7 @@
 
 use criterion::{Criterion, criterion_group, criterion_main};
 use opaque::{ClientId, ClientRequest, FakeSelection, Obfuscator, PathQuery, ProtectionSettings};
-use pathsearch::{SharingPolicy, msmd};
+use pathsearch::{SearchArena, SharingPolicy, msmd_in};
 use roadnet::NodeId;
 use roadnet::generators::NetworkClass;
 use std::hint::black_box;
@@ -24,10 +24,13 @@ fn bench(c: &mut Criterion) {
         let unit = ob.obfuscate_independent(&req).expect("map large enough");
         let (s, t) = (unit.query.sources().to_vec(), unit.query.targets().to_vec());
 
-        for policy in [SharingPolicy::None, SharingPolicy::PerSource, SharingPolicy::Auto] {
+        for policy in SharingPolicy::ALL {
+            // One arena per measured configuration: steady-state queries
+            // reuse every search buffer, as the server does.
+            let mut arena = SearchArena::new();
             group.bench_function(format!("{}x{}/{}", f_s, f_t, policy.name()), |b| {
                 b.iter(|| {
-                    let r = msmd(&g, black_box(&s), black_box(&t), policy);
+                    let r = msmd_in(&mut arena, &g, black_box(&s), black_box(&t), policy);
                     black_box(r.stats.settled)
                 })
             });

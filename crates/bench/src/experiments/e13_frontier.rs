@@ -1,0 +1,121 @@
+//! E13 — MSMD evaluation-policy face-off on one reusable arena.
+//!
+//! The server answers every pair of `Q(S,T)` (Definition 1), so the MSMD
+//! engine is the deployment's hot path. This experiment compares all four
+//! [`SharingPolicy`] variants — naive per-pair, per-source sharing
+//! (Lemma 1's strategy), auto transposition, and the arena-backed
+//! shared-frontier interleaved sweep — by settled nodes (Lemma 1's cost
+//! proxy) and wall time, across the three synthetic network classes.
+//!
+//! The reproducible claims: `shared-frontier` settles strictly fewer
+//! nodes than `per-source` on grid maps with `|S| = |T| ≥ 3` (each tree
+//! stops near half its unilateral radius), and every policy returns the
+//! same distances.
+
+use crate::setup::{Scale, network};
+use crate::table::{ExperimentTable, f3};
+use pathsearch::{SearchArena, SharingPolicy, msmd_in};
+use roadnet::NodeId;
+use roadnet::generators::NetworkClass;
+use std::time::Instant;
+
+/// Deterministic, well-spread endpoint sets: `k` sources and `k` targets
+/// drawn from opposite strides of the node id space.
+fn endpoint_sets(num_nodes: usize, k: usize) -> (Vec<NodeId>, Vec<NodeId>) {
+    let n = num_nodes as u32;
+    let stride = n / (k as u32 + 1);
+    let sources = (0..k as u32).map(|i| NodeId((i * stride + 7) % n)).collect();
+    let targets = (0..k as u32).map(|i| NodeId(n - 1 - (i * stride + 11) % n)).collect();
+    (sources, targets)
+}
+
+/// Run E13.
+pub fn run(scale: &Scale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "E13",
+        "MSMD sharing policies on a reusable search arena",
+        "shared-frontier engine characterization (extends §IV / Lemma 1)",
+        &["class", "|S|x|T|", "policy", "trees", "settled", "relaxed", "ms"],
+    );
+    let mut arena = SearchArena::new();
+
+    for class in NetworkClass::ALL {
+        let g = network(class, scale);
+        for k in [3usize, 6] {
+            let (sources, targets) = endpoint_sets(g.num_nodes(), k);
+            let mut settled_by_policy = Vec::new();
+            for policy in SharingPolicy::ALL {
+                // Warm the arena so every policy is measured in steady
+                // state (no first-touch growth in the timed region).
+                let warm = msmd_in(&mut arena, &g, &sources, &targets, policy);
+                let reps = 5u32;
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    let r = msmd_in(&mut arena, &g, &sources, &targets, policy);
+                    assert_eq!(r.num_paths(), warm.num_paths());
+                }
+                let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+                settled_by_policy.push(warm.stats.settled);
+                t.row(vec![
+                    class.name().to_string(),
+                    format!("{k}x{k}"),
+                    policy.name().to_string(),
+                    warm.per_tree.len().to_string(),
+                    warm.stats.settled.to_string(),
+                    warm.stats.relaxed.to_string(),
+                    f3(ms),
+                ]);
+            }
+            // The ordering the experiment exists to demonstrate.
+            let (naive, per_source, frontier) =
+                (settled_by_policy[0], settled_by_policy[1], settled_by_policy[3]);
+            assert!(per_source <= naive, "{}: sharing must not cost nodes", class.name());
+            if class == NetworkClass::Grid {
+                assert!(
+                    frontier < per_source,
+                    "{}: shared-frontier must settle strictly fewer nodes than per-source \
+                     ({frontier} vs {per_source})",
+                    class.name()
+                );
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_at_quick_scale() {
+        // The run itself asserts the settled-node ordering (including
+        // shared-frontier < per-source on grids with |S| = |T| ≥ 3).
+        let t = run(&Scale::quick());
+        assert_eq!(t.rows.len(), 3 * 2 * 4);
+    }
+
+    #[test]
+    fn frontier_beats_per_source_on_grids_for_3x3_and_up() {
+        let g = network(NetworkClass::Grid, &Scale::quick());
+        for k in [3usize, 4, 6] {
+            let (s, t) = endpoint_sets(g.num_nodes(), k);
+            let per_source = pathsearch::msmd(&g, &s, &t, SharingPolicy::PerSource);
+            let frontier = pathsearch::msmd(&g, &s, &t, SharingPolicy::SharedFrontier);
+            assert!(
+                frontier.stats.settled < per_source.stats.settled,
+                "k={k}: {} vs {}",
+                frontier.stats.settled,
+                per_source.stats.settled
+            );
+            // And the answers agree.
+            for i in 0..k {
+                for j in 0..k {
+                    let a = per_source.distance(i, j).unwrap();
+                    let b = frontier.distance(i, j).unwrap();
+                    assert!((a - b).abs() < 1e-9, "k={k} pair ({i},{j}): {a} vs {b}");
+                }
+            }
+        }
+    }
+}

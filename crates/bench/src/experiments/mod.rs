@@ -3,6 +3,7 @@
 pub mod e10_scaling;
 pub mod e11_intersection;
 pub mod e12_batching;
+pub mod e13_frontier;
 pub mod e1_algorithms;
 pub mod e2_techniques;
 pub mod e3_breach;
@@ -17,8 +18,8 @@ use crate::setup::Scale;
 use crate::table::ExperimentTable;
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 12] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+pub const ALL_IDS: [&str; 13] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
 
 /// Run one experiment by id.
 pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
@@ -35,6 +36,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
         "e10" => Some(e10_scaling::run(scale)),
         "e11" => Some(e11_intersection::run(scale)),
         "e12" => Some(e12_batching::run(scale)),
+        "e13" => Some(e13_frontier::run(scale)),
         _ => None,
     }
 }

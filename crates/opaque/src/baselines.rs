@@ -29,16 +29,30 @@ pub enum Technique {
     Direct,
     /// Replace both endpoints by the nearest of `num_landmarks` fixed public
     /// landmarks (Figure 2(b)).
-    Landmark { num_landmarks: usize },
+    Landmark {
+        /// Number of fixed public landmarks available for snapping.
+        num_landmarks: usize,
+    },
     /// Snap both endpoints to a `cell_size × cell_size` cloaking region; the
     /// server searches from an arbitrary node of each region (Figure 2(c)).
-    Cloaking { cell_size: f64 },
+    Cloaking {
+        /// Side length of the square cloaking cells.
+        cell_size: f64,
+    },
     /// Duckham–Kulik-style obfuscation: the true query plus `num_fakes`
     /// complete fake queries, each evaluated independently (Figure 2(d)).
-    NaiveFakes { num_fakes: usize },
+    NaiveFakes {
+        /// Number of complete fake queries added next to the true one.
+        num_fakes: usize,
+    },
     /// OPAQUE's independently obfuscated path query with settings
     /// `(f_s, f_t)`, evaluated by the MSMD processor.
-    Opaque { f_s: u32, f_t: u32 },
+    Opaque {
+        /// Requested source-set size `f_S`.
+        f_s: u32,
+        /// Requested target-set size `f_T`.
+        f_t: u32,
+    },
 }
 
 impl Technique {
@@ -57,6 +71,7 @@ impl Technique {
 /// Measured outcome of one technique on one true query.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct TechniqueReport {
+    /// Name of the measured technique ([`Technique::name`]).
     pub technique: String,
     /// Did the client end up with the exact shortest path for its true
     /// query? (The paper's service-quality criterion.)

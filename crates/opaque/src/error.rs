@@ -8,28 +8,58 @@ use std::fmt;
 pub enum OpaqueError {
     /// Protection settings must request at least the true endpoint
     /// (`f_S ≥ 1`, `f_T ≥ 1`).
-    InvalidProtection { f_s: u32, f_t: u32 },
+    InvalidProtection {
+        /// Requested source-set size.
+        f_s: u32,
+        /// Requested target-set size.
+        f_t: u32,
+    },
     /// The obfuscator could not find enough distinct fake endpoints (map too
     /// small for the requested anonymity).
-    NotEnoughFakes { requested: usize, available: usize },
+    NotEnoughFakes {
+        /// Fake endpoints the protection settings demanded.
+        requested: usize,
+        /// Distinct candidates the map could offer.
+        available: usize,
+    },
     /// A query endpoint is not a node of the map.
-    UnknownNode { node: NodeId },
+    UnknownNode {
+        /// The endpoint that is not on the map.
+        node: NodeId,
+    },
     /// The server's candidate set is missing the path a client asked for —
     /// either the pair is disconnected or the server misbehaved.
-    MissingResult { source: NodeId, destination: NodeId },
+    MissingResult {
+        /// True source of the unanswered pair.
+        source: NodeId,
+        /// True destination of the unanswered pair.
+        destination: NodeId,
+    },
     /// A returned candidate path failed verification against the
     /// obfuscator's map (tampering or map mismatch).
-    CorruptResult { source: NodeId, destination: NodeId },
+    CorruptResult {
+        /// True source of the failed pair.
+        source: NodeId,
+        /// True destination of the failed pair.
+        destination: NodeId,
+    },
     /// A batch submitted for shared obfuscation was empty.
     EmptyBatch,
-    /// A batch carried two requests with the same [`ClientId`]. The
+    /// A batch carried two requests with the same
+    /// [`ClientId`](crate::query::ClientId). The
     /// pipeline restores request order and routes delivered paths by client
     /// id, so duplicates are ambiguous; the service rejects them at
     /// admission instead of silently collapsing them.
-    DuplicateClient { client: crate::query::ClientId },
+    DuplicateClient {
+        /// The client id that appeared more than once.
+        client: crate::query::ClientId,
+    },
     /// A service was configured inconsistently (missing map, zero shards,
     /// mismatched weights, empty batch policy, …).
-    InvalidConfig { reason: String },
+    InvalidConfig {
+        /// What was inconsistent.
+        reason: String,
+    },
 }
 
 impl fmt::Display for OpaqueError {

@@ -21,7 +21,9 @@ use roadnet::RoadNetwork;
 /// One delivered result: the client and the path answering its true query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ClientResult {
+    /// The client the path is delivered to.
     pub client: ClientId,
+    /// The shortest path answering the client's true query.
     pub path: Path,
 }
 

@@ -22,8 +22,9 @@
 //!   [`DirectionsBackend`]s (single server or a [`ShardedBackend`] fleet),
 //!   the [`Batcher`] admission queue, and the builder-configured
 //!   [`OpaqueService`] with typed accounting;
-//! * [`system`] — a thin compatibility shim ([`OpaqueSystem`]) over the
-//!   service, preserving the original strict batch API;
+//! * [`system`] — a **deprecated** compatibility shim ([`OpaqueSystem`])
+//!   over the service, preserving the original strict batch API until the
+//!   experiments finish migrating;
 //! * [`attack`] — uniform, background-knowledge, and collusion adversaries;
 //! * [`baselines`] — the §II location-privacy techniques (landmark,
 //!   cloaking, naive fakes) for measured comparison;
@@ -74,6 +75,8 @@
 //! assert!(response.report.mean_breach() <= 1.0 / 9.0 + 1e-12);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod attack;
 pub mod audit;
 pub mod baselines;
@@ -106,4 +109,5 @@ pub use service::{
     DrainedBatch, OpaqueService, ServiceBuilder, ServiceConfig, ServiceResponse, ShardedBackend,
     Ticket,
 };
+#[allow(deprecated)] // re-exported for the remaining deprecation cycle
 pub use system::OpaqueSystem;

@@ -33,6 +33,7 @@ impl Default for ClusteringConfig {
 /// A cluster of mutually compatible requests, by index into the input batch.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cluster {
+    /// Indices into the clustered request batch.
     pub members: Vec<usize>,
 }
 

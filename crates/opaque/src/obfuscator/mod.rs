@@ -59,7 +59,9 @@ impl std::fmt::Display for ObfuscationMode {
 /// server processes and the candidate-result filter later unpacks.
 #[derive(Clone, Debug)]
 pub struct ObfuscationUnit {
+    /// The obfuscated query `Q(S, T)` sent to the server.
     pub query: ObfuscatedPathQuery,
+    /// The true requests hidden inside it.
     pub requests: Vec<ClientRequest>,
 }
 
@@ -151,7 +153,7 @@ impl Obfuscator {
         self.weights.as_deref()
     }
 
-    /// Count-level feasibility check: everything [`Obfuscator::check_request`]
+    /// Count-level feasibility check: everything `check_request`
     /// validates, plus whether the map can hold the requested sets at all.
     /// Obfuscated queries are built with `S` and `T` disjoint (fakes never
     /// collide with any already-chosen endpoint), so a request needs

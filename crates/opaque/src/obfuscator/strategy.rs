@@ -30,13 +30,23 @@ pub enum FakeSelection {
     /// `[lo·d, hi·d]`, where `d` is the true query's Euclidean length.
     /// Keeps Lemma 1's per-source radius within a constant factor of the
     /// true query while not co-locating fakes with the true endpoint.
-    Ring { lo: f64, hi: f64 },
+    Ring {
+        /// Inner annulus radius as a fraction of the true query length.
+        lo: f64,
+        /// Outer annulus radius as a fraction of the true query length.
+        hi: f64,
+    },
     /// Like [`FakeSelection::Ring`], but the annulus is measured in
     /// **network** distance (bounded Dijkstra on the obfuscator's map) —
     /// the exact quantity Lemma 1 charges. Costs one `O((hi·d)²)` range
     /// search per fake batch at obfuscation time; worthwhile on topologies
     /// where Euclidean distance misjudges network distance (radial class).
-    NetworkRing { lo: f64, hi: f64 },
+    NetworkRing {
+        /// Inner annulus radius as a fraction of the true query length.
+        lo: f64,
+        /// Outer annulus radius as a fraction of the true query length.
+        hi: f64,
+    },
     /// Fakes drawn with probability proportional to per-node plausibility
     /// weights (population density, points of interest, …) supplied to the
     /// obfuscator. Resists the background-knowledge adversary of §II.

@@ -25,8 +25,11 @@ use serde::Serialize;
 /// Client → obfuscator (secure channel): one directions request.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RequestMsg {
+    /// The requesting client.
     pub client: ClientId,
+    /// The true path query.
     pub query: PathQuery,
+    /// The client's anonymity requirements.
     pub protection: ProtectionSettings,
 }
 
@@ -37,6 +40,7 @@ pub struct ObfuscatedQueryMsg {
     /// Correlation id so the obfuscator can match responses to in-flight
     /// queries (opaque to the server; fresh per query).
     pub query_id: u64,
+    /// The anonymized endpoint sets.
     pub query: ObfuscatedPathQuery,
 }
 
@@ -44,6 +48,7 @@ pub struct ObfuscatedQueryMsg {
 /// in source-major order of the sorted endpoint sets.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CandidateResultsMsg {
+    /// Correlation id echoed from the query message.
     pub query_id: u64,
     /// `paths[i][j]` answers `(sources[i], targets[j])`; `None` when
     /// disconnected.
@@ -60,7 +65,9 @@ impl CandidateResultsMsg {
 /// Obfuscator → client (secure channel): the requested path.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ResultMsg {
+    /// The client the path is delivered to.
     pub client: ClientId,
+    /// The shortest path for the client's true query.
     pub path: Path,
 }
 

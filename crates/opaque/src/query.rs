@@ -26,7 +26,9 @@ impl fmt::Display for ClientId {
 /// source `s` to destination `t`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PathQuery {
+    /// The true source `s`.
     pub source: NodeId,
+    /// The true destination `t`.
     pub destination: NodeId,
 }
 
@@ -49,7 +51,9 @@ impl fmt::Display for PathQuery {
 /// cost.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ProtectionSettings {
+    /// Required source-set size `f_S ≥ 1` (true source included).
     pub f_s: u32,
+    /// Required target-set size `f_T ≥ 1` (true destination included).
     pub f_t: u32,
 }
 
@@ -100,8 +104,11 @@ impl ProtectionSettings {
 /// obfuscator over the secure channel (§IV, Figure 6).
 #[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct ClientRequest {
+    /// The requesting client `u_i`.
     pub client: ClientId,
+    /// The true query `(s_i, t_i)`.
     pub query: PathQuery,
+    /// The anonymity requirements `(f_Si, f_Ti)`.
     pub protection: ProtectionSettings,
 }
 

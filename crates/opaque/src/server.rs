@@ -10,7 +10,9 @@
 //! what different obfuscation regimes cost the provider.
 
 use crate::query::{ObfuscatedPathQuery, PathQuery};
-use pathsearch::{Goal, MsmdResult, Path, SearchStats, Searcher, SharingPolicy, msmd};
+use pathsearch::{
+    Goal, MsmdResult, Path, SearchArena, SearchStats, SharingPolicy, msmd_in, run_in,
+};
 use roadnet::GraphView;
 
 /// Cumulative server-side load counters.
@@ -24,6 +26,13 @@ pub struct ServerStats {
     pub pairs_evaluated: u64,
     /// Candidate result paths produced (connected pairs only).
     pub paths_returned: u64,
+    /// Spanning trees actually grown, as attributed by
+    /// [`pathsearch::MsmdResult::per_tree`] — under
+    /// [`SharingPolicy::Auto`] transposition this counts the smaller-side
+    /// trees really grown, not `|S|`, and under
+    /// [`SharingPolicy::SharedFrontier`] it includes the backward trees.
+    /// Plain queries count one tree each.
+    pub trees_grown: u64,
     /// Aggregated search counters.
     pub search: SearchStats,
 }
@@ -37,22 +46,27 @@ impl ServerStats {
         self.plain_queries += other.plain_queries;
         self.pairs_evaluated += other.pairs_evaluated;
         self.paths_returned += other.paths_returned;
+        self.trees_grown += other.trees_grown;
         self.search.merge(other.search);
     }
 }
 
 /// The server: a graph view, an MSMD sharing policy, and load counters.
+///
+/// Plain and obfuscated queries share one [`SearchArena`], so a server
+/// evaluating a query stream allocates nothing in the search core after
+/// the first query grows the arena to the map's size.
 pub struct DirectionsServer<G> {
     graph: G,
     policy: SharingPolicy,
-    searcher: Searcher,
+    arena: SearchArena,
     stats: ServerStats,
 }
 
 impl<G: GraphView> DirectionsServer<G> {
     /// A server over `graph` evaluating obfuscated queries under `policy`.
     pub fn new(graph: G, policy: SharingPolicy) -> Self {
-        DirectionsServer { graph, policy, searcher: Searcher::new(), stats: ServerStats::default() }
+        DirectionsServer { graph, policy, arena: SearchArena::new(), stats: ServerStats::default() }
     }
 
     /// The sharing policy in use.
@@ -78,11 +92,12 @@ impl<G: GraphView> DirectionsServer<G> {
     /// Evaluate a *plain* path query — what an unprotected client would
     /// send. Returns the shortest path, or `None` when disconnected.
     pub fn process_plain(&mut self, q: &PathQuery) -> Option<Path> {
-        let run = self.searcher.run(&self.graph, q.source, &Goal::Single(q.destination));
+        let run = run_in(&mut self.arena, &self.graph, q.source, &Goal::Single(q.destination));
         self.stats.plain_queries += 1;
         self.stats.pairs_evaluated += 1;
+        self.stats.trees_grown += 1;
         self.stats.search.merge(run);
-        let path = self.searcher.path_to(q.destination);
+        let path = self.arena.path_to(0, q.destination);
         if path.is_some() {
             self.stats.paths_returned += 1;
         }
@@ -92,10 +107,11 @@ impl<G: GraphView> DirectionsServer<G> {
     /// Evaluate an obfuscated path query: all `|S|×|T|` pairs, via the MSMD
     /// processor. The full candidate matrix goes back to the obfuscator.
     pub fn process(&mut self, q: &ObfuscatedPathQuery) -> MsmdResult {
-        let result = msmd(&self.graph, q.sources(), q.targets(), self.policy);
+        let result = msmd_in(&mut self.arena, &self.graph, q.sources(), q.targets(), self.policy);
         self.stats.obfuscated_queries += 1;
         self.stats.pairs_evaluated += q.num_pairs() as u64;
         self.stats.paths_returned += result.num_paths() as u64;
+        self.stats.trees_grown += result.per_tree.len() as u64;
         self.stats.search.merge(result.stats);
         result
     }
@@ -159,6 +175,52 @@ mod tests {
         assert!(st.search.settled > 0);
         sv.reset_stats();
         assert_eq!(sv.stats(), ServerStats::default());
+    }
+
+    #[test]
+    fn tree_count_reflects_transposition_under_auto() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        let mut sv = DirectionsServer::new(g, SharingPolicy::Auto);
+        // 4 sources, 2 targets on a symmetric map: Auto transposes and
+        // grows only 2 trees — the counter must report trees actually
+        // grown, not |S|.
+        let q = ObfuscatedPathQuery::new(
+            vec![NodeId(0), NodeId(11), NodeId(60), NodeId(80)],
+            vec![NodeId(143), NodeId(132)],
+        );
+        let r = sv.process(&q);
+        assert_eq!(r.per_tree.len(), 2);
+        assert_eq!(sv.stats().trees_grown, 2);
+        assert!(
+            r.per_tree.iter().all(|t| t.side == pathsearch::TreeSide::Target),
+            "transposed trees are target-rooted"
+        );
+        // A plain query counts one more tree.
+        sv.process_plain(&PathQuery::new(NodeId(0), NodeId(1)));
+        assert_eq!(sv.stats().trees_grown, 3);
+    }
+
+    #[test]
+    fn tree_count_includes_backward_trees_under_shared_frontier() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        let mut sv = DirectionsServer::new(g, SharingPolicy::SharedFrontier);
+        let q = ObfuscatedPathQuery::new(
+            vec![NodeId(0), NodeId(11)],
+            vec![NodeId(143), NodeId(132), NodeId(70)],
+        );
+        let r = sv.process(&q);
+        assert_eq!(r.num_paths(), 6);
+        assert_eq!(sv.stats().trees_grown, 2 + 3, "forward + backward trees");
+    }
+
+    #[test]
+    fn merged_stats_sum_tree_counters() {
+        let mut a = ServerStats { trees_grown: 3, ..ServerStats::default() };
+        let b = ServerStats { trees_grown: 5, ..ServerStats::default() };
+        a.merge(&b);
+        assert_eq!(a.trees_grown, 8);
     }
 
     #[test]

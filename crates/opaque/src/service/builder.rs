@@ -34,7 +34,9 @@ pub struct ServiceConfig {
     /// Seed for the obfuscator's RNG (obfuscation is reproducible per
     /// seed).
     pub seed: u64,
-    /// MSMD sharing policy the backend servers evaluate under.
+    /// MSMD sharing policy the backend servers evaluate under (including
+    /// [`SharingPolicy::SharedFrontier`], the arena-backed interleaved
+    /// sweep).
     pub sharing: SharingPolicy,
     /// Obfuscation mode applied to each drained batch.
     pub mode: ObfuscationMode,
@@ -299,13 +301,42 @@ mod tests {
         let config = ServiceConfig {
             seed: 42,
             shards: 4,
+            sharing: SharingPolicy::SharedFrontier,
             mode: ObfuscationMode::SharedGlobal,
             batch: BatchPolicy { max_batch: 8, max_delay: 2.5 },
             ..Default::default()
         };
         let json = serde_json::to_string(&config).unwrap();
+        assert!(json.contains("SharedFrontier"), "{json}");
         let back: ServiceConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, config);
+    }
+
+    #[test]
+    fn built_service_serves_under_shared_frontier() {
+        let mut svc = ServiceBuilder::new()
+            .map(map())
+            .seed(3)
+            .sharing_policy(SharingPolicy::SharedFrontier)
+            .verify_results(true)
+            .build()
+            .unwrap();
+        let reqs: Vec<ClientRequest> = (0..3)
+            .map(|i| {
+                ClientRequest::new(
+                    ClientId(i),
+                    PathQuery::new(NodeId(i * 11), NodeId(140 - i * 9)),
+                    ProtectionSettings::new(3, 3).unwrap(),
+                )
+            })
+            .collect();
+        let resp = svc.process_batch(&reqs).unwrap();
+        assert_eq!(resp.results.len(), 3);
+        for (res, req) in resp.results.iter().zip(&reqs) {
+            assert_eq!(res.path.source(), req.query.source);
+            assert_eq!(res.path.destination(), req.query.destination);
+        }
+        assert!(svc.backend().stats().trees_grown > 0);
     }
 
     #[test]

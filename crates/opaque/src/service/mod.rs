@@ -209,7 +209,7 @@ impl<B: DirectionsBackend> OpaqueService<B> {
     ///   feasibility failure — including strategy-level and collective
     ///   shared-group infeasibility — is attributed to individual clients
     ///   as [`ClientOutcome::Rejected`] (see
-    ///   [`OpaqueService::reject_infeasible_members`]).
+    ///   `reject_infeasible_members`).
     pub fn process_batch_with_mode(
         &mut self,
         requests: &[ClientRequest],
@@ -354,7 +354,7 @@ impl<B: DirectionsBackend> OpaqueService<B> {
     /// nor *collective* infeasibility, where a shared group's maximum
     /// `f_S`/`f_T` demands jointly exceed the map. In service mode both
     /// become per-client [`ClientOutcome::Rejected`] outcomes (see
-    /// [`OpaqueService::reject_infeasible_members`]), attributed within
+    /// `reject_infeasible_members`), attributed within
     /// the failing shared group — for [`ObfuscationMode::SharedClustered`]
     /// that is the individual cluster, so clients in healthy clusters are
     /// never blamed for another cluster's infeasibility. Strict mode
@@ -467,7 +467,7 @@ impl<B: DirectionsBackend> OpaqueService<B> {
         };
     }
 
-    /// See [`OpaqueService::reject_infeasible_members`]; the driving loop.
+    /// See `reject_infeasible_members`; the driving loop.
     fn obfuscate_shared_group(
         &mut self,
         mut members: Vec<ClientRequest>,

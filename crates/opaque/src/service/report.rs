@@ -27,7 +27,10 @@ pub enum ClientOutcome {
     Unreachable,
     /// The request failed admission validation and was never embedded in
     /// an obfuscated query; the reason is the rejecting error's message.
-    Rejected { reason: String },
+    Rejected {
+        /// The rejecting error's message.
+        reason: String,
+    },
 }
 
 /// Accounting for one processed batch.

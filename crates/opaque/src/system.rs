@@ -17,6 +17,8 @@
 //! deprecation cycle and its `process_batch` is equivalent to the service
 //! in strict mode (see `tests/service_api.rs` for the proof obligation).
 
+#![allow(deprecated)] // the shim implements the deprecated type it wraps
+
 use crate::error::Result;
 use crate::filter::ClientResult;
 use crate::obfuscator::{ObfuscationMode, Obfuscator};
@@ -27,6 +29,11 @@ use roadnet::GraphView;
 
 /// The assembled OPAQUE deployment (compatibility wrapper around
 /// [`OpaqueService`] with a single [`DirectionsServer`] backend).
+#[deprecated(
+    since = "0.1.0",
+    note = "build an OpaqueService via opaque::ServiceBuilder instead; this strict \
+            all-or-error shim remains only until the experiments finish migrating"
+)]
 pub struct OpaqueSystem<G> {
     service: OpaqueService<DirectionsServer<G>>,
     /// Re-verify delivered paths against the obfuscator's map.

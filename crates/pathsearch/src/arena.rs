@@ -1,0 +1,441 @@
+//! The reusable search arena: generation-stamped label storage shared by
+//! every Dijkstra-family algorithm in this crate.
+//!
+//! The server's hot path is MSMD evaluation — every obfuscated query
+//! `Q(S,T)` grows several spanning trees over the same network (§IV,
+//! Lemma 1). A naive implementation pays `O(n)` initialization *and*
+//! `O(n)` allocation per tree. [`SearchArena`] removes both:
+//!
+//! * `dist` / `parent` / *labelled* / *settled* arrays are validated by an
+//!   **epoch stamp**, so starting a new search is `O(1)` — stale labels
+//!   from earlier queries are simply never current;
+//! * the arrays are laid out as `trees × nodes` slabs, so one arena hosts
+//!   any number of simultaneously growing trees (the shared-frontier MSMD
+//!   engine interleaves them all through one heap);
+//! * the binary heap and the goal/frontier scratch buffers are owned by
+//!   the arena and reused, so repeated queries on the same graph touch no
+//!   allocator once the high-water capacity is reached.
+//!
+//! [`crate::dijkstra::Searcher`] is the single-tree facade over an arena;
+//! [`crate::multi::msmd_in`] runs whole MSMD queries inside a
+//! caller-provided arena.
+
+use crate::path::Path;
+use roadnet::NodeId;
+use std::collections::BinaryHeap;
+
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// One prioritized frontier entry: a tentative label of `node` in `tree`.
+///
+/// Ordered so the globally *smallest* key pops first from a max-heap;
+/// ties break on `(tree, node)` for run-to-run determinism. Crate-internal
+/// like the raw heap operations that produce and consume it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FrontierEntry {
+    /// Tentative distance of the label.
+    pub key: f64,
+    /// Index of the tree the label belongs to.
+    pub tree: u32,
+    /// The labelled node.
+    pub node: NodeId,
+}
+
+impl PartialEq for FrontierEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.tree == other.tree && self.node == other.node
+    }
+}
+impl Eq for FrontierEntry {}
+impl PartialOrd for FrontierEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FrontierEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.tree.cmp(&self.tree))
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// Reusable scratch buffers for the shared-frontier MSMD engine — per-pair
+/// meeting state and per-tree bookkeeping, pooled here so the engine
+/// allocates nothing per query.
+#[derive(Debug, Default)]
+pub(crate) struct FrontierScratch {
+    /// Best connecting distance found per (forward, backward) pair.
+    pub mu: Vec<f64>,
+    /// Meeting node realizing `mu` (`NIL` when none found yet).
+    pub meet: Vec<u32>,
+    /// Largest settled key per tree (a lower bound on future settles).
+    pub radius: Vec<f64>,
+    /// Open pairs (or unsettled targets) remaining per tree; a tree
+    /// retires at zero.
+    pub open: Vec<u32>,
+    /// Whether a pair's shortest distance is finalized.
+    pub done: Vec<bool>,
+}
+
+/// Generation-stamped multi-tree search space with a shared frontier heap.
+///
+/// After a search finishes, the labels of the *last* search stay readable
+/// (via [`SearchArena::distance`] / [`SearchArena::path_to`]) until the
+/// next [`SearchArena::begin`].
+#[derive(Debug, Default)]
+pub struct SearchArena {
+    /// Tentative/final distances, `trees × nodes`, epoch-validated.
+    dist: Vec<f64>,
+    /// Parent node ids ([`NIL`] for roots), `trees × nodes`.
+    parent: Vec<u32>,
+    /// Label epoch stamps: a slot is labelled iff `labelled[i] == epoch`.
+    labelled: Vec<u32>,
+    /// Settled epoch stamps: a slot is settled iff `settled[i] == epoch`.
+    settled: Vec<u32>,
+    /// Current search generation. Epoch 0 means "never touched".
+    epoch: u32,
+    /// The shared frontier heap (lazy deletion: stale entries are skipped
+    /// at pop time).
+    heap: BinaryHeap<FrontierEntry>,
+    /// Reusable goal-set buffer (sorted, deduplicated target lists).
+    goal_scratch: Vec<NodeId>,
+    /// Reusable shared-frontier bookkeeping.
+    frontier_scratch: FrontierScratch,
+    /// Nodes per tree of the current search.
+    nodes: usize,
+    /// Number of trees of the current search.
+    trees: usize,
+}
+
+impl SearchArena {
+    /// An empty arena; buffers grow to the largest `trees × nodes` search
+    /// they ever host and are reused from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new search generation over `trees` trees of `nodes` nodes
+    /// each. `O(1)` amortized: only grows buffers past the high-water
+    /// mark, never clears them (the epoch stamp invalidates old labels).
+    pub fn begin(&mut self, nodes: usize, trees: usize) {
+        assert!(trees > 0, "a search grows at least one tree");
+        assert!(trees <= NIL as usize, "tree count must fit the entry tag");
+        let slots = nodes.checked_mul(trees).expect("search space fits usize");
+        if self.dist.len() < slots {
+            self.dist.resize(slots, f64::INFINITY);
+            self.parent.resize(slots, NIL);
+            self.labelled.resize(slots, 0);
+            self.settled.resize(slots, 0);
+        }
+        self.nodes = nodes;
+        self.trees = trees;
+        self.heap.clear();
+        // Epoch 0 is the "never touched" stamp; skip it on wrap-around so
+        // labels from 2^32 generations ago cannot resurface as current.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.labelled.iter_mut().for_each(|s| *s = 0);
+            self.settled.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Nodes per tree of the current search generation.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Trees of the current search generation.
+    pub fn num_trees(&self) -> usize {
+        self.trees
+    }
+
+    /// Label slots currently allocated (the high-water mark) — exposed so
+    /// tests can assert reuse instead of regrowth.
+    pub fn capacity(&self) -> usize {
+        self.dist.len()
+    }
+
+    #[inline]
+    fn slot(&self, tree: usize, node: NodeId) -> usize {
+        debug_assert!(tree < self.trees, "tree {tree} out of range");
+        debug_assert!(node.index() < self.nodes, "node {node} out of range");
+        tree * self.nodes + node.index()
+    }
+
+    /// Write a label: tentative distance `dist` reached via `parent`
+    /// (`None` for roots).
+    ///
+    /// The raw label/heap operations (`label`, `settle`, `relax`, `push`,
+    /// `pop`, `is_fresh`) are crate-internal: they index by
+    /// `tree * nodes + node` with debug-only bounds checks, so exposing
+    /// them would let out-of-range trees silently alias other trees'
+    /// slots in release builds. External callers drive searches through
+    /// [`crate::dijkstra::run_in`] / [`crate::multi::msmd_in`] and read
+    /// results via the range-checked [`SearchArena::distance`] /
+    /// [`SearchArena::path_to`].
+    #[inline]
+    pub(crate) fn label(&mut self, tree: usize, node: NodeId, dist: f64, parent: Option<NodeId>) {
+        let i = self.slot(tree, node);
+        self.dist[i] = dist;
+        self.parent[i] = parent.map_or(NIL, |p| p.0);
+        self.labelled[i] = self.epoch;
+    }
+
+    /// Whether `node` carries a current-generation label in `tree`.
+    #[inline]
+    pub(crate) fn is_labelled(&self, tree: usize, node: NodeId) -> bool {
+        self.labelled[self.slot(tree, node)] == self.epoch
+    }
+
+    /// Current-generation distance label of `node` in `tree`, if any.
+    /// Final only for nodes the search settled before terminating;
+    /// beyond the goal it is a tentative upper bound. Out-of-range reads
+    /// return `None` (they are not part of the current search).
+    #[inline]
+    pub fn distance(&self, tree: usize, node: NodeId) -> Option<f64> {
+        if tree >= self.trees || node.index() >= self.nodes {
+            return None;
+        }
+        let i = self.slot(tree, node);
+        (self.labelled[i] == self.epoch).then(|| self.dist[i])
+    }
+
+    /// Unchecked distance read: call only when the label is known current.
+    #[inline]
+    pub(crate) fn dist_raw(&self, tree: usize, node: NodeId) -> f64 {
+        self.dist[self.slot(tree, node)]
+    }
+
+    /// Mark `node` settled in `tree`. Returns `false` when it already was
+    /// (a stale lazy-deletion pop).
+    #[inline]
+    pub(crate) fn settle(&mut self, tree: usize, node: NodeId) -> bool {
+        let i = self.slot(tree, node);
+        if self.settled[i] == self.epoch {
+            return false;
+        }
+        self.settled[i] = self.epoch;
+        true
+    }
+
+    /// Relax the arc `from → to` in `tree` with candidate distance `cand`:
+    /// labels `to` and pushes a frontier entry when `cand` improves on the
+    /// current label (or none exists). Returns whether it did.
+    #[inline]
+    pub(crate) fn relax(&mut self, tree: usize, from: NodeId, to: NodeId, cand: f64) -> bool {
+        let i = self.slot(tree, to);
+        if self.labelled[i] != self.epoch || cand < self.dist[i] {
+            self.dist[i] = cand;
+            self.parent[i] = from.0;
+            self.labelled[i] = self.epoch;
+            self.heap.push(FrontierEntry { key: cand, tree: tree as u32, node: to });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Push a frontier entry (used to seed roots; relaxation goes through
+    /// [`SearchArena::relax`]).
+    #[inline]
+    pub(crate) fn push(&mut self, key: f64, tree: usize, node: NodeId) {
+        self.heap.push(FrontierEntry { key, tree: tree as u32, node });
+    }
+
+    /// Pop the globally smallest frontier entry across all trees.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<FrontierEntry> {
+        self.heap.pop()
+    }
+
+    /// Whether a popped entry is *fresh*: not yet settled and still
+    /// carrying the best-known distance for its slot. Stale entries are
+    /// the lazy-deletion residue and must be skipped.
+    #[inline]
+    pub(crate) fn is_fresh(&self, e: &FrontierEntry) -> bool {
+        let i = self.slot(e.tree as usize, e.node);
+        self.settled[i] != self.epoch && e.key <= self.dist[i]
+    }
+
+    /// Reconstruct the path from `tree`'s root to `t` by walking parents.
+    /// `None` when `t` carries no current-generation label.
+    pub fn path_to(&self, tree: usize, t: NodeId) -> Option<Path> {
+        if tree >= self.trees || t.index() >= self.nodes || !self.is_labelled(tree, t) {
+            return None;
+        }
+        let mut nodes = vec![t];
+        let mut cur = t;
+        loop {
+            let p = self.parent[self.slot(tree, cur)];
+            if p == NIL {
+                break;
+            }
+            cur = NodeId(p);
+            nodes.push(cur);
+            debug_assert!(nodes.len() <= self.nodes, "parent cycle");
+        }
+        nodes.reverse();
+        Some(Path::new(nodes, self.dist[self.slot(tree, t)]))
+    }
+
+    /// Walk `tree`'s parent chain from `t` to the root, appending every
+    /// node *after* `t` itself to `out` (root last). Used by the
+    /// shared-frontier engine to stitch bidirectional meetings.
+    pub(crate) fn walk_parents(&self, tree: usize, t: NodeId, out: &mut Vec<NodeId>) {
+        let mut cur = t;
+        loop {
+            let p = self.parent[self.slot(tree, cur)];
+            if p == NIL {
+                break;
+            }
+            cur = NodeId(p);
+            out.push(cur);
+            debug_assert!(out.len() <= self.nodes + 1, "parent cycle");
+        }
+    }
+
+    /// Take the reusable goal buffer (restore it with
+    /// [`SearchArena::put_goal_scratch`] so its capacity is kept).
+    pub(crate) fn take_goal_scratch(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.goal_scratch)
+    }
+
+    /// Return the goal buffer taken by [`SearchArena::take_goal_scratch`].
+    pub(crate) fn put_goal_scratch(&mut self, mut buf: Vec<NodeId>) {
+        buf.clear();
+        self.goal_scratch = buf;
+    }
+
+    /// Take the shared-frontier scratch (restore with
+    /// [`SearchArena::put_frontier_scratch`]).
+    pub(crate) fn take_frontier_scratch(&mut self) -> FrontierScratch {
+        std::mem::take(&mut self.frontier_scratch)
+    }
+
+    /// Return the scratch taken by
+    /// [`SearchArena::take_frontier_scratch`].
+    pub(crate) fn put_frontier_scratch(&mut self, s: FrontierScratch) {
+        self.frontier_scratch = s;
+    }
+
+    /// Test hook: jump the generation counter to exercise epoch
+    /// wrap-around without 2^32 searches.
+    #[cfg(test)]
+    pub(crate) fn set_epoch_for_test(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{Goal, run_in};
+    use roadnet::generators::{GridConfig, grid_network};
+    use roadnet::{GraphBuilder, Point};
+
+    fn line(n: u32) -> roadnet::RoadNetwork {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn begin_is_cheap_and_capacity_is_reused() {
+        let g = grid_network(&GridConfig { width: 10, height: 10, seed: 1, ..Default::default() })
+            .unwrap();
+        let mut a = SearchArena::new();
+        run_in(&mut a, &g, NodeId(0), &Goal::AllNodes);
+        let cap = a.capacity();
+        assert!(cap >= 100);
+        for _ in 0..50 {
+            run_in(&mut a, &g, NodeId(37), &Goal::Single(NodeId(99)));
+        }
+        assert_eq!(a.capacity(), cap, "repeated same-graph queries must not regrow buffers");
+    }
+
+    #[test]
+    fn no_state_leaks_between_generations() {
+        // Query a big graph, then a small one: labels of the big run must
+        // be invisible to the small run, and vice versa on re-query.
+        let big =
+            grid_network(&GridConfig { width: 12, height: 12, seed: 3, ..Default::default() })
+                .unwrap();
+        let small = line(4);
+        let mut a = SearchArena::new();
+        run_in(&mut a, &big, NodeId(0), &Goal::AllNodes);
+        assert!(a.distance(0, NodeId(143)).is_some());
+
+        run_in(&mut a, &small, NodeId(3), &Goal::AllNodes);
+        assert_eq!(a.distance(0, NodeId(0)), Some(3.0));
+        assert_eq!(a.distance(0, NodeId(3)), Some(0.0));
+        // Nodes beyond the small graph are out of this generation even
+        // though the big run labelled those slots.
+        assert_eq!(a.num_nodes(), 4);
+
+        // And back: the small run's labels must not shadow the big run's.
+        run_in(&mut a, &big, NodeId(143), &Goal::Single(NodeId(0)));
+        let p = a.path_to(0, NodeId(0)).unwrap();
+        assert_eq!(p.source(), NodeId(143));
+        assert_eq!(p.destination(), NodeId(0));
+        assert!(p.verify(&big, 1e-9));
+    }
+
+    #[test]
+    fn epoch_wraparound_clears_all_stamps() {
+        let g = line(5);
+        let mut a = SearchArena::new();
+        run_in(&mut a, &g, NodeId(0), &Goal::AllNodes);
+        assert_eq!(a.distance(0, NodeId(4)), Some(4.0));
+
+        // Force the counter to the wrap boundary: the next begin() lands
+        // on epoch 0, which must be skipped and every stamp wiped —
+        // otherwise slots stamped `0` (never touched) would read as
+        // labelled.
+        a.set_epoch_for_test(u32::MAX);
+        run_in(&mut a, &g, NodeId(4), &Goal::AllNodes);
+        assert_eq!(a.distance(0, NodeId(0)), Some(4.0));
+        assert_eq!(a.distance(0, NodeId(4)), Some(0.0));
+        let p = a.path_to(0, NodeId(0)).unwrap();
+        assert!(p.verify(&g, 1e-9));
+        assert_eq!(p.source(), NodeId(4));
+    }
+
+    #[test]
+    fn multi_tree_slots_are_independent() {
+        let g = line(6);
+        let mut a = SearchArena::new();
+        a.begin(6, 2);
+        a.label(0, NodeId(0), 0.0, None);
+        a.label(1, NodeId(5), 0.0, None);
+        assert!(a.is_labelled(0, NodeId(0)));
+        assert!(!a.is_labelled(1, NodeId(0)));
+        assert!(a.is_labelled(1, NodeId(5)));
+        assert!(!a.is_labelled(0, NodeId(5)));
+        assert!(a.settle(0, NodeId(0)));
+        assert!(!a.settle(0, NodeId(0)), "second settle is stale");
+        assert!(a.settle(1, NodeId(0)), "tree 1 settles independently");
+        let _ = g;
+    }
+
+    #[test]
+    fn frontier_orders_across_trees_deterministically() {
+        let mut a = SearchArena::new();
+        a.begin(4, 3);
+        a.push(2.0, 1, NodeId(0));
+        a.push(1.0, 2, NodeId(3));
+        a.push(1.0, 0, NodeId(3));
+        a.push(1.0, 0, NodeId(1));
+        let order: Vec<(u32, u32)> =
+            std::iter::from_fn(|| a.pop()).map(|e| (e.tree, e.node.0)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 3), (2, 3), (1, 0)]);
+    }
+}

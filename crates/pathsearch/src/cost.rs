@@ -94,7 +94,9 @@ impl CostModel {
 /// Measured vs predicted pair, with relative error, as recorded by E4.
 #[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
 pub struct CostObservation {
+    /// Settled-node count predicted by the calibrated model.
     pub predicted: f64,
+    /// Settled-node count actually measured.
     pub measured: f64,
 }
 

@@ -4,16 +4,19 @@
 //! from a single source to multiple destinations by forming a spanning tree
 //! until all the destinations are reached" (§III-B).
 //!
-//! The implementation is a lazy-deletion binary-heap Dijkstra over a
-//! reusable, epoch-stamped search space ([`Searcher`]), so repeated queries
-//! on the same network pay no per-query `O(n)` initialization — the cost of
-//! a query is proportional to the area it actually explores, which is the
-//! quantity Lemma 1 reasons about.
+//! The implementation is a lazy-deletion binary-heap Dijkstra over the
+//! reusable, generation-stamped [`SearchArena`], so repeated queries on the
+//! same network pay no per-query `O(n)` initialization *or allocation* —
+//! the cost of a query is proportional to the area it actually explores,
+//! which is the quantity Lemma 1 reasons about. [`Searcher`] is the
+//! single-tree facade over an owned arena; [`run_in`] runs inside a
+//! caller-provided arena (e.g. the one a `DirectionsServer` shares with
+//! its MSMD processor).
 
+use crate::arena::SearchArena;
 use crate::path::Path;
 use crate::stats::SearchStats;
 use roadnet::{GraphView, NodeId};
-use std::collections::BinaryHeap;
 
 /// Search termination condition.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,47 +30,79 @@ pub enum Goal {
     Set(Vec<NodeId>),
 }
 
-const NIL: u32 = u32::MAX;
+/// Run one Dijkstra sweep from `source` inside `arena` (tree 0) until
+/// `goal` is met. Returns per-run counters; the labels stay readable via
+/// [`SearchArena::distance`] / [`SearchArena::path_to`] until the arena's
+/// next search begins.
+///
+/// # Panics
+/// Panics if `source` is out of range for `g`.
+pub fn run_in<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    source: NodeId,
+    goal: &Goal,
+) -> SearchStats {
+    let n = g.num_nodes();
+    assert!(source.index() < n, "source out of range");
+    arena.begin(n, 1);
+    let mut stats = SearchStats::one_run();
 
-/// Max-heap entry ordered so the *smallest* distance pops first.
-#[derive(Clone, Copy, Debug)]
-struct HeapEntry {
-    key: f64,
-    node: NodeId,
+    // Sorted, deduplicated goal set in the arena's reusable buffer.
+    let mut remaining = arena.take_goal_scratch();
+    if let Goal::Set(set) = goal {
+        remaining.extend_from_slice(set);
+        remaining.sort_unstable();
+        remaining.dedup();
+    }
+    arena.label(0, source, 0.0, None);
+    arena.push(0.0, 0, source);
+    stats.heap_pushes += 1;
+
+    while let Some(e) = arena.pop() {
+        stats.heap_pops += 1;
+        // Lazy deletion: skip entries for already-settled nodes or labels
+        // that a shorter one has since overwritten.
+        if !arena.is_fresh(&e) {
+            continue;
+        }
+        arena.settle(0, e.node);
+        stats.settled += 1;
+
+        match goal {
+            Goal::Single(t) if *t == e.node => break,
+            Goal::Set(_) => {
+                if let Ok(pos) = remaining.binary_search(&e.node) {
+                    remaining.remove(pos);
+                    if remaining.is_empty() {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        let d_node = arena.dist_raw(0, e.node);
+        g.for_each_arc(e.node, &mut |to, w| {
+            stats.relaxed += 1;
+            if arena.relax(0, e.node, to, d_node + w) {
+                stats.heap_pushes += 1;
+            }
+        });
+    }
+    arena.put_goal_scratch(remaining);
+    stats
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.node == other.node
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse on key for min-heap behaviour; tie-break on node id for
-        // determinism across runs.
-        other.key.total_cmp(&self.key).then_with(|| other.node.0.cmp(&self.node.0))
-    }
-}
-
-/// Reusable search space: distance/parent labels validated by an epoch
-/// stamp, so starting a new search is O(1).
+/// Reusable single-tree search space: a [`SearchArena`] behind the
+/// classic `run` / `distance` / `path_to` interface.
 ///
 /// After [`Searcher::run`] the labels of the *last* search remain readable
 /// through [`Searcher::distance`] / [`Searcher::path_to`] until the next
 /// search starts.
 #[derive(Debug, Default)]
 pub struct Searcher {
-    dist: Vec<f64>,
-    parent: Vec<u32>,
-    stamp: Vec<u32>,
-    epoch: u32,
-    heap: BinaryHeap<HeapEntry>,
+    arena: SearchArena,
 }
 
 impl Searcher {
@@ -76,114 +111,17 @@ impl Searcher {
         Self::default()
     }
 
-    fn begin(&mut self, n: usize) {
-        if self.dist.len() < n {
-            self.dist.resize(n, f64::INFINITY);
-            self.parent.resize(n, NIL);
-            self.stamp.resize(n, 0);
-        }
-        self.heap.clear();
-        // Epoch 0 is the "never touched" stamp; skip it on wrap-around.
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.stamp.iter_mut().for_each(|s| *s = 0);
-            self.epoch = 1;
-        }
-    }
-
-    #[inline]
-    fn is_current(&self, n: NodeId) -> bool {
-        self.stamp[n.index()] == self.epoch
-    }
-
-    #[inline]
-    fn label(&mut self, n: NodeId, d: f64, parent: u32) {
-        let i = n.index();
-        self.dist[i] = d;
-        self.parent[i] = parent;
-        self.stamp[i] = self.epoch;
+    /// The underlying arena (e.g. to hand to [`crate::multi::msmd_in`] so
+    /// plain and MSMD queries share one set of buffers).
+    pub fn arena_mut(&mut self) -> &mut SearchArena {
+        &mut self.arena
     }
 
     /// Run Dijkstra from `source` until `goal` is met. Returns per-run
     /// counters; query labels afterwards via [`Searcher::distance`] and
     /// [`Searcher::path_to`].
     pub fn run<G: GraphView>(&mut self, g: &G, source: NodeId, goal: &Goal) -> SearchStats {
-        let n = g.num_nodes();
-        assert!(source.index() < n, "source out of range");
-        self.begin(n);
-        let mut stats = SearchStats::one_run();
-
-        // `settled` marker: parent stays NIL for the source, so track
-        // settledness via a sentinel on dist updates — we reuse the stamp
-        // array by storing *labelled* state and a separate settled bitmap
-        // would cost O(n); instead mark settled by negating the stamp trick:
-        // a node is settled once popped fresh. Lazy deletion guarantees the
-        // first fresh pop carries the final distance.
-        let mut remaining: Vec<NodeId> = match goal {
-            Goal::Set(set) => {
-                let mut v = set.clone();
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-            _ => Vec::new(),
-        };
-        let mut remaining_count = remaining.len();
-
-        self.label(source, 0.0, NIL);
-        self.heap.push(HeapEntry { key: 0.0, node: source });
-        stats.heap_pushes += 1;
-
-        let mut settled_flag = vec![0u64; n.div_ceil(64)]; // settled-node bitmap
-        let is_settled = |flags: &mut Vec<u64>, node: NodeId| -> bool {
-            let (w, b) = (node.index() / 64, node.index() % 64);
-            let hit = flags[w] >> b & 1 == 1;
-            flags[w] |= 1 << b;
-            hit
-        };
-
-        while let Some(HeapEntry { key, node }) = self.heap.pop() {
-            stats.heap_pops += 1;
-            // Stale entry: a shorter label was already settled.
-            if key > self.dist[node.index()] || is_settled(&mut settled_flag, node) {
-                continue;
-            }
-            stats.settled += 1;
-
-            match goal {
-                Goal::Single(t) if *t == node => return stats,
-                Goal::Set(_) => {
-                    if let Ok(pos) = remaining.binary_search(&node) {
-                        remaining.remove(pos);
-                        remaining_count -= 1;
-                        if remaining_count == 0 {
-                            return stats;
-                        }
-                    }
-                }
-                _ => {}
-            }
-
-            let d_node = self.dist[node.index()];
-            let epoch = self.epoch;
-            // Split borrows: relax arcs, pushing improved labels.
-            let (dist, parent, stamp, heap) =
-                (&mut self.dist, &mut self.parent, &mut self.stamp, &mut self.heap);
-            g.for_each_arc(node, &mut |to, w| {
-                stats.relaxed += 1;
-                let cand = d_node + w;
-                let i = to.index();
-                let fresh = stamp[i] != epoch;
-                if fresh || cand < dist[i] {
-                    dist[i] = cand;
-                    parent[i] = node.0;
-                    stamp[i] = epoch;
-                    heap.push(HeapEntry { key: cand, node: to });
-                    stats.heap_pushes += 1;
-                }
-            });
-        }
-        stats
+        run_in(&mut self.arena, g, source, goal)
     }
 
     /// Final distance to `n` from the last run's source, if `n` was
@@ -191,27 +129,12 @@ impl Searcher {
     /// terminating; for an early-terminated run, nodes beyond the goal may
     /// carry tentative labels.
     pub fn distance(&self, n: NodeId) -> Option<f64> {
-        if n.index() < self.stamp.len() && self.is_current(n) {
-            Some(self.dist[n.index()])
-        } else {
-            None
-        }
+        self.arena.distance(0, n)
     }
 
     /// Reconstruct the path from the last run's source to `t`.
     pub fn path_to(&self, t: NodeId) -> Option<Path> {
-        if t.index() >= self.stamp.len() || !self.is_current(t) {
-            return None;
-        }
-        let mut nodes = vec![t];
-        let mut cur = t;
-        while self.parent[cur.index()] != NIL {
-            cur = NodeId(self.parent[cur.index()]);
-            nodes.push(cur);
-            debug_assert!(nodes.len() <= self.stamp.len(), "parent cycle");
-        }
-        nodes.reverse();
-        Some(Path::new(nodes, self.dist[t.index()]))
+        self.arena.path_to(0, t)
     }
 }
 
@@ -390,5 +313,19 @@ mod tests {
         assert_eq!(st.settled, 100);
         assert!(st.relaxed >= st.settled);
         assert!(st.heap_pops <= st.heap_pushes);
+    }
+
+    #[test]
+    fn out_of_range_reads_are_none_not_stale() {
+        let big =
+            grid_network(&GridConfig { width: 10, height: 10, seed: 0, ..Default::default() })
+                .unwrap();
+        let small = diamond();
+        let mut s = Searcher::new();
+        s.run(&big, NodeId(0), &Goal::AllNodes);
+        s.run(&small, NodeId(0), &Goal::AllNodes);
+        // Node 50 exists only in the big graph; its old label must not leak.
+        assert_eq!(s.distance(NodeId(50)), None);
+        assert!(s.path_to(NodeId(50)).is_none());
     }
 }

@@ -1,0 +1,300 @@
+//! The shared-frontier MSMD engine behind
+//! [`SharingPolicy::SharedFrontier`](crate::multi::SharingPolicy).
+//!
+//! All spanning trees of an obfuscated query grow in **one interleaved
+//! sweep**: every tree's tentative labels live in one [`SearchArena`] and
+//! compete in one heap, so the globally closest frontier node settles next
+//! regardless of which tree owns it — the multi-tree generalization of
+//! balanced bidirectional growth.
+//!
+//! On **symmetric** (undirected) graph views the engine grows `|S|`
+//! forward trees *and* `|T|` backward trees and resolves each pair
+//! `(s, t)` by the bidirectional meeting rule: track the best connecting
+//! distance `μ(s,t)` seen through any commonly-labelled node, and finalize
+//! the pair once the two trees' settled radii sum to at least `μ` (the
+//! classic stopping criterion, applied per pair). Each tree retires the
+//! moment its last open pair resolves — per-source early termination —
+//! so every tree stops near *half* the distance it would have to cover
+//! alone, which is why this policy settles strictly fewer nodes than
+//! [`SharingPolicy::PerSource`](crate::multi::SharingPolicy) on planar
+//! maps (two half-radius balls cover about half the area of one
+//! full-radius ball).
+//!
+//! On **directed** views the backward adjacency is unavailable, so the
+//! engine degrades to the same interleaved sweep over forward trees only,
+//! with each tree retiring when its last unsettled target settles —
+//! exactly `PerSource`'s per-tree cost, still allocation-free and
+//! single-pass.
+
+use crate::arena::{FrontierScratch, NIL, SearchArena};
+use crate::multi::{MsmdResult, TreeSide, TreeStats};
+use crate::path::Path;
+use crate::stats::SearchStats;
+use roadnet::{GraphView, NodeId};
+
+/// Evaluate `sources × targets` with the shared-frontier engine inside
+/// `arena`. Inputs are validated by [`crate::multi::msmd_in`].
+pub(crate) fn shared_frontier<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> MsmdResult {
+    if g.is_symmetric() {
+        bidirectional_sweep(arena, g, sources, targets)
+    } else {
+        forward_sweep(arena, g, sources, targets)
+    }
+}
+
+/// Symmetric case: `|S|` forward + `|T|` backward trees, one heap,
+/// per-pair bidirectional termination.
+fn bidirectional_sweep<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> MsmdResult {
+    let (ns, nt) = (sources.len(), targets.len());
+    let k = ns + nt;
+    let n = g.num_nodes();
+    arena.begin(n, k);
+
+    let mut fs = arena.take_frontier_scratch();
+    fs.mu.clear();
+    fs.mu.resize(ns * nt, f64::INFINITY);
+    fs.meet.clear();
+    fs.meet.resize(ns * nt, NIL);
+    fs.done.clear();
+    fs.done.resize(ns * nt, false);
+    fs.radius.clear();
+    fs.radius.resize(k, 0.0);
+    fs.open.clear();
+    fs.open.resize(k, 0);
+    for o in fs.open.iter_mut().take(ns) {
+        *o = nt as u32;
+    }
+    for o in fs.open.iter_mut().skip(ns) {
+        *o = ns as u32;
+    }
+
+    let mut per_tree: Vec<TreeStats> = sources
+        .iter()
+        .map(|&s| TreeStats { root: s, side: TreeSide::Source, stats: SearchStats::one_run() })
+        .chain(targets.iter().map(|&t| TreeStats {
+            root: t,
+            side: TreeSide::Target,
+            stats: SearchStats::one_run(),
+        }))
+        .collect();
+
+    for (tree, &root) in sources.iter().chain(targets.iter()).enumerate() {
+        arena.label(tree, root, 0.0, None);
+        arena.push(0.0, tree, root);
+        per_tree[tree].stats.heap_pushes += 1;
+    }
+
+    // Trees whose pair set is still open; the sweep ends when none remain
+    // (or the heap drains, for disconnected pairs).
+    let mut live = k;
+    while live > 0 {
+        let Some(e) = arena.pop() else { break };
+        let tree = e.tree as usize;
+        per_tree[tree].stats.heap_pops += 1;
+        if fs.open[tree] == 0 || !arena.is_fresh(&e) {
+            continue; // retired tree, or lazy-deletion residue
+        }
+        arena.settle(tree, e.node);
+        per_tree[tree].stats.settled += 1;
+        fs.radius[tree] = e.key;
+
+        // Settle-time meeting check: the settled node may already carry a
+        // label in an opposite tree.
+        record_meetings(arena, &mut fs.mu, &mut fs.meet, ns, nt, tree, e.node);
+
+        // Expand. Label-time meeting checks are what make the per-pair
+        // stopping rule exact: every label creation or improvement is a
+        // successful relax (roots excepted — the settle-time check above
+        // covers those), so checking only on success keeps μ equal to the
+        // min over *final* labels while skipping the O(|T|) scan on the
+        // majority of arcs whose relaxation changes nothing.
+        let d_node = e.key;
+        let stats = &mut per_tree[tree].stats;
+        g.for_each_arc(e.node, &mut |to, w| {
+            stats.relaxed += 1;
+            if arena.relax(tree, e.node, to, d_node + w) {
+                stats.heap_pushes += 1;
+                record_meetings(arena, &mut fs.mu, &mut fs.meet, ns, nt, tree, to);
+            }
+        });
+
+        // Only this tree's radius moved and only its pairs' μ changed, so
+        // a closure scan over this tree's row (or column) is complete.
+        if tree < ns {
+            for j in 0..nt {
+                try_close(&mut fs, &mut live, ns, nt, tree, j);
+            }
+        } else {
+            let j = tree - ns;
+            for i in 0..ns {
+                try_close(&mut fs, &mut live, ns, nt, i, j);
+            }
+        }
+    }
+
+    // Stitch each pair's path: forward chain to the meeting node, then the
+    // backward chain out to the target (parents of a backward tree lead
+    // *to* the target; edge weights are symmetric by assumption).
+    let mut paths: Vec<Vec<Option<Path>>> = Vec::with_capacity(ns);
+    for i in 0..ns {
+        let mut row = Vec::with_capacity(nt);
+        for j in 0..nt {
+            let p = i * nt + j;
+            if fs.mu[p].is_finite() {
+                let m = NodeId(fs.meet[p]);
+                let mut nodes = vec![m];
+                arena.walk_parents(i, m, &mut nodes); // m … s_i
+                nodes.reverse(); // s_i … m
+                arena.walk_parents(ns + j, m, &mut nodes); // … t_j
+                row.push(Some(Path::new(nodes, fs.mu[p])));
+            } else {
+                row.push(None);
+            }
+        }
+        paths.push(row);
+    }
+    arena.put_frontier_scratch(fs);
+
+    let stats = per_tree.iter().map(|t| t.stats).sum();
+    MsmdResult { paths, stats, per_tree }
+}
+
+/// Finalize pair `(i, j)` if its best connection is provably shortest:
+/// once the two trees' settled radii sum to at least `μ`, no unexplored
+/// label can improve it (every future settle in either tree carries a key
+/// at least its current radius).
+#[inline]
+fn try_close(fs: &mut FrontierScratch, live: &mut usize, ns: usize, nt: usize, i: usize, j: usize) {
+    let p = i * nt + j;
+    if !fs.done[p] && fs.mu[p] <= fs.radius[i] + fs.radius[ns + j] {
+        fs.done[p] = true;
+        fs.open[i] -= 1;
+        if fs.open[i] == 0 {
+            *live -= 1;
+        }
+        fs.open[ns + j] -= 1;
+        if fs.open[ns + j] == 0 {
+            *live -= 1;
+        }
+    }
+}
+
+/// Record pair meetings through `node`, which just gained (or already
+/// carries) a label in `tree`: for every *opposite* tree that has labelled
+/// `node`, the sum of the two labels is a connecting-path length.
+#[inline]
+fn record_meetings(
+    arena: &SearchArena,
+    mu: &mut [f64],
+    meet: &mut [u32],
+    ns: usize,
+    nt: usize,
+    tree: usize,
+    node: NodeId,
+) {
+    let d_here = arena.dist_raw(tree, node);
+    if tree < ns {
+        for j in 0..nt {
+            if arena.is_labelled(ns + j, node) {
+                let through = d_here + arena.dist_raw(ns + j, node);
+                let p = tree * nt + j;
+                if through < mu[p] {
+                    mu[p] = through;
+                    meet[p] = node.0;
+                }
+            }
+        }
+    } else {
+        let j = tree - ns;
+        for i in 0..ns {
+            if arena.is_labelled(i, node) {
+                let through = d_here + arena.dist_raw(i, node);
+                let p = i * nt + j;
+                if through < mu[p] {
+                    mu[p] = through;
+                    meet[p] = node.0;
+                }
+            }
+        }
+    }
+}
+
+/// Directed fallback: forward trees only, interleaved through one heap,
+/// each retiring when its last unsettled target settles.
+fn forward_sweep<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> MsmdResult {
+    let ns = sources.len();
+    let n = g.num_nodes();
+    arena.begin(n, ns);
+
+    let mut goal = arena.take_goal_scratch();
+    goal.extend_from_slice(targets);
+    goal.sort_unstable();
+    goal.dedup();
+    let goals_per_tree = goal.len() as u32;
+
+    let mut fs = arena.take_frontier_scratch();
+    fs.open.clear();
+    fs.open.resize(ns, goals_per_tree);
+
+    let mut per_tree: Vec<TreeStats> = sources
+        .iter()
+        .map(|&s| TreeStats { root: s, side: TreeSide::Source, stats: SearchStats::one_run() })
+        .collect();
+
+    for (tree, &s) in sources.iter().enumerate() {
+        arena.label(tree, s, 0.0, None);
+        arena.push(0.0, tree, s);
+        per_tree[tree].stats.heap_pushes += 1;
+    }
+
+    let mut live = ns;
+    while live > 0 {
+        let Some(e) = arena.pop() else { break };
+        let tree = e.tree as usize;
+        per_tree[tree].stats.heap_pops += 1;
+        if fs.open[tree] == 0 || !arena.is_fresh(&e) {
+            continue;
+        }
+        arena.settle(tree, e.node);
+        per_tree[tree].stats.settled += 1;
+
+        if goal.binary_search(&e.node).is_ok() {
+            fs.open[tree] -= 1;
+            if fs.open[tree] == 0 {
+                live -= 1;
+                continue; // tree done: no need to expand this node
+            }
+        }
+
+        let d_node = e.key;
+        let stats = &mut per_tree[tree].stats;
+        g.for_each_arc(e.node, &mut |to, w| {
+            stats.relaxed += 1;
+            if arena.relax(tree, e.node, to, d_node + w) {
+                stats.heap_pushes += 1;
+            }
+        });
+    }
+    arena.put_goal_scratch(goal);
+    arena.put_frontier_scratch(fs);
+
+    let paths: Vec<Vec<Option<Path>>> =
+        (0..ns).map(|i| targets.iter().map(|&t| arena.path_to(i, t)).collect()).collect();
+    let stats = per_tree.iter().map(|t| t.stats).sum();
+    MsmdResult { paths, stats, per_tree }
+}

@@ -9,15 +9,20 @@
 //! paged store, with computation counted by [`SearchStats`] and I/O counted
 //! by the storage layer:
 //!
-//! * [`dijkstra`] — lazy-deletion Dijkstra with a reusable epoch-stamped
-//!   search space; single-destination, full-tree, and the paper's
-//!   multi-destination early-termination variant;
+//! * [`arena`] — the reusable, generation-stamped [`SearchArena`] every
+//!   Dijkstra-family algorithm runs in, so a query stream touches no
+//!   allocator;
+//! * [`dijkstra`] — lazy-deletion Dijkstra over the arena;
+//!   single-destination, full-tree, and the paper's multi-destination
+//!   early-termination variant;
 //! * [`mod@astar`] — exact and weighted A* with the Euclidean heuristic;
 //! * [`mod@alt`] — ALT (A* with landmarks + triangle inequality), an extension
 //!   whose heuristic reasons in network distance;
 //! * [`mod@bidirectional`] — bidirectional Dijkstra, the strongest single-pair
 //!   baseline;
-//! * [`multi`] — the MSMD processor with selectable sharing policies;
+//! * [`multi`] — the MSMD processor with selectable sharing policies,
+//!   including the shared-frontier interleaved sweep (`frontier.rs`
+//!   internals);
 //! * [`cost`] — the calibrated `O(‖s,t‖²)` cost model of Lemma 1.
 //!
 //! ## Quick example
@@ -36,22 +41,27 @@
 //! assert_eq!(r.num_paths(), 4);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alt;
+pub mod arena;
 pub mod astar;
 pub mod bidirectional;
 pub mod cost;
 pub mod dijkstra;
+mod frontier;
 pub mod multi;
 pub mod path;
 pub mod range;
 pub mod stats;
 
 pub use alt::{AltPreprocessing, alt};
+pub use arena::SearchArena;
 pub use astar::{astar, astar_scaled, astar_with};
 pub use bidirectional::bidirectional;
 pub use cost::{CostModel, CostObservation};
-pub use dijkstra::{Goal, Searcher, multi_destination, shortest_distance, shortest_path};
-pub use multi::{MsmdResult, SharingPolicy, msmd};
+pub use dijkstra::{Goal, Searcher, multi_destination, run_in, shortest_distance, shortest_path};
+pub use multi::{MsmdResult, SharingPolicy, TreeSide, TreeStats, msmd, msmd_in};
 pub use path::Path;
 pub use range::{range_search, ring_search};
 pub use stats::SearchStats;

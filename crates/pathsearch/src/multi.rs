@@ -5,7 +5,7 @@
 //!
 //! An obfuscated path query `Q(S, T)` stands for the set of path queries
 //! `{Q(s,t) : s ∈ S, t ∈ T}` and the server must answer *all* of them
-//! (Definition 1 — it cannot know which is real). Three evaluation policies
+//! (Definition 1 — it cannot know which is real). Four evaluation policies
 //! are provided:
 //!
 //! * [`SharingPolicy::None`] — `|S|·|T|` independent single-pair Dijkstra
@@ -16,9 +16,22 @@
 //! * [`SharingPolicy::Auto`] — per-source sharing over the smaller of the
 //!   two sides: when `|T| < |S|` and the network is symmetric (undirected),
 //!   run one multi-destination search per *target* instead and transpose,
-//!   reducing the spanning-tree count from `|S|` to `min(|S|, |T|)`.
+//!   reducing the spanning-tree count from `|S|` to `min(|S|, |T|)`;
+//! * [`SharingPolicy::SharedFrontier`] — all trees grow in **one
+//!   interleaved sweep** through one shared heap (`frontier.rs`):
+//!   on symmetric views, forward and backward trees resolve each pair by
+//!   the bidirectional meeting rule and every tree retires the moment its
+//!   last open pair resolves, settling strictly fewer nodes than
+//!   `PerSource` on planar maps; on directed views it degrades to the
+//!   interleaved forward-only sweep with `PerSource`'s per-tree cost.
+//!
+//! Every policy can run inside a caller-provided [`SearchArena`] via
+//! [`msmd_in`], so a server evaluating a query stream touches no allocator
+//! beyond the result paths themselves.
 
-use crate::dijkstra::{Goal, Searcher};
+use crate::arena::SearchArena;
+use crate::dijkstra::{Goal, run_in};
+use crate::frontier;
 use crate::path::Path;
 use crate::stats::SearchStats;
 use roadnet::{GraphView, NodeId};
@@ -34,6 +47,10 @@ pub enum SharingPolicy {
     /// itself symmetric ([`GraphView::is_symmetric`]); on directed views it
     /// safely degrades to [`SharingPolicy::PerSource`].
     Auto,
+    /// One interleaved sweep growing all trees from a shared heap with
+    /// per-pair bidirectional termination (symmetric views) or per-source
+    /// target termination (directed views).
+    SharedFrontier,
 }
 
 impl SharingPolicy {
@@ -43,8 +60,41 @@ impl SharingPolicy {
             SharingPolicy::None => "naive",
             SharingPolicy::PerSource => "per-source",
             SharingPolicy::Auto => "auto",
+            SharingPolicy::SharedFrontier => "shared-frontier",
         }
     }
+
+    /// All policies, in the order experiment tables report them.
+    pub const ALL: [SharingPolicy; 4] = [
+        SharingPolicy::None,
+        SharingPolicy::PerSource,
+        SharingPolicy::Auto,
+        SharingPolicy::SharedFrontier,
+    ];
+}
+
+/// Which endpoint set a spanning tree grew from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TreeSide {
+    /// Rooted at a source (forward tree).
+    Source,
+    /// Rooted at a target (backward tree on a symmetric view, or the
+    /// smaller side of an [`SharingPolicy::Auto`] transposition).
+    Target,
+}
+
+/// Counters for one spanning tree actually grown, attributed to its root —
+/// so transposed ([`SharingPolicy::Auto`]) and backward
+/// ([`SharingPolicy::SharedFrontier`]) trees are never mistaken for
+/// source-rooted ones.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TreeStats {
+    /// The node the tree grew from.
+    pub root: NodeId,
+    /// Whether the root is a source or a target of the original query.
+    pub side: TreeSide,
+    /// The tree's search counters.
+    pub stats: SearchStats,
 }
 
 /// Result of one MSMD evaluation: `paths[i][j]` answers `Q(sources[i],
@@ -52,12 +102,16 @@ impl SharingPolicy {
 /// counters.
 #[derive(Clone, Debug)]
 pub struct MsmdResult {
+    /// `paths[i][j]` is the shortest path for pair `(sources[i],
+    /// targets[j])`, oriented source → target; `None` when disconnected.
     pub paths: Vec<Vec<Option<Path>>>,
+    /// Aggregate counters over every tree grown.
     pub stats: SearchStats,
-    /// Counters per spanning tree actually grown (one per source for
-    /// `PerSource`, per pair for `None`, per smaller-side element for
-    /// `Auto`).
-    pub per_tree: Vec<SearchStats>,
+    /// Counters per spanning tree actually grown, attributed to each
+    /// tree's root (one per source for `PerSource`, per pair for `None`,
+    /// per smaller-side element for `Auto`, per source *and* target for
+    /// `SharedFrontier` on symmetric views).
+    pub per_tree: Vec<TreeStats>,
 }
 
 impl MsmdResult {
@@ -70,14 +124,38 @@ impl MsmdResult {
     pub fn distance(&self, i: usize, j: usize) -> Option<f64> {
         self.paths[i][j].as_ref().map(|p| p.distance())
     }
+
+    /// Number of spanning trees grown.
+    pub fn num_trees(&self) -> usize {
+        self.per_tree.len()
+    }
 }
 
-/// Evaluate the MSMD query `(sources × targets)` under `policy`.
+/// Evaluate the MSMD query `(sources × targets)` under `policy` with a
+/// throwaway [`SearchArena`]. Prefer [`msmd_in`] on a query stream.
 ///
 /// # Panics
 /// Panics if `sources` or `targets` is empty or contains an out-of-range
 /// node — an obfuscated query always carries at least the true endpoints.
 pub fn msmd<G: GraphView>(
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    policy: SharingPolicy,
+) -> MsmdResult {
+    let mut arena = SearchArena::new();
+    msmd_in(&mut arena, g, sources, targets, policy)
+}
+
+/// Evaluate the MSMD query `(sources × targets)` under `policy` inside a
+/// caller-provided arena, so repeated queries on the same graph reuse all
+/// search buffers (see [`SearchArena`]).
+///
+/// # Panics
+/// Panics if `sources` or `targets` is empty or contains an out-of-range
+/// node — an obfuscated query always carries at least the true endpoints.
+pub fn msmd_in<G: GraphView>(
+    arena: &mut SearchArena,
     g: &G,
     sources: &[NodeId],
     targets: &[NodeId],
@@ -90,54 +168,65 @@ pub fn msmd<G: GraphView>(
     }
 
     match policy {
-        SharingPolicy::None => msmd_naive(g, sources, targets),
-        SharingPolicy::PerSource => msmd_per_source(g, sources, targets),
+        SharingPolicy::None => msmd_naive(arena, g, sources, targets),
+        SharingPolicy::PerSource => msmd_per_source(arena, g, sources, targets),
         SharingPolicy::Auto => {
             if targets.len() < sources.len() && g.is_symmetric() {
-                let transposed = msmd_per_source(g, targets, sources);
+                let transposed = msmd_per_source(arena, g, targets, sources);
                 transpose(transposed, sources.len(), targets.len())
             } else {
-                msmd_per_source(g, sources, targets)
+                msmd_per_source(arena, g, sources, targets)
             }
         }
+        SharingPolicy::SharedFrontier => frontier::shared_frontier(arena, g, sources, targets),
     }
 }
 
-fn msmd_naive<G: GraphView>(g: &G, sources: &[NodeId], targets: &[NodeId]) -> MsmdResult {
-    let mut searcher = Searcher::new();
+fn msmd_naive<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> MsmdResult {
     let mut stats = SearchStats::default();
     let mut per_tree = Vec::with_capacity(sources.len() * targets.len());
     let mut paths = Vec::with_capacity(sources.len());
     for &s in sources {
         let mut row = Vec::with_capacity(targets.len());
         for &t in targets {
-            let run = searcher.run(g, s, &Goal::Single(t));
+            let run = run_in(arena, g, s, &Goal::Single(t));
             stats.merge(run);
-            per_tree.push(run);
-            row.push(searcher.path_to(t));
+            per_tree.push(TreeStats { root: s, side: TreeSide::Source, stats: run });
+            row.push(arena.path_to(0, t));
         }
         paths.push(row);
     }
     MsmdResult { paths, stats, per_tree }
 }
 
-fn msmd_per_source<G: GraphView>(g: &G, sources: &[NodeId], targets: &[NodeId]) -> MsmdResult {
-    let mut searcher = Searcher::new();
+fn msmd_per_source<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> MsmdResult {
     let mut stats = SearchStats::default();
     let mut per_tree = Vec::with_capacity(sources.len());
     let goal = Goal::Set(targets.to_vec());
     let mut paths = Vec::with_capacity(sources.len());
     for &s in sources {
-        let run = searcher.run(g, s, &goal);
+        let run = run_in(arena, g, s, &goal);
         stats.merge(run);
-        per_tree.push(run);
-        paths.push(targets.iter().map(|&t| searcher.path_to(t)).collect());
+        per_tree.push(TreeStats { root: s, side: TreeSide::Source, stats: run });
+        paths.push(targets.iter().map(|&t| arena.path_to(0, t)).collect());
     }
     MsmdResult { paths, stats, per_tree }
 }
 
 /// Transpose a result computed with sources/targets swapped (undirected
-/// networks only; paths are reversed back into `s → t` orientation).
+/// networks only; paths are reversed back into `s → t` orientation, and
+/// the per-tree attribution is flipped to [`TreeSide::Target`] — the trees
+/// really grew from the original query's *targets*).
 fn transpose(r: MsmdResult, num_sources: usize, num_targets: usize) -> MsmdResult {
     debug_assert_eq!(r.paths.len(), num_targets);
     let mut paths: Vec<Vec<Option<Path>>> =
@@ -150,7 +239,9 @@ fn transpose(r: MsmdResult, num_sources: usize, num_targets: usize) -> MsmdResul
             });
         }
     }
-    MsmdResult { paths, stats: r.stats, per_tree: r.per_tree }
+    let per_tree =
+        r.per_tree.into_iter().map(|t| TreeStats { side: TreeSide::Target, ..t }).collect();
+    MsmdResult { paths, stats: r.stats, per_tree }
 }
 
 #[cfg(test)]
@@ -174,15 +265,19 @@ mod tests {
         let g = net();
         let (s, t) = sample_sets(256);
         let naive = msmd(&g, &s, &t, SharingPolicy::None);
-        let shared = msmd(&g, &s, &t, SharingPolicy::PerSource);
-        let auto = msmd(&g, &s, &t, SharingPolicy::Auto);
-        for i in 0..s.len() {
-            for j in 0..t.len() {
-                let d0 = naive.distance(i, j).unwrap();
-                let d1 = shared.distance(i, j).unwrap();
-                let d2 = auto.distance(i, j).unwrap();
-                assert!((d0 - d1).abs() < 1e-9, "naive vs per-source at ({i},{j})");
-                assert!((d0 - d2).abs() < 1e-9, "naive vs auto at ({i},{j})");
+        for policy in [SharingPolicy::PerSource, SharingPolicy::Auto, SharingPolicy::SharedFrontier]
+        {
+            let r = msmd(&g, &s, &t, policy);
+            for i in 0..s.len() {
+                for j in 0..t.len() {
+                    let d0 = naive.distance(i, j).unwrap();
+                    let d1 = r.distance(i, j).unwrap();
+                    assert!(
+                        (d0 - d1).abs() < 1e-9,
+                        "naive vs {} at ({i},{j}): {d0} vs {d1}",
+                        policy.name()
+                    );
+                }
             }
         }
     }
@@ -191,7 +286,7 @@ mod tests {
     fn paths_are_verifiable_and_oriented() {
         let g = net();
         let (s, t) = sample_sets(256);
-        for policy in [SharingPolicy::None, SharingPolicy::PerSource, SharingPolicy::Auto] {
+        for policy in SharingPolicy::ALL {
             let r = msmd(&g, &s, &t, policy);
             for i in 0..s.len() {
                 for j in 0..t.len() {
@@ -221,6 +316,48 @@ mod tests {
     }
 
     #[test]
+    fn shared_frontier_settles_fewer_than_per_source() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        let per_source = msmd(&g, &s, &t, SharingPolicy::PerSource);
+        let frontier = msmd(&g, &s, &t, SharingPolicy::SharedFrontier);
+        assert!(
+            frontier.stats.settled < per_source.stats.settled,
+            "frontier {} vs per-source {}",
+            frontier.stats.settled,
+            per_source.stats.settled
+        );
+        // One tree per source and per target, attributed to its root.
+        assert_eq!(frontier.per_tree.len(), s.len() + t.len());
+        for (k, tree) in frontier.per_tree.iter().enumerate() {
+            if k < s.len() {
+                assert_eq!((tree.root, tree.side), (s[k], TreeSide::Source));
+            } else {
+                assert_eq!((tree.root, tree.side), (t[k - s.len()], TreeSide::Target));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_frontier_reuses_one_arena_across_queries() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        let mut arena = SearchArena::new();
+        let first = msmd_in(&mut arena, &g, &s, &t, SharingPolicy::SharedFrontier);
+        let cap = arena.capacity();
+        for _ in 0..10 {
+            let again = msmd_in(&mut arena, &g, &s, &t, SharingPolicy::SharedFrontier);
+            assert_eq!(again.stats.settled, first.stats.settled, "runs must be deterministic");
+            for i in 0..s.len() {
+                for j in 0..t.len() {
+                    assert_eq!(again.paths[i][j], first.paths[i][j]);
+                }
+            }
+        }
+        assert_eq!(arena.capacity(), cap, "steady-state queries must not regrow the arena");
+    }
+
+    #[test]
     fn auto_picks_smaller_side() {
         let g = net();
         // 5 sources, 2 targets: auto should grow only 2 trees.
@@ -228,6 +365,11 @@ mod tests {
         let targets = vec![NodeId(255), NodeId(17)];
         let auto = msmd(&g, &sources, &targets, SharingPolicy::Auto);
         assert_eq!(auto.per_tree.len(), 2);
+        // The transposed trees are attributed to the *targets* they grew
+        // from, not misread as source trees.
+        for (j, tree) in auto.per_tree.iter().enumerate() {
+            assert_eq!((tree.root, tree.side), (targets[j], TreeSide::Target));
+        }
         // And still answer all 10 pairs correctly.
         let naive = msmd(&g, &sources, &targets, SharingPolicy::None);
         for i in 0..5 {
@@ -249,8 +391,10 @@ mod tests {
             let n = g.num_nodes() as u32;
             let s = vec![NodeId(0), NodeId(n / 2)];
             let t = vec![NodeId(n - 1), NodeId(n / 3), NodeId(2 * n / 5)];
-            let r = msmd(&g, &s, &t, SharingPolicy::Auto);
-            assert_eq!(r.num_paths(), 6, "{}", class.name());
+            for policy in [SharingPolicy::Auto, SharingPolicy::SharedFrontier] {
+                let r = msmd(&g, &s, &t, policy);
+                assert_eq!(r.num_paths(), 6, "{} under {}", class.name(), policy.name());
+            }
         }
     }
 
@@ -259,11 +403,41 @@ mod tests {
         let g = net();
         let s = vec![NodeId(10), NodeId(20)];
         let t = vec![NodeId(20), NodeId(10)];
-        let r = msmd(&g, &s, &t, SharingPolicy::PerSource);
-        // Q(10,10) and Q(20,20) are trivial paths.
-        assert!(r.paths[0][1].as_ref().unwrap().is_trivial());
-        assert!(r.paths[1][0].as_ref().unwrap().is_trivial());
-        assert!(r.paths[0][0].as_ref().unwrap().distance() > 0.0);
+        for policy in [SharingPolicy::PerSource, SharingPolicy::SharedFrontier] {
+            let r = msmd(&g, &s, &t, policy);
+            // Q(10,10) and Q(20,20) are trivial paths.
+            assert!(r.paths[0][1].as_ref().unwrap().is_trivial(), "{}", policy.name());
+            assert!(r.paths[1][0].as_ref().unwrap().is_trivial(), "{}", policy.name());
+            assert!(r.paths[0][0].as_ref().unwrap().distance() > 0.0, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn shared_frontier_handles_disconnected_pairs() {
+        use roadnet::{GraphBuilder, Point};
+        // Two components: a 4-node square and an isolated edge.
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        b.add_edge(NodeId(4), NodeId(5), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let r = msmd(
+            &g,
+            &[NodeId(0), NodeId(4)],
+            &[NodeId(3), NodeId(5)],
+            SharingPolicy::SharedFrontier,
+        );
+        assert!(r.paths[0][0].is_some());
+        assert!(r.paths[0][1].is_none(), "cross-component pair must be None");
+        assert!(r.paths[1][0].is_none());
+        assert!(r.paths[1][1].is_some());
+        let naive = msmd(&g, &[NodeId(0), NodeId(4)], &[NodeId(3), NodeId(5)], SharingPolicy::None);
+        assert_eq!(r.distance(0, 0), naive.distance(0, 0));
+        assert_eq!(r.distance(1, 1), naive.distance(1, 1));
     }
 
     #[test]
@@ -278,6 +452,8 @@ mod tests {
         assert_eq!(SharingPolicy::None.name(), "naive");
         assert_eq!(SharingPolicy::PerSource.name(), "per-source");
         assert_eq!(SharingPolicy::Auto.name(), "auto");
+        assert_eq!(SharingPolicy::SharedFrontier.name(), "shared-frontier");
+        assert_eq!(SharingPolicy::ALL.len(), 4);
     }
 
     #[test]
@@ -306,7 +482,43 @@ mod tests {
         }
         // Directed distances are asymmetric: 0→2 is 2, 2→0 is 20.
         assert!((auto.distance(0, 0).unwrap() - 2.0).abs() < 1e-12);
-        // Auto fell back to one tree per source.
+        // Auto fell back to one tree per source, attributed to sources.
         assert_eq!(auto.per_tree.len(), 3);
+        for (i, tree) in auto.per_tree.iter().enumerate() {
+            assert_eq!((tree.root, tree.side), (sources[i], TreeSide::Source));
+        }
+    }
+
+    #[test]
+    fn shared_frontier_is_exact_on_directed_graphs() {
+        use roadnet::{GraphBuilder, Point};
+        // Same asymmetric diamond: the frontier engine must fall back to
+        // forward-only trees rather than assume symmetric arcs.
+        let mut b = GraphBuilder::directed();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 10.0).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 10.0).unwrap();
+        let g = b.build().unwrap();
+
+        let sources = vec![NodeId(0), NodeId(2)];
+        let targets = vec![NodeId(2), NodeId(0)];
+        let r = msmd(&g, &sources, &targets, SharingPolicy::SharedFrontier);
+        let naive = msmd(&g, &sources, &targets, SharingPolicy::None);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(r.distance(i, j), naive.distance(i, j), "({i},{j})");
+                if let Some(p) = &r.paths[i][j] {
+                    assert_eq!(p.source(), sources[i]);
+                    assert_eq!(p.destination(), targets[j]);
+                    assert!(p.verify(&g, 1e-9));
+                }
+            }
+        }
+        // Forward-only fallback: one tree per source.
+        assert_eq!(r.per_tree.len(), 2);
     }
 }

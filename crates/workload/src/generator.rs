@@ -142,6 +142,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the compat shim until it is removed
     fn batch_feeds_the_opaque_pipeline() {
         use opaque::{DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator, OpaqueSystem};
         use pathsearch::SharingPolicy;

@@ -11,6 +11,8 @@
 //! cargo run --example alice_and_bob
 //! ```
 
+#![allow(deprecated)] // narrative example still on the shim; see quickstart.rs for ServiceBuilder
+
 use opaque::{
     ClientId, ClientRequest, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator,
     OpaqueSystem, PathQuery, ProtectionSettings,

@@ -16,3 +16,10 @@ pub use opaque;
 pub use pathsearch;
 pub use roadnet;
 pub use workload;
+
+/// The README's code blocks, compiled and run as doctests so the
+/// quick-start can never rot. (Hidden from rustdoc output; `cargo test`
+/// executes it.)
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -3,6 +3,8 @@
 //! and the filter's exactness — across random workloads, strategies, and
 //! modes.
 
+#![allow(deprecated)] // invariants hold through the shim; migration tracked in ROADMAP
+
 use opaque::{
     ClientId, ClientRequest, ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode,
     Obfuscator, OpaqueSystem, PathQuery, ProtectionSettings,

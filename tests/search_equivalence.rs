@@ -128,11 +128,7 @@ proptest! {
         targets.sort_unstable();
         targets.dedup();
 
-        for policy in [
-            pathsearch::SharingPolicy::None,
-            pathsearch::SharingPolicy::PerSource,
-            pathsearch::SharingPolicy::Auto,
-        ] {
+        for policy in pathsearch::SharingPolicy::ALL {
             let r = pathsearch::msmd(&g, &sources, &targets, policy);
             for (i, &s) in sources.iter().enumerate() {
                 for (j, &t) in targets.iter().enumerate() {
@@ -143,6 +139,52 @@ proptest! {
                         (None, None) => {}
                         other => prop_assert!(false, "{}: reachability mismatch {other:?}", policy.name()),
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_frontier_matches_naive_costs_on_a_reused_arena(
+        g in arb_graph(30),
+        src_raw in proptest::collection::vec(0u32..30, 1..5),
+        dst_raw in proptest::collection::vec(0u32..30, 1..5),
+    ) {
+        // One arena lives across *all* proptest cases (each a different
+        // random graph), so this property doubles as the regression that
+        // arena reuse never leaks labels between search generations.
+        use std::cell::RefCell;
+        thread_local! {
+            static ARENA: RefCell<pathsearch::SearchArena> =
+                RefCell::new(pathsearch::SearchArena::new());
+        }
+        let n = g.num_nodes() as u32;
+        let mut sources: Vec<NodeId> = src_raw.iter().map(|&x| NodeId(x % n)).collect();
+        let mut targets: Vec<NodeId> = dst_raw.iter().map(|&x| NodeId(x % n)).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        targets.sort_unstable();
+        targets.dedup();
+
+        let naive = pathsearch::msmd(&g, &sources, &targets, pathsearch::SharingPolicy::None);
+        let frontier = ARENA.with(|a| {
+            pathsearch::msmd_in(
+                &mut a.borrow_mut(), &g, &sources, &targets,
+                pathsearch::SharingPolicy::SharedFrontier,
+            )
+        });
+        for (i, &s) in sources.iter().enumerate() {
+            for (j, &t) in targets.iter().enumerate() {
+                match (frontier.distance(i, j), naive.distance(i, j)) {
+                    (Some(a), Some(b)) => {
+                        prop_assert!((a - b).abs() < 1e-9, "({i},{j}): {a} vs {b}");
+                        let p = frontier.paths[i][j].as_ref().expect("distance implies path");
+                        prop_assert_eq!(p.source(), s);
+                        prop_assert_eq!(p.destination(), t);
+                        prop_assert!(p.verify(&g, 1e-9), "stitched path inconsistent at ({i},{j})");
+                    }
+                    (None, None) => {}
+                    other => prop_assert!(false, "reachability mismatch at ({i},{j}): {other:?}"),
                 }
             }
         }

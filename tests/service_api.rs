@@ -3,6 +3,8 @@
 //! compat-shim proof obligation (`OpaqueSystem` ≡ `OpaqueService` in
 //! strict mode on the same workload).
 
+#![allow(deprecated)] // this test IS the shim ≡ service proof obligation
+
 use opaque::{
     BatchPolicy, ClientId, ClientOutcome, ClientRequest, ClusteringConfig, DirectionsServer,
     FakeSelection, ObfuscationMode, Obfuscator, OpaqueError, PathQuery, ProtectionSettings,
