@@ -1,10 +1,14 @@
-//! Criterion timings for E10: full OPAQUE pipeline (obfuscate → serve →
-//! filter) for a 16-client batch under each obfuscation mode.
+//! Criterion timings for E10/E14: full OPAQUE pipeline (obfuscate → serve
+//! → filter) for a 16-client batch under each obfuscation mode, and the
+//! batch execution layer (sequential vs worker pool) over a shard fleet.
 
 use criterion::{Criterion, criterion_group, criterion_main};
 #[allow(deprecated)] // experiment still on the compat shim; migration tracked in ROADMAP
 use opaque::OpaqueSystem;
-use opaque::{ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator};
+use opaque::{
+    ClusteringConfig, DirectionsServer, ExecutionPolicy, FakeSelection, ObfuscationMode,
+    Obfuscator, ServiceBuilder,
+};
 use pathsearch::SharingPolicy;
 use roadnet::SpatialIndex;
 use roadnet::generators::NetworkClass;
@@ -53,9 +57,58 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// E14's timing companion: the same batch through the builder-configured
+/// service under each execution policy. Each iteration rebuilds the
+/// service (iter_batched), so obfuscator RNG state and shard arenas start
+/// identical across policies and the measured difference is purely the
+/// execution layer.
+fn bench_execution(c: &mut Criterion) {
+    const SHARDS: usize = 4;
+    let g = NetworkClass::Geometric.generate(2_500, 0xE14).expect("valid network");
+    let idx = SpatialIndex::build(&g);
+    let requests = generate_requests(
+        &g,
+        &idx,
+        &WorkloadConfig {
+            num_requests: 16,
+            queries: QueryDistribution::Uniform,
+            protection: ProtectionDistribution::Fixed { f_s: 4, f_t: 4 },
+            seed: 0xE14,
+        },
+    );
+
+    let mut group = c.benchmark_group("e14_execution");
+    for execution in [
+        ExecutionPolicy::Sequential,
+        ExecutionPolicy::WorkerPool { threads: 2 },
+        ExecutionPolicy::WorkerPool { threads: 4 },
+    ] {
+        group.bench_function(execution.name(), |b| {
+            b.iter_batched(
+                || {
+                    ServiceBuilder::new()
+                        .map(g.clone())
+                        .seed(0xE14)
+                        .shards(SHARDS)
+                        .obfuscation_mode(ObfuscationMode::Independent)
+                        .execution_policy(execution)
+                        .build()
+                        .expect("valid configuration")
+                },
+                |mut svc| {
+                    let response = svc.process_batch(black_box(&requests)).expect("ok");
+                    black_box((response.results.len(), response.report.server_settled))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    targets = bench
+    targets = bench, bench_execution
 }
 criterion_main!(benches);

@@ -28,7 +28,7 @@ fn main() {
                 }));
             }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [--json PATH] [e1 .. e12]");
+                eprintln!("usage: experiments [--quick] [--json PATH] [e1 .. e14]");
                 return;
             }
             id => ids.push(id.to_ascii_lowercase()),

@@ -20,8 +20,10 @@
 //! * [`filter`] — the candidate result path filter;
 //! * [`service`] — the deployable pipeline: pluggable
 //!   [`DirectionsBackend`]s (single server or a [`ShardedBackend`] fleet),
-//!   the [`Batcher`] admission queue, and the builder-configured
-//!   [`OpaqueService`] with typed accounting;
+//!   the [`Batcher`] admission queue, the [`ExecutionPolicy`] batch
+//!   execution layer (sequential, or a worker pool with one pinned search
+//!   arena per shard — provably answer-identical), and the
+//!   builder-configured [`OpaqueService`] with typed accounting;
 //! * [`system`] — a **deprecated** compatibility shim ([`OpaqueSystem`])
 //!   over the service, preserving the original strict batch API until the
 //!   experiments finish migrating;
@@ -106,8 +108,8 @@ pub use query::{ClientId, ClientRequest, ObfuscatedPathQuery, PathQuery, Protect
 pub use server::{DirectionsServer, ServerStats};
 pub use service::{
     BatchPolicy, BatchReport, Batcher, ClientOutcome, DefaultBackend, DirectionsBackend,
-    DrainedBatch, OpaqueService, ServiceBuilder, ServiceConfig, ServiceResponse, ShardedBackend,
-    Ticket,
+    DrainedBatch, ExecutionPolicy, OpaqueService, ServiceBuilder, ServiceConfig, ServiceResponse,
+    ShardedBackend, Ticket,
 };
 #[allow(deprecated)] // re-exported for the remaining deprecation cycle
 pub use system::OpaqueSystem;

@@ -41,6 +41,12 @@ impl ServerStats {
     /// Fold another counter set into this one — used by multi-backend
     /// deployments (e.g. [`crate::service::ShardedBackend`]) to report
     /// fleet-wide load.
+    ///
+    /// Merging is **commutative and associative** (every field is a plain
+    /// sum), which is what lets a parallel shard fleet attribute work to
+    /// whichever worker pulled it: the fleet-wide merge reads the same in
+    /// any order, so scheduling cannot leak into reports. Pinned by
+    /// `merge_is_commutative_and_associative` below.
     pub fn merge(&mut self, other: &ServerStats) {
         self.obfuscated_queries += other.obfuscated_queries;
         self.plain_queries += other.plain_queries;
@@ -48,6 +54,26 @@ impl ServerStats {
         self.paths_returned += other.paths_returned;
         self.trees_grown += other.trees_grown;
         self.search.merge(other.search);
+    }
+
+    /// The counter growth since `baseline` — the per-batch view of a
+    /// cumulative counter set. Saturating per field, so a reset between
+    /// the two snapshots yields zeros rather than wrapping.
+    pub fn delta_since(&self, baseline: &ServerStats) -> ServerStats {
+        ServerStats {
+            obfuscated_queries: self.obfuscated_queries.saturating_sub(baseline.obfuscated_queries),
+            plain_queries: self.plain_queries.saturating_sub(baseline.plain_queries),
+            pairs_evaluated: self.pairs_evaluated.saturating_sub(baseline.pairs_evaluated),
+            paths_returned: self.paths_returned.saturating_sub(baseline.paths_returned),
+            trees_grown: self.trees_grown.saturating_sub(baseline.trees_grown),
+            search: pathsearch::SearchStats {
+                settled: self.search.settled.saturating_sub(baseline.search.settled),
+                relaxed: self.search.relaxed.saturating_sub(baseline.search.relaxed),
+                heap_pushes: self.search.heap_pushes.saturating_sub(baseline.search.heap_pushes),
+                heap_pops: self.search.heap_pops.saturating_sub(baseline.search.heap_pops),
+                runs: self.search.runs.saturating_sub(baseline.search.runs),
+            },
+        }
     }
 }
 
@@ -66,7 +92,16 @@ pub struct DirectionsServer<G> {
 impl<G: GraphView> DirectionsServer<G> {
     /// A server over `graph` evaluating obfuscated queries under `policy`.
     pub fn new(graph: G, policy: SharingPolicy) -> Self {
-        DirectionsServer { graph, policy, arena: SearchArena::new(), stats: ServerStats::default() }
+        Self::with_arena(graph, policy, SearchArena::new())
+    }
+
+    /// A server around a caller-built arena — e.g.
+    /// [`SearchArena::preallocated`] to the map's node count, so a worker
+    /// thread pinned to this server never pays first-touch buffer growth
+    /// mid-stream. The arena is owned exclusively; it is never shared
+    /// between servers (or threads).
+    pub fn with_arena(graph: G, policy: SharingPolicy, arena: SearchArena) -> Self {
+        DirectionsServer { graph, policy, arena, stats: ServerStats::default() }
     }
 
     /// The sharing policy in use.
@@ -221,6 +256,79 @@ mod tests {
         let b = ServerStats { trees_grown: 5, ..ServerStats::default() };
         a.merge(&b);
         assert_eq!(a.trees_grown, 8);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        // Three real, distinct counter sets from real queries.
+        let mut servers = [server(), server(), server()];
+        servers[0].process_plain(&PathQuery::new(NodeId(0), NodeId(143)));
+        servers[1].process(&ObfuscatedPathQuery::new(vec![NodeId(0)], vec![NodeId(143)]));
+        servers[2].process(&ObfuscatedPathQuery::new(
+            vec![NodeId(0), NodeId(11)],
+            vec![NodeId(143), NodeId(70)],
+        ));
+        let stats: Vec<ServerStats> = servers.iter().map(|s| s.stats()).collect();
+
+        let fold = |order: &[usize]| {
+            let mut acc = ServerStats::default();
+            for &i in order {
+                acc.merge(&stats[i]);
+            }
+            acc
+        };
+        let reference = fold(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_eq!(fold(&order), reference, "merge order {order:?} must not matter");
+        }
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = stats[0];
+        left.merge(&stats[1]);
+        left.merge(&stats[2]);
+        let mut bc = stats[1];
+        bc.merge(&stats[2]);
+        let mut right = stats[0];
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn delta_since_reads_per_batch_growth() {
+        let mut sv = server();
+        let before = sv.stats();
+        sv.process(&ObfuscatedPathQuery::new(vec![NodeId(0)], vec![NodeId(143), NodeId(70)]));
+        let mid = sv.stats();
+        sv.process_plain(&PathQuery::new(NodeId(0), NodeId(143)));
+        let after = sv.stats();
+
+        let first = mid.delta_since(&before);
+        assert_eq!(first.obfuscated_queries, 1);
+        assert_eq!(first.plain_queries, 0);
+        assert_eq!(first.pairs_evaluated, 2);
+        let second = after.delta_since(&mid);
+        assert_eq!(second.plain_queries, 1);
+        assert_eq!(second.trees_grown, 1);
+        assert!(second.search.settled > 0);
+        // Deltas recompose to the cumulative total.
+        let mut recomposed = before;
+        recomposed.merge(&first);
+        recomposed.merge(&second);
+        assert_eq!(recomposed, after);
+        // A reset between snapshots saturates to zero instead of wrapping.
+        sv.reset_stats();
+        assert_eq!(sv.stats().delta_since(&after), ServerStats::default());
+    }
+
+    #[test]
+    fn server_accepts_a_preallocated_arena() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        let arena = SearchArena::preallocated(g.num_nodes(), 1);
+        let cap = arena.capacity();
+        let mut sv = DirectionsServer::with_arena(g, SharingPolicy::PerSource, arena);
+        let p = sv.process_plain(&PathQuery::new(NodeId(0), NodeId(143))).unwrap();
+        assert_eq!(p.destination(), NodeId(143));
+        assert_eq!(sv.arena.capacity(), cap, "plain query fits the preallocated slab");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::error::{OpaqueError, Result};
 use crate::query::{ObfuscatedPathQuery, PathQuery};
 use crate::server::{DirectionsServer, ServerStats};
+use crate::service::parallel::{self, ExecutionPolicy};
 use pathsearch::{MsmdResult, Path};
 use roadnet::GraphView;
 
@@ -24,6 +25,26 @@ pub trait DirectionsBackend {
     /// Answer an obfuscated path query: candidate paths for all
     /// `|S| × |T|` pairs (`None` entries for disconnected pairs).
     fn process(&mut self, query: &ObfuscatedPathQuery) -> MsmdResult;
+
+    /// Answer a whole batch of obfuscated queries, one result per query
+    /// **in query order**.
+    ///
+    /// The default implementation evaluates sequentially on the calling
+    /// thread regardless of `execution` — a single backend owns a single
+    /// search arena, so there is nothing to fan out over. Multi-shard
+    /// backends override this: [`ShardedBackend`] dispatches a
+    /// [`ExecutionPolicy::WorkerPool`] batch across its shard fleet with
+    /// one pinned worker per shard (see [`crate::service::parallel`]),
+    /// returning results that are — by the determinism harness's proof
+    /// obligation — identical to this sequential reference.
+    fn process_many(
+        &mut self,
+        queries: &[ObfuscatedPathQuery],
+        execution: ExecutionPolicy,
+    ) -> Vec<MsmdResult> {
+        let _ = execution;
+        queries.iter().map(|q| self.process(q)).collect()
+    }
 
     /// Answer a plain, unprotected path query.
     fn process_plain(&mut self, query: &PathQuery) -> Option<Path>;
@@ -67,6 +88,14 @@ impl<B: DirectionsBackend + ?Sized> DirectionsBackend for Box<B> {
         (**self).process(query)
     }
 
+    fn process_many(
+        &mut self,
+        queries: &[ObfuscatedPathQuery],
+        execution: ExecutionPolicy,
+    ) -> Vec<MsmdResult> {
+        (**self).process_many(queries, execution)
+    }
+
     fn process_plain(&mut self, query: &PathQuery) -> Option<Path> {
         (**self).process_plain(query)
     }
@@ -84,13 +113,20 @@ impl<B: DirectionsBackend + ?Sized> DirectionsBackend for Box<B> {
     }
 }
 
-/// Round-robin fan-out over several backends.
+/// Fan-out over several backends: round-robin one query at a time, or a
+/// pinned-worker pool for whole batches.
 ///
 /// Every shard holds (a view of) the whole map, so any shard can answer
-/// any query and the dispatcher can balance load by simple rotation —
-/// queries are independent, and each obfuscated query is already a
-/// self-contained unit of work. Cumulative [`ServerStats`] aggregate over
-/// all shards, so reports describe fleet-wide cost.
+/// any query — queries are independent, and each obfuscated query is
+/// already a self-contained unit of work. Single queries
+/// ([`DirectionsBackend::process`]) balance load by simple rotation;
+/// batches ([`DirectionsBackend::process_many`]) can instead be fanned out
+/// under [`ExecutionPolicy::WorkerPool`], where each worker thread owns
+/// one shard (and its search arena) and pulls units from a shared
+/// injector queue — which is why the fleet's backend impl requires
+/// `B: Send`. Cumulative [`ServerStats`] aggregate over all shards via
+/// the commutative [`ServerStats::merge`], so reports describe fleet-wide
+/// cost regardless of which shard served which unit.
 pub struct ShardedBackend<B> {
     shards: Vec<B>,
     cursor: usize,
@@ -126,11 +162,28 @@ impl<B: DirectionsBackend> ShardedBackend<B> {
     }
 }
 
-impl<B: DirectionsBackend> DirectionsBackend for ShardedBackend<B> {
+impl<B: DirectionsBackend + Send> DirectionsBackend for ShardedBackend<B> {
     fn process(&mut self, query: &ObfuscatedPathQuery) -> MsmdResult {
         let picked = self.cursor;
         self.cursor = (self.cursor + 1) % self.shards.len();
         self.shards[picked].process(query)
+    }
+
+    fn process_many(
+        &mut self,
+        queries: &[ObfuscatedPathQuery],
+        execution: ExecutionPolicy,
+    ) -> Vec<MsmdResult> {
+        match execution {
+            // Sequential batches go through the rotating single-query
+            // path, preserving the historical per-shard load pattern.
+            ExecutionPolicy::Sequential => {
+                queries.iter().map(|q| DirectionsBackend::process(self, q)).collect()
+            }
+            ExecutionPolicy::WorkerPool { threads } => {
+                parallel::process_on_shards(&mut self.shards, queries, threads)
+            }
+        }
     }
 
     fn process_plain(&mut self, query: &PathQuery) -> Option<Path> {
@@ -185,6 +238,30 @@ mod tests {
         assert_eq!(sharded.stats().pairs_evaluated, 6);
         sharded.reset_stats();
         assert_eq!(sharded.stats(), ServerStats::default());
+    }
+
+    #[test]
+    fn process_many_worker_pool_matches_sequential_round_robin() {
+        let qs: Vec<ObfuscatedPathQuery> = (0..10)
+            .map(|i| {
+                ObfuscatedPathQuery::new(
+                    vec![NodeId(i), NodeId(i + 20)],
+                    vec![NodeId(99 - i), NodeId(50 + i)],
+                )
+            })
+            .collect();
+        let mut seq = ShardedBackend::new(vec![server(), server(), server()]).unwrap();
+        let mut par = ShardedBackend::new(vec![server(), server(), server()]).unwrap();
+        let a = seq.process_many(&qs, ExecutionPolicy::Sequential);
+        let b = par.process_many(&qs, ExecutionPolicy::WorkerPool { threads: 3 });
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.paths, y.paths, "unit {i}");
+            assert_eq!(x.stats, y.stats, "unit {i}");
+        }
+        // Per-shard distribution may differ (rotation vs work stealing),
+        // but the fleet-merged counters are execution-invariant.
+        assert_eq!(seq.stats(), par.stats());
     }
 
     #[test]

@@ -349,4 +349,52 @@ mod tests {
         assert!(b.flush().is_none());
         assert!(!b.ready(1e9));
     }
+
+    #[test]
+    fn tick_fires_exactly_at_the_reported_deadline() {
+        // The deadline edge: `ready` compares `now >= oldest + delay`, the
+        // exact expression `next_deadline` reports — so ticking at that
+        // instant (not an epsilon later) must fire, and one representable
+        // float below it must not.
+        let mut b = Batcher::new(BatchPolicy { max_batch: 100, max_delay: 5.0 }).unwrap();
+        b.submit(request(0), 1.5).unwrap();
+        let deadline = b.next_deadline().expect("one pending request");
+        assert_eq!(deadline, 6.5);
+        let just_before = f64::from_bits(deadline.to_bits() - 1);
+        assert!(b.tick(just_before).is_none(), "one ulp early must not fire");
+        let batch = b.tick(deadline).expect("exact deadline tick fires");
+        assert_eq!(batch.requests.len(), 1);
+        assert_eq!(b.next_deadline(), None, "drained queue reports no deadline");
+    }
+
+    #[test]
+    fn tick_on_empty_never_fires() {
+        // The empty-flush branch: no pending requests means no trigger at
+        // any clock, before or after activity.
+        let mut b = Batcher::new(BatchPolicy { max_batch: 1, max_delay: 0.0 }).unwrap();
+        assert!(b.tick(0.0).is_none());
+        assert!(b.tick(f64::MAX).is_none());
+        b.submit(request(0), 0.0).unwrap();
+        b.tick(0.0).expect("size trigger");
+        // Drained back to empty: still no spurious trigger (max_delay = 0
+        // would fire instantly if the stale oldest-arrival survived).
+        assert!(b.tick(f64::MAX).is_none());
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn submit_after_flush_restarts_the_deadline_window() {
+        let mut b = Batcher::new(BatchPolicy { max_batch: 100, max_delay: 5.0 }).unwrap();
+        b.submit(request(0), 0.0).unwrap();
+        b.flush().expect("forced drain");
+        // The drain must reset the oldest-arrival floor: a request
+        // submitted at t=100 keys its deadline on its own arrival, not on
+        // the long-gone t=0 one (which would make it instantly overdue).
+        let t = b.submit(request(1), 100.0).unwrap();
+        assert_eq!(b.next_deadline(), Some(105.0));
+        assert!(b.tick(104.9).is_none(), "not due before its own window");
+        let batch = b.tick(105.0).expect("deadline keyed on the new arrival");
+        assert_eq!(batch.tickets, vec![t]);
+        assert!((batch.mean_wait(105.0) - 5.0).abs() < 1e-12);
+    }
 }

@@ -14,8 +14,9 @@ use crate::server::DirectionsServer;
 use crate::service::OpaqueService;
 use crate::service::backend::{DirectionsBackend, ShardedBackend};
 use crate::service::batcher::{BatchPolicy, Batcher};
-use pathsearch::SharingPolicy;
-use roadnet::RoadNetwork;
+use crate::service::parallel::ExecutionPolicy;
+use pathsearch::{SearchArena, SharingPolicy};
+use roadnet::{GraphView, RoadNetwork};
 use std::sync::Arc;
 
 /// The backend type [`ServiceBuilder::build`] assembles: a round-robin
@@ -47,6 +48,9 @@ pub struct ServiceConfig {
     pub consistent_fakes: bool,
     /// Number of backend shards (round-robin).
     pub shards: usize,
+    /// How each batch's obfuscated queries are executed against the shard
+    /// fleet — sequentially or across a pinned-worker pool.
+    pub execution: ExecutionPolicy,
     /// Admission-queue flush policy.
     pub batch: BatchPolicy,
 }
@@ -61,6 +65,7 @@ impl Default for ServiceConfig {
             verify_results: false,
             consistent_fakes: false,
             shards: 1,
+            execution: ExecutionPolicy::Sequential,
             batch: BatchPolicy::default(),
         }
     }
@@ -72,7 +77,30 @@ impl ServiceConfig {
         if self.shards == 0 {
             return Err(OpaqueError::InvalidConfig { reason: "shards must be >= 1".to_string() });
         }
+        self.execution.validate()?;
         self.batch.validate()
+    }
+
+    /// The cross-field check [`ServiceBuilder::build`] applies on top of
+    /// [`ServiceConfig::validate`]: a [`ExecutionPolicy::WorkerPool`] must
+    /// not ask for more threads than the default backend has shards — each
+    /// worker is pinned to a shard (its search arena), so surplus threads
+    /// could never run and the configuration is almost certainly a
+    /// mistake. Not part of `validate` because
+    /// [`ServiceBuilder::build_with_backend`] ignores
+    /// [`ServiceConfig::shards`] and takes the caller's fleet as given.
+    fn validate_execution_fits_fleet(&self) -> Result<()> {
+        if let ExecutionPolicy::WorkerPool { threads } = self.execution {
+            if threads > self.shards {
+                return Err(OpaqueError::InvalidConfig {
+                    reason: format!(
+                        "worker pool needs one shard per thread: {threads} threads > {} shards",
+                        self.shards
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -155,6 +183,14 @@ impl ServiceBuilder {
         self
     }
 
+    /// Execution policy for each batch's obfuscated queries. A
+    /// [`ExecutionPolicy::WorkerPool`] requires at least as many shards
+    /// as threads (checked in [`ServiceBuilder::build`]).
+    pub fn execution_policy(mut self, execution: ExecutionPolicy) -> Self {
+        self.config.execution = execution;
+        self
+    }
+
     /// Admission-queue flush policy.
     pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
         self.config.batch = policy;
@@ -169,12 +205,24 @@ impl ServiceBuilder {
     /// weight vector whose length differs from the map's node count, or an
     /// unsatisfiable batch policy.
     pub fn build(self) -> Result<OpaqueService<DefaultBackend>> {
+        self.config.validate_execution_fits_fleet()?;
         let (config, map, weights) = self.into_validated_parts()?;
         // One shared map for the whole shard fleet; the obfuscator keeps
-        // its own copy (it is a separate trust domain in Figure 5).
+        // its own copy (it is a separate trust domain in Figure 5). Each
+        // shard gets its own arena with its single-tree slab (the plain
+        // query / PerSource footprint) pre-grown to the map; multi-tree
+        // sweeps (SharedFrontier, wide units) still grow their extra
+        // trees on first touch and reuse them from then on.
         let shared = Arc::new(map.clone());
+        let nodes = shared.num_nodes();
         let servers: Vec<DirectionsServer<Arc<RoadNetwork>>> = (0..config.shards)
-            .map(|_| DirectionsServer::new(Arc::clone(&shared), config.sharing))
+            .map(|_| {
+                DirectionsServer::with_arena(
+                    Arc::clone(&shared),
+                    config.sharing,
+                    SearchArena::preallocated(nodes, 1),
+                )
+            })
             .collect();
         let backend = ShardedBackend::new(servers)?;
         Self::assemble(config, map, weights, backend)
@@ -226,6 +274,7 @@ impl ServiceBuilder {
             batcher: Batcher::new(config.batch)?,
             verify_results: config.verify_results,
             strict_delivery: false,
+            execution: config.execution,
         })
     }
 }
@@ -260,6 +309,39 @@ mod tests {
             .unwrap_err();
         assert!(
             matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("max_batch"))
+        );
+    }
+
+    #[test]
+    fn build_rejects_worker_pools_larger_than_the_fleet() {
+        let err = ServiceBuilder::new()
+            .map(map())
+            .shards(2)
+            .execution_policy(ExecutionPolicy::WorkerPool { threads: 4 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("shard per thread")),
+            "{err}"
+        );
+        // Zero-thread pools are rejected by config validation itself.
+        let err = ServiceBuilder::new()
+            .map(map())
+            .execution_policy(ExecutionPolicy::WorkerPool { threads: 0 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("thread")),
+            "{err}"
+        );
+        // A matching fleet builds fine.
+        assert!(
+            ServiceBuilder::new()
+                .map(map())
+                .shards(4)
+                .execution_policy(ExecutionPolicy::WorkerPool { threads: 4 })
+                .build()
+                .is_ok()
         );
     }
 
@@ -303,11 +385,13 @@ mod tests {
             shards: 4,
             sharing: SharingPolicy::SharedFrontier,
             mode: ObfuscationMode::SharedGlobal,
+            execution: ExecutionPolicy::WorkerPool { threads: 4 },
             batch: BatchPolicy { max_batch: 8, max_delay: 2.5 },
             ..Default::default()
         };
         let json = serde_json::to_string(&config).unwrap();
         assert!(json.contains("SharedFrontier"), "{json}");
+        assert!(json.contains("WorkerPool"), "{json}");
         let back: ServiceConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, config);
     }

@@ -11,6 +11,11 @@
 //!   round-robin [`ShardedBackend`] fleet;
 //! * [`Batcher`] — the admission path: streamed requests are ticketed and
 //!   drained into batches on size or deadline triggers;
+//! * [`parallel`] / [`ExecutionPolicy`] — the execution layer: obfuscated
+//!   queries of a batch run sequentially or across a worker pool with one
+//!   pinned search arena per worker, with the guarantee (proven by the
+//!   equivalence proptest) that parallelism never changes a single answer
+//!   or report byte;
 //! * [`OpaqueService`] — the assembled deployment, built from a typed
 //!   [`ServiceBuilder`] / [`ServiceConfig`];
 //! * [`BatchReport`] / [`ClientOutcome`] — typed accounting: serde-tagged
@@ -24,18 +29,20 @@
 mod backend;
 mod batcher;
 mod builder;
+pub mod parallel;
 mod report;
 
 pub use backend::{DirectionsBackend, ShardedBackend};
 pub use batcher::{BatchPolicy, Batcher, DrainedBatch, Ticket};
 pub use builder::{DefaultBackend, ServiceBuilder, ServiceConfig};
+pub use parallel::ExecutionPolicy;
 pub use report::{BatchReport, ClientOutcome};
 
 use crate::error::{OpaqueError, Result};
 use crate::filter::{ClientResult, extract_path};
 use crate::obfuscator::{ObfuscationMode, ObfuscationUnit, Obfuscator, cluster_requests};
 use crate::protocol::{CandidateResultsMsg, ObfuscatedQueryMsg, RequestMsg, ResultMsg};
-use crate::query::{ClientId, ClientRequest};
+use crate::query::{ClientId, ClientRequest, ObfuscatedPathQuery};
 use roadnet::NodeId;
 use std::collections::{HashMap, HashSet};
 
@@ -83,6 +90,11 @@ pub struct OpaqueService<B> {
     /// [`ClientOutcome::Rejected`] outcomes and the rest of the batch is
     /// still served.
     pub strict_delivery: bool,
+    /// How each batch's obfuscated queries are executed against the
+    /// backend: sequentially (the default) or fanned out across a worker
+    /// pool of pinned shards — with byte-identical results and reports
+    /// either way (the determinism harness's guarantee).
+    pub execution: ExecutionPolicy,
 }
 
 impl<B> std::fmt::Debug for OpaqueService<B> {
@@ -92,6 +104,7 @@ impl<B> std::fmt::Debug for OpaqueService<B> {
             .field("pending", &self.batcher.len())
             .field("verify_results", &self.verify_results)
             .field("strict_delivery", &self.strict_delivery)
+            .field("execution", &self.execution)
             .finish_non_exhaustive()
     }
 }
@@ -107,6 +120,7 @@ impl<B: DirectionsBackend> OpaqueService<B> {
             batcher: Batcher::new(BatchPolicy::default()).expect("default policy is valid"),
             verify_results: false,
             strict_delivery: false,
+            execution: ExecutionPolicy::Sequential,
         }
     }
 
@@ -276,7 +290,25 @@ impl<B: DirectionsBackend> OpaqueService<B> {
             let units = self.obfuscate_admitted(&admitted, mode, &mut outcomes, &outcome_slot)?;
             report.num_units = units.len();
 
-            for (query_id, unit) in units.iter().enumerate() {
+            // Execution: every unit is answered before any accounting, so
+            // the backend may evaluate them in any order (worker pool) or
+            // in unit order (sequential) — the accounting loop below
+            // always runs in unit order either way, which is what makes
+            // the two execution policies byte-identical in every report.
+            let unit_queries: Vec<ObfuscatedPathQuery> =
+                units.iter().map(|u| u.query.clone()).collect();
+            let answers = self.backend.process_many(&unit_queries, self.execution);
+            // Hard contract, not a debug check: a backend returning the
+            // wrong count would otherwise be silently truncated by the
+            // zip below, leaving clients with placeholder Delivered
+            // outcomes and no result.
+            assert_eq!(
+                answers.len(),
+                units.len(),
+                "backend process_many must answer every query exactly once"
+            );
+
+            for ((query_id, unit), candidates) in units.iter().enumerate().zip(&answers) {
                 report.total_pairs += unit.query.num_pairs() as u64;
                 report.fakes_added += count_fakes(unit);
                 report.traffic.record_query(&ObfuscatedQueryMsg {
@@ -284,7 +316,6 @@ impl<B: DirectionsBackend> OpaqueService<B> {
                     query: unit.query.clone(),
                 });
 
-                let candidates = self.backend.process(&unit.query);
                 report.candidate_paths += candidates.num_paths() as u64;
                 report.candidate_path_nodes += candidates
                     .paths
@@ -295,7 +326,7 @@ impl<B: DirectionsBackend> OpaqueService<B> {
                     .sum::<u64>();
                 report.traffic.record_candidates(&CandidateResultsMsg::from_result(
                     query_id as u64,
-                    &candidates,
+                    candidates,
                 ));
 
                 let verify_on = self.verify_results.then(|| self.obfuscator.map());
@@ -305,7 +336,7 @@ impl<B: DirectionsBackend> OpaqueService<B> {
                     report
                         .per_client_breach
                         .push((request.client, unit.query.breach_probability()));
-                    match extract_path(unit, request, &candidates, verify_on)? {
+                    match extract_path(unit, request, candidates, verify_on)? {
                         Some(path) => {
                             report.delivered_path_nodes += path.nodes().len() as u64;
                             report.traffic.record_result(&ResultMsg {
@@ -328,9 +359,15 @@ impl<B: DirectionsBackend> OpaqueService<B> {
                 }
             }
 
+            // Per-batch server cost: the fleet counters are cumulative
+            // (shards are never reset between batches), so the report
+            // carries the delta across this batch only — pinned by the
+            // per-batch accounting tests against both execution policies.
             let after = self.backend.stats();
-            report.server_settled = after.search.settled - before.search.settled;
-            report.server_relaxed = after.search.relaxed - before.search.relaxed;
+            let delta = after.delta_since(&before);
+            report.server_settled = delta.search.settled;
+            report.server_relaxed = delta.search.relaxed;
+            report.server_trees_grown = delta.trees_grown;
         }
 
         // Restore request order for the caller. `outcome_slot` maps each
@@ -829,6 +866,84 @@ mod tests {
         svc.set_batch_policy(BatchPolicy { max_batch: 5, max_delay: 1.0 }).unwrap();
         let t1 = svc.submit(request(1, 16, 240, 2), 2.0).unwrap();
         assert_ne!(t0, t1, "ticket reused across policy change");
+    }
+
+    fn sharded_service(
+        execution: ExecutionPolicy,
+        mode: ObfuscationMode,
+    ) -> OpaqueService<ShardedBackend<DirectionsServer<roadnet::RoadNetwork>>> {
+        let g = map();
+        let servers: Vec<_> =
+            (0..4).map(|_| DirectionsServer::new(g.clone(), SharingPolicy::PerSource)).collect();
+        let mut svc = OpaqueService::from_parts(
+            Obfuscator::new(g, FakeSelection::default_ring(), 23),
+            ShardedBackend::new(servers).unwrap(),
+            mode,
+        );
+        svc.execution = execution;
+        svc.verify_results = true;
+        svc
+    }
+
+    #[test]
+    fn worker_pool_batches_are_byte_identical_to_sequential() {
+        for mode in [
+            ObfuscationMode::Independent,
+            ObfuscationMode::SharedGlobal,
+            ObfuscationMode::SharedClustered(ClusteringConfig::default()),
+        ] {
+            let mut seq = sharded_service(ExecutionPolicy::Sequential, mode);
+            let mut par = sharded_service(ExecutionPolicy::WorkerPool { threads: 4 }, mode);
+            let reqs: Vec<ClientRequest> =
+                (0..8).map(|i| request(i, i * 13 % 256, (i * 37 + 200) % 256, 3)).collect();
+            let a = seq.process_batch(&reqs).unwrap();
+            let b = par.process_batch(&reqs).unwrap();
+            assert_eq!(a.outcomes, b.outcomes, "{mode:?}");
+            assert_eq!(a.results.len(), b.results.len(), "{mode:?}");
+            for (x, y) in a.results.iter().zip(&b.results) {
+                assert_eq!(x.client, y.client, "{mode:?}");
+                assert_eq!(x.path, y.path, "{mode:?}");
+            }
+            // The headline guarantee, at report granularity: serialized
+            // reports are byte-identical.
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap(),
+                "{mode:?}"
+            );
+            // And the fleet-merged cumulative counters agree too.
+            assert_eq!(seq.backend().stats(), par.backend().stats(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn report_server_counters_are_per_batch_not_cumulative() {
+        // Regression pin: shard counters accumulate across batches and are
+        // never reset, so reports must carry per-batch deltas — under both
+        // execution policies.
+        for execution in [ExecutionPolicy::Sequential, ExecutionPolicy::WorkerPool { threads: 4 }] {
+            let mut svc = sharded_service(execution, ObfuscationMode::Independent);
+            // Protection size 1 = no fakes: both batches then carry
+            // identical queries (fake selection would advance the RNG and
+            // change the second batch's work), so equal per-batch deltas
+            // are exactly what distinguishes per-batch from cumulative.
+            let reqs: Vec<ClientRequest> =
+                (0..6).map(|i| request(i, i * 11 % 256, (i * 29 + 128) % 256, 1)).collect();
+            let first = svc.process_batch(&reqs).unwrap().report;
+            let second = svc.process_batch(&reqs).unwrap().report;
+            assert!(first.server_settled > 0 && first.server_trees_grown > 0);
+            // Identical work in both batches: a cumulative reading would
+            // make the second report roughly double the first.
+            assert_eq!(second.server_settled, first.server_settled, "{execution:?}");
+            assert_eq!(second.server_relaxed, first.server_relaxed, "{execution:?}");
+            assert_eq!(second.server_trees_grown, first.server_trees_grown, "{execution:?}");
+            // The per-batch deltas recompose exactly to the cumulative
+            // fleet counters.
+            let total = svc.backend().stats();
+            assert_eq!(total.search.settled, first.server_settled + second.server_settled);
+            assert_eq!(total.search.relaxed, first.server_relaxed + second.server_relaxed);
+            assert_eq!(total.trees_grown, first.server_trees_grown + second.server_trees_grown);
+        }
     }
 
     #[test]

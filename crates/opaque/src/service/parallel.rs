@@ -1,0 +1,238 @@
+//! Worker-pool execution of obfuscated-query workloads.
+//!
+//! Every obfuscated query `Q(S,T)` of a batch is a self-contained unit of
+//! work — the server answers each independently (Definition 1), so the
+//! server-side cost the paper analyzes in §V is embarrassingly parallel
+//! across queries. This module is the execution layer that exploits that:
+//! a [`std::thread`] worker pool where each worker is **pinned to one
+//! backend shard** (and therefore to that shard's
+//! [`pathsearch::SearchArena`] — arenas are `Send` but never shared), and
+//! workers pull unit indices from a shared injector queue until the batch
+//! is drained.
+//!
+//! Determinism is the design constraint, not an afterthought:
+//!
+//! * each MSMD evaluation is a pure function of `(graph, query, policy)` —
+//!   the arena only caches buffers, it never changes answers;
+//! * results are written back into their unit's slot, so the service's
+//!   accounting loop always runs in unit order, independent of which
+//!   worker finished first;
+//! * per-shard [`crate::server::ServerStats`] land on whichever shard
+//!   served the unit, but batch reports only ever read the *fleet-merged*
+//!   counters, and [`crate::server::ServerStats::merge`] is commutative —
+//!   so scheduling order cannot leak into any report.
+//!
+//! The equivalence proptest (`tests/parallel_equivalence.rs`) holds the
+//! whole layer to byte-identical `BatchReport`s against sequential
+//! execution.
+
+use crate::error::{OpaqueError, Result};
+use crate::query::ObfuscatedPathQuery;
+use crate::service::backend::DirectionsBackend;
+use pathsearch::MsmdResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How a service executes the obfuscated queries of one batch against its
+/// backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecutionPolicy {
+    /// One thread, unit by unit, in unit order — the historical behavior
+    /// and the reference the determinism harness compares against.
+    #[default]
+    Sequential,
+    /// A worker pool of `threads` OS threads. Each worker owns one backend
+    /// shard (every shard holds a view of the whole map, so any shard can
+    /// answer any unit) and pulls work from a shared injector queue, so a
+    /// straggler unit never idles the rest of the pool.
+    WorkerPool {
+        /// Number of worker threads; capped at the backend's shard count
+        /// (a worker without a shard of its own would have no arena).
+        threads: usize,
+    },
+}
+
+impl ExecutionPolicy {
+    /// Check the policy is satisfiable.
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] for a zero-thread pool.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            ExecutionPolicy::Sequential => Ok(()),
+            ExecutionPolicy::WorkerPool { threads: 0 } => Err(OpaqueError::InvalidConfig {
+                reason: "execution policy: a worker pool needs at least one thread".to_string(),
+            }),
+            ExecutionPolicy::WorkerPool { .. } => Ok(()),
+        }
+    }
+
+    /// Worker threads this policy asks for (1 for sequential execution).
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecutionPolicy::Sequential => 1,
+            ExecutionPolicy::WorkerPool { threads } => (*threads).max(1),
+        }
+    }
+
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            ExecutionPolicy::Sequential => "sequential".to_string(),
+            ExecutionPolicy::WorkerPool { threads } => format!("pool({threads})"),
+        }
+    }
+}
+
+/// Fan `queries` out over `shards` with a pool of at most `threads`
+/// workers; returns one result per query, **in query order**.
+///
+/// Worker `w` owns `shards[w]` exclusively for the whole batch (shards
+/// beyond the worker count sit this batch out). The injector is a single
+/// atomic cursor over the query slice: claiming a unit is one
+/// `fetch_add`, so work stays balanced even when unit costs are skewed —
+/// exactly the situation obfuscated batches produce, where one large
+/// shared query can dwarf the independent ones.
+///
+/// A worker panic (a poisoned graph view, an out-of-range query) is
+/// re-raised on the calling thread once the scope joins, so errors are
+/// never silently swallowed into a missing result.
+pub(crate) fn process_on_shards<B: DirectionsBackend + Send>(
+    shards: &mut [B],
+    queries: &[ObfuscatedPathQuery],
+    threads: usize,
+) -> Vec<MsmdResult> {
+    debug_assert!(!shards.is_empty(), "backend fleets are non-empty by construction");
+    let workers = threads.clamp(1, shards.len().max(1)).min(queries.len().max(1));
+    if workers <= 1 {
+        // One worker is a plain sequential sweep on the first shard; do it
+        // on the calling thread and skip the spawn/join overhead.
+        let shard = &mut shards[0];
+        return queries.iter().map(|q| shard.process(q)).collect();
+    }
+
+    let injector = AtomicUsize::new(0);
+    let mut slots: Vec<Option<MsmdResult>> = (0..queries.len()).map(|_| None).collect();
+    let collected: Vec<Vec<(usize, MsmdResult)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .take(workers)
+            .map(|shard| {
+                let injector = &injector;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = injector.fetch_add(1, Ordering::Relaxed);
+                        let Some(query) = queries.get(i) else { break };
+                        local.push((i, shard.process(query)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    });
+
+    for (i, result) in collected.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "injector handed unit {i} out twice");
+        slots[i] = Some(result);
+    }
+    slots.into_iter().map(|r| r.expect("injector covers every unit exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::DirectionsServer;
+    use pathsearch::SharingPolicy;
+    use roadnet::NodeId;
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn fleet(n: usize) -> Vec<DirectionsServer<roadnet::RoadNetwork>> {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 4, ..Default::default() })
+            .unwrap();
+        (0..n).map(|_| DirectionsServer::new(g.clone(), SharingPolicy::PerSource)).collect()
+    }
+
+    fn queries(n: u32) -> Vec<ObfuscatedPathQuery> {
+        (0..n)
+            .map(|i| {
+                ObfuscatedPathQuery::new(
+                    vec![NodeId(i % 144), NodeId((i * 7 + 3) % 144)],
+                    vec![NodeId(143 - i % 144), NodeId((i * 11 + 40) % 144)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_results_land_in_query_order_and_match_sequential() {
+        let qs = queries(17);
+        let mut seq_fleet = fleet(1);
+        let sequential: Vec<MsmdResult> = qs.iter().map(|q| seq_fleet[0].process(q)).collect();
+
+        for threads in [2usize, 3, 4] {
+            let mut shards = fleet(threads);
+            let pooled = process_on_shards(&mut shards, &qs, threads);
+            assert_eq!(pooled.len(), qs.len());
+            for (i, (p, s)) in pooled.iter().zip(&sequential).enumerate() {
+                assert_eq!(p.num_paths(), s.num_paths(), "unit {i} at {threads} threads");
+                for r in 0..p.paths.len() {
+                    for c in 0..p.paths[r].len() {
+                        assert_eq!(p.paths[r][c], s.paths[r][c], "unit {i} pair ({r},{c})");
+                    }
+                }
+                assert_eq!(p.stats, s.stats, "unit {i}: per-unit counters are assignment-free");
+            }
+            // Fleet-merged load equals the sequential single server's load:
+            // assignment moves counters between shards, never changes sums.
+            let merged = shards.iter().fold(crate::server::ServerStats::default(), |mut acc, s| {
+                acc.merge(&s.stats());
+                acc
+            });
+            assert_eq!(merged, seq_fleet[0].stats(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn pool_clamps_workers_to_shards_and_queries() {
+        let qs = queries(3);
+        // More threads than shards: capped at the fleet size.
+        let mut shards = fleet(2);
+        let r = process_on_shards(&mut shards, &qs, 16);
+        assert_eq!(r.len(), 3);
+        // More threads than queries: never spawns idle workers.
+        let mut shards = fleet(8);
+        let r = process_on_shards(&mut shards, &qs, 8);
+        assert_eq!(r.len(), 3);
+        // Zero queries is a no-op.
+        let r = process_on_shards(&mut shards, &[], 8);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn policy_validation_and_names() {
+        assert!(ExecutionPolicy::Sequential.validate().is_ok());
+        assert!(ExecutionPolicy::WorkerPool { threads: 4 }.validate().is_ok());
+        assert!(matches!(
+            ExecutionPolicy::WorkerPool { threads: 0 }.validate(),
+            Err(OpaqueError::InvalidConfig { .. })
+        ));
+        assert_eq!(ExecutionPolicy::Sequential.name(), "sequential");
+        assert_eq!(ExecutionPolicy::WorkerPool { threads: 4 }.name(), "pool(4)");
+        assert_eq!(ExecutionPolicy::Sequential.threads(), 1);
+        assert_eq!(ExecutionPolicy::WorkerPool { threads: 4 }.threads(), 4);
+        assert_eq!(ExecutionPolicy::default(), ExecutionPolicy::Sequential);
+    }
+
+    #[test]
+    fn policy_round_trips_through_serde() {
+        for policy in [ExecutionPolicy::Sequential, ExecutionPolicy::WorkerPool { threads: 6 }] {
+            let json = serde_json::to_string(&policy).unwrap();
+            let back: ExecutionPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, policy);
+        }
+    }
+}

@@ -58,6 +58,12 @@ pub struct BatchReport {
     pub server_settled: u64,
     /// Arc relaxations performed by the backend for this batch.
     pub server_relaxed: u64,
+    /// Spanning trees the backend grew for this batch. Like the other
+    /// `server_*` fields this is a per-batch delta of the backend's
+    /// cumulative fleet counters ([`crate::ServerStats::delta_since`]),
+    /// *not* a cumulative reading — the per-batch accounting tests pin
+    /// this distinction.
+    pub server_trees_grown: u64,
     /// Per-client breach probability (Definition 2 applied to the unit the
     /// client was embedded in). Clients rejected at admission do not
     /// appear — they were never embedded in a query.

@@ -110,11 +110,38 @@ pub struct SearchArena {
     trees: usize,
 }
 
+// One arena per worker thread is the parallel service layer's isolation
+// unit: workers never share label storage, only immutable graph views.
+// Guard that contract at compile time — an accidentally !Send field (an Rc
+// cache, say) would silently break the worker pool.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SearchArena>();
+};
+
 impl SearchArena {
     /// An empty arena; buffers grow to the largest `trees × nodes` search
     /// they ever host and are reused from then on.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An arena whose label slabs are already grown to host `trees × nodes`
+    /// searches, so the first query pays no first-touch buffer growth.
+    ///
+    /// This is the *arena-per-worker handle*: a worker thread pinned to one
+    /// arena (e.g. one shard of a parallel backend fleet) constructs it
+    /// up front and then serves its whole query stream allocation-free.
+    /// Larger searches still grow the arena on demand, exactly as with
+    /// [`SearchArena::new`].
+    pub fn preallocated(nodes: usize, trees: usize) -> Self {
+        let mut arena = Self::default();
+        let slots = nodes.checked_mul(trees).expect("search space fits usize");
+        arena.dist.resize(slots, f64::INFINITY);
+        arena.parent.resize(slots, NIL);
+        arena.labelled.resize(slots, 0);
+        arena.settled.resize(slots, 0);
+        arena
     }
 
     /// Start a new search generation over `trees` trees of `nodes` nodes
@@ -407,6 +434,23 @@ mod tests {
         let p = a.path_to(0, NodeId(0)).unwrap();
         assert!(p.verify(&g, 1e-9));
         assert_eq!(p.source(), NodeId(4));
+    }
+
+    #[test]
+    fn preallocated_arena_starts_at_capacity_and_never_regrows() {
+        let g = grid_network(&GridConfig { width: 10, height: 10, seed: 1, ..Default::default() })
+            .unwrap();
+        let mut a = SearchArena::preallocated(100, 2);
+        let cap = a.capacity();
+        assert_eq!(cap, 200, "slabs sized up front");
+        run_in(&mut a, &g, NodeId(0), &Goal::AllNodes);
+        assert!(a.distance(0, NodeId(99)).is_some());
+        assert_eq!(a.capacity(), cap, "first query must not grow a preallocated arena");
+        // And it behaves exactly like a grown arena on reuse.
+        for _ in 0..10 {
+            run_in(&mut a, &g, NodeId(37), &Goal::Single(NodeId(99)));
+        }
+        assert_eq!(a.capacity(), cap);
     }
 
     #[test]

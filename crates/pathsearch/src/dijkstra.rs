@@ -99,11 +99,19 @@ pub fn run_in<G: GraphView>(
 ///
 /// After [`Searcher::run`] the labels of the *last* search remain readable
 /// through [`Searcher::distance`] / [`Searcher::path_to`] until the next
-/// search starts.
+/// search starts. Like the arena it wraps, a `Searcher` is `Send`: worker
+/// threads of a parallel backend each own one and move it freely.
 #[derive(Debug, Default)]
 pub struct Searcher {
     arena: SearchArena,
 }
+
+// Kept in lockstep with the arena's own Send guard: the parallel service
+// layer pins one searcher/arena per worker thread.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Searcher>();
+};
 
 impl Searcher {
     /// Create an empty searcher; buffers grow on first use.

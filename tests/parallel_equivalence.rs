@@ -1,0 +1,202 @@
+//! The parallel execution layer's headline guarantee, as a property:
+//! for random maps, random batches, random obfuscator seeds, and any
+//! worker-pool width, `ExecutionPolicy::WorkerPool` produces
+//! **byte-identical** batch output to `ExecutionPolicy::Sequential` —
+//! the same delivered paths, the same per-client outcomes, the same
+//! serialized `BatchReport`, and the same fleet-merged server counters.
+//!
+//! Parallelism here may only move work between shards; it must never
+//! change a single answer or report byte. Each obfuscated query is a pure
+//! function of `(map, query, sharing policy)` and the service accounts
+//! units in unit order regardless of which worker answered them, so any
+//! divergence this test could catch would be a real scheduling leak
+//! (results landing in the wrong slot, stats double-counted or lost,
+//! order-dependent accounting).
+
+use opaque::{
+    ClientId, ClientRequest, ClusteringConfig, DirectionsBackend, ExecutionPolicy, ObfuscationMode,
+    PathQuery, ProtectionSettings, ServiceBuilder, ServiceResponse,
+};
+use proptest::prelude::*;
+use roadnet::{GraphBuilder, NodeId, Point, RoadNetwork};
+
+/// Random connected road map: a random spanning tree plus extra random
+/// edges (parallel roads allowed), positive weights.
+fn arb_map(max_nodes: usize) -> impl Strategy<Value = RoadNetwork> {
+    (4..max_nodes)
+        .prop_flat_map(|n| {
+            let coords = proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n);
+            let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+            let extra = proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..3.0), 0..n);
+            (coords, parents, extra)
+        })
+        .prop_map(|(coords, parents, extra)| {
+            let mut b = GraphBuilder::new();
+            for (x, y) in &coords {
+                b.add_node(Point::new(*x, *y)).expect("finite coords");
+            }
+            let n = coords.len();
+            let euclid = |a: usize, c: usize| {
+                Point::new(coords[a].0, coords[a].1).distance(Point::new(coords[c].0, coords[c].1))
+            };
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = (*p as usize) % child;
+                let w = euclid(parent, child).max(f64::EPSILON) * 1.1;
+                b.add_edge(NodeId::from_index(parent), NodeId::from_index(child), w)
+                    .expect("valid tree edge");
+            }
+            for (a, c, factor) in extra {
+                let (a, c) = (a as usize % n, c as usize % n);
+                if a != c {
+                    let w = euclid(a, c).max(f64::EPSILON) * factor;
+                    b.add_edge(NodeId::from_index(a), NodeId::from_index(c), w)
+                        .expect("valid extra edge");
+                }
+            }
+            b.build().expect("non-empty graph")
+        })
+}
+
+/// A batch of requests with unique client ids; endpoints and protection
+/// demands are arbitrary (including infeasible ones — rejections must be
+/// identical across execution policies too).
+fn arb_batch(max_requests: usize) -> impl Strategy<Value = Vec<(u32, u32, u32, u32)>> {
+    proptest::collection::vec(
+        (proptest::num::u32::ANY, proptest::num::u32::ANY, 1u32..5, 1u32..5),
+        1..max_requests,
+    )
+}
+
+fn requests_on(map: &RoadNetwork, raw: &[(u32, u32, u32, u32)]) -> Vec<ClientRequest> {
+    let n = map.num_nodes() as u32;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(s, t, f_s, f_t))| {
+            ClientRequest::new(
+                ClientId(i as u32),
+                PathQuery::new(NodeId(s % n), NodeId(t % n)),
+                ProtectionSettings::new(f_s, f_t).expect("nonzero by construction"),
+            )
+        })
+        .collect()
+}
+
+fn build_service(
+    map: RoadNetwork,
+    seed: u64,
+    mode: ObfuscationMode,
+    shards: usize,
+    execution: ExecutionPolicy,
+) -> opaque::OpaqueService<opaque::DefaultBackend> {
+    ServiceBuilder::new()
+        .map(map)
+        .seed(seed)
+        .shards(shards)
+        .obfuscation_mode(mode)
+        .execution_policy(execution)
+        .verify_results(true)
+        .build()
+        .expect("valid configuration")
+}
+
+/// The equivalence oracle: every observable piece of a batch's output.
+fn assert_identical(a: &ServiceResponse, b: &ServiceResponse, ctx: &str) {
+    assert_eq!(a.outcomes, b.outcomes, "{ctx}: per-client outcomes diverged");
+    assert_eq!(a.results.len(), b.results.len(), "{ctx}: delivery count diverged");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.client, y.client, "{ctx}: delivery order diverged");
+        assert_eq!(x.path, y.path, "{ctx}: delivered path diverged for {:?}", x.client);
+    }
+    let a_json = serde_json::to_string(&a.report).expect("report serializes");
+    let b_json = serde_json::to_string(&b.report).expect("report serializes");
+    assert_eq!(a_json, b_json, "{ctx}: BatchReport not byte-identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn worker_pool_is_byte_identical_to_sequential(
+        map in arb_map(40),
+        raw_batch in arb_batch(10),
+        seed in proptest::num::u64::ANY,
+        threads in 2usize..9,
+        mode_pick in 0u8..3,
+    ) {
+        let mode = match mode_pick {
+            0 => ObfuscationMode::Independent,
+            1 => ObfuscationMode::SharedGlobal,
+            _ => ObfuscationMode::SharedClustered(ClusteringConfig::default()),
+        };
+        let requests = requests_on(&map, &raw_batch);
+        let ctx = format!(
+            "n={} requests={} seed={seed} threads={threads} mode={mode:?}",
+            map.num_nodes(),
+            requests.len()
+        );
+
+        let mut sequential =
+            build_service(map.clone(), seed, mode, threads, ExecutionPolicy::Sequential);
+        let mut pooled = build_service(
+            map.clone(),
+            seed,
+            mode,
+            threads,
+            ExecutionPolicy::WorkerPool { threads },
+        );
+
+        match (sequential.process_batch(&requests), pooled.process_batch(&requests)) {
+            (Ok(a), Ok(b)) => {
+                assert_identical(&a, &b, &ctx);
+                // Fleet-merged cumulative counters agree as well: the
+                // commutative merge erases scheduling.
+                prop_assert_eq!(
+                    sequential.backend().stats(),
+                    pooled.backend().stats(),
+                    "{}: fleet stats diverged",
+                    ctx
+                );
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "{}: errors diverged", ctx),
+            (a, b) => prop_assert!(
+                false,
+                "{}: one policy failed, the other did not: {:?} vs {:?}",
+                ctx,
+                a.map(|r| r.outcomes),
+                b.map(|r| r.outcomes)
+            ),
+        }
+    }
+
+    #[test]
+    fn repeated_batches_stay_identical_across_policies(
+        map in arb_map(30),
+        raw_batch in arb_batch(6),
+        seed in proptest::num::u64::ANY,
+    ) {
+        // Multi-batch streams: the obfuscator RNG advances between
+        // batches, shard counters accumulate — equivalence must hold at
+        // every step, not just on a fresh service.
+        let requests = requests_on(&map, &raw_batch);
+        let mode = ObfuscationMode::SharedGlobal;
+        let mut sequential =
+            build_service(map.clone(), seed, mode, 3, ExecutionPolicy::Sequential);
+        let mut pooled = build_service(
+            map.clone(),
+            seed,
+            mode,
+            3,
+            ExecutionPolicy::WorkerPool { threads: 3 },
+        );
+        for round in 0..3 {
+            let ctx = format!("seed={seed} round={round}");
+            match (sequential.process_batch(&requests), pooled.process_batch(&requests)) {
+                (Ok(a), Ok(b)) => assert_identical(&a, &b, &ctx),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{}", ctx),
+                (a, b) => prop_assert!(false, "{}: {:?} vs {:?}", ctx, a.is_ok(), b.is_ok()),
+            }
+        }
+        prop_assert_eq!(sequential.backend().stats(), pooled.backend().stats());
+    }
+}
