@@ -1,20 +1,24 @@
 //! Experiment harness CLI.
 //!
 //! ```text
-//! experiments                 # run everything at full scale
-//! experiments e3 e6           # run a subset
-//! experiments --quick         # CI-sized inputs
-//! experiments --json out.json # also dump machine-readable results
+//! experiments                      # run everything at full scale
+//! experiments e3 e6                # run a subset
+//! experiments --quick              # CI-sized inputs
+//! experiments --json out.json      # also dump machine-readable results
+//! experiments --perf-json out.json # also dump the CI perf trajectory
+//!                                  # (experiment → wall_ms/trees/hit rate)
 //! ```
 
 use bench::experiments::{ALL_IDS, run_by_id};
-use bench::{ExperimentTable, Scale};
+use bench::{ExperimentTable, PerfPoint, PerfTrajectory, Scale};
 use std::io::Write;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::full();
     let mut json_path: Option<String> = None;
+    let mut perf_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut it = args.into_iter();
@@ -27,8 +31,14 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--perf-json" => {
+                perf_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--perf-json needs a path");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [--json PATH] [e1 .. e14]");
+                eprintln!("usage: experiments [--quick] [--json PATH] [--perf-json PATH] [e1 ..]");
                 return;
             }
             id => ids.push(id.to_ascii_lowercase()),
@@ -40,10 +50,14 @@ fn main() {
 
     let mut stdout = std::io::stdout().lock();
     let mut results: Vec<ExperimentTable> = Vec::new();
+    let mut perf = PerfTrajectory::default();
     for id in &ids {
+        let t0 = Instant::now();
         match run_by_id(id, &scale) {
             Some(table) => {
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
                 writeln!(stdout, "{}", table.render()).expect("stdout");
+                perf.record(PerfPoint::from_table(&table, wall_ms));
                 results.push(table);
             }
             None => {
@@ -60,5 +74,12 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("wrote {} experiment tables to {path}", results.len());
+    }
+    if let Some(path) = perf_path {
+        std::fs::write(&path, perf.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote perf trajectory ({} experiments) to {path}", perf.points.len());
     }
 }

@@ -38,6 +38,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         &["class", "|S|x|T|", "policy", "trees", "settled", "relaxed", "ms"],
     );
     let mut arena = SearchArena::new();
+    let mut trees_grown = 0u64;
 
     for class in NetworkClass::ALL {
         let g = network(class, scale);
@@ -56,6 +57,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
                 }
                 let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
                 settled_by_policy.push(warm.stats.settled);
+                trees_grown += warm.per_tree.len() as u64;
                 t.row(vec![
                     class.name().to_string(),
                     format!("{k}x{k}"),
@@ -80,6 +82,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             }
         }
     }
+    t.metric("trees_grown", trees_grown as f64);
     t
 }
 

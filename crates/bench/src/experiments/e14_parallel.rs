@@ -33,6 +33,7 @@ const SHARDS: usize = 4;
 struct Measured {
     elapsed_secs: f64,
     total_pairs: u64,
+    trees_grown: u64,
     report_json: Vec<String>,
 }
 
@@ -56,6 +57,7 @@ fn drive(
     let mut measured = Measured {
         elapsed_secs: 0.0,
         total_pairs: 0,
+        trees_grown: 0,
         report_json: Vec::with_capacity(batches.len()),
     };
     for batch in batches {
@@ -63,6 +65,7 @@ fn drive(
         let response = svc.process_batch(batch).expect("batch succeeds");
         measured.elapsed_secs += t0.elapsed().as_secs_f64();
         measured.total_pairs += response.report.total_pairs;
+        measured.trees_grown += response.report.server_trees_grown;
         measured
             .report_json
             .push(serde_json::to_string(&response.report).expect("report serializes"));
@@ -153,6 +156,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             hw
         ));
     }
+    t.metric("trees_grown", baseline.trees_grown as f64);
     t
 }
 

@@ -5,6 +5,7 @@ pub mod e11_intersection;
 pub mod e12_batching;
 pub mod e13_frontier;
 pub mod e14_parallel;
+pub mod e15_cache;
 pub mod e1_algorithms;
 pub mod e2_techniques;
 pub mod e3_breach;
@@ -19,8 +20,9 @@ use crate::setup::Scale;
 use crate::table::ExperimentTable;
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 14] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"];
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+];
 
 /// Run one experiment by id.
 pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
@@ -39,6 +41,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
         "e12" => Some(e12_batching::run(scale)),
         "e13" => Some(e13_frontier::run(scale)),
         "e14" => Some(e14_parallel::run(scale)),
+        "e15" => Some(e15_cache::run(scale)),
         _ => None,
     }
 }

@@ -1,0 +1,205 @@
+//! Machine-readable perf-trajectory emission for CI.
+//!
+//! The `perf-smoke` CI job runs the quick-mode perf experiments and
+//! uploads a `BENCH_<n>.json` artifact per PR, seeding a perf trajectory
+//! the repository can trend across merges. The wire shape is one object
+//! keyed by experiment id:
+//!
+//! ```json
+//! {
+//!   "e15": { "wall_ms": 12.5, "trees_grown": 48, "cache_hit_rate": 0.62 }
+//! }
+//! ```
+//!
+//! `wall_ms` is measured by the harness around the experiment run;
+//! `trees_grown` / `cache_hit_rate` come from the experiment's recorded
+//! [`ExperimentTable::metric`] values (0 when an experiment does not
+//! track one — e.g. `cache_hit_rate` before `e15` existed). Keeping the
+//! emitter on table metrics rather than formatted rows means trend
+//! tooling never screen-scrapes.
+
+use crate::table::ExperimentTable;
+
+/// One experiment's perf summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfPoint {
+    /// Experiment id, lowercase (`"e15"`).
+    pub experiment: String,
+    /// Wall time of the experiment run, in milliseconds.
+    pub wall_ms: f64,
+    /// Spanning trees the experiment's measured runs grew.
+    pub trees_grown: u64,
+    /// Cache hit rate of the experiment's cached configuration (0 when
+    /// the experiment has no cache axis).
+    pub cache_hit_rate: f64,
+}
+
+impl PerfPoint {
+    /// Build a point from a finished experiment table and its measured
+    /// wall time, reading the table's recorded metrics.
+    pub fn from_table(table: &ExperimentTable, wall_ms: f64) -> Self {
+        PerfPoint {
+            experiment: table.id.to_ascii_lowercase(),
+            wall_ms,
+            trees_grown: table.metric_value("trees_grown").unwrap_or(0.0) as u64,
+            cache_hit_rate: table.metric_value("cache_hit_rate").unwrap_or(0.0),
+        }
+    }
+}
+
+/// The full artifact: an ordered set of [`PerfPoint`]s serialized as one
+/// `experiment → {wall_ms, trees_grown, cache_hit_rate}` object.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfTrajectory {
+    /// Points in run order (the JSON object preserves it).
+    pub points: Vec<PerfPoint>,
+}
+
+impl PerfTrajectory {
+    /// Record a point, replacing any earlier one for the same experiment
+    /// — the serialized form is an object keyed by experiment id, so
+    /// duplicate ids (e.g. `experiments e13 e13`) must collapse to one
+    /// key (last run wins) rather than emit duplicate-key JSON.
+    pub fn record(&mut self, point: PerfPoint) {
+        match self.points.iter_mut().find(|p| p.experiment == point.experiment) {
+            Some(existing) => *existing = point,
+            None => self.points.push(point),
+        }
+    }
+
+    /// Serialize to the artifact's JSON form (pretty-printed — the file
+    /// is read by humans diffing two CI runs as often as by tooling).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("perf points always serialize")
+    }
+}
+
+// Hand-written: the wire form is a map keyed by experiment id, which the
+// vendored serde derive (structs and enums only) cannot express.
+impl serde::Serialize for PerfTrajectory {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(
+            self.points
+                .iter()
+                .map(|p| {
+                    (
+                        p.experiment.clone(),
+                        serde::Value::Object(vec![
+                            ("wall_ms".to_string(), serde::Value::Num(p.wall_ms)),
+                            ("trees_grown".to_string(), serde::Value::Num(p.trees_grown as f64)),
+                            ("cache_hit_rate".to_string(), serde::Value::Num(p.cache_hit_rate)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for PerfTrajectory {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = match v {
+            serde::Value::Object(e) => e,
+            _ => return Err(serde::DeError::expected("object keyed by experiment id")),
+        };
+        let points = entries
+            .iter()
+            .map(|(experiment, fields)| {
+                let fields = fields
+                    .as_object()
+                    .ok_or_else(|| serde::DeError::expected("object of perf fields"))?;
+                Ok(PerfPoint {
+                    experiment: experiment.clone(),
+                    wall_ms: serde::Deserialize::from_value(serde::__field(fields, "wall_ms"))?,
+                    trees_grown: serde::Deserialize::from_value(serde::__field(
+                        fields,
+                        "trees_grown",
+                    ))?,
+                    cache_hit_rate: serde::Deserialize::from_value(serde::__field(
+                        fields,
+                        "cache_hit_rate",
+                    ))?,
+                })
+            })
+            .collect::<Result<Vec<_>, serde::DeError>>()?;
+        Ok(PerfTrajectory { points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(id: &str, metrics: &[(&str, f64)]) -> ExperimentTable {
+        let mut t = ExperimentTable::new(id, "demo", "none", &["a"]);
+        for (name, value) in metrics {
+            t.metric(name, *value);
+        }
+        t
+    }
+
+    #[test]
+    fn points_read_table_metrics_and_default_missing_ones_to_zero() {
+        let full = table_with("E15", &[("trees_grown", 48.0), ("cache_hit_rate", 0.625)]);
+        let p = PerfPoint::from_table(&full, 12.5);
+        assert_eq!(p.experiment, "e15");
+        assert_eq!(p.wall_ms, 12.5);
+        assert_eq!(p.trees_grown, 48);
+        assert_eq!(p.cache_hit_rate, 0.625);
+
+        let bare = table_with("E13", &[]);
+        let p = PerfPoint::from_table(&bare, 3.0);
+        assert_eq!((p.trees_grown, p.cache_hit_rate), (0, 0.0));
+    }
+
+    #[test]
+    fn trajectory_serializes_as_an_object_keyed_by_experiment() {
+        let traj = PerfTrajectory {
+            points: vec![
+                PerfPoint {
+                    experiment: "e13".to_string(),
+                    wall_ms: 3.25,
+                    trees_grown: 144,
+                    cache_hit_rate: 0.0,
+                },
+                PerfPoint {
+                    experiment: "e15".to_string(),
+                    wall_ms: 12.5,
+                    trees_grown: 48,
+                    cache_hit_rate: 0.625,
+                },
+            ],
+        };
+        let json = traj.to_json();
+        assert!(json.contains("\"e13\""), "{json}");
+        assert!(json.contains("\"cache_hit_rate\""), "{json}");
+        // Round-trips through the hand-written serde pair.
+        let back: PerfTrajectory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, traj);
+        // And run order is preserved in the object.
+        assert!(json.find("e13").unwrap() < json.find("e15").unwrap());
+    }
+
+    #[test]
+    fn record_collapses_duplicate_experiment_ids_last_wins() {
+        let mut traj = PerfTrajectory::default();
+        let point = |wall_ms| PerfPoint {
+            experiment: "e13".to_string(),
+            wall_ms,
+            trees_grown: 1,
+            cache_hit_rate: 0.0,
+        };
+        traj.record(point(1.0));
+        traj.record(point(2.0));
+        assert_eq!(traj.points.len(), 1, "duplicate ids must not emit duplicate JSON keys");
+        assert_eq!(traj.points[0].wall_ms, 2.0, "last run wins");
+        assert_eq!(traj.to_json().matches("\"e13\"").count(), 1);
+    }
+
+    #[test]
+    fn empty_trajectory_is_an_empty_object() {
+        let json = PerfTrajectory::default().to_json();
+        let back: PerfTrajectory = serde_json::from_str(&json).unwrap();
+        assert!(back.points.is_empty());
+    }
+}

@@ -13,8 +13,10 @@
 //! in `crates/bench/benches/`, one per experiment family.
 
 pub mod experiments;
+pub mod json;
 pub mod setup;
 pub mod table;
 
+pub use json::{PerfPoint, PerfTrajectory};
 pub use setup::Scale;
 pub use table::{ExperimentTable, f3};

@@ -19,6 +19,10 @@ pub struct ExperimentTable {
     pub rows: Vec<Vec<String>>,
     /// Free-form observations recorded by the harness.
     pub notes: Vec<String>,
+    /// Named machine-readable summary values (`trees_grown`,
+    /// `cache_hit_rate`, …) — what the CI perf-trajectory emitter
+    /// (`crate::json`) reads, so trend lines never parse formatted rows.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl ExperimentTable {
@@ -31,6 +35,7 @@ impl ExperimentTable {
             headers: headers.iter().map(|h| h.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -43,6 +48,19 @@ impl ExperimentTable {
     /// Append an observation note.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Record (or overwrite) a named machine-readable summary value.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        match self.metrics.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.metrics.push((name.to_string(), value)),
+        }
+    }
+
+    /// Read a named summary value recorded by [`ExperimentTable::metric`].
+    pub fn metric_value(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Render with aligned columns.
@@ -120,6 +138,21 @@ mod tests {
     fn row_width_is_checked() {
         let mut t = ExperimentTable::new("E0", "demo", "none", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn metrics_record_and_overwrite() {
+        let mut t = ExperimentTable::new("E0", "demo", "none", &["a"]);
+        assert_eq!(t.metric_value("trees_grown"), None);
+        t.metric("trees_grown", 12.0);
+        t.metric("cache_hit_rate", 0.5);
+        t.metric("trees_grown", 14.0);
+        assert_eq!(t.metric_value("trees_grown"), Some(14.0));
+        assert_eq!(t.metric_value("cache_hit_rate"), Some(0.5));
+        assert_eq!(t.metrics.len(), 2, "overwrite, not append");
+        // Metrics ride along in the serialized table.
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("cache_hit_rate"), "{json}");
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //!   [`DirectionsBackend`]s (single server or a [`ShardedBackend`] fleet),
 //!   the [`Batcher`] admission queue, the [`ExecutionPolicy`] batch
 //!   execution layer (sequential, or a worker pool with one pinned search
-//!   arena per shard — provably answer-identical), and the
+//!   arena per shard — provably answer-identical), the shard-local
+//!   [`TreeCache`] of reusable shortest-path trees ([`CachePolicy`] —
+//!   provably report-identical to running uncached), and the
 //!   builder-configured [`OpaqueService`] with typed accounting;
 //! * [`system`] — a **deprecated** compatibility shim ([`OpaqueSystem`])
 //!   over the service, preserving the original strict batch API until the
@@ -107,9 +109,9 @@ pub use protocol::{
 pub use query::{ClientId, ClientRequest, ObfuscatedPathQuery, PathQuery, ProtectionSettings};
 pub use server::{DirectionsServer, ServerStats};
 pub use service::{
-    BatchPolicy, BatchReport, Batcher, ClientOutcome, DefaultBackend, DirectionsBackend,
-    DrainedBatch, ExecutionPolicy, OpaqueService, ServiceBuilder, ServiceConfig, ServiceResponse,
-    ShardedBackend, Ticket,
+    BatchPolicy, BatchReport, Batcher, CachePolicy, ClientOutcome, DefaultBackend,
+    DirectionsBackend, DrainedBatch, ExecutionPolicy, OpaqueService, ServiceBuilder, ServiceConfig,
+    ServiceResponse, ShardedBackend, Ticket, TreeCache,
 };
 #[allow(deprecated)] // re-exported for the remaining deprecation cycle
 pub use system::OpaqueSystem;

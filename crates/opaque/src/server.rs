@@ -10,8 +10,10 @@
 //! what different obfuscation regimes cost the provider.
 
 use crate::query::{ObfuscatedPathQuery, PathQuery};
+use crate::service::cache::{CachePolicy, TreeCache};
 use pathsearch::{
-    Goal, MsmdResult, Path, SearchArena, SearchStats, SharingPolicy, msmd_in, run_in,
+    Goal, MsmdResult, Path, SearchArena, SearchStats, SharingPolicy, msmd_in, msmd_in_cached,
+    run_in, run_in_cached,
 };
 use roadnet::GraphView;
 
@@ -33,6 +35,19 @@ pub struct ServerStats {
     /// [`SharingPolicy::SharedFrontier`] it includes the backward trees.
     /// Plain queries count one tree each.
     pub trees_grown: u64,
+    /// Trees served by adopting a cached sweep from the shard's
+    /// [`TreeCache`] instead of growing them (always 0 under
+    /// [`CachePolicy::Off`]). Hits still count in `trees_grown` and in
+    /// `search` — adoption replays the skipped sweep's counters
+    /// byte-for-byte, so every *logical* field reads identically whether
+    /// or not a cache sat in front of the sweep; only this pair reveals
+    /// the cache's presence, which is why reports keep it off the wire
+    /// (see [`crate::BatchReport`]).
+    pub tree_cache_hits: u64,
+    /// Trees grown for real after consulting the cache (entry absent, or
+    /// the goal lay beyond the recorded prefix). 0 under
+    /// [`CachePolicy::Off`] — with no cache there are no lookups.
+    pub tree_cache_misses: u64,
     /// Aggregated search counters.
     pub search: SearchStats,
 }
@@ -53,6 +68,8 @@ impl ServerStats {
         self.pairs_evaluated += other.pairs_evaluated;
         self.paths_returned += other.paths_returned;
         self.trees_grown += other.trees_grown;
+        self.tree_cache_hits += other.tree_cache_hits;
+        self.tree_cache_misses += other.tree_cache_misses;
         self.search.merge(other.search);
     }
 
@@ -66,6 +83,8 @@ impl ServerStats {
             pairs_evaluated: self.pairs_evaluated.saturating_sub(baseline.pairs_evaluated),
             paths_returned: self.paths_returned.saturating_sub(baseline.paths_returned),
             trees_grown: self.trees_grown.saturating_sub(baseline.trees_grown),
+            tree_cache_hits: self.tree_cache_hits.saturating_sub(baseline.tree_cache_hits),
+            tree_cache_misses: self.tree_cache_misses.saturating_sub(baseline.tree_cache_misses),
             search: pathsearch::SearchStats {
                 settled: self.search.settled.saturating_sub(baseline.search.settled),
                 relaxed: self.search.relaxed.saturating_sub(baseline.search.relaxed),
@@ -77,16 +96,25 @@ impl ServerStats {
     }
 }
 
-/// The server: a graph view, an MSMD sharing policy, and load counters.
+/// The server: a graph view, an MSMD sharing policy, load counters, and
+/// an optional shard-local [`TreeCache`].
 ///
 /// Plain and obfuscated queries share one [`SearchArena`], so a server
 /// evaluating a query stream allocates nothing in the search core after
-/// the first query grows the arena to the map's size.
+/// the first query grows the arena to the map's size. With a tree cache
+/// attached ([`DirectionsServer::with_tree_cache`]), queries whose roots
+/// already have a deep-enough cached tree skip their Dijkstra sweeps
+/// entirely — with answers and counters byte-identical to the uncached
+/// evaluation (see [`crate::service::cache`]).
 pub struct DirectionsServer<G> {
     graph: G,
     policy: SharingPolicy,
     arena: SearchArena,
     stats: ServerStats,
+    /// Bumped by [`DirectionsServer::swap_map`]; keys every cache entry,
+    /// so no tree recorded on an old map can survive a swap.
+    map_epoch: u64,
+    cache: Option<TreeCache>,
 }
 
 impl<G: GraphView> DirectionsServer<G> {
@@ -101,7 +129,33 @@ impl<G: GraphView> DirectionsServer<G> {
     /// mid-stream. The arena is owned exclusively; it is never shared
     /// between servers (or threads).
     pub fn with_arena(graph: G, policy: SharingPolicy, arena: SearchArena) -> Self {
-        DirectionsServer { graph, policy, arena, stats: ServerStats::default() }
+        DirectionsServer {
+            graph,
+            policy,
+            arena,
+            stats: ServerStats::default(),
+            map_epoch: 0,
+            cache: None,
+        }
+    }
+
+    /// Attach (or remove) a shard-local tree cache per `policy`. The
+    /// cache starts cold at the server's current map epoch.
+    ///
+    /// # Panics
+    /// Panics on `CachePolicy::Lru { trees: 0 }` — configuration-level
+    /// validation ([`CachePolicy::validate`]) rejects it first in any
+    /// built service.
+    pub fn with_tree_cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = match cache {
+            CachePolicy::Off => None,
+            CachePolicy::Lru { trees } => {
+                let mut cache = TreeCache::new(trees, self.policy);
+                cache.invalidate(self.map_epoch);
+                Some(cache)
+            }
+        };
+        self
     }
 
     /// The sharing policy in use.
@@ -112,6 +166,32 @@ impl<G: GraphView> DirectionsServer<G> {
     /// The wrapped graph view.
     pub fn graph(&self) -> &G {
         &self.graph
+    }
+
+    /// The attached tree cache, if any (e.g. to read its hit rate).
+    pub fn tree_cache(&self) -> Option<&TreeCache> {
+        self.cache.as_ref()
+    }
+
+    /// The current map epoch (starts at 0, bumped by each
+    /// [`DirectionsServer::swap_map`]).
+    pub fn map_epoch(&self) -> u64 {
+        self.map_epoch
+    }
+
+    /// Replace the served map, bumping the map epoch and invalidating
+    /// every cached tree — the **invalidation invariant**: no tree
+    /// recorded against an old map is ever adopted after a swap (entries
+    /// are dropped *and* keyed under the old epoch, so even a
+    /// hypothetical survivor could not be looked up). Cumulative load
+    /// counters are kept; the arena needs no reset (its generation stamps
+    /// already isolate searches).
+    pub fn swap_map(&mut self, graph: G) {
+        self.graph = graph;
+        self.map_epoch += 1;
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate(self.map_epoch);
+        }
     }
 
     /// Cumulative counters since construction (or the last reset).
@@ -127,7 +207,18 @@ impl<G: GraphView> DirectionsServer<G> {
     /// Evaluate a *plain* path query — what an unprotected client would
     /// send. Returns the shortest path, or `None` when disconnected.
     pub fn process_plain(&mut self, q: &PathQuery) -> Option<Path> {
-        let run = run_in(&mut self.arena, &self.graph, q.source, &Goal::Single(q.destination));
+        let goal = Goal::Single(q.destination);
+        let run = match &mut self.cache {
+            Some(cache) => {
+                let (h0, m0) = cache.counters();
+                let run = run_in_cached(&mut self.arena, &self.graph, q.source, &goal, cache);
+                let (h1, m1) = cache.counters();
+                self.stats.tree_cache_hits += h1 - h0;
+                self.stats.tree_cache_misses += m1 - m0;
+                run
+            }
+            None => run_in(&mut self.arena, &self.graph, q.source, &goal),
+        };
         self.stats.plain_queries += 1;
         self.stats.pairs_evaluated += 1;
         self.stats.trees_grown += 1;
@@ -140,9 +231,27 @@ impl<G: GraphView> DirectionsServer<G> {
     }
 
     /// Evaluate an obfuscated path query: all `|S|×|T|` pairs, via the MSMD
-    /// processor. The full candidate matrix goes back to the obfuscator.
+    /// processor — through the adopt-or-grow tree cache when one is
+    /// attached. The full candidate matrix goes back to the obfuscator.
     pub fn process(&mut self, q: &ObfuscatedPathQuery) -> MsmdResult {
-        let result = msmd_in(&mut self.arena, &self.graph, q.sources(), q.targets(), self.policy);
+        let result = match &mut self.cache {
+            Some(cache) => {
+                let (h0, m0) = cache.counters();
+                let result = msmd_in_cached(
+                    &mut self.arena,
+                    &self.graph,
+                    q.sources(),
+                    q.targets(),
+                    self.policy,
+                    cache,
+                );
+                let (h1, m1) = cache.counters();
+                self.stats.tree_cache_hits += h1 - h0;
+                self.stats.tree_cache_misses += m1 - m0;
+                result
+            }
+            None => msmd_in(&mut self.arena, &self.graph, q.sources(), q.targets(), self.policy),
+        };
         self.stats.obfuscated_queries += 1;
         self.stats.pairs_evaluated += q.num_pairs() as u64;
         self.stats.paths_returned += result.num_paths() as u64;
@@ -329,6 +438,99 @@ mod tests {
         let p = sv.process_plain(&PathQuery::new(NodeId(0), NodeId(143))).unwrap();
         assert_eq!(p.destination(), NodeId(143));
         assert_eq!(sv.arena.capacity(), cap, "plain query fits the preallocated slab");
+    }
+
+    #[test]
+    fn cached_server_is_byte_identical_and_hits_on_root_reuse() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        let mut plain = DirectionsServer::new(g.clone(), SharingPolicy::PerSource);
+        let mut cached = DirectionsServer::new(g, SharingPolicy::PerSource)
+            .with_tree_cache(CachePolicy::Lru { trees: 8 });
+        let queries = [
+            ObfuscatedPathQuery::new(vec![NodeId(0), NodeId(11)], vec![NodeId(143), NodeId(70)]),
+            // The same query again: both roots' goals are provably inside
+            // the recorded sweeps, so both trees adopt.
+            ObfuscatedPathQuery::new(vec![NodeId(0), NodeId(11)], vec![NodeId(143), NodeId(70)]),
+            // A subset query from one of the roots: still inside.
+            ObfuscatedPathQuery::new(vec![NodeId(0)], vec![NodeId(143)]),
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let a = plain.process(q);
+            let b = cached.process(q);
+            assert_eq!(a.stats, b.stats, "query {i}: aggregate counters diverged");
+            assert_eq!(a.paths, b.paths, "query {i}: answers diverged");
+        }
+        let (hits, misses) = (cached.stats().tree_cache_hits, cached.stats().tree_cache_misses);
+        assert_eq!((hits, misses), (3, 2), "queries 2 and 3 reuse query 1's trees");
+        // Every logical counter matches the uncached server exactly; only
+        // the hit/miss pair differs.
+        let mut logical = cached.stats();
+        logical.tree_cache_hits = 0;
+        logical.tree_cache_misses = 0;
+        assert_eq!(logical, plain.stats());
+        // Plain queries go through the same cache: node 143 is settled in
+        // root 0's recorded sweep, so this adopts.
+        let pq = PathQuery::new(NodeId(0), NodeId(143));
+        assert_eq!(plain.process_plain(&pq), cached.process_plain(&pq));
+        assert_eq!(cached.stats().tree_cache_hits, hits + 1, "plain query adopted a cached tree");
+    }
+
+    #[test]
+    fn swap_map_bumps_the_epoch_and_invalidates_cached_trees() {
+        let old =
+            grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+                .unwrap();
+        // Same node count, different seed: different edge weights, so a
+        // stale tree would produce visibly wrong distances.
+        let new =
+            grid_network(&GridConfig { width: 12, height: 12, seed: 10, ..Default::default() })
+                .unwrap();
+        let q = ObfuscatedPathQuery::new(vec![NodeId(0)], vec![NodeId(143)]);
+
+        let mut sv = DirectionsServer::new(old, SharingPolicy::PerSource)
+            .with_tree_cache(CachePolicy::Lru { trees: 4 });
+        assert_eq!(sv.map_epoch(), 0);
+        sv.process(&q);
+        sv.process(&q);
+        assert_eq!(sv.stats().tree_cache_hits, 1, "warm repeat hits");
+
+        sv.swap_map(new.clone());
+        assert_eq!(sv.map_epoch(), 1);
+        assert!(sv.tree_cache().unwrap().is_empty(), "swap dropped every entry");
+        assert_eq!(sv.tree_cache().unwrap().map_epoch(), 1);
+        let r = sv.process(&q);
+        assert_eq!(
+            sv.stats().tree_cache_hits,
+            1,
+            "first post-swap query must miss (no stale adoption)"
+        );
+        // The answer reflects the new map, not the cached old tree.
+        let mut fresh = DirectionsServer::new(new, SharingPolicy::PerSource);
+        let expected = fresh.process(&q);
+        assert_eq!(r.distance(0, 0), expected.distance(0, 0));
+        assert_eq!(r.paths, expected.paths);
+    }
+
+    #[test]
+    fn cache_capacity_one_still_answers_correctly() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        let mut plain = DirectionsServer::new(g.clone(), SharingPolicy::PerSource);
+        let mut thrashing = DirectionsServer::new(g, SharingPolicy::PerSource)
+            .with_tree_cache(CachePolicy::Lru { trees: 1 });
+        // Two roots alternating: the single slot thrashes, correctness
+        // must not care.
+        for _ in 0..3 {
+            for root in [0u32, 100] {
+                let q = ObfuscatedPathQuery::new(vec![NodeId(root)], vec![NodeId(143)]);
+                let a = plain.process(&q);
+                let b = thrashing.process(&q);
+                assert_eq!(a.paths, b.paths);
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+        assert_eq!(thrashing.tree_cache().unwrap().len(), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::server::DirectionsServer;
 use crate::service::OpaqueService;
 use crate::service::backend::{DirectionsBackend, ShardedBackend};
 use crate::service::batcher::{BatchPolicy, Batcher};
+use crate::service::cache::CachePolicy;
 use crate::service::parallel::ExecutionPolicy;
 use pathsearch::{SearchArena, SharingPolicy};
 use roadnet::{GraphView, RoadNetwork};
@@ -51,6 +52,11 @@ pub struct ServiceConfig {
     /// How each batch's obfuscated queries are executed against the shard
     /// fleet — sequentially or across a pinned-worker pool.
     pub execution: ExecutionPolicy,
+    /// Whether each backend shard caches shortest-path trees
+    /// ([`CachePolicy::Lru`]) — per-shard caches, so the worker pool stays
+    /// lock-free — with byte-identical reports either way (the
+    /// cache-equivalence harness's guarantee).
+    pub cache: CachePolicy,
     /// Admission-queue flush policy.
     pub batch: BatchPolicy,
 }
@@ -66,6 +72,7 @@ impl Default for ServiceConfig {
             consistent_fakes: false,
             shards: 1,
             execution: ExecutionPolicy::Sequential,
+            cache: CachePolicy::Off,
             batch: BatchPolicy::default(),
         }
     }
@@ -78,6 +85,7 @@ impl ServiceConfig {
             return Err(OpaqueError::InvalidConfig { reason: "shards must be >= 1".to_string() });
         }
         self.execution.validate()?;
+        self.cache.validate()?;
         self.batch.validate()
     }
 
@@ -191,6 +199,14 @@ impl ServiceBuilder {
         self
     }
 
+    /// Per-shard tree-cache policy. `Lru { trees: 0 }` is rejected at
+    /// [`ServiceBuilder::build`], mirroring the zero-thread worker-pool
+    /// rejection.
+    pub fn cache_policy(mut self, cache: CachePolicy) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
     /// Admission-queue flush policy.
     pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
         self.config.batch = policy;
@@ -222,6 +238,7 @@ impl ServiceBuilder {
                     config.sharing,
                     SearchArena::preallocated(nodes, 1),
                 )
+                .with_tree_cache(config.cache)
             })
             .collect();
         let backend = ShardedBackend::new(servers)?;
@@ -394,6 +411,57 @@ mod tests {
         assert!(json.contains("WorkerPool"), "{json}");
         let back: ServiceConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, config);
+    }
+
+    #[test]
+    fn config_round_trips_every_cache_policy_variant() {
+        for cache in [CachePolicy::Off, CachePolicy::Lru { trees: 128 }] {
+            let config = ServiceConfig {
+                seed: 9,
+                shards: 2,
+                cache,
+                execution: ExecutionPolicy::WorkerPool { threads: 2 },
+                ..Default::default()
+            };
+            let json = serde_json::to_string(&config).unwrap();
+            if let CachePolicy::Lru { .. } = cache {
+                assert!(json.contains("Lru"), "{json}");
+                assert!(json.contains("trees"), "{json}");
+            } else {
+                assert!(json.contains("Off"), "{json}");
+            }
+            let back: ServiceConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, config, "{cache:?}");
+        }
+        // Defaults stay cache-off (the historical behavior).
+        assert_eq!(ServiceConfig::default().cache, CachePolicy::Off);
+    }
+
+    #[test]
+    fn build_rejects_zero_capacity_tree_caches() {
+        // Mirrors the zero-thread worker-pool rejection: constructible,
+        // serializable, but unsatisfiable — caught at build().
+        let err = ServiceBuilder::new()
+            .map(map())
+            .cache_policy(CachePolicy::Lru { trees: 0 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("tree")),
+            "{err}"
+        );
+        // And a satisfiable cache builds a working cached fleet.
+        let svc = ServiceBuilder::new()
+            .map(map())
+            .shards(2)
+            .cache_policy(CachePolicy::Lru { trees: 16 })
+            .build()
+            .unwrap();
+        for shard in svc.backend().shards() {
+            let cache = shard.tree_cache().expect("every shard carries its own cache");
+            assert_eq!(cache.capacity(), 16);
+            assert!(cache.is_empty());
+        }
     }
 
     #[test]

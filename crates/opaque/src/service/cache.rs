@@ -1,0 +1,362 @@
+//! The shard-local shortest-path-tree cache.
+//!
+//! Lemma 1 makes spanning trees — not paths — the unit of server work,
+//! and obfuscation multiplies the tree count by `|S|·|T|` factors. Under
+//! hotspot/commuter workloads (see `crates/workload`) many queries share
+//! roots, so the server keeps recomputing identical trees. [`TreeCache`]
+//! is the capacity-bounded, exact-LRU store of recorded sweeps
+//! ([`pathsearch::SweepTrace`]) a [`crate::server::DirectionsServer`]
+//! consults through the adopt-or-grow entry point
+//! ([`pathsearch::msmd_in_cached`]): a query whose root already has a
+//! cached tree deep enough for its goal skips the Dijkstra sweep
+//! entirely; partial trees carry their settled radius implicitly (the
+//! recorded prefix) and are only reused when the early-termination rule
+//! is provably unaffected.
+//!
+//! Entries are keyed by `(map_epoch, root, direction, policy bits)`:
+//!
+//! * **map_epoch** — bumped by [`crate::server::DirectionsServer::swap_map`];
+//!   entries of older epochs can never be returned (and the swap clears
+//!   them outright — the key is defence in depth);
+//! * **root** — the node the sweep grew from;
+//! * **direction** — the sweep's arc orientation
+//!   ([`pathsearch::SweepDirection`]; always `Forward` today, `Backward`
+//!   reserved for reverse-arc sweeps on directed views);
+//! * **policy bits** — the sweep class of the server's
+//!   [`pathsearch::SharingPolicy`]: `None`/`PerSource`/`Auto` all drive
+//!   the same single-tree sweep machine and share entries; a future
+//!   engine whose trees grow differently must not alias them.
+//!
+//! The cache is **shard-local** on purpose: the parallel service layer
+//! pins one [`DirectionsServer`] (arena + cache) per worker thread, so
+//! the hot path takes no lock and [`crate::service::ExecutionPolicy`]
+//! stays a pure throughput knob. Correctness does not depend on which
+//! shard a unit lands on, because adoption replays counters
+//! byte-identical to the sweep it skips — `CachePolicy::Lru` produces
+//! byte-identical [`crate::BatchReport`]s to `CachePolicy::Off`, the
+//! invariant `tests/cache_equivalence.rs` proves.
+//!
+//! [`DirectionsServer`]: crate::server::DirectionsServer
+
+use crate::error::{OpaqueError, Result};
+use pathsearch::{SharingPolicy, SweepDirection, SweepTrace, TreeStore};
+use roadnet::NodeId;
+use std::collections::HashMap;
+
+/// Whether (and how) a backend server caches shortest-path trees.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CachePolicy {
+    /// No cache: every tree is grown for real (the historical behavior
+    /// and the reference the cache-equivalence harness compares against).
+    #[default]
+    Off,
+    /// A shard-local exact-LRU [`TreeCache`] holding at most `trees`
+    /// recorded sweeps per shard.
+    Lru {
+        /// Per-shard capacity in trees; must be at least 1.
+        trees: usize,
+    },
+}
+
+impl CachePolicy {
+    /// Check the policy is satisfiable.
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] for a zero-capacity LRU (mirroring
+    /// the zero-thread worker-pool rejection).
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            CachePolicy::Off => Ok(()),
+            CachePolicy::Lru { trees: 0 } => Err(OpaqueError::InvalidConfig {
+                reason: "cache policy: an LRU tree cache needs capacity for at least one tree"
+                    .to_string(),
+            }),
+            CachePolicy::Lru { .. } => Ok(()),
+        }
+    }
+
+    /// Short name used in experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            CachePolicy::Off => "off".to_string(),
+            CachePolicy::Lru { trees } => format!("lru({trees})"),
+        }
+    }
+}
+
+/// Full cache key; see the module docs for the role of each component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct TreeKey {
+    map_epoch: u64,
+    root: u32,
+    direction: SweepDirection,
+    policy_bits: u8,
+}
+
+/// One cached sweep with its recency stamp.
+#[derive(Debug)]
+struct Entry {
+    trace: SweepTrace,
+    last_used: u64,
+}
+
+/// Capacity-bounded exact-LRU store of recorded shortest-path trees.
+///
+/// Owned by one [`crate::server::DirectionsServer`] (one shard); never
+/// shared across threads. Hit/miss counters accumulate monotonically —
+/// the server folds their deltas into [`crate::ServerStats`] per query.
+#[derive(Debug)]
+pub struct TreeCache {
+    capacity: usize,
+    map_epoch: u64,
+    policy_bits: u8,
+    entries: HashMap<TreeKey, Entry>,
+    /// Monotone use counter driving exact-LRU eviction (capacities are
+    /// small enough that a min-scan on eviction beats maintaining an
+    /// intrusive list).
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+// The parallel service layer moves one cache per worker thread; like the
+// arena it sits next to, it must stay Send.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TreeCache>();
+};
+
+/// The sweep class of a sharing policy: policies that drive the same
+/// single-tree sweep machine may share cache entries.
+fn sweep_class(policy: SharingPolicy) -> u8 {
+    match policy {
+        // All three are sequences of plain `run_in` sweeps.
+        SharingPolicy::None | SharingPolicy::PerSource | SharingPolicy::Auto => 0,
+        // The interleaved MSMD engine does not decompose into per-root
+        // traces and never consults the cache — but *plain* queries on a
+        // SharedFrontier server still do, so this class holds their
+        // single-pair sweeps. The separate bit guarantees no aliasing if
+        // the frontier engine ever starts extracting its own trees.
+        SharingPolicy::SharedFrontier => 1,
+    }
+}
+
+impl TreeCache {
+    /// A cache holding at most `trees` recorded sweeps, serving a server
+    /// that evaluates under `policy`, starting at map epoch 0.
+    ///
+    /// # Panics
+    /// Panics on zero capacity — [`CachePolicy::validate`] rejects it at
+    /// configuration time.
+    pub fn new(trees: usize, policy: SharingPolicy) -> Self {
+        assert!(trees >= 1, "tree cache must hold at least one tree");
+        TreeCache {
+            capacity: trees,
+            map_epoch: 0,
+            policy_bits: sweep_class(policy),
+            entries: HashMap::with_capacity(trees.min(1024)),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in trees.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of trees currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The map epoch entries are currently keyed under.
+    pub fn map_epoch(&self) -> u64 {
+        self.map_epoch
+    }
+
+    /// Cumulative `(hits, misses)` since construction. Monotone — callers
+    /// wanting per-query counts take deltas around the call.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Fraction of lookups served from the cache (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 { 0.0 } else { self.hits as f64 / total as f64 }
+    }
+
+    /// Drop every entry and move to `map_epoch` — the map-swap
+    /// invalidation hook. Entries are both cleared *and* unreachable by
+    /// key afterwards; the hit/miss counters are not reset (they describe
+    /// the cache's lifetime, like server counters).
+    pub fn invalidate(&mut self, map_epoch: u64) {
+        self.entries.clear();
+        self.map_epoch = map_epoch;
+    }
+
+    fn key(&self, root: NodeId, direction: SweepDirection) -> TreeKey {
+        TreeKey {
+            map_epoch: self.map_epoch,
+            root: root.0,
+            direction,
+            policy_bits: self.policy_bits,
+        }
+    }
+}
+
+impl TreeStore for TreeCache {
+    fn lookup(&mut self, root: NodeId, direction: SweepDirection) -> Option<&SweepTrace> {
+        self.tick += 1;
+        let tick = self.tick;
+        let key = self.key(root, direction);
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = tick;
+                Some(&e.trace)
+            }
+            None => None,
+        }
+    }
+
+    fn store(&mut self, root: NodeId, direction: SweepDirection, trace: SweepTrace) {
+        self.tick += 1;
+        let key = self.key(root, direction);
+        if let Some(e) = self.entries.get_mut(&key) {
+            // Sweeps from one root are prefixes of each other: keep the
+            // deeper one, it answers strictly more goals.
+            if trace.len() >= e.trace.len() {
+                e.trace = trace;
+            }
+            e.last_used = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("capacity >= 1 guarantees a victim");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(key, Entry { trace, last_used: self.tick });
+    }
+
+    fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathsearch::{Goal, SearchArena, run_in_traced};
+    use roadnet::generators::{GridConfig, grid_network};
+
+    fn grid() -> roadnet::RoadNetwork {
+        grid_network(&GridConfig { width: 10, height: 10, seed: 4, ..Default::default() }).unwrap()
+    }
+
+    fn trace_from(g: &roadnet::RoadNetwork, root: u32) -> SweepTrace {
+        let mut arena = SearchArena::new();
+        run_in_traced(&mut arena, g, NodeId(root), &Goal::AllNodes).1
+    }
+
+    #[test]
+    fn policy_validation_and_names() {
+        assert!(CachePolicy::Off.validate().is_ok());
+        assert!(CachePolicy::Lru { trees: 8 }.validate().is_ok());
+        assert!(matches!(
+            CachePolicy::Lru { trees: 0 }.validate(),
+            Err(OpaqueError::InvalidConfig { .. })
+        ));
+        assert_eq!(CachePolicy::Off.name(), "off");
+        assert_eq!(CachePolicy::Lru { trees: 8 }.name(), "lru(8)");
+        assert_eq!(CachePolicy::default(), CachePolicy::Off);
+    }
+
+    #[test]
+    fn policy_round_trips_through_serde() {
+        for policy in [CachePolicy::Off, CachePolicy::Lru { trees: 32 }] {
+            let json = serde_json::to_string(&policy).unwrap();
+            let back: CachePolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, policy);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_tree() {
+        let g = grid();
+        let mut cache = TreeCache::new(2, SharingPolicy::PerSource);
+        cache.store(NodeId(0), SweepDirection::Forward, trace_from(&g, 0));
+        cache.store(NodeId(1), SweepDirection::Forward, trace_from(&g, 1));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(cache.lookup(NodeId(0), SweepDirection::Forward).is_some());
+        cache.store(NodeId(2), SweepDirection::Forward, trace_from(&g, 2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(NodeId(0), SweepDirection::Forward).is_some());
+        assert!(cache.lookup(NodeId(1), SweepDirection::Forward).is_none(), "evicted");
+        assert!(cache.lookup(NodeId(2), SweepDirection::Forward).is_some());
+    }
+
+    #[test]
+    fn store_keeps_the_deeper_sweep() {
+        let g = grid();
+        let mut cache = TreeCache::new(4, SharingPolicy::PerSource);
+        let mut arena = SearchArena::new();
+        let (_, shallow) = run_in_traced(&mut arena, &g, NodeId(0), &Goal::Single(NodeId(11)));
+        let deep = trace_from(&g, 0);
+        assert!(shallow.len() < deep.len());
+        cache.store(NodeId(0), SweepDirection::Forward, deep.clone());
+        cache.store(NodeId(0), SweepDirection::Forward, shallow);
+        let kept = cache.lookup(NodeId(0), SweepDirection::Forward).unwrap();
+        assert_eq!(kept.len(), deep.len(), "a shallower re-store must not clobber a deeper tree");
+    }
+
+    #[test]
+    fn invalidation_moves_the_epoch_and_drops_entries() {
+        let g = grid();
+        let mut cache = TreeCache::new(4, SharingPolicy::PerSource);
+        cache.store(NodeId(0), SweepDirection::Forward, trace_from(&g, 0));
+        cache.note_hit();
+        assert_eq!(cache.map_epoch(), 0);
+        cache.invalidate(1);
+        assert_eq!(cache.map_epoch(), 1);
+        assert!(cache.is_empty());
+        assert!(cache.lookup(NodeId(0), SweepDirection::Forward).is_none());
+        assert_eq!(cache.counters(), (1, 0), "lifetime counters survive invalidation");
+        // New entries land under the new epoch and resolve normally.
+        cache.store(NodeId(0), SweepDirection::Forward, trace_from(&g, 0));
+        assert!(cache.lookup(NodeId(0), SweepDirection::Forward).is_some());
+    }
+
+    #[test]
+    fn hit_rate_reflects_counters() {
+        let mut cache = TreeCache::new(2, SharingPolicy::PerSource);
+        assert_eq!(cache.hit_rate(), 0.0);
+        cache.note_miss();
+        cache.note_hit();
+        cache.note_hit();
+        cache.note_hit();
+        assert!((cache.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(cache.counters(), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_capacity_panics() {
+        let _ = TreeCache::new(0, SharingPolicy::PerSource);
+    }
+}

@@ -16,6 +16,10 @@
 //!   pinned search arena per worker, with the guarantee (proven by the
 //!   equivalence proptest) that parallelism never changes a single answer
 //!   or report byte;
+//! * [`cache`] / [`CachePolicy`] — the shard-local shortest-path-tree
+//!   cache: recorded Dijkstra sweeps adopted instead of regrown when a
+//!   query's root recurs, under the same guarantee (`Lru` is
+//!   byte-identical to `Off` in every report — `tests/cache_equivalence.rs`);
 //! * [`OpaqueService`] — the assembled deployment, built from a typed
 //!   [`ServiceBuilder`] / [`ServiceConfig`];
 //! * [`BatchReport`] / [`ClientOutcome`] — typed accounting: serde-tagged
@@ -29,12 +33,14 @@
 mod backend;
 mod batcher;
 mod builder;
+pub mod cache;
 pub mod parallel;
 mod report;
 
 pub use backend::{DirectionsBackend, ShardedBackend};
 pub use batcher::{BatchPolicy, Batcher, DrainedBatch, Ticket};
 pub use builder::{DefaultBackend, ServiceBuilder, ServiceConfig};
+pub use cache::{CachePolicy, TreeCache};
 pub use parallel::ExecutionPolicy;
 pub use report::{BatchReport, ClientOutcome};
 
@@ -368,6 +374,8 @@ impl<B: DirectionsBackend> OpaqueService<B> {
             report.server_settled = delta.search.settled;
             report.server_relaxed = delta.search.relaxed;
             report.server_trees_grown = delta.trees_grown;
+            report.tree_cache_hits = delta.tree_cache_hits;
+            report.tree_cache_misses = delta.tree_cache_misses;
         }
 
         // Restore request order for the caller. `outcome_slot` maps each

@@ -34,7 +34,23 @@ pub enum ClientOutcome {
 }
 
 /// Accounting for one processed batch.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+///
+/// # Serialization and the determinism oracle
+///
+/// The serialized report is the repository's cross-policy determinism
+/// oracle: neither [`crate::ExecutionPolicy`] nor
+/// [`crate::service::CachePolicy`] may change a single report byte
+/// (`tests/parallel_equivalence.rs`, `tests/cache_equivalence.rs`). Every
+/// *logical* counter honors that by construction — cache hits replay the
+/// skipped sweep's counters exactly. The two *physical* observability
+/// fields ([`BatchReport::tree_cache_hits`] /
+/// [`BatchReport::tree_cache_misses`]) necessarily differ across cache
+/// policies (and across worker-pool schedules, which move units between
+/// shard-local caches), so the hand-written `Serialize` impl below
+/// deliberately keeps them **off the wire**; read them from the struct or
+/// from the backend's [`crate::ServerStats`]. Deserialized reports carry
+/// them as 0.
+#[derive(Clone, Debug, Default)]
 pub struct BatchReport {
     /// Obfuscation mode used, with its parameters.
     pub mode: ObfuscationMode,
@@ -64,6 +80,15 @@ pub struct BatchReport {
     /// *not* a cumulative reading — the per-batch accounting tests pin
     /// this distinction.
     pub server_trees_grown: u64,
+    /// Backend trees served by cache adoption this batch (a per-batch
+    /// delta like the `server_*` fields; 0 under
+    /// [`crate::service::CachePolicy::Off`]). **Not serialized** — see the
+    /// type-level docs.
+    pub tree_cache_hits: u64,
+    /// Backend trees grown for real after a cache consultation this batch
+    /// (per-batch delta; 0 when no cache is attached). **Not
+    /// serialized** — see the type-level docs.
+    pub tree_cache_misses: u64,
     /// Per-client breach probability (Definition 2 applied to the unit the
     /// client was embedded in). Clients rejected at admission do not
     /// appear — they were never embedded in a query.
@@ -72,6 +97,79 @@ pub struct BatchReport {
     /// candidate results, delivered results), in the protocol's wire
     /// encoding.
     pub traffic: HopTraffic,
+}
+
+// Hand-written (the vendored serde derive has no `#[serde(skip)]`): the
+// wire form carries every logical field in declaration order — matching
+// what the derive produced before the cache fields existed — and omits
+// the two physical cache counters on purpose (see the type-level docs).
+impl serde::Serialize for BatchReport {
+    fn to_value(&self) -> serde::Value {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // BatchReport must fail to compile here, so a new logical counter
+        // can never silently fall off the wire; only the two cache
+        // counters are consciously discarded.
+        let BatchReport {
+            mode,
+            num_requests,
+            num_units,
+            total_pairs,
+            fakes_added,
+            candidate_paths,
+            candidate_path_nodes,
+            delivered_path_nodes,
+            server_settled,
+            server_relaxed,
+            server_trees_grown,
+            tree_cache_hits: _,
+            tree_cache_misses: _,
+            per_client_breach,
+            traffic,
+        } = self;
+        serde::Value::Object(vec![
+            ("mode".to_string(), mode.to_value()),
+            ("num_requests".to_string(), num_requests.to_value()),
+            ("num_units".to_string(), num_units.to_value()),
+            ("total_pairs".to_string(), total_pairs.to_value()),
+            ("fakes_added".to_string(), fakes_added.to_value()),
+            ("candidate_paths".to_string(), candidate_paths.to_value()),
+            ("candidate_path_nodes".to_string(), candidate_path_nodes.to_value()),
+            ("delivered_path_nodes".to_string(), delivered_path_nodes.to_value()),
+            ("server_settled".to_string(), server_settled.to_value()),
+            ("server_relaxed".to_string(), server_relaxed.to_value()),
+            ("server_trees_grown".to_string(), server_trees_grown.to_value()),
+            ("per_client_breach".to_string(), per_client_breach.to_value()),
+            ("traffic".to_string(), traffic.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for BatchReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = match v {
+            serde::Value::Object(e) => e.as_slice(),
+            _ => return Err(serde::DeError::expected("object for struct BatchReport")),
+        };
+        let field = |name: &str| serde::__field(entries, name);
+        Ok(BatchReport {
+            mode: serde::Deserialize::from_value(field("mode"))?,
+            num_requests: serde::Deserialize::from_value(field("num_requests"))?,
+            num_units: serde::Deserialize::from_value(field("num_units"))?,
+            total_pairs: serde::Deserialize::from_value(field("total_pairs"))?,
+            fakes_added: serde::Deserialize::from_value(field("fakes_added"))?,
+            candidate_paths: serde::Deserialize::from_value(field("candidate_paths"))?,
+            candidate_path_nodes: serde::Deserialize::from_value(field("candidate_path_nodes"))?,
+            delivered_path_nodes: serde::Deserialize::from_value(field("delivered_path_nodes"))?,
+            server_settled: serde::Deserialize::from_value(field("server_settled"))?,
+            server_relaxed: serde::Deserialize::from_value(field("server_relaxed"))?,
+            server_trees_grown: serde::Deserialize::from_value(field("server_trees_grown"))?,
+            // Off the wire by design; a deserialized report reads 0.
+            tree_cache_hits: 0,
+            tree_cache_misses: 0,
+            per_client_breach: serde::Deserialize::from_value(field("per_client_breach"))?,
+            traffic: serde::Deserialize::from_value(field("traffic"))?,
+        })
+    }
 }
 
 impl BatchReport {
@@ -112,6 +210,41 @@ mod tests {
         assert!(json.contains("\"mode\":\"SharedGlobal\""), "{json}");
         let back: BatchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.mode, ObfuscationMode::SharedGlobal);
+    }
+
+    #[test]
+    fn cache_counters_stay_off_the_wire() {
+        // The physical hit/miss pair must never reach the serialized
+        // report — it is the one thing that distinguishes cache policies,
+        // and the serialized report is the cross-policy determinism
+        // oracle.
+        let report = BatchReport {
+            server_trees_grown: 7,
+            tree_cache_hits: 5,
+            tree_cache_misses: 2,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("tree_cache"), "{json}");
+        // Two reports differing only in cache counters serialize
+        // byte-identically.
+        let other = BatchReport { server_trees_grown: 7, ..Default::default() };
+        assert_eq!(json, serde_json::to_string(&other).unwrap());
+        // Round-tripping keeps every logical field and zeroes the pair.
+        let back: BatchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.server_trees_grown, 7);
+        assert_eq!((back.tree_cache_hits, back.tree_cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn wire_field_order_matches_the_historical_derive() {
+        // Consumers parse reports positionally in spreadsheets; keep the
+        // hand-written impl aligned with the old derive layout.
+        let json = serde_json::to_string(&BatchReport::default()).unwrap();
+        let mode = json.find("\"mode\"").unwrap();
+        let first = json.find("\"num_requests\"").unwrap();
+        let last = json.find("\"traffic\"").unwrap();
+        assert!(mode < first && first < last, "{json}");
     }
 
     #[test]

@@ -237,6 +237,14 @@ impl SearchArena {
         self.dist[self.slot(tree, node)]
     }
 
+    /// Unchecked parent read ([`NIL`] for roots): call only when the label
+    /// is known current. Used by the sweep recorder to snapshot final
+    /// labels at settle time.
+    #[inline]
+    pub(crate) fn parent_raw(&self, tree: usize, node: NodeId) -> u32 {
+        self.parent[self.slot(tree, node)]
+    }
+
     /// Mark `node` settled in `tree`. Returns `false` when it already was
     /// (a stale lazy-deletion pop).
     #[inline]

@@ -16,6 +16,7 @@
 use crate::arena::SearchArena;
 use crate::path::Path;
 use crate::stats::SearchStats;
+use crate::trace::{SettleEvent, SweepTrace};
 use roadnet::{GraphView, NodeId};
 
 /// Search termination condition.
@@ -30,18 +31,62 @@ pub enum Goal {
     Set(Vec<NodeId>),
 }
 
-/// Run one Dijkstra sweep from `source` inside `arena` (tree 0) until
-/// `goal` is met. Returns per-run counters; the labels stay readable via
-/// [`SearchArena::distance`] / [`SearchArena::path_to`] until the arena's
-/// next search begins.
-///
-/// # Panics
-/// Panics if `source` is out of range for `g`.
-pub fn run_in<G: GraphView>(
+/// Observer of a sweep's settle events — the seam [`run_in_traced`] uses
+/// to record a [`SweepTrace`] without taxing the untraced hot path
+/// ([`run_in`] instantiates the no-op sink, which monomorphizes away).
+trait SettleSink {
+    /// Called right after `node` settles, **before** the goal check and
+    /// before the node expands its arcs, with the sweep's counters at
+    /// that instant — exactly what a sweep stopping here would report.
+    fn on_settle(&mut self, arena: &SearchArena, node: NodeId, stats: &SearchStats);
+
+    /// Called when the heap drains without an early stop (the sweep
+    /// exhausted the root's component).
+    fn on_exhausted(&mut self);
+}
+
+/// The zero-cost sink behind [`run_in`].
+struct NoRecord;
+
+impl SettleSink for NoRecord {
+    #[inline]
+    fn on_settle(&mut self, _: &SearchArena, _: NodeId, _: &SearchStats) {}
+    #[inline]
+    fn on_exhausted(&mut self) {}
+}
+
+/// Records every settle as a [`SettleEvent`] for a [`SweepTrace`].
+struct Recorder {
+    events: Vec<SettleEvent>,
+    exhausted: bool,
+}
+
+impl SettleSink for Recorder {
+    #[inline]
+    fn on_settle(&mut self, arena: &SearchArena, node: NodeId, stats: &SearchStats) {
+        self.events.push(SettleEvent {
+            node: node.0,
+            dist: arena.dist_raw(0, node),
+            parent: arena.parent_raw(0, node),
+            relaxed: stats.relaxed,
+            heap_pushes: stats.heap_pushes,
+            heap_pops: stats.heap_pops,
+        });
+    }
+
+    #[inline]
+    fn on_exhausted(&mut self) {
+        self.exhausted = true;
+    }
+}
+
+/// The one Dijkstra loop, parameterized over the settle observer.
+fn run_in_sink<G: GraphView, S: SettleSink>(
     arena: &mut SearchArena,
     g: &G,
     source: NodeId,
     goal: &Goal,
+    sink: &mut S,
 ) -> SearchStats {
     let n = g.num_nodes();
     assert!(source.index() < n, "source out of range");
@@ -59,6 +104,7 @@ pub fn run_in<G: GraphView>(
     arena.push(0.0, 0, source);
     stats.heap_pushes += 1;
 
+    let mut stopped = false;
     while let Some(e) = arena.pop() {
         stats.heap_pops += 1;
         // Lazy deletion: skip entries for already-settled nodes or labels
@@ -68,13 +114,18 @@ pub fn run_in<G: GraphView>(
         }
         arena.settle(0, e.node);
         stats.settled += 1;
+        sink.on_settle(arena, e.node, &stats);
 
         match goal {
-            Goal::Single(t) if *t == e.node => break,
+            Goal::Single(t) if *t == e.node => {
+                stopped = true;
+                break;
+            }
             Goal::Set(_) => {
                 if let Ok(pos) = remaining.binary_search(&e.node) {
                     remaining.remove(pos);
                     if remaining.is_empty() {
+                        stopped = true;
                         break;
                     }
                 }
@@ -90,8 +141,89 @@ pub fn run_in<G: GraphView>(
             }
         });
     }
+    if !stopped {
+        sink.on_exhausted();
+    }
     arena.put_goal_scratch(remaining);
     stats
+}
+
+/// Run one Dijkstra sweep from `source` inside `arena` (tree 0) until
+/// `goal` is met. Returns per-run counters; the labels stay readable via
+/// [`SearchArena::distance`] / [`SearchArena::path_to`] until the arena's
+/// next search begins.
+///
+/// # Panics
+/// Panics if `source` is out of range for `g`.
+pub fn run_in<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    source: NodeId,
+    goal: &Goal,
+) -> SearchStats {
+    run_in_sink(arena, g, source, goal, &mut NoRecord)
+}
+
+/// [`run_in`], additionally recording the sweep as a reusable
+/// [`SweepTrace`] (see [`crate::trace`]). The sweep itself is identical —
+/// same labels, same counters — recording only appends one event per
+/// settle, so tracing is safe to leave on whenever a tree cache might
+/// want the result.
+///
+/// # Panics
+/// Panics if `source` is out of range for `g`.
+pub fn run_in_traced<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    source: NodeId,
+    goal: &Goal,
+) -> (SearchStats, SweepTrace) {
+    // Reserve for the common deep-sweep case: one settle event per node
+    // keeps recording out of the reallocator on the misses a cache pays.
+    let mut rec = Recorder { events: Vec::with_capacity(g.num_nodes()), exhausted: false };
+    let stats = run_in_sink(arena, g, source, goal, &mut rec);
+    let trace = SweepTrace::from_parts(source, g.num_nodes(), rec.events, stats, rec.exhausted);
+    (stats, trace)
+}
+
+/// The **adopt-or-grow** single-tree sweep: consult `store` for a
+/// recorded sweep from `source` and adopt it when `goal` is provably
+/// inside the recorded prefix (skipping Dijkstra entirely, replaying
+/// byte-identical counters); otherwise grow the tree for real, record
+/// it, and re-store it (the deeper sweep replaces the shallower one).
+/// Hit or miss is reported through the store's counters.
+///
+/// This is the cached form of [`run_in`]; [`crate::multi::msmd_in_cached`]
+/// drives it once per tree of an MSMD evaluation.
+///
+/// # Panics
+/// Panics if `source` is out of range for `g`.
+pub fn run_in_cached<G: GraphView, S: crate::trace::TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    source: NodeId,
+    goal: &Goal,
+    store: &mut S,
+) -> SearchStats {
+    use crate::trace::SweepDirection;
+    assert!(source.index() < g.num_nodes(), "source out of range");
+    let adopted = store.lookup(source, SweepDirection::Forward).and_then(|trace| {
+        // A different node count can only mean a stale entry for another
+        // map; the store's epoch keying should already prevent this.
+        (trace.nodes() == g.num_nodes()).then(|| trace.adopt_into(arena, goal)).flatten()
+    });
+    match adopted {
+        Some(stats) => {
+            store.note_hit();
+            stats
+        }
+        None => {
+            store.note_miss();
+            let (stats, trace) = run_in_traced(arena, g, source, goal);
+            store.store(source, SweepDirection::Forward, trace);
+            stats
+        }
+    }
 }
 
 /// Reusable single-tree search space: a [`SearchArena`] behind the
@@ -130,6 +262,25 @@ impl Searcher {
     /// [`Searcher::path_to`].
     pub fn run<G: GraphView>(&mut self, g: &G, source: NodeId, goal: &Goal) -> SearchStats {
         run_in(&mut self.arena, g, source, goal)
+    }
+
+    /// [`Searcher::run`], additionally recording the sweep as a reusable
+    /// [`SweepTrace`] for a tree cache (see [`crate::trace`]).
+    pub fn run_traced<G: GraphView>(
+        &mut self,
+        g: &G,
+        source: NodeId,
+        goal: &Goal,
+    ) -> (SearchStats, SweepTrace) {
+        run_in_traced(&mut self.arena, g, source, goal)
+    }
+
+    /// Adopt a recorded sweep as this searcher's current search (skipping
+    /// Dijkstra entirely), when `goal` is provably inside the trace — see
+    /// [`SweepTrace::adopt_into`]. Afterwards [`Searcher::distance`] /
+    /// [`Searcher::path_to`] read the adopted tree.
+    pub fn adopt(&mut self, trace: &SweepTrace, goal: &Goal) -> Option<SearchStats> {
+        trace.adopt_into(&mut self.arena, goal)
     }
 
     /// Final distance to `n` from the last run's source, if `n` was

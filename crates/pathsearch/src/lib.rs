@@ -22,7 +22,12 @@
 //!   baseline;
 //! * [`multi`] — the MSMD processor with selectable sharing policies,
 //!   including the shared-frontier interleaved sweep (`frontier.rs`
-//!   internals);
+//!   internals) and the adopt-or-grow cached entry point
+//!   ([`msmd_in_cached`]);
+//! * [`trace`] — recorded, reusable sweeps ([`SweepTrace`]): extraction
+//!   and adoption of settled shortest-path trees with byte-identical
+//!   counter replay, the substrate of the service layer's shard-local
+//!   tree cache;
 //! * [`cost`] — the calibrated `O(‖s,t‖²)` cost model of Lemma 1.
 //!
 //! ## Quick example
@@ -54,14 +59,19 @@ pub mod multi;
 pub mod path;
 pub mod range;
 pub mod stats;
+pub mod trace;
 
 pub use alt::{AltPreprocessing, alt};
 pub use arena::SearchArena;
 pub use astar::{astar, astar_scaled, astar_with};
 pub use bidirectional::bidirectional;
 pub use cost::{CostModel, CostObservation};
-pub use dijkstra::{Goal, Searcher, multi_destination, run_in, shortest_distance, shortest_path};
-pub use multi::{MsmdResult, SharingPolicy, TreeSide, TreeStats, msmd, msmd_in};
+pub use dijkstra::{
+    Goal, Searcher, multi_destination, run_in, run_in_cached, run_in_traced, shortest_distance,
+    shortest_path,
+};
+pub use multi::{MsmdResult, SharingPolicy, TreeSide, TreeStats, msmd, msmd_in, msmd_in_cached};
 pub use path::Path;
 pub use range::{range_search, ring_search};
 pub use stats::SearchStats;
+pub use trace::{SettleEvent, SweepDirection, SweepTrace, TreeStore};

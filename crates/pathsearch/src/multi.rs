@@ -30,10 +30,11 @@
 //! beyond the result paths themselves.
 
 use crate::arena::SearchArena;
-use crate::dijkstra::{Goal, run_in};
+use crate::dijkstra::{Goal, run_in, run_in_cached};
 use crate::frontier;
 use crate::path::Path;
 use crate::stats::SearchStats;
+use crate::trace::TreeStore;
 use roadnet::{GraphView, NodeId};
 
 /// Evaluation strategy for an MSMD query.
@@ -182,6 +183,109 @@ pub fn msmd_in<G: GraphView>(
     }
 }
 
+/// [`msmd_in`] with a shard-local tree store: the **adopt-or-grow** entry
+/// point. Before growing a spanning tree, the store is consulted for a
+/// recorded sweep from the same root; when the tree's goal is provably
+/// inside the recorded prefix (every goal node settled, or the sweep
+/// complete — see [`crate::trace::SweepTrace::adopt_into`]) the Dijkstra
+/// sweep is skipped entirely and the cached labels and *byte-identical*
+/// counters are replayed. Otherwise the tree is grown for real, recorded,
+/// and re-stored (the deeper sweep replaces the shallower one).
+///
+/// The answers and every counter are identical to [`msmd_in`] under the
+/// same policy — caching, like execution strategy, must never change a
+/// report byte. Only hit/miss counts (reported through
+/// [`TreeStore::note_hit`] / [`TreeStore::note_miss`]) reveal that a
+/// cache was present.
+///
+/// [`SharingPolicy::SharedFrontier`] grows all trees in one interleaved
+/// sweep that does not decompose into per-root traces; under it the store
+/// is not consulted and the call degrades to plain [`msmd_in`].
+///
+/// # Panics
+/// Panics if `sources` or `targets` is empty or contains an out-of-range
+/// node — an obfuscated query always carries at least the true endpoints.
+pub fn msmd_in_cached<G: GraphView, S: TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    policy: SharingPolicy,
+    store: &mut S,
+) -> MsmdResult {
+    assert!(!sources.is_empty() && !targets.is_empty(), "S and T must be non-empty");
+    let n = g.num_nodes();
+    for &x in sources.iter().chain(targets) {
+        assert!(x.index() < n, "node {x} out of range");
+    }
+
+    match policy {
+        SharingPolicy::None => msmd_naive_cached(arena, g, sources, targets, store),
+        SharingPolicy::PerSource => msmd_per_source_cached(arena, g, sources, targets, store),
+        SharingPolicy::Auto => {
+            if targets.len() < sources.len() && g.is_symmetric() {
+                // Transposed trees really grow from the targets, but the
+                // sweep itself is an ordinary forward sweep (the view is
+                // symmetric), so they share cache entries with
+                // source-rooted trees at the same node.
+                let transposed = msmd_per_source_cached(arena, g, targets, sources, store);
+                transpose(transposed, sources.len(), targets.len())
+            } else {
+                msmd_per_source_cached(arena, g, sources, targets, store)
+            }
+        }
+        SharingPolicy::SharedFrontier => frontier::shared_frontier(arena, g, sources, targets),
+    }
+}
+
+/// [`msmd_naive`] through the store: one (possibly adopted) tree per
+/// pair. Within one unit, the second pair of a source frequently hits the
+/// trace the first pair just stored.
+fn msmd_naive_cached<G: GraphView, S: TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    store: &mut S,
+) -> MsmdResult {
+    let mut stats = SearchStats::default();
+    let mut per_tree = Vec::with_capacity(sources.len() * targets.len());
+    let mut paths = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let mut row = Vec::with_capacity(targets.len());
+        for &t in targets {
+            let run = run_in_cached(arena, g, s, &Goal::Single(t), store);
+            stats.merge(run);
+            per_tree.push(TreeStats { root: s, side: TreeSide::Source, stats: run });
+            row.push(arena.path_to(0, t));
+        }
+        paths.push(row);
+    }
+    MsmdResult { paths, stats, per_tree }
+}
+
+/// [`msmd_per_source`] through the store: one (possibly adopted)
+/// multi-destination tree per source.
+fn msmd_per_source_cached<G: GraphView, S: TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    store: &mut S,
+) -> MsmdResult {
+    let mut stats = SearchStats::default();
+    let mut per_tree = Vec::with_capacity(sources.len());
+    let goal = Goal::Set(targets.to_vec());
+    let mut paths = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let run = run_in_cached(arena, g, s, &goal, store);
+        stats.merge(run);
+        per_tree.push(TreeStats { root: s, side: TreeSide::Source, stats: run });
+        paths.push(targets.iter().map(|&t| arena.path_to(0, t)).collect());
+    }
+    MsmdResult { paths, stats, per_tree }
+}
+
 fn msmd_naive<G: GraphView>(
     arena: &mut SearchArena,
     g: &G,
@@ -248,6 +352,7 @@ fn transpose(r: MsmdResult, num_sources: usize, num_targets: usize) -> MsmdResul
 #[allow(clippy::needless_range_loop)] // (i, j) index the result matrix and both sets in lockstep
 mod tests {
     use super::*;
+    use crate::trace::{SweepDirection, TreeStore};
     use roadnet::generators::{GridConfig, NetworkClass, grid_network};
 
     fn net() -> roadnet::RoadNetwork {
@@ -487,6 +592,171 @@ mod tests {
         for (i, tree) in auto.per_tree.iter().enumerate() {
             assert_eq!((tree.root, tree.side), (sources[i], TreeSide::Source));
         }
+    }
+
+    /// Unbounded map-backed [`TreeStore`] for cache-equivalence tests.
+    #[derive(Default)]
+    struct MapStore {
+        map: std::collections::HashMap<(u32, SweepDirection), crate::trace::SweepTrace>,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl TreeStore for MapStore {
+        fn lookup(
+            &mut self,
+            root: NodeId,
+            direction: SweepDirection,
+        ) -> Option<&crate::trace::SweepTrace> {
+            self.map.get(&(root.0, direction))
+        }
+
+        fn store(
+            &mut self,
+            root: NodeId,
+            direction: SweepDirection,
+            trace: crate::trace::SweepTrace,
+        ) {
+            let entry = self.map.entry((root.0, direction));
+            match entry {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    if trace.len() >= o.get().len() {
+                        o.insert(trace);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(trace);
+                }
+            }
+        }
+
+        fn note_hit(&mut self) {
+            self.hits += 1;
+        }
+
+        fn note_miss(&mut self) {
+            self.misses += 1;
+        }
+    }
+
+    #[test]
+    fn cached_msmd_is_byte_identical_to_uncached_and_hits_on_reuse() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        let mut plain_arena = SearchArena::new();
+        let mut cached_arena = SearchArena::new();
+        for policy in [SharingPolicy::None, SharingPolicy::PerSource, SharingPolicy::Auto] {
+            let mut store = MapStore::default();
+            // Round 1: cold cache — everything misses but must still
+            // match the uncached engine exactly, stats included.
+            // Rounds 2..: warm cache — hits replay the same bytes.
+            for round in 0..3 {
+                let reference = msmd_in(&mut plain_arena, &g, &s, &t, policy);
+                let cached = msmd_in_cached(&mut cached_arena, &g, &s, &t, policy, &mut store);
+                assert_eq!(cached.stats, reference.stats, "{} round {round}", policy.name());
+                assert_eq!(
+                    cached.per_tree.len(),
+                    reference.per_tree.len(),
+                    "{} round {round}",
+                    policy.name()
+                );
+                for (a, b) in cached.per_tree.iter().zip(&reference.per_tree) {
+                    assert_eq!(a, b, "{} round {round}: per-tree stats diverged", policy.name());
+                }
+                for i in 0..s.len() {
+                    for j in 0..t.len() {
+                        assert_eq!(
+                            cached.paths[i][j],
+                            reference.paths[i][j],
+                            "{} round {round} pair ({i},{j})",
+                            policy.name()
+                        );
+                    }
+                }
+            }
+            assert!(store.hits > 0, "{}: warm rounds must hit", policy.name());
+            assert!(store.misses > 0, "{}: the cold round must miss", policy.name());
+        }
+    }
+
+    #[test]
+    fn cached_auto_transposition_shares_roots_with_source_trees() {
+        let g = net();
+        // 5 sources, 2 targets: Auto transposes, rooting trees at the two
+        // targets — which then serve as cache entries for a later query
+        // where those nodes appear as *sources* (symmetric view).
+        let sources: Vec<NodeId> = (0..5).map(|i| NodeId(i * 40)).collect();
+        let targets = vec![NodeId(255), NodeId(17)];
+        let mut arena = SearchArena::new();
+        let mut store = MapStore::default();
+        let auto =
+            msmd_in_cached(&mut arena, &g, &sources, &targets, SharingPolicy::Auto, &mut store);
+        assert_eq!(auto.per_tree.len(), 2);
+        assert_eq!(store.misses, 2);
+
+        // Same roots, now as sources of a PerSource query with nearby
+        // goals: both trees adopt (the transposed sweeps covered the whole
+        // source spread, which includes these goals).
+        let reference = msmd(&g, &targets, &[NodeId(0), NodeId(80)], SharingPolicy::PerSource);
+        let cached = msmd_in_cached(
+            &mut arena,
+            &g,
+            &targets,
+            &[NodeId(0), NodeId(80)],
+            SharingPolicy::PerSource,
+            &mut store,
+        );
+        assert_eq!(store.hits, 2, "transposed trees are reusable as forward trees");
+        assert_eq!(cached.stats, reference.stats);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(cached.paths[i][j], reference.paths[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_shared_frontier_bypasses_the_store() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        let mut arena = SearchArena::new();
+        let mut store = MapStore::default();
+        let reference = msmd(&g, &s, &t, SharingPolicy::SharedFrontier);
+        let r = msmd_in_cached(&mut arena, &g, &s, &t, SharingPolicy::SharedFrontier, &mut store);
+        assert_eq!(r.stats, reference.stats);
+        assert_eq!((store.hits, store.misses), (0, 0), "frontier sweeps are not cacheable");
+        assert!(store.map.is_empty());
+    }
+
+    #[test]
+    fn cached_msmd_handles_disconnected_pairs() {
+        use roadnet::{GraphBuilder, Point};
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(4), NodeId(5), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let s = [NodeId(0), NodeId(4)];
+        let t = [NodeId(2), NodeId(5)];
+        let mut store = MapStore::default();
+        let mut arena = SearchArena::new();
+        for round in 0..2 {
+            let reference = msmd(&g, &s, &t, SharingPolicy::PerSource);
+            let cached =
+                msmd_in_cached(&mut arena, &g, &s, &t, SharingPolicy::PerSource, &mut store);
+            assert_eq!(cached.stats, reference.stats, "round {round}");
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(cached.paths[i][j], reference.paths[i][j], "round {round}");
+                }
+            }
+        }
+        // Unreachable targets force complete sweeps, which are adoptable:
+        // the second round is all hits.
+        assert_eq!((store.hits, store.misses), (2, 2));
     }
 
     #[test]

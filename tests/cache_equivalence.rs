@@ -1,0 +1,318 @@
+//! The tree cache's headline guarantee, as a property: for random maps,
+//! random batches, random obfuscator seeds, any sharing policy the cache
+//! serves, and any LRU capacity, `CachePolicy::Lru` produces
+//! **byte-identical** batch output to `CachePolicy::Off` — the same
+//! delivered paths, the same per-client outcomes, and the same serialized
+//! `BatchReport` — including under `ExecutionPolicy::WorkerPool`, where
+//! the nondeterministic unit-to-shard assignment decides which shard-local
+//! cache sees which root.
+//!
+//! A cache may only skip work, never change it. Adoption replays the
+//! skipped sweep's counters byte-for-byte (per-settle snapshots in
+//! `pathsearch::trace`), and the physical hit/miss pair is deliberately
+//! excluded from the serialized report, so any divergence this test could
+//! catch would be a real reuse bug: a stale tree adopted past its radius,
+//! a transposed tree mis-keyed, stats replayed from the wrong prefix.
+//!
+//! Batches repeat across rounds on purpose — round 1 populates the
+//! caches, later rounds adopt — so the property is exercised on warm
+//! caches, not just cold ones.
+
+use opaque::{
+    CachePolicy, ClientId, ClientRequest, ClusteringConfig, DirectionsBackend, ExecutionPolicy,
+    ObfuscationMode, PathQuery, ProtectionSettings, ServiceBuilder, ServiceResponse,
+};
+use pathsearch::SharingPolicy;
+use proptest::prelude::*;
+use roadnet::{GraphBuilder, NodeId, Point, RoadNetwork};
+
+/// Random connected road map: a random spanning tree plus extra random
+/// edges (parallel roads allowed), positive weights.
+fn arb_map(max_nodes: usize) -> impl Strategy<Value = RoadNetwork> {
+    (4..max_nodes)
+        .prop_flat_map(|n| {
+            let coords = proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n);
+            let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+            let extra = proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..3.0), 0..n);
+            (coords, parents, extra)
+        })
+        .prop_map(|(coords, parents, extra)| {
+            let mut b = GraphBuilder::new();
+            for (x, y) in &coords {
+                b.add_node(Point::new(*x, *y)).expect("finite coords");
+            }
+            let n = coords.len();
+            let euclid = |a: usize, c: usize| {
+                Point::new(coords[a].0, coords[a].1).distance(Point::new(coords[c].0, coords[c].1))
+            };
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = (*p as usize) % child;
+                let w = euclid(parent, child).max(f64::EPSILON) * 1.1;
+                b.add_edge(NodeId::from_index(parent), NodeId::from_index(child), w)
+                    .expect("valid tree edge");
+            }
+            for (a, c, factor) in extra {
+                let (a, c) = (a as usize % n, c as usize % n);
+                if a != c {
+                    let w = euclid(a, c).max(f64::EPSILON) * factor;
+                    b.add_edge(NodeId::from_index(a), NodeId::from_index(c), w)
+                        .expect("valid extra edge");
+                }
+            }
+            b.build().expect("non-empty graph")
+        })
+}
+
+/// A batch of requests with unique client ids; endpoints and protection
+/// demands are arbitrary (including infeasible ones — rejections must be
+/// identical across cache policies too).
+fn arb_batch(max_requests: usize) -> impl Strategy<Value = Vec<(u32, u32, u32, u32)>> {
+    proptest::collection::vec(
+        (proptest::num::u32::ANY, proptest::num::u32::ANY, 1u32..5, 1u32..5),
+        1..max_requests,
+    )
+}
+
+fn requests_on(map: &RoadNetwork, raw: &[(u32, u32, u32, u32)]) -> Vec<ClientRequest> {
+    let n = map.num_nodes() as u32;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(s, t, f_s, f_t))| {
+            ClientRequest::new(
+                ClientId(i as u32),
+                PathQuery::new(NodeId(s % n), NodeId(t % n)),
+                ProtectionSettings::new(f_s, f_t).expect("nonzero by construction"),
+            )
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_service(
+    map: RoadNetwork,
+    seed: u64,
+    mode: ObfuscationMode,
+    sharing: SharingPolicy,
+    shards: usize,
+    execution: ExecutionPolicy,
+    cache: CachePolicy,
+) -> opaque::OpaqueService<opaque::DefaultBackend> {
+    ServiceBuilder::new()
+        .map(map)
+        .seed(seed)
+        .shards(shards)
+        .obfuscation_mode(mode)
+        .sharing_policy(sharing)
+        .execution_policy(execution)
+        .cache_policy(cache)
+        .verify_results(true)
+        .build()
+        .expect("valid configuration")
+}
+
+/// The equivalence oracle: every observable piece of a batch's output.
+fn assert_identical(a: &ServiceResponse, b: &ServiceResponse, ctx: &str) {
+    assert_eq!(a.outcomes, b.outcomes, "{ctx}: per-client outcomes diverged");
+    assert_eq!(a.results.len(), b.results.len(), "{ctx}: delivery count diverged");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.client, y.client, "{ctx}: delivery order diverged");
+        assert_eq!(x.path, y.path, "{ctx}: delivered path diverged for {:?}", x.client);
+    }
+    let a_json = serde_json::to_string(&a.report).expect("report serializes");
+    let b_json = serde_json::to_string(&b.report).expect("report serializes");
+    assert_eq!(a_json, b_json, "{ctx}: BatchReport not byte-identical");
+}
+
+/// Logical fleet counters: everything except the physical hit/miss pair,
+/// which is the one thing allowed to differ between cache policies.
+fn logical_stats(svc: &opaque::OpaqueService<opaque::DefaultBackend>) -> opaque::ServerStats {
+    let mut stats = svc.backend().stats();
+    stats.tree_cache_hits = 0;
+    stats.tree_cache_misses = 0;
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lru_is_byte_identical_to_off(
+        map in arb_map(40),
+        raw_batch in arb_batch(10),
+        seed in proptest::num::u64::ANY,
+        trees in 1usize..12,
+        mode_pick in 0u8..3,
+        sharing_pick in 0u8..3,
+    ) {
+        let mode = match mode_pick {
+            0 => ObfuscationMode::Independent,
+            1 => ObfuscationMode::SharedGlobal,
+            _ => ObfuscationMode::SharedClustered(ClusteringConfig::default()),
+        };
+        // The three policies the cache actually serves (SharedFrontier
+        // bypasses it and is pinned separately below).
+        let sharing = match sharing_pick {
+            0 => SharingPolicy::None,
+            1 => SharingPolicy::PerSource,
+            _ => SharingPolicy::Auto,
+        };
+        let requests = requests_on(&map, &raw_batch);
+        let mut off = build_service(
+            map.clone(), seed, mode, sharing, 1,
+            ExecutionPolicy::Sequential, CachePolicy::Off,
+        );
+        let mut lru = build_service(
+            map.clone(), seed, mode, sharing, 1,
+            ExecutionPolicy::Sequential, CachePolicy::Lru { trees },
+        );
+
+        // Repeated rounds: round 1 is cold, later rounds adopt. The
+        // obfuscator RNG advances identically (caching is downstream of
+        // obfuscation), so both services see identical units each round.
+        for round in 0..3 {
+            let ctx = format!(
+                "n={} requests={} seed={seed} trees={trees} mode={mode:?} \
+                 sharing={sharing:?} round={round}",
+                map.num_nodes(),
+                requests.len()
+            );
+            match (off.process_batch(&requests), lru.process_batch(&requests)) {
+                (Ok(a), Ok(b)) => assert_identical(&a, &b, &ctx),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{}: errors diverged", ctx),
+                (a, b) => prop_assert!(
+                    false,
+                    "{}: one cache policy failed, the other did not: {:?} vs {:?}",
+                    ctx,
+                    a.map(|r| r.outcomes),
+                    b.map(|r| r.outcomes)
+                ),
+            }
+        }
+        prop_assert_eq!(logical_stats(&off), logical_stats(&lru), "logical fleet stats diverged");
+    }
+
+    #[test]
+    fn lru_under_a_worker_pool_is_byte_identical_to_off_sequential(
+        map in arb_map(30),
+        raw_batch in arb_batch(8),
+        seed in proptest::num::u64::ANY,
+        threads in 2usize..6,
+        trees in 1usize..8,
+    ) {
+        // The adversarial composition: per-shard caches + nondeterministic
+        // unit-to-shard assignment. Which cache sees which root varies run
+        // to run; reports must not.
+        let requests = requests_on(&map, &raw_batch);
+        let mode = ObfuscationMode::Independent;
+        let mut off = build_service(
+            map.clone(), seed, mode, SharingPolicy::PerSource, threads,
+            ExecutionPolicy::Sequential, CachePolicy::Off,
+        );
+        let mut lru = build_service(
+            map.clone(), seed, mode, SharingPolicy::PerSource, threads,
+            ExecutionPolicy::WorkerPool { threads }, CachePolicy::Lru { trees },
+        );
+        for round in 0..3 {
+            let ctx = format!("seed={seed} threads={threads} trees={trees} round={round}");
+            match (off.process_batch(&requests), lru.process_batch(&requests)) {
+                (Ok(a), Ok(b)) => assert_identical(&a, &b, &ctx),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{}", ctx),
+                (a, b) => prop_assert!(false, "{}: {:?} vs {:?}", ctx, a.is_ok(), b.is_ok()),
+            }
+        }
+        prop_assert_eq!(logical_stats(&off), logical_stats(&lru));
+    }
+}
+
+/// Deterministic pin: the equivalence above is not vacuous — repeated
+/// batches on a hotspot-style stream really do hit the cache, and hits
+/// really do skip settled work (the cached service is doing *less*, not
+/// the same work twice).
+#[test]
+fn repeated_batches_actually_hit_the_cache() {
+    use roadnet::generators::{GridConfig, grid_network};
+    let map =
+        grid_network(&GridConfig { width: 16, height: 16, seed: 3, ..Default::default() }).unwrap();
+    let requests: Vec<ClientRequest> = (0..6)
+        .map(|i| {
+            ClientRequest::new(
+                ClientId(i),
+                // Six clients, two shared destinations — everyone heads
+                // to one of two "malls".
+                PathQuery::new(NodeId(i * 40 % 256), NodeId(if i % 2 == 0 { 255 } else { 17 })),
+                ProtectionSettings::new(1, 1).unwrap(),
+            )
+        })
+        .collect();
+    let mut svc = ServiceBuilder::new()
+        .map(map)
+        .seed(11)
+        .sharing_policy(SharingPolicy::PerSource)
+        .cache_policy(CachePolicy::Lru { trees: 32 })
+        .verify_results(true)
+        .build()
+        .unwrap();
+
+    let first = svc.process_batch(&requests).unwrap();
+    let stats_cold = svc.backend().stats();
+    assert_eq!(stats_cold.tree_cache_hits, 0, "cold cache cannot hit");
+    assert_eq!(stats_cold.tree_cache_misses, 6, "one consulted tree per request");
+
+    let second = svc.process_batch(&requests).unwrap();
+    let stats_warm = svc.backend().stats();
+    assert_eq!(stats_warm.tree_cache_hits, 6, "identical stream: every tree adopts");
+    // Reports stay byte-identical across the cold/warm boundary (same
+    // logical work — protection 1 adds no fakes, so both batches carry
+    // identical queries).
+    assert_eq!(
+        serde_json::to_string(&first.report).unwrap(),
+        serde_json::to_string(&second.report).unwrap()
+    );
+    // And the per-batch delta pins: hit/miss counters in the report are
+    // per-batch, like every other server_* field.
+    assert_eq!((first.report.tree_cache_hits, first.report.tree_cache_misses), (0, 6));
+    assert_eq!((second.report.tree_cache_hits, second.report.tree_cache_misses), (6, 0));
+}
+
+/// SharedFrontier does not decompose into per-root sweeps; the cache must
+/// stay inert under it rather than corrupt anything.
+#[test]
+fn shared_frontier_ignores_the_cache_but_stays_identical() {
+    use roadnet::generators::{GridConfig, grid_network};
+    let map =
+        grid_network(&GridConfig { width: 12, height: 12, seed: 5, ..Default::default() }).unwrap();
+    let requests: Vec<ClientRequest> = (0..4)
+        .map(|i| {
+            ClientRequest::new(
+                ClientId(i),
+                PathQuery::new(NodeId(i * 30), NodeId(143 - i * 7)),
+                ProtectionSettings::new(3, 3).unwrap(),
+            )
+        })
+        .collect();
+    let build = |cache| {
+        ServiceBuilder::new()
+            .map(map.clone())
+            .seed(7)
+            .sharing_policy(SharingPolicy::SharedFrontier)
+            .obfuscation_mode(ObfuscationMode::SharedGlobal)
+            .cache_policy(cache)
+            .verify_results(true)
+            .build()
+            .unwrap()
+    };
+    let mut off = build(CachePolicy::Off);
+    let mut lru = build(CachePolicy::Lru { trees: 16 });
+    for round in 0..2 {
+        let a = off.process_batch(&requests).unwrap();
+        let b = lru.process_batch(&requests).unwrap();
+        assert_identical(&a, &b, &format!("shared-frontier round {round}"));
+    }
+    let stats = lru.backend().stats();
+    assert_eq!(
+        (stats.tree_cache_hits, stats.tree_cache_misses),
+        (0, 0),
+        "frontier sweeps never consult the cache"
+    );
+}
