@@ -3,12 +3,7 @@
 //! batch execution layer (sequential vs worker pool) over a shard fleet.
 
 use criterion::{Criterion, criterion_group, criterion_main};
-#[allow(deprecated)] // experiment still on the compat shim; migration tracked in ROADMAP
-use opaque::OpaqueSystem;
-use opaque::{
-    ClusteringConfig, DirectionsServer, ExecutionPolicy, FakeSelection, ObfuscationMode,
-    Obfuscator, ServiceBuilder,
-};
+use opaque::{ClusteringConfig, ExecutionPolicy, FakeSelection, ObfuscationMode, ServiceBuilder};
 use pathsearch::SharingPolicy;
 use roadnet::SpatialIndex;
 use roadnet::generators::NetworkClass;
@@ -16,7 +11,6 @@ use std::hint::black_box;
 use std::time::Duration;
 use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
 
-#[allow(deprecated)] // benchmark still on the compat shim; migration tracked in ROADMAP
 fn bench(c: &mut Criterion) {
     let g = NetworkClass::Grid.generate(2_500, 0xBE).expect("valid network");
     let idx = SpatialIndex::build(&g);
@@ -40,15 +34,18 @@ fn bench(c: &mut Criterion) {
         group.bench_function(mode.to_string(), |b| {
             b.iter_batched(
                 || {
-                    OpaqueSystem::new(
-                        Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xBE),
-                        DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
-                    )
+                    ServiceBuilder::new()
+                        .map(g.clone())
+                        .fake_selection(FakeSelection::default_ring())
+                        .seed(0xBE)
+                        .sharing_policy(SharingPolicy::PerSource)
+                        .obfuscation_mode(mode)
+                        .build()
+                        .expect("valid configuration")
                 },
-                |mut sys| {
-                    let (results, report) =
-                        sys.process_batch(black_box(&requests), mode).expect("ok");
-                    black_box((results.len(), report.server_settled))
+                |mut svc| {
+                    let response = svc.process_batch(black_box(&requests)).expect("ok");
+                    black_box((response.results.len(), response.report.server_settled))
                 },
                 criterion::BatchSize::LargeInput,
             )

@@ -9,9 +9,7 @@
 
 use crate::setup::Scale;
 use crate::table::{ExperimentTable, f3};
-#[allow(deprecated)] // experiment still on the compat shim; migration tracked in ROADMAP
-use opaque::OpaqueSystem;
-use opaque::{ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator};
+use opaque::{ClusteringConfig, FakeSelection, ObfuscationMode, Obfuscator, ServiceBuilder};
 use pathsearch::SharingPolicy;
 use roadnet::SpatialIndex;
 use roadnet::generators::NetworkClass;
@@ -19,7 +17,6 @@ use std::time::Instant;
 use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
 
 /// Run E10.
-#[allow(deprecated)] // experiment still on the compat shim
 pub fn run(scale: &Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "E10",
@@ -62,14 +59,16 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             .expect("pipeline succeeds");
         let obfuscate_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let mut sys = OpaqueSystem::new(
-            Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xE10),
-            DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
-        );
+        let mut svc = ServiceBuilder::new()
+            .map(g.clone())
+            .fake_selection(FakeSelection::default_ring())
+            .seed(0xE10)
+            .sharing_policy(SharingPolicy::PerSource)
+            .obfuscation_mode(ObfuscationMode::SharedClustered(ClusteringConfig::default()))
+            .build()
+            .expect("valid service configuration");
         let t1 = Instant::now();
-        let (_, report) = sys
-            .process_batch(&requests, ObfuscationMode::SharedClustered(ClusteringConfig::default()))
-            .expect("pipeline succeeds");
+        let report = svc.process_batch(&requests).expect("pipeline succeeds").report;
         let serve_ms = (t1.elapsed().as_secs_f64() * 1e3 - obfuscate_ms).max(0.0);
 
         let _ = units; // the timed artifact; contents already validated elsewhere

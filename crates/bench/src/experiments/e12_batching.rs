@@ -12,7 +12,7 @@
 
 use crate::setup::{Scale, network_with_index};
 use crate::table::{ExperimentTable, f3};
-use opaque::{BatchPolicy, ClusteringConfig, ObfuscationMode, ServiceBuilder};
+use opaque::{BatchPolicy, ClusteringConfig, ObfuscationMode, ServiceBuilder, ServiceEvent};
 use roadnet::generators::NetworkClass;
 use workload::{
     ArrivalConfig, ProtectionDistribution, QueryDistribution, WorkloadConfig, poisson_stream,
@@ -66,20 +66,37 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         let mut settled = 0u64;
         let mut breach_sum = 0.0;
         let mut wait_sum = 0.0;
-        let mut account = |response: opaque::ServiceResponse| {
-            let served = response.outcomes.len();
-            batches += 1;
-            clients += served;
-            // Per-client privacy/cost columns divide by *embedded* clients
-            // (per_client_breach covers delivered + unreachable, not
-            // rejected), so a workload that ever rejects cannot dilute
-            // them. This grid workload admits everything, so embedded ==
-            // clients here.
-            embedded += response.report.per_client_breach.len();
-            fakes += response.report.fakes_added;
-            settled += response.report.server_settled;
-            breach_sum += response.report.per_client_breach.iter().map(|(_, p)| p).sum::<f64>();
-            wait_sum += response.mean_wait * served as f64;
+        let mut account = |events: Vec<ServiceEvent>| {
+            assert!(!events.is_empty(), "a fired trigger must emit events");
+            for event in events {
+                match event {
+                    // Per-request queue waits come straight off the
+                    // delivery events (hop 4), no mean reconstruction.
+                    ServiceEvent::ResponseReady { waited, .. } => {
+                        clients += 1;
+                        wait_sum += waited;
+                    }
+                    ServiceEvent::Unreachable { waited, .. }
+                    | ServiceEvent::Rejected { waited, .. } => {
+                        clients += 1;
+                        wait_sum += waited;
+                    }
+                    ServiceEvent::Cancelled { .. } => {}
+                    ServiceEvent::BatchFlushed(report) => {
+                        batches += 1;
+                        // Per-client privacy/cost columns divide by
+                        // *embedded* clients (per_client_breach covers
+                        // delivered + unreachable, not rejected), so a
+                        // workload that ever rejects cannot dilute them.
+                        // This grid workload admits everything, so
+                        // embedded == clients here.
+                        embedded += report.per_client_breach.len();
+                        fakes += report.fakes_added;
+                        settled += report.server_settled;
+                        breach_sum += report.per_client_breach.iter().map(|(_, p)| p).sum::<f64>();
+                    }
+                }
+            }
         };
         // Tick at exact deadline instants (service-reported, and the
         // deadline trigger is exact at `next_deadline()` by contract), not
@@ -89,18 +106,19 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         // itself.
         for timed in &stream {
             while let Some(d) = svc.next_deadline().filter(|d| timed.arrival >= *d) {
-                let response =
-                    svc.tick(d).expect("pipeline succeeds").expect("deadline trigger fires");
-                account(response);
+                account(svc.tick(d).expect("pipeline succeeds"));
             }
-            svc.submit(timed.request, timed.arrival).expect("unique client ids");
+            assert!(
+                svc.submit(timed.request, timed.arrival).is_accepted(),
+                "unique client ids under an unbounded queue"
+            );
         }
         while let Some(d) = svc.next_deadline().filter(|d| *d < horizon) {
-            let response = svc.tick(d).expect("pipeline succeeds").expect("deadline trigger fires");
-            account(response);
+            account(svc.tick(d).expect("pipeline succeeds"));
         }
-        if let Some(response) = svc.flush(horizon).expect("pipeline succeeds") {
-            account(response);
+        let final_events = svc.flush(horizon).expect("pipeline succeeds");
+        if !final_events.is_empty() {
+            account(final_events);
         }
 
         let k = clients as f64;

@@ -10,15 +10,12 @@
 
 use crate::setup::{Scale, network_with_index};
 use crate::table::{ExperimentTable, f3};
-#[allow(deprecated)] // experiment still on the compat shim; migration tracked in ROADMAP
-use opaque::OpaqueSystem;
-use opaque::{ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator};
+use opaque::{ClusteringConfig, FakeSelection, ObfuscationMode, ServiceBuilder};
 use pathsearch::SharingPolicy;
 use roadnet::generators::NetworkClass;
 use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
 
 /// Run E5.
-#[allow(deprecated)] // experiment still on the compat shim
 pub fn run(scale: &Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "E5",
@@ -42,12 +39,16 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             ObfuscationMode::SharedClustered(ClusteringConfig::default()),
             ObfuscationMode::SharedGlobal,
         ] {
-            let mut sys = OpaqueSystem::new(
-                Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xE5),
-                DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
-            );
-            let (results, report) = sys.process_batch(&requests, mode).expect("pipeline succeeds");
-            assert_eq!(results.len(), k, "every client must be answered");
+            let mut svc = ServiceBuilder::new()
+                .map(g.clone())
+                .fake_selection(FakeSelection::default_ring())
+                .seed(0xE5)
+                .sharing_policy(SharingPolicy::PerSource)
+                .build()
+                .expect("valid service configuration");
+            let response = svc.process_batch_with_mode(&requests, mode).expect("pipeline succeeds");
+            let report = response.report;
+            assert_eq!(response.results.len(), k, "every client must be answered");
             t.row(vec![
                 k.to_string(),
                 mode.to_string(),

@@ -9,15 +9,12 @@
 
 use crate::setup::{Scale, network_with_index};
 use crate::table::{ExperimentTable, f3};
-#[allow(deprecated)] // experiment still on the compat shim; migration tracked in ROADMAP
-use opaque::OpaqueSystem;
-use opaque::{ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator};
+use opaque::{ClusteringConfig, FakeSelection, ObfuscationMode, ServiceBuilder};
 use pathsearch::SharingPolicy;
 use roadnet::generators::NetworkClass;
 use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
 
 /// Run E8.
-#[allow(deprecated)] // experiment still on the compat shim
 pub fn run(scale: &Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "E8",
@@ -47,11 +44,15 @@ pub fn run(scale: &Scale) -> ExperimentTable {
             ObfuscationMode::SharedClustered(ClusteringConfig::default()),
             ObfuscationMode::SharedGlobal,
         ] {
-            let mut sys = OpaqueSystem::new(
-                Obfuscator::new(g.clone(), FakeSelection::default_ring(), 0xE8),
-                DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
-            );
-            let (_, report) = sys.process_batch(&requests, mode).expect("pipeline succeeds");
+            let mut svc = ServiceBuilder::new()
+                .map(g.clone())
+                .fake_selection(FakeSelection::default_ring())
+                .seed(0xE8)
+                .sharing_policy(SharingPolicy::PerSource)
+                .build()
+                .expect("valid service configuration");
+            let report =
+                svc.process_batch_with_mode(&requests, mode).expect("pipeline succeeds").report;
             t.row(vec![
                 wname.into(),
                 mode.to_string(),

@@ -6,6 +6,7 @@ pub mod e12_batching;
 pub mod e13_frontier;
 pub mod e14_parallel;
 pub mod e15_cache;
+pub mod e16_gateway;
 pub mod e1_algorithms;
 pub mod e2_techniques;
 pub mod e3_breach;
@@ -20,8 +21,9 @@ use crate::setup::Scale;
 use crate::table::ExperimentTable;
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Run one experiment by id.
@@ -42,6 +44,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
         "e13" => Some(e13_frontier::run(scale)),
         "e14" => Some(e14_parallel::run(scale)),
         "e15" => Some(e15_cache::run(scale)),
+        "e16" => Some(e16_gateway::run(scale)),
         _ => None,
     }
 }

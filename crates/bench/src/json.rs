@@ -7,16 +7,18 @@
 //!
 //! ```json
 //! {
-//!   "e15": { "wall_ms": 12.5, "trees_grown": 48, "cache_hit_rate": 0.62 }
+//!   "e15": { "wall_ms": 12.5, "trees_grown": 48, "cache_hit_rate": 0.62,
+//!            "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0 }
 //! }
 //! ```
 //!
-//! `wall_ms` is measured by the harness around the experiment run;
-//! `trees_grown` / `cache_hit_rate` come from the experiment's recorded
+//! `wall_ms` is measured by the harness around the experiment run; every
+//! other field comes from the experiment's recorded
 //! [`ExperimentTable::metric`] values (0 when an experiment does not
-//! track one — e.g. `cache_hit_rate` before `e15` existed). Keeping the
-//! emitter on table metrics rather than formatted rows means trend
-//! tooling never screen-scrapes.
+//! track one — e.g. `cache_hit_rate` before `e15` existed, or the
+//! gateway latency trio before `e16`). Keeping the emitter on table
+//! metrics rather than formatted rows means trend tooling never
+//! screen-scrapes.
 
 use crate::table::ExperimentTable;
 
@@ -32,23 +34,36 @@ pub struct PerfPoint {
     /// Cache hit rate of the experiment's cached configuration (0 when
     /// the experiment has no cache axis).
     pub cache_hit_rate: f64,
+    /// Median gateway queue wait in simulated seconds (0 when the
+    /// experiment has no admission queue axis).
+    pub queue_wait_p50: f64,
+    /// p99 gateway queue wait in simulated seconds (0 when untracked).
+    pub queue_wait_p99: f64,
+    /// Fraction of submissions refused at the door or shed by deadline
+    /// (0 when untracked).
+    pub rejection_rate: f64,
 }
 
 impl PerfPoint {
     /// Build a point from a finished experiment table and its measured
     /// wall time, reading the table's recorded metrics.
     pub fn from_table(table: &ExperimentTable, wall_ms: f64) -> Self {
+        let metric = |name: &str| table.metric_value(name).unwrap_or(0.0);
         PerfPoint {
             experiment: table.id.to_ascii_lowercase(),
             wall_ms,
-            trees_grown: table.metric_value("trees_grown").unwrap_or(0.0) as u64,
-            cache_hit_rate: table.metric_value("cache_hit_rate").unwrap_or(0.0),
+            trees_grown: metric("trees_grown") as u64,
+            cache_hit_rate: metric("cache_hit_rate"),
+            queue_wait_p50: metric("queue_wait_p50"),
+            queue_wait_p99: metric("queue_wait_p99"),
+            rejection_rate: metric("rejection_rate"),
         }
     }
 }
 
 /// The full artifact: an ordered set of [`PerfPoint`]s serialized as one
-/// `experiment → {wall_ms, trees_grown, cache_hit_rate}` object.
+/// `experiment → {wall_ms, trees_grown, cache_hit_rate, queue_wait_p50,
+/// queue_wait_p99, rejection_rate}` object.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PerfTrajectory {
     /// Points in run order (the JSON object preserves it).
@@ -88,6 +103,9 @@ impl serde::Serialize for PerfTrajectory {
                             ("wall_ms".to_string(), serde::Value::Num(p.wall_ms)),
                             ("trees_grown".to_string(), serde::Value::Num(p.trees_grown as f64)),
                             ("cache_hit_rate".to_string(), serde::Value::Num(p.cache_hit_rate)),
+                            ("queue_wait_p50".to_string(), serde::Value::Num(p.queue_wait_p50)),
+                            ("queue_wait_p99".to_string(), serde::Value::Num(p.queue_wait_p99)),
+                            ("rejection_rate".to_string(), serde::Value::Num(p.rejection_rate)),
                         ]),
                     )
                 })
@@ -108,6 +126,12 @@ impl serde::Deserialize for PerfTrajectory {
                 let fields = fields
                     .as_object()
                     .ok_or_else(|| serde::DeError::expected("object of perf fields"))?;
+                // The gateway trio is parsed tolerantly (absent → 0) so
+                // trend tooling can still read artifacts emitted before
+                // e16 existed.
+                let optional = |name: &str| -> Result<f64, serde::DeError> {
+                    Ok(Option::<f64>::from_value(serde::__field(fields, name))?.unwrap_or(0.0))
+                };
                 Ok(PerfPoint {
                     experiment: experiment.clone(),
                     wall_ms: serde::Deserialize::from_value(serde::__field(fields, "wall_ms"))?,
@@ -119,6 +143,9 @@ impl serde::Deserialize for PerfTrajectory {
                         fields,
                         "cache_hit_rate",
                     ))?,
+                    queue_wait_p50: optional("queue_wait_p50")?,
+                    queue_wait_p99: optional("queue_wait_p99")?,
+                    rejection_rate: optional("rejection_rate")?,
                 })
             })
             .collect::<Result<Vec<_>, serde::DeError>>()?;
@@ -146,10 +173,31 @@ mod tests {
         assert_eq!(p.wall_ms, 12.5);
         assert_eq!(p.trees_grown, 48);
         assert_eq!(p.cache_hit_rate, 0.625);
+        assert_eq!((p.queue_wait_p50, p.queue_wait_p99, p.rejection_rate), (0.0, 0.0, 0.0));
 
         let bare = table_with("E13", &[]);
         let p = PerfPoint::from_table(&bare, 3.0);
         assert_eq!((p.trees_grown, p.cache_hit_rate), (0, 0.0));
+
+        // The gateway latency trio flows through from table metrics.
+        let gateway = table_with(
+            "E16",
+            &[("queue_wait_p50", 1.25), ("queue_wait_p99", 5.5), ("rejection_rate", 0.4)],
+        );
+        let p = PerfPoint::from_table(&gateway, 7.0);
+        assert_eq!((p.queue_wait_p50, p.queue_wait_p99, p.rejection_rate), (1.25, 5.5, 0.4));
+    }
+
+    #[test]
+    fn pre_gateway_artifacts_still_deserialize() {
+        // BENCH_4.json artifacts lack the gateway trio; tolerant parsing
+        // reads them as 0 instead of failing the trend diff.
+        let legacy = r#"{ "e15": { "wall_ms": 2.5, "trees_grown": 9, "cache_hit_rate": 0.5 } }"#;
+        let traj: PerfTrajectory = serde_json::from_str(legacy).unwrap();
+        assert_eq!(traj.points.len(), 1);
+        assert_eq!(traj.points[0].trees_grown, 9);
+        assert_eq!(traj.points[0].queue_wait_p99, 0.0);
+        assert_eq!(traj.points[0].rejection_rate, 0.0);
     }
 
     #[test]
@@ -161,12 +209,18 @@ mod tests {
                     wall_ms: 3.25,
                     trees_grown: 144,
                     cache_hit_rate: 0.0,
+                    queue_wait_p50: 0.0,
+                    queue_wait_p99: 0.0,
+                    rejection_rate: 0.0,
                 },
                 PerfPoint {
                     experiment: "e15".to_string(),
                     wall_ms: 12.5,
                     trees_grown: 48,
                     cache_hit_rate: 0.625,
+                    queue_wait_p50: 1.0,
+                    queue_wait_p99: 4.5,
+                    rejection_rate: 0.25,
                 },
             ],
         };
@@ -188,6 +242,9 @@ mod tests {
             wall_ms,
             trees_grown: 1,
             cache_hit_rate: 0.0,
+            queue_wait_p50: 0.0,
+            queue_wait_p99: 0.0,
+            rejection_rate: 0.0,
         };
         traj.record(point(1.0));
         traj.record(point(2.0));

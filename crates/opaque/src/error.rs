@@ -45,11 +45,15 @@ pub enum OpaqueError {
     },
     /// A batch submitted for shared obfuscation was empty.
     EmptyBatch,
-    /// A batch carried two requests with the same
-    /// [`ClientId`](crate::query::ClientId). The
-    /// pipeline restores request order and routes delivered paths by client
-    /// id, so duplicates are ambiguous; the service rejects them at
-    /// admission instead of silently collapsing them.
+    /// A directly handed batch carried two requests with the same
+    /// [`ClientId`](crate::query::ClientId). The pipeline restores
+    /// request order and routes delivered paths by client id, so
+    /// duplicates are ambiguous. Only
+    /// [`OpaqueService::process_batch`](crate::OpaqueService::process_batch)
+    /// raises this (its caller owns the batch composition); the gateway
+    /// submit path instead *defers* the duplicate to the next batch
+    /// window ([`SubmitOutcome::Deferred`](crate::SubmitOutcome::Deferred))
+    /// and never produces this error.
     DuplicateClient {
         /// The client id that appeared more than once.
         client: crate::query::ClientId,

@@ -20,15 +20,16 @@
 //! * [`filter`] — the candidate result path filter;
 //! * [`service`] — the deployable pipeline: pluggable
 //!   [`DirectionsBackend`]s (single server or a [`ShardedBackend`] fleet),
-//!   the [`Batcher`] admission queue, the [`ExecutionPolicy`] batch
-//!   execution layer (sequential, or a worker pool with one pinned search
-//!   arena per shard — provably answer-identical), the shard-local
-//!   [`TreeCache`] of reusable shortest-path trees ([`CachePolicy`] —
-//!   provably report-identical to running uncached), and the
-//!   builder-configured [`OpaqueService`] with typed accounting;
-//! * [`system`] — a **deprecated** compatibility shim ([`OpaqueSystem`])
-//!   over the service, preserving the original strict batch API until the
-//!   experiments finish migrating;
+//!   the event-driven gateway front door ([`OpaqueService::submit`] →
+//!   typed [`SubmitOutcome`] under an [`AdmissionPolicy`] with bounded
+//!   depth, per-request deadlines, and [`Priority`] lanes;
+//!   [`OpaqueService::tick`] → ordered [`ServiceEvent`]s closing the
+//!   paper's per-client hop 4), the [`ExecutionPolicy`] batch execution
+//!   layer (sequential, or a worker pool with one pinned search arena per
+//!   shard — provably answer-identical), the shard-local [`TreeCache`] of
+//!   reusable shortest-path trees ([`CachePolicy`] — provably
+//!   report-identical to running uncached), and the builder-configured
+//!   [`OpaqueService`] with typed accounting;
 //! * [`attack`] — uniform, background-knowledge, and collusion adversaries;
 //! * [`baselines`] — the §II location-privacy techniques (landmark,
 //!   cloaking, naive fakes) for measured comparison;
@@ -38,8 +39,8 @@
 //!
 //! ```
 //! use opaque::{
-//!     BatchPolicy, ClientId, ClientOutcome, ClientRequest, ObfuscationMode, PathQuery,
-//!     ProtectionSettings, ServiceBuilder,
+//!     BatchPolicy, ClientId, ClientRequest, ObfuscationMode, PathQuery, ProtectionSettings,
+//!     ServiceBuilder, ServiceEvent,
 //! };
 //! use roadnet::NodeId;
 //! use roadnet::generators::{GridConfig, grid_network};
@@ -58,7 +59,8 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! // Alice and Bob ask for directions with 3×3 anonymity requirements.
+//! // Alice and Bob ask for directions with 3×3 anonymity requirements;
+//! // the gateway answers each submit with a typed outcome.
 //! let request = |id: u32, s: u32, t: u32| {
 //!     ClientRequest::new(
 //!         ClientId(id),
@@ -66,17 +68,30 @@
 //!         ProtectionSettings::new(3, 3).unwrap(),
 //!     )
 //! };
-//! service.submit(request(0, 0, 143), 0.0).unwrap();
-//! service.submit(request(1, 11, 132), 0.4).unwrap();
+//! let alice = service.submit(request(0, 0, 143), 0.0).ticket().unwrap();
+//! let _bob = service.submit(request(1, 11, 132), 0.4).ticket().unwrap();
 //!
 //! // The size trigger fires: the batch is obfuscated into one shared
-//! // query, answered by the shard fleet, filtered, and accounted.
-//! let response = service.tick(0.4).unwrap().expect("size trigger fired");
-//! assert_eq!(response.results.len(), 2);
-//! assert_eq!(response.outcomes[0].1, ClientOutcome::Delivered);
-//! assert_eq!(response.report.mode, ObfuscationMode::SharedGlobal);
-//! // Both true pairs hide in one ≥3×3 query: breach ≤ 1/9 (Definition 2).
-//! assert!(response.report.mean_breach() <= 1.0 / 9.0 + 1e-12);
+//! // query, answered by the shard fleet, filtered, and delivered as an
+//! // ordered event stream — one ResultMsg per client (the paper's hop
+//! // 4), then the batch's aggregate report.
+//! let events = service.tick(0.4).unwrap();
+//! assert_eq!(events.len(), 3);
+//! match &events[0] {
+//!     ServiceEvent::ResponseReady { ticket, client, result, .. } => {
+//!         assert_eq!((*ticket, *client, result.client), (alice, ClientId(0), ClientId(0)));
+//!     }
+//!     other => panic!("expected Alice's delivery, got {other:?}"),
+//! }
+//! match events.last().unwrap() {
+//!     ServiceEvent::BatchFlushed(report) => {
+//!         assert_eq!(report.mode, ObfuscationMode::SharedGlobal);
+//!         // Both true pairs hide in one ≥3×3 query: breach ≤ 1/9
+//!         // (Definition 2).
+//!         assert!(report.mean_breach() <= 1.0 / 9.0 + 1e-12);
+//!     }
+//!     other => panic!("expected the batch report, got {other:?}"),
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -92,7 +107,6 @@ pub mod protocol;
 pub mod query;
 pub mod server;
 pub mod service;
-pub mod system;
 
 pub use attack::{AttackReport, CollusionReport, InformedAttackReport, IntersectionReport};
 pub use audit::{ExposureReport, PrivacyLedger};
@@ -109,9 +123,8 @@ pub use protocol::{
 pub use query::{ClientId, ClientRequest, ObfuscatedPathQuery, PathQuery, ProtectionSettings};
 pub use server::{DirectionsServer, ServerStats};
 pub use service::{
-    BatchPolicy, BatchReport, Batcher, CachePolicy, ClientOutcome, DefaultBackend,
-    DirectionsBackend, DrainedBatch, ExecutionPolicy, OpaqueService, ServiceBuilder, ServiceConfig,
-    ServiceResponse, ShardedBackend, Ticket, TreeCache,
+    AdmissionPolicy, BatchPolicy, BatchReport, Batcher, CachePolicy, ClientOutcome, DefaultBackend,
+    DirectionsBackend, DrainedBatch, ExecutionPolicy, ExpiredRequest, OpaqueService, Priority,
+    RejectReason, ServiceBuilder, ServiceConfig, ServiceEvent, ServiceResponse, ShardedBackend,
+    SubmitOutcome, Ticket, TreeCache,
 };
-#[allow(deprecated)] // re-exported for the remaining deprecation cycle
-pub use system::OpaqueSystem;

@@ -9,7 +9,11 @@
 //! 3. [`CandidateResultsMsg`] — server → obfuscator: all `|S|×|T|`
 //!    candidate paths;
 //! 4. [`ResultMsg`] — obfuscator → client, secure channel: the one path
-//!    answering the client's true query.
+//!    answering the client's true query. The service gateway surfaces
+//!    this hop per client as
+//!    [`ServiceEvent::ResponseReady`](crate::ServiceEvent::ResponseReady),
+//!    closing the Figure 5/6 loop request by request rather than batch
+//!    by batch.
 //!
 //! Messages serialize with serde; [`wire_size`] measures their JSON
 //! encoding so experiments can report real bytes per hop rather than
@@ -78,7 +82,8 @@ pub fn wire_size<M: Serialize>(msg: &M) -> usize {
     serde_json::to_vec(msg).map(|v| v.len()).unwrap_or(0)
 }
 
-/// Byte counters for the three hops of Figure 5.
+/// Byte counters for the four hops of Figure 5 (both secure-channel legs
+/// and both obfuscator–server legs).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HopTraffic {
     /// Client → obfuscator requests (secure channel up).

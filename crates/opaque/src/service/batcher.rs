@@ -1,29 +1,47 @@
-//! Request admission and batching.
+//! Request admission and batching: the gateway's queue.
 //!
 //! The paper's obfuscator operates on batches ("partitions the received
 //! queries", §IV), but a live deployment receives a *stream*: requests must
 //! be collected for some window before shared obfuscation can help. The
-//! [`Batcher`] is that admission path. Clients [`Batcher::submit`] requests
-//! and receive a [`Ticket`]; the pending batch drains when either trigger
-//! fires:
+//! [`Batcher`] is that admission path, and it is where the gateway's
+//! admission control lives:
 //!
-//! * **size** — the batch reached [`BatchPolicy::max_batch`] requests;
-//! * **deadline** — the oldest pending request has waited
-//!   [`BatchPolicy::max_delay`] seconds.
+//! * **lanes** — each request is submitted with a [`Priority`]; when a
+//!   batch forms, the interactive lane drains before the bulk lane
+//!   (oldest first within a lane);
+//! * **backpressure** — at most [`AdmissionPolicy::queue_depth`] requests
+//!   may queue at once; beyond that [`Batcher::submit`] answers
+//!   [`SubmitOutcome::Rejected`] with [`RejectReason::QueueFull`];
+//! * **deferral** — a client with a request already pending gets
+//!   [`SubmitOutcome::Deferred`]: the duplicate is parked and joins the
+//!   *next* window once the blocking request drains, instead of failing
+//!   the submit (the historical `DuplicateClient` error survives only on
+//!   the direct [`crate::OpaqueService::process_batch`] path, where there
+//!   is no next window to defer to);
+//! * **shedding** — with an [`AdmissionPolicy::deadline`] configured,
+//!   requests that have waited longer are dropped from the queue by
+//!   [`Batcher::expire`] (the gateway turns them into
+//!   [`crate::ServiceEvent::Rejected`] events) rather than served stale;
+//! * **cancellation** — [`Batcher::cancel`] removes a queued request by
+//!   ticket before it is ever obfuscated.
 //!
-//! Time is explicit (seconds as `f64`, matching `workload`'s arrival
-//! clocks): callers pass `now` into [`Batcher::submit`] and
+//! The pending window drains when either [`BatchPolicy`] trigger fires:
+//! **size** (the lanes reached [`BatchPolicy::max_batch`]) or **deadline**
+//! (the oldest lane request has waited [`BatchPolicy::max_delay`]
+//! seconds). Time is explicit (seconds as `f64`, matching `workload`'s
+//! arrival clocks): callers pass `now` into [`Batcher::submit`] and
 //! [`Batcher::tick`], which keeps the batcher deterministic and testable —
 //! and lets experiments replay recorded streams exactly.
 
 use crate::error::{OpaqueError, Result};
 use crate::query::{ClientId, ClientRequest};
-use std::collections::HashSet;
+use crate::service::gateway::{AdmissionPolicy, Priority, RejectReason, SubmitOutcome};
+use std::collections::{HashSet, VecDeque};
 
 /// When a pending batch is flushed.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BatchPolicy {
-    /// Flush as soon as this many requests are pending.
+    /// Flush as soon as this many requests are pending in the lanes.
     pub max_batch: usize,
     /// Flush once the oldest pending request has waited this many seconds.
     pub max_delay: f64,
@@ -59,11 +77,32 @@ impl BatchPolicy {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct Ticket(pub u64);
 
-/// One drained batch: the requests in admission order, their tickets, and
-/// their arrival clocks (for latency accounting).
+/// One queued request with its admission metadata.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    ticket: Ticket,
+    request: ClientRequest,
+    arrival: f64,
+    priority: Priority,
+}
+
+/// A request shed from the queue by [`Batcher::expire`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExpiredRequest {
+    /// The shed request's ticket.
+    pub ticket: Ticket,
+    /// The client whose request was shed.
+    pub client: ClientId,
+    /// Seconds it had waited when it was shed.
+    pub waited: f64,
+}
+
+/// One drained batch: the requests in drain order (interactive lane
+/// first, oldest first within a lane), their tickets, and their arrival
+/// clocks (for latency accounting).
 #[derive(Clone, Debug)]
 pub struct DrainedBatch {
-    /// Requests in the order they were admitted.
+    /// Requests in drain order.
     pub requests: Vec<ClientRequest>,
     /// `tickets[i]` was issued for `requests[i]`.
     pub tickets: Vec<Ticket>,
@@ -81,78 +120,262 @@ impl DrainedBatch {
     }
 }
 
-/// The request queue in front of the obfuscator.
+/// The request queue in front of the obfuscator: two priority lanes, a
+/// deferred set for duplicate clients, and a cancellation ledger.
 pub struct Batcher {
     policy: BatchPolicy,
-    pending: Vec<(Ticket, ClientRequest, f64)>,
+    admission: AdmissionPolicy,
+    interactive: VecDeque<Pending>,
+    bulk: VecDeque<Pending>,
+    /// Requests whose client already had one pending; each joins the
+    /// window *after* its blocking request drains. Invariant: every
+    /// deferred client also appears in `pending_clients` (a lane entry or
+    /// an earlier deferred duplicate blocks it), restored by
+    /// `promote_deferred` after every removal.
+    deferred: Vec<Pending>,
     pending_clients: HashSet<ClientId>,
-    /// Running `min` of pending arrivals (`INFINITY` when empty), so the
-    /// deadline check is O(1) per tick even for non-monotonic submit
-    /// clocks.
-    oldest_arrival: f64,
+    /// Cancelled requests awaiting event acknowledgement (drained by
+    /// [`Batcher::take_cancelled`], restored by [`Batcher::restore_acks`]
+    /// when a batch failure discards the events built from them).
+    cancelled: Vec<(Ticket, ClientId)>,
+    /// Sheddings whose events a failed tick discarded; re-emitted ahead
+    /// of fresh expiries (see [`Batcher::restore_acks`]).
+    shed_backlog: Vec<ExpiredRequest>,
+    /// Tracked minimum arrival over the two lanes (`INFINITY` when both
+    /// are empty): min-updated on insertion, recomputed after removals,
+    /// so the per-tick trigger checks stay O(1) even for non-monotonic
+    /// submit clocks.
+    oldest_lane: f64,
     next_ticket: u64,
 }
 
 impl Batcher {
-    /// A batcher with the given flush policy.
+    /// A batcher with the given flush and admission policies.
     ///
     /// # Errors
-    /// [`OpaqueError::InvalidConfig`] when the policy is unsatisfiable.
-    pub fn new(policy: BatchPolicy) -> Result<Self> {
+    /// [`OpaqueError::InvalidConfig`] when either policy is unsatisfiable.
+    pub fn new(policy: BatchPolicy, admission: AdmissionPolicy) -> Result<Self> {
         policy.validate()?;
-        // max_batch may be huge (deadline-only batching); don't pre-reserve.
+        admission.validate()?;
         Ok(Batcher {
             policy,
-            pending: Vec::with_capacity(policy.max_batch.min(1024)),
+            admission,
+            // max_batch/queue_depth may be huge; don't pre-reserve past a
+            // sane floor.
+            interactive: VecDeque::with_capacity(policy.max_batch.min(1024)),
+            bulk: VecDeque::new(),
+            deferred: Vec::new(),
             pending_clients: HashSet::new(),
-            oldest_arrival: f64::INFINITY,
+            cancelled: Vec::new(),
+            shed_backlog: Vec::new(),
+            oldest_lane: f64::INFINITY,
             next_ticket: 0,
         })
     }
 
-    /// The active policy.
+    /// The active flush policy.
     pub fn policy(&self) -> BatchPolicy {
         self.policy
     }
 
-    /// Number of requests waiting for the next flush.
+    /// The active admission policy.
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// Number of requests queued (both lanes plus the deferred set).
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.interactive.len() + self.bulk.len() + self.deferred.len()
     }
 
-    /// True when nothing is pending.
+    /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.len() == 0
     }
 
-    /// Admit one request at clock `now`; returns its [`Ticket`].
+    /// Requests drainable into the *current* window (lanes only — the
+    /// deferred set waits for the next one).
+    fn lane_len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+
+    /// Admit one request at clock `now` in the given lane.
     ///
-    /// # Errors
-    /// * [`OpaqueError::DuplicateClient`] — the client already has a
-    ///   pending request; two requests from one client in the same batch
-    ///   would make result routing ambiguous (and weaken the shared
-    ///   query's anonymity accounting).
-    /// * [`OpaqueError::InvalidProtection`] — a zero protection size.
-    pub fn submit(&mut self, request: ClientRequest, now: f64) -> Result<Ticket> {
-        if self.pending_clients.contains(&request.client) {
-            return Err(OpaqueError::DuplicateClient { client: request.client });
-        }
+    /// Never fails: malformed protections and a full queue are answered
+    /// as [`SubmitOutcome::Rejected`] (no ticket issued), and a duplicate
+    /// client is answered as [`SubmitOutcome::Deferred`] (ticketed; joins
+    /// the next window).
+    pub fn submit(
+        &mut self,
+        request: ClientRequest,
+        priority: Priority,
+        now: f64,
+    ) -> SubmitOutcome {
         if request.protection.f_s == 0 || request.protection.f_t == 0 {
-            return Err(OpaqueError::InvalidProtection {
+            return SubmitOutcome::Rejected(RejectReason::InvalidProtection {
                 f_s: request.protection.f_s,
                 f_t: request.protection.f_t,
             });
         }
+        if self.len() >= self.admission.queue_depth {
+            return SubmitOutcome::Rejected(RejectReason::QueueFull {
+                depth: self.admission.queue_depth,
+            });
+        }
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
-        self.pending_clients.insert(request.client);
-        self.oldest_arrival = self.oldest_arrival.min(now);
-        self.pending.push((ticket, request, now));
-        Ok(ticket)
+        let pending = Pending { ticket, request, arrival: now, priority };
+        if self.pending_clients.insert(request.client) {
+            self.oldest_lane = self.oldest_lane.min(now);
+            self.lane_mut(priority).push_back(pending);
+            SubmitOutcome::Accepted(ticket)
+        } else {
+            self.deferred.push(pending);
+            SubmitOutcome::Deferred(ticket)
+        }
     }
 
-    /// Replace the flush policy in place (tickets and pending requests are
-    /// untouched; the new policy applies from the next trigger check).
+    fn lane_mut(&mut self, priority: Priority) -> &mut VecDeque<Pending> {
+        match priority {
+            Priority::Interactive => &mut self.interactive,
+            Priority::Bulk => &mut self.bulk,
+        }
+    }
+
+    /// Remove a queued request by ticket before it is processed. Returns
+    /// the owning client when the ticket was still queued (the gateway
+    /// emits the [`crate::ServiceEvent::Cancelled`] acknowledgement on
+    /// its next tick), `None` when it was unknown or already drained.
+    pub fn cancel(&mut self, ticket: Ticket) -> Option<ClientId> {
+        for priority in [Priority::Interactive, Priority::Bulk] {
+            let lane = self.lane_mut(priority);
+            if let Some(pos) = lane.iter().position(|p| p.ticket == ticket) {
+                let p = lane.remove(pos).expect("position just found");
+                self.pending_clients.remove(&p.request.client);
+                self.cancelled.push((ticket, p.request.client));
+                self.recompute_oldest_lane();
+                // A deferred duplicate of this client may now enter the
+                // current window.
+                self.promote_deferred();
+                return Some(p.request.client);
+            }
+        }
+        if let Some(pos) = self.deferred.iter().position(|p| p.ticket == ticket) {
+            let p = self.deferred.remove(pos);
+            self.cancelled.push((ticket, p.request.client));
+            return Some(p.request.client);
+        }
+        None
+    }
+
+    /// Drain the cancellation ledger (cancelled since the last call), in
+    /// cancellation order.
+    pub fn take_cancelled(&mut self) -> Vec<(Ticket, ClientId)> {
+        std::mem::take(&mut self.cancelled)
+    }
+
+    /// Put taken acknowledgements back at the head of their ledgers. The
+    /// gateway calls this when a batch-processing error discards a
+    /// tick's event list: the cancellations and sheddings taken for that
+    /// list are unrelated to the failed batch and must re-emit on the
+    /// next tick, or their tickets would never resolve.
+    pub fn restore_acks(&mut self, cancelled: Vec<(Ticket, ClientId)>, shed: Vec<ExpiredRequest>) {
+        if !cancelled.is_empty() {
+            let newer = std::mem::replace(&mut self.cancelled, cancelled);
+            self.cancelled.extend(newer);
+        }
+        if !shed.is_empty() {
+            let newer = std::mem::replace(&mut self.shed_backlog, shed);
+            self.shed_backlog.extend(newer);
+        }
+    }
+
+    /// Shed every queued request that has waited past
+    /// [`AdmissionPolicy::deadline`] at clock `now`, in both lanes and
+    /// the deferred set. Returns restored-then-fresh sheddings in ticket
+    /// order; empty when no deadline is configured and nothing was
+    /// restored.
+    pub fn expire(&mut self, now: f64) -> Vec<ExpiredRequest> {
+        let mut shed = std::mem::take(&mut self.shed_backlog);
+        let Some(deadline) = self.admission.deadline else {
+            return shed;
+        };
+        // Shedding a lane entry can promote a deferred duplicate which
+        // may itself already be overdue, so iterate to a fixpoint (each
+        // pass strictly shrinks the queue or stops).
+        loop {
+            let before = shed.len();
+            for lane in [&mut self.interactive, &mut self.bulk] {
+                lane.retain(|p| {
+                    let waited = now - p.arrival;
+                    if waited > deadline {
+                        self.pending_clients.remove(&p.request.client);
+                        shed.push(ExpiredRequest {
+                            ticket: p.ticket,
+                            client: p.request.client,
+                            waited,
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            self.deferred.retain(|p| {
+                let waited = now - p.arrival;
+                if waited > deadline {
+                    shed.push(ExpiredRequest {
+                        ticket: p.ticket,
+                        client: p.request.client,
+                        waited,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            self.promote_deferred();
+            if shed.len() == before {
+                break;
+            }
+        }
+        self.recompute_oldest_lane();
+        shed.sort_by_key(|e| e.ticket.0);
+        shed
+    }
+
+    /// Move deferred requests whose client no longer has a pending lane
+    /// entry into their lanes (in deferral order; later duplicates of the
+    /// same client stay deferred behind the promoted one).
+    fn promote_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if self.pending_clients.insert(self.deferred[i].request.client) {
+                let p = self.deferred.remove(i);
+                self.oldest_lane = self.oldest_lane.min(p.arrival);
+                self.lane_mut(p.priority).push_back(p);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Rescan both lanes for the minimum arrival — called after removals
+    /// (drain, cancel, expire), which are already O(lane) operations;
+    /// insertions min-update instead, keeping `ready`/`next_deadline`
+    /// O(1).
+    fn recompute_oldest_lane(&mut self) {
+        self.oldest_lane = self
+            .interactive
+            .iter()
+            .chain(self.bulk.iter())
+            .map(|p| p.arrival)
+            .fold(f64::INFINITY, f64::min);
+    }
+
+    /// Replace the flush policy in place (tickets and pending requests
+    /// are untouched; the new policy applies from the next trigger
+    /// check).
     ///
     /// # Errors
     /// [`OpaqueError::InvalidConfig`] when the policy is unsatisfiable.
@@ -162,72 +385,104 @@ impl Batcher {
         Ok(())
     }
 
-    /// Clock at which the *deadline* trigger fires for the current pending
-    /// set (oldest arrival + `max_delay`); `None` when nothing is pending.
-    /// Lets drivers advance a simulated clock straight to the next
-    /// deadline instant instead of shadow-tracking arrivals.
+    /// Replace the admission policy in place. Already-queued requests
+    /// are kept even if they exceed a newly shrunk depth (the bound
+    /// applies to new submissions); a newly set deadline applies from
+    /// the next [`Batcher::expire`].
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] when the policy is unsatisfiable.
+    pub fn set_admission(&mut self, admission: AdmissionPolicy) -> Result<()> {
+        admission.validate()?;
+        self.admission = admission;
+        Ok(())
+    }
+
+    /// Oldest arrival across the drainable lanes (`INFINITY` when both
+    /// are empty), read from the tracked minimum. Deferred requests do
+    /// not key flush deadlines — they cannot join the current window
+    /// anyway.
+    fn oldest_lane_arrival(&self) -> f64 {
+        self.oldest_lane
+    }
+
+    /// Clock at which the *deadline* trigger fires for the current
+    /// pending set (oldest lane arrival + `max_delay`); `None` when the
+    /// lanes are empty. Lets drivers advance a simulated clock straight
+    /// to the next deadline instant instead of shadow-tracking arrivals.
     ///
     /// This reports the deadline trigger only: the *size* trigger needs no
     /// clock and fires on [`Batcher::tick`] at any `now`, so drivers
     /// should tick right after a submission fills the batch rather than
     /// jumping ahead to this deadline.
     pub fn next_deadline(&self) -> Option<f64> {
-        if self.pending.is_empty() {
+        if self.lane_len() == 0 {
             None
         } else {
-            Some(self.oldest_arrival + self.policy.max_delay)
+            Some(self.oldest_lane_arrival() + self.policy.max_delay)
         }
     }
 
     /// Whether a flush trigger has fired at clock `now`.
     pub fn ready(&self, now: f64) -> bool {
-        if self.pending.is_empty() {
+        if self.lane_len() == 0 {
             return false;
         }
-        if self.pending.len() >= self.policy.max_batch {
+        if self.lane_len() >= self.policy.max_batch {
             return true;
         }
-        // Tracked min over arrivals, not pending[0]: callers replaying
+        // Min over lane arrivals, not insertion order: callers replaying
         // merged or unsorted recorded streams may submit with
         // non-monotonic clocks. Compared as `now >= oldest + delay` — the
         // exact expression `next_deadline` reports — so
         // `tick(next_deadline())` fires by construction, with no rounding
         // gap between the reported and effective trigger instant.
-        now >= self.oldest_arrival + self.policy.max_delay
+        now >= self.oldest_lane_arrival() + self.policy.max_delay
     }
 
     /// Drain a batch if a trigger has fired at clock `now`. At most
-    /// [`BatchPolicy::max_batch`] requests are taken (oldest first), so a
-    /// backlog that grew past the cap between ticks drains in policy-sized
+    /// [`BatchPolicy::max_batch`] requests are taken — the whole
+    /// interactive lane first (oldest first), then bulk — so a backlog
+    /// that grew past the cap between ticks drains in policy-sized
     /// chunks — `ready` stays true until the backlog is gone.
     pub fn tick(&mut self, now: f64) -> Option<DrainedBatch> {
         if self.ready(now) { self.drain(self.policy.max_batch) } else { None }
     }
 
-    /// Drain everything pending unconditionally, ignoring the size cap
-    /// (e.g. at shutdown); `None` when empty.
+    /// Drain everything in the lanes unconditionally, ignoring the size
+    /// cap (e.g. at shutdown); `None` when the lanes are empty. Deferred
+    /// requests are promoted *after* the drain (they join the next
+    /// window — they cannot share a batch with their duplicate), so a
+    /// full shutdown drain is a loop: flush until [`Batcher::is_empty`].
     pub fn flush(&mut self) -> Option<DrainedBatch> {
         self.drain(usize::MAX)
     }
 
     fn drain(&mut self, limit: usize) -> Option<DrainedBatch> {
-        if self.pending.is_empty() {
+        let take = self.lane_len().min(limit);
+        if take == 0 {
             return None;
         }
-        let take = self.pending.len().min(limit);
         let mut batch = DrainedBatch {
             requests: Vec::with_capacity(take),
             tickets: Vec::with_capacity(take),
             arrivals: Vec::with_capacity(take),
         };
-        for (ticket, request, arrival) in self.pending.drain(..take) {
-            self.pending_clients.remove(&request.client);
-            batch.tickets.push(ticket);
-            batch.requests.push(request);
-            batch.arrivals.push(arrival);
+        let from_interactive = self.interactive.len().min(take);
+        for p in self
+            .interactive
+            .drain(..from_interactive)
+            .chain(self.bulk.drain(..take - from_interactive))
+        {
+            self.pending_clients.remove(&p.request.client);
+            batch.tickets.push(p.ticket);
+            batch.requests.push(p.request);
+            batch.arrivals.push(p.arrival);
         }
-        // A partial (chunked) drain leaves stragglers: recompute their min.
-        self.oldest_arrival = self.pending.iter().map(|(_, _, a)| *a).fold(f64::INFINITY, f64::min);
+        // Drained clients unblock their deferred duplicates: those join
+        // the (new) current window.
+        self.recompute_oldest_lane();
+        self.promote_deferred();
         Some(batch)
     }
 }
@@ -238,6 +493,10 @@ mod tests {
     use crate::query::{PathQuery, ProtectionSettings};
     use roadnet::NodeId;
 
+    fn batcher(policy: BatchPolicy) -> Batcher {
+        Batcher::new(policy, AdmissionPolicy::default()).unwrap()
+    }
+
     fn request(i: u32) -> ClientRequest {
         ClientRequest::new(
             ClientId(i),
@@ -246,13 +505,20 @@ mod tests {
         )
     }
 
+    fn accept(b: &mut Batcher, r: ClientRequest, now: f64) -> Ticket {
+        match b.submit(r, Priority::Interactive, now) {
+            SubmitOutcome::Accepted(t) => t,
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+    }
+
     #[test]
     fn size_trigger_flushes_at_max_batch() {
-        let mut b = Batcher::new(BatchPolicy { max_batch: 3, max_delay: 100.0 }).unwrap();
-        assert!(b.submit(request(0), 0.0).is_ok());
-        assert!(b.submit(request(1), 0.1).is_ok());
+        let mut b = batcher(BatchPolicy { max_batch: 3, max_delay: 100.0 });
+        accept(&mut b, request(0), 0.0);
+        accept(&mut b, request(1), 0.1);
         assert!(b.tick(0.2).is_none(), "2 of 3: not ready");
-        b.submit(request(2), 0.2).unwrap();
+        accept(&mut b, request(2), 0.2);
         let batch = b.tick(0.2).expect("size trigger");
         assert_eq!(batch.requests.len(), 3);
         assert_eq!(batch.tickets, vec![Ticket(0), Ticket(1), Ticket(2)]);
@@ -261,9 +527,9 @@ mod tests {
 
     #[test]
     fn deadline_trigger_flushes_after_max_delay() {
-        let mut b = Batcher::new(BatchPolicy { max_batch: 100, max_delay: 5.0 }).unwrap();
-        b.submit(request(0), 10.0).unwrap();
-        b.submit(request(1), 12.0).unwrap();
+        let mut b = batcher(BatchPolicy { max_batch: 100, max_delay: 5.0 });
+        accept(&mut b, request(0), 10.0);
+        accept(&mut b, request(1), 12.0);
         assert!(b.tick(14.9).is_none(), "oldest waited 4.9s < 5s");
         let batch = b.tick(15.0).expect("deadline trigger");
         assert_eq!(batch.requests.len(), 2);
@@ -271,25 +537,165 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_client_rejected_until_flush() {
-        let mut b = Batcher::new(BatchPolicy::default()).unwrap();
-        b.submit(request(7), 0.0).unwrap();
-        assert!(matches!(
-            b.submit(request(7), 0.1),
-            Err(OpaqueError::DuplicateClient { client: ClientId(7) })
-        ));
+    fn duplicate_client_is_deferred_not_rejected() {
+        // Regression pin for the gateway redesign: a duplicate client id
+        // is deferred to the next window — the submit path can no longer
+        // produce OpaqueError::DuplicateClient (the error survives only
+        // on the direct process_batch path).
+        let mut b = batcher(BatchPolicy::default());
+        let first = accept(&mut b, request(7), 0.0);
+        let second = match b.submit(request(7), Priority::Interactive, 0.1) {
+            SubmitOutcome::Deferred(t) => t,
+            other => panic!("duplicate must defer, got {other:?}"),
+        };
+        assert_ne!(first, second);
+        assert_eq!(b.len(), 2, "both queued: one pending, one deferred");
+
+        // The first window carries only the first request…
+        let batch = b.flush().expect("one drainable request");
+        assert_eq!(batch.tickets, vec![first]);
+        // …and the deferred duplicate was promoted into the next one.
+        let batch = b.flush().expect("promoted deferred request");
+        assert_eq!(batch.tickets, vec![second]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn deferred_duplicates_chain_one_window_each() {
+        // Three submissions from one client: windows must carry them one
+        // at a time, in submission order.
+        let mut b = batcher(BatchPolicy::default());
+        let t0 = accept(&mut b, request(3), 0.0);
+        let t1 = b.submit(request(3), Priority::Interactive, 0.1).ticket().unwrap();
+        let t2 = b.submit(request(3), Priority::Bulk, 0.2).ticket().unwrap();
+        for expected in [t0, t1, t2] {
+            let batch = b.flush().expect("one request per window");
+            assert_eq!(batch.tickets, vec![expected]);
+        }
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn interactive_lane_drains_before_bulk() {
+        let mut b = batcher(BatchPolicy { max_batch: 3, max_delay: 100.0 });
+        assert!(b.submit(request(0), Priority::Bulk, 0.0).is_accepted());
+        assert!(b.submit(request(1), Priority::Bulk, 0.1).is_accepted());
+        assert!(b.submit(request(2), Priority::Interactive, 0.2).is_accepted());
+        let batch = b.tick(0.2).expect("size trigger");
+        // Interactive first despite arriving last; bulk keeps FIFO order.
+        assert_eq!(batch.tickets, vec![Ticket(2), Ticket(0), Ticket(1)]);
+        // The size cap still limits mixed drains: 1 interactive + 1 bulk.
+        assert!(b.submit(request(3), Priority::Bulk, 1.0).is_accepted());
+        assert!(b.submit(request(4), Priority::Bulk, 1.1).is_accepted());
+        assert!(b.submit(request(5), Priority::Interactive, 1.2).is_accepted());
+        b.set_policy(BatchPolicy { max_batch: 2, max_delay: 100.0 }).unwrap();
+        let batch = b.tick(1.2).expect("size trigger");
+        assert_eq!(batch.tickets, vec![Ticket(5), Ticket(3)]);
+    }
+
+    #[test]
+    fn queue_depth_bounds_admission() {
+        let mut b = Batcher::new(
+            BatchPolicy { max_batch: 100, max_delay: 100.0 },
+            AdmissionPolicy { queue_depth: 2, deadline: None },
+        )
+        .unwrap();
+        accept(&mut b, request(0), 0.0);
+        accept(&mut b, request(1), 0.1);
+        match b.submit(request(2), Priority::Interactive, 0.2) {
+            SubmitOutcome::Rejected(RejectReason::QueueFull { depth: 2 }) => {}
+            other => panic!("expected queue-full rejection, got {other:?}"),
+        }
+        // Refusals issue no ticket: the next acceptance continues the
+        // sequence.
         b.flush().unwrap();
-        // After the batch drains the client may submit again.
-        assert!(b.submit(request(7), 1.0).is_ok());
+        assert_eq!(accept(&mut b, request(3), 1.0), Ticket(2));
+        // Deferred requests count toward the bound too.
+        let _ = b.submit(request(3), Priority::Bulk, 1.1);
+        match b.submit(request(4), Priority::Bulk, 1.2) {
+            SubmitOutcome::Rejected(RejectReason::QueueFull { .. }) => {}
+            other => panic!("deferred must count toward depth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_removes_before_flush_and_promotes_deferred() {
+        let mut b = batcher(BatchPolicy::default());
+        let t0 = accept(&mut b, request(5), 0.0);
+        let t1 = b.submit(request(5), Priority::Interactive, 0.1).ticket().unwrap();
+        // Cancelling the blocking request promotes the deferred duplicate
+        // into the *current* window.
+        assert_eq!(b.cancel(t0), Some(ClientId(5)));
+        let batch = b.flush().expect("promoted duplicate is drainable");
+        assert_eq!(batch.tickets, vec![t1]);
+        assert_eq!(b.take_cancelled(), vec![(t0, ClientId(5))]);
+        // A drained (or unknown) ticket cannot be cancelled.
+        assert_eq!(b.cancel(t1), None);
+        assert_eq!(b.cancel(Ticket(999)), None);
+        assert!(b.take_cancelled().is_empty());
+        // Cancelling a deferred request leaves the pending one alone.
+        let t2 = accept(&mut b, request(5), 1.0);
+        let t3 = b.submit(request(5), Priority::Bulk, 1.1).ticket().unwrap();
+        assert_eq!(b.cancel(t3), Some(ClientId(5)));
+        let batch = b.flush().expect("pending request unaffected");
+        assert_eq!(batch.tickets, vec![t2]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn expire_sheds_overdue_requests_and_promotes_their_duplicates() {
+        let mut b = Batcher::new(
+            BatchPolicy { max_batch: 100, max_delay: 100.0 },
+            AdmissionPolicy { queue_depth: 100, deadline: Some(5.0) },
+        )
+        .unwrap();
+        let t0 = accept(&mut b, request(1), 0.0);
+        let t1 = b.submit(request(1), Priority::Interactive, 4.0).ticket().unwrap();
+        let t2 = accept(&mut b, request(2), 4.5);
+        // At t=5 nothing has waited *longer* than 5s (t0 is exactly at
+        // the deadline: kept — `waited > deadline` sheds, mirroring the
+        // flush trigger's closed boundary).
+        assert!(b.expire(5.0).is_empty());
+        // At t=6: t0 (waited 6s) is shed; its duplicate t1 (waited 2s)
+        // is promoted and survives; t2 (waited 1.5s) survives.
+        let shed = b.expire(6.0);
+        assert_eq!(shed.len(), 1);
+        assert_eq!((shed[0].ticket, shed[0].client), (t0, ClientId(1)));
+        assert!((shed[0].waited - 6.0).abs() < 1e-12);
+        // Promotion joins the back of the lane, behind the already-queued
+        // t2.
+        let batch = b.flush().expect("survivors drain");
+        assert_eq!(batch.tickets, vec![t2, t1]);
+    }
+
+    #[test]
+    fn expire_cascades_through_overdue_promotions() {
+        // Both the lane entry and its deferred duplicate are overdue: one
+        // expire call must shed both (the promotion happens mid-pass).
+        let mut b = Batcher::new(
+            BatchPolicy::default(),
+            AdmissionPolicy { queue_depth: 100, deadline: Some(1.0) },
+        )
+        .unwrap();
+        let t0 = accept(&mut b, request(1), 0.0);
+        let t1 = b.submit(request(1), Priority::Bulk, 0.1).ticket().unwrap();
+        let shed = b.expire(10.0);
+        assert_eq!(shed.iter().map(|e| e.ticket).collect::<Vec<_>>(), vec![t0, t1]);
+        assert!(b.is_empty());
+        // No deadline configured → expire is a no-op.
+        let mut b = batcher(BatchPolicy::default());
+        accept(&mut b, request(0), 0.0);
+        assert!(b.expire(1e12).is_empty());
+        assert_eq!(b.len(), 1);
     }
 
     #[test]
     fn oversized_backlog_drains_in_policy_sized_chunks() {
         // 5 submissions land between ticks; max_batch = 2 must cap every
         // drained batch, not just trigger the flush.
-        let mut b = Batcher::new(BatchPolicy { max_batch: 2, max_delay: 100.0 }).unwrap();
+        let mut b = batcher(BatchPolicy { max_batch: 2, max_delay: 100.0 });
         for i in 0..5 {
-            b.submit(request(i), 0.0).unwrap();
+            accept(&mut b, request(i), 0.0);
         }
         let first = b.tick(0.0).expect("size trigger");
         assert_eq!(first.requests.len(), 2);
@@ -299,20 +705,26 @@ mod tests {
         // One left: below the size cap, so only deadline or flush drains it.
         assert!(b.tick(0.0).is_none());
         assert_eq!(b.len(), 1);
-        // The drained clients may resubmit; the straggler may not.
-        assert!(b.submit(request(0), 1.0).is_ok());
-        assert!(matches!(b.submit(request(4), 1.0), Err(OpaqueError::DuplicateClient { .. })));
+        // The drained clients may resubmit; the straggler's duplicate is
+        // deferred, not rejected.
+        assert!(b.submit(request(0), Priority::Interactive, 1.0).is_accepted());
+        assert!(matches!(
+            b.submit(request(4), Priority::Interactive, 1.0),
+            SubmitOutcome::Deferred(_)
+        ));
         let rest = b.flush().expect("flush ignores the cap");
         assert_eq!(rest.requests.len(), 2);
+        // The deferred duplicate needs one more window.
+        assert_eq!(b.flush().expect("deferred window").requests.len(), 1);
     }
 
     #[test]
     fn deadline_uses_true_oldest_arrival_under_non_monotonic_clocks() {
         // Replayed merged streams may submit out of order: the deadline
         // must key on the minimum arrival, not the first submission.
-        let mut b = Batcher::new(BatchPolicy { max_batch: 100, max_delay: 5.0 }).unwrap();
-        b.submit(request(0), 10.0).unwrap();
-        b.submit(request(1), 3.0).unwrap(); // older than the first submission
+        let mut b = batcher(BatchPolicy { max_batch: 100, max_delay: 5.0 });
+        accept(&mut b, request(0), 10.0);
+        accept(&mut b, request(1), 3.0); // older than the first submission
         assert!(b.ready(8.0), "oldest arrival 3.0 has waited 5s by t=8");
         let batch = b.tick(8.0).expect("deadline trigger");
         assert_eq!(batch.requests.len(), 2);
@@ -320,32 +732,46 @@ mod tests {
 
     #[test]
     fn tickets_are_unique_across_batches() {
-        let mut b = Batcher::new(BatchPolicy { max_batch: 1, max_delay: 1.0 }).unwrap();
-        let t0 = b.submit(request(0), 0.0).unwrap();
+        let mut b = batcher(BatchPolicy { max_batch: 1, max_delay: 1.0 });
+        let t0 = accept(&mut b, request(0), 0.0);
         b.tick(0.0).unwrap();
-        let t1 = b.submit(request(0), 1.0).unwrap();
+        let t1 = accept(&mut b, request(0), 1.0);
         assert_ne!(t0, t1);
     }
 
     #[test]
     fn invalid_policies_and_requests_are_rejected() {
         assert!(matches!(
-            Batcher::new(BatchPolicy { max_batch: 0, max_delay: 1.0 }),
+            Batcher::new(BatchPolicy { max_batch: 0, max_delay: 1.0 }, AdmissionPolicy::default()),
             Err(OpaqueError::InvalidConfig { .. })
         ));
         assert!(matches!(
-            Batcher::new(BatchPolicy { max_batch: 1, max_delay: f64::NAN }),
+            Batcher::new(
+                BatchPolicy { max_batch: 1, max_delay: f64::NAN },
+                AdmissionPolicy::default()
+            ),
             Err(OpaqueError::InvalidConfig { .. })
         ));
-        let mut b = Batcher::new(BatchPolicy::default()).unwrap();
+        assert!(matches!(
+            Batcher::new(
+                BatchPolicy::default(),
+                AdmissionPolicy { queue_depth: 0, deadline: None }
+            ),
+            Err(OpaqueError::InvalidConfig { .. })
+        ));
+        let mut b = batcher(BatchPolicy::default());
         let mut bad = request(0);
         bad.protection.f_s = 0;
-        assert!(matches!(b.submit(bad, 0.0), Err(OpaqueError::InvalidProtection { .. })));
+        assert!(matches!(
+            b.submit(bad, Priority::Interactive, 0.0),
+            SubmitOutcome::Rejected(RejectReason::InvalidProtection { f_s: 0, f_t: 2 })
+        ));
+        assert!(b.is_empty(), "refusals must not queue anything");
     }
 
     #[test]
     fn flush_on_empty_is_none() {
-        let mut b = Batcher::new(BatchPolicy::default()).unwrap();
+        let mut b = batcher(BatchPolicy::default());
         assert!(b.flush().is_none());
         assert!(!b.ready(1e9));
     }
@@ -356,8 +782,8 @@ mod tests {
         // exact expression `next_deadline` reports — so ticking at that
         // instant (not an epsilon later) must fire, and one representable
         // float below it must not.
-        let mut b = Batcher::new(BatchPolicy { max_batch: 100, max_delay: 5.0 }).unwrap();
-        b.submit(request(0), 1.5).unwrap();
+        let mut b = batcher(BatchPolicy { max_batch: 100, max_delay: 5.0 });
+        accept(&mut b, request(0), 1.5);
         let deadline = b.next_deadline().expect("one pending request");
         assert_eq!(deadline, 6.5);
         let just_before = f64::from_bits(deadline.to_bits() - 1);
@@ -371,30 +797,40 @@ mod tests {
     fn tick_on_empty_never_fires() {
         // The empty-flush branch: no pending requests means no trigger at
         // any clock, before or after activity.
-        let mut b = Batcher::new(BatchPolicy { max_batch: 1, max_delay: 0.0 }).unwrap();
+        let mut b = batcher(BatchPolicy { max_batch: 1, max_delay: 0.0 });
         assert!(b.tick(0.0).is_none());
         assert!(b.tick(f64::MAX).is_none());
-        b.submit(request(0), 0.0).unwrap();
+        accept(&mut b, request(0), 0.0);
         b.tick(0.0).expect("size trigger");
-        // Drained back to empty: still no spurious trigger (max_delay = 0
-        // would fire instantly if the stale oldest-arrival survived).
         assert!(b.tick(f64::MAX).is_none());
         assert!(b.flush().is_none());
     }
 
     #[test]
     fn submit_after_flush_restarts_the_deadline_window() {
-        let mut b = Batcher::new(BatchPolicy { max_batch: 100, max_delay: 5.0 }).unwrap();
-        b.submit(request(0), 0.0).unwrap();
+        let mut b = batcher(BatchPolicy { max_batch: 100, max_delay: 5.0 });
+        accept(&mut b, request(0), 0.0);
         b.flush().expect("forced drain");
-        // The drain must reset the oldest-arrival floor: a request
-        // submitted at t=100 keys its deadline on its own arrival, not on
-        // the long-gone t=0 one (which would make it instantly overdue).
-        let t = b.submit(request(1), 100.0).unwrap();
+        // A request submitted at t=100 keys its deadline on its own
+        // arrival, not on the long-gone t=0 one (which would make it
+        // instantly overdue).
+        let t = accept(&mut b, request(1), 100.0);
         assert_eq!(b.next_deadline(), Some(105.0));
         assert!(b.tick(104.9).is_none(), "not due before its own window");
         let batch = b.tick(105.0).expect("deadline keyed on the new arrival");
         assert_eq!(batch.tickets, vec![t]);
         assert!((batch.mean_wait(105.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deferred_requests_do_not_key_the_flush_deadline() {
+        // Only lane entries can join the current window; a deferred
+        // duplicate's (older) arrival must not fire the deadline trigger.
+        let mut b = batcher(BatchPolicy { max_batch: 100, max_delay: 5.0 });
+        accept(&mut b, request(0), 10.0);
+        let _ = b.submit(request(0), Priority::Interactive, 2.0); // deferred, older clock
+        assert_eq!(b.next_deadline(), Some(15.0), "keyed on the lane entry");
+        assert!(b.tick(14.9).is_none());
+        assert_eq!(b.tick(15.0).expect("lane deadline").requests.len(), 1);
     }
 }

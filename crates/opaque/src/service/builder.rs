@@ -5,8 +5,8 @@
 //! mode, verification, shard count, batch policy — with sane defaults.
 //! [`ServiceBuilder`] pairs a config with the non-serializable inputs (the
 //! road map, optional plausibility weights) and validates the whole
-//! assembly in [`ServiceBuilder::build`], replacing the previous
-//! hand-wiring of `Obfuscator` + `DirectionsServer` + `OpaqueSystem`.
+//! assembly in [`ServiceBuilder::build`], replacing the original
+//! hand-wiring of `Obfuscator` + `DirectionsServer` pairs.
 
 use crate::error::{OpaqueError, Result};
 use crate::obfuscator::{FakeSelection, ObfuscationMode, Obfuscator};
@@ -15,6 +15,7 @@ use crate::service::OpaqueService;
 use crate::service::backend::{DirectionsBackend, ShardedBackend};
 use crate::service::batcher::{BatchPolicy, Batcher};
 use crate::service::cache::CachePolicy;
+use crate::service::gateway::AdmissionPolicy;
 use crate::service::parallel::ExecutionPolicy;
 use pathsearch::{SearchArena, SharingPolicy};
 use roadnet::{GraphView, RoadNetwork};
@@ -57,8 +58,11 @@ pub struct ServiceConfig {
     /// lock-free — with byte-identical reports either way (the
     /// cache-equivalence harness's guarantee).
     pub cache: CachePolicy,
-    /// Admission-queue flush policy.
+    /// Admission-queue flush policy (when a pending window drains).
     pub batch: BatchPolicy,
+    /// Gateway admission policy (bounded queue depth, per-request
+    /// deadline; see [`AdmissionPolicy`]).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +78,7 @@ impl Default for ServiceConfig {
             execution: ExecutionPolicy::Sequential,
             cache: CachePolicy::Off,
             batch: BatchPolicy::default(),
+            admission: AdmissionPolicy::default(),
         }
     }
 }
@@ -86,7 +91,8 @@ impl ServiceConfig {
         }
         self.execution.validate()?;
         self.cache.validate()?;
-        self.batch.validate()
+        self.batch.validate()?;
+        self.admission.validate()
     }
 
     /// The cross-field check [`ServiceBuilder::build`] applies on top of
@@ -213,6 +219,15 @@ impl ServiceBuilder {
         self
     }
 
+    /// Gateway admission policy: bounded queue depth (submissions beyond
+    /// it are refused with
+    /// [`crate::RejectReason::QueueFull`]) and optional per-request
+    /// deadline shedding.
+    pub fn admission_policy(mut self, admission: AdmissionPolicy) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
     /// Validate and assemble the service with the default sharded
     /// in-memory backend.
     ///
@@ -288,7 +303,7 @@ impl ServiceBuilder {
             obfuscator,
             backend,
             mode: config.mode,
-            batcher: Batcher::new(config.batch)?,
+            batcher: Batcher::new(config.batch, config.admission)?,
             verify_results: config.verify_results,
             strict_delivery: false,
             execution: config.execution,
@@ -404,13 +419,43 @@ mod tests {
             mode: ObfuscationMode::SharedGlobal,
             execution: ExecutionPolicy::WorkerPool { threads: 4 },
             batch: BatchPolicy { max_batch: 8, max_delay: 2.5 },
+            admission: AdmissionPolicy { queue_depth: 64, deadline: Some(7.5) },
             ..Default::default()
         };
         let json = serde_json::to_string(&config).unwrap();
         assert!(json.contains("SharedFrontier"), "{json}");
         assert!(json.contains("WorkerPool"), "{json}");
+        assert!(json.contains("queue_depth"), "{json}");
         let back: ServiceConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, config);
+        // A deadline-less admission policy round-trips too (None ↔ null).
+        let config = ServiceConfig::default();
+        let back: ServiceConfig =
+            serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(back.admission.deadline, None);
+    }
+
+    #[test]
+    fn build_rejects_unsatisfiable_admission_policies() {
+        let err = ServiceBuilder::new()
+            .map(map())
+            .admission_policy(AdmissionPolicy { queue_depth: 0, deadline: None })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("queue_depth")),
+            "{err}"
+        );
+        let err = ServiceBuilder::new()
+            .map(map())
+            .admission_policy(AdmissionPolicy { queue_depth: 8, deadline: Some(-1.0) })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("deadline")),
+            "{err}"
+        );
     }
 
     #[test]

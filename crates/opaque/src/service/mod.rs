@@ -9,8 +9,15 @@
 //! * [`DirectionsBackend`] — the pluggable server side: a single
 //!   [`crate::server::DirectionsServer`] over any graph view, or a
 //!   round-robin [`ShardedBackend`] fleet;
-//! * [`Batcher`] — the admission path: streamed requests are ticketed and
-//!   drained into batches on size or deadline triggers;
+//! * [`Batcher`] / [`gateway`] — the admission path: streamed requests
+//!   enter through [`OpaqueService::submit`], which answers with a typed
+//!   [`SubmitOutcome`] under a configured [`AdmissionPolicy`] (bounded
+//!   queue depth, per-request deadline, [`Priority`] lanes with
+//!   interactive draining first); pending batches drain on size or
+//!   deadline triggers into an ordered [`ServiceEvent`] stream — one
+//!   per-client delivery event per request (the paper's hop 4), a
+//!   trailing [`BatchFlushed`](ServiceEvent::BatchFlushed) report, and
+//!   explicit cancellation via [`OpaqueService::cancel`];
 //! * [`parallel`] / [`ExecutionPolicy`] — the execution layer: obfuscated
 //!   queries of a batch run sequentially or across a worker pool with one
 //!   pinned search arena per worker, with the guarantee (proven by the
@@ -25,22 +32,20 @@
 //! * [`BatchReport`] / [`ClientOutcome`] — typed accounting: serde-tagged
 //!   obfuscation modes and an explicit per-client outcome (delivered /
 //!   unreachable / rejected) instead of silent drops.
-//!
-//! [`crate::system::OpaqueSystem`] remains as a thin compatibility shim
-//! over this service, preserving the original strict all-or-error batch
-//! semantics for existing experiments.
 
 mod backend;
 mod batcher;
 mod builder;
 pub mod cache;
+pub mod gateway;
 pub mod parallel;
 mod report;
 
 pub use backend::{DirectionsBackend, ShardedBackend};
-pub use batcher::{BatchPolicy, Batcher, DrainedBatch, Ticket};
+pub use batcher::{BatchPolicy, Batcher, DrainedBatch, ExpiredRequest, Ticket};
 pub use builder::{DefaultBackend, ServiceBuilder, ServiceConfig};
 pub use cache::{CachePolicy, TreeCache};
+pub use gateway::{AdmissionPolicy, Priority, RejectReason, ServiceEvent, SubmitOutcome};
 pub use parallel::ExecutionPolicy;
 pub use report::{BatchReport, ClientOutcome};
 
@@ -55,6 +60,13 @@ use std::collections::{HashMap, HashSet};
 /// Everything a processed batch produced: delivered paths, one outcome per
 /// request of the processed batch (in request order, including requests
 /// rejected at admission), and the batch's [`BatchReport`].
+///
+/// This is the *legacy batch view* — the output of the direct
+/// [`OpaqueService::process_batch`] path. Queue-driven processing
+/// ([`OpaqueService::tick`] / [`OpaqueService::flush`]) emits the same
+/// information as an ordered [`ServiceEvent`] stream instead, with the
+/// same [`BatchReport`] bytes trailing each window
+/// (`tests/gateway_equivalence.rs` holds the two views byte-identical).
 #[derive(Clone, Debug)]
 pub struct ServiceResponse {
     /// Delivered paths, in request order. Clients with a non-`Delivered`
@@ -64,15 +76,6 @@ pub struct ServiceResponse {
     pub outcomes: Vec<(ClientId, ClientOutcome)>,
     /// Aggregate accounting for the batch.
     pub report: BatchReport,
-    /// Tickets for the batch's requests when it was drained from the
-    /// service's [`Batcher`] (aligned with `outcomes`); empty for batches
-    /// handed directly to [`OpaqueService::process_batch`].
-    pub tickets: Vec<Ticket>,
-    /// Mean seconds the batch's requests waited in the admission queue,
-    /// measured at the clock that drained them ([`OpaqueService::tick`] /
-    /// [`OpaqueService::flush`]); 0.0 for batches handed directly to
-    /// [`OpaqueService::process_batch`].
-    pub mean_wait: f64,
 }
 
 /// The assembled OPAQUE deployment: trusted obfuscator, pluggable
@@ -89,8 +92,8 @@ pub struct OpaqueService<B> {
     /// Re-verify delivered paths against the obfuscator's map, turning
     /// tampering into [`OpaqueError::CorruptResult`].
     pub verify_results: bool,
-    /// Strict delivery (the historical [`crate::system::OpaqueSystem`]
-    /// contract): any unreachable pair or invalid request fails the whole
+    /// Strict delivery (the original all-or-error pipeline contract):
+    /// any unreachable pair or invalid request fails the whole
     /// batch with an error. When `false` (the service default), such
     /// requests get per-client [`ClientOutcome::Unreachable`] /
     /// [`ClientOutcome::Rejected`] outcomes and the rest of the batch is
@@ -123,21 +126,31 @@ impl<B: DirectionsBackend> OpaqueService<B> {
             obfuscator,
             backend,
             mode,
-            batcher: Batcher::new(BatchPolicy::default()).expect("default policy is valid"),
+            batcher: Batcher::new(BatchPolicy::default(), AdmissionPolicy::default())
+                .expect("default policies are valid"),
             verify_results: false,
             strict_delivery: false,
             execution: ExecutionPolicy::Sequential,
         }
     }
 
-    /// Replace the admission queue's policy in place. Safe on a live
-    /// queue: pending requests and issued tickets are untouched, and the
-    /// new triggers apply from the next [`OpaqueService::tick`].
+    /// Replace the queue's flush policy in place. Safe on a live queue:
+    /// pending requests and issued tickets are untouched, and the new
+    /// triggers apply from the next [`OpaqueService::tick`].
     ///
     /// # Errors
     /// [`OpaqueError::InvalidConfig`] when the policy is unsatisfiable.
     pub fn set_batch_policy(&mut self, policy: BatchPolicy) -> Result<()> {
         self.batcher.set_policy(policy)
+    }
+
+    /// Replace the gateway's admission policy in place (see
+    /// [`Batcher::set_admission`] for the live-queue semantics).
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] when the policy is unsatisfiable.
+    pub fn set_admission_policy(&mut self, admission: AdmissionPolicy) -> Result<()> {
+        self.batcher.set_admission(admission)
     }
 
     /// The trusted obfuscator (e.g. to inspect its map).
@@ -155,7 +168,8 @@ impl<B: DirectionsBackend> OpaqueService<B> {
         self.mode
     }
 
-    /// Number of requests waiting in the admission queue.
+    /// Number of requests waiting in the admission queue (both lanes plus
+    /// deferred duplicates).
     pub fn pending(&self) -> usize {
         self.batcher.len()
     }
@@ -166,43 +180,145 @@ impl<B: DirectionsBackend> OpaqueService<B> {
         self.batcher.next_deadline()
     }
 
-    /// Admit one request to the queue at clock `now`; returns its ticket.
-    ///
-    /// # Errors
-    /// [`OpaqueError::DuplicateClient`] when the client already has a
-    /// pending request; [`OpaqueError::InvalidProtection`] for zero
-    /// protection sizes.
-    pub fn submit(&mut self, request: ClientRequest, now: f64) -> Result<Ticket> {
-        self.batcher.submit(request, now)
+    /// Submit one request at clock `now` in the [`Priority::Interactive`]
+    /// lane; see [`OpaqueService::submit_with_priority`].
+    pub fn submit(&mut self, request: ClientRequest, now: f64) -> SubmitOutcome {
+        self.submit_with_priority(request, Priority::Interactive, now)
     }
 
-    /// Advance the clock: if a flush trigger (size or deadline) has fired,
-    /// drain and process the pending batch.
+    /// Submit one request at clock `now` in the given lane.
+    ///
+    /// Never fails — every admission verdict is a typed
+    /// [`SubmitOutcome`]: accepted into the current window, deferred to
+    /// the next one (the client already has a pending request —
+    /// duplicates no longer fail the submit), or rejected at the door
+    /// (queue full, malformed protection) with no ticket issued.
+    pub fn submit_with_priority(
+        &mut self,
+        request: ClientRequest,
+        priority: Priority,
+        now: f64,
+    ) -> SubmitOutcome {
+        self.batcher.submit(request, priority, now)
+    }
+
+    /// Cancel a queued request before its window flushes. `true` when the
+    /// ticket was still queued — the request leaves the queue immediately
+    /// and the next [`OpaqueService::tick`] / [`OpaqueService::flush`]
+    /// acknowledges it with a [`ServiceEvent::Cancelled`]; `false` when
+    /// the ticket is unknown or its batch already drained (cancellation
+    /// after the fact is impossible: satisfied requests are discarded,
+    /// §IV).
+    pub fn cancel(&mut self, ticket: Ticket) -> bool {
+        self.batcher.cancel(ticket).is_some()
+    }
+
+    /// Advance the clock and emit the gateway's events: pending
+    /// [`ServiceEvent::Cancelled`] acknowledgements, then deadline
+    /// sheddings ([`ServiceEvent::Rejected`] with
+    /// [`RejectReason::DeadlineExpired`]), then — if a flush trigger
+    /// (size or deadline) has fired — one terminal event per request of
+    /// the drained batch in batch order, closed by a
+    /// [`ServiceEvent::BatchFlushed`]. Empty when nothing happened.
     ///
     /// On a processing error the drained requests are *not* re-queued
-    /// (re-queueing would re-trigger the same failure on every tick); the
-    /// caller sees the error and the batch is discarded.
-    pub fn tick(&mut self, now: f64) -> Result<Option<ServiceResponse>> {
-        match self.batcher.tick(now) {
-            Some(batch) => self.process_drained(batch, now).map(Some),
-            None => Ok(None),
-        }
+    /// (re-queueing would re-trigger the same failure on every tick) and
+    /// the caller sees the error; the cancellation/shedding
+    /// acknowledgements collected for the discarded event list are
+    /// restored to the queue's ledgers and re-emitted by the next tick —
+    /// they are unrelated to the failed batch, and every ticket must
+    /// still resolve exactly once.
+    pub fn tick(&mut self, now: f64) -> Result<Vec<ServiceEvent>> {
+        // Acks and expiry first: an overdue request must be shed, never
+        // drained into the batch.
+        let cancelled = self.batcher.take_cancelled();
+        let shed = self.batcher.expire(now);
+        let batch = self.batcher.tick(now);
+        self.emit(cancelled, shed, batch, now)
     }
 
-    /// Drain and process whatever is pending at clock `now`, regardless of
-    /// triggers (e.g. at shutdown). `None` when the queue is empty.
-    pub fn flush(&mut self, now: f64) -> Result<Option<ServiceResponse>> {
-        match self.batcher.flush() {
-            Some(batch) => self.process_drained(batch, now).map(Some),
-            None => Ok(None),
-        }
+    /// Drain and process one pending window at clock `now`, regardless of
+    /// triggers (e.g. at shutdown), emitting events exactly like
+    /// [`OpaqueService::tick`]. Deferred duplicates join the *next*
+    /// window, so a full shutdown drain loops until
+    /// [`OpaqueService::pending`] reaches zero.
+    pub fn flush(&mut self, now: f64) -> Result<Vec<ServiceEvent>> {
+        let cancelled = self.batcher.take_cancelled();
+        let shed = self.batcher.expire(now);
+        let batch = self.batcher.flush();
+        self.emit(cancelled, shed, batch, now)
     }
 
-    fn process_drained(&mut self, batch: DrainedBatch, now: f64) -> Result<ServiceResponse> {
-        let mut response = self.process_batch(&batch.requests)?;
-        response.mean_wait = batch.mean_wait(now);
-        response.tickets = batch.tickets;
-        Ok(response)
+    /// Build one tick's event list: cancellation acknowledgements, then
+    /// deadline sheddings, then the drained window's events (if any). On
+    /// a batch failure the acknowledgements are restored for the next
+    /// tick before the error propagates.
+    fn emit(
+        &mut self,
+        cancelled: Vec<(Ticket, ClientId)>,
+        shed: Vec<batcher::ExpiredRequest>,
+        batch: Option<DrainedBatch>,
+        now: f64,
+    ) -> Result<Vec<ServiceEvent>> {
+        let mut events: Vec<ServiceEvent> = cancelled
+            .iter()
+            .map(|&(ticket, client)| ServiceEvent::Cancelled { ticket, client })
+            .collect();
+        for e in &shed {
+            events.push(ServiceEvent::Rejected {
+                ticket: e.ticket,
+                client: e.client,
+                reason: RejectReason::DeadlineExpired { waited: e.waited },
+                waited: e.waited,
+            });
+        }
+        if let Some(batch) = batch {
+            if let Err(error) = self.batch_events(&mut events, batch, now) {
+                self.batcher.restore_acks(cancelled, shed);
+                return Err(error);
+            }
+        }
+        Ok(events)
+    }
+
+    /// Process one drained window and append its per-request events (in
+    /// batch request order) plus the trailing
+    /// [`ServiceEvent::BatchFlushed`].
+    fn batch_events(
+        &mut self,
+        events: &mut Vec<ServiceEvent>,
+        batch: DrainedBatch,
+        now: f64,
+    ) -> Result<()> {
+        let response = self.process_batch(&batch.requests)?;
+        let mut paths: HashMap<ClientId, pathsearch::Path> =
+            response.results.into_iter().map(|r| (r.client, r.path)).collect();
+        for (i, (client, outcome)) in response.outcomes.iter().enumerate() {
+            let ticket = batch.tickets[i];
+            let waited = now - batch.arrivals[i];
+            events.push(match outcome {
+                ClientOutcome::Delivered => {
+                    let path = paths.remove(client).expect("delivered outcome carries a path");
+                    ServiceEvent::ResponseReady {
+                        ticket,
+                        client: *client,
+                        result: ResultMsg { client: *client, path },
+                        waited,
+                    }
+                }
+                ClientOutcome::Unreachable => {
+                    ServiceEvent::Unreachable { ticket, client: *client, waited }
+                }
+                ClientOutcome::Rejected { reason } => ServiceEvent::Rejected {
+                    ticket,
+                    client: *client,
+                    reason: RejectReason::Infeasible { reason: reason.clone() },
+                    waited,
+                },
+            });
+        }
+        events.push(ServiceEvent::BatchFlushed(response.report));
+        Ok(())
     }
 
     /// Process one batch end to end under the configured mode.
@@ -219,8 +335,11 @@ impl<B: DirectionsBackend> OpaqueService<B> {
     ///
     /// # Errors
     /// * [`OpaqueError::EmptyBatch`] — no requests;
-    /// * [`OpaqueError::DuplicateClient`] — two requests share a
-    ///   [`ClientId`] (rejected at admission, the batch is not processed);
+    /// * [`OpaqueError::DuplicateClient`] — two requests of this directly
+    ///   handed batch share a [`ClientId`] (result routing would be
+    ///   ambiguous and there is no later window to defer to; the
+    ///   queue-driven path never produces such a batch — duplicates are
+    ///   deferred at [`OpaqueService::submit`]);
     /// * [`OpaqueError::CorruptResult`] — a backend answer failed
     ///   verification (always fatal: it indicates tampering);
     /// * in strict mode only: [`OpaqueError::MissingResult`],
@@ -386,7 +505,7 @@ impl<B: DirectionsBackend> OpaqueService<B> {
             .per_client_breach
             .sort_by_key(|(c, _)| outcome_slot.get(c).copied().unwrap_or(usize::MAX));
 
-        Ok(ServiceResponse { results, outcomes, report, tickets: Vec::new(), mean_wait: 0.0 })
+        Ok(ServiceResponse { results, outcomes, report })
     }
 
     /// Obfuscate the admitted requests, attributing
@@ -592,11 +711,13 @@ mod tests {
         );
         assert_eq!(resp.report.mode, ObfuscationMode::Independent);
         assert_eq!(resp.report.num_units, 3);
-        assert!(resp.tickets.is_empty());
     }
 
     #[test]
-    fn duplicate_clients_rejected_at_admission() {
+    fn duplicate_clients_still_error_on_the_direct_batch_path() {
+        // The queue path defers duplicates to the next window; a batch
+        // handed directly to process_batch has no next window, so the
+        // ambiguity stays a typed error there.
         let mut svc = service();
         let reqs = vec![request(5, 0, 255, 2), request(5, 16, 240, 2)];
         let err = svc.process_batch(&reqs).unwrap_err();
@@ -825,54 +946,149 @@ mod tests {
         assert!(matches!(err, OpaqueError::UnknownNode { .. }));
     }
 
+    /// Tickets of the per-request events, in emission order.
+    fn event_tickets(events: &[ServiceEvent]) -> Vec<Ticket> {
+        events.iter().filter_map(ServiceEvent::ticket).collect()
+    }
+
     #[test]
     fn queue_flushes_by_size_and_deadline() {
         let mut svc = service();
         svc.set_batch_policy(BatchPolicy { max_batch: 2, max_delay: 10.0 }).unwrap();
-        let t0 = svc.submit(request(0, 0, 255, 2), 0.0).unwrap();
-        assert!(svc.tick(0.0).unwrap().is_none(), "one pending, no trigger");
-        let t1 = svc.submit(request(1, 16, 240, 2), 1.0).unwrap();
-        let resp = svc.tick(1.0).unwrap().expect("size trigger");
-        assert_eq!(resp.tickets, vec![t0, t1]);
-        assert_eq!(resp.results.len(), 2);
+        let t0 = svc.submit(request(0, 0, 255, 2), 0.0).ticket().unwrap();
+        assert!(svc.tick(0.0).unwrap().is_empty(), "one pending, no trigger");
+        let t1 = svc.submit(request(1, 16, 240, 2), 1.0).ticket().unwrap();
+        let events = svc.tick(1.0).unwrap();
+        assert_eq!(event_tickets(&events), vec![t0, t1]);
+        assert!(
+            events.iter().take(2).all(|e| matches!(e, ServiceEvent::ResponseReady { .. })),
+            "{events:?}"
+        );
+        assert!(matches!(events.last(), Some(ServiceEvent::BatchFlushed(_))));
         assert_eq!(svc.pending(), 0);
 
         // Deadline path: a single request flushes once it has waited.
-        svc.submit(request(2, 32, 200, 2), 5.0).unwrap();
-        assert!(svc.tick(14.9).unwrap().is_none());
-        let resp = svc.tick(15.0).unwrap().expect("deadline trigger");
-        assert_eq!(resp.results.len(), 1);
-        assert!((resp.mean_wait - 10.0).abs() < 1e-12, "queued at 5.0, drained at 15.0");
+        svc.submit(request(2, 32, 200, 2), 5.0).ticket().unwrap();
+        assert!(svc.tick(14.9).unwrap().is_empty());
+        let events = svc.tick(15.0).unwrap();
+        match &events[0] {
+            ServiceEvent::ResponseReady { waited, .. } => {
+                assert!((waited - 10.0).abs() < 1e-12, "queued at 5.0, drained at 15.0");
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
     }
 
     #[test]
     fn flush_drains_partial_batches() {
         let mut svc = service();
-        assert!(svc.flush(0.0).unwrap().is_none());
-        svc.submit(request(0, 0, 255, 2), 0.0).unwrap();
-        let resp = svc.flush(2.5).unwrap().expect("forced drain");
-        assert_eq!(resp.results.len(), 1);
-        assert_eq!(resp.outcomes[0].1, ClientOutcome::Delivered);
-        assert!((resp.mean_wait - 2.5).abs() < 1e-12);
+        assert!(svc.flush(0.0).unwrap().is_empty());
+        svc.submit(request(0, 0, 255, 2), 0.0).ticket().unwrap();
+        let events = svc.flush(2.5).unwrap();
+        assert_eq!(events.len(), 2, "one delivery + the report: {events:?}");
+        match &events[0] {
+            ServiceEvent::ResponseReady { client, waited, result, .. } => {
+                assert_eq!(*client, ClientId(0));
+                assert_eq!(result.client, ClientId(0));
+                assert!((waited - 2.5).abs() < 1e-12);
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        match &events[1] {
+            ServiceEvent::BatchFlushed(report) => assert_eq!(report.num_requests, 1),
+            other => panic!("expected report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_submission_defers_to_the_next_window() {
+        // The gateway fix: a duplicate client id defers instead of
+        // erroring, and both requests are eventually answered — one
+        // window apart.
+        let mut svc = service();
+        let t0 = match svc.submit(request(5, 0, 255, 2), 0.0) {
+            SubmitOutcome::Accepted(t) => t,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        let t1 = match svc.submit(request(5, 16, 240, 2), 0.1) {
+            SubmitOutcome::Deferred(t) => t,
+            other => panic!("duplicate must defer, got {other:?}"),
+        };
+        let events = svc.flush(1.0).unwrap();
+        assert_eq!(event_tickets(&events), vec![t0]);
+        let events = svc.flush(2.0).unwrap();
+        assert_eq!(event_tickets(&events), vec![t1]);
+        assert_eq!(svc.pending(), 0);
+    }
+
+    #[test]
+    fn cancelled_requests_are_acknowledged_and_never_processed() {
+        let mut svc = service();
+        let t0 = svc.submit(request(0, 0, 255, 2), 0.0).ticket().unwrap();
+        let t1 = svc.submit(request(1, 16, 240, 2), 0.1).ticket().unwrap();
+        assert!(svc.cancel(t0));
+        assert!(!svc.cancel(t0), "double cancel is a no-op");
+        let events = svc.flush(1.0).unwrap();
+        assert_eq!(
+            events[0],
+            ServiceEvent::Cancelled { ticket: t0, client: ClientId(0) },
+            "{events:?}"
+        );
+        assert_eq!(event_tickets(&events[1..]), vec![t1]);
+        match events.last() {
+            Some(ServiceEvent::BatchFlushed(report)) => {
+                assert_eq!(report.num_requests, 1, "the cancelled request was never processed");
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        assert!(!svc.cancel(t1), "drained tickets cannot be cancelled");
+    }
+
+    #[test]
+    fn deadline_expiry_sheds_with_a_rejected_event() {
+        let mut svc = service();
+        svc.set_batch_policy(BatchPolicy { max_batch: 100, max_delay: 50.0 }).unwrap();
+        svc.set_admission_policy(AdmissionPolicy { queue_depth: 16, deadline: Some(3.0) }).unwrap();
+        let t0 = svc.submit(request(0, 0, 255, 2), 0.0).ticket().unwrap();
+        let events = svc.tick(10.0).unwrap();
+        assert_eq!(events.len(), 1, "{events:?}");
+        match &events[0] {
+            ServiceEvent::Rejected {
+                ticket,
+                reason: RejectReason::DeadlineExpired { waited: w },
+                waited,
+                ..
+            } => {
+                assert_eq!(*ticket, t0);
+                assert!((w - 10.0).abs() < 1e-12);
+                assert_eq!(w, waited);
+            }
+            other => panic!("expected deadline shedding, got {other:?}"),
+        }
+        assert_eq!(svc.pending(), 0);
     }
 
     #[test]
     fn batch_policy_swaps_live_without_losing_state() {
         let mut svc = service();
-        let t0 = svc.submit(request(0, 0, 255, 2), 0.0).unwrap();
+        let t0 = svc.submit(request(0, 0, 255, 2), 0.0).ticket().unwrap();
         // Live swap: the pending request and its ticket survive, and the
         // new (shorter) deadline applies from the next tick.
         svc.set_batch_policy(BatchPolicy { max_batch: 100, max_delay: 1.0 }).unwrap();
         assert_eq!(svc.pending(), 1);
-        let resp = svc.tick(1.0).unwrap().expect("new 1s deadline applies");
-        assert_eq!(resp.tickets, vec![t0]);
+        let events = svc.tick(1.0).unwrap();
+        assert_eq!(event_tickets(&events), vec![t0], "new 1s deadline applies");
         // Unsatisfiable policies are still rejected.
         let err = svc.set_batch_policy(BatchPolicy { max_batch: 0, max_delay: 1.0 }).unwrap_err();
+        assert!(matches!(err, OpaqueError::InvalidConfig { .. }));
+        let err = svc
+            .set_admission_policy(AdmissionPolicy { queue_depth: 0, deadline: None })
+            .unwrap_err();
         assert!(matches!(err, OpaqueError::InvalidConfig { .. }));
         // The ticket sequence continues across swaps — receipts stay
         // unique for the service's lifetime.
         svc.set_batch_policy(BatchPolicy { max_batch: 5, max_delay: 1.0 }).unwrap();
-        let t1 = svc.submit(request(1, 16, 240, 2), 2.0).unwrap();
+        let t1 = svc.submit(request(1, 16, 240, 2), 2.0).ticket().unwrap();
         assert_ne!(t0, t1, "ticket reused across policy change");
     }
 
@@ -952,6 +1168,72 @@ mod tests {
             assert_eq!(total.search.relaxed, first.server_relaxed + second.server_relaxed);
             assert_eq!(total.trees_grown, first.server_trees_grown + second.server_trees_grown);
         }
+    }
+
+    #[test]
+    fn shared_mode_reduces_server_load_and_improves_breach() {
+        // §III-C's central trade-off, pinned at the service layer
+        // (ported from the removed OpaqueSystem shim tests): sharing
+        // other clients' true endpoints as cover must cost the server no
+        // more pairs, add strictly fewer fakes, and improve breach.
+        let reqs: Vec<ClientRequest> =
+            (0..6).map(|i| request(i, i * 17 % 256, (i * 31 + 128) % 256, 4)).collect();
+        let indep =
+            service().process_batch_with_mode(&reqs, ObfuscationMode::Independent).unwrap().report;
+        let shared =
+            service().process_batch_with_mode(&reqs, ObfuscationMode::SharedGlobal).unwrap().report;
+        assert!(shared.total_pairs <= indep.total_pairs);
+        assert!(shared.fakes_added < indep.fakes_added);
+        // Shared |S|,|T| ≥ 6 true endpoints each, so breach ≤ 1/36 < 1/16.
+        assert!(shared.mean_breach() < indep.mean_breach());
+    }
+
+    #[test]
+    fn traffic_is_accounted_per_hop() {
+        // All four Figure-5 hops carry bytes, and candidate downloads
+        // dominate deliveries — the measurable §II overconsumption
+        // (ported from the removed OpaqueSystem shim tests).
+        let reqs = vec![request(0, 0, 255, 4), request(1, 16, 240, 4)];
+        let report =
+            service().process_batch_with_mode(&reqs, ObfuscationMode::SharedGlobal).unwrap().report;
+        let t = report.traffic;
+        assert!(t.requests_bytes > 0);
+        assert!(t.queries_bytes > 0);
+        assert!(t.results_bytes > 0);
+        assert!(t.candidates_bytes > t.results_bytes);
+        assert!(t.candidate_amplification() > 1.0);
+        assert!(report.redundancy_ratio() > 1.0);
+    }
+
+    #[test]
+    fn acks_survive_a_failed_batch() {
+        // A batch-processing error discards the window's events, but the
+        // cancellation/shedding acknowledgements taken for that event
+        // list are unrelated to the failed batch: they must re-emit on
+        // the next tick so every ticket still resolves exactly once.
+        let mut svc = service();
+        svc.strict_delivery = true; // any invalid request fails the batch
+        svc.set_admission_policy(AdmissionPolicy { queue_depth: 16, deadline: Some(2.0) }).unwrap();
+        let cancelled = svc.submit(request(0, 0, 255, 2), 0.0).ticket().unwrap();
+        let overdue = svc.submit(request(1, 16, 240, 2), 0.0).ticket().unwrap();
+        assert!(svc.cancel(cancelled));
+        // An expired straggler plus a poison request for the next window.
+        let _poison = svc.submit(request(2, 9999, 255, 2), 5.0).ticket().unwrap();
+        let err = svc.flush(5.0).unwrap_err();
+        assert!(matches!(err, OpaqueError::UnknownNode { .. }));
+        // The poison batch is gone; the acks were restored and re-emit.
+        let events = svc.flush(6.0).unwrap();
+        assert_eq!(
+            events.iter().filter_map(ServiceEvent::ticket).collect::<Vec<_>>(),
+            vec![cancelled, overdue],
+            "{events:?}"
+        );
+        assert!(matches!(events[0], ServiceEvent::Cancelled { .. }));
+        assert!(matches!(
+            events[1],
+            ServiceEvent::Rejected { reason: RejectReason::DeadlineExpired { .. }, .. }
+        ));
+        assert_eq!(svc.pending(), 0);
     }
 
     #[test]

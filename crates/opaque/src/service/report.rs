@@ -50,7 +50,7 @@ pub enum ClientOutcome {
 /// deliberately keeps them **off the wire**; read them from the struct or
 /// from the backend's [`crate::ServerStats`]. Deserialized reports carry
 /// them as 0.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BatchReport {
     /// Obfuscation mode used, with its parameters.
     pub mode: ObfuscationMode,

@@ -142,18 +142,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the compat shim until it is removed
     fn batch_feeds_the_opaque_pipeline() {
-        use opaque::{DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator, OpaqueSystem};
+        use opaque::{FakeSelection, ObfuscationMode, ServiceBuilder};
         use pathsearch::SharingPolicy;
         let (g, idx) = setup();
         let reqs =
             generate_requests(&g, &idx, &WorkloadConfig { num_requests: 6, ..Default::default() });
-        let mut sys = OpaqueSystem::new(
-            Obfuscator::new(g.clone(), FakeSelection::default_ring(), 3),
-            DirectionsServer::new(g, SharingPolicy::PerSource),
-        );
-        let (results, _) = sys.process_batch(&reqs, ObfuscationMode::SharedGlobal).unwrap();
+        let mut svc = ServiceBuilder::new()
+            .map(g)
+            .fake_selection(FakeSelection::default_ring())
+            .seed(3)
+            .sharing_policy(SharingPolicy::PerSource)
+            .obfuscation_mode(ObfuscationMode::SharedGlobal)
+            .build()
+            .expect("valid configuration");
+        let results = svc.process_batch(&reqs).unwrap().results;
         assert_eq!(results.len(), 6);
     }
 }

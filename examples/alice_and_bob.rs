@@ -11,11 +11,9 @@
 //! cargo run --example alice_and_bob
 //! ```
 
-#![allow(deprecated)] // narrative example still on the shim; see quickstart.rs for ServiceBuilder
-
 use opaque::{
-    ClientId, ClientRequest, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator,
-    OpaqueSystem, PathQuery, ProtectionSettings,
+    ClientId, ClientRequest, FakeSelection, ObfuscationMode, PathQuery, ProtectionSettings,
+    ServiceBuilder,
 };
 use pathsearch::SharingPolicy;
 use roadnet::generators::{GridConfig, grid_network};
@@ -45,11 +43,16 @@ fn main() {
     let requests = [alice, bob];
 
     for mode in [ObfuscationMode::Independent, ObfuscationMode::SharedGlobal] {
-        let mut system = OpaqueSystem::new(
-            Obfuscator::new(map.clone(), FakeSelection::default_ring(), 7),
-            DirectionsServer::new(map.clone(), SharingPolicy::PerSource),
-        );
-        let (results, report) = system.process_batch(&requests, mode).expect("pipeline ok");
+        let mut service = ServiceBuilder::new()
+            .map(map.clone())
+            .fake_selection(FakeSelection::default_ring())
+            .seed(7)
+            .sharing_policy(SharingPolicy::PerSource)
+            .obfuscation_mode(mode)
+            .build()
+            .expect("valid configuration");
+        let response = service.process_batch(&requests).expect("pipeline ok");
+        let (results, report) = (response.results, response.report);
 
         println!("=== {} obfuscation ===", report.mode);
         println!(

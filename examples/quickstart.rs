@@ -1,17 +1,19 @@
-//! Quickstart: protect directions queries with an OPAQUE service.
+//! Quickstart: protect directions queries with an OPAQUE gateway.
 //!
 //! Reproduces the paper's motivating scenario (§II): Alice wants directions
 //! from her home to a clinic without the directions-search server learning
 //! that *she* is going *there* — served through the builder-configured
-//! [`opaque::OpaqueService`] with its admission queue.
+//! [`opaque::OpaqueService`] gateway: typed admission, an event stream
+//! with one `ResultMsg` delivered back per client (the paper's hop 4),
+//! and a trailing batch report.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
 use opaque::{
-    BatchPolicy, ClientId, ClientOutcome, ClientRequest, ObfuscationMode, PathQuery,
-    ProtectionSettings, ServiceBuilder,
+    BatchPolicy, ClientId, ClientRequest, ObfuscationMode, PathQuery, ProtectionSettings,
+    ServiceBuilder, ServiceEvent, SubmitOutcome,
 };
 use roadnet::generators::{GridConfig, grid_network};
 use roadnet::{Point, SpatialIndex};
@@ -42,34 +44,45 @@ fn main() {
         .expect("valid configuration");
 
     // Alice asks for 3 candidate sources × 3 candidate destinations: the
-    // server can pin her true query with probability at most 1/9.
+    // server can pin her true query with probability at most 1/9. The
+    // gateway answers every submit with a typed outcome — accepted,
+    // deferred to the next window, or refused with a reason.
     let request = ClientRequest::new(
         ClientId(1),
         PathQuery::new(home, clinic),
         ProtectionSettings::new(3, 3).expect("both sizes >= 1"),
     );
-    let ticket = service.submit(request, 0.0).expect("admitted");
+    let ticket = match service.submit(request, 0.0) {
+        SubmitOutcome::Accepted(t) => t,
+        other => panic!("an empty queue admits: {other:?}"),
+    };
     println!("Alice's request is queued under {ticket:?}.");
 
     // Nothing flushes yet (1 of 4 pending, 1.5s elapsed)…
-    assert!(service.tick(1.5).expect("no pipeline error").is_none());
-    // …until the 2-second deadline passes.
-    let response = service
-        .tick(2.0)
-        .expect("pipeline succeeds on a connected map")
-        .expect("deadline trigger fired");
-    assert_eq!(response.outcomes[0].1, ClientOutcome::Delivered);
-
-    let path = &response.results[0].path;
+    assert!(service.tick(1.5).expect("no pipeline error").is_empty());
+    // …until the 2-second deadline passes: the batch is obfuscated,
+    // answered, filtered, and delivered as an ordered event stream.
+    let events = service.tick(2.0).expect("pipeline succeeds on a connected map");
+    let (path, waited) = match &events[0] {
+        ServiceEvent::ResponseReady { ticket: t, result, waited, .. } => {
+            assert_eq!(*t, ticket, "the delivery answers Alice's ticket");
+            (&result.path, *waited)
+        }
+        other => panic!("expected Alice's delivery, got {other:?}"),
+    };
     println!(
-        "Delivered: {} hops, network distance {:.2} — exactly the shortest path.",
+        "Delivered after {waited:.1}s in queue: {} hops, network distance {:.2} — exactly the \
+         shortest path.",
         path.num_edges(),
         path.distance()
     );
     let direct = pathsearch::shortest_path(&map, home, clinic).expect("connected");
     assert_eq!(path.distance(), direct.distance());
 
-    let report = &response.report;
+    let report = match events.last().expect("stream ends with the report") {
+        ServiceEvent::BatchFlushed(report) => report,
+        other => panic!("expected the batch report, got {other:?}"),
+    };
     println!(
         "The {}-shard backend evaluated {} (source, destination) pairs and settled {} nodes,",
         service.backend().num_shards(),

@@ -2,11 +2,7 @@
 //! pipeline on every network class and obfuscation mode, checked against
 //! ground-truth shortest paths computed directly on the map.
 
-#![allow(deprecated)] // pipeline equivalence is re-proven in service_api.rs; migration tracked in ROADMAP
-
-use opaque::{
-    ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode, Obfuscator, OpaqueSystem,
-};
+use opaque::{ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode, ServiceBuilder};
 use pathsearch::SharingPolicy;
 use roadnet::SpatialIndex;
 use roadnet::generators::NetworkClass;
@@ -36,14 +32,18 @@ fn every_class_and_mode_delivers_exact_shortest_paths() {
             },
         );
         for mode in modes() {
-            let mut sys = OpaqueSystem::new(
-                Obfuscator::new(map.clone(), FakeSelection::default_ring(), 7),
-                DirectionsServer::new(map.clone(), SharingPolicy::Auto),
-            );
-            sys.verify_results = true;
-            let (results, report) = sys
-                .process_batch(&requests, mode)
+            let mut svc = ServiceBuilder::new()
+                .map(map.clone())
+                .fake_selection(FakeSelection::default_ring())
+                .seed(7)
+                .sharing_policy(SharingPolicy::Auto)
+                .verify_results(true)
+                .build()
+                .expect("valid configuration");
+            let response = svc
+                .process_batch_with_mode(&requests, mode)
                 .unwrap_or_else(|e| panic!("{} / {}: {e}", class.name(), mode));
+            let (results, report) = (response.results, response.report);
             assert_eq!(results.len(), requests.len());
             for (res, req) in results.iter().zip(&requests) {
                 assert_eq!(res.client, req.client);
@@ -85,13 +85,15 @@ fn pipeline_works_over_paged_storage() {
         &index,
         &WorkloadConfig { num_requests: 4, seed: 3, ..Default::default() },
     );
-    let mut sys = OpaqueSystem::new(
-        Obfuscator::new(map.clone(), FakeSelection::default_ring(), 3),
-        DirectionsServer::new(&paged, SharingPolicy::PerSource),
-    );
-    let (results, _) = sys
-        .process_batch(&requests, ObfuscationMode::SharedGlobal)
-        .expect("pipeline succeeds over paged storage");
+    let mut svc = ServiceBuilder::new()
+        .map(map.clone())
+        .fake_selection(FakeSelection::default_ring())
+        .seed(3)
+        .obfuscation_mode(ObfuscationMode::SharedGlobal)
+        .build_with_backend(DirectionsServer::new(&paged, SharingPolicy::PerSource))
+        .expect("valid configuration");
+    let results =
+        svc.process_batch(&requests).expect("pipeline succeeds over paged storage").results;
     assert_eq!(results.len(), 4);
     assert!(paged.io_stats().faults > 0, "storage layer must have been exercised");
     for (res, req) in results.iter().zip(&requests) {
@@ -111,16 +113,19 @@ fn repeated_batches_are_deterministic_per_seed() {
         &WorkloadConfig { num_requests: 6, seed: 11, ..Default::default() },
     );
     let run = || {
-        let mut sys = OpaqueSystem::new(
-            Obfuscator::new(map.clone(), FakeSelection::default_ring(), 11),
-            DirectionsServer::new(map.clone(), SharingPolicy::PerSource),
-        );
-        let (results, report) =
-            sys.process_batch(&requests, ObfuscationMode::SharedGlobal).expect("ok");
+        let mut svc = ServiceBuilder::new()
+            .map(map.clone())
+            .fake_selection(FakeSelection::default_ring())
+            .seed(11)
+            .sharing_policy(SharingPolicy::PerSource)
+            .obfuscation_mode(ObfuscationMode::SharedGlobal)
+            .build()
+            .expect("valid configuration");
+        let response = svc.process_batch(&requests).expect("ok");
         (
-            results.iter().map(|r| (r.client, r.path.distance())).collect::<Vec<_>>(),
-            report.total_pairs,
-            report.server_settled,
+            response.results.iter().map(|r| (r.client, r.path.distance())).collect::<Vec<_>>(),
+            response.report.total_pairs,
+            response.report.server_settled,
         )
     };
     assert_eq!(run(), run(), "same seeds must reproduce the batch bit-for-bit");
@@ -140,13 +145,16 @@ fn large_batch_stress() {
             seed: 5,
         },
     );
-    let mut sys = OpaqueSystem::new(
-        Obfuscator::new(map.clone(), FakeSelection::Uniform, 5),
-        DirectionsServer::new(map, SharingPolicy::Auto),
-    );
-    let (results, report) = sys
-        .process_batch(&requests, ObfuscationMode::SharedClustered(ClusteringConfig::default()))
-        .expect("pipeline scales to 64 clients");
+    let mut svc = ServiceBuilder::new()
+        .map(map)
+        .fake_selection(FakeSelection::Uniform)
+        .seed(5)
+        .sharing_policy(SharingPolicy::Auto)
+        .obfuscation_mode(ObfuscationMode::SharedClustered(ClusteringConfig::default()))
+        .build()
+        .expect("valid configuration");
+    let response = svc.process_batch(&requests).expect("pipeline scales to 64 clients");
+    let (results, report) = (response.results, response.report);
     assert_eq!(results.len(), 64);
     assert_eq!(report.per_client_breach.len(), 64);
     assert!(report.num_units <= 64);

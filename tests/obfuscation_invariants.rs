@@ -3,11 +3,9 @@
 //! and the filter's exactness — across random workloads, strategies, and
 //! modes.
 
-#![allow(deprecated)] // invariants hold through the shim; migration tracked in ROADMAP
-
 use opaque::{
-    ClientId, ClientRequest, ClusteringConfig, DirectionsServer, FakeSelection, ObfuscationMode,
-    Obfuscator, OpaqueSystem, PathQuery, ProtectionSettings,
+    ClientId, ClientRequest, ClusteringConfig, FakeSelection, ObfuscationMode, Obfuscator,
+    PathQuery, ProtectionSettings, ServiceBuilder,
 };
 use pathsearch::SharingPolicy;
 use proptest::prelude::*;
@@ -118,12 +116,15 @@ proptest! {
     ) {
         prop_assume!(!requests.is_empty());
         let g = map();
-        let mut sys = OpaqueSystem::new(
-            Obfuscator::new(g.clone(), FakeSelection::default_ring(), seed),
-            DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
-        );
-        sys.verify_results = true;
-        let (results, _) = sys.process_batch(&requests, mode).expect("pipeline ok");
+        let mut svc = ServiceBuilder::new()
+            .map(g.clone())
+            .fake_selection(FakeSelection::default_ring())
+            .seed(seed)
+            .sharing_policy(SharingPolicy::PerSource)
+            .verify_results(true)
+            .build()
+            .expect("valid configuration");
+        let results = svc.process_batch_with_mode(&requests, mode).expect("pipeline ok").results;
         prop_assert_eq!(results.len(), requests.len());
         for (res, req) in results.iter().zip(&requests) {
             prop_assert_eq!(res.client, req.client);

@@ -1,14 +1,13 @@
-//! Integration tests for the service-layer API: builder validation, the
-//! batcher's flush semantics, sharded-backend equivalence, and the
-//! compat-shim proof obligation (`OpaqueSystem` ≡ `OpaqueService` in
-//! strict mode on the same workload).
-
-#![allow(deprecated)] // this test IS the shim ≡ service proof obligation
+//! Integration tests for the service-layer gateway API: builder
+//! validation, typed admission (`SubmitOutcome` under an
+//! `AdmissionPolicy`), priority lanes, cancellation, deadline shedding,
+//! the per-client event stream, and sharded-backend equivalence.
 
 use opaque::{
-    BatchPolicy, ClientId, ClientOutcome, ClientRequest, ClusteringConfig, DirectionsServer,
-    FakeSelection, ObfuscationMode, Obfuscator, OpaqueError, PathQuery, ProtectionSettings,
-    ServiceBuilder, ServiceConfig, ShardedBackend,
+    AdmissionPolicy, BatchPolicy, ClientId, ClientOutcome, ClientRequest, ClusteringConfig,
+    DirectionsServer, FakeSelection, ObfuscationMode, OpaqueError, PathQuery, Priority,
+    ProtectionSettings, RejectReason, ServiceBuilder, ServiceConfig, ServiceEvent, ShardedBackend,
+    SubmitOutcome,
 };
 use pathsearch::SharingPolicy;
 use roadnet::generators::{GridConfig, grid_network};
@@ -35,6 +34,14 @@ fn workload(n: usize, seed: u64) -> Vec<ClientRequest> {
     )
 }
 
+fn request(i: u32) -> ClientRequest {
+    ClientRequest::new(
+        ClientId(i),
+        PathQuery::new(NodeId(i * 5 % 324), NodeId(323 - i * 7 % 324)),
+        ProtectionSettings::new(3, 3).unwrap(),
+    )
+}
+
 #[test]
 fn builder_validation_errors_are_typed_and_specific() {
     // No map.
@@ -54,6 +61,14 @@ fn builder_validation_errors_are_typed_and_specific() {
             .batch_policy(BatchPolicy { max_batch: 0, max_delay: 1.0 })
             .build(),
         Err(OpaqueError::InvalidConfig { ref reason }) if reason.contains("max_batch")
+    ));
+    // Unsatisfiable admission policy.
+    assert!(matches!(
+        ServiceBuilder::new()
+            .map(map())
+            .admission_policy(AdmissionPolicy { queue_depth: 0, deadline: None })
+            .build(),
+        Err(OpaqueError::InvalidConfig { ref reason }) if reason.contains("queue_depth")
     ));
     // Weight/map mismatch.
     assert!(matches!(
@@ -75,40 +90,168 @@ fn batcher_flushes_on_size_then_deadline() {
         .build()
         .expect("valid");
 
-    let request = |i: u32| {
-        ClientRequest::new(
-            ClientId(i),
-            PathQuery::new(NodeId(i * 5), NodeId(323 - i * 7)),
-            ProtectionSettings::new(3, 3).unwrap(),
-        )
-    };
-
     // Size trigger: the third submission makes the batch eligible.
-    svc.submit(request(0), 0.0).unwrap();
-    svc.submit(request(1), 0.5).unwrap();
-    assert!(svc.tick(1.0).unwrap().is_none(), "2 < max_batch and deadline not reached");
-    svc.submit(request(2), 1.0).unwrap();
-    let resp = svc.tick(1.0).unwrap().expect("size trigger");
-    assert_eq!(resp.results.len(), 3);
-    assert_eq!(resp.tickets.len(), 3);
-    assert!(resp.outcomes.iter().all(|(_, o)| *o == ClientOutcome::Delivered));
+    svc.submit(request(0), 0.0).ticket().unwrap();
+    svc.submit(request(1), 0.5).ticket().unwrap();
+    assert!(svc.tick(1.0).unwrap().is_empty(), "2 < max_batch and deadline not reached");
+    svc.submit(request(2), 1.0).ticket().unwrap();
+    let events = svc.tick(1.0).unwrap();
+    assert_eq!(events.len(), 4, "three deliveries + the report: {events:?}");
+    assert!(
+        events[..3].iter().all(|e| matches!(e, ServiceEvent::ResponseReady { .. })),
+        "{events:?}"
+    );
+    assert!(matches!(events[3], ServiceEvent::BatchFlushed(_)));
     assert_eq!(svc.pending(), 0);
 
     // Deadline trigger: one request, flushed only after max_delay.
-    svc.submit(request(3), 10.0).unwrap();
-    assert!(svc.tick(13.9).unwrap().is_none(), "3.9s < 4s deadline");
-    let resp = svc.tick(14.0).unwrap().expect("deadline trigger");
-    assert_eq!(resp.results.len(), 1);
+    svc.submit(request(3), 10.0).ticket().unwrap();
+    assert!(svc.tick(13.9).unwrap().is_empty(), "3.9s < 4s deadline");
+    let events = svc.tick(14.0).unwrap();
+    assert_eq!(events.len(), 2, "{events:?}");
 
-    // Duplicate client within one pending batch is rejected at admission.
-    svc.submit(request(4), 20.0).unwrap();
-    assert!(matches!(
-        svc.submit(request(4), 20.1),
-        Err(OpaqueError::DuplicateClient { client: ClientId(4) })
-    ));
-    // Forced flush drains the partial batch.
-    let resp = svc.flush(21.0).unwrap().expect("partial batch");
-    assert_eq!(resp.results.len(), 1);
+    // A duplicate client within one pending window defers; a forced
+    // flush drains the partial batch and the deferral needs one more.
+    svc.submit(request(4), 20.0).ticket().unwrap();
+    assert!(matches!(svc.submit(request(4), 20.1), SubmitOutcome::Deferred(_)));
+    let events = svc.flush(21.0).unwrap();
+    assert_eq!(events.len(), 2, "first window: one delivery + report: {events:?}");
+    let events = svc.flush(22.0).unwrap();
+    assert_eq!(events.len(), 2, "deferred window: one delivery + report: {events:?}");
+    assert_eq!(svc.pending(), 0);
+}
+
+#[test]
+fn duplicate_submissions_defer_instead_of_erroring() {
+    // Regression pin for the gateway redesign: the submit path can no
+    // longer fail with OpaqueError::DuplicateClient — both requests from
+    // one client are served, one window apart, with distinct tickets and
+    // both answered by name.
+    let mut svc = ServiceBuilder::new().map(map()).verify_results(true).build().expect("valid");
+    let first = ClientRequest::new(
+        ClientId(9),
+        PathQuery::new(NodeId(0), NodeId(323)),
+        ProtectionSettings::new(2, 2).unwrap(),
+    );
+    let second = ClientRequest::new(
+        ClientId(9),
+        PathQuery::new(NodeId(17), NodeId(300)),
+        ProtectionSettings::new(2, 2).unwrap(),
+    );
+    let t0 = match svc.submit(first, 0.0) {
+        SubmitOutcome::Accepted(t) => t,
+        other => panic!("fresh client must be accepted, got {other:?}"),
+    };
+    let t1 = match svc.submit(second, 0.1) {
+        SubmitOutcome::Deferred(t) => t,
+        other => panic!("duplicate client must defer, got {other:?}"),
+    };
+    assert_ne!(t0, t1);
+
+    let mut delivered = Vec::new();
+    let mut guard = 0;
+    while svc.pending() > 0 {
+        for event in svc.flush(1.0 + guard as f64).unwrap() {
+            if let ServiceEvent::ResponseReady { ticket, result, .. } = event {
+                delivered.push((ticket, result.path.source(), result.path.destination()));
+            }
+        }
+        guard += 1;
+        assert!(guard < 5, "deferred requests must drain in bounded windows");
+    }
+    assert_eq!(
+        delivered,
+        vec![(t0, NodeId(0), NodeId(323)), (t1, NodeId(17), NodeId(300))],
+        "each submission is answered with its own query's path"
+    );
+}
+
+#[test]
+fn queue_depth_refuses_submissions_with_backpressure() {
+    let mut svc = ServiceBuilder::new()
+        .map(map())
+        .batch_policy(BatchPolicy { max_batch: 100, max_delay: 100.0 })
+        .admission_policy(AdmissionPolicy { queue_depth: 3, deadline: None })
+        .build()
+        .expect("valid");
+    for i in 0..3 {
+        assert!(svc.submit(request(i), 0.0).is_accepted());
+    }
+    match svc.submit(request(3), 0.1) {
+        SubmitOutcome::Rejected(RejectReason::QueueFull { depth: 3 }) => {}
+        other => panic!("expected backpressure, got {other:?}"),
+    }
+    // Refused submissions get no ticket and no event; draining frees
+    // capacity again.
+    let events = svc.flush(1.0).unwrap();
+    assert_eq!(events.len(), 4, "three queued deliveries + report: {events:?}");
+    assert!(svc.submit(request(3), 2.0).is_accepted());
+}
+
+#[test]
+fn interactive_lane_has_priority_over_bulk() {
+    let mut svc = ServiceBuilder::new()
+        .map(map())
+        .batch_policy(BatchPolicy { max_batch: 2, max_delay: 100.0 })
+        .build()
+        .expect("valid");
+    let bulk0 = svc.submit_with_priority(request(0), Priority::Bulk, 0.0).ticket().unwrap();
+    let _bulk1 = svc.submit_with_priority(request(1), Priority::Bulk, 0.1).ticket().unwrap();
+    let inter = svc.submit_with_priority(request(2), Priority::Interactive, 0.2).ticket().unwrap();
+    // Size trigger at 2: the interactive request jumps the older bulk
+    // queue; only one bulk rides along.
+    let events = svc.tick(0.2).unwrap();
+    let tickets: Vec<_> = events.iter().filter_map(ServiceEvent::ticket).collect();
+    assert_eq!(tickets, vec![inter, bulk0], "interactive drains first: {events:?}");
+}
+
+#[test]
+fn cancelled_tickets_never_reach_a_batch() {
+    let mut svc = ServiceBuilder::new().map(map()).build().expect("valid");
+    let keep = svc.submit(request(0), 0.0).ticket().unwrap();
+    let gone = svc.submit(request(1), 0.1).ticket().unwrap();
+    assert!(svc.cancel(gone));
+    let events = svc.flush(1.0).unwrap();
+    // Acknowledgement first, then the survivor's delivery + report.
+    assert_eq!(events[0], ServiceEvent::Cancelled { ticket: gone, client: ClientId(1) });
+    assert_eq!(events[1].ticket(), Some(keep));
+    match events.last().unwrap() {
+        ServiceEvent::BatchFlushed(report) => assert_eq!(report.num_requests, 1),
+        other => panic!("expected report, got {other:?}"),
+    }
+    // Cancelling after the drain fails: the request is gone (§IV —
+    // satisfied requests are discarded immediately).
+    assert!(!svc.cancel(keep));
+    assert!(!svc.cancel(gone));
+}
+
+#[test]
+fn deadline_expiry_sheds_requests_under_backlog() {
+    // max_batch 1 forces a backlog: the second request waits a full
+    // extra window and crosses its 3s admission deadline.
+    let mut svc = ServiceBuilder::new()
+        .map(map())
+        .batch_policy(BatchPolicy { max_batch: 1, max_delay: 100.0 })
+        .admission_policy(AdmissionPolicy { queue_depth: 10, deadline: Some(3.0) })
+        .build()
+        .expect("valid");
+    let t0 = svc.submit(request(0), 0.0).ticket().unwrap();
+    let t1 = svc.submit(request(1), 0.0).ticket().unwrap();
+    let events = svc.tick(1.0).unwrap();
+    assert_eq!(
+        events.iter().filter_map(ServiceEvent::ticket).collect::<Vec<_>>(),
+        vec![t0],
+        "size cap drains one: {events:?}"
+    );
+    // By t=10 the straggler is overdue: shed, not served.
+    let events = svc.tick(10.0).unwrap();
+    match &events[0] {
+        ServiceEvent::Rejected { ticket, reason: RejectReason::DeadlineExpired { .. }, .. } => {
+            assert_eq!(*ticket, t1);
+        }
+        other => panic!("expected shedding, got {other:?}"),
+    }
+    assert_eq!(svc.pending(), 0);
 }
 
 #[test]
@@ -163,47 +306,71 @@ fn sharded_backend_balances_round_robin() {
 }
 
 #[test]
-fn compat_shim_equals_service_on_the_same_workload() {
-    let requests = workload(20, 0xC0_FFEE);
-    let g = map();
-
-    for mode in [
-        ObfuscationMode::Independent,
-        ObfuscationMode::SharedGlobal,
-        ObfuscationMode::SharedClustered(ClusteringConfig::default()),
-    ] {
-        // The historical wiring…
-        let mut system = opaque::OpaqueSystem::new(
-            Obfuscator::new(g.clone(), FakeSelection::default_ring(), 4242),
-            DirectionsServer::new(g.clone(), SharingPolicy::PerSource),
-        );
-        system.verify_results = true;
-        let (sys_results, sys_report) =
-            system.process_batch(&requests, mode).expect("system pipeline");
-
-        // …and the service with identical configuration.
-        let mut service = ServiceBuilder::new()
-            .map(g.clone())
+fn event_stream_matches_the_direct_batch_view() {
+    // The gateway's event stream and the legacy process_batch view must
+    // describe the same bytes for the same requests (the deterministic
+    // pin; tests/gateway_equivalence.rs proves it property-based).
+    let requests = workload(10, 0xC0_FFEE);
+    let build = || {
+        ServiceBuilder::new()
+            .map(map())
             .seed(4242)
             .verify_results(true)
-            .obfuscation_mode(mode)
+            .obfuscation_mode(ObfuscationMode::SharedGlobal)
             .build()
-            .expect("valid");
-        let response = service.process_batch(&requests).expect("service pipeline");
+            .expect("valid")
+    };
 
-        // Identical delivered paths…
-        assert_eq!(sys_results.len(), response.results.len(), "{mode}");
-        for (a, b) in sys_results.iter().zip(&response.results) {
-            assert_eq!(a.client, b.client, "{mode}");
-            assert_eq!(a.path.nodes(), b.path.nodes(), "{mode}");
+    let mut direct = build();
+    let response = direct.process_batch(&requests).expect("pipeline");
+
+    let mut gateway = build();
+    for r in &requests {
+        gateway.submit(*r, 0.0).ticket().unwrap();
+    }
+    let events = gateway.flush(0.5).unwrap();
+    assert_eq!(events.len(), requests.len() + 1);
+
+    let mut deliveries = 0usize;
+    for (event, (client, outcome)) in events.iter().zip(&response.outcomes) {
+        match (event, outcome) {
+            (ServiceEvent::ResponseReady { client: c, result, .. }, ClientOutcome::Delivered) => {
+                assert_eq!(c, client);
+                let direct_path = &response.results.iter().find(|r| r.client == *c).unwrap().path;
+                assert_eq!(
+                    serde_json::to_string(&result.path).unwrap(),
+                    serde_json::to_string(direct_path).unwrap(),
+                    "hop-4 payload must be byte-identical to the batch view"
+                );
+                deliveries += 1;
+            }
+            (ServiceEvent::Unreachable { client: c, .. }, ClientOutcome::Unreachable) => {
+                assert_eq!(c, client);
+            }
+            (
+                ServiceEvent::Rejected {
+                    client: c,
+                    reason: RejectReason::Infeasible { reason },
+                    ..
+                },
+                ClientOutcome::Rejected { reason: direct_reason },
+            ) => {
+                assert_eq!(c, client);
+                assert_eq!(reason, direct_reason);
+            }
+            (event, outcome) => panic!("event/outcome mismatch: {event:?} vs {outcome:?}"),
         }
-        // …identical breach probabilities…
-        assert_eq!(sys_report.per_client_breach, response.report.per_client_breach, "{mode}");
-        // …and identical aggregate accounting.
-        assert_eq!(sys_report.total_pairs, response.report.total_pairs, "{mode}");
-        assert_eq!(sys_report.fakes_added, response.report.fakes_added, "{mode}");
-        assert_eq!(sys_report.num_units, response.report.num_units, "{mode}");
-        assert_eq!(sys_report.mode, response.report.mode, "{mode}");
+    }
+    assert_eq!(deliveries, response.results.len());
+    match events.last().unwrap() {
+        ServiceEvent::BatchFlushed(report) => {
+            assert_eq!(
+                serde_json::to_string(report).unwrap(),
+                serde_json::to_string(&response.report).unwrap(),
+                "the trailing report is the same determinism oracle"
+            );
+        }
+        other => panic!("expected trailing report, got {other:?}"),
     }
 }
 
@@ -239,14 +406,14 @@ fn service_reports_unreachable_instead_of_failing_the_batch() {
     assert_eq!(resp.outcomes[0], (ClientId(0), ClientOutcome::Delivered));
     assert_eq!(resp.outcomes[1], (ClientId(1), ClientOutcome::Unreachable));
 
-    // The strict shim keeps the historical all-or-error contract.
-    let mut system = opaque::OpaqueSystem::new(
-        Obfuscator::new(g.clone(), FakeSelection::Uniform, 1),
-        DirectionsServer::new(g, SharingPolicy::PerSource),
-    );
-    let err =
-        system.process_batch(&[reachable, unreachable], ObfuscationMode::Independent).unwrap_err();
-    assert!(matches!(err, OpaqueError::MissingResult { .. }));
+    // The same pair through the gateway: an explicit Unreachable event.
+    let mut svc =
+        ServiceBuilder::new().map(g).fake_selection(FakeSelection::Uniform).build().expect("valid");
+    let t0 = svc.submit(reachable, 0.0).ticket().unwrap();
+    let t1 = svc.submit(unreachable, 0.0).ticket().unwrap();
+    let events = svc.flush(0.0).unwrap();
+    assert!(matches!(&events[0], ServiceEvent::ResponseReady { ticket, .. } if *ticket == t0));
+    assert!(matches!(&events[1], ServiceEvent::Unreachable { ticket, .. } if *ticket == t1));
 }
 
 #[test]
