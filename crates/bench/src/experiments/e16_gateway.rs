@@ -31,7 +31,8 @@ use opaque::{
 };
 use std::collections::HashMap;
 use workload::{
-    ArrivalConfig, ProtectionDistribution, QueryDistribution, WorkloadConfig, poisson_stream,
+    ArrivalConfig, LatencyHistogram, ProtectionDistribution, QueryDistribution, WorkloadConfig,
+    poisson_stream,
 };
 
 /// Arrivals per simulated second — twice the drain capacity below.
@@ -44,23 +45,29 @@ const QUEUE_DEPTH: usize = 24;
 /// Queued requests older than this are shed, not served stale.
 const DEADLINE: f64 = 6.0;
 
-#[derive(Default)]
+/// Queue-wait resolution: 50 ms buckets out to 20 s, plenty for the
+/// DEADLINE-bounded waits this experiment can produce.
+const WAIT_BUCKET: f64 = 0.05;
+const WAIT_BUCKETS: usize = 400;
+
 struct LaneStats {
     submitted: usize,
     served: usize,
-    waits: Vec<f64>,
+    waits: LatencyHistogram,
     shed: usize,
     refused: usize,
 }
 
-/// Percentile over the recorded waits: the sorted set indexed at the
-/// rounded linear position `p/100 · (n−1)` (no interpolation).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+impl LaneStats {
+    fn new() -> Self {
+        LaneStats {
+            submitted: 0,
+            served: 0,
+            waits: LatencyHistogram::new(WAIT_BUCKET, WAIT_BUCKETS),
+            shed: 0,
+            refused: 0,
+        }
     }
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Run E16.
@@ -100,8 +107,8 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         .expect("valid service configuration");
 
     let mut lanes: HashMap<Priority, LaneStats> = HashMap::new();
-    lanes.insert(Priority::Interactive, LaneStats::default());
-    lanes.insert(Priority::Bulk, LaneStats::default());
+    lanes.insert(Priority::Interactive, LaneStats::new());
+    lanes.insert(Priority::Bulk, LaneStats::new());
     let mut ticket_lane: HashMap<Ticket, Priority> = HashMap::new();
     let mut resolved = 0usize;
     fn account(
@@ -116,7 +123,7 @@ pub fn run(scale: &Scale) -> ExperimentTable {
                 | ServiceEvent::Unreachable { ticket, waited, .. } => {
                     let stats = lanes.get_mut(&ticket_lane[&ticket]).expect("known lane");
                     stats.served += 1;
-                    stats.waits.push(waited);
+                    stats.waits.record(waited);
                     *resolved += 1;
                 }
                 ServiceEvent::Rejected { ticket, reason, .. } => {
@@ -168,16 +175,17 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         next_window += WINDOW;
     }
 
-    let mut all_waits: Vec<f64> = Vec::new();
+    // Per-lane histograms merge into the population histogram — the
+    // composability the ad-hoc sorted-vec percentiles lacked.
+    let mut all_waits = LatencyHistogram::new(WAIT_BUCKET, WAIT_BUCKETS);
     let mut total_submitted = 0usize;
     let mut total_rejected = 0usize;
     let mut p99_by_lane: HashMap<Priority, f64> = HashMap::new();
     for priority in [Priority::Interactive, Priority::Bulk] {
         let stats = lanes.get_mut(&priority).expect("known lane");
-        stats.waits.sort_by(f64::total_cmp);
-        let (p50, p99) = (percentile(&stats.waits, 50.0), percentile(&stats.waits, 99.0));
+        let (p50, p99) = (stats.waits.p50(), stats.waits.p99());
         p99_by_lane.insert(priority, p99);
-        all_waits.extend_from_slice(&stats.waits);
+        all_waits.merge(&stats.waits);
         total_submitted += stats.submitted;
         total_rejected += stats.shed + stats.refused;
         t.row(vec![
@@ -208,9 +216,8 @@ pub fn run(scale: &Scale) -> ExperimentTable {
         rejection_rate * 100.0
     ));
 
-    all_waits.sort_by(f64::total_cmp);
-    t.metric("queue_wait_p50", percentile(&all_waits, 50.0));
-    t.metric("queue_wait_p99", percentile(&all_waits, 99.0));
+    t.metric("queue_wait_p50", all_waits.p50());
+    t.metric("queue_wait_p99", all_waits.p99());
     t.metric("rejection_rate", rejection_rate);
     t
 }

@@ -7,6 +7,7 @@ pub mod e13_frontier;
 pub mod e14_parallel;
 pub mod e15_cache;
 pub mod e16_gateway;
+pub mod e17_netload;
 pub mod e1_algorithms;
 pub mod e2_techniques;
 pub mod e3_breach;
@@ -21,9 +22,9 @@ use crate::setup::Scale;
 use crate::table::ExperimentTable;
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 16] = [
+pub const ALL_IDS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Run one experiment by id.
@@ -45,6 +46,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
         "e14" => Some(e14_parallel::run(scale)),
         "e15" => Some(e15_cache::run(scale)),
         "e16" => Some(e16_gateway::run(scale)),
+        "e17" => Some(e17_netload::run(scale)),
         _ => None,
     }
 }

@@ -8,17 +8,18 @@
 //! ```json
 //! {
 //!   "e15": { "wall_ms": 12.5, "trees_grown": 48, "cache_hit_rate": 0.62,
-//!            "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0 }
+//!            "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0,
+//!            "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0 }
 //! }
 //! ```
 //!
 //! `wall_ms` is measured by the harness around the experiment run; every
 //! other field comes from the experiment's recorded
 //! [`ExperimentTable::metric`] values (0 when an experiment does not
-//! track one — e.g. `cache_hit_rate` before `e15` existed, or the
-//! gateway latency trio before `e16`). Keeping the emitter on table
-//! metrics rather than formatted rows means trend tooling never
-//! screen-scrapes.
+//! track one — e.g. `cache_hit_rate` before `e15` existed, the gateway
+//! latency trio before `e16`, or the network latency trio before `e17`).
+//! Keeping the emitter on table metrics rather than formatted rows means
+//! trend tooling never screen-scrapes.
 
 use crate::table::ExperimentTable;
 
@@ -42,6 +43,13 @@ pub struct PerfPoint {
     /// Fraction of submissions refused at the door or shed by deadline
     /// (0 when untracked).
     pub rejection_rate: f64,
+    /// Median end-to-end wire latency in milliseconds (0 when the
+    /// experiment has no network axis).
+    pub net_p50_ms: f64,
+    /// p99 end-to-end wire latency in milliseconds (0 when untracked).
+    pub net_p99_ms: f64,
+    /// p999 end-to-end wire latency in milliseconds (0 when untracked).
+    pub net_p999_ms: f64,
 }
 
 impl PerfPoint {
@@ -57,6 +65,9 @@ impl PerfPoint {
             queue_wait_p50: metric("queue_wait_p50"),
             queue_wait_p99: metric("queue_wait_p99"),
             rejection_rate: metric("rejection_rate"),
+            net_p50_ms: metric("net_p50_ms"),
+            net_p99_ms: metric("net_p99_ms"),
+            net_p999_ms: metric("net_p999_ms"),
         }
     }
 }
@@ -106,6 +117,9 @@ impl serde::Serialize for PerfTrajectory {
                             ("queue_wait_p50".to_string(), serde::Value::Num(p.queue_wait_p50)),
                             ("queue_wait_p99".to_string(), serde::Value::Num(p.queue_wait_p99)),
                             ("rejection_rate".to_string(), serde::Value::Num(p.rejection_rate)),
+                            ("net_p50_ms".to_string(), serde::Value::Num(p.net_p50_ms)),
+                            ("net_p99_ms".to_string(), serde::Value::Num(p.net_p99_ms)),
+                            ("net_p999_ms".to_string(), serde::Value::Num(p.net_p999_ms)),
                         ]),
                     )
                 })
@@ -126,9 +140,9 @@ impl serde::Deserialize for PerfTrajectory {
                 let fields = fields
                     .as_object()
                     .ok_or_else(|| serde::DeError::expected("object of perf fields"))?;
-                // The gateway trio is parsed tolerantly (absent → 0) so
-                // trend tooling can still read artifacts emitted before
-                // e16 existed.
+                // The gateway trio and the network trio are parsed
+                // tolerantly (absent → 0) so trend tooling can still read
+                // artifacts emitted before e16 / e17 existed.
                 let optional = |name: &str| -> Result<f64, serde::DeError> {
                     Ok(Option::<f64>::from_value(serde::__field(fields, name))?.unwrap_or(0.0))
                 };
@@ -146,6 +160,9 @@ impl serde::Deserialize for PerfTrajectory {
                     queue_wait_p50: optional("queue_wait_p50")?,
                     queue_wait_p99: optional("queue_wait_p99")?,
                     rejection_rate: optional("rejection_rate")?,
+                    net_p50_ms: optional("net_p50_ms")?,
+                    net_p99_ms: optional("net_p99_ms")?,
+                    net_p999_ms: optional("net_p999_ms")?,
                 })
             })
             .collect::<Result<Vec<_>, serde::DeError>>()?;
@@ -174,6 +191,7 @@ mod tests {
         assert_eq!(p.trees_grown, 48);
         assert_eq!(p.cache_hit_rate, 0.625);
         assert_eq!((p.queue_wait_p50, p.queue_wait_p99, p.rejection_rate), (0.0, 0.0, 0.0));
+        assert_eq!((p.net_p50_ms, p.net_p99_ms, p.net_p999_ms), (0.0, 0.0, 0.0));
 
         let bare = table_with("E13", &[]);
         let p = PerfPoint::from_table(&bare, 3.0);
@@ -186,6 +204,12 @@ mod tests {
         );
         let p = PerfPoint::from_table(&gateway, 7.0);
         assert_eq!((p.queue_wait_p50, p.queue_wait_p99, p.rejection_rate), (1.25, 5.5, 0.4));
+
+        // The network latency trio flows through from e17's metrics.
+        let net =
+            table_with("E17", &[("net_p50_ms", 2.0), ("net_p99_ms", 9.5), ("net_p999_ms", 40.0)]);
+        let p = PerfPoint::from_table(&net, 11.0);
+        assert_eq!((p.net_p50_ms, p.net_p99_ms, p.net_p999_ms), (2.0, 9.5, 40.0));
     }
 
     #[test]
@@ -198,6 +222,16 @@ mod tests {
         assert_eq!(traj.points[0].trees_grown, 9);
         assert_eq!(traj.points[0].queue_wait_p99, 0.0);
         assert_eq!(traj.points[0].rejection_rate, 0.0);
+
+        // BENCH_5.json artifacts carry the gateway trio but not the
+        // network trio; those must parse too, with the net fields zero.
+        let bench5 = r#"{ "e16": { "wall_ms": 4.0, "trees_grown": 0, "cache_hit_rate": 0.0,
+                          "queue_wait_p50": 1.5, "queue_wait_p99": 5.0,
+                          "rejection_rate": 0.3 } }"#;
+        let traj: PerfTrajectory = serde_json::from_str(bench5).unwrap();
+        assert_eq!(traj.points[0].queue_wait_p99, 5.0);
+        assert_eq!(traj.points[0].net_p50_ms, 0.0);
+        assert_eq!(traj.points[0].net_p999_ms, 0.0);
     }
 
     #[test]
@@ -212,6 +246,9 @@ mod tests {
                     queue_wait_p50: 0.0,
                     queue_wait_p99: 0.0,
                     rejection_rate: 0.0,
+                    net_p50_ms: 0.0,
+                    net_p99_ms: 0.0,
+                    net_p999_ms: 0.0,
                 },
                 PerfPoint {
                     experiment: "e15".to_string(),
@@ -221,6 +258,9 @@ mod tests {
                     queue_wait_p50: 1.0,
                     queue_wait_p99: 4.5,
                     rejection_rate: 0.25,
+                    net_p50_ms: 1.5,
+                    net_p99_ms: 12.0,
+                    net_p999_ms: 80.5,
                 },
             ],
         };
@@ -245,6 +285,9 @@ mod tests {
             queue_wait_p50: 0.0,
             queue_wait_p99: 0.0,
             rejection_rate: 0.0,
+            net_p50_ms: 0.0,
+            net_p99_ms: 0.0,
+            net_p999_ms: 0.0,
         };
         traj.record(point(1.0));
         traj.record(point(2.0));

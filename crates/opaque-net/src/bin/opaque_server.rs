@@ -1,0 +1,146 @@
+//! `opaque-server` — stand up the framed TCP front door over a
+//! generated grid map.
+//!
+//! ```text
+//! opaque-server [--addr HOST:PORT] [--nodes N] [--seed S] [--shards K] [--smoke]
+//! ```
+//!
+//! `--smoke` binds an ephemeral loopback port, drives a few requests
+//! through a real client from a second thread, prints the resulting
+//! batch report and wire stats, and exits non-zero on any mismatch —
+//! the CI end-to-end check that the binary actually serves.
+
+use opaque::{
+    BatchPolicy, ClientId, PathQuery, Priority, ProtectionSettings, RequestMsg, ServiceBuilder,
+};
+use opaque_net::{FleetConfig, NetServer, ServerConfig, run_fleet};
+use roadnet::NodeId;
+use roadnet::generators::{GridConfig, grid_network};
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+struct Args {
+    addr: String,
+    nodes: u32,
+    seed: u64,
+    shards: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { addr: "127.0.0.1:4650".to_string(), nodes: 1024, seed: 7, shards: 1, smoke: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--nodes" => {
+                args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--shards" => {
+                args.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                return Err("usage: opaque-server [--addr HOST:PORT] [--nodes N] [--seed S] \
+                     [--shards K] [--smoke]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_server(args: &Args, addr: &str) -> NetServer {
+    let side = (args.nodes as f64).sqrt().ceil().max(4.0) as usize;
+    let map =
+        grid_network(&GridConfig { width: side, height: side, seed: 5, ..Default::default() })
+            .expect("grid generates");
+    let service = ServiceBuilder::new()
+        .map(map)
+        .seed(args.seed)
+        .shards(args.shards)
+        .batch_policy(BatchPolicy { max_batch: 64, max_delay: 0.05 })
+        .build()
+        .expect("valid service configuration");
+    NetServer::bind(addr, service, ServerConfig::default()).expect("bind")
+}
+
+fn smoke(args: &Args) -> Result<(), String> {
+    let mut server = build_server(args, "127.0.0.1:0");
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let side = (args.nodes as f64).sqrt().ceil().max(4.0) as u32;
+    let n = side * side; // NodeId space of the generated grid
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let result = server.run_until(&flag);
+        (server, result)
+    });
+
+    let requests: Vec<(RequestMsg, Priority)> = (0..24u32)
+        .map(|i| {
+            let msg = RequestMsg {
+                client: ClientId(i),
+                query: PathQuery::new(NodeId(i % n), NodeId((i * 17 + n / 2) % n)),
+                protection: ProtectionSettings::new(2, 2).expect("valid protection"),
+            };
+            let lane = if i % 3 == 0 { Priority::Bulk } else { Priority::Interactive };
+            (msg, lane)
+        })
+        .collect();
+    let outcome = run_fleet(addr, &requests, FleetConfig { connections: 2, max_in_flight: 16 })
+        .map_err(|e| format!("fleet failed: {e}"))?;
+
+    stop.store(true, Ordering::Release);
+    let (server, run_result) = handle.join().map_err(|_| "server thread panicked")?;
+    run_result.map_err(|e| format!("reactor failed: {e}"))?;
+
+    if outcome.terminal_replies != requests.len() {
+        return Err(format!(
+            "conservation violated: {} requests, {} terminal replies",
+            requests.len(),
+            outcome.terminal_replies
+        ));
+    }
+    if outcome.delivered == 0 {
+        return Err(format!("no request was delivered: {outcome:?}"));
+    }
+    if server.stats().dropped_replies != 0 {
+        return Err(format!("replies dropped on loopback: {:?}", server.stats()));
+    }
+    println!("smoke ok: {} requests, {} delivered", outcome.sent, outcome.delivered);
+    println!("stats: {:?}", server.stats());
+    for report in server.reports() {
+        println!("report: {report}");
+    }
+    Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let mut server = build_server(args, &args.addr);
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("opaque-server listening on {addr} ({} nodes, seed {})", args.nodes, args.seed);
+    let stop = AtomicBool::new(false);
+    server.run_until(&stop).map_err(|e| format!("reactor failed: {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let result = if args.smoke { smoke(&args) } else { serve(&args) };
+    if let Err(msg) = result {
+        eprintln!("opaque-server: {msg}");
+        std::process::exit(1);
+    }
+}

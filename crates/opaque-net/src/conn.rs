@@ -1,0 +1,336 @@
+//! Per-connection state machine.
+//!
+//! A connection moves through four phases:
+//!
+//! ```text
+//! Reading ──frame──▶ Submitted(Ticket) ──event──▶ Writing ──error──▶ Draining
+//!    ▲                                               │
+//!    └───────────────── outbound flushed ◀───────────┘
+//! ```
+//!
+//! The phases overlap freely — a pipelining client can have requests in
+//! flight while replies stream back — so [`Connection`] tracks them as
+//! orthogonal facts (`in_flight`, outbound bytes, `draining`) and reports
+//! the dominant one via [`Connection::phase`]. Backpressure is the one
+//! coupling: when the outbound buffer crosses its cap the connection
+//! stops reading ([`Connection::wants_read`] goes false), which stops
+//! submitting, which lets the gateway's own admission control see the
+//! slow consumer instead of buffering for it without bound.
+
+use crate::error::{NetError, Result};
+use crate::frame::{FrameDecoder, encode_frame};
+use crate::wire::{WireReply, encode_message};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Socket read granularity.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// The dominant activity of a connection, for observability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// Waiting for (or parsing) request frames.
+    Reading,
+    /// At least one request is inside the gateway awaiting its event.
+    Submitted,
+    /// Replies are buffered and being flushed to the socket.
+    Writing,
+    /// A protocol error was queued; flushing then closing.
+    Draining,
+}
+
+/// One client connection: socket, frame decoder, outbound buffer, and
+/// the in-flight ledger.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbound: Vec<u8>,
+    /// Flushed prefix of `outbound`.
+    out_pos: usize,
+    /// Requests submitted to the gateway but not yet answered.
+    in_flight: usize,
+    draining: bool,
+    closed: bool,
+    outbound_cap: usize,
+}
+
+impl Connection {
+    /// Adopt an accepted stream (made non-blocking here).
+    pub fn new(stream: TcpStream, max_frame: u32, outbound_cap: usize) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection {
+            stream,
+            decoder: FrameDecoder::new(max_frame),
+            outbound: Vec::new(),
+            out_pos: 0,
+            in_flight: 0,
+            draining: false,
+            closed: false,
+            outbound_cap,
+        })
+    }
+
+    /// The underlying socket (for pollfd registration).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Whether the reactor should watch this connection for readability.
+    /// False once draining/closed, and false under backpressure: a peer
+    /// that won't drain its replies doesn't get to submit more work.
+    pub fn wants_read(&self) -> bool {
+        !self.draining && !self.closed && self.pending_out() < self.outbound_cap
+    }
+
+    /// Whether bytes are waiting to be flushed.
+    pub fn wants_write(&self) -> bool {
+        !self.closed && self.pending_out() > 0
+    }
+
+    /// Unflushed outbound bytes.
+    pub fn pending_out(&self) -> usize {
+        self.outbound.len() - self.out_pos
+    }
+
+    /// The peer closed (or we finished draining) and the entry can be
+    /// reaped.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Dominant phase, for stats and debugging.
+    pub fn phase(&self) -> ConnPhase {
+        if self.draining {
+            ConnPhase::Draining
+        } else if !self.wants_read() {
+            ConnPhase::Writing
+        } else if self.in_flight > 0 {
+            ConnPhase::Submitted
+        } else {
+            ConnPhase::Reading
+        }
+    }
+
+    /// Record a request handed to the gateway.
+    pub fn note_submitted(&mut self) {
+        self.in_flight += 1;
+    }
+
+    /// Requests currently inside the gateway.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Drain the socket into the decoder and return the complete frame
+    /// payloads received.
+    ///
+    /// # Errors
+    /// Codec errors ([`NetError::FrameTooLarge`], [`NetError::BadVersion`],
+    /// [`NetError::TruncatedFrame`] on mid-frame EOF) and fatal socket
+    /// errors. The caller routes these to [`Connection::begin_drain`].
+    pub fn read_frames(&mut self) -> Result<Vec<Vec<u8>>> {
+        let mut frames = Vec::new();
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Clean EOF only if no frame was cut mid-stream.
+                    self.closed = self.pending_out() == 0;
+                    self.draining = !self.closed;
+                    self.decoder.finish()?;
+                    break;
+                }
+                Ok(n) => {
+                    self.decoder.push(&chunk[..n]);
+                    while let Some(payload) = self.decoder.next_frame()? {
+                        frames.push(payload);
+                    }
+                    // Honor backpressure even inside one readiness burst.
+                    if self.pending_out() >= self.outbound_cap {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.closed = true;
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Frame and buffer one reply; terminal replies settle an in-flight
+    /// request.
+    pub fn queue_reply(&mut self, reply: &WireReply) {
+        if reply.is_terminal() {
+            self.in_flight = self.in_flight.saturating_sub(1);
+        }
+        let payload = encode_message(reply);
+        encode_frame(&payload, &mut self.outbound);
+    }
+
+    /// Queue the fatal error notice and switch to Draining: pending
+    /// replies flush, then the socket closes. No further reads happen.
+    pub fn begin_drain(&mut self, error: &NetError) {
+        if self.draining || self.closed {
+            return;
+        }
+        self.queue_reply(&WireReply::Error { reason: error.to_string() });
+        self.draining = true;
+    }
+
+    /// Flush buffered replies until the socket pushes back. Closes the
+    /// connection once a draining buffer empties.
+    ///
+    /// # Errors
+    /// Fatal socket errors; the connection is marked closed first.
+    pub fn flush(&mut self) -> Result<()> {
+        while self.out_pos < self.outbound.len() {
+            match self.stream.write(&self.outbound[self.out_pos..]) {
+                Ok(0) => {
+                    self.closed = true;
+                    return Err(NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    )));
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.closed = true;
+                    return Err(e.into());
+                }
+            }
+        }
+        if self.out_pos >= self.outbound.len() {
+            self.outbound.clear();
+            self.out_pos = 0;
+            if self.draining {
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                self.closed = true;
+            }
+        } else if self.out_pos > self.outbound.len() / 2 {
+            // Keep the buffer from growing a dead prefix under sustained load.
+            self.outbound.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{DEFAULT_MAX_FRAME, frame_vec};
+    use opaque::{ClientId, Ticket};
+    use std::net::TcpListener;
+
+    fn pair() -> (Connection, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        (Connection::new(accepted, DEFAULT_MAX_FRAME, 1024).unwrap(), client)
+    }
+
+    fn wait_frames(conn: &mut Connection) -> Vec<Vec<u8>> {
+        for _ in 0..200 {
+            let frames = conn.read_frames().unwrap();
+            if !frames.is_empty() {
+                return frames;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        panic!("no frames arrived");
+    }
+
+    #[test]
+    fn frames_cross_the_socket() {
+        let (mut conn, mut client) = pair();
+        client.write_all(&frame_vec(b"one")).unwrap();
+        client.write_all(&frame_vec(b"two")).unwrap();
+        let frames = wait_frames(&mut conn);
+        assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(conn.phase(), ConnPhase::Reading);
+    }
+
+    #[test]
+    fn submitted_then_writing_then_reading_again() {
+        let (mut conn, mut client) = pair();
+        conn.note_submitted();
+        assert_eq!(conn.phase(), ConnPhase::Submitted);
+        conn.queue_reply(&WireReply::Cancelled { ticket: Ticket(1), client: ClientId(0) });
+        assert_eq!(conn.in_flight(), 0);
+        assert!(conn.wants_write());
+        conn.flush().unwrap();
+        assert!(!conn.wants_write());
+        assert_eq!(conn.phase(), ConnPhase::Reading);
+        // The reply is readable on the client side.
+        client.set_nonblocking(false).unwrap();
+        let mut buf = [0u8; 256];
+        let n = client.read(&mut buf).unwrap();
+        assert!(n > crate::frame::HEADER_LEN);
+    }
+
+    #[test]
+    fn backpressure_stops_reading_until_flushed() {
+        let (mut conn, _client) = pair();
+        conn.outbound_cap = 8;
+        conn.queue_reply(&WireReply::Cancelled { ticket: Ticket(1), client: ClientId(0) });
+        assert!(conn.pending_out() > 8);
+        assert!(!conn.wants_read(), "a full outbound buffer must pause reads");
+        assert_eq!(conn.phase(), ConnPhase::Writing);
+        conn.flush().unwrap();
+        assert!(conn.wants_read());
+    }
+
+    #[test]
+    fn protocol_error_drains_and_closes() {
+        let (mut conn, mut client) = pair();
+        let err = NetError::BadVersion { got: 42 };
+        conn.begin_drain(&err);
+        assert_eq!(conn.phase(), ConnPhase::Draining);
+        assert!(!conn.wants_read());
+        conn.flush().unwrap();
+        assert!(conn.is_closed());
+        // The client received the typed error notice before the close.
+        client.set_nonblocking(false).unwrap();
+        let mut bytes = Vec::new();
+        client.read_to_end(&mut bytes).unwrap();
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&bytes);
+        let payload = dec.next_frame().unwrap().unwrap();
+        let reply: WireReply = crate::wire::decode_message(&payload).unwrap();
+        match reply {
+            WireReply::Error { reason } => assert!(reason.contains("42"), "{reason}"),
+            other => panic!("expected Error notice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peer_eof_mid_frame_is_truncated() {
+        let (mut conn, mut client) = pair();
+        let wire = frame_vec(b"chopped");
+        client.write_all(&wire[..wire.len() - 3]).unwrap();
+        drop(client);
+        let mut result = Ok(Vec::new());
+        for _ in 0..200 {
+            result = conn.read_frames();
+            match &result {
+                Ok(frames) if frames.is_empty() && !conn.is_closed() => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                _ => break,
+            }
+        }
+        match result {
+            Err(NetError::TruncatedFrame { missing: 3 }) => {}
+            other => panic!("expected TruncatedFrame, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Typed failures of the wire layer.
+//!
+//! The frame codec and the connection state machine never panic on peer
+//! input: every malformed byte sequence maps to a [`NetError`], the
+//! offending connection is drained and closed, and the rest of the server
+//! keeps running. The variants mirror the decode pipeline — length prefix
+//! first, version byte second, payload last — so tests can pin exactly
+//! where a malformed input was refused.
+
+use std::fmt;
+
+/// A failure in the framed wire protocol or the sockets underneath it.
+#[derive(Debug)]
+pub enum NetError {
+    /// The length prefix announced a frame beyond the configured cap; the
+    /// payload was never allocated or read.
+    FrameTooLarge {
+        /// Announced payload length.
+        len: u32,
+        /// The decoder's configured cap.
+        max: u32,
+    },
+    /// The version byte is not [`crate::frame::PROTOCOL_VERSION`].
+    BadVersion {
+        /// The byte received.
+        got: u8,
+    },
+    /// The peer closed the stream in the middle of a frame.
+    TruncatedFrame {
+        /// Bytes of the announced frame still missing at close.
+        missing: usize,
+    },
+    /// The payload was complete but not a decodable message.
+    Malformed {
+        /// What failed to decode.
+        reason: String,
+    },
+    /// A socket-level failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            NetError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (this peer speaks {})",
+                    crate::frame::PROTOCOL_VERSION
+                )
+            }
+            NetError::TruncatedFrame { missing } => {
+                write!(f, "stream closed mid-frame ({missing} bytes missing)")
+            }
+            NetError::Malformed { reason } => write!(f, "malformed payload: {reason}"),
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Convenience alias for wire-layer results.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_parameters() {
+        let e = NetError::FrameTooLarge { len: 2_000_000, max: 1_048_576 };
+        assert!(e.to_string().contains("2000000"), "{e}");
+        let e = NetError::BadVersion { got: 9 };
+        assert!(e.to_string().contains('9'), "{e}");
+        let e = NetError::TruncatedFrame { missing: 17 };
+        assert!(e.to_string().contains("17"), "{e}");
+        let e = NetError::Malformed { reason: "not json".to_string() };
+        assert!(e.to_string().contains("not json"), "{e}");
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
+        let e: NetError = io.into();
+        assert!(matches!(e, NetError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

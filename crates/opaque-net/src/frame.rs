@@ -1,0 +1,284 @@
+//! The length-delimited frame codec.
+//!
+//! Every message crosses the wire as one frame:
+//!
+//! ```text
+//! ┌────────────────┬─────────┬──────────────────────┐
+//! │ payload length │ version │ payload              │
+//! │ u32 little-end │ 1 byte  │ `length` bytes, JSON │
+//! └────────────────┴─────────┴──────────────────────┘
+//! ```
+//!
+//! The length counts the payload only (not the 5-byte header). The
+//! [`FrameDecoder`] is incremental — feed it whatever the socket
+//! returned, pull complete frames out — and validates the header
+//! *before* allocating the payload, so a hostile length prefix can never
+//! force an unbounded allocation: anything over the configured cap is a
+//! typed [`NetError::FrameTooLarge`] and the connection is closed. Peak
+//! buffering is therefore bounded by `max_frame + HEADER_LEN` plus one
+//! socket read's worth of bytes.
+
+use crate::error::{NetError, Result};
+
+/// The one protocol version this build speaks. Bump on any wire-shape
+/// change; a mismatched peer gets a typed [`NetError::BadVersion`]
+/// instead of a JSON parse error deep in a payload.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Bytes of the frame header (u32-LE payload length + version byte).
+pub const HEADER_LEN: usize = 5;
+
+/// Default payload cap: far above any legitimate message (a delivered
+/// path on the bench maps serializes to a few KiB) while keeping a
+/// hostile peer's buffering bounded.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Append one framed payload to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.extend_from_slice(payload);
+}
+
+/// One framed payload as a fresh buffer.
+pub fn frame_vec(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_frame(payload, &mut out);
+    out
+}
+
+/// Incremental frame decoder over a byte stream.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the live tail.
+    start: usize,
+    max_frame: u32,
+}
+
+impl FrameDecoder {
+    /// A decoder refusing payloads over `max_frame` bytes.
+    pub fn new(max_frame: u32) -> Self {
+        FrameDecoder { buf: Vec::new(), start: 0, max_frame }
+    }
+
+    /// Feed bytes read from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: the consumed prefix is dead weight.
+        if self.start > 0 && self.start >= self.buf.len().saturating_sub(self.start) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pull the next complete frame's payload, if one is buffered.
+    ///
+    /// # Errors
+    /// [`NetError::FrameTooLarge`] / [`NetError::BadVersion`] as soon as
+    /// a complete header announces them — the payload is never awaited.
+    /// After an error the decoder is poisoned-by-convention: the caller
+    /// must close the connection (resynchronizing an untrusted stream is
+    /// not attempted).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let live = &self.buf[self.start..];
+        if live.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([live[0], live[1], live[2], live[3]]);
+        if len > self.max_frame {
+            return Err(NetError::FrameTooLarge { len, max: self.max_frame });
+        }
+        let version = live[4];
+        if version != PROTOCOL_VERSION {
+            return Err(NetError::BadVersion { got: version });
+        }
+        let total = HEADER_LEN + len as usize;
+        if live.len() < total {
+            return Ok(None);
+        }
+        let payload = live[HEADER_LEN..total].to_vec();
+        self.start += total;
+        Ok(Some(payload))
+    }
+
+    /// Check the stream may end here: an error if a partial frame is
+    /// still buffered (the peer closed mid-frame).
+    pub fn finish(&self) -> Result<()> {
+        let live = &self.buf[self.start..];
+        if live.is_empty() {
+            return Ok(());
+        }
+        let missing = if live.len() < HEADER_LEN {
+            HEADER_LEN - live.len()
+        } else {
+            let len = u32::from_le_bytes([live[0], live[1], live[2], live[3]]) as usize;
+            (HEADER_LEN + len).saturating_sub(live.len())
+        };
+        Err(NetError::TruncatedFrame { missing })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn drain(dec: &mut FrameDecoder) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(p) = dec.next_frame()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let payloads: Vec<&[u8]> = vec![b"hello", b"", b"world"];
+        for p in &payloads {
+            dec.push(&frame_vec(p));
+        }
+        let got = drain(&mut dec).unwrap();
+        assert_eq!(got, payloads);
+        assert_eq!(dec.buffered(), 0);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let wire = frame_vec(b"split me");
+        // Byte-at-a-time delivery: only the final byte completes a frame.
+        for (i, b) in wire.iter().enumerate() {
+            dec.push(&[*b]);
+            let got = dec.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "frame complete too early at byte {i}");
+            } else {
+                assert_eq!(got.unwrap(), b"split me");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_allocation() {
+        let mut dec = FrameDecoder::new(16);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1_000_000u32.to_le_bytes());
+        wire.push(PROTOCOL_VERSION);
+        dec.push(&wire);
+        match dec.next_frame() {
+            Err(NetError::FrameTooLarge { len: 1_000_000, max: 16 }) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // Only the 5 header bytes were ever buffered.
+        assert_eq!(dec.buffered(), HEADER_LEN);
+    }
+
+    #[test]
+    fn bad_version_byte_is_a_typed_error() {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut wire = frame_vec(b"x");
+        wire[4] = 99;
+        dec.push(&wire);
+        match dec.next_frame() {
+            Err(NetError::BadVersion { got: 99 }) => {}
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_fails_finish_with_missing_count() {
+        // Mid-payload close.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let wire = frame_vec(b"abcdef");
+        dec.push(&wire[..HEADER_LEN + 2]);
+        assert!(dec.next_frame().unwrap().is_none());
+        match dec.finish() {
+            Err(NetError::TruncatedFrame { missing: 4 }) => {}
+            other => panic!("expected 4 missing bytes, got {other:?}"),
+        }
+        // Mid-header close.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&wire[..3]);
+        match dec.finish() {
+            Err(NetError::TruncatedFrame { missing: 2 }) => {}
+            other => panic!("expected 2 missing header bytes, got {other:?}"),
+        }
+        // Clean boundary is fine.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.push(&wire);
+        drain(&mut dec).unwrap();
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_the_buffer_bounded() {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let wire = frame_vec(&[7u8; 128]);
+        for _ in 0..1_000 {
+            dec.push(&wire);
+            assert_eq!(drain(&mut dec).unwrap().len(), 1);
+        }
+        // The consumed prefix must not accumulate across 1000 frames.
+        assert!(dec.buf.len() < 4 * wire.len(), "buffer grew to {}", dec.buf.len());
+    }
+
+    proptest! {
+        /// Arbitrary payload sequences survive arbitrary re-chunking.
+        #[test]
+        fn prop_roundtrip_any_payloads_any_chunking(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(0u8..=255, 0..512), 1..8),
+            chunk in 1usize..64,
+        ) {
+            let mut wire = Vec::new();
+            for p in &payloads {
+                encode_frame(p, &mut wire);
+            }
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.push(piece);
+                while let Some(p) = dec.next_frame().unwrap() {
+                    got.push(p);
+                }
+            }
+            prop_assert_eq!(got, payloads);
+            dec.finish().unwrap();
+        }
+
+        /// Garbage prefixes never panic: decoding either yields a typed
+        /// error or keeps waiting for bytes — and never allocates past
+        /// the cap.
+        #[test]
+        fn prop_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let cap = 64u32;
+            let mut dec = FrameDecoder::new(cap);
+            dec.push(&bytes);
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(p)) => prop_assert!(p.len() <= cap as usize),
+                    Ok(None) => break,
+                    Err(NetError::FrameTooLarge { len, max }) => {
+                        prop_assert!(len > max);
+                        break;
+                    }
+                    Err(NetError::BadVersion { got }) => {
+                        prop_assert_ne!(got, PROTOCOL_VERSION);
+                        break;
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {}", other),
+                }
+            }
+            let _ = dec.finish();
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Typed messages carried inside frames.
+//!
+//! The wire vocabulary is deliberately thin: requests wrap the existing
+//! [`RequestMsg`] (hop 1 of Figure 5) plus the gateway lane, and every
+//! reply mirrors exactly one terminal [`opaque::ServiceEvent`] — so the
+//! network layer adds framing and routing, never semantics. Batch
+//! reports are **not** wire messages: they aggregate other clients'
+//! requests and stay on the server (the loopback determinism test reads
+//! them from [`crate::server::NetServer::reports`]).
+
+use crate::error::{NetError, Result};
+use opaque::{ClientId, Priority, RejectReason, RequestMsg, ResultMsg, Ticket};
+
+/// Client → server: one directions request, routed into a gateway lane.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WireRequest {
+    /// The paper's hop-1 message.
+    pub request: RequestMsg,
+    /// Which admission lane to ride.
+    pub priority: Priority,
+}
+
+/// Server → client: the terminal answer for one submitted request, or a
+/// connection-fatal error notice.
+///
+/// Every frame a client sends receives exactly one terminal reply —
+/// [`WireReply::Result`], [`WireReply::Unreachable`],
+/// [`WireReply::Rejected`], or [`WireReply::Cancelled`] — except after a
+/// [`WireReply::Error`], which announces the connection is closing and
+/// voids that accounting for frames not yet submitted.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum WireReply {
+    /// Hop 4: the delivered path.
+    Result {
+        /// Gateway ticket the reply resolves.
+        ticket: Ticket,
+        /// The delivered message, byte-for-byte what the in-process
+        /// gateway emits in `ServiceEvent::ResponseReady`.
+        result: ResultMsg,
+        /// Seconds the request waited in the admission queue.
+        waited: f64,
+    },
+    /// The true pair is disconnected on the server's map.
+    Unreachable {
+        /// Gateway ticket the reply resolves.
+        ticket: Ticket,
+        /// The requesting client.
+        client: ClientId,
+        /// Seconds the request waited in the admission queue.
+        waited: f64,
+    },
+    /// Refused — at the door (`ticket` is `None`: the gateway never
+    /// issued one) or later (deadline shed, infeasible obfuscation).
+    Rejected {
+        /// The ticket, when the request got far enough to earn one.
+        ticket: Option<Ticket>,
+        /// The requesting client.
+        client: ClientId,
+        /// The gateway's typed reason.
+        reason: RejectReason,
+        /// Seconds waited in the queue (0 for door refusals).
+        waited: f64,
+    },
+    /// Acknowledges a cancellation before the window flushed.
+    Cancelled {
+        /// The cancelled ticket.
+        ticket: Ticket,
+        /// The client whose request was cancelled.
+        client: ClientId,
+    },
+    /// The connection violated the protocol (malformed frame, bad
+    /// version, oversized length); the server flushes pending replies
+    /// and closes. Purely connection-level: queued batches and other
+    /// connections are unaffected.
+    Error {
+        /// Human-readable cause (the [`NetError`]'s message).
+        reason: String,
+    },
+}
+
+impl WireReply {
+    /// The client a terminal reply answers (`None` for
+    /// [`WireReply::Error`]).
+    pub fn client(&self) -> Option<ClientId> {
+        match self {
+            WireReply::Result { result, .. } => Some(result.client),
+            WireReply::Unreachable { client, .. }
+            | WireReply::Rejected { client, .. }
+            | WireReply::Cancelled { client, .. } => Some(*client),
+            WireReply::Error { .. } => None,
+        }
+    }
+
+    /// True for replies that resolve exactly one submitted request.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, WireReply::Error { .. })
+    }
+}
+
+/// Serialize a message into its frame payload (compact JSON, like every
+/// other hop the experiments measure).
+pub fn encode_message<M: serde::Serialize>(msg: &M) -> Vec<u8> {
+    serde_json::to_vec(msg).expect("wire messages always serialize")
+}
+
+/// Decode a frame payload into a message.
+///
+/// # Errors
+/// [`NetError::Malformed`] when the payload is not UTF-8 JSON of the
+/// expected shape.
+pub fn decode_message<M: serde::Deserialize>(payload: &[u8]) -> Result<M> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| NetError::Malformed { reason: "payload is not UTF-8".to_string() })?;
+    serde_json::from_str(text).map_err(|e| NetError::Malformed { reason: format!("{e:?}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaque::{PathQuery, ProtectionSettings};
+    use roadnet::NodeId;
+
+    fn request() -> WireRequest {
+        WireRequest {
+            request: RequestMsg {
+                client: ClientId(7),
+                query: PathQuery::new(NodeId(1), NodeId(2)),
+                protection: ProtectionSettings::new(3, 3).unwrap(),
+            },
+            priority: Priority::Bulk,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let msg = request();
+        let back: WireRequest = decode_message(&encode_message(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn replies_round_trip_including_optional_tickets() {
+        let replies = vec![
+            WireReply::Unreachable { ticket: Ticket(4), client: ClientId(1), waited: 0.5 },
+            WireReply::Rejected {
+                ticket: None,
+                client: ClientId(2),
+                reason: RejectReason::QueueFull { depth: 8 },
+                waited: 0.0,
+            },
+            WireReply::Rejected {
+                ticket: Some(Ticket(9)),
+                client: ClientId(3),
+                reason: RejectReason::DeadlineExpired { waited: 2.0 },
+                waited: 2.0,
+            },
+            WireReply::Cancelled { ticket: Ticket(11), client: ClientId(4) },
+            WireReply::Error { reason: "bad version".to_string() },
+        ];
+        for reply in replies {
+            let back: WireReply = decode_message(&encode_message(&reply)).unwrap();
+            assert_eq!(back, reply);
+            assert_eq!(back.is_terminal(), !matches!(reply, WireReply::Error { .. }));
+        }
+    }
+
+    #[test]
+    fn replies_expose_their_client() {
+        assert_eq!(
+            WireReply::Cancelled { ticket: Ticket(1), client: ClientId(9) }.client(),
+            Some(ClientId(9))
+        );
+        assert_eq!(WireReply::Error { reason: "x".to_string() }.client(), None);
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors_not_panics() {
+        for bad in [&b"\xff\xfe"[..], b"not json", b"{\"request\":3}"] {
+            match decode_message::<WireRequest>(bad) {
+                Err(NetError::Malformed { .. }) => {}
+                other => panic!("expected Malformed for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deserialized_protection_is_revalidated_by_the_gateway_not_trusted() {
+        // A hostile peer can hand-craft f_s = 0 (Deserialize bypasses
+        // ProtectionSettings::new); the wire layer must pass it through
+        // and let the gateway answer InvalidProtection rather than panic.
+        let json = r#"{"request":{"client":1,"query":{"source":0,"destination":5},
+                        "protection":{"f_s":0,"f_t":3}},"priority":"Interactive"}"#;
+        let msg: WireRequest = decode_message(json.as_bytes()).unwrap();
+        assert_eq!(msg.request.protection.f_s, 0, "decode must not silently repair");
+    }
+}

@@ -205,7 +205,17 @@ impl SubmitOutcome {
 /// mode failure) discards the drained window, so its tickets resolve
 /// through the returned error instead of events; cancellation and
 /// shedding acknowledgements are restored and re-emitted on the next
-/// tick even then.
+/// tick even then — and re-restored if that tick fails too, so
+/// consecutive failed windows never consume an ack.
+///
+/// Batch-fatal errors are distinct from **connection-level** failures,
+/// which the gateway never sees: when a transport endpoint vanishes
+/// after submitting (a closed socket, a departed subscriber), the batch
+/// still runs and the terminal event is still emitted in order — it is
+/// the transport layer's job to drop and count the undeliverable reply
+/// (the `opaque-net` server's `dropped_replies` stat), never to fail
+/// the batch or re-route the event. One dead consumer therefore cannot
+/// poison a window shared with healthy ones.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ServiceEvent {
     /// The paper's hop 4: the one [`ResultMsg`] delivered back to this

@@ -1237,6 +1237,42 @@ mod tests {
     }
 
     #[test]
+    fn acks_survive_two_consecutive_failed_batches() {
+        // Restoration must be idempotent across repeated failures: if the
+        // tick that re-emits the restored acks *itself* fails on a fresh
+        // poison window, the acks must be restored again — and still emit
+        // exactly once when a clean tick finally lands.
+        let mut svc = service();
+        svc.strict_delivery = true;
+        svc.set_admission_policy(AdmissionPolicy { queue_depth: 16, deadline: Some(2.0) }).unwrap();
+        let cancelled = svc.submit(request(0, 0, 255, 2), 0.0).ticket().unwrap();
+        let overdue = svc.submit(request(1, 16, 240, 2), 0.0).ticket().unwrap();
+        assert!(svc.cancel(cancelled));
+        let _poison_a = svc.submit(request(2, 9999, 255, 2), 5.0).ticket().unwrap();
+        let first = svc.flush(5.0).unwrap_err();
+        assert!(matches!(first, OpaqueError::UnknownNode { .. }));
+        // The re-emitting tick fails too: a second poison window drains
+        // alongside the restored acks.
+        let _poison_b = svc.submit(request(3, 9999, 255, 2), 6.0).ticket().unwrap();
+        let second = svc.flush(6.0).unwrap_err();
+        assert!(matches!(second, OpaqueError::UnknownNode { .. }));
+        // Third time clean: the acks emit once each, in order, no dupes.
+        let events = svc.flush(7.0).unwrap();
+        assert_eq!(
+            events.iter().filter_map(ServiceEvent::ticket).collect::<Vec<_>>(),
+            vec![cancelled, overdue],
+            "{events:?}"
+        );
+        assert!(matches!(events[0], ServiceEvent::Cancelled { .. }));
+        assert!(matches!(
+            events[1],
+            ServiceEvent::Rejected { reason: RejectReason::DeadlineExpired { .. }, .. }
+        ));
+        assert_eq!(svc.pending(), 0);
+        assert!(svc.flush(8.0).unwrap().is_empty(), "acks must not emit a second time");
+    }
+
+    #[test]
     fn per_mode_override_matches_configured_mode() {
         let mut svc = service();
         let reqs: Vec<ClientRequest> =

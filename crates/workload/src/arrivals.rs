@@ -3,11 +3,21 @@
 //! The paper's obfuscator receives a *stream* of requests and clusters
 //! "the received queries" (§IV) — which implicitly requires collecting
 //! requests for some window before obfuscating them together. This module
-//! models that: Poisson arrivals over a time horizon, and a windowing
+//! models that: arrival processes over a time horizon, and a windowing
 //! function turning the stream into batches. Experiment E12 sweeps the
 //! window length to expose the deployment trade-off (bigger windows →
 //! bigger batches → better sharing and breach probability, but higher
 //! answer latency).
+//!
+//! Three [`ArrivalProcess`]es are available. [`ArrivalProcess::Poisson`]
+//! is the memoryless baseline. [`ArrivalProcess::Bursty`] is a two-state
+//! Markov-modulated Poisson process — exponential-length burst and quiet
+//! phases whose rates bracket the base rate — producing the clumped
+//! traffic that stresses batch admission. [`ArrivalProcess::Diurnal`]
+//! modulates the rate sinusoidally (Lewis–Shedler thinning), the
+//! day/night swell a deployed directions service sees. All three are
+//! deterministic per seed: the same [`crate::WorkloadConfig::seed`]
+//! yields the same [`TimedRequest`] stream, byte for byte.
 
 use crate::distributions::QuerySampler;
 use crate::generator::WorkloadConfig;
@@ -38,27 +48,144 @@ impl Default for ArrivalConfig {
     }
 }
 
+/// The temporal shape of a request stream.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at the configured rate — the baseline.
+    Poisson,
+    /// Two-state Markov-modulated Poisson process: bursts at
+    /// `multiplier ×` the base rate alternate with quiet phases at
+    /// `1/multiplier ×`, each phase exponentially distributed around its
+    /// mean length. The long-run rate stays near the base rate while the
+    /// index of dispersion rises well above Poisson's 1.
+    Bursty {
+        /// Rate multiplier during a burst (and divisor when quiet); > 1.
+        multiplier: f64,
+        /// Mean burst-phase length, seconds.
+        mean_burst_secs: f64,
+        /// Mean quiet-phase length, seconds.
+        mean_quiet_secs: f64,
+    },
+    /// Sinusoidal rate modulation via Lewis–Shedler thinning:
+    /// `λ(t) = rate · (1 + amplitude · sin(2πt / period))`.
+    Diurnal {
+        /// One full day/night cycle, seconds.
+        period_secs: f64,
+        /// Swing of the modulation, in `[0, 1)`.
+        amplitude: f64,
+    },
+}
+
 /// Generate a Poisson request stream over `map`. Spatial/protection
 /// characteristics come from `workload` (its `num_requests` is ignored —
 /// the stream length is governed by the horizon); timing from `arrivals`.
+///
+/// Equivalent to [`arrival_stream`] with [`ArrivalProcess::Poisson`] —
+/// and pinned to it draw-for-draw by a regression test, so the streams
+/// seeded experiments recorded before the process enum existed never
+/// shift.
 pub fn poisson_stream(
     map: &RoadNetwork,
     index: &SpatialIndex,
     workload: &WorkloadConfig,
     arrivals: &ArrivalConfig,
 ) -> Vec<TimedRequest> {
+    arrival_stream(map, index, workload, arrivals, ArrivalProcess::Poisson)
+}
+
+/// Generate a request stream whose timing follows `process`.
+///
+/// Spatial/protection characteristics come from `workload` (its
+/// `num_requests` is ignored — the stream length is governed by the
+/// horizon); the mean rate and horizon from `arrivals`.
+pub fn arrival_stream(
+    map: &RoadNetwork,
+    index: &SpatialIndex,
+    workload: &WorkloadConfig,
+    arrivals: &ArrivalConfig,
+    process: ArrivalProcess,
+) -> Vec<TimedRequest> {
     assert!(arrivals.rate_per_sec > 0.0, "arrival rate must be positive");
     assert!(arrivals.horizon_secs > 0.0, "horizon must be positive");
+    match process {
+        ArrivalProcess::Poisson => {}
+        ArrivalProcess::Bursty { multiplier, mean_burst_secs, mean_quiet_secs } => {
+            assert!(multiplier > 1.0, "burst multiplier must exceed 1");
+            assert!(mean_burst_secs > 0.0 && mean_quiet_secs > 0.0, "phase means must be positive");
+        }
+        ArrivalProcess::Diurnal { period_secs, amplitude } => {
+            assert!(period_secs > 0.0, "period must be positive");
+            assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        }
+    }
     let mut rng = StdRng::seed_from_u64(workload.seed ^ 0x6172_7276); // "arrv"
     let sampler = QuerySampler::new(map, index, workload.queries, &mut rng);
+
+    // Bursty bookkeeping: current phase and its exponential end time.
+    let mut in_burst = false;
+    let mut phase_end = match process {
+        ArrivalProcess::Bursty { mean_quiet_secs, .. } => {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            -u.ln() * mean_quiet_secs
+        }
+        _ => f64::INFINITY,
+    };
 
     let mut out = Vec::new();
     let mut t = 0.0f64;
     let mut id = 0u32;
     loop {
-        // Exponential inter-arrival times: -ln(U)/λ.
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        t += -u.ln() / arrivals.rate_per_sec;
+        match process {
+            // Exponential inter-arrival times: -ln(U)/λ. This arm's draw
+            // sequence IS the legacy `poisson_stream` — do not reorder.
+            ArrivalProcess::Poisson => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / arrivals.rate_per_sec;
+            }
+            ArrivalProcess::Bursty { multiplier, mean_burst_secs, mean_quiet_secs } => {
+                // Draw from the current phase's rate; a draw that crosses
+                // the phase boundary is discarded and redrawn from the
+                // boundary (valid by memorylessness of the exponential).
+                loop {
+                    let rate = if in_burst {
+                        arrivals.rate_per_sec * multiplier
+                    } else {
+                        arrivals.rate_per_sec / multiplier
+                    };
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let candidate = t + -u.ln() / rate;
+                    if candidate < phase_end {
+                        t = candidate;
+                        break;
+                    }
+                    t = phase_end;
+                    in_burst = !in_burst;
+                    let mean = if in_burst { mean_burst_secs } else { mean_quiet_secs };
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    phase_end = t + -u.ln() * mean;
+                    if t >= arrivals.horizon_secs {
+                        break;
+                    }
+                }
+            }
+            ArrivalProcess::Diurnal { period_secs, amplitude } => {
+                // Lewis–Shedler thinning against λmax = rate·(1+amplitude).
+                let lambda_max = arrivals.rate_per_sec * (1.0 + amplitude);
+                loop {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    t += -u.ln() / lambda_max;
+                    if t >= arrivals.horizon_secs {
+                        break;
+                    }
+                    let lambda_t = arrivals.rate_per_sec
+                        * (1.0 + amplitude * (2.0 * std::f64::consts::PI * t / period_secs).sin());
+                    let accept: f64 = rng.gen_range(0.0..1.0);
+                    if accept <= lambda_t / lambda_max {
+                        break;
+                    }
+                }
+            }
+        }
         if t >= arrivals.horizon_secs {
             break;
         }
@@ -219,6 +346,102 @@ mod tests {
     fn deterministic_per_seed() {
         assert_eq!(stream(2.0, 30.0, 9), stream(2.0, 30.0, 9));
         assert_ne!(stream(2.0, 30.0, 9), stream(2.0, 30.0, 10));
+    }
+
+    fn process_stream(
+        process: ArrivalProcess,
+        rate: f64,
+        horizon: f64,
+        seed: u64,
+    ) -> Vec<TimedRequest> {
+        let (g, idx) = setup();
+        arrival_stream(
+            &g,
+            &idx,
+            &WorkloadConfig { seed, ..Default::default() },
+            &ArrivalConfig { rate_per_sec: rate, horizon_secs: horizon },
+            process,
+        )
+    }
+
+    const BURSTY: ArrivalProcess =
+        ArrivalProcess::Bursty { multiplier: 6.0, mean_burst_secs: 3.0, mean_quiet_secs: 9.0 };
+    const DIURNAL: ArrivalProcess = ArrivalProcess::Diurnal { period_secs: 100.0, amplitude: 0.9 };
+
+    #[test]
+    fn poisson_process_reproduces_the_legacy_stream_draw_for_draw() {
+        assert_eq!(process_stream(ArrivalProcess::Poisson, 3.0, 60.0, 7), stream(3.0, 60.0, 7));
+    }
+
+    #[test]
+    fn every_process_is_deterministic_per_seed_and_well_formed() {
+        for process in [ArrivalProcess::Poisson, BURSTY, DIURNAL] {
+            let a = process_stream(process, 4.0, 120.0, 11);
+            let b = process_stream(process, 4.0, 120.0, 11);
+            assert_eq!(a, b, "{process:?} not seed-deterministic");
+            assert_ne!(a, process_stream(process, 4.0, 120.0, 12), "{process:?} ignores the seed");
+            assert!(!a.is_empty(), "{process:?} produced nothing");
+            for w in a.windows(2) {
+                assert!(w[0].arrival < w[1].arrival, "{process:?} times not increasing");
+            }
+            assert!(a.last().unwrap().arrival < 120.0);
+            for (i, tr) in a.iter().enumerate() {
+                assert_eq!(tr.request.client, ClientId(i as u32), "{process:?} ids not dense");
+            }
+        }
+    }
+
+    /// Index of dispersion (variance/mean of per-second counts): 1 for
+    /// Poisson, well above 1 for the burst-modulated process.
+    fn dispersion(stream: &[TimedRequest], horizon: f64) -> f64 {
+        let bins = horizon as usize;
+        let mut counts = vec![0f64; bins];
+        for tr in stream {
+            counts[(tr.arrival as usize).min(bins - 1)] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / bins as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / bins as f64;
+        var / mean
+    }
+
+    #[test]
+    fn bursty_arrivals_are_overdispersed_relative_to_poisson() {
+        let horizon = 400.0;
+        let poisson =
+            dispersion(&process_stream(ArrivalProcess::Poisson, 4.0, horizon, 21), horizon);
+        let bursty = dispersion(&process_stream(BURSTY, 4.0, horizon, 21), horizon);
+        assert!(
+            bursty > poisson * 2.0,
+            "bursty dispersion {bursty:.2} not clearly above poisson {poisson:.2}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_outdraw_troughs() {
+        // Peak quarter of each 100 s cycle is around t ≡ 25, trough around 75.
+        let s = process_stream(DIURNAL, 4.0, 500.0, 31);
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for tr in &s {
+            let phase = tr.arrival % 100.0;
+            if (12.5..37.5).contains(&phase) {
+                peak += 1;
+            } else if (62.5..87.5).contains(&phase) {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > trough as f64 * 2.0,
+            "peak {peak} vs trough {trough}: modulation too weak"
+        );
+    }
+
+    #[test]
+    fn arrival_process_round_trips_through_serde() {
+        for process in [ArrivalProcess::Poisson, BURSTY, DIURNAL] {
+            let json = serde_json::to_string(&process).unwrap();
+            let back: ArrivalProcess = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, process, "{json}");
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Fixed-bucket latency histogram with mergeable tails.
+//!
+//! The load experiments need p50/p99/p999 over 10⁵–10⁶ samples without
+//! keeping (or sorting) every sample. A [`LatencyHistogram`] buckets
+//! values linearly — `buckets × bucket_width` of resolution plus one
+//! overflow bucket that remembers its maximum — so recording is O(1),
+//! memory is fixed, and two histograms recorded independently (per lane,
+//! per arrival mix, per shard) [`merge`](LatencyHistogram::merge) into
+//! the population histogram exactly: bucket counts are additive, unlike
+//! pre-computed percentiles, which do not compose.
+//!
+//! Quantiles are conservative: [`quantile`](LatencyHistogram::quantile)
+//! returns the *upper edge* of the bucket holding the rank-⌈qN⌉ sample
+//! (or the observed maximum for the overflow bucket), so a reported p99
+//! never understates the true p99 by more than nothing and never
+//! overstates it by more than one bucket width.
+
+/// Fixed-bucket histogram of non-negative values (latencies, waits).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyHistogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    max: f64,
+}
+
+impl LatencyHistogram {
+    /// A histogram resolving `[0, buckets × bucket_width)` at
+    /// `bucket_width` granularity; values beyond land in the overflow
+    /// bucket.
+    ///
+    /// # Panics
+    /// If `bucket_width` is not positive/finite or `buckets` is zero.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0 && bucket_width.is_finite(), "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        LatencyHistogram { bucket_width, counts: vec![0; buckets], overflow: 0, total: 0, max: 0.0 }
+    }
+
+    /// Record one sample. Negative or NaN samples count as zero (they
+    /// only arise from clock skew in callers and must not poison a
+    /// million-sample run).
+    pub fn record(&mut self, value: f64) {
+        let v = if value.is_finite() && value > 0.0 { value } else { 0.0 };
+        let idx = (v / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.total += 1;
+    }
+
+    /// Fold another histogram of the same shape into this one.
+    ///
+    /// # Panics
+    /// If the two histograms differ in bucket width or count — merging
+    /// mismatched grids would silently misplace every sample.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.bucket_width, other.bucket_width, "bucket widths differ");
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket counts differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The value at quantile `q ∈ (0, 1]`: the upper edge of the bucket
+    /// containing the rank-⌈qN⌉ sample, or the observed maximum when
+    /// that sample overflowed the grid. Returns 0 for an empty
+    /// histogram.
+    ///
+    /// # Panics
+    /// If `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (i as f64 + 1.0) * self.bucket_width;
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`LatencyHistogram::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile — the tail the closed-loop load harness exists
+    /// to measure.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_report_bucket_upper_edges() {
+        let mut h = LatencyHistogram::new(1.0, 10);
+        for v in [0.2, 0.4, 1.5, 2.5, 8.9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        // rank(0.5 · 5) = 3 → third sample (1.5) sits in bucket [1, 2).
+        assert_eq!(h.p50(), 2.0);
+        assert_eq!(h.quantile(1.0), 9.0);
+        assert_eq!(h.quantile(0.2), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new(0.5, 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p999(), 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_returns_the_observed_maximum() {
+        let mut h = LatencyHistogram::new(1.0, 4);
+        h.record(1.0);
+        h.record(100.0);
+        h.record(250.0);
+        assert_eq!(h.quantile(1.0), 250.0);
+        assert_eq!(h.p50(), 250.0, "rank 2 of 3 overflows; cap is the honest answer");
+        assert_eq!(h.max(), 250.0);
+    }
+
+    #[test]
+    fn degenerate_samples_count_as_zero_not_poison() {
+        let mut h = LatencyHistogram::new(1.0, 4);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(0.5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(1.0), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let samples_a = [0.1, 0.9, 3.3, 7.7, 42.0];
+        let samples_b = [0.2, 2.2, 2.3, 99.0];
+        let mut merged = LatencyHistogram::new(0.5, 16);
+        let mut b = merged.clone();
+        let mut all = merged.clone();
+        for v in samples_a {
+            merged.record(v);
+            all.record(v);
+        }
+        for v in samples_b {
+            b.record(v);
+            all.record(v);
+        }
+        merged.merge(&b);
+        assert_eq!(merged, all, "merge must equal single-histogram recording");
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths differ")]
+    fn merging_mismatched_grids_panics() {
+        let mut a = LatencyHistogram::new(1.0, 4);
+        a.merge(&LatencyHistogram::new(2.0, 4));
+    }
+
+    #[test]
+    fn percentiles_track_a_known_distribution() {
+        // 1000 samples at exactly their index in milliseconds-as-seconds.
+        let mut h = LatencyHistogram::new(0.001, 2000);
+        for i in 0..1000 {
+            h.record(i as f64 * 0.001);
+        }
+        let p99 = h.p99();
+        assert!((p99 - 0.990).abs() < 0.002, "p99 {p99}");
+        let p999 = h.p999();
+        assert!((p999 - 0.999).abs() < 0.002, "p999 {p999}");
+        assert!(h.p50() <= p99 && p99 <= p999);
+    }
+}

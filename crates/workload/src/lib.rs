@@ -29,9 +29,14 @@
 pub mod arrivals;
 pub mod distributions;
 pub mod generator;
+pub mod histogram;
 pub mod plausibility;
 
-pub use arrivals::{ArrivalConfig, TimedRequest, WindowBatch, poisson_stream, window_batches};
+pub use arrivals::{
+    ArrivalConfig, ArrivalProcess, TimedRequest, WindowBatch, arrival_stream, poisson_stream,
+    window_batches,
+};
 pub use distributions::{QueryDistribution, QuerySampler};
 pub use generator::{ProtectionDistribution, WorkloadConfig, generate_requests};
+pub use histogram::LatencyHistogram;
 pub use plausibility::{PopulationConfig, population_weights};

@@ -1,0 +1,164 @@
+//! The wire determinism oracle: the framed TCP path through
+//! `opaque-net` reproduces the in-process gateway's `BatchFlushed`
+//! report **byte for byte**, and delivers the same hop-4 payloads in the
+//! same order — for the sequential backend and the worker pool alike.
+//!
+//! This holds because the reports carry no timing, the server submits
+//! frames in TCP arrival order (one connection ⇒ submission order), and
+//! obfuscation is seeded — so the only thing the network layer may add
+//! is latency, never different bytes.
+
+use opaque::{
+    BatchPolicy, ClientId, ClientRequest, ExecutionPolicy, ObfuscationMode, OpaqueService,
+    PathQuery, Priority, ProtectionSettings, RequestMsg, ServiceBuilder, ServiceEvent,
+};
+use opaque_net::{NetClient, NetServer, ServerConfig, WireReply, WireRequest};
+use roadnet::NodeId;
+use roadnet::generators::{GridConfig, grid_network};
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const SEED: u64 = 0x10AD;
+
+fn build_service(
+    shards: usize,
+    execution: ExecutionPolicy,
+    max_batch: usize,
+) -> OpaqueService<opaque::DefaultBackend> {
+    let map =
+        grid_network(&GridConfig { width: 14, height: 14, seed: 3, ..Default::default() }).unwrap();
+    ServiceBuilder::new()
+        .map(map)
+        .seed(SEED)
+        .shards(shards)
+        .obfuscation_mode(ObfuscationMode::Independent)
+        .execution_policy(execution)
+        .verify_results(true)
+        .batch_policy(BatchPolicy { max_batch, max_delay: 3600.0 })
+        .build()
+        .expect("valid configuration")
+}
+
+/// A mixed-lane request population with unique client ids (duplicates
+/// would defer across windows and complicate the single-window oracle).
+fn population() -> Vec<(RequestMsg, Priority)> {
+    (0..8u32)
+        .map(|i| {
+            let msg = RequestMsg {
+                client: ClientId(i),
+                query: PathQuery::new(NodeId(i * 23 % 196), NodeId((i * 41 + 97) % 196)),
+                protection: ProtectionSettings::new(1 + i % 3, 1 + (i / 3) % 3).unwrap(),
+            };
+            let lane = if i % 3 == 0 { Priority::Bulk } else { Priority::Interactive };
+            (msg, lane)
+        })
+        .collect()
+}
+
+/// Drive the population through the in-process gateway: the reference
+/// report bytes and delivered hop-4 payloads, in emission order.
+fn in_process_run(
+    shards: usize,
+    execution: ExecutionPolicy,
+    requests: &[(RequestMsg, Priority)],
+) -> (Vec<String>, Vec<String>) {
+    let mut svc = build_service(shards, execution, requests.len());
+    for (msg, priority) in requests {
+        let outcome = svc.submit_with_priority(
+            ClientRequest::new(msg.client, msg.query, msg.protection),
+            *priority,
+            0.0,
+        );
+        assert!(outcome.ticket().is_some(), "unique ids must all be ticketed");
+    }
+    let events = svc.flush(1.0).expect("pipeline succeeds");
+    let mut reports = Vec::new();
+    let mut deliveries = Vec::new();
+    for event in events {
+        match event {
+            ServiceEvent::BatchFlushed(report) => {
+                reports.push(serde_json::to_string(&report).unwrap());
+            }
+            ServiceEvent::ResponseReady { result, .. } => {
+                deliveries.push(serde_json::to_string(&result).unwrap());
+            }
+            other => panic!("this feasible population only delivers: {other:?}"),
+        }
+    }
+    (reports, deliveries)
+}
+
+/// Drive the same population over loopback TCP: one client, one
+/// connection, frames in submission order.
+fn wire_run(
+    shards: usize,
+    execution: ExecutionPolicy,
+    requests: &[(RequestMsg, Priority)],
+) -> (Vec<String>, Vec<String>) {
+    let service = build_service(shards, execution, requests.len());
+    let mut server =
+        NetServer::bind("127.0.0.1:0", service, ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        server.run_until(&flag).expect("reactor runs clean");
+        server
+    });
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    for (request, priority) in requests {
+        client.send(&WireRequest { request: *request, priority: *priority }).expect("send");
+    }
+    let mut deliveries = Vec::new();
+    for _ in 0..requests.len() {
+        match client.recv().expect("terminal reply") {
+            WireReply::Result { result, .. } => {
+                deliveries.push(serde_json::to_string(&result).unwrap());
+            }
+            other => panic!("this feasible population only delivers: {other:?}"),
+        }
+    }
+    stop.store(true, Ordering::Release);
+    let server = handle.join().expect("server thread joins");
+    assert_eq!(server.stats().dropped_replies, 0, "loopback must not drop");
+    (server.reports().to_vec(), deliveries)
+}
+
+fn assert_wire_matches_in_process(shards: usize, execution: ExecutionPolicy) {
+    let requests = population();
+    let (ref_reports, ref_deliveries) = in_process_run(shards, execution, &requests);
+    let (net_reports, net_deliveries) = wire_run(shards, execution, &requests);
+
+    assert_eq!(ref_reports.len(), 1, "one window: max_batch == population");
+    assert_eq!(
+        ref_reports, net_reports,
+        "{execution:?}: wire BatchReport bytes diverged from in-process"
+    );
+    assert_eq!(
+        ref_deliveries, net_deliveries,
+        "{execution:?}: hop-4 payloads or their order diverged over the wire"
+    );
+}
+
+#[test]
+fn wire_report_is_byte_identical_sequential() {
+    assert_wire_matches_in_process(1, ExecutionPolicy::Sequential);
+}
+
+#[test]
+fn wire_report_is_byte_identical_worker_pool() {
+    assert_wire_matches_in_process(2, ExecutionPolicy::WorkerPool { threads: 2 });
+}
+
+/// The two backends also agree with each other end-to-end over the wire
+/// (the sharded determinism oracle survives the network hop).
+#[test]
+fn wire_reports_agree_across_backends() {
+    let requests = population();
+    let (seq_reports, seq_deliveries) = wire_run(1, ExecutionPolicy::Sequential, &requests);
+    let (pool_reports, pool_deliveries) =
+        wire_run(2, ExecutionPolicy::WorkerPool { threads: 2 }, &requests);
+    assert_eq!(seq_reports, pool_reports, "backends diverged over the wire");
+    assert_eq!(seq_deliveries, pool_deliveries);
+}
