@@ -8,6 +8,7 @@ pub mod e14_parallel;
 pub mod e15_cache;
 pub mod e16_gateway;
 pub mod e17_netload;
+pub mod e18_partition;
 pub mod e1_algorithms;
 pub mod e2_techniques;
 pub mod e3_breach;
@@ -22,9 +23,9 @@ use crate::setup::Scale;
 use crate::table::ExperimentTable;
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Run one experiment by id.
@@ -47,6 +48,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
         "e15" => Some(e15_cache::run(scale)),
         "e16" => Some(e16_gateway::run(scale)),
         "e17" => Some(e17_netload::run(scale)),
+        "e18" => Some(e18_partition::run(scale)),
         _ => None,
     }
 }

@@ -9,7 +9,8 @@
 //! {
 //!   "e15": { "wall_ms": 12.5, "trees_grown": 48, "cache_hit_rate": 0.62,
 //!            "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0,
-//!            "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0 }
+//!            "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0,
+//!            "cache_hit_rate_region": 0.0, "cache_hit_rate_rr": 0.0 }
 //! }
 //! ```
 //!
@@ -50,6 +51,12 @@ pub struct PerfPoint {
     pub net_p99_ms: f64,
     /// p999 end-to-end wire latency in milliseconds (0 when untracked).
     pub net_p999_ms: f64,
+    /// Tree-cache hit rate of the region-owned placement (0 when the
+    /// experiment has no placement axis — only `e18` tracks it).
+    pub cache_hit_rate_region: f64,
+    /// Tree-cache hit rate of the round-robin placement on the identical
+    /// stream (0 when untracked).
+    pub cache_hit_rate_rr: f64,
 }
 
 impl PerfPoint {
@@ -68,6 +75,8 @@ impl PerfPoint {
             net_p50_ms: metric("net_p50_ms"),
             net_p99_ms: metric("net_p99_ms"),
             net_p999_ms: metric("net_p999_ms"),
+            cache_hit_rate_region: metric("cache_hit_rate_region"),
+            cache_hit_rate_rr: metric("cache_hit_rate_rr"),
         }
     }
 }
@@ -120,6 +129,14 @@ impl serde::Serialize for PerfTrajectory {
                             ("net_p50_ms".to_string(), serde::Value::Num(p.net_p50_ms)),
                             ("net_p99_ms".to_string(), serde::Value::Num(p.net_p99_ms)),
                             ("net_p999_ms".to_string(), serde::Value::Num(p.net_p999_ms)),
+                            (
+                                "cache_hit_rate_region".to_string(),
+                                serde::Value::Num(p.cache_hit_rate_region),
+                            ),
+                            (
+                                "cache_hit_rate_rr".to_string(),
+                                serde::Value::Num(p.cache_hit_rate_rr),
+                            ),
                         ]),
                     )
                 })
@@ -163,6 +180,8 @@ impl serde::Deserialize for PerfTrajectory {
                     net_p50_ms: optional("net_p50_ms")?,
                     net_p99_ms: optional("net_p99_ms")?,
                     net_p999_ms: optional("net_p999_ms")?,
+                    cache_hit_rate_region: optional("cache_hit_rate_region")?,
+                    cache_hit_rate_rr: optional("cache_hit_rate_rr")?,
                 })
             })
             .collect::<Result<Vec<_>, serde::DeError>>()?;
@@ -192,6 +211,7 @@ mod tests {
         assert_eq!(p.cache_hit_rate, 0.625);
         assert_eq!((p.queue_wait_p50, p.queue_wait_p99, p.rejection_rate), (0.0, 0.0, 0.0));
         assert_eq!((p.net_p50_ms, p.net_p99_ms, p.net_p999_ms), (0.0, 0.0, 0.0));
+        assert_eq!((p.cache_hit_rate_region, p.cache_hit_rate_rr), (0.0, 0.0));
 
         let bare = table_with("E13", &[]);
         let p = PerfPoint::from_table(&bare, 3.0);
@@ -210,6 +230,12 @@ mod tests {
             table_with("E17", &[("net_p50_ms", 2.0), ("net_p99_ms", 9.5), ("net_p999_ms", 40.0)]);
         let p = PerfPoint::from_table(&net, 11.0);
         assert_eq!((p.net_p50_ms, p.net_p99_ms, p.net_p999_ms), (2.0, 9.5, 40.0));
+
+        // The placement pair flows through from e18's metrics.
+        let placement =
+            table_with("E18", &[("cache_hit_rate_region", 0.58), ("cache_hit_rate_rr", 0.26)]);
+        let p = PerfPoint::from_table(&placement, 9.0);
+        assert_eq!((p.cache_hit_rate_region, p.cache_hit_rate_rr), (0.58, 0.26));
     }
 
     #[test]
@@ -232,6 +258,16 @@ mod tests {
         assert_eq!(traj.points[0].queue_wait_p99, 5.0);
         assert_eq!(traj.points[0].net_p50_ms, 0.0);
         assert_eq!(traj.points[0].net_p999_ms, 0.0);
+
+        // BENCH_6.json artifacts carry the network trio but not the
+        // placement pair; those must parse too, with both rates zero.
+        let bench6 = r#"{ "e17": { "wall_ms": 6.0, "trees_grown": 0, "cache_hit_rate": 0.0,
+                          "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0,
+                          "net_p50_ms": 2.0, "net_p99_ms": 9.5, "net_p999_ms": 40.0 } }"#;
+        let traj: PerfTrajectory = serde_json::from_str(bench6).unwrap();
+        assert_eq!(traj.points[0].net_p99_ms, 9.5);
+        assert_eq!(traj.points[0].cache_hit_rate_region, 0.0);
+        assert_eq!(traj.points[0].cache_hit_rate_rr, 0.0);
     }
 
     #[test]
@@ -249,6 +285,8 @@ mod tests {
                     net_p50_ms: 0.0,
                     net_p99_ms: 0.0,
                     net_p999_ms: 0.0,
+                    cache_hit_rate_region: 0.0,
+                    cache_hit_rate_rr: 0.0,
                 },
                 PerfPoint {
                     experiment: "e15".to_string(),
@@ -261,6 +299,8 @@ mod tests {
                     net_p50_ms: 1.5,
                     net_p99_ms: 12.0,
                     net_p999_ms: 80.5,
+                    cache_hit_rate_region: 0.58,
+                    cache_hit_rate_rr: 0.26,
                 },
             ],
         };
@@ -288,6 +328,8 @@ mod tests {
             net_p50_ms: 0.0,
             net_p99_ms: 0.0,
             net_p999_ms: 0.0,
+            cache_hit_rate_region: 0.0,
+            cache_hit_rate_rr: 0.0,
         };
         traj.record(point(1.0));
         traj.record(point(2.0));

@@ -124,7 +124,7 @@ pub use query::{ClientId, ClientRequest, ObfuscatedPathQuery, PathQuery, Protect
 pub use server::{DirectionsServer, ServerStats};
 pub use service::{
     AdmissionPolicy, BatchPolicy, BatchReport, Batcher, CachePolicy, ClientOutcome, DefaultBackend,
-    DirectionsBackend, DrainedBatch, ExecutionPolicy, ExpiredRequest, OpaqueService, Priority,
-    RejectReason, ServiceBuilder, ServiceConfig, ServiceEvent, ServiceResponse, ShardedBackend,
-    SubmitOutcome, Ticket, TreeCache,
+    DirectionsBackend, DrainedBatch, ExecutionPolicy, ExpiredRequest, OpaqueService, Partition,
+    PartitionPolicy, Priority, RejectReason, RouteKind, ServiceBuilder, ServiceConfig,
+    ServiceEvent, ServiceResponse, ShardedBackend, SubmitOutcome, Ticket, TreeCache,
 };

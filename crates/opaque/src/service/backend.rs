@@ -12,6 +12,7 @@ use crate::error::{OpaqueError, Result};
 use crate::query::{ObfuscatedPathQuery, PathQuery};
 use crate::server::{DirectionsServer, ServerStats};
 use crate::service::parallel::{self, ExecutionPolicy};
+use crate::service::partition::Partition;
 use pathsearch::{MsmdResult, Path};
 use roadnet::GraphView;
 
@@ -113,23 +114,33 @@ impl<B: DirectionsBackend + ?Sized> DirectionsBackend for Box<B> {
     }
 }
 
-/// Fan-out over several backends: round-robin one query at a time, or a
-/// pinned-worker pool for whole batches.
+/// Fan-out over several backends: round-robin or region-owned placement
+/// one query at a time, or a pinned-worker pool for whole batches.
 ///
 /// Every shard holds (a view of) the whole map, so any shard can answer
 /// any query — queries are independent, and each obfuscated query is
-/// already a self-contained unit of work. Single queries
-/// ([`DirectionsBackend::process`]) balance load by simple rotation;
-/// batches ([`DirectionsBackend::process_many`]) can instead be fanned out
-/// under [`ExecutionPolicy::WorkerPool`], where each worker thread owns
-/// one shard (and its search arena) and pulls units from a shared
-/// injector queue — which is why the fleet's backend impl requires
-/// `B: Send`. Cumulative [`ServerStats`] aggregate over all shards via
-/// the commutative [`ServerStats::merge`], so reports describe fleet-wide
-/// cost regardless of which shard served which unit.
+/// already a self-contained unit of work. Placement is pluggable:
+///
+/// * **Round-robin** ([`ShardedBackend::new`]): single queries
+///   ([`DirectionsBackend::process`]) balance load by simple rotation,
+///   and [`ExecutionPolicy::WorkerPool`] batches are fanned out with one
+///   worker per shard pulling units from a shared injector queue.
+/// * **Region-owned** ([`ShardedBackend::with_partition`]): a
+///   [`Partition`] routes every query to the shard owning its
+///   obfuscation region (halo fallback → any-owner fallback), so each
+///   shard's tree cache sees spatially clustered roots. Worker-pool
+///   batches pull from **per-shard queues** instead of the global
+///   cursor — see [`parallel`].
+///
+/// Either way the fleet's backend impl requires `B: Send`, and cumulative
+/// [`ServerStats`] aggregate over all shards via the commutative
+/// [`ServerStats::merge`], so reports describe fleet-wide cost regardless
+/// of which shard served which unit — placement is report-invisible
+/// (`tests/partition_equivalence.rs`).
 pub struct ShardedBackend<B> {
     shards: Vec<B>,
     cursor: usize,
+    router: Option<Partition>,
 }
 
 impl<B: DirectionsBackend> ShardedBackend<B> {
@@ -143,7 +154,34 @@ impl<B: DirectionsBackend> ShardedBackend<B> {
                 reason: "sharded backend needs at least one shard".to_string(),
             });
         }
-        Ok(ShardedBackend { shards, cursor: 0 })
+        Ok(ShardedBackend { shards, cursor: 0, router: None })
+    }
+
+    /// Build a region-owned fleet: `partition` routes every query to the
+    /// shard owning its obfuscation region instead of rotating a cursor.
+    ///
+    /// # Errors
+    /// [`OpaqueError::InvalidConfig`] when the fleet is empty or the
+    /// partition was built for a different shard count.
+    pub fn with_partition(shards: Vec<B>, partition: Partition) -> Result<Self> {
+        if partition.shards() != shards.len() {
+            return Err(OpaqueError::InvalidConfig {
+                reason: format!(
+                    "partition has {} regions for a fleet of {} shards",
+                    partition.shards(),
+                    shards.len()
+                ),
+            });
+        }
+        let mut backend = Self::new(shards)?;
+        backend.router = Some(partition);
+        Ok(backend)
+    }
+
+    /// The region partition routing this fleet, if any (`None` means
+    /// round-robin placement).
+    pub fn partition(&self) -> Option<&Partition> {
+        self.router.as_ref()
     }
 
     /// Number of shards in the fleet.
@@ -164,8 +202,14 @@ impl<B: DirectionsBackend> ShardedBackend<B> {
 
 impl<B: DirectionsBackend + Send> DirectionsBackend for ShardedBackend<B> {
     fn process(&mut self, query: &ObfuscatedPathQuery) -> MsmdResult {
-        let picked = self.cursor;
-        self.cursor = (self.cursor + 1) % self.shards.len();
+        let picked = match &self.router {
+            Some(partition) => partition.route(query),
+            None => {
+                let picked = self.cursor;
+                self.cursor = (self.cursor + 1) % self.shards.len();
+                picked
+            }
+        };
         self.shards[picked].process(query)
     }
 
@@ -175,20 +219,39 @@ impl<B: DirectionsBackend + Send> DirectionsBackend for ShardedBackend<B> {
         execution: ExecutionPolicy,
     ) -> Vec<MsmdResult> {
         match execution {
-            // Sequential batches go through the rotating single-query
-            // path, preserving the historical per-shard load pattern.
+            // Sequential batches go through the routed/rotating
+            // single-query path, preserving the historical per-shard load
+            // pattern.
             ExecutionPolicy::Sequential => {
                 queries.iter().map(|q| DirectionsBackend::process(self, q)).collect()
             }
-            ExecutionPolicy::WorkerPool { threads } => {
-                parallel::process_on_shards(&mut self.shards, queries, threads)
-            }
+            ExecutionPolicy::WorkerPool { threads } => match &self.router {
+                Some(partition) => {
+                    let assignment: Vec<usize> =
+                        queries.iter().map(|q| partition.route(q)).collect();
+                    parallel::process_routed_on_shards(
+                        &mut self.shards,
+                        queries,
+                        &assignment,
+                        threads,
+                    )
+                }
+                None => parallel::process_on_shards(&mut self.shards, queries, threads),
+            },
         }
     }
 
     fn process_plain(&mut self, query: &PathQuery) -> Option<Path> {
-        let picked = self.cursor;
-        self.cursor = (self.cursor + 1) % self.shards.len();
+        let picked = match &self.router {
+            // Plain queries grow their tree from the source: route by the
+            // source side so repeats of a popular origin hit one cache.
+            Some(partition) => partition.route_endpoints(&[query.source], &[query.destination]).0,
+            None => {
+                let picked = self.cursor;
+                self.cursor = (self.cursor + 1) % self.shards.len();
+                picked
+            }
+        };
         self.shards[picked].process_plain(query)
     }
 
@@ -207,7 +270,10 @@ impl<B: DirectionsBackend + Send> DirectionsBackend for ShardedBackend<B> {
     }
 
     fn label(&self) -> String {
-        format!("sharded({}x)", self.shards.len())
+        match &self.router {
+            Some(p) => format!("sharded({}x, region-owned halo={})", self.shards.len(), p.halo()),
+            None => format!("sharded({}x)", self.shards.len()),
+        }
     }
 }
 

@@ -17,14 +17,16 @@ use crate::service::batcher::{BatchPolicy, Batcher};
 use crate::service::cache::CachePolicy;
 use crate::service::gateway::AdmissionPolicy;
 use crate::service::parallel::ExecutionPolicy;
+use crate::service::partition::{Partition, PartitionPolicy};
 use pathsearch::{SearchArena, SharingPolicy};
 use roadnet::{GraphView, RoadNetwork};
 use std::sync::Arc;
 
-/// The backend type [`ServiceBuilder::build`] assembles: a round-robin
-/// fleet of in-memory directions servers (a fleet of one when
-/// `shards == 1`). The fleet shares one map behind an [`Arc`] — an
-/// N-shard service holds one backend copy of the map, not N.
+/// The backend type [`ServiceBuilder::build`] assembles: a fleet of
+/// in-memory directions servers (a fleet of one when `shards == 1`),
+/// placed round-robin or by region ownership according to
+/// [`ServiceConfig::partition`]. The fleet shares one map behind an
+/// [`Arc`] — an N-shard service holds one backend copy of the map, not N.
 pub type DefaultBackend = ShardedBackend<DirectionsServer<Arc<RoadNetwork>>>;
 
 /// Serializable deployment parameters, with defaults matching the paper's
@@ -48,8 +50,14 @@ pub struct ServiceConfig {
     /// Memoize fakes per true query to close the intersection-attack
     /// channel (see [`Obfuscator::with_consistent_fakes`]).
     pub consistent_fakes: bool,
-    /// Number of backend shards (round-robin).
+    /// Number of backend shards.
     pub shards: usize,
+    /// How query units are placed on the shard fleet: the historical
+    /// [`PartitionPolicy::RoundRobin`] rotation, or
+    /// [`PartitionPolicy::RegionOwned`] routing to the shard owning each
+    /// unit's obfuscation region (deserializes from absent/`null` as
+    /// round-robin, so configs predating the field keep their meaning).
+    pub partition: PartitionPolicy,
     /// How each batch's obfuscated queries are executed against the shard
     /// fleet — sequentially or across a pinned-worker pool.
     pub execution: ExecutionPolicy,
@@ -75,6 +83,7 @@ impl Default for ServiceConfig {
             verify_results: false,
             consistent_fakes: false,
             shards: 1,
+            partition: PartitionPolicy::RoundRobin,
             execution: ExecutionPolicy::Sequential,
             cache: CachePolicy::Off,
             batch: BatchPolicy::default(),
@@ -191,9 +200,18 @@ impl ServiceBuilder {
         self
     }
 
-    /// Number of round-robin backend shards.
+    /// Number of backend shards.
     pub fn shards(mut self, shards: usize) -> Self {
         self.config.shards = shards;
+        self
+    }
+
+    /// Shard placement policy: round-robin rotation (default) or
+    /// region-owned routing. [`PartitionPolicy::RegionOwned`] requires the
+    /// map to have at least as many nodes as shards (checked in
+    /// [`ServiceBuilder::build`], where the partition is constructed).
+    pub fn partition_policy(mut self, partition: PartitionPolicy) -> Self {
+        self.config.partition = partition;
         self
     }
 
@@ -256,7 +274,17 @@ impl ServiceBuilder {
                 .with_tree_cache(config.cache)
             })
             .collect();
-        let backend = ShardedBackend::new(servers)?;
+        // Placement: region-owned fleets carry a deterministic partition
+        // of the shared map; round-robin fleets keep the rotating cursor.
+        // Either way every shard searches the whole map, which is what
+        // keeps placement invisible to every report byte.
+        let backend = match config.partition {
+            PartitionPolicy::RoundRobin => ShardedBackend::new(servers)?,
+            PartitionPolicy::RegionOwned { halo } => {
+                let partition = Partition::build(&shared, config.shards, halo)?;
+                ShardedBackend::with_partition(servers, partition)?
+            }
+        };
         Self::assemble(config, map, weights, backend)
     }
 
@@ -434,6 +462,63 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
         assert_eq!(back, config);
         assert_eq!(back.admission.deadline, None);
+    }
+
+    #[test]
+    fn config_round_trips_partition_policies_and_legacy_json_still_parses() {
+        for partition in [PartitionPolicy::RoundRobin, PartitionPolicy::RegionOwned { halo: 2 }] {
+            let config = ServiceConfig { shards: 4, partition, ..Default::default() };
+            let json = serde_json::to_string(&config).unwrap();
+            if let PartitionPolicy::RegionOwned { .. } = partition {
+                assert!(json.contains("RegionOwned"), "{json}");
+                assert!(json.contains("halo"), "{json}");
+            } else {
+                assert!(json.contains("RoundRobin"), "{json}");
+            }
+            let back: ServiceConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, config, "{partition:?}");
+        }
+        // A config serialized before the partition field existed (no
+        // "partition" key at all) must still parse, as round-robin.
+        let mut legacy = serde_json::to_string(&ServiceConfig::default()).unwrap();
+        legacy = legacy.replace("\"partition\":\"RoundRobin\",", "");
+        assert!(!legacy.contains("partition"), "{legacy}");
+        let back: ServiceConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, ServiceConfig::default());
+        // Defaults stay round-robin (the historical placement).
+        assert_eq!(ServiceConfig::default().partition, PartitionPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn build_assembles_region_owned_fleets() {
+        let svc = ServiceBuilder::new()
+            .map(map())
+            .shards(3)
+            .partition_policy(PartitionPolicy::RegionOwned { halo: 1 })
+            .build()
+            .unwrap();
+        let partition = svc.backend().partition().expect("region-owned fleet carries a router");
+        assert_eq!(partition.shards(), 3);
+        assert_eq!(partition.halo(), 1);
+        assert_eq!(
+            (0..3).map(|s| partition.owned_count(s)).sum::<usize>(),
+            144,
+            "every node owned exactly once"
+        );
+        // Round-robin fleets carry no router.
+        let svc = ServiceBuilder::new().map(map()).shards(3).build().unwrap();
+        assert!(svc.backend().partition().is_none());
+        // More shards than nodes cannot form non-empty regions.
+        let err = ServiceBuilder::new()
+            .map(map())
+            .shards(145)
+            .partition_policy(PartitionPolicy::RegionOwned { halo: 0 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("non-empty")),
+            "{err}"
+        );
     }
 
     #[test]

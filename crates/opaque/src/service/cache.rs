@@ -36,6 +36,19 @@
 //! byte-identical [`crate::BatchReport`]s to `CachePolicy::Off`, the
 //! invariant `tests/cache_equivalence.rs` proves.
 //!
+//! Shard-local does mean the hit rate is hostage to *placement*: under
+//! round-robin rotation a popular root visits every shard, so an N-shard
+//! fleet pays up to N cold misses per root and N cache slots for one
+//! tree. Region-owned placement
+//! ([`crate::PartitionPolicy::RegionOwned`]) is the payoff for this
+//! design — all queries rooted in a region land on the shard owning it,
+//! so each root is grown (and stored) once fleet-wide and the per-shard
+//! LRU holds its own region's hot roots instead of a shuffled sample of
+//! everyone's. The `e18_partition` experiment and the partition stress
+//! test measure exactly that gap; the hit/miss counters stay off the
+//! serialized report, so placement remains report-byte-invisible while
+//! the physical hit rate moves.
+//!
 //! [`DirectionsServer`]: crate::server::DirectionsServer
 
 use crate::error::{OpaqueError, Result};

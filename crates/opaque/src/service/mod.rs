@@ -27,6 +27,11 @@
 //!   cache: recorded Dijkstra sweeps adopted instead of regrown when a
 //!   query's root recurs, under the same guarantee (`Lru` is
 //!   byte-identical to `Off` in every report — `tests/cache_equivalence.rs`);
+//! * [`partition`] / [`PartitionPolicy`] — the placement layer: region-owned
+//!   shards route each unit to the shard owning its obfuscation region
+//!   (halo fallback → any-owner fallback), clustering cache roots per
+//!   shard while staying report-byte-identical to round-robin
+//!   (`tests/partition_equivalence.rs`);
 //! * [`OpaqueService`] — the assembled deployment, built from a typed
 //!   [`ServiceBuilder`] / [`ServiceConfig`];
 //! * [`BatchReport`] / [`ClientOutcome`] — typed accounting: serde-tagged
@@ -39,6 +44,7 @@ mod builder;
 pub mod cache;
 pub mod gateway;
 pub mod parallel;
+pub mod partition;
 mod report;
 
 pub use backend::{DirectionsBackend, ShardedBackend};
@@ -47,6 +53,7 @@ pub use builder::{DefaultBackend, ServiceBuilder, ServiceConfig};
 pub use cache::{CachePolicy, TreeCache};
 pub use gateway::{AdmissionPolicy, Priority, RejectReason, ServiceEvent, SubmitOutcome};
 pub use parallel::ExecutionPolicy;
+pub use partition::{Partition, PartitionPolicy, RouteKind};
 pub use report::{BatchReport, ClientOutcome};
 
 use crate::error::{OpaqueError, Result};

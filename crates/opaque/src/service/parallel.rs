@@ -8,7 +8,11 @@
 //! backend shard** (and therefore to that shard's
 //! [`pathsearch::SearchArena`] — arenas are `Send` but never shared), and
 //! workers pull unit indices from a shared injector queue until the batch
-//! is drained.
+//! is drained. Under region-owned placement
+//! ([`crate::PartitionPolicy::RegionOwned`]) the injector is replaced by
+//! **per-shard queues** (`process_routed_on_shards`): each unit is
+//! pinned to the shard owning its region, and worker `w` drains the
+//! queues of every shard `s` with `s % workers == w`.
 //!
 //! Determinism is the design constraint, not an afterthought:
 //!
@@ -142,6 +146,84 @@ pub(crate) fn process_on_shards<B: DirectionsBackend + Send>(
     slots.into_iter().map(|r| r.expect("injector covers every unit exactly once")).collect()
 }
 
+/// Routed variant of [`process_on_shards`]: `assignment[i]` names the
+/// shard that must serve unit `i` (region ownership), so workers pull
+/// from **per-shard queues** instead of the global injector cursor.
+///
+/// Worker `w` serves every shard `s` with `s % workers == w` — each shard
+/// (and its arena and tree cache) stays owned by exactly one thread, even
+/// when the pool is narrower than the fleet. There is deliberately no
+/// work stealing: clustered placement is the point of region routing, and
+/// determinism never depended on scheduling anyway (results land in their
+/// unit's slot, stats merge commutatively). Returns one result per query,
+/// **in query order**, with worker panics re-raised on the caller.
+pub(crate) fn process_routed_on_shards<B: DirectionsBackend + Send>(
+    shards: &mut [B],
+    queries: &[ObfuscatedPathQuery],
+    assignment: &[usize],
+    threads: usize,
+) -> Vec<MsmdResult> {
+    debug_assert_eq!(assignment.len(), queries.len(), "one shard per unit");
+    debug_assert!(
+        assignment.iter().all(|&s| s < shards.len()),
+        "router must only name real shards"
+    );
+    // Per-shard queues, each in unit order.
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); shards.len()];
+    for (i, &s) in assignment.iter().enumerate() {
+        queues[s].push(i);
+    }
+
+    let workers = threads.clamp(1, shards.len().max(1)).min(queries.len().max(1));
+    let mut slots: Vec<Option<MsmdResult>> = (0..queries.len()).map(|_| None).collect();
+    if workers <= 1 {
+        // One worker still honors the assignment — placement (and the
+        // per-shard cache state it builds) must not depend on pool width.
+        for (shard, queue) in shards.iter_mut().zip(&queues) {
+            for &i in queue {
+                slots[i] = Some(shard.process(&queries[i]));
+            }
+        }
+        return finish(slots);
+    }
+
+    // Bucket shards (with their queues) by serving worker.
+    let mut buckets: Vec<Vec<(&mut B, Vec<usize>)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (s, (shard, queue)) in shards.iter_mut().zip(queues).enumerate() {
+        buckets[s % workers].push((shard, queue));
+    }
+    let collected: Vec<Vec<(usize, MsmdResult)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for (shard, queue) in bucket {
+                        for i in queue {
+                            local.push((i, shard.process(&queries[i])));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    });
+    for (i, result) in collected.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "unit {i} queued on two shards");
+        slots[i] = Some(result);
+    }
+    finish(slots)
+}
+
+/// Unwrap the slot vector, panicking on any unit no queue covered.
+fn finish(slots: Vec<Option<MsmdResult>>) -> Vec<MsmdResult> {
+    slots.into_iter().map(|r| r.expect("every unit is queued exactly once")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +292,38 @@ mod tests {
         // Zero queries is a no-op.
         let r = process_on_shards(&mut shards, &[], 8);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn routed_pool_matches_sequential_and_honors_assignment() {
+        let qs = queries(13);
+        let mut seq_fleet = fleet(1);
+        let sequential: Vec<MsmdResult> = qs.iter().map(|q| seq_fleet[0].process(q)).collect();
+        let assignment: Vec<usize> = (0..qs.len()).map(|i| (i * 3) % 4).collect();
+
+        // Any pool width — including narrower than the fleet and a single
+        // worker — serves each unit on its assigned shard.
+        for threads in [1usize, 2, 4, 7] {
+            let mut shards = fleet(4);
+            let routed = process_routed_on_shards(&mut shards, &qs, &assignment, threads);
+            assert_eq!(routed.len(), qs.len());
+            for (i, (p, s)) in routed.iter().zip(&sequential).enumerate() {
+                assert_eq!(p.paths, s.paths, "unit {i} at {threads} threads");
+                assert_eq!(p.stats, s.stats, "unit {i} at {threads} threads");
+            }
+            // Placement is pinned by the assignment, not the pool width.
+            for (s, shard) in shards.iter().enumerate() {
+                let expected = assignment.iter().filter(|&&a| a == s).count() as u64;
+                assert_eq!(
+                    shard.stats().obfuscated_queries,
+                    expected,
+                    "shard {s} at {threads} threads"
+                );
+            }
+        }
+        // Zero queries is a no-op.
+        let mut shards = fleet(4);
+        assert!(process_routed_on_shards(&mut shards, &[], &[], 4).is_empty());
     }
 
     #[test]

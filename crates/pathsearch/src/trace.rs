@@ -145,6 +145,14 @@ impl SweepTrace {
         self.events.last().map_or(0.0, |e| e.dist)
     }
 
+    /// The settled nodes in settle order (nearest-first). Lets callers
+    /// measure a sweep's *spatial footprint* — e.g. how much of it falls
+    /// inside one shard's region under region-owned placement — without
+    /// exposing the per-event counter snapshots.
+    pub fn settled(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.events.iter().map(|e| NodeId(e.node))
+    }
+
     /// Settle-order index of `node`, if the sweep settled it.
     pub fn position(&self, node: NodeId) -> Option<usize> {
         self.positions
@@ -407,6 +415,13 @@ mod tests {
         for e in &trace.events {
             assert!(e.dist <= r + 1e-12, "settle order is nondecreasing in distance");
             assert_eq!(trace.position(NodeId(e.node)).map(|i| trace.events[i].node), Some(e.node));
+        }
+        // The public settled-nodes view mirrors the event log exactly.
+        let settled: Vec<NodeId> = trace.settled().collect();
+        assert_eq!(settled.len(), trace.len());
+        assert_eq!(settled[0], NodeId(60));
+        for (i, &n) in settled.iter().enumerate() {
+            assert_eq!(trace.position(n), Some(i));
         }
     }
 }

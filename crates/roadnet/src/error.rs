@@ -23,6 +23,9 @@ pub enum RoadNetError {
     Io(std::io::Error),
     /// Two nodes are not connected (no path exists between them).
     Disconnected { from: NodeId, to: NodeId },
+    /// A region description (membership flags, node list) does not fit
+    /// the graph it was applied to.
+    InvalidRegion { reason: String },
 }
 
 impl fmt::Display for RoadNetError {
@@ -50,6 +53,9 @@ impl fmt::Display for RoadNetError {
             RoadNetError::Io(e) => write!(f, "i/o error: {e}"),
             RoadNetError::Disconnected { from, to } => {
                 write!(f, "no path connects {from} to {to}")
+            }
+            RoadNetError::InvalidRegion { reason } => {
+                write!(f, "invalid region: {reason}")
             }
         }
     }

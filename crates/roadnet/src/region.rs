@@ -1,0 +1,225 @@
+//! Region-restricted graph views with **stable node ids**.
+//!
+//! A [`RegionView`] exposes an arbitrary node subset of an underlying
+//! graph through the same [`GraphView`] trait the search algorithms run
+//! on, *without* remapping node ids: the view keeps the full id space
+//! `0..num_nodes()` and simply hides every arc that touches a node
+//! outside the member set. Stable ids are the point — a partition layer
+//! (see `opaque::service::partition`) can hand a shard a view of its
+//! owned region plus halo and still compare node ids, cache keys, and
+//! query endpoints against whole-map results without any translation
+//! table.
+//!
+//! Hidden nodes keep their coordinates (so spatial reasoning about the
+//! cut boundary still works) but have no arcs in either direction: a
+//! member's arc into a non-member is filtered, and a non-member has no
+//! outgoing arcs at all. This keeps the symmetry claim of the underlying
+//! graph intact — an arc `a → b` survives iff both endpoints are members,
+//! exactly when its reverse `b → a` does.
+
+use crate::error::{Result, RoadNetError};
+use crate::geo::Point;
+use crate::graph::GraphView;
+use crate::ids::NodeId;
+
+/// A membership-filtered view of a graph, preserving node ids.
+///
+/// ```
+/// use roadnet::generators::{GridConfig, grid_network};
+/// use roadnet::{GraphView, NodeId, RegionView};
+///
+/// let g = grid_network(&GridConfig { width: 4, height: 4, ..Default::default() }).unwrap();
+/// // Keep only the left half of the grid.
+/// let members: Vec<bool> = (0..g.num_nodes()).map(|i| i % 4 < 2).collect();
+/// let view = RegionView::new(&g, members).unwrap();
+/// assert_eq!(view.num_nodes(), g.num_nodes()); // same id space
+/// let mut out = 0;
+/// view.for_each_arc(NodeId(0), &mut |to, _| {
+///     assert!(view.contains(to));
+///     out += 1;
+/// });
+/// assert!(out > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegionView<G> {
+    graph: G,
+    members: Vec<bool>,
+    member_count: usize,
+}
+
+impl<G: GraphView> RegionView<G> {
+    /// Wrap `graph`, keeping exactly the nodes flagged in `members`.
+    ///
+    /// # Errors
+    /// [`RoadNetError::InvalidRegion`] when `members` does not have one
+    /// flag per node of the underlying graph.
+    pub fn new(graph: G, members: Vec<bool>) -> Result<Self> {
+        if members.len() != graph.num_nodes() {
+            return Err(RoadNetError::InvalidRegion {
+                reason: format!(
+                    "region membership has {} flags for a graph of {} nodes",
+                    members.len(),
+                    graph.num_nodes()
+                ),
+            });
+        }
+        let member_count = members.iter().filter(|&&m| m).count();
+        Ok(RegionView { graph, members, member_count })
+    }
+
+    /// Wrap `graph`, keeping exactly the listed nodes (duplicates and
+    /// out-of-range ids are rejected by the membership length check on
+    /// the flags the list produces — out-of-range ids error here).
+    ///
+    /// # Errors
+    /// [`RoadNetError::InvalidRegion`] for a node id outside the graph.
+    pub fn from_nodes(graph: G, nodes: &[NodeId]) -> Result<Self> {
+        let mut members = vec![false; graph.num_nodes()];
+        for &n in nodes {
+            let i = n.index();
+            if i >= members.len() {
+                return Err(RoadNetError::InvalidRegion {
+                    reason: format!("region node {i} outside graph of {} nodes", members.len()),
+                });
+            }
+            members[i] = true;
+        }
+        Self::new(graph, members)
+    }
+
+    /// Whether node `n` is a member of the region (out-of-range: no).
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.members.get(n.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of member nodes (not the id-space size — see
+    /// [`GraphView::num_nodes`]).
+    pub fn member_count(&self) -> usize {
+        self.member_count
+    }
+
+    /// The membership flags, one per node id.
+    pub fn members(&self) -> &[bool] {
+        &self.members
+    }
+
+    /// The wrapped graph.
+    pub fn inner(&self) -> &G {
+        &self.graph
+    }
+}
+
+impl<G: GraphView> GraphView for RegionView<G> {
+    fn num_nodes(&self) -> usize {
+        // Stable ids: the view keeps the full id space and hides
+        // non-members by disconnecting them instead of renumbering.
+        self.graph.num_nodes()
+    }
+
+    fn point(&self, n: NodeId) -> Point {
+        self.graph.point(n)
+    }
+
+    fn for_each_arc(&self, n: NodeId, f: &mut dyn FnMut(NodeId, f64)) {
+        if !self.contains(n) {
+            return;
+        }
+        self.graph.for_each_arc(n, &mut |to, w| {
+            if self.contains(to) {
+                f(to, w);
+            }
+        });
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // Membership filtering keeps symmetry: `a → b` survives iff both
+        // ends are members, which is exactly when `b → a` survives.
+        self.graph.is_symmetric()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GridConfig, grid_network};
+    use crate::graph::RoadNetwork;
+
+    fn grid() -> RoadNetwork {
+        grid_network(&GridConfig { width: 5, height: 5, seed: 1, ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn membership_length_is_validated() {
+        let g = grid();
+        assert!(matches!(
+            RegionView::new(&g, vec![true; 3]),
+            Err(RoadNetError::InvalidRegion { .. })
+        ));
+        assert!(RegionView::new(&g, vec![true; g.num_nodes()]).is_ok());
+    }
+
+    #[test]
+    fn from_nodes_rejects_out_of_range_ids() {
+        let g = grid();
+        let bad = NodeId::from_index(g.num_nodes());
+        assert!(matches!(
+            RegionView::from_nodes(&g, &[NodeId(0), bad]),
+            Err(RoadNetError::InvalidRegion { .. })
+        ));
+        let v = RegionView::from_nodes(&g, &[NodeId(0), NodeId(1), NodeId(1)]).unwrap();
+        assert_eq!(v.member_count(), 2); // duplicates collapse
+    }
+
+    #[test]
+    fn ids_are_stable_and_cut_arcs_are_hidden() {
+        let g = grid();
+        let n = g.num_nodes();
+        // Left three columns of the 5x5 grid.
+        let members: Vec<bool> = (0..n).map(|i| i % 5 < 3).collect();
+        let view = RegionView::new(&g, members.clone()).unwrap();
+        assert_eq!(view.num_nodes(), n);
+        assert_eq!(view.member_count(), 15);
+        for (i, member) in members.iter().enumerate() {
+            let node = NodeId::from_index(i);
+            assert_eq!(view.point(node), g.point(node));
+            let mut full = 0usize;
+            let mut kept = 0usize;
+            g.for_each_arc(node, &mut |_, _| full += 1);
+            view.for_each_arc(node, &mut |to, w| {
+                assert!(view.contains(to), "leaked arc to non-member {to:?}");
+                assert!(w > 0.0);
+                kept += 1;
+            });
+            if !member {
+                assert_eq!(kept, 0, "non-member {i} still has arcs");
+            } else {
+                assert!(kept <= full);
+            }
+        }
+        // The column-2/column-3 cut actually removed something.
+        let total_kept: usize = (0..n)
+            .map(|i| {
+                let mut d = 0;
+                view.for_each_arc(NodeId::from_index(i), &mut |_, _| d += 1);
+                d
+            })
+            .sum();
+        assert!(total_kept < g.num_arcs());
+    }
+
+    #[test]
+    fn symmetry_claim_passes_through() {
+        let g = grid();
+        let members = vec![true; g.num_nodes()];
+        let view = RegionView::new(&g, members).unwrap();
+        assert_eq!(view.is_symmetric(), g.is_symmetric());
+        // A full-membership view is arc-for-arc identical.
+        for i in 0..g.num_nodes() {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            g.for_each_arc(NodeId::from_index(i), &mut |to, w| a.push((to, w)));
+            view.for_each_arc(NodeId::from_index(i), &mut |to, w| b.push((to, w)));
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! The partition layer's headline guarantee, as a property: region-owned
+//! placement is **invisible to every observable byte**. For random maps,
+//! random batches, random obfuscator seeds, random halos, and any
+//! worker-pool width, `PartitionPolicy::RegionOwned` produces the same
+//! delivered paths, the same per-client outcomes, the same serialized
+//! `BatchReport`, the same gateway `ServiceEvent` stream, and the same
+//! fleet-merged server counters as `PartitionPolicy::RoundRobin` and as
+//! single-threaded sequential execution — across `CachePolicy::{Off,Lru}`.
+//!
+//! Routing may only move units between shards; every shard searches the
+//! whole (Arc-shared) map, each MSMD evaluation is a pure function of
+//! `(map, query, sharing policy)`, and reports read only fleet-merged
+//! commutative counters — so any divergence this harness could catch
+//! would be a real routing leak (a unit dropped or answered twice at a
+//! region boundary, stats landing outside the merge, order-dependent
+//! accounting).
+//!
+//! The deterministic regression tests at the bottom pin the boundary
+//! cases: pairs straddling partition cuts (resolved via the halo, and via
+//! the fallback when the span exceeds it), directed maps, and
+//! disconnected components — always against a whole-map single-shard
+//! oracle, asserting zero *new* `Unreachable` outcomes.
+
+use opaque::{
+    CachePolicy, ClientId, ClientOutcome, ClientRequest, DirectionsBackend, DirectionsServer,
+    ExecutionPolicy, ObfuscatedPathQuery, Partition, PartitionPolicy, PathQuery,
+    ProtectionSettings, RouteKind, ServiceBuilder, ServiceResponse, ShardedBackend,
+};
+use pathsearch::SharingPolicy;
+use proptest::prelude::*;
+use roadnet::{GraphBuilder, NodeId, Point, RoadNetwork};
+use std::sync::Arc;
+
+/// Random connected road map: a random spanning tree plus extra random
+/// edges (parallel roads allowed), positive weights.
+fn arb_map(max_nodes: usize) -> impl Strategy<Value = RoadNetwork> {
+    (4..max_nodes)
+        .prop_flat_map(|n| {
+            let coords = proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n);
+            let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+            let extra = proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..3.0), 0..n);
+            (coords, parents, extra)
+        })
+        .prop_map(|(coords, parents, extra)| {
+            let mut b = GraphBuilder::new();
+            for (x, y) in &coords {
+                b.add_node(Point::new(*x, *y)).expect("finite coords");
+            }
+            let n = coords.len();
+            let euclid = |a: usize, c: usize| {
+                Point::new(coords[a].0, coords[a].1).distance(Point::new(coords[c].0, coords[c].1))
+            };
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = (*p as usize) % child;
+                let w = euclid(parent, child).max(f64::EPSILON) * 1.1;
+                b.add_edge(NodeId::from_index(parent), NodeId::from_index(child), w)
+                    .expect("valid tree edge");
+            }
+            for (a, c, factor) in extra {
+                let (a, c) = (a as usize % n, c as usize % n);
+                if a != c {
+                    let w = euclid(a, c).max(f64::EPSILON) * factor;
+                    b.add_edge(NodeId::from_index(a), NodeId::from_index(c), w)
+                        .expect("valid extra edge");
+                }
+            }
+            b.build().expect("non-empty graph")
+        })
+}
+
+fn arb_batch(max_requests: usize) -> impl Strategy<Value = Vec<(u32, u32, u32, u32)>> {
+    proptest::collection::vec(
+        (proptest::num::u32::ANY, proptest::num::u32::ANY, 1u32..5, 1u32..5),
+        1..max_requests,
+    )
+}
+
+fn requests_on(map: &RoadNetwork, raw: &[(u32, u32, u32, u32)]) -> Vec<ClientRequest> {
+    let n = map.num_nodes() as u32;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(s, t, f_s, f_t))| {
+            ClientRequest::new(
+                ClientId(i as u32),
+                PathQuery::new(NodeId(s % n), NodeId(t % n)),
+                ProtectionSettings::new(f_s, f_t).expect("nonzero by construction"),
+            )
+        })
+        .collect()
+}
+
+fn build_service(
+    map: RoadNetwork,
+    seed: u64,
+    shards: usize,
+    partition: PartitionPolicy,
+    execution: ExecutionPolicy,
+    cache: CachePolicy,
+) -> opaque::OpaqueService<opaque::DefaultBackend> {
+    ServiceBuilder::new()
+        .map(map)
+        .seed(seed)
+        .shards(shards)
+        .partition_policy(partition)
+        .execution_policy(execution)
+        .cache_policy(cache)
+        .verify_results(true)
+        .build()
+        .expect("valid configuration")
+}
+
+/// The equivalence oracle: every observable piece of a batch's output.
+fn assert_identical(a: &ServiceResponse, b: &ServiceResponse, ctx: &str) {
+    assert_eq!(a.outcomes, b.outcomes, "{ctx}: per-client outcomes diverged");
+    assert_eq!(a.results.len(), b.results.len(), "{ctx}: delivery count diverged");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.client, y.client, "{ctx}: delivery order diverged");
+        assert_eq!(x.path, y.path, "{ctx}: delivered path diverged for {:?}", x.client);
+    }
+    let a_json = serde_json::to_string(&a.report).expect("report serializes");
+    let b_json = serde_json::to_string(&b.report).expect("report serializes");
+    assert_eq!(a_json, b_json, "{ctx}: BatchReport not byte-identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// RegionOwned ≡ RoundRobin ≡ Sequential, byte for byte, over
+    /// multi-batch streams (the obfuscator RNG advances, shard counters
+    /// and caches accumulate — equivalence must hold at every step).
+    #[test]
+    fn region_owned_is_byte_identical_to_round_robin_and_sequential(
+        map in arb_map(40),
+        raw_batch in arb_batch(10),
+        seed in proptest::num::u64::ANY,
+        halo in 0u32..4,
+        shards_pick in 2usize..6,
+        threads_pick in 1usize..9,
+        cache_pick in 0u8..2,
+    ) {
+        let shards = shards_pick.min(map.num_nodes());
+        let threads = threads_pick.clamp(1, shards);
+        let cache = match cache_pick {
+            0 => CachePolicy::Off,
+            _ => CachePolicy::Lru { trees: 4 },
+        };
+        let requests = requests_on(&map, &raw_batch);
+        let ctx = format!(
+            "n={} requests={} seed={seed} shards={shards} halo={halo} threads={threads} cache={cache:?}",
+            map.num_nodes(),
+            requests.len()
+        );
+
+        // The reference: round-robin, sequential, cache off — the
+        // historical pipeline every prior oracle is pinned to.
+        let mut reference = build_service(
+            map.clone(), seed, shards,
+            PartitionPolicy::RoundRobin, ExecutionPolicy::Sequential, CachePolicy::Off,
+        );
+        // Region-owned, sequential.
+        let mut region_seq = build_service(
+            map.clone(), seed, shards,
+            PartitionPolicy::RegionOwned { halo }, ExecutionPolicy::Sequential, cache,
+        );
+        // Region-owned, worker pool pulling from per-shard queues.
+        let mut region_pool = build_service(
+            map.clone(), seed, shards,
+            PartitionPolicy::RegionOwned { halo },
+            ExecutionPolicy::WorkerPool { threads }, cache,
+        );
+
+        for round in 0..2 {
+            let rctx = format!("{ctx} round={round}");
+            match (
+                reference.process_batch(&requests),
+                region_seq.process_batch(&requests),
+                region_pool.process_batch(&requests),
+            ) {
+                (Ok(a), Ok(b), Ok(c)) => {
+                    assert_identical(&a, &b, &format!("{rctx} [rr/seq vs region/seq]"));
+                    assert_identical(&a, &c, &format!("{rctx} [rr/seq vs region/pool]"));
+                }
+                (Err(a), Err(b), Err(c)) => {
+                    prop_assert_eq!(&a, &b, "{}: errors diverged", rctx);
+                    prop_assert_eq!(&a, &c, "{}: errors diverged", rctx);
+                }
+                (a, b, c) => prop_assert!(
+                    false,
+                    "{}: policies disagreed on failure: {:?} / {:?} / {:?}",
+                    rctx, a.is_ok(), b.is_ok(), c.is_ok()
+                ),
+            }
+        }
+        // Fleet-merged cumulative counters agree as well: the commutative
+        // merge erases placement entirely. The two physical cache
+        // counters are the one deliberate exception — they are off every
+        // report and *should* move with cache policy and placement (that
+        // is the whole payoff) — so normalize them before comparing
+        // across the cache-off reference.
+        let logical = |mut s: opaque::ServerStats| {
+            s.tree_cache_hits = 0;
+            s.tree_cache_misses = 0;
+            s
+        };
+        prop_assert_eq!(
+            logical(reference.backend().stats()),
+            logical(region_seq.backend().stats()),
+            "{}: fleet stats diverged (sequential)",
+            ctx
+        );
+        prop_assert_eq!(
+            logical(reference.backend().stats()),
+            logical(region_pool.backend().stats()),
+            "{}: fleet stats diverged (pool)",
+            ctx
+        );
+        // Same cache policy and same routing ⇒ even the physical cache
+        // counters agree between sequential and pooled execution.
+        prop_assert_eq!(
+            region_seq.backend().stats(),
+            region_pool.backend().stats(),
+            "{}: region fleets diverged across pool widths",
+            ctx
+        );
+    }
+
+    /// The gateway view of the same guarantee: the full `ServiceEvent`
+    /// stream — per-request deliveries with their hop-4 `ResultMsg`
+    /// payloads, unreachable/rejection events, trailing `BatchFlushed`
+    /// reports — serializes byte-identically across placement policies.
+    #[test]
+    fn gateway_event_streams_are_byte_identical_across_placement(
+        map in arb_map(30),
+        raw_batch in arb_batch(8),
+        seed in proptest::num::u64::ANY,
+        halo in 0u32..3,
+        max_batch in 1usize..5,
+    ) {
+        let shards = 3usize.min(map.num_nodes());
+        let drive = |partition: PartitionPolicy, execution: ExecutionPolicy| {
+            let mut svc = ServiceBuilder::new()
+                .map(map.clone())
+                .seed(seed)
+                .shards(shards)
+                .partition_policy(partition)
+                .execution_policy(execution)
+                .verify_results(true)
+                .batch_policy(opaque::BatchPolicy { max_batch, max_delay: 1e6 })
+                .build()
+                .expect("valid configuration");
+            let mut events = Vec::new();
+            for (i, request) in requests_on(&map, &raw_batch).into_iter().enumerate() {
+                let now = i as f64 * 0.25;
+                assert!(svc.submit(request, now).ticket().is_some(), "gateway admits the request");
+                events.extend(svc.tick(now).expect("pipeline succeeds"));
+            }
+            let mut clock = raw_batch.len() as f64 * 0.25;
+            while svc.pending() > 0 {
+                events.extend(svc.flush(clock).expect("pipeline succeeds"));
+                clock += 0.25;
+            }
+            serde_json::to_string(&events).expect("events serialize")
+        };
+
+        let ctx = format!("n={} seed={seed} halo={halo} max_batch={max_batch}", map.num_nodes());
+        let reference = drive(PartitionPolicy::RoundRobin, ExecutionPolicy::Sequential);
+        let region_seq =
+            drive(PartitionPolicy::RegionOwned { halo }, ExecutionPolicy::Sequential);
+        let region_pool = drive(
+            PartitionPolicy::RegionOwned { halo },
+            ExecutionPolicy::WorkerPool { threads: shards },
+        );
+        prop_assert_eq!(&reference, &region_seq, "{}: event stream diverged (sequential)", ctx);
+        prop_assert_eq!(&reference, &region_pool, "{}: event stream diverged (pool)", ctx);
+    }
+
+    /// Routing conservation at the backend boundary: every unit of a
+    /// batch is answered exactly once (`process_many` returns one slot
+    /// per unit in unit order, per-shard query counters sum to the batch
+    /// size) and each answer equals the whole-map single-server oracle.
+    #[test]
+    fn every_unit_is_answered_exactly_once_at_the_routing_boundary(
+        map in arb_map(30),
+        raw_units in proptest::collection::vec(
+            (proptest::num::u32::ANY, proptest::num::u32::ANY, 1u32..4, 1u32..4), 1..12),
+        halo in 0u32..3,
+        threads in 1usize..6,
+    ) {
+        let n = map.num_nodes() as u32;
+        let units: Vec<ObfuscatedPathQuery> = raw_units
+            .iter()
+            .map(|&(s, t, f_s, f_t)| {
+                let sources: Vec<NodeId> = (0..f_s).map(|k| NodeId((s.wrapping_add(k * 7)) % n)).collect();
+                let targets: Vec<NodeId> = (0..f_t).map(|k| NodeId((t.wrapping_add(k * 11)) % n)).collect();
+                ObfuscatedPathQuery::new(sources, targets)
+            })
+            .collect();
+
+        let shards = 4usize.min(map.num_nodes());
+        let shared = Arc::new(map.clone());
+        let fleet: Vec<DirectionsServer<Arc<RoadNetwork>>> = (0..shards)
+            .map(|_| DirectionsServer::new(Arc::clone(&shared), SharingPolicy::PerSource))
+            .collect();
+        let partition = Partition::build(&shared, shards, halo).expect("valid partition");
+        let mut routed = ShardedBackend::with_partition(fleet, partition).expect("fleet matches");
+
+        let mut oracle = DirectionsServer::new(Arc::clone(&shared), SharingPolicy::PerSource);
+        let expected: Vec<_> = units.iter().map(|q| oracle.process(q)).collect();
+
+        let threads = threads.clamp(1, shards);
+        let answers = routed.process_many(&units, ExecutionPolicy::WorkerPool { threads });
+        prop_assert_eq!(answers.len(), units.len(), "one answer per unit");
+        for (i, (a, e)) in answers.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(&a.paths, &e.paths, "unit {} diverged from the whole-map oracle", i);
+            prop_assert_eq!(&a.stats, &e.stats, "unit {} counters diverged", i);
+        }
+        // Conservation: the fleet served exactly the batch, no unit lost
+        // or duplicated across the per-shard queues.
+        let served: u64 = routed
+            .shards()
+            .iter()
+            .map(|s| DirectionsBackend::stats(s).obfuscated_queries)
+            .sum();
+        prop_assert_eq!(served, units.len() as u64);
+        prop_assert_eq!(routed.stats().obfuscated_queries, units.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Boundary-straddle regressions: deterministic cut-crossing cases against
+// a whole-map single-shard oracle.
+
+/// A 10-node path — every partition of it has an obvious cut.
+fn path_map(len: u32) -> RoadNetwork {
+    let mut b = GraphBuilder::new();
+    for i in 0..len {
+        b.add_node(Point::new(i as f64, 0.0)).unwrap();
+    }
+    for i in 0..len - 1 {
+        b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Batch the same requests through a region-owned fleet and a whole-map
+/// single-shard oracle; everything observable must match (in particular:
+/// zero unreachable outcomes the oracle does not also report).
+fn assert_matches_whole_map_oracle(map: &RoadNetwork, requests: &[ClientRequest], halo: u32) {
+    let shards = 4.min(map.num_nodes());
+    let mut region = build_service(
+        map.clone(),
+        7,
+        shards,
+        PartitionPolicy::RegionOwned { halo },
+        ExecutionPolicy::WorkerPool { threads: shards },
+        CachePolicy::Lru { trees: 8 },
+    );
+    let mut oracle = build_service(
+        map.clone(),
+        7,
+        1,
+        PartitionPolicy::RoundRobin,
+        ExecutionPolicy::Sequential,
+        CachePolicy::Off,
+    );
+    let a = region.process_batch(requests).expect("region-owned batch succeeds");
+    let b = oracle.process_batch(requests).expect("oracle batch succeeds");
+    assert_identical(&a, &b, &format!("halo={halo} vs whole-map oracle"));
+    let region_unreachable =
+        a.outcomes.iter().filter(|(_, o)| matches!(o, ClientOutcome::Unreachable)).count();
+    let oracle_unreachable =
+        b.outcomes.iter().filter(|(_, o)| matches!(o, ClientOutcome::Unreachable)).count();
+    assert_eq!(
+        region_unreachable, oracle_unreachable,
+        "partitioning must never create a new Unreachable"
+    );
+}
+
+#[test]
+fn cut_straddling_pairs_resolve_via_the_halo() {
+    let map = path_map(16);
+    // The service's internal partition is deterministic, so a fresh build
+    // with the same parameters reproduces it exactly — use it to find the
+    // cuts and to classify each pair's routing.
+    let partition = Partition::build(&map, 4, 1).unwrap();
+    let cuts: Vec<u32> = (0..15)
+        .filter(|&i| partition.owner_of(NodeId(i)) != partition.owner_of(NodeId(i + 1)))
+        .collect();
+    assert!(!cuts.is_empty(), "four regions on a path must have cuts");
+    let mut kinds = Vec::new();
+    let mut requests = Vec::new();
+    for (i, &cut) in cuts.iter().enumerate() {
+        // One-hop straddle: both ends inside a 1-hop halo of the cut.
+        let q = ObfuscatedPathQuery::new(vec![NodeId(cut)], vec![NodeId(cut + 1)]);
+        kinds.push(partition.route_explain(&q).1);
+        requests.push(ClientRequest::new(
+            ClientId(i as u32),
+            PathQuery::new(NodeId(cut), NodeId(cut + 1)),
+            ProtectionSettings::new(2, 2).unwrap(),
+        ));
+    }
+    assert!(
+        kinds.iter().all(|k| matches!(k, RouteKind::Halo | RouteKind::Owner)),
+        "one-hop straddles must resolve without the fallback: {kinds:?}"
+    );
+    assert_matches_whole_map_oracle(&map, &requests, 1);
+}
+
+#[test]
+fn spans_exceeding_the_halo_use_the_fallback_and_stay_answerable() {
+    let map = path_map(16);
+    let partition = Partition::build(&map, 4, 1).unwrap();
+    // End to end across all four regions: no 1-hop coverage spans this.
+    let q = ObfuscatedPathQuery::new(vec![NodeId(0), NodeId(1)], vec![NodeId(15)]);
+    let (shard, kind) = partition.route_explain(&q);
+    assert_eq!(kind, RouteKind::Fallback, "a whole-path span exceeds any 1-hop halo");
+    assert!(shard < 4);
+    let requests = vec![
+        ClientRequest::new(
+            ClientId(0),
+            PathQuery::new(NodeId(0), NodeId(15)),
+            ProtectionSettings::new(2, 1).unwrap(),
+        ),
+        ClientRequest::new(
+            ClientId(1),
+            PathQuery::new(NodeId(15), NodeId(0)),
+            ProtectionSettings::new(1, 2).unwrap(),
+        ),
+    ];
+    assert_matches_whole_map_oracle(&map, &requests, 1);
+    // And a zero-hop halo forces even adjacent straddles through the
+    // fallback — still answerable, still oracle-identical.
+    assert_matches_whole_map_oracle(&map, &requests, 0);
+}
+
+#[test]
+fn directed_maps_stay_oracle_identical_under_region_routing() {
+    // A one-way avenue ring with two-way side streets: asymmetric
+    // reachability, so directed sweeps cross region cuts in one
+    // direction only.
+    let mut b = GraphBuilder::directed();
+    for i in 0..12 {
+        b.add_node(Point::new((i % 6) as f64, (i / 6) as f64)).unwrap();
+    }
+    for i in 0..6u32 {
+        b.add_edge(NodeId(i), NodeId((i + 1) % 6), 1.0).unwrap(); // one-way ring
+        let side = i + 6;
+        b.add_edge(NodeId(i), NodeId(side), 1.0).unwrap(); // out to the side street
+        b.add_edge(NodeId(side), NodeId(i), 1.0).unwrap(); // and back
+    }
+    let map = b.build().unwrap();
+    let requests: Vec<ClientRequest> = (0..12u32)
+        .map(|i| {
+            ClientRequest::new(
+                ClientId(i),
+                PathQuery::new(NodeId(i % 12), NodeId((i * 5 + 3) % 12)),
+                ProtectionSettings::new(2, 2).unwrap(),
+            )
+        })
+        .collect();
+    for halo in [0, 1, 2] {
+        assert_matches_whole_map_oracle(&map, &requests, halo);
+    }
+}
+
+#[test]
+fn disconnected_components_add_no_new_unreachable_outcomes() {
+    // Two disjoint paths: cross-component pairs are unreachable on the
+    // whole map; partitioning must report exactly the same set, never
+    // more (a unit routed "to the wrong island" still searches the whole
+    // map, so only true disconnection shows through).
+    let mut b = GraphBuilder::new();
+    for i in 0..10 {
+        b.add_node(Point::new(i as f64, 0.0)).unwrap();
+    }
+    for i in 0..4u32 {
+        b.add_edge(NodeId(i), NodeId(i + 1), 1.0).unwrap();
+        b.add_edge(NodeId(i + 5), NodeId(i + 6), 1.0).unwrap();
+    }
+    let map = b.build().unwrap();
+    let mut requests = Vec::new();
+    for (i, (s, t)) in [(0u32, 4u32), (5, 9), (0, 9), (7, 2), (3, 3), (8, 1)].iter().enumerate() {
+        requests.push(ClientRequest::new(
+            ClientId(i as u32),
+            PathQuery::new(NodeId(*s), NodeId(*t)),
+            ProtectionSettings::new(2, 2).unwrap(),
+        ));
+    }
+    for halo in [0, 1, 3] {
+        assert_matches_whole_map_oracle(&map, &requests, halo);
+    }
+}

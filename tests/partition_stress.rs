@@ -1,0 +1,137 @@
+//! Nightly-scale stress of region-owned placement: a 10 000-query
+//! hotspot workload pushed through 8 region-owned shards × 8 worker
+//! threads, racing the same stream through a round-robin fleet.
+//!
+//! `#[ignore]`d in quick runs (`cargo test`); CI's `test-threaded` job
+//! runs it explicitly with `--ignored`. What it guards:
+//!
+//! * **the locality payoff is real** — with per-shard LRU tree caches,
+//!   region-owned routing must end the run with a strictly higher
+//!   fleet-wide cache hit rate than round-robin on the identical stream
+//!   (round-robin re-learns every hotspot root on every shard; region
+//!   ownership grows it once);
+//! * **no lost or duplicated outcomes under concurrent routing** — every
+//!   batch yields exactly one [`ClientOutcome`] per request, in request
+//!   order, every delivered client exactly once, for both placements;
+//! * **placement is report-invisible at scale** — the two fleets' report
+//!   streams stay byte-identical across all 100 batches even while their
+//!   physical cache counters drift apart.
+
+use opaque::{
+    CachePolicy, ClientOutcome, DirectionsBackend, ExecutionPolicy, ObfuscationMode,
+    PartitionPolicy, ServiceBuilder,
+};
+use pathsearch::SharingPolicy;
+use roadnet::SpatialIndex;
+use roadnet::generators::{GridConfig, grid_network};
+use std::collections::HashSet;
+use workload::{ProtectionDistribution, QueryDistribution, WorkloadConfig, generate_requests};
+
+const SHARDS: usize = 8;
+const THREADS: usize = 8;
+const BATCHES: usize = 100;
+const BATCH_SIZE: usize = 100; // BATCHES × BATCH_SIZE = 10_000 queries
+
+#[test]
+#[ignore = "nightly stress: 10k hotspot queries, region-owned vs round-robin cache locality"]
+fn hotspot_locality_beats_round_robin_without_losing_outcomes() {
+    let g = grid_network(&GridConfig { width: 32, height: 32, seed: 0x9A27, ..Default::default() })
+        .expect("valid network");
+    let idx = SpatialIndex::build(&g);
+
+    let build = |partition: PartitionPolicy| {
+        ServiceBuilder::new()
+            .map(g.clone())
+            .seed(0x9A27)
+            .shards(SHARDS)
+            .partition_policy(partition)
+            .execution_policy(ExecutionPolicy::WorkerPool { threads: THREADS })
+            // Independent mode: one obfuscated unit per request, so the
+            // routing layer sees all 100 units of every batch. Auto
+            // sharing roots each unit's trees at its (hotspot-clustered)
+            // target side — the roots region routing clusters per shard.
+            .obfuscation_mode(ObfuscationMode::Independent)
+            .sharing_policy(SharingPolicy::Auto)
+            .cache_policy(CachePolicy::Lru { trees: 64 })
+            .build()
+            .expect("valid configuration")
+    };
+    let mut region = build(PartitionPolicy::RegionOwned { halo: 2 });
+    let mut round_robin = build(PartitionPolicy::RoundRobin);
+    assert!(region.backend().partition().is_some());
+
+    for batch_no in 0..BATCHES {
+        let requests = generate_requests(
+            &g,
+            &idx,
+            &WorkloadConfig {
+                num_requests: BATCH_SIZE,
+                // Few tight hotspots with skewed popularity: the
+                // cache-friendly workload the partition exists for.
+                queries: QueryDistribution::Hotspot { hotspots: 8, exponent: 1.0, spread: 0.005 },
+                protection: ProtectionDistribution::Fixed { f_s: 4, f_t: 1 },
+                seed: batch_no as u64,
+            },
+        );
+        let a = region.process_batch(&requests).expect("region batch succeeds");
+        let b = round_robin.process_batch(&requests).expect("round-robin batch succeeds");
+
+        // Conservation, independently for both placements: one outcome
+        // per request in request order, every delivery unique.
+        for (label, response) in [("region", &a), ("round-robin", &b)] {
+            assert_eq!(response.outcomes.len(), requests.len(), "{label} batch {batch_no}");
+            for (slot, (request, (client, _))) in
+                requests.iter().zip(&response.outcomes).enumerate()
+            {
+                assert_eq!(request.client, *client, "{label} batch {batch_no} slot {slot}");
+            }
+            let delivered =
+                response.outcomes.iter().filter(|(_, o)| *o == ClientOutcome::Delivered).count();
+            assert_eq!(
+                delivered,
+                response.results.len(),
+                "{label} batch {batch_no}: every Delivered outcome has exactly one result"
+            );
+            let unique: HashSet<_> = response.results.iter().map(|r| r.client).collect();
+            assert_eq!(
+                unique.len(),
+                response.results.len(),
+                "{label} batch {batch_no}: duplicate delivery"
+            );
+        }
+        // Placement stays report-invisible while the caches diverge.
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap(),
+            "batch {batch_no}: reports must stay byte-identical across placement"
+        );
+    }
+
+    // The payoff: same stream, same cache capacity, strictly better hit
+    // rate under region ownership. Round-robin shows every hotspot root
+    // to every shard (≈ SHARDS cold misses per root plus capacity churn);
+    // region routing shows each root to its owner.
+    let rate = |stats: opaque::ServerStats| {
+        let total = stats.tree_cache_hits + stats.tree_cache_misses;
+        assert!(total > 0, "cached fleets must have consulted their caches");
+        stats.tree_cache_hits as f64 / total as f64
+    };
+    let region_rate = rate(region.backend().stats());
+    let rr_rate = rate(round_robin.backend().stats());
+    assert!(
+        region_rate > rr_rate,
+        "region-owned hit rate {region_rate:.4} must strictly beat round-robin {rr_rate:.4}"
+    );
+
+    // Both fleets served every query; region routing actually used more
+    // than one shard (the partition spread the hotspots).
+    for (label, svc) in [("region", &region), ("round-robin", &round_robin)] {
+        assert_eq!(
+            svc.backend().stats().obfuscated_queries,
+            (BATCHES * BATCH_SIZE) as u64,
+            "{label}: every unit served exactly once"
+        );
+    }
+    let busy = region.backend().load_per_shard().iter().filter(|&&p| p > 0).count();
+    assert!(busy > 1, "hotspots all routed to one shard: {:?}", region.backend().load_per_shard());
+}
