@@ -9,6 +9,7 @@ pub mod e15_cache;
 pub mod e16_gateway;
 pub mod e17_netload;
 pub mod e18_partition;
+pub mod e19_livemap;
 pub mod e1_algorithms;
 pub mod e2_techniques;
 pub mod e3_breach;
@@ -23,9 +24,9 @@ use crate::setup::Scale;
 use crate::table::ExperimentTable;
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// Run one experiment by id.
@@ -49,6 +50,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
         "e16" => Some(e16_gateway::run(scale)),
         "e17" => Some(e17_netload::run(scale)),
         "e18" => Some(e18_partition::run(scale)),
+        "e19" => Some(e19_livemap::run(scale)),
         _ => None,
     }
 }

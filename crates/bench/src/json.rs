@@ -10,7 +10,8 @@
 //!   "e15": { "wall_ms": 12.5, "trees_grown": 48, "cache_hit_rate": 0.62,
 //!            "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0,
 //!            "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0,
-//!            "cache_hit_rate_region": 0.0, "cache_hit_rate_rr": 0.0 }
+//!            "cache_hit_rate_region": 0.0, "cache_hit_rate_rr": 0.0,
+//!            "churn_hit_rate_surgical": 0.0, "churn_hit_rate_dropall": 0.0 }
 //! }
 //! ```
 //!
@@ -57,6 +58,13 @@ pub struct PerfPoint {
     /// Tree-cache hit rate of the round-robin placement on the identical
     /// stream (0 when untracked).
     pub cache_hit_rate_rr: f64,
+    /// Tree-cache hit rate under rush-hour churn with surgical
+    /// `update_weights` invalidation (0 when the experiment has no churn
+    /// axis — only `e19` tracks it).
+    pub churn_hit_rate_surgical: f64,
+    /// Tree-cache hit rate of the drop-all `swap_map` refresh on the
+    /// identical churned stream (0 when untracked).
+    pub churn_hit_rate_dropall: f64,
 }
 
 impl PerfPoint {
@@ -77,6 +85,8 @@ impl PerfPoint {
             net_p999_ms: metric("net_p999_ms"),
             cache_hit_rate_region: metric("cache_hit_rate_region"),
             cache_hit_rate_rr: metric("cache_hit_rate_rr"),
+            churn_hit_rate_surgical: metric("churn_hit_rate_surgical"),
+            churn_hit_rate_dropall: metric("churn_hit_rate_dropall"),
         }
     }
 }
@@ -137,6 +147,14 @@ impl serde::Serialize for PerfTrajectory {
                                 "cache_hit_rate_rr".to_string(),
                                 serde::Value::Num(p.cache_hit_rate_rr),
                             ),
+                            (
+                                "churn_hit_rate_surgical".to_string(),
+                                serde::Value::Num(p.churn_hit_rate_surgical),
+                            ),
+                            (
+                                "churn_hit_rate_dropall".to_string(),
+                                serde::Value::Num(p.churn_hit_rate_dropall),
+                            ),
                         ]),
                     )
                 })
@@ -182,6 +200,8 @@ impl serde::Deserialize for PerfTrajectory {
                     net_p999_ms: optional("net_p999_ms")?,
                     cache_hit_rate_region: optional("cache_hit_rate_region")?,
                     cache_hit_rate_rr: optional("cache_hit_rate_rr")?,
+                    churn_hit_rate_surgical: optional("churn_hit_rate_surgical")?,
+                    churn_hit_rate_dropall: optional("churn_hit_rate_dropall")?,
                 })
             })
             .collect::<Result<Vec<_>, serde::DeError>>()?;
@@ -212,6 +232,7 @@ mod tests {
         assert_eq!((p.queue_wait_p50, p.queue_wait_p99, p.rejection_rate), (0.0, 0.0, 0.0));
         assert_eq!((p.net_p50_ms, p.net_p99_ms, p.net_p999_ms), (0.0, 0.0, 0.0));
         assert_eq!((p.cache_hit_rate_region, p.cache_hit_rate_rr), (0.0, 0.0));
+        assert_eq!((p.churn_hit_rate_surgical, p.churn_hit_rate_dropall), (0.0, 0.0));
 
         let bare = table_with("E13", &[]);
         let p = PerfPoint::from_table(&bare, 3.0);
@@ -236,6 +257,14 @@ mod tests {
             table_with("E18", &[("cache_hit_rate_region", 0.58), ("cache_hit_rate_rr", 0.26)]);
         let p = PerfPoint::from_table(&placement, 9.0);
         assert_eq!((p.cache_hit_rate_region, p.cache_hit_rate_rr), (0.58, 0.26));
+
+        // The churn pair flows through from e19's metrics.
+        let churn = table_with(
+            "E19",
+            &[("churn_hit_rate_surgical", 0.71), ("churn_hit_rate_dropall", 0.33)],
+        );
+        let p = PerfPoint::from_table(&churn, 8.0);
+        assert_eq!((p.churn_hit_rate_surgical, p.churn_hit_rate_dropall), (0.71, 0.33));
     }
 
     #[test]
@@ -268,6 +297,17 @@ mod tests {
         assert_eq!(traj.points[0].net_p99_ms, 9.5);
         assert_eq!(traj.points[0].cache_hit_rate_region, 0.0);
         assert_eq!(traj.points[0].cache_hit_rate_rr, 0.0);
+
+        // BENCH_7.json artifacts carry the placement pair but not the
+        // churn pair; those must parse too, with both churn rates zero.
+        let bench7 = r#"{ "e18": { "wall_ms": 9.0, "trees_grown": 0, "cache_hit_rate": 0.0,
+                          "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0,
+                          "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0,
+                          "cache_hit_rate_region": 0.58, "cache_hit_rate_rr": 0.26 } }"#;
+        let traj: PerfTrajectory = serde_json::from_str(bench7).unwrap();
+        assert_eq!(traj.points[0].cache_hit_rate_region, 0.58);
+        assert_eq!(traj.points[0].churn_hit_rate_surgical, 0.0);
+        assert_eq!(traj.points[0].churn_hit_rate_dropall, 0.0);
     }
 
     #[test]
@@ -287,6 +327,8 @@ mod tests {
                     net_p999_ms: 0.0,
                     cache_hit_rate_region: 0.0,
                     cache_hit_rate_rr: 0.0,
+                    churn_hit_rate_surgical: 0.0,
+                    churn_hit_rate_dropall: 0.0,
                 },
                 PerfPoint {
                     experiment: "e15".to_string(),
@@ -301,6 +343,8 @@ mod tests {
                     net_p999_ms: 80.5,
                     cache_hit_rate_region: 0.58,
                     cache_hit_rate_rr: 0.26,
+                    churn_hit_rate_surgical: 0.7,
+                    churn_hit_rate_dropall: 0.3,
                 },
             ],
         };
@@ -330,6 +374,8 @@ mod tests {
             net_p999_ms: 0.0,
             cache_hit_rate_region: 0.0,
             cache_hit_rate_rr: 0.0,
+            churn_hit_rate_surgical: 0.0,
+            churn_hit_rate_dropall: 0.0,
         };
         traj.record(point(1.0));
         traj.record(point(2.0));

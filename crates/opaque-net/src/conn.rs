@@ -165,12 +165,18 @@ impl Connection {
 
     /// Frame and buffer one reply; terminal replies settle an in-flight
     /// request.
-    pub fn queue_reply(&mut self, reply: &WireReply) {
+    ///
+    /// # Errors
+    /// [`NetError::PayloadTooLarge`] when the serialized reply cannot be
+    /// framed at all. The reply is not buffered (the in-flight settle
+    /// still happens — the request *was* answered, delivery failed); the
+    /// caller decides whether to drain the connection.
+    pub fn queue_reply(&mut self, reply: &WireReply) -> Result<()> {
         if reply.is_terminal() {
             self.in_flight = self.in_flight.saturating_sub(1);
         }
         let payload = encode_message(reply);
-        encode_frame(&payload, &mut self.outbound);
+        encode_frame(&payload, &mut self.outbound)
     }
 
     /// Queue the fatal error notice and switch to Draining: pending
@@ -179,7 +185,9 @@ impl Connection {
         if self.draining || self.closed {
             return;
         }
-        self.queue_reply(&WireReply::Error { reason: error.to_string() });
+        // The notice is a short string and always frames; if it somehow
+        // could not, the connection still drains — just silently.
+        let _ = self.queue_reply(&WireReply::Error { reason: error.to_string() });
         self.draining = true;
     }
 
@@ -252,8 +260,8 @@ mod tests {
     #[test]
     fn frames_cross_the_socket() {
         let (mut conn, mut client) = pair();
-        client.write_all(&frame_vec(b"one")).unwrap();
-        client.write_all(&frame_vec(b"two")).unwrap();
+        client.write_all(&frame_vec(b"one").unwrap()).unwrap();
+        client.write_all(&frame_vec(b"two").unwrap()).unwrap();
         let frames = wait_frames(&mut conn);
         assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec()]);
         assert_eq!(conn.phase(), ConnPhase::Reading);
@@ -264,7 +272,7 @@ mod tests {
         let (mut conn, mut client) = pair();
         conn.note_submitted();
         assert_eq!(conn.phase(), ConnPhase::Submitted);
-        conn.queue_reply(&WireReply::Cancelled { ticket: Ticket(1), client: ClientId(0) });
+        conn.queue_reply(&WireReply::Cancelled { ticket: Ticket(1), client: ClientId(0) }).unwrap();
         assert_eq!(conn.in_flight(), 0);
         assert!(conn.wants_write());
         conn.flush().unwrap();
@@ -281,7 +289,7 @@ mod tests {
     fn backpressure_stops_reading_until_flushed() {
         let (mut conn, _client) = pair();
         conn.outbound_cap = 8;
-        conn.queue_reply(&WireReply::Cancelled { ticket: Ticket(1), client: ClientId(0) });
+        conn.queue_reply(&WireReply::Cancelled { ticket: Ticket(1), client: ClientId(0) }).unwrap();
         assert!(conn.pending_out() > 8);
         assert!(!conn.wants_read(), "a full outbound buffer must pause reads");
         assert_eq!(conn.phase(), ConnPhase::Writing);
@@ -315,7 +323,7 @@ mod tests {
     #[test]
     fn peer_eof_mid_frame_is_truncated() {
         let (mut conn, mut client) = pair();
-        let wire = frame_vec(b"chopped");
+        let wire = frame_vec(b"chopped").unwrap();
         client.write_all(&wire[..wire.len() - 3]).unwrap();
         drop(client);
         let mut result = Ok(Vec::new());

@@ -12,6 +12,12 @@ use std::fmt;
 /// A failure in the framed wire protocol or the sockets underneath it.
 #[derive(Debug)]
 pub enum NetError {
+    /// An outgoing payload was too large to describe in the u32 length
+    /// prefix at all; encoding it would have emitted a corrupt frame.
+    PayloadTooLarge {
+        /// The unencodable payload's length in bytes.
+        len: usize,
+    },
     /// The length prefix announced a frame beyond the configured cap; the
     /// payload was never allocated or read.
     FrameTooLarge {
@@ -42,6 +48,13 @@ pub enum NetError {
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            NetError::PayloadTooLarge { len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes cannot be framed (u32 length prefix caps payloads at {} bytes)",
+                    u32::MAX
+                )
+            }
             NetError::FrameTooLarge { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
             }
@@ -85,6 +98,8 @@ mod tests {
 
     #[test]
     fn errors_render_their_parameters() {
+        let e = NetError::PayloadTooLarge { len: 5_000_000_000 };
+        assert!(e.to_string().contains("5000000000"), "{e}");
         let e = NetError::FrameTooLarge { len: 2_000_000, max: 1_048_576 };
         assert!(e.to_string().contains("2000000"), "{e}");
         let e = NetError::BadVersion { got: 9 };

@@ -33,19 +33,36 @@ pub const HEADER_LEN: usize = 5;
 /// hostile peer's buffering bounded.
 pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
 
+/// The length-prefix check behind [`encode_frame`], on its own so the
+/// over-`u32::MAX` branch is testable without allocating a 4 GiB payload.
+fn payload_len_prefix(len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| NetError::PayloadTooLarge { len })
+}
+
 /// Append one framed payload to `out`.
-pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+///
+/// # Errors
+/// [`NetError::PayloadTooLarge`] when the payload cannot be described by
+/// the u32 length prefix — truncating the length would emit a frame whose
+/// header lies about its body, corrupting the stream for the peer. `out`
+/// is untouched on error.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    let len = payload_len_prefix(payload.len())?;
     out.reserve(HEADER_LEN + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
     out.push(PROTOCOL_VERSION);
     out.extend_from_slice(payload);
+    Ok(())
 }
 
 /// One framed payload as a fresh buffer.
-pub fn frame_vec(payload: &[u8]) -> Vec<u8> {
+///
+/// # Errors
+/// [`NetError::PayloadTooLarge`] — see [`encode_frame`].
+pub fn frame_vec(payload: &[u8]) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    encode_frame(payload, &mut out);
-    out
+    encode_frame(payload, &mut out)?;
+    Ok(out)
 }
 
 /// Incremental frame decoder over a byte stream.
@@ -110,17 +127,32 @@ impl FrameDecoder {
 
     /// Check the stream may end here: an error if a partial frame is
     /// still buffered (the peer closed mid-frame).
+    ///
+    /// # Errors
+    /// A complete-but-invalid buffered header surfaces the same
+    /// [`NetError::FrameTooLarge`] / [`NetError::BadVersion`] that
+    /// [`FrameDecoder::next_frame`] would — not a `TruncatedFrame` whose
+    /// `missing` count trusts a length prefix the decoder would have
+    /// refused. Only an honestly incomplete frame reports
+    /// [`NetError::TruncatedFrame`].
     pub fn finish(&self) -> Result<()> {
         let live = &self.buf[self.start..];
         if live.is_empty() {
             return Ok(());
         }
-        let missing = if live.len() < HEADER_LEN {
-            HEADER_LEN - live.len()
-        } else {
-            let len = u32::from_le_bytes([live[0], live[1], live[2], live[3]]) as usize;
-            (HEADER_LEN + len).saturating_sub(live.len())
-        };
+        if live.len() < HEADER_LEN {
+            return Err(NetError::TruncatedFrame { missing: HEADER_LEN - live.len() });
+        }
+        // Same validation order as next_frame: length cap, then version.
+        let len = u32::from_le_bytes([live[0], live[1], live[2], live[3]]);
+        if len > self.max_frame {
+            return Err(NetError::FrameTooLarge { len, max: self.max_frame });
+        }
+        let version = live[4];
+        if version != PROTOCOL_VERSION {
+            return Err(NetError::BadVersion { got: version });
+        }
+        let missing = (HEADER_LEN + len as usize).saturating_sub(live.len());
         Err(NetError::TruncatedFrame { missing })
     }
 }
@@ -143,7 +175,7 @@ mod tests {
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
         let payloads: Vec<&[u8]> = vec![b"hello", b"", b"world"];
         for p in &payloads {
-            dec.push(&frame_vec(p));
+            dec.push(&frame_vec(p).unwrap());
         }
         let got = drain(&mut dec).unwrap();
         assert_eq!(got, payloads);
@@ -154,7 +186,7 @@ mod tests {
     #[test]
     fn partial_frames_wait_for_more_bytes() {
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
-        let wire = frame_vec(b"split me");
+        let wire = frame_vec(b"split me").unwrap();
         // Byte-at-a-time delivery: only the final byte completes a frame.
         for (i, b) in wire.iter().enumerate() {
             dec.push(&[*b]);
@@ -185,7 +217,7 @@ mod tests {
     #[test]
     fn bad_version_byte_is_a_typed_error() {
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
-        let mut wire = frame_vec(b"x");
+        let mut wire = frame_vec(b"x").unwrap();
         wire[4] = 99;
         dec.push(&wire);
         match dec.next_frame() {
@@ -198,7 +230,7 @@ mod tests {
     fn truncated_stream_fails_finish_with_missing_count() {
         // Mid-payload close.
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
-        let wire = frame_vec(b"abcdef");
+        let wire = frame_vec(b"abcdef").unwrap();
         dec.push(&wire[..HEADER_LEN + 2]);
         assert!(dec.next_frame().unwrap().is_none());
         match dec.finish() {
@@ -220,9 +252,56 @@ mod tests {
     }
 
     #[test]
+    fn unencodable_payload_length_is_a_typed_error() {
+        // The length check is exercised directly — allocating a >4 GiB
+        // payload in a test is not reasonable, which is exactly why the
+        // old silent `as u32` truncation survived so long.
+        let too_big = u32::MAX as usize + 1;
+        match payload_len_prefix(too_big) {
+            Err(NetError::PayloadTooLarge { len }) => assert_eq!(len, too_big),
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+        assert_eq!(payload_len_prefix(u32::MAX as usize).unwrap(), u32::MAX);
+        assert_eq!(payload_len_prefix(0).unwrap(), 0);
+        // And the public entry points propagate it.
+        assert!(frame_vec(b"ok").is_ok());
+    }
+
+    #[test]
+    fn finish_surfaces_header_errors_not_bogus_truncation() {
+        // Over-cap header buffered at close: the old code trusted the
+        // hostile length prefix and reported a giant bogus `missing`.
+        let mut dec = FrameDecoder::new(16);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1_000_000u32.to_le_bytes());
+        wire.push(PROTOCOL_VERSION);
+        dec.push(&wire);
+        match dec.finish() {
+            Err(NetError::FrameTooLarge { len: 1_000_000, max: 16 }) => {}
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+
+        // Wrong-version header buffered at close.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        let mut wire = frame_vec(b"x").unwrap();
+        wire[4] = 99;
+        dec.push(&wire[..HEADER_LEN]);
+        match dec.finish() {
+            Err(NetError::BadVersion { got: 99 }) => {}
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+
+        // finish() and next_frame() agree on the same buffered bytes.
+        let mut by_next = FrameDecoder::new(16);
+        by_next.push(&1_000_000u32.to_le_bytes());
+        by_next.push(&[PROTOCOL_VERSION]);
+        assert!(matches!(by_next.next_frame(), Err(NetError::FrameTooLarge { .. })));
+    }
+
+    #[test]
     fn compaction_keeps_the_buffer_bounded() {
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
-        let wire = frame_vec(&[7u8; 128]);
+        let wire = frame_vec(&[7u8; 128]).unwrap();
         for _ in 0..1_000 {
             dec.push(&wire);
             assert_eq!(drain(&mut dec).unwrap().len(), 1);
@@ -241,7 +320,7 @@ mod tests {
         ) {
             let mut wire = Vec::new();
             for p in &payloads {
-                encode_frame(p, &mut wire);
+                encode_frame(p, &mut wire).unwrap();
             }
             let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
             let mut got = Vec::new();

@@ -379,8 +379,16 @@ impl NetServer {
                 self.stats.dropped_replies += 1;
                 return;
             }
-            conn.queue_reply(reply);
-            self.stats.replies_sent += 1;
+            match conn.queue_reply(reply) {
+                Ok(()) => self.stats.replies_sent += 1,
+                // An unframeable reply is a server-side failure: the
+                // client must not hang waiting, so the connection drains
+                // with the typed notice instead of silently eating it.
+                Err(err) => {
+                    self.stats.dropped_replies += 1;
+                    conn.begin_drain(&err);
+                }
+            }
         } else {
             self.stats.dropped_replies += 1;
         }
@@ -440,7 +448,7 @@ mod tests {
             },
             priority: Priority::Interactive,
         };
-        frame_vec(&encode_message(&msg))
+        frame_vec(&encode_message(&msg)).unwrap()
     }
 
     fn read_replies(stream: &mut TcpStream, n: usize) -> Vec<WireReply> {
@@ -511,7 +519,7 @@ mod tests {
             },
             priority: Priority::Interactive,
         };
-        client.write_all(&frame_vec(&encode_message(&msg))).unwrap();
+        client.write_all(&frame_vec(&encode_message(&msg)).unwrap()).unwrap();
         let reader = std::thread::spawn(move || read_replies(&mut client, 1));
         for _ in 0..3_000 {
             srv.poll_once().unwrap();
@@ -537,7 +545,7 @@ mod tests {
         let mut good = TcpStream::connect(addr).unwrap();
 
         // The bad client sends a frame with a hostile version byte.
-        let mut evil = frame_vec(b"{}");
+        let mut evil = frame_vec(b"{}").unwrap();
         evil[4] = 0xEE;
         bad.write_all(&evil).unwrap();
         let bad_reader = std::thread::spawn(move || {

@@ -143,6 +143,42 @@ impl Obfuscator {
         &self.map
     }
 
+    /// Apply live-traffic weight updates to the obfuscator's own map copy,
+    /// keeping it in lockstep with the serving side (result verification
+    /// re-walks returned paths against this map, so a drifted copy would
+    /// reject honest answers). Returns the edges whose weight actually
+    /// changed.
+    ///
+    /// Everything else the obfuscator owns is weight-independent and
+    /// survives untouched: the [`SpatialIndex`] is geometry-only, and the
+    /// consistency memo keys fake sets by the true query — reweighting
+    /// does not change which fakes keep a query plausible, and *re-rolling*
+    /// fakes on every traffic tick would reopen the intersection channel
+    /// the memo exists to close.
+    ///
+    /// # Errors
+    /// Propagates [`roadnet::RoadNetError`] from
+    /// [`RoadNetwork::update_weights`]; the map is untouched on error.
+    pub fn update_weights(
+        &mut self,
+        updates: &[(roadnet::EdgeId, f64)],
+    ) -> std::result::Result<Vec<roadnet::EdgeId>, roadnet::RoadNetError> {
+        self.map.update_weights(updates)
+    }
+
+    /// Replace the obfuscator's map copy outright — the topology-change
+    /// counterpart of [`Obfuscator::update_weights`], mirroring the
+    /// serving side's `swap_map`. The spatial index is rebuilt and the
+    /// consistency memo cleared: old fake sets may reference nodes that no
+    /// longer exist.
+    pub fn swap_map(&mut self, map: RoadNetwork) {
+        self.index = SpatialIndex::build(&map);
+        self.map = map;
+        if let Some(cache) = &mut self.consistency_cache {
+            cache.clear();
+        }
+    }
+
     /// The active fake-selection strategy.
     pub fn strategy(&self) -> FakeSelection {
         self.strategy

@@ -15,7 +15,7 @@ use pathsearch::{
     Goal, MsmdResult, Path, SearchArena, SearchStats, SharingPolicy, msmd_in, msmd_in_cached,
     run_in, run_in_cached,
 };
-use roadnet::GraphView;
+use roadnet::{EdgeId, GraphView, NodeId};
 
 /// Cumulative server-side load counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -194,6 +194,51 @@ impl<G: GraphView> DirectionsServer<G> {
         }
     }
 
+    /// Adopt a live-traffic weight update: install the reweighted view
+    /// (same topology — typically a fresh `Arc` of the fleet's shared
+    /// map) and surgically evict only the cached trees whose recorded
+    /// sweep touched one of the `affected` edges, each given by its
+    /// endpoint pair. The map epoch does **not** move: untouched traces
+    /// replay byte-identically on the reweighted map (see
+    /// [`pathsearch::SweepTrace::touches_any`]), so dropping them would
+    /// just re-cool the cache. Topology changes must keep going through
+    /// [`DirectionsServer::swap_map`].
+    pub fn apply_weight_update(&mut self, graph: G, affected: &[(NodeId, NodeId)]) {
+        self.graph = graph;
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate_edges(affected);
+        }
+    }
+}
+
+impl DirectionsServer<roadnet::RoadNetwork> {
+    /// Apply live-traffic weight updates to an *owned* map in place and
+    /// surgically invalidate the affected cached trees — the single-server
+    /// form of [`DirectionsServer::apply_weight_update`] (fleets sharing a
+    /// map via `Arc` go through `ShardedBackend::update_weights` instead).
+    /// Returns the edges whose weight actually changed.
+    ///
+    /// # Errors
+    /// Propagates [`roadnet::RoadNetError`] from
+    /// [`roadnet::RoadNetwork::update_weights`]; the map and cache are
+    /// untouched on error.
+    pub fn update_weights(&mut self, updates: &[(EdgeId, f64)]) -> roadnet::Result<Vec<EdgeId>> {
+        let changed = self.graph.update_weights(updates)?;
+        if let Some(cache) = &mut self.cache {
+            let endpoints: Vec<(NodeId, NodeId)> = changed
+                .iter()
+                .map(|&e| {
+                    let edge = self.graph.edge(e);
+                    (edge.a, edge.b)
+                })
+                .collect();
+            cache.invalidate_edges(&endpoints);
+        }
+        Ok(changed)
+    }
+}
+
+impl<G: GraphView> DirectionsServer<G> {
     /// Cumulative counters since construction (or the last reset).
     pub fn stats(&self) -> ServerStats {
         self.stats
@@ -510,6 +555,70 @@ mod tests {
         let expected = fresh.process(&q);
         assert_eq!(r.distance(0, 0), expected.distance(0, 0));
         assert_eq!(r.paths, expected.paths);
+    }
+
+    #[test]
+    fn weight_update_evicts_touched_trees_and_never_adopts_stale() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        let q = ObfuscatedPathQuery::new(vec![NodeId(0)], vec![NodeId(143)]);
+        let mut sv = DirectionsServer::new(g.clone(), SharingPolicy::PerSource)
+            .with_tree_cache(CachePolicy::Lru { trees: 4 });
+        let r0 = sv.process(&q);
+        sv.process(&q);
+        assert_eq!(sv.stats().tree_cache_hits, 1, "warm repeat hits");
+
+        // Congest an edge on the answered path: the cached tree touched
+        // it, so it must be evicted — adopting it would serve a stale
+        // distance.
+        let path = r0.paths[0][0].as_ref().unwrap();
+        let (pa, pb) = (path.nodes()[0], path.nodes()[1]);
+        let edge = g
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|(_, e)| (e.a == pa && e.b == pb) || (e.a == pb && e.b == pa))
+            .map(|(i, _)| EdgeId::from_index(i))
+            .unwrap();
+        let changed = sv.update_weights(&[(edge, 1000.0)]).unwrap();
+        assert_eq!(changed, vec![edge]);
+        assert_eq!(sv.map_epoch(), 0, "weight updates do not bump the epoch");
+
+        let r = sv.process(&q);
+        assert_eq!(sv.stats().tree_cache_hits, 1, "post-update query must miss, not adopt stale");
+        let mut fresh_map = g.clone();
+        fresh_map.update_weights(&[(edge, 1000.0)]).unwrap();
+        let mut fresh = DirectionsServer::new(fresh_map, SharingPolicy::PerSource);
+        let expected = fresh.process(&q);
+        assert_eq!(r.paths, expected.paths, "answer reflects the congested edge");
+        assert_eq!(r.stats, expected.stats);
+
+        // An update far from any cached sweep keeps the (re-stored) tree:
+        // a trace is only evicted when its sweep touched the edge. The
+        // re-grown tree above is complete (single-target sweeps can
+        // exhaust), so instead warm a *shallow* adjacent-pair tree and
+        // update an edge outside its settled prefix.
+        let mut sv = DirectionsServer::new(g.clone(), SharingPolicy::PerSource)
+            .with_tree_cache(CachePolicy::Lru { trees: 4 });
+        let near = ObfuscatedPathQuery::new(vec![NodeId(0)], vec![NodeId(1)]);
+        sv.process(&near);
+        let trace_len = {
+            let cache = sv.tree_cache().unwrap();
+            assert_eq!(cache.len(), 1);
+            cache.counters()
+        };
+        let far_edge = g
+            .edges()
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, e)| e.a.0 > 100 && e.b.0 > 100)
+            .map(|(i, _)| EdgeId::from_index(i))
+            .unwrap();
+        sv.update_weights(&[(far_edge, 999.0)]).unwrap();
+        sv.process(&near);
+        let (hits, _) = sv.tree_cache().unwrap().counters();
+        assert!(hits > trace_len.0, "untouched tree survived the far update and hit");
     }
 
     #[test]

@@ -200,6 +200,57 @@ impl<B: DirectionsBackend> ShardedBackend<B> {
     }
 }
 
+/// Live-map maintenance for the standard fleet shape — shards sharing one
+/// map through an `Arc` (what [`crate::ServiceBuilder`] assembles). Both
+/// entry points keep the one-map-per-fleet memory property: the map is
+/// cloned **once**, mutated, and the fresh `Arc` is distributed to every
+/// shard.
+impl ShardedBackend<DirectionsServer<std::sync::Arc<roadnet::RoadNetwork>>> {
+    /// Apply live-traffic weight updates fleet-wide. Each shard installs
+    /// the reweighted map and surgically evicts only the cached trees
+    /// whose recorded sweep touched a changed edge
+    /// ([`DirectionsServer::apply_weight_update`]) — region-owned shards
+    /// whose cached sweeps stay clear of the congestion keep their whole
+    /// cache. Returns the edges whose weight actually changed. The region
+    /// partition (if any) is untouched: it is built from hop distances,
+    /// which weight updates cannot move.
+    ///
+    /// # Errors
+    /// Propagates [`roadnet::RoadNetError`] from
+    /// [`roadnet::RoadNetwork::update_weights`]; no shard is touched on
+    /// error.
+    pub fn update_weights(
+        &mut self,
+        updates: &[(roadnet::EdgeId, f64)],
+    ) -> std::result::Result<Vec<roadnet::EdgeId>, roadnet::RoadNetError> {
+        let mut map = (**self.shards[0].graph()).clone();
+        let changed = map.update_weights(updates)?;
+        let endpoints: Vec<(roadnet::NodeId, roadnet::NodeId)> = changed
+            .iter()
+            .map(|&e| {
+                let edge = map.edge(e);
+                (edge.a, edge.b)
+            })
+            .collect();
+        let shared = std::sync::Arc::new(map);
+        for shard in &mut self.shards {
+            shard.apply_weight_update(std::sync::Arc::clone(&shared), &endpoints);
+        }
+        Ok(changed)
+    }
+
+    /// Replace the served map fleet-wide — the topology-change path. Every
+    /// shard bumps its epoch and drops its whole cache
+    /// ([`DirectionsServer::swap_map`]); use
+    /// [`ShardedBackend::update_weights`] for traffic.
+    pub fn swap_map(&mut self, map: roadnet::RoadNetwork) {
+        let shared = std::sync::Arc::new(map);
+        for shard in &mut self.shards {
+            shard.swap_map(std::sync::Arc::clone(&shared));
+        }
+    }
+}
+
 impl<B: DirectionsBackend + Send> DirectionsBackend for ShardedBackend<B> {
     fn process(&mut self, query: &ObfuscatedPathQuery) -> MsmdResult {
         let picked = match &self.router {
@@ -334,6 +385,48 @@ mod tests {
     fn empty_fleet_is_rejected() {
         let empty: Vec<DirectionsServer<roadnet::RoadNetwork>> = vec![];
         assert!(matches!(ShardedBackend::new(empty), Err(OpaqueError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn fleet_weight_update_shares_one_map_and_keeps_partition() {
+        use crate::service::cache::CachePolicy;
+        use std::sync::Arc;
+
+        let g = grid_network(&GridConfig { width: 10, height: 10, seed: 3, ..Default::default() })
+            .unwrap();
+        let shared = Arc::new(g.clone());
+        let shards: Vec<_> = (0..3)
+            .map(|_| {
+                DirectionsServer::new(Arc::clone(&shared), SharingPolicy::PerSource)
+                    .with_tree_cache(CachePolicy::Lru { trees: 4 })
+            })
+            .collect();
+        let partition = Partition::build(&g, 3, 1).unwrap();
+        let before_regions = partition.owners().to_vec();
+        let mut fleet = ShardedBackend::with_partition(shards, partition).unwrap();
+
+        let changed = fleet.update_weights(&[(roadnet::EdgeId(0), 123.0)]).unwrap();
+        assert_eq!(changed, vec![roadnet::EdgeId(0)]);
+        // One fresh map, shared by every shard — not three copies.
+        let first = fleet.shards()[0].graph();
+        assert_eq!(first.edge(roadnet::EdgeId(0)).weight, 123.0);
+        for shard in fleet.shards() {
+            assert!(Arc::ptr_eq(first, shard.graph()), "fleet must share one Arc");
+            assert_eq!(shard.map_epoch(), 0, "weight updates keep the epoch");
+        }
+        // The hop-distance partition is weight-independent and untouched.
+        assert_eq!(fleet.partition().unwrap().owners(), &before_regions[..]);
+
+        // A bad batch leaves every shard on the old map.
+        assert!(fleet.update_weights(&[(roadnet::EdgeId(0), f64::NAN)]).is_err());
+        assert_eq!(fleet.shards()[0].graph().edge(roadnet::EdgeId(0)).weight, 123.0);
+
+        // swap_map is the epoch-bumping topology path.
+        fleet.swap_map(g);
+        for shard in fleet.shards() {
+            assert_eq!(shard.map_epoch(), 1);
+            assert!(shard.tree_cache().unwrap().is_empty());
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!
 //! * **map_epoch** — bumped by [`crate::server::DirectionsServer::swap_map`];
 //!   entries of older epochs can never be returned (and the swap clears
-//!   them outright — the key is defence in depth);
+//!   them outright — the key is defence in depth); live-traffic weight
+//!   updates instead go through [`TreeCache::invalidate_edges`], which
+//!   keeps the epoch (the topology did not change) and surgically evicts
+//!   only the traces whose recorded sweep touched an updated edge;
 //! * **root** — the node the sweep grew from;
 //! * **direction** — the sweep's arc orientation
 //!   ([`pathsearch::SweepDirection`]; always `Forward` today, `Backward`
@@ -215,6 +218,20 @@ impl TreeCache {
         self.map_epoch = map_epoch;
     }
 
+    /// Surgical invalidation for a live-traffic weight update: evict only
+    /// the traces whose recorded sweep touched one of the updated edges
+    /// (each given by its endpoint pair — see
+    /// [`pathsearch::SweepTrace::touches_any`] for the soundness
+    /// argument). Untouched traces replay byte-identically on the updated
+    /// map, so they stay; the epoch does not move (the topology did not
+    /// change), and lifetime counters are untouched.
+    pub fn invalidate_edges(&mut self, endpoints: &[(NodeId, NodeId)]) {
+        if endpoints.is_empty() {
+            return;
+        }
+        self.entries.retain(|_, e| !e.trace.touches_any(endpoints));
+    }
+
     fn key(&self, root: NodeId, direction: SweepDirection) -> TreeKey {
         TreeKey {
             map_epoch: self.map_epoch,
@@ -371,5 +388,92 @@ mod tests {
     #[should_panic(expected = "at least one tree")]
     fn zero_capacity_panics() {
         let _ = TreeCache::new(0, SharingPolicy::PerSource);
+    }
+
+    #[test]
+    fn invalidate_edges_evicts_only_touched_traces() {
+        let g = grid();
+        let mut cache = TreeCache::new(4, SharingPolicy::PerSource);
+        // A complete trace (settles everything) and a shallow partial one.
+        let full = trace_from(&g, 0);
+        let mut arena = SearchArena::new();
+        let (_, partial) = run_in_traced(&mut arena, &g, NodeId(50), &Goal::Single(NodeId(51)));
+        assert!(!partial.is_complete());
+        cache.store(NodeId(0), SweepDirection::Forward, full);
+        cache.store(NodeId(50), SweepDirection::Forward, partial.clone());
+
+        // An edge both of whose endpoints lie outside the partial sweep's
+        // settled prefix: only the complete trace is touched.
+        let far_edge = g
+            .edges()
+            .iter()
+            .find(|e| partial.position(e.a).is_none() && partial.position(e.b).is_none())
+            .copied()
+            .expect("a shallow sweep leaves most edges unsettled");
+        cache.invalidate_edges(&[(far_edge.a, far_edge.b)]);
+        assert!(cache.lookup(NodeId(0), SweepDirection::Forward).is_none(), "full trace touched");
+        assert!(
+            cache.lookup(NodeId(50), SweepDirection::Forward).is_some(),
+            "untouched partial trace survives"
+        );
+
+        // Epoch never moves: this is a weight update, not a topology swap.
+        assert_eq!(cache.map_epoch(), 0);
+        // An empty update set is a no-op.
+        cache.invalidate_edges(&[]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn repeated_invalidate_restore_cycles_never_resurrect_entries() {
+        let g = grid();
+        let mut cache = TreeCache::new(4, SharingPolicy::PerSource);
+        let edge = g.edge(roadnet::EdgeId(0));
+        for round in 0..5u64 {
+            // Surgical cycle: store, evict via a touched edge, re-store.
+            cache.store(NodeId(0), SweepDirection::Forward, trace_from(&g, 0));
+            assert!(cache.lookup(NodeId(0), SweepDirection::Forward).is_some());
+            cache.invalidate_edges(&[(edge.a, edge.b)]);
+            assert!(
+                cache.lookup(NodeId(0), SweepDirection::Forward).is_none(),
+                "round {round}: evicted trace must not resurrect"
+            );
+            // Whole-map cycle interleaved: epoch bump also clears.
+            cache.store(NodeId(0), SweepDirection::Forward, trace_from(&g, 0));
+            cache.invalidate(round + 1);
+            assert!(cache.lookup(NodeId(0), SweepDirection::Forward).is_none());
+            assert_eq!(cache.map_epoch(), round + 1);
+        }
+        // The cache still works after the churn.
+        cache.store(NodeId(3), SweepDirection::Forward, trace_from(&g, 3));
+        assert!(cache.lookup(NodeId(3), SweepDirection::Forward).is_some());
+    }
+
+    #[test]
+    fn adjacent_tick_stamps_evict_deterministically() {
+        let g = grid();
+        let mut cache = TreeCache::new(2, SharingPolicy::PerSource);
+        // Two stores back-to-back: stamps are adjacent ticks (1 and 2).
+        cache.store(NodeId(0), SweepDirection::Forward, trace_from(&g, 0));
+        cache.store(NodeId(1), SweepDirection::Forward, trace_from(&g, 1));
+        // A third store at capacity must evict the *strictly* older stamp
+        // even though the two differ by a single tick.
+        cache.store(NodeId(2), SweepDirection::Forward, trace_from(&g, 2));
+        assert!(cache.lookup(NodeId(0), SweepDirection::Forward).is_none(), "oldest tick evicted");
+        assert!(cache.lookup(NodeId(1), SweepDirection::Forward).is_some());
+        assert!(cache.lookup(NodeId(2), SweepDirection::Forward).is_some());
+
+        // After surgical eviction the survivor's stamp still orders
+        // correctly against new entries: the lookups above re-stamped 1
+        // and 2, so storing two more evicts 1 (now the oldest).
+        let edge = g.edge(roadnet::EdgeId(0));
+        cache.invalidate_edges(&[(edge.a, edge.b)]);
+        assert!(cache.is_empty(), "complete traces touch every edge");
+        cache.store(NodeId(4), SweepDirection::Forward, trace_from(&g, 4));
+        cache.store(NodeId(5), SweepDirection::Forward, trace_from(&g, 5));
+        cache.store(NodeId(6), SweepDirection::Forward, trace_from(&g, 6));
+        assert!(cache.lookup(NodeId(4), SweepDirection::Forward).is_none());
+        assert!(cache.lookup(NodeId(5), SweepDirection::Forward).is_some());
+        assert!(cache.lookup(NodeId(6), SweepDirection::Forward).is_some());
     }
 }

@@ -175,6 +175,15 @@ impl<B: DirectionsBackend> OpaqueService<B> {
         self.mode
     }
 
+    /// Check the obfuscator's trust-domain map copy agrees edge-for-edge
+    /// with `serving` — the lockstep invariant behind result verification
+    /// (`verify_results` re-walks delivered paths against the obfuscator's
+    /// copy, so any drift would reject honest answers).
+    fn maps_in_lockstep(obfuscator: &Obfuscator, serving: &roadnet::RoadNetwork) -> bool {
+        obfuscator.map().num_nodes() == serving.num_nodes()
+            && obfuscator.map().edges() == serving.edges()
+    }
+
     /// Number of requests waiting in the admission queue (both lanes plus
     /// deferred duplicates).
     pub fn pending(&self) -> usize {
@@ -657,6 +666,49 @@ impl<B: DirectionsBackend> OpaqueService<B> {
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+/// Live-map maintenance for the standard deployment shape assembled by
+/// [`ServiceBuilder`] — a shard fleet sharing one map. The service owns
+/// *two* trust-domain map copies (the obfuscator's and the fleet's), and
+/// these entry points are the only place both move together; updating one
+/// side by hand would break the lockstep that `verify_results` depends on.
+impl OpaqueService<DefaultBackend> {
+    /// Apply live-traffic weight updates to both trust domains: the shard
+    /// fleet (which surgically invalidates only the cached trees touching
+    /// a changed edge — [`ShardedBackend::update_weights`]) and the
+    /// obfuscator's own copy (so result verification keeps accepting
+    /// honest answers). Returns the edges whose weight actually changed.
+    ///
+    /// This is the gateway entry point for the rush-hour regime: traffic
+    /// ticks every few seconds must not re-cool the whole fleet cache the
+    /// way a topology swap ([`OpaqueService::swap_map`]) deliberately
+    /// does.
+    ///
+    /// # Errors
+    /// Propagates [`roadnet::RoadNetError`] for an unknown edge id or
+    /// invalid weight; neither map is touched on error.
+    pub fn update_weights(
+        &mut self,
+        updates: &[(roadnet::EdgeId, f64)],
+    ) -> std::result::Result<Vec<roadnet::EdgeId>, roadnet::RoadNetError> {
+        let changed = self.backend.update_weights(updates)?;
+        // Same topology, same validation rules: a batch the fleet accepted
+        // cannot fail on the obfuscator's identical copy.
+        let also = self.obfuscator.update_weights(updates)?;
+        debug_assert_eq!(changed, also);
+        debug_assert!(Self::maps_in_lockstep(&self.obfuscator, self.backend.shards()[0].graph()));
+        Ok(changed)
+    }
+
+    /// Replace the map in both trust domains — the topology-change path.
+    /// The fleet bumps its epoch and drops every cached tree; the
+    /// obfuscator rebuilds its spatial index and clears its consistency
+    /// memo. Use [`OpaqueService::update_weights`] for traffic.
+    pub fn swap_map(&mut self, map: roadnet::RoadNetwork) {
+        self.obfuscator.swap_map(map.clone());
+        self.backend.swap_map(map);
     }
 }
 

@@ -161,6 +161,25 @@ impl SweepTrace {
             .map(|i| self.positions[i].1 as usize)
     }
 
+    /// Whether this recorded sweep depends on any of the given edges, each
+    /// described by its endpoint pair — the surgical-invalidation predicate
+    /// for live-traffic weight updates.
+    ///
+    /// A sweep is affected by an edge `(a, b)` iff it settled `a` or `b`.
+    /// Soundness: every arc a sweep relaxes leaves a settled node, so an
+    /// edge with both endpoints unsettled was never relaxed during the
+    /// recorded prefix, and every relaxation *into* `a` or `b` came over an
+    /// unchanged arc — a fresh sweep on the updated map replays the prefix
+    /// (labels and counter snapshots) byte-identically. For complete
+    /// traces, both endpoints unsettled means the edge is unreachable from
+    /// the root, and finite non-negative reweighting cannot change
+    /// reachability, so the exhausted sweep replays too. A trace that
+    /// returns `false` here therefore stays exact under the update; one
+    /// that returns `true` must be evicted before it can be adopted.
+    pub fn touches_any(&self, endpoints: &[(NodeId, NodeId)]) -> bool {
+        endpoints.iter().any(|&(a, b)| self.position(a).is_some() || self.position(b).is_some())
+    }
+
     /// Where a fresh sweep with `goal` would stop, if that point is
     /// provably inside this trace; `None` means the trace cannot answer
     /// the goal (some goal node lies beyond the settled radius of an
@@ -400,6 +419,32 @@ mod tests {
         let mut fresh_arena = SearchArena::new();
         let fresh = run_in(&mut fresh_arena, &g, NodeId(7), &goal);
         assert_eq!(trace.adopt_into(&mut arena, &goal), Some(fresh));
+    }
+
+    #[test]
+    fn touches_any_tracks_the_settled_set() {
+        let g = grid();
+        let mut arena = SearchArena::new();
+        let (_, partial) = run_in_traced(&mut arena, &g, NodeId(0), &Goal::Single(NodeId(30)));
+        assert!(!partial.is_complete());
+        let settled = NodeId(partial.events[partial.len() / 2].node);
+        let unsettled =
+            (0..g.num_nodes() as u32).map(NodeId).find(|n| partial.position(*n).is_none()).unwrap();
+        // One settled endpoint is enough; order of the pair is irrelevant.
+        assert!(partial.touches_any(&[(settled, unsettled)]));
+        assert!(partial.touches_any(&[(unsettled, settled)]));
+        // Both endpoints beyond the settled prefix: the sweep never relaxed
+        // the edge, so the trace is unaffected.
+        let unsettled2 = (0..g.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|n| partial.position(*n).is_none())
+            .nth(1)
+            .unwrap();
+        assert!(!partial.touches_any(&[(unsettled, unsettled2)]));
+        // Any touched pair in a batch flags the whole batch; an empty batch
+        // touches nothing.
+        assert!(partial.touches_any(&[(unsettled, unsettled2), (settled, settled)]));
+        assert!(!partial.touches_any(&[]));
     }
 
     #[test]

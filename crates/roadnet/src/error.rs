@@ -1,6 +1,6 @@
 //! Error types for road-network construction and I/O.
 
-use crate::ids::NodeId;
+use crate::ids::{EdgeId, NodeId};
 use std::fmt;
 
 /// Errors raised while building, loading, or querying a road network.
@@ -8,6 +8,8 @@ use std::fmt;
 pub enum RoadNetError {
     /// An edge referenced a node id outside `0..num_nodes`.
     NodeOutOfRange { node: NodeId, num_nodes: usize },
+    /// A weight update referenced an edge id outside `0..num_edges`.
+    EdgeOutOfRange { edge: EdgeId, num_edges: usize },
     /// An edge weight was negative, NaN, or infinite.
     InvalidWeight { from: NodeId, to: NodeId, weight: f64 },
     /// A self-loop `(n, n)` was supplied; road segments connect distinct
@@ -33,6 +35,9 @@ impl fmt::Display for RoadNetError {
         match self {
             RoadNetError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node {node} out of range (network has {num_nodes} nodes)")
+            }
+            RoadNetError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge {edge} out of range (network has {num_edges} edges)")
             }
             RoadNetError::InvalidWeight { from, to, weight } => {
                 write!(
@@ -88,6 +93,10 @@ mod tests {
         let e = RoadNetError::NodeOutOfRange { node: NodeId(9), num_nodes: 5 };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('5'));
+
+        let e = RoadNetError::EdgeOutOfRange { edge: EdgeId(7), num_edges: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
 
         let e = RoadNetError::InvalidWeight { from: NodeId(1), to: NodeId(2), weight: -1.0 };
         assert!(e.to_string().contains("-1"));

@@ -229,8 +229,10 @@ impl Default for GraphBuilder {
     }
 }
 
-/// An immutable road network in CSR form. Construct via [`GraphBuilder`] or
-/// one of the generators in [`crate::generators`].
+/// A road network in CSR form. Construct via [`GraphBuilder`] or one of the
+/// generators in [`crate::generators`]. The topology is fixed after
+/// construction; edge weights may change in place via
+/// [`RoadNetwork::update_weights`] (live-traffic updates).
 #[derive(Clone, Debug)]
 pub struct RoadNetwork {
     points: Vec<Point>,
@@ -407,6 +409,53 @@ impl RoadNetwork {
     pub fn total_edge_weight(&self) -> f64 {
         self.edges.iter().map(|e| e.weight).sum()
     }
+
+    /// Apply live-traffic weight updates in place, keeping the topology
+    /// fixed. Returns the edges whose weight actually changed, sorted and
+    /// deduplicated — the set a cache layer must invalidate against.
+    ///
+    /// Entries repeating an edge's current weight are accepted but not
+    /// reported: they cannot affect any cached search result. The whole
+    /// batch is validated before any weight is written, so an invalid entry
+    /// leaves the network untouched.
+    ///
+    /// # Errors
+    /// [`RoadNetError::EdgeOutOfRange`] for an unknown edge id,
+    /// [`RoadNetError::InvalidWeight`] for a negative or non-finite weight.
+    pub fn update_weights(&mut self, updates: &[(EdgeId, f64)]) -> Result<Vec<EdgeId>> {
+        for &(e, w) in updates {
+            if e.index() >= self.edges.len() {
+                return Err(RoadNetError::EdgeOutOfRange { edge: e, num_edges: self.edges.len() });
+            }
+            if !w.is_finite() || w < 0.0 {
+                let edge = self.edges[e.index()];
+                return Err(RoadNetError::InvalidWeight { from: edge.a, to: edge.b, weight: w });
+            }
+        }
+        let mut changed = Vec::new();
+        for &(e, w) in updates {
+            let rec = self.edges[e.index()];
+            if rec.weight == w {
+                continue;
+            }
+            self.edges[e.index()].weight = w;
+            // Both CSR arc ranges can carry the edge (one for directed
+            // networks); matching on the edge id covers either layout.
+            for node in [rec.a, rec.b] {
+                let lo = self.offsets[node.index()] as usize;
+                let hi = self.offsets[node.index() + 1] as usize;
+                for arc in &mut self.arcs[lo..hi] {
+                    if arc.edge == e {
+                        arc.weight = w;
+                    }
+                }
+            }
+            changed.push(e);
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        Ok(changed)
+    }
 }
 
 impl GraphView for RoadNetwork {
@@ -549,5 +598,67 @@ mod tests {
     fn total_edge_weight_sums() {
         let g = triangle();
         assert!((g.total_edge_weight() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_weights_rewrites_both_arc_directions() {
+        let mut g = triangle();
+        let changed = g.update_weights(&[(EdgeId(0), 5.0)]).unwrap();
+        assert_eq!(changed, vec![EdgeId(0)]);
+        assert_eq!(g.edge(EdgeId(0)).weight, 5.0);
+        let fwd = g.arcs(NodeId(0)).iter().find(|a| a.to == NodeId(1)).unwrap();
+        let rev = g.arcs(NodeId(1)).iter().find(|a| a.to == NodeId(0)).unwrap();
+        assert_eq!(fwd.weight, 5.0);
+        assert_eq!(rev.weight, 5.0);
+        // Untouched edges keep their weights.
+        assert_eq!(g.edge(EdgeId(1)).weight, 2.0);
+        assert!((g.total_edge_weight() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_weights_skips_noop_entries_and_dedups() {
+        let mut g = triangle();
+        // A no-op entry is accepted but not reported as changed; a repeated
+        // edge appears once in the affected set.
+        let changed =
+            g.update_weights(&[(EdgeId(1), 2.0), (EdgeId(2), 9.0), (EdgeId(2), 7.0)]).unwrap();
+        assert_eq!(changed, vec![EdgeId(2)]);
+        assert_eq!(g.edge(EdgeId(2)).weight, 7.0);
+        assert!(g.update_weights(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_weights_rejects_bad_entries_leaving_map_unchanged() {
+        let mut g = triangle();
+        let before: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        assert!(matches!(
+            g.update_weights(&[(EdgeId(0), 5.0), (EdgeId(99), 1.0)]),
+            Err(RoadNetError::EdgeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.update_weights(&[(EdgeId(0), 5.0), (EdgeId(1), -1.0)]),
+            Err(RoadNetError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.update_weights(&[(EdgeId(1), f64::INFINITY)]),
+            Err(RoadNetError::InvalidWeight { .. })
+        ));
+        // Validation happens before any write: edge 0 kept its old weight
+        // even though it preceded the bad entry in the batch.
+        let after: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn update_weights_on_directed_networks_touches_the_single_arc() {
+        let mut b = GraphBuilder::directed();
+        let n0 = b.add_node(Point::new(0.0, 0.0)).unwrap();
+        let n1 = b.add_node(Point::new(1.0, 0.0)).unwrap();
+        let e = b.add_edge(n0, n1, 3.0).unwrap();
+        let mut g = b.build().unwrap();
+        let changed = g.update_weights(&[(e, 8.0)]).unwrap();
+        assert_eq!(changed, vec![e]);
+        assert_eq!(g.arcs(n0)[0].weight, 8.0);
+        assert_eq!(g.degree(n1), 0);
     }
 }

@@ -40,9 +40,15 @@ impl LatencyHistogram {
 
     /// Record one sample. Negative or NaN samples count as zero (they
     /// only arise from clock skew in callers and must not poison a
-    /// million-sample run).
+    /// million-sample run). A `+∞` sample is a real tail observation — a
+    /// wait that never completed — and lands in the overflow bucket,
+    /// driving the observed maximum (and hence tail quantiles) to `+∞`;
+    /// lumping it in with the degenerate samples would *understate* the
+    /// tail, the one direction a latency report must never err.
     pub fn record(&mut self, value: f64) {
-        let v = if value.is_finite() && value > 0.0 { value } else { 0.0 };
+        let v = if value.is_nan() || value < 0.0 { 0.0 } else { value };
+        // Float→int casts saturate, so `+∞ / width` indexes past every
+        // finite bucket and overflows as required.
         let idx = (v / self.bucket_width) as usize;
         if idx < self.counts.len() {
             self.counts[idx] += 1;
@@ -167,6 +173,25 @@ mod tests {
         h.record(0.5);
         assert_eq!(h.count(), 3);
         assert_eq!(h.quantile(1.0), 1.0);
+    }
+
+    #[test]
+    fn positive_infinity_lands_in_overflow_not_bucket_zero() {
+        let mut h = LatencyHistogram::new(1.0, 4);
+        h.record(0.5);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 2);
+        // The infinite sample is the tail, not a zero: the top quantile
+        // reports it instead of pretending the slowest wait was sub-width.
+        assert_eq!(h.quantile(1.0), f64::INFINITY);
+        assert_eq!(h.max(), f64::INFINITY);
+        // The fast half of the distribution is unaffected.
+        assert_eq!(h.p50(), 1.0);
+        // Merging propagates the overflowed tail.
+        let mut other = LatencyHistogram::new(1.0, 4);
+        other.record(0.2);
+        other.merge(&h);
+        assert_eq!(other.quantile(1.0), f64::INFINITY);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   [`generate_requests`] — full request batches ([`generator`]);
 //! * [`population_weights`] — synthetic population-density surfaces used as
 //!   endpoint-plausibility priors by both the obfuscator's weighted
-//!   strategy and the background-knowledge adversary ([`plausibility`]).
+//!   strategy and the background-knowledge adversary ([`plausibility`]);
+//! * [`rush_hour_schedule`] — spatially localized live-traffic weight
+//!   churn for the dynamic-map experiments ([`churn`]).
 //!
 //! ## Quick example
 //!
@@ -27,6 +29,7 @@
 //! ```
 
 pub mod arrivals;
+pub mod churn;
 pub mod distributions;
 pub mod generator;
 pub mod histogram;
@@ -36,6 +39,7 @@ pub use arrivals::{
     ArrivalConfig, ArrivalProcess, TimedRequest, WindowBatch, arrival_stream, poisson_stream,
     window_batches,
 };
+pub use churn::{ChurnConfig, rush_hour_schedule};
 pub use distributions::{QueryDistribution, QuerySampler};
 pub use generator::{ProtectionDistribution, WorkloadConfig, generate_requests};
 pub use histogram::LatencyHistogram;

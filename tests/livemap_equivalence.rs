@@ -1,0 +1,282 @@
+//! The live-map guarantee, as a property: surgical invalidation is
+//! **invisible to every observable byte**. For random maps, random
+//! batches, random interleaved weight churn, random obfuscator seeds, any
+//! LRU capacity, either execution policy, and either placement policy, a
+//! `CachePolicy::Lru` service driven through `update_weights` produces
+//! byte-identical output to a `CachePolicy::Off` service recomputing
+//! every tree fresh on the same churned map — the same delivered paths,
+//! the same per-client outcomes, and the same serialized `BatchReport`.
+//!
+//! `update_weights` may only *evict* — never keep a trace whose recorded
+//! sweep crossed an updated edge (the stale tree a drop-all `swap_map`
+//! could never serve). Any divergence this harness could catch would be a
+//! real invalidation bug: a touched trace surviving the edge-set scan, a
+//! shard missing an update, or the obfuscator's trust-domain map falling
+//! out of lockstep with the fleet's (path verification re-walks delivered
+//! paths against the obfuscator's copy, so drift turns into rejections).
+//!
+//! The deterministic regression at the bottom pins the stale-adoption
+//! case on a ring where the weight update flips the shortest side: a
+//! warm cache must deliver the *new* detour, not the cached short way.
+
+use opaque::{
+    CachePolicy, ClientId, ClientRequest, DirectionsBackend, ExecutionPolicy, ObfuscationMode,
+    PartitionPolicy, PathQuery, ProtectionSettings, ServiceBuilder, ServiceResponse,
+};
+use pathsearch::SharingPolicy;
+use proptest::prelude::*;
+use roadnet::{EdgeId, GraphBuilder, NodeId, Point, RoadNetwork};
+
+/// Random connected road map: a random spanning tree plus extra random
+/// edges (parallel roads allowed), positive weights.
+fn arb_map(max_nodes: usize) -> impl Strategy<Value = RoadNetwork> {
+    (4..max_nodes)
+        .prop_flat_map(|n| {
+            let coords = proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n);
+            let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+            let extra = proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..3.0), 0..n);
+            (coords, parents, extra)
+        })
+        .prop_map(|(coords, parents, extra)| {
+            let mut b = GraphBuilder::new();
+            for (x, y) in &coords {
+                b.add_node(Point::new(*x, *y)).expect("finite coords");
+            }
+            let n = coords.len();
+            let euclid = |a: usize, c: usize| {
+                Point::new(coords[a].0, coords[a].1).distance(Point::new(coords[c].0, coords[c].1))
+            };
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = (*p as usize) % child;
+                let w = euclid(parent, child).max(f64::EPSILON) * 1.1;
+                b.add_edge(NodeId::from_index(parent), NodeId::from_index(child), w)
+                    .expect("valid tree edge");
+            }
+            for (a, c, factor) in extra {
+                let (a, c) = (a as usize % n, c as usize % n);
+                if a != c {
+                    let w = euclid(a, c).max(f64::EPSILON) * factor;
+                    b.add_edge(NodeId::from_index(a), NodeId::from_index(c), w)
+                        .expect("valid extra edge");
+                }
+            }
+            b.build().expect("non-empty graph")
+        })
+}
+
+/// A batch of requests with unique client ids; endpoints and protection
+/// demands are arbitrary (including infeasible ones — rejections must be
+/// identical across cache policies too).
+fn arb_batch(max_requests: usize) -> impl Strategy<Value = Vec<(u32, u32, u32, u32)>> {
+    proptest::collection::vec(
+        (proptest::num::u32::ANY, proptest::num::u32::ANY, 1u32..5, 1u32..5),
+        1..max_requests,
+    )
+}
+
+/// Interleaved churn: between consecutive batches, a round of raw
+/// `(edge, weight)` updates (edge picks are taken modulo the edge count;
+/// repeats and no-op rewrites are all legal traffic).
+fn arb_churn() -> impl Strategy<Value = Vec<Vec<(u32, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((proptest::num::u32::ANY, 0.5f64..5.0), 1..6),
+        1..4,
+    )
+}
+
+fn requests_on(map: &RoadNetwork, raw: &[(u32, u32, u32, u32)]) -> Vec<ClientRequest> {
+    let n = map.num_nodes() as u32;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(s, t, f_s, f_t))| {
+            ClientRequest::new(
+                ClientId(i as u32),
+                PathQuery::new(NodeId(s % n), NodeId(t % n)),
+                ProtectionSettings::new(f_s, f_t).expect("nonzero by construction"),
+            )
+        })
+        .collect()
+}
+
+fn updates_on(map: &RoadNetwork, raw: &[(u32, f64)]) -> Vec<(EdgeId, f64)> {
+    let m = map.edges().len() as u32;
+    raw.iter().map(|&(e, w)| (EdgeId(e % m), w)).collect()
+}
+
+fn build_service(
+    map: RoadNetwork,
+    seed: u64,
+    partition: PartitionPolicy,
+    shards: usize,
+    execution: ExecutionPolicy,
+    cache: CachePolicy,
+) -> opaque::OpaqueService<opaque::DefaultBackend> {
+    ServiceBuilder::new()
+        .map(map)
+        .seed(seed)
+        .shards(shards)
+        .obfuscation_mode(ObfuscationMode::Independent)
+        .sharing_policy(SharingPolicy::Auto)
+        .partition_policy(partition)
+        .execution_policy(execution)
+        .cache_policy(cache)
+        .verify_results(true)
+        .build()
+        .expect("valid configuration")
+}
+
+/// The equivalence oracle: every observable piece of a batch's output.
+fn assert_identical(a: &ServiceResponse, b: &ServiceResponse, ctx: &str) {
+    assert_eq!(a.outcomes, b.outcomes, "{ctx}: per-client outcomes diverged");
+    assert_eq!(a.results.len(), b.results.len(), "{ctx}: delivery count diverged");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.client, y.client, "{ctx}: delivery order diverged");
+        assert_eq!(x.path, y.path, "{ctx}: delivered path diverged for {:?}", x.client);
+    }
+    let a_json = serde_json::to_string(&a.report).expect("report serializes");
+    let b_json = serde_json::to_string(&b.report).expect("report serializes");
+    assert_eq!(a_json, b_json, "{ctx}: BatchReport not byte-identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cached_service_under_churn_is_byte_identical_to_fresh_recompute(
+        map in arb_map(30),
+        raw_batch in arb_batch(8),
+        raw_churn in arb_churn(),
+        seed in proptest::num::u64::ANY,
+        trees in 1usize..10,
+        exec_pick in 0u8..2,
+        part_pick in 0u8..2,
+    ) {
+        let execution = match exec_pick {
+            0 => ExecutionPolicy::Sequential,
+            _ => ExecutionPolicy::WorkerPool { threads: 3 },
+        };
+        let partition = match part_pick {
+            0 => PartitionPolicy::RoundRobin,
+            _ => PartitionPolicy::RegionOwned { halo: 1 },
+        };
+        let requests = requests_on(&map, &raw_batch);
+        // The reference recomputes every tree fresh on whatever the map
+        // currently is; the cached service must match it byte-for-byte
+        // through every interleaved weight update.
+        let mut off = build_service(
+            map.clone(), seed, PartitionPolicy::RoundRobin, 3,
+            ExecutionPolicy::Sequential, CachePolicy::Off,
+        );
+        let mut lru = build_service(
+            map.clone(), seed, partition, 3, execution, CachePolicy::Lru { trees },
+        );
+
+        // One batch before the first churn round (populating the caches),
+        // one after each round (re-adopting survivors on the new map).
+        for (round, raw) in raw_churn.iter().map(Some).chain([None]).enumerate() {
+            let ctx = format!(
+                "n={} requests={} seed={seed} trees={trees} execution={execution:?} \
+                 partition={partition:?} round={round}",
+                map.num_nodes(),
+                requests.len()
+            );
+            match (off.process_batch(&requests), lru.process_batch(&requests)) {
+                (Ok(a), Ok(b)) => assert_identical(&a, &b, &ctx),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{}: errors diverged", ctx),
+                (a, b) => prop_assert!(
+                    false,
+                    "{}: one service failed, the other did not: {:?} vs {:?}",
+                    ctx,
+                    a.map(|r| r.outcomes),
+                    b.map(|r| r.outcomes)
+                ),
+            }
+            if let Some(raw) = raw {
+                let updates = updates_on(&map, raw);
+                let changed_off = off.update_weights(&updates).expect("valid updates");
+                let changed_lru = lru.update_weights(&updates).expect("valid updates");
+                prop_assert_eq!(changed_off, changed_lru, "{}: changed-edge sets diverged", ctx);
+            }
+        }
+    }
+}
+
+/// Deterministic stale-adoption pin on a 12-node ring. With no fakes
+/// (protection 1/1) the delivered path is the true shortest path, and the
+/// ring gives the query exactly two candidate routes — so when churn
+/// flips which side is shorter, a stale cached tree would deliver the
+/// *old* side verbatim. The warm cache must deliver the new detour.
+#[test]
+fn a_trace_touching_an_updated_edge_is_never_adopted() {
+    const N: u32 = 12;
+    let mut b = GraphBuilder::new();
+    for i in 0..N {
+        let theta = f64::from(i) / f64::from(N) * std::f64::consts::TAU;
+        b.add_node(Point::new(theta.cos(), theta.sin())).unwrap();
+    }
+    for i in 0..N {
+        b.add_edge(NodeId(i), NodeId((i + 1) % N), 1.0).unwrap();
+    }
+    let map = b.build().unwrap();
+    let requests = vec![ClientRequest::new(
+        ClientId(0),
+        PathQuery::new(NodeId(0), NodeId(5)),
+        ProtectionSettings::new(1, 1).unwrap(),
+    )];
+    let mut lru = build_service(
+        map.clone(),
+        7,
+        PartitionPolicy::RoundRobin,
+        1,
+        ExecutionPolicy::Sequential,
+        CachePolicy::Lru { trees: 8 },
+    );
+    let mut off = build_service(
+        map.clone(),
+        7,
+        PartitionPolicy::RoundRobin,
+        1,
+        ExecutionPolicy::Sequential,
+        CachePolicy::Off,
+    );
+
+    let short_way: Vec<NodeId> = (0..=5).map(NodeId).collect();
+    let long_way: Vec<NodeId> = [0, 11, 10, 9, 8, 7, 6, 5].map(NodeId).to_vec();
+
+    // Rounds 1 and 2: the short side wins; round 2 runs on a warm cache.
+    for round in 0..2 {
+        let a = off.process_batch(&requests).unwrap();
+        let b = lru.process_batch(&requests).unwrap();
+        assert_identical(&a, &b, &format!("pre-churn round {round}"));
+        assert_eq!(b.results[0].path.nodes(), short_way.as_slice());
+    }
+    let warmed = lru.backend().stats();
+    assert!(warmed.tree_cache_hits > 0, "round 2 must adopt the cached tree");
+
+    // Rush hour on edge (2,3): the cached tree settled both endpoints, so
+    // it must be evicted — a stale adoption would re-deliver the short way.
+    let congested = map
+        .edges()
+        .iter()
+        .position(|e| (e.a, e.b) == (NodeId(2), NodeId(3)) || (e.a, e.b) == (NodeId(3), NodeId(2)))
+        .map(EdgeId::from_index)
+        .expect("ring contains edge (2,3)");
+    let updates = [(congested, 10.0)];
+    assert_eq!(off.update_weights(&updates).unwrap(), vec![congested]);
+    assert_eq!(lru.update_weights(&updates).unwrap(), vec![congested]);
+
+    let a = off.process_batch(&requests).unwrap();
+    let b = lru.process_batch(&requests).unwrap();
+    assert_identical(&a, &b, "post-churn round");
+    assert_eq!(
+        b.results[0].path.nodes(),
+        long_way.as_slice(),
+        "the warm cache must deliver the post-churn detour, not the cached short way"
+    );
+    let after = lru.backend().stats();
+    assert_eq!(
+        after.tree_cache_hits, warmed.tree_cache_hits,
+        "the touched tree was evicted, so the post-churn batch cannot hit"
+    );
+}
