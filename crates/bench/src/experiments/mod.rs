@@ -11,6 +11,7 @@ pub mod e17_netload;
 pub mod e18_partition;
 pub mod e19_livemap;
 pub mod e1_algorithms;
+pub mod e20_continent;
 pub mod e2_techniques;
 pub mod e3_breach;
 pub mod e4_cost_model;
@@ -24,9 +25,9 @@ use crate::setup::Scale;
 use crate::table::ExperimentTable;
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Run one experiment by id.
@@ -51,6 +52,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
         "e17" => Some(e17_netload::run(scale)),
         "e18" => Some(e18_partition::run(scale)),
         "e19" => Some(e19_livemap::run(scale)),
+        "e20" => Some(e20_continent::run(scale)),
         _ => None,
     }
 }

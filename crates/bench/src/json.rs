@@ -11,7 +11,8 @@
 //!            "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0,
 //!            "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0,
 //!            "cache_hit_rate_region": 0.0, "cache_hit_rate_rr": 0.0,
-//!            "churn_hit_rate_surgical": 0.0, "churn_hit_rate_dropall": 0.0 }
+//!            "churn_hit_rate_surgical": 0.0, "churn_hit_rate_dropall": 0.0,
+//!            "continent_settled_ratio": 0.0, "continent_ms_per_batch": 0.0 }
 //! }
 //! ```
 //!
@@ -65,6 +66,12 @@ pub struct PerfPoint {
     /// Tree-cache hit rate of the drop-all `swap_map` refresh on the
     /// identical churned stream (0 when untracked).
     pub churn_hit_rate_dropall: f64,
+    /// Nodes settled by the ALT-guided continent batch as a fraction of
+    /// the plain-Dijkstra batch (0 when the experiment has no
+    /// goal-direction axis — only `e20` tracks it).
+    pub continent_settled_ratio: f64,
+    /// Wall milliseconds per guided continent batch (0 when untracked).
+    pub continent_ms_per_batch: f64,
 }
 
 impl PerfPoint {
@@ -87,6 +94,8 @@ impl PerfPoint {
             cache_hit_rate_rr: metric("cache_hit_rate_rr"),
             churn_hit_rate_surgical: metric("churn_hit_rate_surgical"),
             churn_hit_rate_dropall: metric("churn_hit_rate_dropall"),
+            continent_settled_ratio: metric("continent_settled_ratio"),
+            continent_ms_per_batch: metric("continent_ms_per_batch"),
         }
     }
 }
@@ -155,6 +164,14 @@ impl serde::Serialize for PerfTrajectory {
                                 "churn_hit_rate_dropall".to_string(),
                                 serde::Value::Num(p.churn_hit_rate_dropall),
                             ),
+                            (
+                                "continent_settled_ratio".to_string(),
+                                serde::Value::Num(p.continent_settled_ratio),
+                            ),
+                            (
+                                "continent_ms_per_batch".to_string(),
+                                serde::Value::Num(p.continent_ms_per_batch),
+                            ),
                         ]),
                     )
                 })
@@ -202,6 +219,8 @@ impl serde::Deserialize for PerfTrajectory {
                     cache_hit_rate_rr: optional("cache_hit_rate_rr")?,
                     churn_hit_rate_surgical: optional("churn_hit_rate_surgical")?,
                     churn_hit_rate_dropall: optional("churn_hit_rate_dropall")?,
+                    continent_settled_ratio: optional("continent_settled_ratio")?,
+                    continent_ms_per_batch: optional("continent_ms_per_batch")?,
                 })
             })
             .collect::<Result<Vec<_>, serde::DeError>>()?;
@@ -265,6 +284,14 @@ mod tests {
         );
         let p = PerfPoint::from_table(&churn, 8.0);
         assert_eq!((p.churn_hit_rate_surgical, p.churn_hit_rate_dropall), (0.71, 0.33));
+
+        // The continent pair flows through from e20's metrics.
+        let continent = table_with(
+            "E20",
+            &[("continent_settled_ratio", 0.21), ("continent_ms_per_batch", 120.5)],
+        );
+        let p = PerfPoint::from_table(&continent, 500.0);
+        assert_eq!((p.continent_settled_ratio, p.continent_ms_per_batch), (0.21, 120.5));
     }
 
     #[test]
@@ -308,6 +335,18 @@ mod tests {
         assert_eq!(traj.points[0].cache_hit_rate_region, 0.58);
         assert_eq!(traj.points[0].churn_hit_rate_surgical, 0.0);
         assert_eq!(traj.points[0].churn_hit_rate_dropall, 0.0);
+
+        // BENCH_8.json artifacts carry the churn pair but not the
+        // continent pair; those must parse too, with both fields zero.
+        let bench8 = r#"{ "e19": { "wall_ms": 8.0, "trees_grown": 0, "cache_hit_rate": 0.0,
+                          "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0,
+                          "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0,
+                          "cache_hit_rate_region": 0.0, "cache_hit_rate_rr": 0.0,
+                          "churn_hit_rate_surgical": 0.71, "churn_hit_rate_dropall": 0.33 } }"#;
+        let traj: PerfTrajectory = serde_json::from_str(bench8).unwrap();
+        assert_eq!(traj.points[0].churn_hit_rate_surgical, 0.71);
+        assert_eq!(traj.points[0].continent_settled_ratio, 0.0);
+        assert_eq!(traj.points[0].continent_ms_per_batch, 0.0);
     }
 
     #[test]
@@ -329,6 +368,8 @@ mod tests {
                     cache_hit_rate_rr: 0.0,
                     churn_hit_rate_surgical: 0.0,
                     churn_hit_rate_dropall: 0.0,
+                    continent_settled_ratio: 0.0,
+                    continent_ms_per_batch: 0.0,
                 },
                 PerfPoint {
                     experiment: "e15".to_string(),
@@ -345,6 +386,8 @@ mod tests {
                     cache_hit_rate_rr: 0.26,
                     churn_hit_rate_surgical: 0.7,
                     churn_hit_rate_dropall: 0.3,
+                    continent_settled_ratio: 0.2,
+                    continent_ms_per_batch: 150.0,
                 },
             ],
         };
@@ -376,6 +419,8 @@ mod tests {
             cache_hit_rate_rr: 0.0,
             churn_hit_rate_surgical: 0.0,
             churn_hit_rate_dropall: 0.0,
+            continent_settled_ratio: 0.0,
+            continent_ms_per_batch: 0.0,
         };
         traj.record(point(1.0));
         traj.record(point(2.0));

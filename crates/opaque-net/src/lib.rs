@@ -18,6 +18,8 @@
 //! layering: the wire path's [`opaque::BatchReport`] bytes are
 //! identical to the in-process gateway's for the same requests.
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod conn;
 pub mod error;

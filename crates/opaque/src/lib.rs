@@ -125,6 +125,6 @@ pub use server::{DirectionsServer, ServerStats};
 pub use service::{
     AdmissionPolicy, BatchPolicy, BatchReport, Batcher, CachePolicy, ClientOutcome, DefaultBackend,
     DirectionsBackend, DrainedBatch, ExecutionPolicy, ExpiredRequest, OpaqueService, Partition,
-    PartitionPolicy, Priority, RejectReason, RouteKind, ServiceBuilder, ServiceConfig,
-    ServiceEvent, ServiceResponse, ShardedBackend, SubmitOutcome, Ticket, TreeCache,
+    PartitionPolicy, Priority, RejectReason, RouteKind, SearchHeuristic, ServiceBuilder,
+    ServiceConfig, ServiceEvent, ServiceResponse, ShardedBackend, SubmitOutcome, Ticket, TreeCache,
 };

@@ -12,10 +12,11 @@
 use crate::query::{ObfuscatedPathQuery, PathQuery};
 use crate::service::cache::{CachePolicy, TreeCache};
 use pathsearch::{
-    Goal, MsmdResult, Path, SearchArena, SearchStats, SharingPolicy, msmd_in, msmd_in_cached,
-    run_in, run_in_cached,
+    AltPreprocessing, Goal, MsmdResult, Path, SearchArena, SearchStats, SharingPolicy,
+    msmd_in_guided, msmd_in_guided_cached, run_in, run_in_cached,
 };
 use roadnet::{EdgeId, GraphView, NodeId};
+use std::sync::Arc;
 
 /// Cumulative server-side load counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -115,6 +116,9 @@ pub struct DirectionsServer<G> {
     /// so no tree recorded on an old map can survive a swap.
     map_epoch: u64,
     cache: Option<TreeCache>,
+    /// ALT landmark tables guiding obfuscated sweeps, shared across the
+    /// fleet behind an `Arc` (`None` = unguided, the historical regime).
+    heuristic: Option<Arc<AltPreprocessing>>,
 }
 
 impl<G: GraphView> DirectionsServer<G> {
@@ -136,6 +140,7 @@ impl<G: GraphView> DirectionsServer<G> {
             stats: ServerStats::default(),
             map_epoch: 0,
             cache: None,
+            heuristic: None,
         }
     }
 
@@ -156,6 +161,24 @@ impl<G: GraphView> DirectionsServer<G> {
             }
         };
         self
+    }
+
+    /// Attach (or remove) shared ALT landmark tables: obfuscated sweeps
+    /// become goal-directed, settling fewer nodes while returning the
+    /// same paths, costs, and logical counters as the unguided server
+    /// except for the work counters (`settled`/`relaxed`/heap traffic)
+    /// the pruning exists to shrink. Must have been built against this
+    /// server's map ([`SearchHeuristic::preprocess`](crate::SearchHeuristic::preprocess)
+    /// does both in [`crate::ServiceBuilder::build`]); landmark bounds
+    /// from another map would not be admissible.
+    pub fn with_heuristic(mut self, heuristic: Option<Arc<AltPreprocessing>>) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// The attached ALT landmark tables, if any.
+    pub fn heuristic(&self) -> Option<&Arc<AltPreprocessing>> {
+        self.heuristic.as_ref()
     }
 
     /// The sharing policy in use.
@@ -192,6 +215,10 @@ impl<G: GraphView> DirectionsServer<G> {
         if let Some(cache) = &mut self.cache {
             cache.invalidate(self.map_epoch);
         }
+        // Landmark distances were measured on the old map; their triangle
+        // bounds need not be admissible on the new one. Guidance resumes
+        // when the caller re-attaches tables built against the new map.
+        self.heuristic = None;
     }
 
     /// Adopt a live-traffic weight update: install the reweighted view
@@ -208,6 +235,10 @@ impl<G: GraphView> DirectionsServer<G> {
         if let Some(cache) = &mut self.cache {
             cache.invalidate_edges(affected);
         }
+        // A cheaper edge can break the old landmark tables' admissibility
+        // (cached trees are checked per edge; lower bounds cannot be).
+        // Drop guidance until tables for the reweighted map are attached.
+        self.heuristic = None;
     }
 }
 
@@ -233,6 +264,10 @@ impl DirectionsServer<roadnet::RoadNetwork> {
                 })
                 .collect();
             cache.invalidate_edges(&endpoints);
+        }
+        if !changed.is_empty() {
+            // Same admissibility reasoning as `apply_weight_update`.
+            self.heuristic = None;
         }
         Ok(changed)
     }
@@ -277,17 +312,21 @@ impl<G: GraphView> DirectionsServer<G> {
 
     /// Evaluate an obfuscated path query: all `|S|×|T|` pairs, via the MSMD
     /// processor — through the adopt-or-grow tree cache when one is
-    /// attached. The full candidate matrix goes back to the obfuscator.
+    /// attached, and goal-directed when ALT tables are attached
+    /// ([`DirectionsServer::with_heuristic`]). The full candidate matrix
+    /// goes back to the obfuscator.
     pub fn process(&mut self, q: &ObfuscatedPathQuery) -> MsmdResult {
+        let pre = self.heuristic.as_deref();
         let result = match &mut self.cache {
             Some(cache) => {
                 let (h0, m0) = cache.counters();
-                let result = msmd_in_cached(
+                let result = msmd_in_guided_cached(
                     &mut self.arena,
                     &self.graph,
                     q.sources(),
                     q.targets(),
                     self.policy,
+                    pre,
                     cache,
                 );
                 let (h1, m1) = cache.counters();
@@ -295,7 +334,14 @@ impl<G: GraphView> DirectionsServer<G> {
                 self.stats.tree_cache_misses += m1 - m0;
                 result
             }
-            None => msmd_in(&mut self.arena, &self.graph, q.sources(), q.targets(), self.policy),
+            None => msmd_in_guided(
+                &mut self.arena,
+                &self.graph,
+                q.sources(),
+                q.targets(),
+                self.policy,
+                pre,
+            ),
         };
         self.stats.obfuscated_queries += 1;
         self.stats.pairs_evaluated += q.num_pairs() as u64;
@@ -519,6 +565,64 @@ mod tests {
         let pq = PathQuery::new(NodeId(0), NodeId(143));
         assert_eq!(plain.process_plain(&pq), cached.process_plain(&pq));
         assert_eq!(cached.stats().tree_cache_hits, hits + 1, "plain query adopted a cached tree");
+    }
+
+    #[test]
+    fn guided_server_answers_identically_while_settling_no_more() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 9, ..Default::default() })
+            .unwrap();
+        let pre = Arc::new(AltPreprocessing::try_build(&g, 6).unwrap());
+        let mut plain = DirectionsServer::new(g.clone(), SharingPolicy::PerSource);
+        let mut guided = DirectionsServer::new(g.clone(), SharingPolicy::PerSource)
+            .with_heuristic(Some(Arc::clone(&pre)));
+        assert!(guided.heuristic().is_some());
+        let queries = [
+            ObfuscatedPathQuery::new(vec![NodeId(0), NodeId(11)], vec![NodeId(143), NodeId(132)]),
+            ObfuscatedPathQuery::new(vec![NodeId(60)], vec![NodeId(5), NodeId(139)]),
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let a = plain.process(q);
+            let b = guided.process(q);
+            assert_eq!(a.paths, b.paths, "query {i}: guided answers diverged");
+        }
+        let (p, gd) = (plain.stats(), guided.stats());
+        assert!(
+            gd.search.settled <= p.search.settled,
+            "{} > {}",
+            gd.search.settled,
+            p.search.settled
+        );
+        // Every non-work counter is identical.
+        assert_eq!(p.pairs_evaluated, gd.pairs_evaluated);
+        assert_eq!(p.paths_returned, gd.paths_returned);
+        assert_eq!(p.trees_grown, gd.trees_grown);
+
+        // Cached guided evaluation stays byte-identical to uncached guided.
+        let mut cached = DirectionsServer::new(g.clone(), SharingPolicy::PerSource)
+            .with_tree_cache(CachePolicy::Lru { trees: 8 })
+            .with_heuristic(Some(Arc::clone(&pre)));
+        let mut uncached = DirectionsServer::new(g.clone(), SharingPolicy::PerSource)
+            .with_heuristic(Some(Arc::clone(&pre)));
+        for _ in 0..2 {
+            for q in &queries {
+                let a = uncached.process(q);
+                let b = cached.process(q);
+                assert_eq!(a.paths, b.paths);
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+        assert!(cached.stats().tree_cache_hits > 0, "repeat round adopts guided traces");
+
+        // Map mutations drop the (now unprovably admissible) tables.
+        let mut sv = DirectionsServer::new(g.clone(), SharingPolicy::PerSource)
+            .with_heuristic(Some(Arc::clone(&pre)));
+        sv.swap_map(g.clone());
+        assert!(sv.heuristic().is_none(), "swap_map must drop the heuristic");
+        let mut sv =
+            DirectionsServer::new(g.clone(), SharingPolicy::PerSource).with_heuristic(Some(pre));
+        let edge = EdgeId::from_index(0);
+        sv.update_weights(&[(edge, 0.5)]).unwrap();
+        assert!(sv.heuristic().is_none(), "weight updates must drop the heuristic");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::service::backend::{DirectionsBackend, ShardedBackend};
 use crate::service::batcher::{BatchPolicy, Batcher};
 use crate::service::cache::CachePolicy;
 use crate::service::gateway::AdmissionPolicy;
+use crate::service::heuristic::SearchHeuristic;
 use crate::service::parallel::ExecutionPolicy;
 use crate::service::partition::{Partition, PartitionPolicy};
 use pathsearch::{SearchArena, SharingPolicy};
@@ -71,6 +72,13 @@ pub struct ServiceConfig {
     /// Gateway admission policy (bounded queue depth, per-request
     /// deadline; see [`AdmissionPolicy`]).
     pub admission: AdmissionPolicy,
+    /// Goal-directed search for the backend sweeps:
+    /// [`SearchHeuristic::Alt`] builds one shared ALT landmark table at
+    /// [`ServiceBuilder::build`] and attaches it to every shard, pruning
+    /// settled nodes with answers and reports byte-identical to
+    /// [`SearchHeuristic::None`] (deserializes from absent/`null` as
+    /// `None`, so configs predating the field keep their meaning).
+    pub heuristic: SearchHeuristic,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +96,7 @@ impl Default for ServiceConfig {
             cache: CachePolicy::Off,
             batch: BatchPolicy::default(),
             admission: AdmissionPolicy::default(),
+            heuristic: SearchHeuristic::None,
         }
     }
 }
@@ -101,6 +110,7 @@ impl ServiceConfig {
         self.execution.validate()?;
         self.cache.validate()?;
         self.batch.validate()?;
+        self.heuristic.validate()?;
         self.admission.validate()
     }
 
@@ -231,6 +241,15 @@ impl ServiceBuilder {
         self
     }
 
+    /// Goal-directed search heuristic for the backend shard fleet.
+    /// [`SearchHeuristic::Alt`] requires a symmetric map with at least as
+    /// many nodes as landmarks (checked in [`ServiceBuilder::build`],
+    /// where the landmark tables are constructed).
+    pub fn search_heuristic(mut self, heuristic: SearchHeuristic) -> Self {
+        self.config.heuristic = heuristic;
+        self
+    }
+
     /// Admission-queue flush policy.
     pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
         self.config.batch = policy;
@@ -264,6 +283,10 @@ impl ServiceBuilder {
         // trees on first touch and reuse them from then on.
         let shared = Arc::new(map.clone());
         let nodes = shared.num_nodes();
+        // One landmark table for the whole fleet, too: ALT preprocessing
+        // is the expensive part (|landmarks| full sweeps), so shards share
+        // it the same way they share the map.
+        let heuristic = config.heuristic.preprocess(shared.as_ref())?;
         let servers: Vec<DirectionsServer<Arc<RoadNetwork>>> = (0..config.shards)
             .map(|_| {
                 DirectionsServer::with_arena(
@@ -272,6 +295,7 @@ impl ServiceBuilder {
                     SearchArena::preallocated(nodes, 1),
                 )
                 .with_tree_cache(config.cache)
+                .with_heuristic(heuristic.clone())
             })
             .collect();
         // Placement: region-owned fleets carry a deterministic partition
@@ -487,6 +511,113 @@ mod tests {
         assert_eq!(back, ServiceConfig::default());
         // Defaults stay round-robin (the historical placement).
         assert_eq!(ServiceConfig::default().partition, PartitionPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn config_round_trips_search_heuristics_and_legacy_json_still_parses() {
+        for heuristic in [SearchHeuristic::None, SearchHeuristic::Alt { landmarks: 8 }] {
+            let config = ServiceConfig { heuristic, ..Default::default() };
+            let json = serde_json::to_string(&config).unwrap();
+            if let SearchHeuristic::Alt { .. } = heuristic {
+                assert!(json.contains("Alt"), "{json}");
+                assert!(json.contains("landmarks"), "{json}");
+            } else {
+                assert!(json.contains("\"heuristic\":\"None\""), "{json}");
+            }
+            let back: ServiceConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, config, "{heuristic:?}");
+        }
+        // A config serialized before the heuristic field existed (no
+        // "heuristic" key at all) must still parse, as unguided.
+        let mut legacy = serde_json::to_string(&ServiceConfig::default()).unwrap();
+        legacy = legacy.replace(",\"heuristic\":\"None\"", "");
+        assert!(!legacy.contains("heuristic"), "{legacy}");
+        let back: ServiceConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, ServiceConfig::default());
+        // Defaults stay unguided (the historical behavior).
+        assert_eq!(ServiceConfig::default().heuristic, SearchHeuristic::None);
+    }
+
+    #[test]
+    fn build_shares_one_landmark_table_across_the_fleet() {
+        let svc = ServiceBuilder::new()
+            .map(map())
+            .shards(3)
+            .search_heuristic(SearchHeuristic::Alt { landmarks: 6 })
+            .build()
+            .unwrap();
+        let tables: Vec<&Arc<pathsearch::AltPreprocessing>> = svc
+            .backend()
+            .shards()
+            .iter()
+            .map(|s| s.heuristic().expect("every shard carries the tables"))
+            .collect();
+        assert_eq!(tables[0].landmarks().len(), 6);
+        for &t in &tables[1..] {
+            assert!(Arc::ptr_eq(tables[0], t), "one shared table, not per-shard copies");
+        }
+        // Unguided fleets carry none.
+        let svc = ServiceBuilder::new().map(map()).build().unwrap();
+        assert!(svc.backend().shards()[0].heuristic().is_none());
+    }
+
+    #[test]
+    fn build_rejects_unsatisfiable_heuristics() {
+        // Zero landmarks: rejected by config validation itself.
+        let err = ServiceBuilder::new()
+            .map(map())
+            .search_heuristic(SearchHeuristic::Alt { landmarks: 0 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("landmark")),
+            "{err}"
+        );
+        // More landmarks than the map has nodes: rejected at preprocess.
+        let err = ServiceBuilder::new()
+            .map(map())
+            .search_heuristic(SearchHeuristic::Alt { landmarks: 1000 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, OpaqueError::InvalidConfig { ref reason } if reason.contains("landmark")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn guided_service_serves_batches_identically_to_unguided() {
+        let reqs: Vec<ClientRequest> = (0..5)
+            .map(|i| {
+                ClientRequest::new(
+                    ClientId(i),
+                    PathQuery::new(NodeId(i * 13), NodeId(143 - i * 7)),
+                    ProtectionSettings::new(3, 3).unwrap(),
+                )
+            })
+            .collect();
+        let run = |heuristic| {
+            let mut svc = ServiceBuilder::new()
+                .map(map())
+                .seed(11)
+                .shards(2)
+                .search_heuristic(heuristic)
+                .verify_results(true)
+                .build()
+                .unwrap();
+            let resp = svc.process_batch(&reqs).unwrap();
+            let stats = svc.backend().stats();
+            (resp, stats)
+        };
+        let (plain, plain_stats) = run(SearchHeuristic::None);
+        let (guided, guided_stats) = run(SearchHeuristic::Alt { landmarks: 8 });
+        assert_eq!(plain.outcomes, guided.outcomes);
+        assert_eq!(plain.results.len(), guided.results.len());
+        for (a, b) in plain.results.iter().zip(&guided.results) {
+            assert_eq!(a.path, b.path, "guided delivery diverged");
+        }
+        assert!(guided_stats.search.settled <= plain_stats.search.settled);
+        assert_eq!(plain_stats.paths_returned, guided_stats.paths_returned);
     }
 
     #[test]

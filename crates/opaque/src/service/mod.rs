@@ -43,6 +43,7 @@ mod batcher;
 mod builder;
 pub mod cache;
 pub mod gateway;
+pub mod heuristic;
 pub mod parallel;
 pub mod partition;
 mod report;
@@ -52,6 +53,7 @@ pub use batcher::{BatchPolicy, Batcher, DrainedBatch, ExpiredRequest, Ticket};
 pub use builder::{DefaultBackend, ServiceBuilder, ServiceConfig};
 pub use cache::{CachePolicy, TreeCache};
 pub use gateway::{AdmissionPolicy, Priority, RejectReason, ServiceEvent, SubmitOutcome};
+pub use heuristic::SearchHeuristic;
 pub use parallel::ExecutionPolicy;
 pub use partition::{Partition, PartitionPolicy, RouteKind};
 pub use report::{BatchReport, ClientOutcome};

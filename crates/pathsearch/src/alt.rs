@@ -10,15 +10,65 @@
 //! gives the reproduction a second, stronger goal-directed baseline for
 //! what single-pair search can achieve against the MSMD sharing numbers.
 //!
-//! Landmarks are chosen by farthest-point ("avoid") selection. The
-//! preprocessing assumes a symmetric (undirected) network, which every
-//! `roadnet` generator guarantees.
+//! Landmarks are chosen by farthest-point ("avoid") selection with
+//! lowest-id tie-breaks (the same determinism idiom as
+//! `opaque::service::partition::Partition::build`). The preprocessing
+//! requires a **symmetric** (undirected) network — the triangle-inequality
+//! bound `|d(L,t) − d(L,n)|` uses one distance table per landmark in both
+//! roles, which is only sound when `d(L,·)` equals `d(·,L)`. Every
+//! `roadnet` generator produces symmetric networks; [`AltPreprocessing::try_build`]
+//! enforces the contract with a typed error for directed views.
+//!
+//! Beyond the single-pair [`alt`] search, the tables drive the obfuscated
+//! batch engines: [`AltPreprocessing::goal_potential`] folds a target set
+//! into per-landmark bounds so `π(n) = max_t lb(n, t)` evaluates in
+//! `O(|landmarks|)` per node, and [`AltPreprocessing::bi_potential`] forms
+//! the feasible pair `(pf, −pf)` the shared-frontier engine keys its
+//! bidirectional trees with. Both potentials are *consistent*
+//! (1-Lipschitz along edges), which is what lets the guided sweeps keep
+//! settled labels exact and replayable through `SweepTrace`.
 
 use crate::astar::astar_with;
 use crate::dijkstra::{Goal, Searcher};
 use crate::path::Path;
 use crate::stats::SearchStats;
 use roadnet::{GraphView, NodeId};
+
+/// Why ALT preprocessing refused a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AltError {
+    /// The view reports directed arcs; one table per landmark cannot serve
+    /// both `d(L,·)` and `d(·,L)` there.
+    DirectedGraph,
+    /// `num_landmarks` was zero.
+    ZeroLandmarks,
+    /// `num_landmarks` exceeds the node count.
+    TooManyLandmarks {
+        /// Landmarks requested.
+        requested: usize,
+        /// Nodes available.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for AltError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AltError::DirectedGraph => write!(
+                f,
+                "ALT preprocessing requires a symmetric (undirected) graph: \
+                 a single distance table per landmark is unsound when \
+                 d(L,n) and d(n,L) can differ"
+            ),
+            AltError::ZeroLandmarks => write!(f, "need at least one landmark"),
+            AltError::TooManyLandmarks { requested, nodes } => {
+                write!(f, "more landmarks than nodes ({requested} > {nodes})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AltError {}
 
 /// Precomputed landmark distance tables.
 #[derive(Clone, Debug)]
@@ -32,28 +82,59 @@ pub struct AltPreprocessing {
 impl AltPreprocessing {
     /// Select `num_landmarks` landmarks by farthest-point selection (first
     /// landmark = node 0's farthest reachable node, then iteratively the
-    /// node maximizing the minimum distance to the chosen set) and run one
-    /// full Dijkstra per landmark.
+    /// node maximizing the minimum distance to the chosen set; distance
+    /// ties break to the lowest node id) and run one full Dijkstra per
+    /// landmark.
     ///
     /// # Panics
-    /// Panics if `num_landmarks` is 0 or exceeds the node count.
+    /// Panics if `num_landmarks` is 0 or exceeds the node count. Use
+    /// [`Self::try_build`] for the non-panicking form, which additionally
+    /// rejects directed graphs with [`AltError::DirectedGraph`].
     pub fn build<G: GraphView>(g: &G, num_landmarks: usize) -> Self {
-        let n = g.num_nodes();
         assert!(num_landmarks >= 1, "need at least one landmark");
-        assert!(num_landmarks <= n, "more landmarks than nodes");
+        assert!(num_landmarks <= g.num_nodes(), "more landmarks than nodes");
+        Self::build_unchecked(g, num_landmarks)
+    }
+
+    /// [`Self::build`] with every precondition reported as a typed
+    /// [`AltError`] instead of a panic — including the symmetric-only
+    /// contract, which `build` (predating directed views reaching this
+    /// layer) leaves to the caller.
+    pub fn try_build<G: GraphView>(g: &G, num_landmarks: usize) -> Result<Self, AltError> {
+        if !g.is_symmetric() {
+            return Err(AltError::DirectedGraph);
+        }
+        if num_landmarks == 0 {
+            return Err(AltError::ZeroLandmarks);
+        }
+        if num_landmarks > g.num_nodes() {
+            return Err(AltError::TooManyLandmarks {
+                requested: num_landmarks,
+                nodes: g.num_nodes(),
+            });
+        }
+        Ok(Self::build_unchecked(g, num_landmarks))
+    }
+
+    fn build_unchecked<G: GraphView>(g: &G, num_landmarks: usize) -> Self {
+        let n = g.num_nodes();
         let mut searcher = Searcher::new();
 
         // Bootstrap: full tree from node 0, take the farthest reachable
-        // node as the first landmark (a graph periphery point).
+        // node as the first landmark (a graph periphery point). Ascending
+        // scan with a strict `>` keeps ties on the lowest id.
         searcher.run(g, NodeId(0), &Goal::AllNodes);
-        let first = (0..n)
-            .filter_map(|i| {
-                let node = NodeId::from_index(i);
-                searcher.distance(node).filter(|d| d.is_finite()).map(|d| (node, d))
-            })
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(node, _)| node)
-            .unwrap_or(NodeId(0));
+        let mut first = NodeId(0);
+        let mut first_d = f64::NEG_INFINITY;
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            if let Some(d) = searcher.distance(node).filter(|d| d.is_finite()) {
+                if d > first_d {
+                    first_d = d;
+                    first = node;
+                }
+            }
+        }
 
         let mut landmarks = Vec::with_capacity(num_landmarks);
         let mut dist: Vec<Vec<f64>> = Vec::with_capacity(num_landmarks);
@@ -71,12 +152,15 @@ impl AltPreprocessing {
                 }
             }
             dist.push(table);
-            // Next landmark: farthest from the chosen set (finite only).
-            current = (0..n)
-                .filter(|&i| min_dist[i].is_finite())
-                .max_by(|&a, &b| min_dist[a].total_cmp(&min_dist[b]))
-                .map(NodeId::from_index)
-                .unwrap_or(current);
+            // Next landmark: farthest from the chosen set (finite only,
+            // lowest id on ties).
+            let mut best_d = f64::NEG_INFINITY;
+            for (i, &d) in min_dist.iter().enumerate() {
+                if d.is_finite() && d > best_d {
+                    best_d = d;
+                    current = NodeId::from_index(i);
+                }
+            }
         }
         AltPreprocessing { landmarks, dist }
     }
@@ -109,6 +193,131 @@ impl AltPreprocessing {
     /// Memory footprint of the tables, in entries (nodes × landmarks).
     pub fn table_entries(&self) -> usize {
         self.dist.iter().map(Vec::len).sum()
+    }
+
+    /// Fold `targets` into a max-over-targets potential
+    /// `π(n) = max_t lb(n, t)`, evaluated in `O(|landmarks|)` per node:
+    /// for each landmark only the extremes `lo = min_t d(L,t)` and
+    /// `hi = max_t d(L,t)` over finite entries matter, because
+    /// `max_t |d(L,t) − d(L,n)| = max(hi − d(L,n), d(L,n) − lo)`.
+    ///
+    /// The result is admissible for *every* target in the set and
+    /// consistent (each landmark's term is 1-Lipschitz along edges of a
+    /// symmetric graph; a max of 1-Lipschitz functions is 1-Lipschitz), so
+    /// a sweep keyed by `dist + π` settles exact labels in every prefix —
+    /// the property the trace/adopt layer relies on.
+    ///
+    /// # Panics
+    /// Panics if a target is out of range for the preprocessed graph.
+    pub fn goal_potential(&self, targets: &[NodeId]) -> GoalPotential<'_> {
+        let bounds: Vec<(f64, f64)> = self
+            .dist
+            .iter()
+            .map(|table| {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &t in targets {
+                    let d = table[t.index()];
+                    if d.is_finite() {
+                        if d < lo {
+                            lo = d;
+                        }
+                        if d > hi {
+                            hi = d;
+                        }
+                    }
+                }
+                (lo, hi)
+            })
+            .collect();
+        GoalPotential {
+            pre: self,
+            params: PotentialParams { landmarks: self.landmarks.clone(), bounds },
+        }
+    }
+
+    /// The feasible potential *pair* for a bidirectional shared-frontier
+    /// sweep over `sources × targets`: forward trees are keyed by
+    /// `dist + pf(n)`, backward trees by `dist − pf(n)`, with
+    /// `pf = (π_T − π_S) / 2` (π_T toward the targets, π_S toward the
+    /// sources). The two tree-side potentials sum to zero, so forward and
+    /// backward reduced lengths add up to true path lengths and the
+    /// per-pair stopping rule `μ ≤ r_f + r_b` stays exact.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range for the preprocessed graph.
+    pub fn bi_potential(&self, sources: &[NodeId], targets: &[NodeId]) -> BiPotential<'_> {
+        BiPotential {
+            to_targets: self.goal_potential(targets),
+            to_sources: self.goal_potential(sources),
+        }
+    }
+}
+
+/// The parameters a [`GoalPotential`] was built from — the identity a
+/// cached [`crate::trace::SweepTrace`] carries so adoption can insist the
+/// stored sweep used *the same* heuristic (guided and plain sweeps from
+/// one root settle in different orders and must never alias).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PotentialParams {
+    /// The landmark set of the preprocessing the potential came from.
+    landmarks: Vec<NodeId>,
+    /// Per-landmark `(lo, hi)` extremes over the goal set's finite table
+    /// entries (`(+∞, −∞)` when no target is reachable from a landmark).
+    bounds: Vec<(f64, f64)>,
+}
+
+/// A max-over-targets ALT lower bound `π(n) = max_t lb(n, t)`, prepared by
+/// [`AltPreprocessing::goal_potential`] for one goal set and evaluated in
+/// `O(|landmarks|)` per node.
+#[derive(Clone, Debug)]
+pub struct GoalPotential<'a> {
+    pre: &'a AltPreprocessing,
+    params: PotentialParams,
+}
+
+impl GoalPotential<'_> {
+    /// Evaluate `π(n)`. Landmarks that cannot reach `n` (or reach no
+    /// target) contribute nothing — on the symmetric graphs the
+    /// preprocessing accepts, such landmarks lie in another component and
+    /// bound nothing anyway.
+    #[inline]
+    pub fn eval(&self, n: NodeId) -> f64 {
+        let mut best = 0.0f64;
+        for (table, &(lo, hi)) in self.pre.dist.iter().zip(&self.params.bounds) {
+            let d = table[n.index()];
+            if !d.is_finite() || !hi.is_finite() {
+                continue;
+            }
+            let bound = (hi - d).max(d - lo);
+            if bound > best {
+                best = bound;
+            }
+        }
+        best
+    }
+
+    /// The parameters identifying this potential (for trace adoption
+    /// checks).
+    pub fn params(&self) -> &PotentialParams {
+        &self.params
+    }
+}
+
+/// The `(pf, −pf)` potential pair for bidirectional shared-frontier
+/// sweeps — see [`AltPreprocessing::bi_potential`].
+#[derive(Clone, Debug)]
+pub struct BiPotential<'a> {
+    to_targets: GoalPotential<'a>,
+    to_sources: GoalPotential<'a>,
+}
+
+impl BiPotential<'_> {
+    /// The forward-tree potential `pf(n) = (π_T(n) − π_S(n)) / 2`.
+    /// Backward trees use its negation, applied by subtraction
+    /// (`dist − pf`) so the zero potential stays bitwise inert.
+    #[inline]
+    pub fn pf(&self, n: NodeId) -> f64 {
+        0.5 * (self.to_targets.eval(n) - self.to_sources.eval(n))
     }
 }
 
@@ -227,5 +436,112 @@ mod tests {
     fn zero_landmarks_panics() {
         let g = grid_network(&GridConfig { width: 4, height: 4, ..Default::default() }).unwrap();
         let _ = AltPreprocessing::build(&g, 0);
+    }
+
+    #[test]
+    fn try_build_rejects_directed_graphs_and_bad_counts() {
+        use roadnet::{GraphBuilder, Point};
+        let mut b = GraphBuilder::directed();
+        for i in 0..3 {
+            b.add_node(Point::new(i as f64, 0.0)).unwrap();
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), 5.0).unwrap();
+        let directed = b.build().unwrap();
+        assert_eq!(AltPreprocessing::try_build(&directed, 2), Err(AltError::DirectedGraph));
+
+        let g = grid_network(&GridConfig { width: 4, height: 4, ..Default::default() }).unwrap();
+        assert_eq!(AltPreprocessing::try_build(&g, 0), Err(AltError::ZeroLandmarks));
+        assert_eq!(
+            AltPreprocessing::try_build(&g, 17),
+            Err(AltError::TooManyLandmarks { requested: 17, nodes: 16 })
+        );
+        let pre = AltPreprocessing::try_build(&g, 3).unwrap();
+        assert_eq!(pre.landmarks().len(), 3);
+        // The error type renders something actionable.
+        assert!(AltError::DirectedGraph.to_string().contains("symmetric"));
+    }
+
+    impl PartialEq for AltPreprocessing {
+        fn eq(&self, other: &Self) -> bool {
+            self.landmarks == other.landmarks && self.dist == other.dist
+        }
+    }
+
+    #[test]
+    fn landmark_selection_is_deterministic() {
+        let g = NetworkClass::Geometric.generate(300, 11).unwrap();
+        let a = AltPreprocessing::build(&g, 5);
+        let b = AltPreprocessing::try_build(&g, 5).unwrap();
+        assert_eq!(a, b, "build and try_build must select identically");
+    }
+
+    #[test]
+    fn goal_potential_matches_max_over_targets() {
+        let g = grid_network(&GridConfig { width: 12, height: 12, seed: 4, ..Default::default() })
+            .unwrap();
+        let pre = AltPreprocessing::build(&g, 5);
+        let targets = [NodeId(143), NodeId(7), NodeId(60)];
+        let pot = pre.goal_potential(&targets);
+        for n in (0..144).step_by(5).map(NodeId) {
+            let explicit = targets.iter().map(|&t| pre.lower_bound(n, t)).fold(0.0f64, f64::max);
+            let folded = pot.eval(n);
+            assert!(
+                (explicit - folded).abs() < 1e-12,
+                "π({n}) folded {folded} vs explicit max {explicit}"
+            );
+        }
+    }
+
+    #[test]
+    fn goal_potential_is_consistent_along_edges() {
+        use roadnet::GraphView;
+        // |π(u) − π(v)| ≤ w(u,v) for every edge: the invariant that keeps
+        // guided sweeps settling exact labels.
+        let g = NetworkClass::Radial.generate(400, 9).unwrap();
+        let pre = AltPreprocessing::build(&g, 6);
+        let pot = pre.goal_potential(&[NodeId(3), NodeId(200)]);
+        for u in (0..g.num_nodes() as u32).map(NodeId) {
+            let pu = pot.eval(u);
+            g.for_each_arc(u, &mut |v, w| {
+                let pv = pot.eval(v);
+                assert!(
+                    (pu - pv).abs() <= w + 1e-9,
+                    "potential jump {} over edge ({u},{v}) of weight {w}",
+                    (pu - pv).abs()
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn bi_potential_pair_sums_to_zero_and_is_half_lipschitz() {
+        use roadnet::GraphView;
+        let g = grid_network(&GridConfig { width: 14, height: 14, seed: 6, ..Default::default() })
+            .unwrap();
+        let pre = AltPreprocessing::build(&g, 4);
+        let bi = pre.bi_potential(&[NodeId(0), NodeId(50)], &[NodeId(195), NodeId(100)]);
+        // pf and the backward potential −pf cancel by construction; check
+        // pf itself is (1/2+1/2)-Lipschitz so both keyed trees stay
+        // consistent: |pf(u) − pf(v)| ≤ w.
+        for u in (0..g.num_nodes() as u32).map(NodeId) {
+            let pu = bi.pf(u);
+            g.for_each_arc(u, &mut |v, w| {
+                assert!((pu - bi.pf(v)).abs() <= w + 1e-9);
+            });
+        }
+    }
+
+    #[test]
+    fn potential_params_distinguish_goal_sets() {
+        let g = grid_network(&GridConfig { width: 10, height: 10, seed: 8, ..Default::default() })
+            .unwrap();
+        let pre = AltPreprocessing::build(&g, 3);
+        let a = pre.goal_potential(&[NodeId(99)]);
+        let b = pre.goal_potential(&[NodeId(99)]);
+        let c = pre.goal_potential(&[NodeId(42)]);
+        assert_eq!(a.params(), b.params());
+        assert_ne!(a.params(), c.params());
     }
 }

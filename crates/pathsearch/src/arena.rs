@@ -31,10 +31,18 @@ pub(crate) const NIL: u32 = u32::MAX;
 /// Ordered so the globally *smallest* key pops first from a max-heap;
 /// ties break on `(tree, node)` for run-to-run determinism. Crate-internal
 /// like the raw heap operations that produce and consume it.
+///
+/// `key` and `dist` coincide for plain Dijkstra; a goal-directed sweep
+/// orders the heap by `key = dist ± potential(node)` while `dist` keeps the
+/// raw label the entry was pushed with. The ordering ignores `dist` on
+/// purpose: the potential is a pure function of `(tree, node)`, so within
+/// one slot key and dist determine each other.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct FrontierEntry {
-    /// Tentative distance of the label.
+    /// Heap priority (raw distance plus the tree's potential, if any).
     pub key: f64,
+    /// Raw tentative distance of the label (what `dist[]` stores).
+    pub dist: f64,
     /// Index of the tree the label belongs to.
     pub tree: u32,
     /// The labelled node.
@@ -262,12 +270,30 @@ impl SearchArena {
     /// current label (or none exists). Returns whether it did.
     #[inline]
     pub(crate) fn relax(&mut self, tree: usize, from: NodeId, to: NodeId, cand: f64) -> bool {
+        self.relax_keyed(tree, from, to, cand, cand)
+    }
+
+    /// [`SearchArena::relax`] with an explicit heap priority: the label
+    /// comparison and storage use the *raw* distance `cand` (improvement
+    /// stays a statement about real path lengths), while the frontier entry
+    /// is prioritized by `key` — a goal-directed sweep passes
+    /// `key = cand ± potential(to)`. Plain relaxation is the `key == cand`
+    /// special case.
+    #[inline]
+    pub(crate) fn relax_keyed(
+        &mut self,
+        tree: usize,
+        from: NodeId,
+        to: NodeId,
+        cand: f64,
+        key: f64,
+    ) -> bool {
         let i = self.slot(tree, to);
         if self.labelled[i] != self.epoch || cand < self.dist[i] {
             self.dist[i] = cand;
             self.parent[i] = from.0;
             self.labelled[i] = self.epoch;
-            self.heap.push(FrontierEntry { key: cand, tree: tree as u32, node: to });
+            self.heap.push(FrontierEntry { key, dist: cand, tree: tree as u32, node: to });
             true
         } else {
             false
@@ -275,10 +301,11 @@ impl SearchArena {
     }
 
     /// Push a frontier entry (used to seed roots; relaxation goes through
-    /// [`SearchArena::relax`]).
+    /// [`SearchArena::relax`]). `key` is the heap priority, `dist` the raw
+    /// root distance (they coincide except under a goal-directed potential).
     #[inline]
-    pub(crate) fn push(&mut self, key: f64, tree: usize, node: NodeId) {
-        self.heap.push(FrontierEntry { key, tree: tree as u32, node });
+    pub(crate) fn push(&mut self, key: f64, dist: f64, tree: usize, node: NodeId) {
+        self.heap.push(FrontierEntry { key, dist, tree: tree as u32, node });
     }
 
     /// Pop the globally smallest frontier entry across all trees.
@@ -289,11 +316,13 @@ impl SearchArena {
 
     /// Whether a popped entry is *fresh*: not yet settled and still
     /// carrying the best-known distance for its slot. Stale entries are
-    /// the lazy-deletion residue and must be skipped.
+    /// the lazy-deletion residue and must be skipped. Freshness compares
+    /// the entry's *raw* distance against the slot label — the heap key may
+    /// carry a potential offset and must not enter this test.
     #[inline]
     pub(crate) fn is_fresh(&self, e: &FrontierEntry) -> bool {
         let i = self.slot(e.tree as usize, e.node);
-        self.settled[i] != self.epoch && e.key <= self.dist[i]
+        self.settled[i] != self.epoch && e.dist <= self.dist[i]
     }
 
     /// Reconstruct the path from `tree`'s root to `t` by walking parents.
@@ -482,10 +511,10 @@ mod tests {
     fn frontier_orders_across_trees_deterministically() {
         let mut a = SearchArena::new();
         a.begin(4, 3);
-        a.push(2.0, 1, NodeId(0));
-        a.push(1.0, 2, NodeId(3));
-        a.push(1.0, 0, NodeId(3));
-        a.push(1.0, 0, NodeId(1));
+        a.push(2.0, 2.0, 1, NodeId(0));
+        a.push(1.0, 1.0, 2, NodeId(3));
+        a.push(1.0, 1.0, 0, NodeId(3));
+        a.push(1.0, 1.0, 0, NodeId(1));
         let order: Vec<(u32, u32)> =
             std::iter::from_fn(|| a.pop()).map(|e| (e.tree, e.node.0)).collect();
         assert_eq!(order, vec![(0, 1), (0, 3), (2, 3), (1, 0)]);

@@ -13,6 +13,7 @@
 //! caller-provided arena (e.g. the one a `DirectionsServer` shares with
 //! its MSMD processor).
 
+use crate::alt::GoalPotential;
 use crate::arena::SearchArena;
 use crate::path::Path;
 use crate::stats::SearchStats;
@@ -80,12 +81,22 @@ impl SettleSink for Recorder {
     }
 }
 
-/// The one Dijkstra loop, parameterized over the settle observer.
-fn run_in_sink<G: GraphView, S: SettleSink>(
+/// The one Dijkstra loop, parameterized over the settle observer and the
+/// heap potential. With the zero potential (`|_| 0.0`) every key equals
+/// its raw distance bit-for-bit (`x + 0.0 == x` for the non-negative
+/// distances a sweep produces), so the plain entry points behave exactly
+/// as before this parameter existed. With a *consistent* potential π
+/// (1-Lipschitz along edges, e.g. [`GoalPotential::eval`]), keys
+/// `dist + π(node)` pop in nondecreasing order, every settled label is
+/// still exact, and the goal checks below stop at the same (now
+/// earlier-reached) conditions — only the settle *order* and the explored
+/// region change.
+fn run_in_sink<G: GraphView, S: SettleSink, F: Fn(NodeId) -> f64>(
     arena: &mut SearchArena,
     g: &G,
     source: NodeId,
     goal: &Goal,
+    pot: &F,
     sink: &mut S,
 ) -> SearchStats {
     let n = g.num_nodes();
@@ -101,7 +112,7 @@ fn run_in_sink<G: GraphView, S: SettleSink>(
         remaining.dedup();
     }
     arena.label(0, source, 0.0, None);
-    arena.push(0.0, 0, source);
+    arena.push(0.0 + pot(source), 0.0, 0, source);
     stats.heap_pushes += 1;
 
     let mut stopped = false;
@@ -136,7 +147,8 @@ fn run_in_sink<G: GraphView, S: SettleSink>(
         let d_node = arena.dist_raw(0, e.node);
         g.for_each_arc(e.node, &mut |to, w| {
             stats.relaxed += 1;
-            if arena.relax(0, e.node, to, d_node + w) {
+            let cand = d_node + w;
+            if arena.relax_keyed(0, e.node, to, cand, cand + pot(to)) {
                 stats.heap_pushes += 1;
             }
         });
@@ -146,6 +158,12 @@ fn run_in_sink<G: GraphView, S: SettleSink>(
     }
     arena.put_goal_scratch(remaining);
     stats
+}
+
+/// The zero potential behind the plain entry points — inlines to nothing.
+#[inline]
+fn zero_pot(_: NodeId) -> f64 {
+    0.0
 }
 
 /// Run one Dijkstra sweep from `source` inside `arena` (tree 0) until
@@ -161,7 +179,29 @@ pub fn run_in<G: GraphView>(
     source: NodeId,
     goal: &Goal,
 ) -> SearchStats {
-    run_in_sink(arena, g, source, goal, &mut NoRecord)
+    run_in_sink(arena, g, source, goal, &zero_pot, &mut NoRecord)
+}
+
+/// [`run_in`] with an optional goal-directed potential: `Some(π)` keys the
+/// heap by `dist + π(node)` (A*-style goal direction with exact settled
+/// labels, provided π is consistent — [`GoalPotential`] is), `None` is
+/// plain Dijkstra, byte-identical to [`run_in`]. Settled labels, parents,
+/// and paths are identical either way whenever shortest paths are unique;
+/// only the settle order and the settled/relaxed/heap counters shrink.
+///
+/// # Panics
+/// Panics if `source` is out of range for `g`.
+pub fn run_in_guided<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    source: NodeId,
+    goal: &Goal,
+    pot: Option<&GoalPotential<'_>>,
+) -> SearchStats {
+    match pot {
+        Some(p) => run_in_sink(arena, g, source, goal, &|n| p.eval(n), &mut NoRecord),
+        None => run_in(arena, g, source, goal),
+    }
 }
 
 /// [`run_in`], additionally recording the sweep as a reusable
@@ -181,9 +221,36 @@ pub fn run_in_traced<G: GraphView>(
     // Reserve for the common deep-sweep case: one settle event per node
     // keeps recording out of the reallocator on the misses a cache pays.
     let mut rec = Recorder { events: Vec::with_capacity(g.num_nodes()), exhausted: false };
-    let stats = run_in_sink(arena, g, source, goal, &mut rec);
+    let stats = run_in_sink(arena, g, source, goal, &zero_pot, &mut rec);
     let trace = SweepTrace::from_parts(source, g.num_nodes(), rec.events, stats, rec.exhausted);
     (stats, trace)
+}
+
+/// [`run_in_traced`] under an optional potential. The recorded trace is
+/// stamped with the potential's parameters, so the cached runners can tell
+/// guided sweeps from plain ones — their settle orders (and thus counter
+/// snapshots) differ and must never be adopted across.
+///
+/// # Panics
+/// Panics if `source` is out of range for `g`.
+pub fn run_in_guided_traced<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    source: NodeId,
+    goal: &Goal,
+    pot: Option<&GoalPotential<'_>>,
+) -> (SearchStats, SweepTrace) {
+    match pot {
+        Some(p) => {
+            let mut rec = Recorder { events: Vec::with_capacity(g.num_nodes()), exhausted: false };
+            let stats = run_in_sink(arena, g, source, goal, &|n| p.eval(n), &mut rec);
+            let trace =
+                SweepTrace::from_parts(source, g.num_nodes(), rec.events, stats, rec.exhausted)
+                    .with_potential(Some(p.params().clone()));
+            (stats, trace)
+        }
+        None => run_in_traced(arena, g, source, goal),
+    }
 }
 
 /// The **adopt-or-grow** single-tree sweep: consult `store` for a
@@ -205,12 +272,38 @@ pub fn run_in_cached<G: GraphView, S: crate::trace::TreeStore>(
     goal: &Goal,
     store: &mut S,
 ) -> SearchStats {
+    run_in_guided_cached(arena, g, source, goal, None, store)
+}
+
+/// [`run_in_cached`] under an optional potential — the guided
+/// adopt-or-grow. A stored trace is only adopted when it ran under *this*
+/// potential (parameters compared via [`SweepTrace::potential`]; plain
+/// sweeps carry `None`): a sweep's counter snapshots replay its settle
+/// order, which the potential shapes. On a mismatch the tree is grown for
+/// real under the requested potential and re-stored, exactly like any
+/// other miss — so the cache stays byte-identical to cache-off under
+/// whichever heuristic the caller fixed.
+///
+/// # Panics
+/// Panics if `source` is out of range for `g`.
+pub fn run_in_guided_cached<G: GraphView, S: crate::trace::TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    source: NodeId,
+    goal: &Goal,
+    pot: Option<&GoalPotential<'_>>,
+    store: &mut S,
+) -> SearchStats {
     use crate::trace::SweepDirection;
     assert!(source.index() < g.num_nodes(), "source out of range");
+    let want = pot.map(|p| p.params());
     let adopted = store.lookup(source, SweepDirection::Forward).and_then(|trace| {
         // A different node count can only mean a stale entry for another
-        // map; the store's epoch keying should already prevent this.
-        (trace.nodes() == g.num_nodes()).then(|| trace.adopt_into(arena, goal)).flatten()
+        // map; the store's epoch keying should already prevent this. The
+        // potential check keeps guided and plain sweeps from aliasing.
+        (trace.nodes() == g.num_nodes() && trace.potential() == want)
+            .then(|| trace.adopt_into(arena, goal))
+            .flatten()
     });
     match adopted {
         Some(stats) => {
@@ -219,7 +312,7 @@ pub fn run_in_cached<G: GraphView, S: crate::trace::TreeStore>(
         }
         None => {
             store.note_miss();
-            let (stats, trace) = run_in_traced(arena, g, source, goal);
+            let (stats, trace) = run_in_guided_traced(arena, g, source, goal, pot);
             store.store(source, SweepDirection::Forward, trace);
             stats
         }

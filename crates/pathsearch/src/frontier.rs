@@ -26,6 +26,7 @@
 //! exactly `PerSource`'s per-tree cost, still allocation-free and
 //! single-pass.
 
+use crate::alt::BiPotential;
 use crate::arena::{FrontierScratch, NIL, SearchArena};
 use crate::multi::{MsmdResult, TreeSide, TreeStats};
 use crate::path::Path;
@@ -40,20 +41,47 @@ pub(crate) fn shared_frontier<G: GraphView>(
     sources: &[NodeId],
     targets: &[NodeId],
 ) -> MsmdResult {
+    shared_frontier_guided(arena, g, sources, targets, None)
+}
+
+/// [`shared_frontier`] with an optional ALT potential pair: forward trees
+/// are keyed by `dist + pf(n)`, backward trees by `dist − pf(n)` — a
+/// feasible pair (the two tree-side potentials sum to zero), so reduced
+/// forward/backward lengths still add up to true path lengths and the
+/// per-pair stopping rule is unchanged. With `None` (or the all-zero
+/// `pf`) the keys equal the raw distances bit-for-bit and the sweep is
+/// byte-identical to the unguided engine.
+///
+/// The directed fallback ignores the potential: ALT tables require a
+/// symmetric graph, and [`crate::alt::AltPreprocessing::try_build`]
+/// refuses to produce one for directed views.
+pub(crate) fn shared_frontier_guided<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    pot: Option<&BiPotential<'_>>,
+) -> MsmdResult {
     if g.is_symmetric() {
-        bidirectional_sweep(arena, g, sources, targets)
+        match pot {
+            Some(p) => bidirectional_sweep(arena, g, sources, targets, &|n| p.pf(n)),
+            None => bidirectional_sweep(arena, g, sources, targets, &|_| 0.0),
+        }
     } else {
         forward_sweep(arena, g, sources, targets)
     }
 }
 
 /// Symmetric case: `|S|` forward + `|T|` backward trees, one heap,
-/// per-pair bidirectional termination.
-fn bidirectional_sweep<G: GraphView>(
+/// per-pair bidirectional termination. `pf` is the forward-tree potential
+/// (backward trees subtract it); keys live in *reduced* space while labels
+/// and meeting distances stay raw.
+fn bidirectional_sweep<G: GraphView, F: Fn(NodeId) -> f64>(
     arena: &mut SearchArena,
     g: &G,
     sources: &[NodeId],
     targets: &[NodeId],
+    pf: &F,
 ) -> MsmdResult {
     let (ns, nt) = (sources.len(), targets.len());
     let k = ns + nt;
@@ -89,8 +117,17 @@ fn bidirectional_sweep<G: GraphView>(
         .collect();
 
     for (tree, &root) in sources.iter().chain(targets.iter()).enumerate() {
+        // Keys live in reduced space: forward trees add pf, backward trees
+        // subtract it (subtraction, not negation, so the zero potential
+        // leaves every bit of the unguided sweep intact).
+        let key = if tree < ns { 0.0 + pf(root) } else { 0.0 - pf(root) };
         arena.label(tree, root, 0.0, None);
-        arena.push(0.0, tree, root);
+        arena.push(key, 0.0, tree, root);
+        // Radii are key-space quantities too: seed at the root key, not
+        // zero — a backward root's key is −pf(root) ≤ 0, and a zero seed
+        // would overstate the radius and close pairs before their true
+        // shortest connection is proven.
+        fs.radius[tree] = key;
         per_tree[tree].stats.heap_pushes += 1;
     }
 
@@ -117,12 +154,16 @@ fn bidirectional_sweep<G: GraphView>(
         // successful relax (roots excepted — the settle-time check above
         // covers those), so checking only on success keeps μ equal to the
         // min over *final* labels while skipping the O(|T|) scan on the
-        // majority of arcs whose relaxation changes nothing.
-        let d_node = e.key;
+        // majority of arcs whose relaxation changes nothing. Candidates
+        // are raw distances (e.dist, not the reduced-space e.key).
+        let d_node = e.dist;
+        let forward = tree < ns;
         let stats = &mut per_tree[tree].stats;
         g.for_each_arc(e.node, &mut |to, w| {
             stats.relaxed += 1;
-            if arena.relax(tree, e.node, to, d_node + w) {
+            let cand = d_node + w;
+            let key = if forward { cand + pf(to) } else { cand - pf(to) };
+            if arena.relax_keyed(tree, e.node, to, cand, key) {
                 stats.heap_pushes += 1;
                 record_meetings(arena, &mut fs.mu, &mut fs.meet, ns, nt, tree, to);
             }
@@ -144,7 +185,13 @@ fn bidirectional_sweep<G: GraphView>(
 
     // Stitch each pair's path: forward chain to the meeting node, then the
     // backward chain out to the target (parents of a backward tree lead
-    // *to* the target; edge weights are symmetric by assumption).
+    // *to* the target; edge weights are symmetric by assumption). The
+    // reported distance is re-accumulated source→target along the stitched
+    // sequence rather than taken from `μ`: `μ` sums two half-distances at
+    // whichever meeting node a particular sweep discovered first, so two
+    // exact sweeps of the same pair (e.g. plain vs ALT-guided) can disagree
+    // in the last ulp even though the path is identical. Forward
+    // re-accumulation matches the single-tree Dijkstra sum bit-for-bit.
     let mut paths: Vec<Vec<Option<Path>>> = Vec::with_capacity(ns);
     for i in 0..ns {
         let mut row = Vec::with_capacity(nt);
@@ -156,7 +203,8 @@ fn bidirectional_sweep<G: GraphView>(
                 arena.walk_parents(i, m, &mut nodes); // m … s_i
                 nodes.reverse(); // s_i … m
                 arena.walk_parents(ns + j, m, &mut nodes); // … t_j
-                row.push(Some(Path::new(nodes, fs.mu[p])));
+                let d = forward_distance(g, &nodes);
+                row.push(Some(Path::new(nodes, d)));
             } else {
                 row.push(None);
             }
@@ -167,6 +215,24 @@ fn bidirectional_sweep<G: GraphView>(
 
     let stats = per_tree.iter().map(|t| t.stats).sum();
     MsmdResult { paths, stats, per_tree }
+}
+
+/// Left-to-right accumulation of arc weights along `nodes`, exactly the
+/// sum a forward Dijkstra sweep would have produced for the same path.
+/// Parallel arcs resolve to the cheapest, matching what any shortest-path
+/// sweep would relax.
+fn forward_distance<G: GraphView>(g: &G, nodes: &[NodeId]) -> f64 {
+    let mut d = 0.0;
+    for hop in nodes.windows(2) {
+        let mut w_min = f64::INFINITY;
+        g.for_each_arc(hop[0], &mut |to, w| {
+            if to == hop[1] && w < w_min {
+                w_min = w;
+            }
+        });
+        d += w_min;
+    }
+    d
 }
 
 /// Finalize pair `(i, j)` if its best connection is provably shortest:
@@ -258,7 +324,7 @@ fn forward_sweep<G: GraphView>(
 
     for (tree, &s) in sources.iter().enumerate() {
         arena.label(tree, s, 0.0, None);
-        arena.push(0.0, tree, s);
+        arena.push(0.0, 0.0, tree, s);
         per_tree[tree].stats.heap_pushes += 1;
     }
 
@@ -281,7 +347,7 @@ fn forward_sweep<G: GraphView>(
             }
         }
 
-        let d_node = e.key;
+        let d_node = e.dist;
         let stats = &mut per_tree[tree].stats;
         g.for_each_arc(e.node, &mut |to, w| {
             stats.relaxed += 1;

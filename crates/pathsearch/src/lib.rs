@@ -61,16 +61,19 @@ pub mod range;
 pub mod stats;
 pub mod trace;
 
-pub use alt::{AltPreprocessing, alt};
+pub use alt::{AltError, AltPreprocessing, BiPotential, GoalPotential, PotentialParams, alt};
 pub use arena::SearchArena;
 pub use astar::{astar, astar_scaled, astar_with};
 pub use bidirectional::bidirectional;
 pub use cost::{CostModel, CostObservation};
 pub use dijkstra::{
-    Goal, Searcher, multi_destination, run_in, run_in_cached, run_in_traced, shortest_distance,
-    shortest_path,
+    Goal, Searcher, multi_destination, run_in, run_in_cached, run_in_guided, run_in_guided_cached,
+    run_in_guided_traced, run_in_traced, shortest_distance, shortest_path,
 };
-pub use multi::{MsmdResult, SharingPolicy, TreeSide, TreeStats, msmd, msmd_in, msmd_in_cached};
+pub use multi::{
+    MsmdResult, SharingPolicy, TreeSide, TreeStats, msmd, msmd_in, msmd_in_cached, msmd_in_guided,
+    msmd_in_guided_cached,
+};
 pub use path::Path;
 pub use range::{range_search, ring_search};
 pub use stats::SearchStats;

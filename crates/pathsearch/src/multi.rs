@@ -29,13 +29,27 @@
 //! [`msmd_in`], so a server evaluating a query stream touches no allocator
 //! beyond the result paths themselves.
 
+use crate::alt::{AltPreprocessing, GoalPotential};
 use crate::arena::SearchArena;
-use crate::dijkstra::{Goal, run_in, run_in_cached};
+use crate::dijkstra::{Goal, run_in, run_in_cached, run_in_guided, run_in_guided_cached};
 use crate::frontier;
 use crate::path::Path;
 use crate::stats::SearchStats;
-use crate::trace::TreeStore;
+use crate::trace::{SweepDirection, SweepTrace, TreeStore};
 use roadnet::{GraphView, NodeId};
+
+/// Zero-sized [`TreeStore`] standing in for "no store" on the uncached
+/// guided paths (never consulted — it only pins the generic parameter).
+struct NoStore;
+
+impl TreeStore for NoStore {
+    fn lookup(&mut self, _: NodeId, _: SweepDirection) -> Option<&SweepTrace> {
+        None
+    }
+    fn store(&mut self, _: NodeId, _: SweepDirection, _: SweepTrace) {}
+    fn note_hit(&mut self) {}
+    fn note_miss(&mut self) {}
+}
 
 /// Evaluation strategy for an MSMD query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -320,6 +334,190 @@ fn msmd_per_source<G: GraphView>(
     let mut paths = Vec::with_capacity(sources.len());
     for &s in sources {
         let run = run_in(arena, g, s, &goal);
+        stats.merge(run);
+        per_tree.push(TreeStats { root: s, side: TreeSide::Source, stats: run });
+        paths.push(targets.iter().map(|&t| arena.path_to(0, t)).collect());
+    }
+    MsmdResult { paths, stats, per_tree }
+}
+
+/// [`msmd_in`] with optional goal-directed (ALT) pruning: when `pre` is
+/// `Some`, every tree is keyed by a max-over-its-targets landmark
+/// potential ([`AltPreprocessing::goal_potential`]; the shared-frontier
+/// engine uses the bidirectional pair from
+/// [`AltPreprocessing::bi_potential`]). Paths, distances, and per-pair
+/// answers are identical to the unguided evaluation whenever shortest
+/// paths are unique (relaxation still compares raw distances); only the
+/// settle order and the settled/relaxed/heap counters change. With `None`
+/// this *is* [`msmd_in`], byte-for-byte.
+///
+/// The preprocessing must come from this graph — landmark tables built on
+/// a symmetric view ([`AltPreprocessing::try_build`] enforces that), which
+/// also guarantees the guided shared-frontier sweep never meets the
+/// directed fallback.
+///
+/// # Panics
+/// Panics if `sources` or `targets` is empty or contains an out-of-range
+/// node — an obfuscated query always carries at least the true endpoints.
+pub fn msmd_in_guided<G: GraphView>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    policy: SharingPolicy,
+    pre: Option<&AltPreprocessing>,
+) -> MsmdResult {
+    let Some(pre) = pre else {
+        return msmd_in(arena, g, sources, targets, policy);
+    };
+    assert!(!sources.is_empty() && !targets.is_empty(), "S and T must be non-empty");
+    let n = g.num_nodes();
+    for &x in sources.iter().chain(targets) {
+        assert!(x.index() < n, "node {x} out of range");
+    }
+
+    match policy {
+        SharingPolicy::None => {
+            msmd_naive_guided(arena, g, sources, targets, pre, None::<&mut NoStore>)
+        }
+        SharingPolicy::PerSource => {
+            msmd_per_source_guided(arena, g, sources, targets, pre, None::<&mut NoStore>)
+        }
+        SharingPolicy::Auto => {
+            if targets.len() < sources.len() && g.is_symmetric() {
+                let transposed =
+                    msmd_per_source_guided(arena, g, targets, sources, pre, None::<&mut NoStore>);
+                transpose(transposed, sources.len(), targets.len())
+            } else {
+                msmd_per_source_guided(arena, g, sources, targets, pre, None::<&mut NoStore>)
+            }
+        }
+        SharingPolicy::SharedFrontier => frontier::shared_frontier_guided(
+            arena,
+            g,
+            sources,
+            targets,
+            Some(&pre.bi_potential(sources, targets)),
+        ),
+    }
+}
+
+/// [`msmd_in_cached`] with optional goal-directed pruning — the guided
+/// adopt-or-grow. Stored traces are stamped with the potential they ran
+/// under and only adopted on an exact parameter match (see
+/// [`crate::dijkstra::run_in_guided_cached`]), so for a fixed heuristic
+/// setting the cache stays byte-identical to cache-off, and guided and
+/// plain traces sharing a root never alias.
+///
+/// [`SharingPolicy::SharedFrontier`] bypasses the store exactly as in
+/// [`msmd_in_cached`].
+///
+/// # Panics
+/// Panics if `sources` or `targets` is empty or contains an out-of-range
+/// node — an obfuscated query always carries at least the true endpoints.
+pub fn msmd_in_guided_cached<G: GraphView, S: TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    policy: SharingPolicy,
+    pre: Option<&AltPreprocessing>,
+    store: &mut S,
+) -> MsmdResult {
+    let Some(pre) = pre else {
+        return msmd_in_cached(arena, g, sources, targets, policy, store);
+    };
+    assert!(!sources.is_empty() && !targets.is_empty(), "S and T must be non-empty");
+    let n = g.num_nodes();
+    for &x in sources.iter().chain(targets) {
+        assert!(x.index() < n, "node {x} out of range");
+    }
+
+    match policy {
+        SharingPolicy::None => msmd_naive_guided(arena, g, sources, targets, pre, Some(store)),
+        SharingPolicy::PerSource => {
+            msmd_per_source_guided(arena, g, sources, targets, pre, Some(store))
+        }
+        SharingPolicy::Auto => {
+            if targets.len() < sources.len() && g.is_symmetric() {
+                let transposed =
+                    msmd_per_source_guided(arena, g, targets, sources, pre, Some(store));
+                transpose(transposed, sources.len(), targets.len())
+            } else {
+                msmd_per_source_guided(arena, g, sources, targets, pre, Some(store))
+            }
+        }
+        SharingPolicy::SharedFrontier => frontier::shared_frontier_guided(
+            arena,
+            g,
+            sources,
+            targets,
+            Some(&pre.bi_potential(sources, targets)),
+        ),
+    }
+}
+
+/// Run one guided tree: through the store when one is given (adopt-or-
+/// grow), directly otherwise.
+fn run_tree_guided<G: GraphView, S: TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    s: NodeId,
+    goal: &Goal,
+    pot: &GoalPotential<'_>,
+    store: &mut Option<&mut S>,
+) -> SearchStats {
+    match store {
+        Some(st) => run_in_guided_cached(arena, g, s, goal, Some(pot), &mut **st),
+        None => run_in_guided(arena, g, s, goal, Some(pot)),
+    }
+}
+
+/// Guided [`msmd_naive`]: one single-target potential per target column,
+/// shared across the source rows.
+fn msmd_naive_guided<G: GraphView, S: TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    pre: &AltPreprocessing,
+    mut store: Option<&mut S>,
+) -> MsmdResult {
+    let pots: Vec<GoalPotential<'_>> =
+        targets.iter().map(|t| pre.goal_potential(std::slice::from_ref(t))).collect();
+    let mut stats = SearchStats::default();
+    let mut per_tree = Vec::with_capacity(sources.len() * targets.len());
+    let mut paths = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let mut row = Vec::with_capacity(targets.len());
+        for (j, &t) in targets.iter().enumerate() {
+            let run = run_tree_guided(arena, g, s, &Goal::Single(t), &pots[j], &mut store);
+            stats.merge(run);
+            per_tree.push(TreeStats { root: s, side: TreeSide::Source, stats: run });
+            row.push(arena.path_to(0, t));
+        }
+        paths.push(row);
+    }
+    MsmdResult { paths, stats, per_tree }
+}
+
+/// Guided [`msmd_per_source`]: one max-over-targets potential shared by
+/// every source tree.
+fn msmd_per_source_guided<G: GraphView, S: TreeStore>(
+    arena: &mut SearchArena,
+    g: &G,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    pre: &AltPreprocessing,
+    mut store: Option<&mut S>,
+) -> MsmdResult {
+    let pot = pre.goal_potential(targets);
+    let mut stats = SearchStats::default();
+    let mut per_tree = Vec::with_capacity(sources.len());
+    let goal = Goal::Set(targets.to_vec());
+    let mut paths = Vec::with_capacity(sources.len());
+    for &s in sources {
+        let run = run_tree_guided(arena, g, s, &goal, &pot, &mut store);
         stats.merge(run);
         per_tree.push(TreeStats { root: s, side: TreeSide::Source, stats: run });
         paths.push(targets.iter().map(|&t| arena.path_to(0, t)).collect());
@@ -757,6 +955,93 @@ mod tests {
         // Unreachable targets force complete sweeps, which are adoptable:
         // the second round is all hits.
         assert_eq!((store.hits, store.misses), (2, 2));
+    }
+
+    #[test]
+    fn guided_msmd_matches_plain_paths_and_prunes_settles() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        let pre = AltPreprocessing::try_build(&g, 6).unwrap();
+        let mut arena = SearchArena::new();
+        let mut settled_guided = 0u64;
+        let mut settled_plain = 0u64;
+        for policy in SharingPolicy::ALL {
+            let plain = msmd_in(&mut arena, &g, &s, &t, policy);
+            let guided = msmd_in_guided(&mut arena, &g, &s, &t, policy, Some(&pre));
+            for i in 0..s.len() {
+                for j in 0..t.len() {
+                    assert_eq!(
+                        guided.paths[i][j],
+                        plain.paths[i][j],
+                        "{} pair ({i},{j}): guided path diverged",
+                        policy.name()
+                    );
+                }
+            }
+            settled_guided += guided.stats.settled;
+            settled_plain += plain.stats.settled;
+            // And None-preprocessing is byte-identical to the plain entry.
+            let none = msmd_in_guided(&mut arena, &g, &s, &t, policy, None);
+            assert_eq!(none.stats, plain.stats, "{}", policy.name());
+        }
+        assert!(
+            settled_guided <= settled_plain,
+            "ALT settled {settled_guided} vs plain {settled_plain}"
+        );
+    }
+
+    #[test]
+    fn guided_cached_is_byte_identical_and_never_adopts_plain_traces() {
+        let g = net();
+        let (s, t) = sample_sets(256);
+        let pre = AltPreprocessing::try_build(&g, 5).unwrap();
+        let mut arena = SearchArena::new();
+        let mut cached_arena = SearchArena::new();
+        for policy in [SharingPolicy::None, SharingPolicy::PerSource, SharingPolicy::Auto] {
+            let mut store = MapStore::default();
+            // Seed the store with PLAIN traces for the same roots: the
+            // guided runner must refuse them all (potential mismatch).
+            let _ = msmd_in_cached(&mut cached_arena, &g, &s, &t, policy, &mut store);
+            let plain_misses = store.misses;
+            store.hits = 0;
+            for round in 0..2 {
+                let reference = msmd_in_guided(&mut arena, &g, &s, &t, policy, Some(&pre));
+                let cached = msmd_in_guided_cached(
+                    &mut cached_arena,
+                    &g,
+                    &s,
+                    &t,
+                    policy,
+                    Some(&pre),
+                    &mut store,
+                );
+                assert_eq!(cached.stats, reference.stats, "{} round {round}", policy.name());
+                for (a, b) in cached.per_tree.iter().zip(&reference.per_tree) {
+                    assert_eq!(a, b, "{} round {round}", policy.name());
+                }
+                for i in 0..s.len() {
+                    for j in 0..t.len() {
+                        assert_eq!(cached.paths[i][j], reference.paths[i][j]);
+                    }
+                }
+                if round == 0 {
+                    assert_eq!(
+                        store.hits,
+                        0,
+                        "{}: plain traces must never serve guided sweeps",
+                        policy.name()
+                    );
+                }
+            }
+            // Under None each (root, target) pair carries its own potential
+            // params, so a single-slot-per-root store may churn between them
+            // and a second round is not guaranteed to hit; set-potential
+            // policies share one params value per batch and must hit.
+            if policy != SharingPolicy::None {
+                assert!(store.hits > 0, "{}: guided round 2 must hit guided traces", policy.name());
+            }
+            assert!(store.misses > plain_misses, "{}: guided round 1 must miss", policy.name());
+        }
     }
 
     #[test]

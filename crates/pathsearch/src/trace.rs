@@ -34,6 +34,7 @@
 //! which also owns the `(map_epoch, root, direction, policy-bits)` keying
 //! and invalidation story.
 
+use crate::alt::PotentialParams;
 use crate::arena::{NIL, SearchArena};
 use crate::dijkstra::Goal;
 use crate::stats::SearchStats;
@@ -89,6 +90,11 @@ pub struct SweepTrace {
     /// i.e. every reachable node is settled and absence proves
     /// unreachability.
     complete: bool,
+    /// The goal-directed potential the sweep ran under (`None` for plain
+    /// Dijkstra). Guided sweeps settle in potential-key order, so their
+    /// counter snapshots only replay a sweep under the *same* potential;
+    /// the cached runners compare this before adopting.
+    potential: Option<PotentialParams>,
 }
 
 impl SweepTrace {
@@ -109,7 +115,23 @@ impl SweepTrace {
         let mut positions: Vec<(u32, u32)> =
             events.iter().enumerate().map(|(i, e)| (e.node, i as u32)).collect();
         positions.sort_unstable();
-        SweepTrace { root, nodes, events, positions, final_stats, complete }
+        SweepTrace { root, nodes, events, positions, final_stats, complete, potential: None }
+    }
+
+    /// Stamp the trace with the potential its sweep ran under
+    /// (crate-internal: set by the guided traced runner right after
+    /// [`SweepTrace::from_parts`]).
+    pub(crate) fn with_potential(mut self, potential: Option<PotentialParams>) -> Self {
+        self.potential = potential;
+        self
+    }
+
+    /// The goal-directed potential the recorded sweep ran under, if any.
+    /// Adoption is only sound under the identical potential (or `None`
+    /// against `None`): the settle *order* — and with it every counter
+    /// snapshot — depends on it.
+    pub fn potential(&self) -> Option<&PotentialParams> {
+        self.potential.as_ref()
     }
 
     /// The node the sweep grew from.

@@ -7,27 +7,64 @@ use std::fmt;
 #[derive(Debug)]
 pub enum RoadNetError {
     /// An edge referenced a node id outside `0..num_nodes`.
-    NodeOutOfRange { node: NodeId, num_nodes: usize },
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Size of the network the id was checked against.
+        num_nodes: usize,
+    },
     /// A weight update referenced an edge id outside `0..num_edges`.
-    EdgeOutOfRange { edge: EdgeId, num_edges: usize },
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// Size of the network the id was checked against.
+        num_edges: usize,
+    },
     /// An edge weight was negative, NaN, or infinite.
-    InvalidWeight { from: NodeId, to: NodeId, weight: f64 },
+    InvalidWeight {
+        /// Edge tail.
+        from: NodeId,
+        /// Edge head.
+        to: NodeId,
+        /// The rejected weight.
+        weight: f64,
+    },
     /// A self-loop `(n, n)` was supplied; road segments connect distinct
     /// endpoints in this model.
-    SelfLoop { node: NodeId },
+    SelfLoop {
+        /// The node looping onto itself.
+        node: NodeId,
+    },
     /// A node coordinate was NaN or infinite.
-    InvalidCoordinate { node: NodeId },
+    InvalidCoordinate {
+        /// The node with the bad coordinate.
+        node: NodeId,
+    },
     /// The network has no nodes.
     EmptyNetwork,
-    /// A parse error in the TLN (TIGER/Line-like network) text format.
-    Parse { line: usize, message: String },
+    /// A parse error in a network text format (TLN or the DIMACS subset).
+    Parse {
+        /// 1-based line number of the offending line; 0 for whole-file
+        /// defects (missing sections, count mismatches).
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
     /// An underlying I/O error while reading or writing network files.
     Io(std::io::Error),
     /// Two nodes are not connected (no path exists between them).
-    Disconnected { from: NodeId, to: NodeId },
+    Disconnected {
+        /// Path source.
+        from: NodeId,
+        /// Path destination.
+        to: NodeId,
+    },
     /// A region description (membership flags, node list) does not fit
     /// the graph it was applied to.
-    InvalidRegion { reason: String },
+    InvalidRegion {
+        /// Why the region was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RoadNetError {

@@ -1,0 +1,302 @@
+//! Continent-scale road-network generator.
+//!
+//! Published million-node road graphs (the DIMACS USA/Europe files) are not
+//! shippable in CI, so this generator produces a deterministic synthetic
+//! continent at matching scale: a `provinces_x × provinces_y` lattice of
+//! jittered street-grid *provinces* — each with its own random spanning
+//! tree and knockout, like [`grid_network`](super::grid_network) — joined
+//! by a small number of *highway* crossings between adjacent provinces.
+//! The result has the two structural properties continent-scale search
+//! experiments depend on:
+//!
+//! * **locality** — almost all edges are short intra-province streets, so
+//!   uninformed search floods a province before escaping it;
+//! * **sparse long-haul connectivity** — inter-province travel funnels
+//!   through a few highway crossings, which is what makes goal direction
+//!   (ALT lower bounds) pay off at scale.
+//!
+//! All weights are the Euclidean length scaled by a factor ≥ 1, so the
+//! Euclidean and landmark heuristics stay admissible. One seeded RNG
+//! drives everything: same config ⇒ bit-identical network.
+
+use super::grid::Dsu;
+use crate::error::Result;
+use crate::geo::Point;
+use crate::graph::{GraphBuilder, RoadNetwork};
+use crate::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`continent_network`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ContinentConfig {
+    /// Province lattice columns (≥ 1).
+    pub provinces_x: usize,
+    /// Province lattice rows (≥ 1; `provinces_x × provinces_y ≥ 1`).
+    pub provinces_y: usize,
+    /// Street-grid columns per province (≥ 2).
+    pub province_width: usize,
+    /// Street-grid rows per province (≥ 2).
+    pub province_height: usize,
+    /// Distance between adjacent street nodes.
+    pub spacing: f64,
+    /// Empty belt between provinces, in multiples of `spacing`. Highways
+    /// must span it, so cross-province hops are visibly longer than
+    /// streets.
+    pub sea_gap: f64,
+    /// Street coordinates are jittered by up to ± `jitter × spacing / 2`
+    /// per axis.
+    pub jitter: f64,
+    /// Street weight = Euclidean length × uniform sample from this range;
+    /// lower bound ≥ 1 keeps goal-directed heuristics admissible.
+    pub weight_factor: (f64, f64),
+    /// Fraction of non-spanning-tree street edges removed per province.
+    pub knockout: f64,
+    /// Highway crossings between each pair of adjacent provinces (≥ 1 so
+    /// the continent stays connected).
+    pub highway_lanes: usize,
+    /// Highway weight = Euclidean length × this factor (≥ 1).
+    pub highway_factor: f64,
+    /// RNG seed; same seed ⇒ same network.
+    pub seed: u64,
+}
+
+impl Default for ContinentConfig {
+    fn default() -> Self {
+        ContinentConfig {
+            provinces_x: 4,
+            provinces_y: 4,
+            province_width: 32,
+            province_height: 32,
+            spacing: 1.0,
+            sea_gap: 6.0,
+            jitter: 0.2,
+            weight_factor: (1.0, 1.3),
+            knockout: 0.08,
+            highway_lanes: 3,
+            highway_factor: 1.05,
+            seed: 0,
+        }
+    }
+}
+
+impl ContinentConfig {
+    /// Total nodes the config generates.
+    pub fn num_nodes(&self) -> usize {
+        self.provinces_x * self.provinces_y * self.province_width * self.province_height
+    }
+}
+
+/// Generate a continent per `cfg`. See the [module docs](self) for the
+/// construction.
+///
+/// # Errors
+/// Propagates builder validation errors; with a valid config generation
+/// always succeeds.
+///
+/// # Panics
+/// On degenerate configs (empty lattice, provinces under 2×2, weight or
+/// highway factors below 1, zero highway lanes on a multi-province map).
+pub fn continent_network(cfg: &ContinentConfig) -> Result<RoadNetwork> {
+    assert!(cfg.provinces_x >= 1 && cfg.provinces_y >= 1, "continent needs at least one province");
+    assert!(cfg.province_width >= 2 && cfg.province_height >= 2, "provinces must be at least 2x2");
+    assert!(
+        cfg.weight_factor.0 >= 1.0 && cfg.weight_factor.1 >= cfg.weight_factor.0,
+        "weight factors must satisfy 1 <= lo <= hi"
+    );
+    assert!(cfg.highway_factor >= 1.0, "highway factor must be >= 1");
+    assert!((0.0..=1.0).contains(&cfg.knockout), "knockout must be a fraction");
+    assert!(
+        cfg.highway_lanes >= 1 || cfg.provinces_x * cfg.provinces_y == 1,
+        "multi-province continents need at least one highway lane"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x636f_6e74); // "cont"
+
+    let (pw, ph) = (cfg.province_width, cfg.province_height);
+    let per_province = pw * ph;
+    let total = cfg.num_nodes();
+    let mut b = GraphBuilder::new();
+    b.reserve(total, 2 * total);
+
+    // Global node id of street (x, y) in province (px, py). Provinces are
+    // laid out row-major, streets row-major within each.
+    let id = |px: usize, py: usize, x: usize, y: usize| {
+        NodeId::from_index((py * cfg.provinces_x + px) * per_province + y * pw + x)
+    };
+    // Province origin in world coordinates, shifted by the sea gap.
+    let stride_x = (pw as f64 + cfg.sea_gap) * cfg.spacing;
+    let stride_y = (ph as f64 + cfg.sea_gap) * cfg.spacing;
+
+    // Nodes: jittered lattices, province by province, one RNG stream.
+    for py in 0..cfg.provinces_y {
+        for px in 0..cfg.provinces_x {
+            let (ox, oy) = (px as f64 * stride_x, py as f64 * stride_y);
+            for y in 0..ph {
+                for x in 0..pw {
+                    let jx = if cfg.jitter > 0.0 {
+                        rng.gen_range(-0.5..0.5) * cfg.jitter * cfg.spacing
+                    } else {
+                        0.0
+                    };
+                    let jy = if cfg.jitter > 0.0 {
+                        rng.gen_range(-0.5..0.5) * cfg.jitter * cfg.spacing
+                    } else {
+                        0.0
+                    };
+                    b.add_node(Point::new(
+                        ox + x as f64 * cfg.spacing + jx,
+                        oy + y as f64 * cfg.spacing + jy,
+                    ))?;
+                }
+            }
+        }
+    }
+
+    // Streets: per province, shuffled lattice candidates with a preserved
+    // random spanning tree (exactly the grid generator's construction).
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * per_province);
+    for py in 0..cfg.provinces_y {
+        for px in 0..cfg.provinces_x {
+            candidates.clear();
+            for y in 0..ph {
+                for x in 0..pw {
+                    if x + 1 < pw {
+                        candidates.push((id(px, py, x, y), id(px, py, x + 1, y)));
+                    }
+                    if y + 1 < ph {
+                        candidates.push((id(px, py, x, y), id(px, py, x, y + 1)));
+                    }
+                }
+            }
+            candidates.shuffle(&mut rng);
+            let base = (py * cfg.provinces_x + px) * per_province;
+            let mut dsu = Dsu::new(per_province);
+            for &(a, c) in candidates.iter() {
+                let in_tree = dsu.union(a.0 - base as u32, c.0 - base as u32);
+                if in_tree || rng.gen::<f64>() >= cfg.knockout {
+                    let factor = if cfg.weight_factor.0 == cfg.weight_factor.1 {
+                        cfg.weight_factor.0
+                    } else {
+                        rng.gen_range(cfg.weight_factor.0..cfg.weight_factor.1)
+                    };
+                    b.add_euclidean_edge(a, c, factor)?;
+                }
+            }
+        }
+    }
+
+    // Highways: `highway_lanes` evenly spread crossings per adjacent
+    // province pair — east-west between border columns, north-south
+    // between border rows.
+    let lane_rows = |extent: usize| -> Vec<usize> {
+        let lanes = cfg.highway_lanes.min(extent);
+        (0..lanes).map(|l| (2 * l + 1) * extent / (2 * lanes)).collect()
+    };
+    for py in 0..cfg.provinces_y {
+        for px in 0..cfg.provinces_x {
+            if px + 1 < cfg.provinces_x {
+                for &y in &lane_rows(ph) {
+                    b.add_euclidean_edge(
+                        id(px, py, pw - 1, y),
+                        id(px + 1, py, 0, y),
+                        cfg.highway_factor,
+                    )?;
+                }
+            }
+            if py + 1 < cfg.provinces_y {
+                for &x in &lane_rows(pw) {
+                    b.add_euclidean_edge(
+                        id(px, py, x, ph - 1),
+                        id(px, py + 1, x, 0),
+                        cfg.highway_factor,
+                    )?;
+                }
+            }
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ContinentConfig {
+        ContinentConfig {
+            provinces_x: 3,
+            provinces_y: 2,
+            province_width: 8,
+            province_height: 8,
+            seed: 5,
+            ..ContinentConfig::default()
+        }
+    }
+
+    #[test]
+    fn continent_is_connected_and_admissible() {
+        let g = continent_network(&small()).unwrap();
+        assert_eq!(g.num_nodes(), 3 * 2 * 8 * 8);
+        assert!(g.is_connected(), "highways must join every province");
+        assert!(g.euclidean_admissible(1e-9));
+        let deg = g.avg_degree();
+        assert!((1.5..=8.0).contains(&deg), "degree {deg} not road-like");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = continent_network(&small()).unwrap();
+        let b = continent_network(&small()).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        let c = continent_network(&ContinentConfig { seed: 6, ..small() }).unwrap();
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn highway_count_matches_lattice_adjacency() {
+        let cfg = ContinentConfig { knockout: 0.0, jitter: 0.0, ..small() };
+        let g = continent_network(&cfg).unwrap();
+        // Full per-province lattice plus lanes on every adjacent pair.
+        let street = 3 * 2 * (8 * 7 + 8 * 7);
+        let pairs = 2 * 2 + 3; // east-west + north-south adjacencies
+        assert_eq!(g.num_edges(), street + pairs * cfg.highway_lanes);
+    }
+
+    #[test]
+    fn provinces_are_separated_by_the_sea_gap() {
+        let cfg = ContinentConfig { jitter: 0.0, ..small() };
+        let g = continent_network(&cfg).unwrap();
+        // Last column of province (0,0) vs first column of province (1,0).
+        let left = g.point(NodeId(7));
+        let right = g.point(NodeId((8 * 8) as u32));
+        assert!(right.x - left.x >= cfg.sea_gap * cfg.spacing);
+    }
+
+    #[test]
+    fn single_province_needs_no_highways() {
+        let cfg = ContinentConfig {
+            provinces_x: 1,
+            provinces_y: 1,
+            province_width: 6,
+            province_height: 6,
+            highway_lanes: 0,
+            ..ContinentConfig::default()
+        };
+        let g = continent_network(&cfg).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.num_nodes(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "highway lane")]
+    fn zero_lanes_on_multi_province_map_panics() {
+        let _ = continent_network(&ContinentConfig { highway_lanes: 0, ..small() });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_province_panics() {
+        let _ = continent_network(&ContinentConfig { province_width: 1, ..small() });
+    }
+}

@@ -50,14 +50,15 @@ impl Default for GridConfig {
     }
 }
 
-/// Tiny union-find used to pick a random spanning tree.
-struct Dsu(Vec<u32>);
+/// Tiny union-find used to pick a random spanning tree (shared with the
+/// continent generator).
+pub(super) struct Dsu(Vec<u32>);
 
 impl Dsu {
-    fn new(n: usize) -> Self {
+    pub(super) fn new(n: usize) -> Self {
         Dsu((0..n as u32).collect())
     }
-    fn find(&mut self, x: u32) -> u32 {
+    pub(super) fn find(&mut self, x: u32) -> u32 {
         if self.0[x as usize] != x {
             let r = self.find(self.0[x as usize]);
             self.0[x as usize] = r;
@@ -66,7 +67,7 @@ impl Dsu {
             x
         }
     }
-    fn union(&mut self, a: u32, b: u32) -> bool {
+    pub(super) fn union(&mut self, a: u32, b: u32) -> bool {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra == rb {
             return false;

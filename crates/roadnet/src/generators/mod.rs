@@ -14,12 +14,17 @@
 //! Three families are provided, to show results are not an artifact of one
 //! topology: [`grid`] (Manhattan-style), [`geometric`] (random planar-ish
 //! k-NN graph, closest to suburban TIGER tracts), and [`radial`]
-//! (ring-and-spoke "old city").
+//! (ring-and-spoke "old city"). A fourth generator, [`continent`], scales
+//! the grid family to DIMACS-challenge node counts (10⁵–10⁶) by tiling
+//! provinces joined by sparse highways; it is a deliberate *outlier* in
+//! size and is not part of [`NetworkClass::ALL`] sweeps.
 
+pub mod continent;
 pub mod geometric;
 pub mod grid;
 pub mod radial;
 
+pub use continent::{ContinentConfig, continent_network};
 pub use geometric::{GeometricConfig, random_geometric};
 pub use grid::{GridConfig, grid_network};
 pub use radial::{RadialConfig, radial_city};

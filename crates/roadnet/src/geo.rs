@@ -12,7 +12,9 @@ use std::fmt;
 /// produce networks where one unit is comparable to one "block").
 #[derive(Clone, Copy, PartialEq, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct Point {
+    /// Horizontal coordinate in map units.
     pub x: f64,
+    /// Vertical coordinate in map units.
     pub y: f64,
 }
 
@@ -62,7 +64,9 @@ impl fmt::Display for Point {
 /// An axis-aligned bounding box.
 #[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct BoundingBox {
+    /// Lower-left corner.
     pub min: Point,
+    /// Upper-right corner.
     pub max: Point,
 }
 

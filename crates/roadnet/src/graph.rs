@@ -18,16 +18,22 @@ use crate::ids::{EdgeId, NodeId};
 /// underlying undirected [`EdgeId`] `edge`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Arc {
+    /// Head node reached by following the arc.
     pub to: NodeId,
+    /// Traversal cost.
     pub weight: f64,
+    /// The undirected segment this arc belongs to.
     pub edge: EdgeId,
 }
 
 /// An undirected road segment as supplied to the builder.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Edge {
+    /// One endpoint (orientation as supplied to the builder).
     pub a: NodeId,
+    /// The other endpoint.
     pub b: NodeId,
+    /// Traversal cost, identical in both directions.
     pub weight: f64,
 }
 

@@ -35,6 +35,8 @@
 //! assert!(degree > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod generators;
 pub mod geo;
@@ -51,4 +53,6 @@ pub use graph::{Arc, Edge, GraphBuilder, GraphView, RoadNetwork};
 pub use ids::{EdgeId, NodeId};
 pub use region::RegionView;
 pub use spatial::SpatialIndex;
-pub use storage::{IoStats, LruBuffer, PageLayout, PagePlacement, PagedGraph};
+pub use storage::{
+    ChunkConfig, ChunkedCsr, IoStats, LruBuffer, PageLayout, PagePlacement, PagedGraph,
+};

@@ -14,8 +14,11 @@ use std::collections::HashMap;
 /// complements [`IoStats::hit_ratio`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IoStats {
+    /// Logical page touches.
     pub accesses: u64,
+    /// Touches that required a (simulated or real) disk read.
     pub faults: u64,
+    /// Resident pages displaced to make room.
     pub evictions: u64,
 }
 

@@ -18,9 +18,16 @@
 //! counts per query). Node coordinates are treated as part of a separate
 //! in-memory directory (as a spatial index would provide) and do not incur
 //! page touches.
+//!
+//! For maps that genuinely exceed RAM, [`ChunkedCsr`] complements the
+//! simulation with a real spill-to-disk store: the CSR arc array lives in
+//! a backing file and chunks fault in through the same exact-LRU policy,
+//! behind the same [`GraphView`] trait.
 
+mod chunked;
 mod lru;
 
+pub use chunked::{ChunkConfig, ChunkedCsr};
 pub use lru::{IoStats, LruBuffer};
 
 use crate::geo::Point;
@@ -48,7 +55,10 @@ pub enum PagePlacement {
     NodeOrder,
     /// Nodes packed in seeded-random order — the worst case, destroying all
     /// locality; the ablation baseline for E9.
-    Random { seed: u64 },
+    Random {
+        /// Shuffle seed; same seed ⇒ same placement.
+        seed: u64,
+    },
 }
 
 impl PagePlacement {

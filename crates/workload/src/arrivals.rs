@@ -29,7 +29,9 @@ use roadnet::{RoadNetwork, SpatialIndex};
 /// A request stamped with its arrival time (seconds from stream start).
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimedRequest {
+    /// Arrival offset in seconds from stream start.
     pub arrival: f64,
+    /// The request itself.
     pub request: ClientRequest,
 }
 

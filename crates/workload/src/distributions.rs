@@ -18,11 +18,21 @@ pub enum QueryDistribution {
     /// Destinations cluster around `hotspots` random attraction points with
     /// Zipf-like popularity (exponent `exponent`); sources are uniform.
     /// `spread` is the hotspot radius as a fraction of the map diagonal.
-    Hotspot { hotspots: usize, exponent: f64, spread: f64 },
+    Hotspot {
+        /// Number of attraction points.
+        hotspots: usize,
+        /// Zipf popularity exponent across hotspots.
+        exponent: f64,
+        /// Hotspot radius as a fraction of the map diagonal.
+        spread: f64,
+    },
     /// Commuter pattern: sources drawn from the map's outer ring,
     /// destinations from a disk around the centre with radius
     /// `center_radius` (fraction of the diagonal).
-    Commuter { center_radius: f64 },
+    Commuter {
+        /// Destination-disk radius as a fraction of the map diagonal.
+        center_radius: f64,
+    },
 }
 
 impl QueryDistribution {

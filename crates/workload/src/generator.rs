@@ -14,9 +14,19 @@ use roadnet::{RoadNetwork, SpatialIndex};
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ProtectionDistribution {
     /// Every client requests the same `(f_s, f_t)`.
-    Fixed { f_s: u32, f_t: u32 },
+    Fixed {
+        /// Source obfuscation-set size.
+        f_s: u32,
+        /// Target obfuscation-set size.
+        f_t: u32,
+    },
     /// Both sizes drawn uniformly from `lo..=hi` per client.
-    UniformRange { lo: u32, hi: u32 },
+    UniformRange {
+        /// Smallest set size drawn.
+        lo: u32,
+        /// Largest set size drawn.
+        hi: u32,
+    },
 }
 
 impl ProtectionDistribution {

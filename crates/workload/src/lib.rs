@@ -28,6 +28,8 @@
 //! assert_eq!(batch.len(), 32);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arrivals;
 pub mod churn;
 pub mod distributions;

@@ -1,0 +1,353 @@
+//! The goal-directed search guarantee, as a property: for random maps,
+//! random batches, random obfuscator seeds, every sharing policy, and
+//! every service composition (Sequential/WorkerPool × RoundRobin/
+//! RegionOwned × Lru/Off), `SearchHeuristic::Alt` produces the **same
+//! answers** as `SearchHeuristic::None` — the same delivered paths and
+//! costs, the same per-client outcomes, the same hop-4 payload bytes —
+//! while settling **no more** nodes in aggregate.
+//!
+//! ALT pruning is allowed to change exactly one thing: the amount of
+//! work. The serialized `BatchReport` carries that work in its
+//! `server_settled` / `server_relaxed` fields, so the oracle here
+//! compares reports with those two fields normalized to zero and asserts
+//! every other byte identical; the fleet's raw counters are then checked
+//! directly for `settled(Alt) <= settled(None)`. Any other divergence
+//! this test could catch would be a real admissibility bug: a landmark
+//! bound overestimating a true distance, a guided trace adopted under the
+//! wrong potential, a transposed sweep keyed by the wrong goal set.
+
+use opaque::{
+    BatchReport, CachePolicy, ClientId, ClientRequest, DirectionsBackend, ExecutionPolicy,
+    ObfuscationMode, PartitionPolicy, PathQuery, ProtectionSettings, SearchHeuristic,
+    ServiceBuilder, ServiceResponse,
+};
+use pathsearch::SharingPolicy;
+use proptest::prelude::*;
+use roadnet::{GraphBuilder, NodeId, Point, RoadNetwork};
+
+/// Random connected road map: a random spanning tree plus extra random
+/// edges (parallel roads allowed), weights ≥ Euclidean distance so the
+/// landmark bounds have nontrivial pruning room.
+fn arb_map(max_nodes: usize) -> impl Strategy<Value = RoadNetwork> {
+    (4..max_nodes)
+        .prop_flat_map(|n| {
+            let coords = proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n);
+            let parents = proptest::collection::vec(proptest::num::u32::ANY, n - 1);
+            let extra = proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..3.0), 0..n);
+            (coords, parents, extra)
+        })
+        .prop_map(|(coords, parents, extra)| {
+            let mut b = GraphBuilder::new();
+            for (x, y) in &coords {
+                b.add_node(Point::new(*x, *y)).expect("finite coords");
+            }
+            let n = coords.len();
+            let euclid = |a: usize, c: usize| {
+                Point::new(coords[a].0, coords[a].1).distance(Point::new(coords[c].0, coords[c].1))
+            };
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = (*p as usize) % child;
+                let w = euclid(parent, child).max(f64::EPSILON) * 1.1;
+                b.add_edge(NodeId::from_index(parent), NodeId::from_index(child), w)
+                    .expect("valid tree edge");
+            }
+            for (a, c, factor) in extra {
+                let (a, c) = (a as usize % n, c as usize % n);
+                if a != c {
+                    let w = euclid(a, c).max(f64::EPSILON) * factor;
+                    b.add_edge(NodeId::from_index(a), NodeId::from_index(c), w)
+                        .expect("valid extra edge");
+                }
+            }
+            b.build().expect("non-empty graph")
+        })
+}
+
+/// A batch of requests with unique client ids; endpoints and protection
+/// demands are arbitrary (including infeasible ones — rejections must be
+/// identical across heuristics too).
+fn arb_batch(max_requests: usize) -> impl Strategy<Value = Vec<(u32, u32, u32, u32)>> {
+    proptest::collection::vec(
+        (proptest::num::u32::ANY, proptest::num::u32::ANY, 1u32..5, 1u32..5),
+        1..max_requests,
+    )
+}
+
+fn requests_on(map: &RoadNetwork, raw: &[(u32, u32, u32, u32)]) -> Vec<ClientRequest> {
+    let n = map.num_nodes() as u32;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(s, t, f_s, f_t))| {
+            ClientRequest::new(
+                ClientId(i as u32),
+                PathQuery::new(NodeId(s % n), NodeId(t % n)),
+                ProtectionSettings::new(f_s, f_t).expect("nonzero by construction"),
+            )
+        })
+        .collect()
+}
+
+struct Composition {
+    sharing: SharingPolicy,
+    shards: usize,
+    execution: ExecutionPolicy,
+    partition: PartitionPolicy,
+    cache: CachePolicy,
+}
+
+fn build_service(
+    map: RoadNetwork,
+    seed: u64,
+    mode: ObfuscationMode,
+    comp: &Composition,
+    heuristic: SearchHeuristic,
+) -> opaque::OpaqueService<opaque::DefaultBackend> {
+    ServiceBuilder::new()
+        .map(map)
+        .seed(seed)
+        .shards(comp.shards)
+        .obfuscation_mode(mode)
+        .sharing_policy(comp.sharing)
+        .execution_policy(comp.execution)
+        .partition_policy(comp.partition)
+        .cache_policy(comp.cache)
+        .search_heuristic(heuristic)
+        .verify_results(true)
+        .build()
+        .expect("valid configuration")
+}
+
+/// The report with its two work fields normalized away — everything else
+/// (deliveries, fakes, traffic bytes per hop, trees grown) must be
+/// byte-identical between the guided and unguided evaluation.
+fn normalized_report_json(report: &BatchReport) -> String {
+    let mut r = report.clone();
+    r.server_settled = 0;
+    r.server_relaxed = 0;
+    serde_json::to_string(&r).expect("report serializes")
+}
+
+/// The equivalence oracle: every observable piece of a batch's output,
+/// modulo the settled/relaxed work counters.
+fn assert_answer_identical(plain: &ServiceResponse, alt: &ServiceResponse, ctx: &str) {
+    assert_eq!(plain.outcomes, alt.outcomes, "{ctx}: per-client outcomes diverged");
+    assert_eq!(plain.results.len(), alt.results.len(), "{ctx}: delivery count diverged");
+    for (x, y) in plain.results.iter().zip(&alt.results) {
+        assert_eq!(x.client, y.client, "{ctx}: delivery order diverged");
+        assert_eq!(x.path, y.path, "{ctx}: delivered path diverged for {:?}", x.client);
+        assert_eq!(
+            x.path.distance().to_bits(),
+            y.path.distance().to_bits(),
+            "{ctx}: delivered cost diverged for {:?}",
+            x.client
+        );
+    }
+    assert_eq!(
+        plain.report.traffic, alt.report.traffic,
+        "{ctx}: hop payload bytes diverged (hop 4 included)"
+    );
+    assert_eq!(
+        normalized_report_json(&plain.report),
+        normalized_report_json(&alt.report),
+        "{ctx}: BatchReport diverged beyond the settled/relaxed counters"
+    );
+}
+
+/// Fleet counters with the work counters masked: all of these must match
+/// between heuristics (pruning may only shrink work, never change what
+/// was answered or how many trees grew). The physical cache hit/miss pair
+/// is also masked — under `SharingPolicy::None` each (root, target) pair
+/// carries its own potential params, so a single-root cache slot can
+/// churn differently between the regimes.
+fn masked_stats(svc: &opaque::OpaqueService<opaque::DefaultBackend>) -> opaque::ServerStats {
+    let mut stats = svc.backend().stats();
+    stats.tree_cache_hits = 0;
+    stats.tree_cache_misses = 0;
+    stats.search.settled = 0;
+    stats.search.relaxed = 0;
+    stats.search.heap_pushes = 0;
+    stats.search.heap_pops = 0;
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn alt_answers_are_identical_to_none_and_settle_no_more(
+        map in arb_map(40),
+        raw_batch in arb_batch(10),
+        seed in proptest::num::u64::ANY,
+        landmarks in 1usize..4,
+        sharing_pick in 0u8..4,
+        execution_pick in 0u8..2,
+        partition_pick in 0u8..2,
+        cache_pick in 0u8..2,
+        mode_pick in 0u8..2,
+    ) {
+        let sharing = match sharing_pick {
+            0 => SharingPolicy::None,
+            1 => SharingPolicy::PerSource,
+            2 => SharingPolicy::Auto,
+            _ => SharingPolicy::SharedFrontier,
+        };
+        let (shards, execution) = match execution_pick {
+            0 => (1, ExecutionPolicy::Sequential),
+            _ => (3, ExecutionPolicy::WorkerPool { threads: 3 }),
+        };
+        let partition = match partition_pick {
+            0 => PartitionPolicy::RoundRobin,
+            _ => PartitionPolicy::RegionOwned { halo: 1 },
+        };
+        let cache = match cache_pick {
+            0 => CachePolicy::Off,
+            _ => CachePolicy::Lru { trees: 4 },
+        };
+        let mode = match mode_pick {
+            0 => ObfuscationMode::Independent,
+            _ => ObfuscationMode::SharedGlobal,
+        };
+        let comp = Composition { sharing, shards, execution, partition, cache };
+        let requests = requests_on(&map, &raw_batch);
+        let mut plain = build_service(map.clone(), seed, mode, &comp, SearchHeuristic::None);
+        let mut alt = build_service(
+            map.clone(), seed, mode, &comp, SearchHeuristic::Alt { landmarks },
+        );
+
+        // Repeated rounds: round 1 runs cold caches, later rounds adopt
+        // previously recorded (guided vs unguided) traces. The obfuscator
+        // RNG advances identically, so both services see the same units.
+        for round in 0..3 {
+            let ctx = format!(
+                "n={} requests={} seed={seed} landmarks={landmarks} sharing={sharing:?} \
+                 execution={execution:?} partition={partition:?} cache={cache:?} \
+                 mode={mode:?} round={round}",
+                map.num_nodes(),
+                requests.len()
+            );
+            match (plain.process_batch(&requests), alt.process_batch(&requests)) {
+                (Ok(a), Ok(b)) => assert_answer_identical(&a, &b, &ctx),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "{}: errors diverged", ctx),
+                (a, b) => prop_assert!(
+                    false,
+                    "{}: one heuristic failed, the other did not: {:?} vs {:?}",
+                    ctx,
+                    a.map(|r| r.outcomes),
+                    b.map(|r| r.outcomes)
+                ),
+            }
+        }
+        prop_assert_eq!(
+            masked_stats(&plain),
+            masked_stats(&alt),
+            "non-work fleet counters diverged"
+        );
+        let (p, a) = (plain.backend().stats(), alt.backend().stats());
+        // Settled-work dominance. Per *single-target* tree `settled(Alt)
+        // ⊆ settled(None)` is a theorem (the potential is 0 at the goal,
+        // so every guided settle key is bounded by the goal's plain
+        // distance). With a *multi-goal* max-over-targets potential the
+        // bound at a near goal is still positive — its key carries the
+        // distance to the far goals — so a guided sweep may settle a few
+        // boundary nodes past the plain sweep's last goal. On adversarial
+        // tiny random maps that overshoot can exceed the pruning, so the
+        // per-case check allows a small bounded margin, while the
+        // cumulative totals across the whole proptest run (where pruning
+        // dominates) are held to the strict inequality.
+        prop_assert!(
+            a.search.settled <= p.search.settled + p.search.settled / 4 + 16,
+            "guided fleet settled far more than unguided: {} vs {} \
+             (sharing={:?} execution={:?} partition={:?} cache={:?} mode={:?} n={})",
+            a.search.settled,
+            p.search.settled,
+            sharing,
+            execution,
+            partition,
+            cache,
+            mode,
+            map.num_nodes()
+        );
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static PLAIN_TOTAL: AtomicU64 = AtomicU64::new(0);
+        static ALT_TOTAL: AtomicU64 = AtomicU64::new(0);
+        let plain_total = PLAIN_TOTAL.fetch_add(p.search.settled, Ordering::Relaxed)
+            + p.search.settled;
+        let alt_total = ALT_TOTAL.fetch_add(a.search.settled, Ordering::Relaxed)
+            + a.search.settled;
+        if plain_total >= 5_000 {
+            prop_assert!(
+                alt_total <= plain_total,
+                "aggregate: guided settled {} vs unguided {}",
+                alt_total,
+                plain_total
+            );
+        }
+    }
+}
+
+/// The full 2×2×2 composition grid, deterministically, on one fixed map
+/// and batch — so every cell of the satellite's matrix is exercised on
+/// every test run, not just the sampled ones.
+#[test]
+fn every_composition_cell_is_answer_identical() {
+    use roadnet::generators::{GridConfig, grid_network};
+    let map =
+        grid_network(&GridConfig { width: 10, height: 10, seed: 4, ..Default::default() }).unwrap();
+    let requests: Vec<ClientRequest> = (0..6)
+        .map(|i| {
+            ClientRequest::new(
+                ClientId(i),
+                PathQuery::new(NodeId(i * 9), NodeId(99 - i * 11)),
+                ProtectionSettings::new(3, 3).unwrap(),
+            )
+        })
+        .collect();
+    for (shards, execution) in
+        [(1, ExecutionPolicy::Sequential), (2, ExecutionPolicy::WorkerPool { threads: 2 })]
+    {
+        for partition in [PartitionPolicy::RoundRobin, PartitionPolicy::RegionOwned { halo: 1 }] {
+            for cache in [CachePolicy::Off, CachePolicy::Lru { trees: 8 }] {
+                let comp = Composition {
+                    sharing: SharingPolicy::PerSource,
+                    shards,
+                    execution,
+                    partition,
+                    cache,
+                };
+                let mut plain = build_service(
+                    map.clone(),
+                    7,
+                    ObfuscationMode::Independent,
+                    &comp,
+                    SearchHeuristic::None,
+                );
+                let mut alt = build_service(
+                    map.clone(),
+                    7,
+                    ObfuscationMode::Independent,
+                    &comp,
+                    SearchHeuristic::Alt { landmarks: 8 },
+                );
+                for round in 0..2 {
+                    let ctx = format!(
+                        "execution={execution:?} partition={partition:?} cache={cache:?} \
+                         round={round}"
+                    );
+                    let a = plain.process_batch(&requests).unwrap();
+                    let b = alt.process_batch(&requests).unwrap();
+                    assert_answer_identical(&a, &b, &ctx);
+                }
+                let (p, a) = (plain.backend().stats(), alt.backend().stats());
+                assert!(a.search.settled <= p.search.settled);
+                assert!(
+                    a.search.settled < p.search.settled,
+                    "on spread-out grid queries ALT should actually prune \
+                     (settled {} vs {})",
+                    a.search.settled,
+                    p.search.settled
+                );
+            }
+        }
+    }
+}
