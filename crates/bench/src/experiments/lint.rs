@@ -1,0 +1,74 @@
+//! LINT — the workspace invariant surfaces as a trend line.
+//!
+//! Not a paper artifact: this pseudo-experiment runs the `opaque-lint`
+//! checker (docs/static_analysis.md) over the workspace it was built
+//! from and records the sizes of the two explicitly-audited surfaces —
+//! censused `unsafe` sites and justified allow-marker exceptions — so
+//! the perf trajectory (`BENCH_<n>.json`) charts their growth across
+//! merges alongside the runtime metrics. A surface that only ever grows
+//! is a surface nobody is re-reviewing; the chart makes that visible.
+
+use crate::setup::Scale;
+use crate::table::ExperimentTable;
+use std::path::{Path, PathBuf};
+
+/// The workspace root this binary was built from — a compile-time
+/// anchor, so the run works from any CWD (CI, `cargo test`, by hand).
+fn repo_root() -> PathBuf {
+    // crates/bench -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).map(Path::to_path_buf).unwrap()
+}
+
+/// Run the LINT pseudo-experiment. `Scale` is ignored: the linter
+/// always walks the whole workspace.
+pub fn run(_scale: &Scale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "LINT",
+        "workspace invariant surfaces (opaque-lint)",
+        "static-analysis gate trend — not a paper artifact (docs/static_analysis.md)",
+        &["surface", "count"],
+    );
+    let root = repo_root();
+    let cfg = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => opaque_lint::Config::parse(&text).expect("lint.toml parses"),
+        Err(_) => opaque_lint::Config::default(),
+    };
+    let report = opaque_lint::run(&root, &cfg).expect("lint walk reads the workspace");
+    // The perf job is not the gate — lint-gate and the workspace-clean
+    // test are — but a trajectory recorded from a dirty tree would
+    // chart noise, so hold the same line here.
+    assert!(
+        report.violations.is_empty(),
+        "workspace has lint violations; run `cargo run -p opaque-lint` and fix or justify them"
+    );
+
+    t.row(vec!["violations".into(), report.violations.len().to_string()]);
+    t.row(vec!["unsafe sites (censused)".into(), report.census.len().to_string()]);
+    t.row(vec!["allowed sites (justified)".into(), report.allowed.len().to_string()]);
+    t.row(vec!["files scanned".into(), report.files_scanned.to_string()]);
+    t.row(vec!["docs checked".into(), report.docs_checked.to_string()]);
+    t.note("same engine as CI's lint-gate job and crates/lint/tests/workspace_clean.rs");
+    t.metric("lint_unsafe_blocks", report.census.len() as f64);
+    t.metric("lint_allowed_sites", report.allowed.len() as f64);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::PerfPoint;
+
+    #[test]
+    fn records_both_lint_metrics_from_a_clean_tree() {
+        let t = run(&Scale::quick());
+        // The run itself asserts zero violations; here we pin that the
+        // metrics land and flow into the perf point under the id the
+        // trend tooling keys on.
+        assert!(t.metric_value("lint_unsafe_blocks").unwrap() >= 1.0, "reactor site censused");
+        assert!(t.metric_value("lint_allowed_sites").unwrap() >= 1.0, "markers counted");
+        let p = PerfPoint::from_table(&t, 1.0);
+        assert_eq!(p.experiment, "lint");
+        assert_eq!(p.lint_unsafe_blocks, t.metric_value("lint_unsafe_blocks").unwrap());
+        assert_eq!(p.lint_allowed_sites, t.metric_value("lint_allowed_sites").unwrap());
+    }
+}

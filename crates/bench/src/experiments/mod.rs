@@ -1,4 +1,6 @@
-//! The experiment suite — one module per paper artifact (see DESIGN.md §3).
+//! The experiment suite — one module per paper artifact (see DESIGN.md §3),
+//! plus the `lint` pseudo-experiment that trends the workspace's
+//! invariant surfaces (unsafe census, allow markers) in the perf artifact.
 
 pub mod e10_scaling;
 pub mod e11_intersection;
@@ -20,14 +22,16 @@ pub mod e6_collusion;
 pub mod e7_strategies;
 pub mod e8_clustering;
 pub mod e9_storage;
+pub mod lint;
 
 use crate::setup::Scale;
 use crate::table::ExperimentTable;
 
-/// All experiment ids, in run order.
-pub const ALL_IDS: [&str; 20] = [
+/// All experiment ids, in run order (`lint` last: it audits the tree,
+/// not the paper).
+pub const ALL_IDS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "lint",
 ];
 
 /// Run one experiment by id.
@@ -53,6 +57,7 @@ pub fn run_by_id(id: &str, scale: &Scale) -> Option<ExperimentTable> {
         "e18" => Some(e18_partition::run(scale)),
         "e19" => Some(e19_livemap::run(scale)),
         "e20" => Some(e20_continent::run(scale)),
+        "lint" => Some(lint::run(scale)),
         _ => None,
     }
 }

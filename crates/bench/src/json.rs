@@ -12,7 +12,8 @@
 //!            "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0,
 //!            "cache_hit_rate_region": 0.0, "cache_hit_rate_rr": 0.0,
 //!            "churn_hit_rate_surgical": 0.0, "churn_hit_rate_dropall": 0.0,
-//!            "continent_settled_ratio": 0.0, "continent_ms_per_batch": 0.0 }
+//!            "continent_settled_ratio": 0.0, "continent_ms_per_batch": 0.0,
+//!            "lint_unsafe_blocks": 0.0, "lint_allowed_sites": 0.0 }
 //! }
 //! ```
 //!
@@ -72,6 +73,12 @@ pub struct PerfPoint {
     pub continent_settled_ratio: f64,
     /// Wall milliseconds per guided continent batch (0 when untracked).
     pub continent_ms_per_batch: f64,
+    /// Size of the workspace's censused `unsafe` surface, from the
+    /// `lint` pseudo-experiment (0 when the run did not include it).
+    pub lint_unsafe_blocks: f64,
+    /// Justified allow-marker sites counted by the same lint run (0 when
+    /// untracked) — the workspace's explicit-exception surface.
+    pub lint_allowed_sites: f64,
 }
 
 impl PerfPoint {
@@ -96,6 +103,8 @@ impl PerfPoint {
             churn_hit_rate_dropall: metric("churn_hit_rate_dropall"),
             continent_settled_ratio: metric("continent_settled_ratio"),
             continent_ms_per_batch: metric("continent_ms_per_batch"),
+            lint_unsafe_blocks: metric("lint_unsafe_blocks"),
+            lint_allowed_sites: metric("lint_allowed_sites"),
         }
     }
 }
@@ -172,6 +181,14 @@ impl serde::Serialize for PerfTrajectory {
                                 "continent_ms_per_batch".to_string(),
                                 serde::Value::Num(p.continent_ms_per_batch),
                             ),
+                            (
+                                "lint_unsafe_blocks".to_string(),
+                                serde::Value::Num(p.lint_unsafe_blocks),
+                            ),
+                            (
+                                "lint_allowed_sites".to_string(),
+                                serde::Value::Num(p.lint_allowed_sites),
+                            ),
                         ]),
                     )
                 })
@@ -221,6 +238,8 @@ impl serde::Deserialize for PerfTrajectory {
                     churn_hit_rate_dropall: optional("churn_hit_rate_dropall")?,
                     continent_settled_ratio: optional("continent_settled_ratio")?,
                     continent_ms_per_batch: optional("continent_ms_per_batch")?,
+                    lint_unsafe_blocks: optional("lint_unsafe_blocks")?,
+                    lint_allowed_sites: optional("lint_allowed_sites")?,
                 })
             })
             .collect::<Result<Vec<_>, serde::DeError>>()?;
@@ -292,6 +311,12 @@ mod tests {
         );
         let p = PerfPoint::from_table(&continent, 500.0);
         assert_eq!((p.continent_settled_ratio, p.continent_ms_per_batch), (0.21, 120.5));
+
+        // The lint pair flows through from the lint pseudo-experiment.
+        let lint = table_with("LINT", &[("lint_unsafe_blocks", 1.0), ("lint_allowed_sites", 11.0)]);
+        let p = PerfPoint::from_table(&lint, 600.0);
+        assert_eq!(p.experiment, "lint");
+        assert_eq!((p.lint_unsafe_blocks, p.lint_allowed_sites), (1.0, 11.0));
     }
 
     #[test]
@@ -347,6 +372,19 @@ mod tests {
         assert_eq!(traj.points[0].churn_hit_rate_surgical, 0.71);
         assert_eq!(traj.points[0].continent_settled_ratio, 0.0);
         assert_eq!(traj.points[0].continent_ms_per_batch, 0.0);
+
+        // BENCH_9.json artifacts carry the continent pair but not the
+        // lint pair; those must parse too, with both counts zero.
+        let bench9 = r#"{ "e20": { "wall_ms": 500.0, "trees_grown": 0, "cache_hit_rate": 0.0,
+                          "queue_wait_p50": 0.0, "queue_wait_p99": 0.0, "rejection_rate": 0.0,
+                          "net_p50_ms": 0.0, "net_p99_ms": 0.0, "net_p999_ms": 0.0,
+                          "cache_hit_rate_region": 0.0, "cache_hit_rate_rr": 0.0,
+                          "churn_hit_rate_surgical": 0.0, "churn_hit_rate_dropall": 0.0,
+                          "continent_settled_ratio": 0.21, "continent_ms_per_batch": 120.5 } }"#;
+        let traj: PerfTrajectory = serde_json::from_str(bench9).unwrap();
+        assert_eq!(traj.points[0].continent_settled_ratio, 0.21);
+        assert_eq!(traj.points[0].lint_unsafe_blocks, 0.0);
+        assert_eq!(traj.points[0].lint_allowed_sites, 0.0);
     }
 
     #[test]
@@ -370,6 +408,8 @@ mod tests {
                     churn_hit_rate_dropall: 0.0,
                     continent_settled_ratio: 0.0,
                     continent_ms_per_batch: 0.0,
+                    lint_unsafe_blocks: 0.0,
+                    lint_allowed_sites: 0.0,
                 },
                 PerfPoint {
                     experiment: "e15".to_string(),
@@ -388,6 +428,8 @@ mod tests {
                     churn_hit_rate_dropall: 0.3,
                     continent_settled_ratio: 0.2,
                     continent_ms_per_batch: 150.0,
+                    lint_unsafe_blocks: 1.0,
+                    lint_allowed_sites: 11.0,
                 },
             ],
         };
@@ -421,6 +463,8 @@ mod tests {
             churn_hit_rate_dropall: 0.0,
             continent_settled_ratio: 0.0,
             continent_ms_per_batch: 0.0,
+            lint_unsafe_blocks: 0.0,
+            lint_allowed_sites: 0.0,
         };
         traj.record(point(1.0));
         traj.record(point(2.0));

@@ -1,0 +1,235 @@
+//! The engine: walk the workspace, scope rules by the baseline, apply
+//! allow markers, aggregate a [`LintReport`].
+//!
+//! Determinism discipline applies to the linter itself — it is run in CI
+//! and its JSON output is diffed by humans, so everything here iterates
+//! in sorted path order and the report is a pure function of the tree.
+
+use crate::config::Config;
+use crate::rules::docrefs::{self, DocIndex};
+use crate::rules::unsafety::UnsafeSite;
+use crate::rules::{determinism, panic_path, unsafety};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A confirmed violation: rule, site, and what to do.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Violation {
+    /// Repo-relative file, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id.
+    pub rule: String,
+    /// What happened and how to fix it.
+    pub message: String,
+}
+
+/// A site where an allow marker suppressed a would-be violation. Kept in
+/// the report so the exception surface stays as visible as the rule
+/// surface.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct AllowedSite {
+    /// Repo-relative file.
+    pub file: String,
+    /// Covered code line.
+    pub line: u32,
+    /// The rule the marker waived.
+    pub rule: String,
+}
+
+/// Everything one lint run learned about the workspace.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct LintReport {
+    /// Unsuppressed violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Every `unsafe` site in scope, documented or not.
+    pub census: Vec<UnsafeSite>,
+    /// Marker-suppressed sites, sorted like `violations`.
+    pub allowed: Vec<AllowedSite>,
+    /// Rust files scanned.
+    pub files_scanned: u32,
+    /// Markdown docs checked for cross-references.
+    pub docs_checked: u32,
+}
+
+impl LintReport {
+    /// Clean means zero violations (allowed sites are fine — that is
+    /// what markers are for).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Rules an allow marker may waive. `safety-comment` is deliberately
+/// absent — the fix for a missing SAFETY comment is the comment — and
+/// `doc-ref` lives in markdown, where there are no markers.
+const ALLOWABLE_RULES: &[&str] = &["hash-iter", "wall-clock", "panic-path"];
+
+/// All rule ids, for marker validation.
+const ALL_RULES: &[&str] =
+    &["hash-iter", "wall-clock", "safety-comment", "panic-path", "doc-ref", "allow-marker"];
+
+/// Run every rule over the tree at `root` per the baseline `cfg`.
+pub fn run(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    let files = walk(root)?;
+    let mut report = LintReport::default();
+    let mut idx = DocIndex { files: files.iter().cloned().collect(), idents: BTreeSet::new() };
+
+    // Pass 1: lex every Rust file once; run the source rules. Vendored
+    // stand-ins are in the file index (docs reference `vendor/`) but are
+    // not held to workspace rules — they are placeholders for crates.io
+    // code this repo does not own.
+    for rel in files.iter().filter(|f| f.ends_with(".rs") && !f.starts_with("vendor/")) {
+        let src = fs::read_to_string(root.join(rel))?;
+        let f = SourceFile::parse(rel, &src);
+        report.files_scanned += 1;
+        for ci in 0..f.code_len() {
+            let t = f.ct(ci);
+            if t.kind == crate::lexer::TokKind::Ident {
+                idx.idents.insert(t.text.clone());
+            }
+        }
+
+        let mut raw = Vec::new();
+        if cfg.determinism_scopes.iter().any(|s| in_scope(rel, s)) {
+            raw.extend(determinism::check(&f));
+        }
+        if cfg.panic_path_files.iter().any(|p| p == rel) {
+            raw.extend(panic_path::check(&f));
+        }
+        if cfg.unsafe_scopes.iter().any(|s| in_scope(rel, s)) {
+            let (v, census) = unsafety::check(&f);
+            raw.extend(v);
+            report.census.extend(census);
+        }
+
+        // Marker validation: unknown rule ids and missing justifications
+        // are violations in their own right.
+        for m in &f.markers {
+            for r in &m.rules {
+                if !ALL_RULES.contains(&r.as_str()) {
+                    raw.push(crate::rules::RawViolation::new(
+                        "allow-marker",
+                        m.line,
+                        format!("allow marker names unknown rule `{r}`"),
+                    ));
+                } else if !ALLOWABLE_RULES.contains(&r.as_str()) {
+                    raw.push(crate::rules::RawViolation::new(
+                        "allow-marker",
+                        m.line,
+                        format!("rule `{r}` cannot be waived by an allow marker"),
+                    ));
+                }
+            }
+            if !m.justified {
+                raw.push(crate::rules::RawViolation::new(
+                    "allow-marker",
+                    m.line,
+                    "allow marker has no justification: say why the exception is sound",
+                ));
+            }
+        }
+
+        // Marker application: suppress covered sites, record them.
+        for v in raw {
+            if ALLOWABLE_RULES.contains(&v.rule) && f.allowed(v.line, v.rule) {
+                report.allowed.push(AllowedSite {
+                    file: rel.clone(),
+                    line: v.line,
+                    rule: v.rule.to_string(),
+                });
+            } else {
+                report.violations.push(Violation {
+                    file: rel.clone(),
+                    line: v.line,
+                    rule: v.rule.to_string(),
+                    message: v.message,
+                });
+            }
+        }
+    }
+
+    // Pass 2: doc cross-references, resolved against the full tree.
+    for rel in &cfg.doc_files {
+        let path = root.join(rel);
+        if !path.is_file() {
+            report.violations.push(Violation {
+                file: rel.clone(),
+                line: 0,
+                rule: "doc-ref".to_string(),
+                message: format!("baseline lists doc `{rel}`, which does not exist"),
+            });
+            continue;
+        }
+        report.docs_checked += 1;
+        let text = fs::read_to_string(&path)?;
+        for v in docrefs::check(&text, &idx) {
+            report.violations.push(Violation {
+                file: rel.clone(),
+                line: v.line,
+                rule: v.rule.to_string(),
+                message: v.message,
+            });
+        }
+    }
+
+    report.violations.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    report.allowed.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report.census.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Is `rel` under the path-prefix `scope`?
+fn in_scope(rel: &str, scope: &str) -> bool {
+    rel == scope || rel.starts_with(&format!("{}/", scope.trim_end_matches('/')))
+}
+
+/// Directory names never descended into. `vendor` stays in the walk so
+/// doc references to it resolve; the scan loop excludes it instead.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// All files under `root`, repo-relative with forward slashes, sorted.
+fn walk(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') || name == ".github" {
+                    stack.push(path);
+                }
+            } else if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_scope_is_prefix_with_separator_boundary() {
+        assert!(in_scope("crates/opaque/src/lib.rs", "crates/opaque/src"));
+        assert!(!in_scope("crates/opaque-net/src/lib.rs", "crates/opaque"));
+        assert!(in_scope("crates/opaque/src", "crates/opaque/src"));
+    }
+}

@@ -1,0 +1,460 @@
+//! A hand-rolled Rust lexer — just enough of the language to walk real
+//! source safely.
+//!
+//! The rules in this crate are token-pattern matchers, so the one job of
+//! the lexer is to never confuse code with non-code: `unwrap(` inside a
+//! raw string, `unsafe` inside a comment, or a `//` sequence inside a
+//! string literal must all land in non-code tokens. Everything else is
+//! deliberately simple: keywords are ordinary [`TokKind::Ident`] tokens,
+//! numbers are one blob, and multi-character operators arrive as single
+//! [`TokKind::Punct`] characters — the rule engine matches sequences, so
+//! it never needs `->` or `::` glued together.
+//!
+//! Handled precisely, because getting them wrong mis-flags real code:
+//!
+//! - line comments and nested block comments (doc comments included);
+//! - string literals with escapes, byte strings (`b"…"`), C strings
+//!   (`c"…"`), and raw variants (`r"…"`, `r#"…"#`, `br##"…"##`, …);
+//! - char literals vs lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\''`, `'\u{1F600}'`);
+//! - raw identifiers (`r#type`).
+
+/// What a token is. Rules mostly care about `Ident` / `Punct` (code) vs
+/// the rest (literals and comments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// One punctuation character (`.`, `:`, `[`, `!`, …).
+    Punct,
+    /// Numeric literal, lexed as one blob (`0x1F`, `1_000.5f64`, …).
+    Num,
+    /// String literal of any flavor: plain, byte, C, or raw.
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment (doc comments included). Text keeps the slashes.
+    LineComment,
+    /// `/* … */` comment, nesting handled. Text keeps the delimiters.
+    BlockComment,
+}
+
+/// One token with its source line (1-based; multi-line tokens carry the
+/// line they start on).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// The kind of token.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for tokens the rule engine treats as code (everything except
+    /// comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True for comment tokens.
+    pub fn is_comment(&self) -> bool {
+        !self.is_code()
+    }
+
+    /// Shorthand: is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Shorthand: is this a punct with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens. Never fails: unterminated literals and
+/// comments are closed by end-of-file (the rules still see them as
+/// non-code, which is the property that matters).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { chars: src.chars().collect(), i: 0, line: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(String::new()),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap_or(' ');
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// A plain (non-raw) string body starting at the opening quote;
+    /// `prefix` is the already-consumed `b` / `c` prefix, if any.
+    fn string(&mut self, prefix: String) {
+        let line = self.line;
+        let mut text = prefix;
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                text.push(c);
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            text.push(c);
+            if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// A raw string starting at the first `#` or `"` after the prefix
+    /// letters (`r` / `br` / `cr`, already consumed into `prefix`).
+    fn raw_string(&mut self, prefix: String) {
+        let line = self.line;
+        let mut text = prefix;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        'body: while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    text.push('#');
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // Lifetime: 'ident not closed by a quote ('a, 'static). Char:
+        // everything else ('x', '\n', '\'', '(' …).
+        let c1 = self.peek(1);
+        let is_lifetime = match c1 {
+            Some(c) if is_ident_start(c) => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        let mut text = String::from("'");
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                text.push(c);
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                continue;
+            }
+            text.push(c);
+            if c == '\'' {
+                break;
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5`, but not the range `1..5` (second char is `.`).
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // String-literal prefixes and raw identifiers.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "cr", Some('"')) | ("r" | "br" | "cr", Some('#'))
+                if self.raw_string_follows() =>
+            {
+                self.raw_string(text);
+                return;
+            }
+            ("r", Some('#')) => {
+                // Raw identifier r#type: swallow the hash, keep lexing
+                // the identifier proper.
+                text.push('#');
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+            }
+            ("b" | "c", Some('"')) => {
+                self.string(text);
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    /// After an `r`/`br`/`cr` prefix: does `#*"` follow (a raw string)
+    /// rather than `#ident` (a raw identifier)?
+    fn raw_string_follows(&self) -> bool {
+        let mut k = 0;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = foo.bar(1_000, 0x1F, 2.5f64);");
+        assert!(toks.contains(&(TokKind::Ident, "foo".into())));
+        assert!(toks.contains(&(TokKind::Num, "1_000".into())));
+        assert!(toks.contains(&(TokKind::Num, "0x1F".into())));
+        assert!(toks.contains(&(TokKind::Num, "2.5f64".into())));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_the_second_number() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.contains(&(TokKind::Num, "0".into())));
+        assert!(toks.contains(&(TokKind::Num, "10".into())));
+    }
+
+    #[test]
+    fn unwrap_inside_a_string_is_not_code() {
+        let toks = lex(r#"let s = "call .unwrap() here";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str && t.text.contains("unwrap")));
+    }
+
+    #[test]
+    fn unsafe_inside_comments_is_not_code() {
+        let toks = lex("// this mentions unsafe {}\n/* and unsafe here */ fn ok() {}");
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(toks.iter().filter(|t| t.is_comment()).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_containing_code_like_text_stay_literals() {
+        let src = r##"let s = r#"x.unwrap() and unsafe { } and "quotes""#;"##;
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap") || t.is_ident("unsafe")));
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("one raw string");
+        assert!(s.text.contains("unwrap"), "{}", s.text);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_close_on_the_right_delimiter() {
+        let src = r###"let s = r##"inner "# quote"##; x.unwrap()"###;
+        let toks = lex(src);
+        // The unwrap AFTER the literal is real code.
+        assert_eq!(toks.iter().filter(|t| t.is_ident("unwrap")).count(), 1);
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        let toks = lex(r##"let a = b"bytes unsafe"; let b = br#"raw unsafe"#;"##);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn chars_versus_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn static_lifetime_and_loop_labels() {
+        let toks = lex("'outer: loop { break 'outer; } const S: &'static str = \"s\";");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner unsafe */ still comment */ fn real() {}");
+        assert_eq!(toks.iter().filter(|t| t.is_comment()).count(), 1);
+        assert!(toks.iter().any(|t| t.is_ident("real")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = lex("fn r#type(r#fn: u8) {}");
+        assert!(toks.iter().any(|t| t.is_ident("r#type")));
+        assert!(toks.iter().any(|t| t.is_ident("r#fn")));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "line1();\n/* spans\ntwo lines */\nafter();\n\"str\nwith newline\"\nlast();";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("after");
+        assert_eq!(after.line, 4);
+        let last = toks.iter().find(|t| t.is_ident("last")).expect("last");
+        assert_eq!(last.line, 7);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal_early() {
+        let toks = lex(r#"let s = "a \" b \\"; x.unwrap()"#);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.is_ident("unwrap")).count(), 1);
+    }
+
+    #[test]
+    fn unterminated_literals_consume_to_eof_without_panicking() {
+        for src in ["let s = \"never closed", "let c = '\\", "/* never closed", "r#\"open"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?} lexed to nothing");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # opaque-lint — the workspace invariant checker
+//!
+//! Three of this repository's load-bearing guarantees are social
+//! conventions the compiler cannot see: report bytes are a function of
+//! (map, batch, seed) alone; every `unsafe` carries its proof
+//! obligation in writing; the network hot path degrades per-connection,
+//! never per-process. `opaque-lint` turns each convention into a
+//! mechanical check over the token stream:
+//!
+//! | rule | what it enforces | where |
+//! |---|---|---|
+//! | `hash-iter` | no HashMap/HashSet order-exposing iteration | report-affecting crates |
+//! | `wall-clock` | no `Instant::now` / `SystemTime` | report-affecting crates |
+//! | `safety-comment` | `// SAFETY:` above every `unsafe`, censused | whole workspace |
+//! | `panic-path` | no unwrap/expect/panic!/indexing | reactor, codec, gateway hot path |
+//! | `doc-ref` | backticked paths and `module::path`s resolve | design docs |
+//! | `allow-marker` | every exception is named and justified | wherever markers appear |
+//!
+//! The analysis is a hand-rolled lexer ([`lexer`]) plus token-pattern
+//! rules ([`rules`]) — no `syn`, no type information, zero new
+//! dependencies. That buys false-positive honesty: where the heuristic
+//! is wrong, the site carries an allow marker — a `lint: allow`
+//! comment naming the rule and the why — so every exception is
+//! greppable and argued in place. See
+//! `docs/static_analysis.md` for the full catalog and the marker
+//! grammar.
+//!
+//! Run it: `cargo run -p opaque-lint -- --format human`. CI runs the
+//! same binary and publishes the unsafe census as an artifact; the
+//! workspace test `tests/workspace_clean.rs` pins a clean run, so a new
+//! violation fails `cargo test` before it fails CI.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use config::Config;
+pub use engine::{AllowedSite, LintReport, Violation, run};
+pub use rules::unsafety::UnsafeSite;

@@ -1,0 +1,88 @@
+//! Rendering a [`LintReport`] for humans and for machines.
+//!
+//! The human format is one line per finding, `file:line: [rule] message`
+//! — the shape editors and CI log scrapers already understand. The JSON
+//! format is the whole report verbatim (violations, allowed sites,
+//! unsafe census, counters) so downstream tooling never has to parse
+//! prose.
+
+use crate::engine::LintReport;
+
+/// Render the editor-friendly line-per-finding form.
+pub fn human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.message));
+    }
+    out.push_str(&format!(
+        "{} violation(s) · {} allowed site(s) · {} unsafe site(s) · {} file(s), {} doc(s) scanned\n",
+        report.violations.len(),
+        report.allowed.len(),
+        report.census.len(),
+        report.files_scanned,
+        report.docs_checked,
+    ));
+    out
+}
+
+/// Render the whole report as pretty JSON.
+pub fn json(report: &LintReport) -> String {
+    serde_json::to_string_pretty(report).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+/// Render just the unsafe census as pretty JSON (the CI artifact).
+pub fn census_json(report: &LintReport) -> String {
+    serde_json::to_string_pretty(&report.census)
+        .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{LintReport, Violation};
+    use crate::rules::unsafety::UnsafeSite;
+
+    fn sample() -> LintReport {
+        LintReport {
+            violations: vec![Violation {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "panic-path".into(),
+                message: "boom".into(),
+            }],
+            census: vec![UnsafeSite {
+                file: "crates/x/src/r.rs".into(),
+                line: 3,
+                kind: "block".into(),
+                justification: "kernel contract".into(),
+            }],
+            allowed: Vec::new(),
+            files_scanned: 2,
+            docs_checked: 1,
+        }
+    }
+
+    #[test]
+    fn human_form_is_file_line_rule_message() {
+        let h = human(&sample());
+        assert!(h.starts_with("crates/x/src/lib.rs:7: [panic-path] boom\n"), "{h}");
+        assert!(h.contains("1 violation(s)"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_vendored_serde() {
+        let j = json(&sample());
+        let back: LintReport = serde_json::from_str(&j).expect("report JSON parses");
+        assert_eq!(back.violations.len(), 1);
+        assert_eq!(back.census[0].justification, "kernel contract");
+        assert_eq!(back.files_scanned, 2);
+    }
+
+    #[test]
+    fn census_json_is_a_bare_array() {
+        let c = census_json(&sample());
+        assert!(c.trim_start().starts_with('['), "{c}");
+        let back: Vec<UnsafeSite> = serde_json::from_str(&c).expect("census JSON parses");
+        assert_eq!(back.len(), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! R1 — determinism: no hash-order iteration, no wall clock, in crates
+//! whose computation can reach a serialized report.
+//!
+//! The repo's correctness claims are byte-identity oracles over
+//! serialized `BatchReport`s and gateway event streams. Two things break
+//! those bytes without failing any unit test: iterating a `HashMap` /
+//! `HashSet` (order is randomized per process on real std; even the
+//! deterministic vendored stand-in makes no ordering promise), and
+//! reading the wall clock. This rule flags both:
+//!
+//! - **hash-iter** — calling an order-exposing method (`iter`, `keys`,
+//!   `values`, `into_iter`, `drain`, `retain`, …) on a binding whose
+//!   declared type or initializer names `HashMap`/`HashSet`, or looping
+//!   `for _ in &binding` over one. Keyed access (`get`, `insert`,
+//!   `remove`, `contains_key`) is fine — only *order* is the hazard.
+//! - **wall-clock** — `Instant::now` or any `SystemTime` mention. Report
+//!   content must be a function of (map, batch, seed) alone.
+//!
+//! Binding discovery is flow-insensitive and file-local: type
+//! ascriptions (`x: HashMap<…>`, fields, params) and initializers
+//! (`= HashMap::new()`, `HashMap::with_capacity`, …). That is a
+//! heuristic, not an alias analysis — a site the heuristic misreads
+//! carries a `// lint: allow(hash-iter) — <why>` marker, which is the
+//! point: the exception becomes greppable and justified.
+
+use crate::rules::RawViolation;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Methods that expose hash order (or drain in hash order).
+const ORDER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Run R1 over one file (the engine scopes which files).
+pub fn check(f: &SourceFile) -> Vec<RawViolation> {
+    let hash_bindings = collect_hash_bindings(f);
+    let mut out = Vec::new();
+    let n = f.code_len();
+    for ci in 0..n {
+        let t = f.ct(ci);
+        if f.in_test(t.line) {
+            continue;
+        }
+        // wall-clock: Instant::now / SystemTime anywhere.
+        if t.is_ident("Instant")
+            && ci + 3 < n
+            && f.ct(ci + 1).is_punct(':')
+            && f.ct(ci + 2).is_punct(':')
+            && f.ct(ci + 3).is_ident("now")
+        {
+            out.push(RawViolation::new(
+                "wall-clock",
+                t.line,
+                "`Instant::now` in a report-affecting crate: report bytes must be a function \
+                 of (map, batch, seed) only — thread a simulated clock in from the caller",
+            ));
+        }
+        if t.is_ident("SystemTime") {
+            out.push(RawViolation::new(
+                "wall-clock",
+                t.line,
+                "`SystemTime` in a report-affecting crate: wall time must not reach \
+                 report-shaping code",
+            ));
+        }
+        // hash-iter, method form: binding.iter() etc.
+        if ci >= 2
+            && t.kind == crate::lexer::TokKind::Ident
+            && ORDER_METHODS.contains(&t.text.as_str())
+            && f.ct(ci - 1).is_punct('.')
+            && hash_bindings.contains(&f.ct(ci - 2).text)
+            && ci + 1 < n
+            && f.ct(ci + 1).is_punct('(')
+        {
+            out.push(RawViolation::new(
+                "hash-iter",
+                t.line,
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet in a report-affecting crate: hash \
+                     order can reach the serialized report — use an ordered collection, or \
+                     collect-and-sort before iterating",
+                    f.ct(ci - 2).text,
+                    t.text
+                ),
+            ));
+        }
+        // hash-iter, loop form: `for pat in [&[mut]] binding {`.
+        if t.is_ident("for") && is_loop_for(f, ci) {
+            if let Some((name, line)) = for_loop_over_binding(f, ci, &hash_bindings) {
+                out.push(RawViolation::new(
+                    "hash-iter",
+                    line,
+                    format!(
+                        "`for … in {name}` iterates a HashMap/HashSet in a report-affecting \
+                         crate: hash order can reach the serialized report — sort first"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Names bound (let/field/param) to a HashMap/HashSet in this file.
+fn collect_hash_bindings(f: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let n = f.code_len();
+    for ci in 0..n {
+        let t = f.ct(ci);
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Initializer form: `name = HashMap::…` (covers `let name =`,
+        // `self.field =`, struct-literal `field: HashMap::new()` is the
+        // ascription form below).
+        if ci >= 2 && f.ct(ci - 1).is_punct('=') {
+            let prev = f.ct(ci - 2);
+            if prev.kind == crate::lexer::TokKind::Ident {
+                names.insert(prev.text.clone());
+            }
+            continue;
+        }
+        // Ascription form: `name : [&] [mut] [path ::]* HashMap <…>`.
+        // Walk back over reference/path noise to the `:`, then take the
+        // identifier before it.
+        let mut j = ci;
+        while j > 0 {
+            let p = f.ct(j - 1);
+            let path_noise = p.is_punct(':')
+                || p.is_punct('&')
+                || p.is_punct('<')
+                || p.kind == crate::lexer::TokKind::Lifetime
+                || p.is_ident("mut")
+                || p.is_ident("std")
+                || p.is_ident("collections")
+                || p.is_ident("hash_map")
+                || p.is_ident("hash_set")
+                || p.is_ident("Vec"); // Vec<HashMap<…>> still iterates maps eventually
+            if !path_noise {
+                break;
+            }
+            j -= 1;
+            let lone_colon = p.is_punct(':')
+                && j > 0
+                && !f.ct(j - 1).is_punct(':')
+                && !f.ct(j + 1).is_punct(':');
+            if lone_colon {
+                // A single `:` (not part of a `::` path): the token
+                // before it is the bound name.
+                let name = f.ct(j - 1);
+                if name.kind == crate::lexer::TokKind::Ident {
+                    names.insert(name.text.clone());
+                }
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// Is this `for` a loop (not `impl … for …` / HRTB `for<'a>`)?
+fn is_loop_for(f: &SourceFile, ci: usize) -> bool {
+    if ci + 1 < f.code_len() && f.ct(ci + 1).is_punct('<') {
+        return false; // for<'a>
+    }
+    match ci.checked_sub(1) {
+        None => true,
+        Some(p) => {
+            let prev = f.ct(p);
+            prev.is_punct('{') || prev.is_punct('}') || prev.is_punct(';') || prev.is_punct(':')
+        }
+    }
+}
+
+/// If the loop's iterated expression is exactly `[&][mut] name` with
+/// `name` a hash binding, return it. Anything more complex (ranges,
+/// calls) is out of scope here — method calls are caught by the method
+/// form.
+fn for_loop_over_binding(
+    f: &SourceFile,
+    for_ci: usize,
+    bindings: &BTreeSet<String>,
+) -> Option<(String, u32)> {
+    // Find the `in` at pattern depth 0, then require `[&][mut] name {`.
+    let n = f.code_len();
+    let mut depth = 0i32;
+    let mut ci = for_ci + 1;
+    while ci < n {
+        let t = f.ct(ci);
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("in") {
+            break;
+        } else if t.is_punct('{') {
+            return None; // no `in` before the body: not a for-loop after all
+        }
+        ci += 1;
+    }
+    let mut e = ci + 1;
+    while e < n && (f.ct(e).is_punct('&') || f.ct(e).is_ident("mut")) {
+        e += 1;
+    }
+    if e + 1 < n && f.ct(e + 1).is_punct('{') && bindings.contains(&f.ct(e).text) {
+        return Some((f.ct(e).text.clone(), f.ct(e).line));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<RawViolation> {
+        check(&SourceFile::parse("x.rs", src))
+    }
+
+    #[test]
+    fn keyed_access_is_clean() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &mut S) { s.m.insert(1, 2); let _ = s.m.get(&1); s.m.remove(&1); }\n";
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn method_iteration_is_flagged_for_fields_lets_and_params() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S, q: &HashMap<u32, u32>) {\n\
+                       for x in s.m.iter() {}\n\
+                       let l: HashMap<u32, u32> = HashMap::new();\n\
+                       let _ = l.keys();\n\
+                       let _ = q.values();\n\
+                   }\n";
+        let v = violations(src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "hash-iter"));
+    }
+
+    #[test]
+    fn initializer_bindings_are_tracked() {
+        let src = "fn f() { let mut seen = HashSet::new(); seen.insert(1); seen.drain(); }\n";
+        let v = violations(src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("seen.drain"));
+    }
+
+    #[test]
+    fn for_loop_over_a_map_is_flagged_but_ranges_are_not() {
+        let src = "fn f(m: &HashMap<u32, u32>) {\n\
+                       for kv in m {}\n\
+                       for i in 0..m.len() {}\n\
+                   }\n";
+        let v = violations(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("for … in m"));
+    }
+
+    #[test]
+    fn vec_iteration_with_a_similar_name_is_clean() {
+        let src = "fn f(rows: &Vec<u32>) { for r in rows {} let _ = rows.iter(); }\n";
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "struct M; impl Iterator for M { fn next(&mut self) -> Option<u8> { None } }\n";
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_is_flagged() {
+        let src = "fn f() { let t = Instant::now(); }\nfn g(s: SystemTime) {}\n";
+        let v = violations(src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.rule == "wall-clock"));
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(m: &HashMap<u32,u32>) { m.iter(); let _ = Instant::now(); }\n}\n";
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_are_invisible() {
+        let src =
+            "// HashMap::iter would be bad\nfn f() { let s = \"m.iter() Instant::now()\"; }\n";
+        assert!(violations(src).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! The rule catalog. Each rule module exports a `check` pass producing
+//! [`RawViolation`]s; the engine attaches file paths, applies allow
+//! markers, and aggregates. See `docs/static_analysis.md` for the
+//! human-facing catalog.
+
+pub mod determinism;
+pub mod docrefs;
+pub mod panic_path;
+pub mod unsafety;
+
+/// A violation before the engine attaches the file path and applies
+/// allow markers.
+#[derive(Clone, Debug)]
+pub struct RawViolation {
+    /// Rule id (`hash-iter`, `wall-clock`, `safety-comment`,
+    /// `panic-path`, `doc-ref`, `allow-marker`).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// What happened and what to do about it.
+    pub message: String,
+}
+
+impl RawViolation {
+    /// Build one.
+    pub fn new(rule: &'static str, line: u32, message: impl Into<String>) -> Self {
+        RawViolation { rule, line, message: message.into() }
+    }
+}

@@ -1,0 +1,170 @@
+//! R3 — panic-path: no panicking constructs in the network hot path and
+//! the gateway submit/tick path.
+//!
+//! A panic in the reactor, the frame codec, the connection state
+//! machine, or the gateway's submit/tick loop turns one hostile (or
+//! merely unlucky) input into a process abort — the exact opposite of
+//! the failure-domain story those layers document (drain *one*
+//! connection, discard *one* window). This rule flags, in configured
+//! hot-path files, outside test regions:
+//!
+//! - `.unwrap()` / `.expect(…)`;
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!`;
+//! - slice/array indexing (`x[i]`, `x[a..b]`) — every `[]` is an
+//!   implicit assert, and hostile frames control many of the indices'
+//!   inputs.
+//!
+//! Sites whose panic-freedom is locally provable (a bounds check on the
+//! lines above, an invariant the type system cannot carry) stay, with a
+//! `// lint: allow(panic-path) — <proof sketch>` marker. Everything else
+//! converts to typed-error propagation: connection-fatal, never
+//! process-fatal.
+
+use crate::lexer::TokKind;
+use crate::rules::RawViolation;
+use crate::source::SourceFile;
+
+/// Macros that panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (`return [a, b]`, `break [x]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "return", "break", "in", "let", "mut", "ref", "else", "match", "if", "while", "move", "yield",
+    "do", "as",
+];
+
+/// Run R3 over one file (the engine scopes which files).
+pub fn check(f: &SourceFile) -> Vec<RawViolation> {
+    let mut out = Vec::new();
+    let n = f.code_len();
+    for ci in 0..n {
+        let t = f.ct(ci);
+        if f.in_test(t.line) || t.kind != TokKind::Ident && !t.is_punct('[') {
+            continue;
+        }
+        // .unwrap() / .expect(
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && ci >= 1
+            && f.ct(ci - 1).is_punct('.')
+            && ci + 1 < n
+            && f.ct(ci + 1).is_punct('(')
+        {
+            out.push(RawViolation::new(
+                "panic-path",
+                t.line,
+                format!(
+                    "`.{}()` on the hot path: a failure here aborts the process — convert to \
+                     typed-error propagation (connection-fatal at worst)",
+                    t.text
+                ),
+            ));
+        }
+        // panic-family macros.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && ci + 1 < n
+            && f.ct(ci + 1).is_punct('!')
+        {
+            out.push(RawViolation::new(
+                "panic-path",
+                t.line,
+                format!("`{}!` on the hot path: return a typed error instead", t.text),
+            ));
+        }
+        // Index expressions: `[` whose previous token ends an expression.
+        if t.is_punct('[') && ci >= 1 {
+            let prev = f.ct(ci - 1);
+            let indexes_expr = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']') || prev.is_punct('?'),
+                _ => false,
+            };
+            if indexes_expr {
+                out.push(RawViolation::new(
+                    "panic-path",
+                    t.line,
+                    format!(
+                        "`{}[…]` indexing on the hot path panics when out of bounds — use \
+                         `.get(…)` or carry a local bounds proof in an allow marker",
+                        prev.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<RawViolation> {
+        check(&SourceFile::parse("x.rs", src))
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        let v = violations("fn f() { a.unwrap(); b.expect(\"msg\"); }\n");
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let v = violations(
+            "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn panic_macros_are_flagged_but_format_strings_are_not() {
+        let v = violations(
+            "fn f() { panic!(\"boom\"); unreachable!(); }\nfn g() { let s = \"panic! unreachable!\"; }\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_array_literals_types_and_attrs_are_not() {
+        let src = "#[derive(Debug)]\n\
+                   struct S;\n\
+                   fn f(live: &[u8], n: usize) -> u8 {\n\
+                       let chunk = [0u8; 16];\n\
+                       let arr: [u8; 4] = [1, 2, 3, 4];\n\
+                       let v = vec![1, 2];\n\
+                       live[n]\n\
+                   }\n";
+        let v = violations(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("live["));
+        assert_eq!(v[0].line, 7);
+    }
+
+    #[test]
+    fn slice_expressions_and_chained_indexing_are_flagged() {
+        let v =
+            violations("fn f(b: &[u8]) { let x = &b[..4]; let y = g()[0]; let z = b[0][1]; }\n");
+        assert_eq!(v.len(), 4, "{v:?}"); // b[..4], g()[0], b[0], [0][1]
+    }
+
+    #[test]
+    fn slice_patterns_are_not_indexing() {
+        let v = violations("fn f(b: &[u8; 2]) { let [lo, hi] = *b; if let [x, ..] = b[..] {} }\n");
+        // Only `b[..]` is an index expression here.
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { a.unwrap(); b[0]; panic!(); }\n}\n";
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_unwrap_text_are_invisible() {
+        let src = r####"fn f() { let s = r#"x.unwrap() b[0] panic!"#; }"####;
+        assert!(violations(src).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! R2 — unsafe audit: every `unsafe` block/fn/impl/trait carries an
+//! immediately-preceding `// SAFETY:` comment, and every site lands in a
+//! machine-readable census.
+//!
+//! `unsafe` is a claim that the author discharged an obligation the
+//! compiler cannot check. The claim is only auditable if it is written
+//! down *at the site*: a `// SAFETY:` comment on the line(s) directly
+//! above (attributes in between are fine), stating the contract being
+//! relied on. The rule flags missing or empty SAFETY comments, and emits
+//! a census entry `{file, line, kind, justification}` for every site so
+//! CI can publish the workspace's complete unsafe surface as an
+//! artifact.
+//!
+//! There is deliberately no allow-marker escape for this rule: the fix
+//! for a missing SAFETY comment is the comment itself.
+
+use crate::rules::RawViolation;
+use crate::source::SourceFile;
+
+/// One `unsafe` site, for the census artifact.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct UnsafeSite {
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// `block`, `fn`, `impl`, or `trait`.
+    pub kind: String,
+    /// The SAFETY comment's text (empty when missing — which is also a
+    /// violation).
+    pub justification: String,
+}
+
+/// Run R2 over one file. Returns violations plus the census entries.
+pub fn check(f: &SourceFile) -> (Vec<RawViolation>, Vec<UnsafeSite>) {
+    let mut out = Vec::new();
+    let mut census = Vec::new();
+    let n = f.code_len();
+    for ci in 0..n {
+        let t = f.ct(ci);
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match f.code.get(ci + 1).map(|&i| &f.toks[i]) {
+            Some(next) if next.is_punct('{') => "block",
+            Some(next) if next.is_ident("fn") || next.is_ident("extern") => "fn",
+            Some(next) if next.is_ident("impl") => "impl",
+            Some(next) if next.is_ident("trait") => "trait",
+            _ => "block",
+        };
+        let justification = safety_comment_above(f, t.line);
+        match &justification {
+            None => out.push(RawViolation::new(
+                "safety-comment",
+                t.line,
+                format!(
+                    "`unsafe` {kind} without a `// SAFETY:` comment immediately above: write \
+                     down the contract this site discharges"
+                ),
+            )),
+            Some(j) if j.is_empty() => out.push(RawViolation::new(
+                "safety-comment",
+                t.line,
+                "`// SAFETY:` comment is empty: state the actual obligation and why it holds",
+            )),
+            Some(_) => {}
+        }
+        census.push(UnsafeSite {
+            file: f.rel.clone(),
+            line: t.line,
+            kind: kind.to_string(),
+            justification: justification.unwrap_or_default(),
+        });
+    }
+    (out, census)
+}
+
+/// The SAFETY comment attached to an `unsafe` at `line`: scan the
+/// contiguous comment block directly above (skipping attribute-only
+/// lines), accept a trailing comment on the same line too.
+fn safety_comment_above(f: &SourceFile, line: u32) -> Option<String> {
+    // Gather comment text by line, walking upward while lines hold
+    // comments or attributes.
+    let mut block: Vec<&str> = Vec::new();
+    let mut l = line; // include trailing comments on the unsafe line itself
+    loop {
+        let comments: Vec<&str> = f
+            .toks
+            .iter()
+            .filter(|t| t.is_comment() && covers_line(t, l))
+            .map(|t| t.text.as_str())
+            .collect();
+        let has_comment = !comments.is_empty();
+        let attr_only = !has_comment && line_is_attribute_only(f, l) && l != line;
+        for c in comments.into_iter().rev() {
+            block.push(c);
+        }
+        if l == 1 || (!has_comment && !attr_only && l != line) {
+            break;
+        }
+        l -= 1;
+    }
+    block.reverse();
+    let joined = block.join("\n");
+    let at = joined.find("SAFETY:")?;
+    let text = joined[at + "SAFETY:".len()..]
+        .lines()
+        .map(|s| s.trim_matches(|c: char| c.is_whitespace() || matches!(c, '/' | '*' | '!')))
+        .collect::<Vec<_>>()
+        .join(" ")
+        .trim()
+        .to_string();
+    Some(text)
+}
+
+/// Does a (possibly multi-line) comment token cover source line `l`?
+fn covers_line(t: &crate::lexer::Tok, l: u32) -> bool {
+    let end = t.line + t.text.matches('\n').count() as u32;
+    t.line <= l && l <= end
+}
+
+/// Is line `l` made of attribute tokens only (`#[…]`)?
+fn line_is_attribute_only(f: &SourceFile, l: u32) -> bool {
+    let mut any = false;
+    for &i in &f.code {
+        let t = &f.toks[i];
+        if t.line != l {
+            continue;
+        }
+        any = true;
+        let attr_ish = t.is_punct('#')
+            || t.is_punct('[')
+            || t.is_punct(']')
+            || t.is_punct('(')
+            || t.is_punct(')')
+            || t.is_punct(',')
+            || t.is_punct('=')
+            || matches!(t.kind, crate::lexer::TokKind::Ident | crate::lexer::TokKind::Str);
+        if !attr_ish {
+            return false;
+        }
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<RawViolation>, Vec<UnsafeSite>) {
+        check(&SourceFile::parse("x.rs", src))
+    }
+
+    #[test]
+    fn documented_block_is_clean_and_lands_in_the_census() {
+        let src = "fn f() {\n    // SAFETY: fds points at len valid pollfds for the whole call.\n    unsafe { syscall() }\n}\n";
+        let (v, census) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(census.len(), 1);
+        assert_eq!(census[0].kind, "block");
+        assert_eq!(census[0].line, 3);
+        assert!(census[0].justification.starts_with("fds points at"));
+    }
+
+    #[test]
+    fn undocumented_block_is_flagged_and_still_counted() {
+        let (v, census) = run("fn f() { unsafe { danger() } }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(census.len(), 1);
+        assert!(census[0].justification.is_empty());
+    }
+
+    #[test]
+    fn multi_line_safety_comment_is_joined() {
+        let src = "// SAFETY: the buffer outlives the call because the arena\n// owns it for the whole scope.\nunsafe fn f() {}\n";
+        let (v, census) = run(src);
+        assert!(v.is_empty());
+        assert_eq!(census[0].kind, "fn");
+        assert!(census[0].justification.contains("owns it for the whole scope"));
+    }
+
+    #[test]
+    fn attribute_between_comment_and_item_is_fine() {
+        let src = "// SAFETY: repr(C) layout matches the kernel struct.\n#[allow(dead_code)]\nunsafe impl Send for X {}\n";
+        let (v, census) = run(src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(census[0].kind, "impl");
+    }
+
+    #[test]
+    fn empty_safety_comment_is_flagged() {
+        let (v, _) = run("// SAFETY:\nunsafe { x() }\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("empty"));
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_count() {
+        let (v, _) = run("// this calls the kernel\nunsafe { x() }\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_invisible() {
+        let (v, census) = run("// unsafe { }\nfn f() { let s = \"unsafe { }\"; }\n");
+        assert!(v.is_empty());
+        assert!(census.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_still_audited() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}\n";
+        let (v, census) = run(src);
+        assert_eq!(v.len(), 1, "unsafe in tests still needs SAFETY");
+        assert_eq!(census.len(), 1);
+    }
+
+    #[test]
+    fn block_comment_safety_is_accepted() {
+        let (v, _) =
+            run("/* SAFETY: ptr is non-null by the check above. */\nunsafe { deref(p) }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

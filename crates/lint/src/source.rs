@@ -1,0 +1,324 @@
+//! A lexed source file plus the two structural facts every rule needs:
+//! which lines are test-only code, and which lines carry allow markers.
+//!
+//! ## Test regions
+//!
+//! R1 (determinism) and R3 (panic-path) apply to shipped code only —
+//! tests are free to `unwrap()` and iterate whatever they like. A test
+//! region is the body of any item annotated `#[test]` or with a `cfg`
+//! attribute that mentions `test` (and not `not`): in this workspace
+//! that is the conventional `#[cfg(test)] mod tests { … }` block at the
+//! bottom of each file. Regions are tracked as line ranges; brace
+//! matching runs on the token stream, so braces inside strings or
+//! comments cannot derail it.
+//!
+//! ## Allow markers
+//!
+//! The escape hatch is a comment:
+//!
+//! ```text
+//! // lint: allow(panic-path) — bounds checked three lines above
+//! some_slice[i].do_thing();
+//! ```
+//!
+//! A marker suppresses the named rules on the line it covers: the same
+//! line for a trailing comment, otherwise the next code line below it.
+//! The justification after the rule list is mandatory — a bare marker is
+//! itself a violation (`allow-marker`) — and may continue across
+//! following comment lines when one line is not enough.
+
+use crate::lexer::{Tok, lex};
+
+/// One allow marker parsed out of a comment.
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    /// Rule ids named inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Line of the marker comment itself.
+    pub line: u32,
+    /// The code line this marker suppresses.
+    pub covered_line: u32,
+    /// Whether a non-empty justification follows the rule list (same
+    /// line or continuation comment lines).
+    pub justified: bool,
+}
+
+/// A lexed file, its test-only line ranges, and its allow markers.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path, forward slashes.
+    pub rel: String,
+    /// The full token stream, comments included.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of code tokens (comments stripped).
+    pub code: Vec<usize>,
+    /// Inclusive line ranges of test-only code.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Allow markers, in file order.
+    pub markers: Vec<AllowMarker>,
+}
+
+impl SourceFile {
+    /// Lex and analyze one file.
+    pub fn parse(rel: &str, src: &str) -> Self {
+        let toks = lex(src);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+        let test_regions = find_test_regions(&toks, &code);
+        let markers = find_markers(&toks);
+        SourceFile { rel: rel.to_string(), toks, code, test_regions, markers }
+    }
+
+    /// The code token at code-index `ci` (indices from [`SourceFile::code`]).
+    pub fn ct(&self, ci: usize) -> &Tok {
+        &self.toks[self.code[ci]]
+    }
+
+    /// Number of code tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Is `line` inside a test-only region?
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Does a marker cover `line` for `rule`? (Justification is checked
+    /// separately by the engine — an unjustified marker still suppresses,
+    /// but reports its own violation, so a site is never double-flagged.)
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.markers.iter().any(|m| m.covered_line == line && m.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Find bodies of `#[test]` / `#[cfg(test)]`-ish items as line ranges.
+fn find_test_regions(toks: &[Tok], code: &[usize]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut ci = 0;
+    while ci + 1 < code.len() {
+        let t = &toks[code[ci]];
+        if !(t.is_punct('#') && toks[code[ci + 1]].is_punct('[')) {
+            ci += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let start_line = t.line;
+        let mut depth = 0usize;
+        let mut j = ci + 1;
+        let mut mentions_test = false;
+        let mut mentions_not = false;
+        while j < code.len() {
+            let a = &toks[code[j]];
+            if a.is_punct('[') {
+                depth += 1;
+            } else if a.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.is_ident("test") {
+                mentions_test = true;
+            } else if a.is_ident("not") {
+                mentions_not = true;
+            }
+            j += 1;
+        }
+        if !mentions_test || mentions_not {
+            ci = j + 1;
+            continue;
+        }
+        // The annotated item's body: skip further attributes, then run to
+        // the matching close brace (or a `;` for brace-less items).
+        let mut k = j + 1;
+        while k + 1 < code.len() && toks[code[k]].is_punct('#') && toks[code[k + 1]].is_punct('[') {
+            let mut d = 0usize;
+            k += 1;
+            while k < code.len() {
+                if toks[code[k]].is_punct('[') {
+                    d += 1;
+                } else if toks[code[k]].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut braces = 0usize;
+        let mut end_line = start_line;
+        while k < code.len() {
+            let b = &toks[code[k]];
+            if b.is_punct('{') {
+                braces += 1;
+            } else if b.is_punct('}') {
+                braces = braces.saturating_sub(1);
+                if braces == 0 {
+                    end_line = b.line;
+                    break;
+                }
+            } else if b.is_punct(';') && braces == 0 {
+                end_line = b.line;
+                break;
+            }
+            end_line = b.line;
+            k += 1;
+        }
+        regions.push((start_line, end_line));
+        ci = k + 1;
+    }
+    regions
+}
+
+/// Parse allow markers — a `lint: allow` comment carrying a
+/// parenthesized rule list and a justification — out of comment tokens.
+fn find_markers(toks: &[Tok]) -> Vec<AllowMarker> {
+    let mut markers = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(at) = t.text.find("lint: allow(") else { continue };
+        let after = &t.text[at + "lint: allow(".len()..];
+        let Some(close) = after.find(')') else { continue };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        // Justification: the rest of this comment line, or — for long
+        // rationales — any following contiguous comment line.
+        let mut justified = !strip_comment_decoration(&after[close + 1..]).is_empty();
+        if !justified {
+            for (expect_line, follow) in (t.line + 1..).zip(toks.iter().skip(i + 1)) {
+                if !follow.is_comment() || follow.line != expect_line {
+                    break;
+                }
+                if !strip_comment_decoration(&follow.text).is_empty() {
+                    justified = true;
+                    break;
+                }
+            }
+        }
+        // Covered line: this line if code shares it (trailing comment),
+        // else the first code line below.
+        let trailing = toks.iter().any(|c| c.is_code() && c.line == t.line);
+        let covered_line = if trailing {
+            t.line
+        } else {
+            toks.iter().skip(i + 1).find(|c| c.is_code()).map(|c| c.line).unwrap_or(t.line)
+        };
+        markers.push(AllowMarker { rules, line: t.line, covered_line, justified });
+    }
+    markers
+}
+
+/// Strip comment slashes, doc markers, block delimiters, and the em-dash
+/// / colon separators that introduce a justification.
+fn strip_comment_decoration(s: &str) -> String {
+    s.trim_matches(|c: char| {
+        c.is_whitespace() || matches!(c, '/' | '*' | '!' | '—' | '–' | '-' | ':' | '=')
+    })
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "fn shipped() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2) && f.in_test(5) && f.in_test(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = SourceFile::parse("x.rs", "#[cfg(not(test))]\nfn shipped() { x.unwrap(); }\n");
+        assert!(!f.in_test(2));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_braces_in_strings_do_not_derail() {
+        let src =
+            "#[cfg(all(test, unix))]\nmod t {\n    const S: &str = \"}}}{{{\";\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test(3));
+        assert!(!f.in_test(5));
+    }
+
+    #[test]
+    fn test_attribute_with_following_attributes() {
+        let src = "#[test]\n#[ignore]\nfn slow() { body(); }\nfn shipped() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test(3));
+        assert!(!f.in_test(4));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_the_semicolon() {
+        let src = "#[cfg(test)]\nuse helpers::*;\nfn shipped() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test(2));
+        assert!(!f.in_test(3));
+    }
+
+    #[test]
+    fn trailing_marker_covers_its_own_line() {
+        let src = "fn f() {\n    x[0]; // lint: allow(panic-path) — length pinned above\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.markers.len(), 1);
+        assert_eq!(f.markers[0].covered_line, 2);
+        assert!(f.markers[0].justified);
+        assert!(f.allowed(2, "panic-path"));
+        assert!(!f.allowed(2, "hash-iter"));
+    }
+
+    #[test]
+    fn standalone_marker_covers_the_next_code_line() {
+        let src = "fn f() {\n    // lint: allow(hash-iter) — order folded through a sort below\n    for k in &m {\n    }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.markers[0].covered_line, 3);
+        assert!(f.allowed(3, "hash-iter"));
+    }
+
+    #[test]
+    fn multi_line_justification_counts() {
+        let src = "// lint: allow(panic-path)\n// the index is produced by position() two lines up,\n// so the element is present by construction\nlane.remove(pos);\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.markers.len(), 1);
+        assert!(f.markers[0].justified, "continuation comment lines are the justification");
+        assert_eq!(f.markers[0].covered_line, 4);
+    }
+
+    #[test]
+    fn bare_marker_is_unjustified() {
+        let src = "// lint: allow(panic-path)\nx.unwrap();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.markers[0].justified);
+        // It still suppresses (the marker itself is what gets reported).
+        assert!(f.allowed(2, "panic-path"));
+    }
+
+    #[test]
+    fn marker_with_two_rules() {
+        let src = "// lint: allow(hash-iter, wall-clock) — diagnostics only, never serialized\nstuff();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.markers[0].rules, vec!["hash-iter", "wall-clock"]);
+    }
+
+    #[test]
+    fn marker_text_inside_a_string_is_ignored() {
+        let src = "let s = \"lint: allow(panic-path) — not a real marker\";\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.markers.is_empty());
+    }
+}

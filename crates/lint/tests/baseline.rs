@@ -1,0 +1,37 @@
+//! Pin the shipped `lint.toml` against the compiled default.
+//!
+//! The binary falls back to `Config::default()` when no baseline file
+//! exists, so the two must describe the same scopes — otherwise
+//! deleting or truncating `lint.toml` would quietly change what the
+//! gate enforces.
+
+use opaque_lint::Config;
+use std::path::Path;
+
+fn shipped() -> Config {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap();
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    Config::parse(&text).expect("lint.toml parses")
+}
+
+#[test]
+fn shipped_baseline_matches_the_compiled_default() {
+    let file = shipped();
+    let compiled = Config::default();
+    assert_eq!(file.determinism_scopes, compiled.determinism_scopes);
+    assert_eq!(file.panic_path_files, compiled.panic_path_files);
+    assert_eq!(file.unsafe_scopes, compiled.unsafe_scopes);
+    assert_eq!(file.doc_files, compiled.doc_files);
+}
+
+#[test]
+fn baseline_scopes_point_at_real_paths() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf();
+    let cfg = shipped();
+    for scope in cfg.determinism_scopes.iter().chain(&cfg.unsafe_scopes) {
+        assert!(root.join(scope).is_dir(), "scope `{scope}` is not a directory");
+    }
+    for file in cfg.panic_path_files.iter().chain(&cfg.doc_files) {
+        assert!(root.join(file).is_file(), "listed file `{file}` does not exist");
+    }
+}

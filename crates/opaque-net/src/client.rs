@@ -44,7 +44,7 @@ impl NetClient {
     /// [`NetError::PayloadTooLarge`] for an unframeable request (nothing
     /// is written), and socket errors from the write.
     pub fn send(&mut self, request: &WireRequest) -> Result<()> {
-        let frame = frame_vec(&encode_message(request))?;
+        let frame = frame_vec(&encode_message(request)?)?;
         self.stream.write_all(&frame)?;
         Ok(())
     }
@@ -159,7 +159,7 @@ pub fn run_fleet(
             }
             let wire = WireRequest { request, priority };
             let conn = &mut streams[next % connections];
-            let frame = frame_vec(&encode_message(&wire))?;
+            let frame = frame_vec(&encode_message(&wire)?)?;
             conn.outbox.extend_from_slice(&frame);
             next += 1;
             outcome.sent += 1;

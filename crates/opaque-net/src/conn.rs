@@ -143,6 +143,9 @@ impl Connection {
                     break;
                 }
                 Ok(n) => {
+                    // lint: allow(panic-path) — n ≤ chunk.len() by the
+                    // `Read` contract (read never reports more bytes
+                    // than the buffer it was handed).
                     self.decoder.push(&chunk[..n]);
                     while let Some(payload) = self.decoder.next_frame()? {
                         frames.push(payload);
@@ -167,15 +170,16 @@ impl Connection {
     /// request.
     ///
     /// # Errors
-    /// [`NetError::PayloadTooLarge`] when the serialized reply cannot be
-    /// framed at all. The reply is not buffered (the in-flight settle
-    /// still happens — the request *was* answered, delivery failed); the
-    /// caller decides whether to drain the connection.
+    /// [`NetError::Malformed`] when the reply fails to serialize and
+    /// [`NetError::PayloadTooLarge`] when it cannot be framed at all. The
+    /// reply is not buffered (the in-flight settle still happens — the
+    /// request *was* answered, delivery failed); the caller decides
+    /// whether to drain the connection.
     pub fn queue_reply(&mut self, reply: &WireReply) -> Result<()> {
         if reply.is_terminal() {
             self.in_flight = self.in_flight.saturating_sub(1);
         }
-        let payload = encode_message(reply);
+        let payload = encode_message(reply)?;
         encode_frame(&payload, &mut self.outbound)
     }
 
@@ -198,6 +202,9 @@ impl Connection {
     /// Fatal socket errors; the connection is marked closed first.
     pub fn flush(&mut self) -> Result<()> {
         while self.out_pos < self.outbound.len() {
+            // lint: allow(panic-path) — out_pos < outbound.len() is the
+            // loop condition one line up, and out_pos only grows by the
+            // write's own byte count.
             match self.stream.write(&self.outbound[self.out_pos..]) {
                 Ok(0) => {
                     self.closed = true;

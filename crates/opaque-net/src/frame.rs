@@ -92,7 +92,15 @@ impl FrameDecoder {
 
     /// Unconsumed bytes currently buffered.
     pub fn buffered(&self) -> usize {
-        self.buf.len() - self.start
+        self.live().len()
+    }
+
+    /// The unconsumed tail of the buffer. `start <= buf.len()` is a
+    /// struct invariant (`start` only advances past complete frames),
+    /// but the accessor is total anyway: a violated invariant reads as
+    /// an empty tail, never a panic — this is hostile-input code.
+    fn live(&self) -> &[u8] {
+        self.buf.get(self.start..).unwrap_or(&[])
     }
 
     /// Pull the next complete frame's payload, if one is buffered.
@@ -104,23 +112,22 @@ impl FrameDecoder {
     /// must close the connection (resynchronizing an untrusted stream is
     /// not attempted).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
-        let live = &self.buf[self.start..];
-        if live.len() < HEADER_LEN {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes([live[0], live[1], live[2], live[3]]);
+        let live = self.live();
+        let Some(&[l0, l1, l2, l3, version]) = live.first_chunk::<HEADER_LEN>() else {
+            return Ok(None); // header not complete yet
+        };
+        let len = u32::from_le_bytes([l0, l1, l2, l3]);
         if len > self.max_frame {
             return Err(NetError::FrameTooLarge { len, max: self.max_frame });
         }
-        let version = live[4];
         if version != PROTOCOL_VERSION {
             return Err(NetError::BadVersion { got: version });
         }
         let total = HEADER_LEN + len as usize;
-        if live.len() < total {
-            return Ok(None);
-        }
-        let payload = live[HEADER_LEN..total].to_vec();
+        let Some(payload) = live.get(HEADER_LEN..total) else {
+            return Ok(None); // payload not complete yet
+        };
+        let payload = payload.to_vec();
         self.start += total;
         Ok(Some(payload))
     }
@@ -136,19 +143,18 @@ impl FrameDecoder {
     /// refused. Only an honestly incomplete frame reports
     /// [`NetError::TruncatedFrame`].
     pub fn finish(&self) -> Result<()> {
-        let live = &self.buf[self.start..];
+        let live = self.live();
         if live.is_empty() {
             return Ok(());
         }
-        if live.len() < HEADER_LEN {
-            return Err(NetError::TruncatedFrame { missing: HEADER_LEN - live.len() });
-        }
         // Same validation order as next_frame: length cap, then version.
-        let len = u32::from_le_bytes([live[0], live[1], live[2], live[3]]);
+        let Some(&[l0, l1, l2, l3, version]) = live.first_chunk::<HEADER_LEN>() else {
+            return Err(NetError::TruncatedFrame { missing: HEADER_LEN - live.len() });
+        };
+        let len = u32::from_le_bytes([l0, l1, l2, l3]);
         if len > self.max_frame {
             return Err(NetError::FrameTooLarge { len, max: self.max_frame });
         }
-        let version = live[4];
         if version != PROTOCOL_VERSION {
             return Err(NetError::BadVersion { got: version });
         }

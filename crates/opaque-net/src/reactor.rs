@@ -66,6 +66,24 @@ impl PollFd {
 pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
     // x86_64 syscall 7 = poll(struct pollfd *fds, nfds_t nfds, int timeout).
     let ret: isize;
+    // SAFETY: this is a raw `poll(2)` invocation, and every part of the
+    // kernel's contract is discharged locally. (1) `rdi` carries
+    // `fds.as_mut_ptr()`, which points at `fds.len()` (`rsi`) contiguous,
+    // initialized `PollFd`s; `PollFd` is `#[repr(C)]` with the exact
+    // field order/widths of the kernel's `struct pollfd`, so the kernel
+    // reads `fd`/`events` and writes `revents` entirely within the
+    // slice's allocation, which the `&mut [PollFd]` borrow keeps alive
+    // and exclusive for the whole (blocking) call. (2) `poll` only ever
+    // writes `revents` — it cannot produce a bit pattern that is invalid
+    // for `i16`, so no `PollFd` is left in an invalid state on any path,
+    // EINTR included. (3) The clobber list matches the syscall ABI:
+    // `rcx`/`r11` are declared clobbered (the kernel overwrites them
+    // with rip/rflags), `rax` is the in/out return register, and
+    // `options(nostack)` holds because the instruction touches no stack
+    // memory. The non-Linux/non-x86_64 build never reaches this block —
+    // it uses the sleep-and-assume-ready fallback below, which is sound
+    // because all sockets are non-blocking and spurious readiness only
+    // costs a `WouldBlock` (see the module docs).
     unsafe {
         std::arch::asm!(
             "syscall",

@@ -99,8 +99,15 @@ impl WireReply {
 
 /// Serialize a message into its frame payload (compact JSON, like every
 /// other hop the experiments measure).
-pub fn encode_message<M: serde::Serialize>(msg: &M) -> Vec<u8> {
-    serde_json::to_vec(msg).expect("wire messages always serialize")
+///
+/// # Errors
+/// [`NetError::Malformed`] if the message fails to serialize. The wire
+/// types round-trip by construction (pinned by the tests below), so in
+/// practice this never fires — but the hot path treats it as a
+/// connection-level fault rather than asserting, because an assert here
+/// would be process-fatal.
+pub fn encode_message<M: serde::Serialize>(msg: &M) -> Result<Vec<u8>> {
+    serde_json::to_vec(msg).map_err(|e| NetError::Malformed { reason: format!("encode: {e:?}") })
 }
 
 /// Decode a frame payload into a message.
@@ -134,7 +141,7 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let msg = request();
-        let back: WireRequest = decode_message(&encode_message(&msg)).unwrap();
+        let back: WireRequest = decode_message(&encode_message(&msg).unwrap()).unwrap();
         assert_eq!(back, msg);
     }
 
@@ -158,7 +165,7 @@ mod tests {
             WireReply::Error { reason: "bad version".to_string() },
         ];
         for reply in replies {
-            let back: WireReply = decode_message(&encode_message(&reply)).unwrap();
+            let back: WireReply = decode_message(&encode_message(&reply).unwrap()).unwrap();
             assert_eq!(back, reply);
             assert_eq!(back.is_terminal(), !matches!(reply, WireReply::Error { .. }));
         }

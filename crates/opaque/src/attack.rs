@@ -241,6 +241,9 @@ pub fn intersection_attack(units: &[ObfuscationUnit], truth: &PathQuery) -> Inte
     for u in &units[1..] {
         let round: HashSet<(NodeId, NodeId)> =
             u.query.represented_queries().map(|q| (q.source, q.destination)).collect();
+        // lint: allow(hash-iter) — retain with a pure membership
+        // predicate: the surviving *set* is order-independent, and the
+        // report reads only its size.
         survivors.retain(|pair| round.contains(pair));
         candidates_per_round.push(survivors.len());
     }

@@ -113,6 +113,9 @@ impl PrivacyLedger {
     /// Current exposure summary.
     pub fn report(&self) -> ExposureReport {
         let mut intersection_risk = 0.0f64;
+        // lint: allow(hash-iter) — the loop folds a max over all
+        // histories; max is commutative and associative, so visit order
+        // cannot reach the report.
         for h in self.histories.values() {
             // Survivors of intersecting all distinct observed obfuscations.
             let mut survivors: Option<HashSet<(NodeId, NodeId)>> = None;

@@ -319,6 +319,9 @@ fn weighted(
         // Heavy weight concentration can starve rejection sampling; finish
         // uniformly over whatever is left.
         let mut excl = exclude.clone();
+        // lint: allow(hash-iter) — set-to-set union: the extended
+        // exclusion *set* is the same whatever order the elements
+        // arrive, and `uniform` only probes it with `contains`.
         excl.extend(picked.iter().copied());
         let rest = uniform(ctx, &excl, count - out.len(), rng)?;
         out.extend(rest);

@@ -249,8 +249,11 @@ impl Batcher {
     pub fn cancel(&mut self, ticket: Ticket) -> Option<ClientId> {
         for priority in [Priority::Interactive, Priority::Bulk] {
             let lane = self.lane_mut(priority);
-            if let Some(pos) = lane.iter().position(|p| p.ticket == ticket) {
-                let p = lane.remove(pos).expect("position just found");
+            let pos = lane.iter().position(|p| p.ticket == ticket);
+            // The position came from the same lane one line up, so the
+            // remove cannot miss — and if it somehow did, the ticket
+            // reads as already-drained rather than aborting the tick.
+            if let Some(p) = pos.and_then(|pos| lane.remove(pos)) {
                 self.pending_clients.remove(&p.request.client);
                 self.cancelled.push((ticket, p.request.client));
                 self.recompute_oldest_lane();
@@ -350,6 +353,9 @@ impl Batcher {
     fn promote_deferred(&mut self) {
         let mut i = 0;
         while i < self.deferred.len() {
+            // lint: allow(panic-path) — i < deferred.len() is the loop
+            // condition, and this arm shrinks the vec while the other
+            // advances i, so the bound holds on every iteration.
             if self.pending_clients.insert(self.deferred[i].request.client) {
                 let p = self.deferred.remove(i);
                 self.oldest_lane = self.oldest_lane.min(p.arrival);

@@ -136,6 +136,10 @@ impl<B: DirectionsBackend> OpaqueService<B> {
             backend,
             mode,
             batcher: Batcher::new(BatchPolicy::default(), AdmissionPolicy::default())
+                // lint: allow(panic-path) — construction-time, not the
+                // submit/tick path, and the default policies are
+                // compile-time constants whose validity is pinned by
+                // the batcher's own tests.
                 .expect("default policies are valid"),
             verify_results: false,
             strict_delivery: false,
@@ -309,21 +313,29 @@ impl<B: DirectionsBackend> OpaqueService<B> {
         now: f64,
     ) -> Result<()> {
         let response = self.process_batch(&batch.requests)?;
-        let mut paths: HashMap<ClientId, pathsearch::Path> =
+        let mut path_by_client: HashMap<ClientId, pathsearch::Path> =
             response.results.into_iter().map(|r| (r.client, r.path)).collect();
-        for (i, (client, outcome)) in response.outcomes.iter().enumerate() {
-            let ticket = batch.tickets[i];
-            let waited = now - batch.arrivals[i];
+        // tickets / arrivals / outcomes are parallel by construction
+        // (one entry per drained request, same order); zip keeps the
+        // pairing panic-free even if that invariant ever breaks.
+        for ((client, outcome), (&ticket, &arrival)) in
+            response.outcomes.iter().zip(batch.tickets.iter().zip(&batch.arrivals))
+        {
+            let waited = now - arrival;
             events.push(match outcome {
-                ClientOutcome::Delivered => {
-                    let path = paths.remove(client).expect("delivered outcome carries a path");
-                    ServiceEvent::ResponseReady {
+                // A Delivered outcome always carries a path (process_batch
+                // records both from the same extraction); if that pairing
+                // ever broke, degrading to Unreachable keeps the ticket
+                // accounted without putting an abort on the tick path.
+                ClientOutcome::Delivered => match path_by_client.remove(client) {
+                    Some(path) => ServiceEvent::ResponseReady {
                         ticket,
                         client: *client,
                         result: ResultMsg { client: *client, path },
                         waited,
-                    }
-                }
+                    },
+                    None => ServiceEvent::Unreachable { ticket, client: *client, waited },
+                },
                 ClientOutcome::Unreachable => {
                     ServiceEvent::Unreachable { ticket, client: *client, waited }
                 }
@@ -495,8 +507,12 @@ impl<B: DirectionsBackend> OpaqueService<B> {
                             });
                         }
                         None => {
-                            let slot = outcome_slot[&request.client];
-                            outcomes[slot].1 = ClientOutcome::Unreachable;
+                            set_outcome(
+                                &mut outcomes,
+                                &outcome_slot,
+                                request.client,
+                                ClientOutcome::Unreachable,
+                            );
                         }
                     }
                 }
@@ -563,8 +579,12 @@ impl<B: DirectionsBackend> OpaqueService<B> {
                     match self.obfuscator.obfuscate_independent(r) {
                         Ok(unit) => units.push(unit),
                         Err(e @ OpaqueError::NotEnoughFakes { .. }) => {
-                            outcomes[outcome_slot[&r.client]].1 =
-                                ClientOutcome::Rejected { reason: e.to_string() };
+                            set_outcome(
+                                outcomes,
+                                outcome_slot,
+                                r.client,
+                                ClientOutcome::Rejected { reason: e.to_string() },
+                            );
                         }
                         Err(e) => return Err(e),
                     }
@@ -586,7 +606,7 @@ impl<B: DirectionsBackend> OpaqueService<B> {
                 let mut units = Vec::with_capacity(clusters.len());
                 for cluster in clusters {
                     let members: Vec<ClientRequest> =
-                        cluster.members.iter().map(|&i| admitted[i]).collect();
+                        cluster.members.iter().filter_map(|&i| admitted.get(i).copied()).collect();
                     if let Some(unit) =
                         self.obfuscate_shared_group(members, outcomes, outcome_slot)?
                     {
@@ -620,8 +640,12 @@ impl<B: DirectionsBackend> OpaqueService<B> {
         for r in members.iter() {
             if let Err(probe) = self.obfuscator.obfuscate_independent(r) {
                 culprits.insert(r.client);
-                outcomes[outcome_slot[&r.client]].1 =
-                    ClientOutcome::Rejected { reason: probe.to_string() };
+                set_outcome(
+                    outcomes,
+                    outcome_slot,
+                    r.client,
+                    ClientOutcome::Rejected { reason: probe.to_string() },
+                );
             }
         }
         if !culprits.is_empty() {
@@ -639,14 +663,21 @@ impl<B: DirectionsBackend> OpaqueService<B> {
             }
             max_s as u64 + max_t as u64
         };
-        let binding = (0..members.len()).min_by_key(|&i| joint_without(i)).expect("non-empty");
-        let evicted = members.remove(binding);
-        outcomes[outcome_slot[&evicted.client]].1 = ClientOutcome::Rejected {
-            reason: format!(
-                "{cause} (group protections jointly unsatisfiable; this request's \
-                 demand bound the shared query size)"
-            ),
+        let Some(binding) = (0..members.len()).min_by_key(|&i| joint_without(i)) else {
+            return; // no members left: the caller's loop terminates on empty
         };
+        let evicted = members.remove(binding);
+        set_outcome(
+            outcomes,
+            outcome_slot,
+            evicted.client,
+            ClientOutcome::Rejected {
+                reason: format!(
+                    "{cause} (group protections jointly unsatisfiable; this request's \
+                     demand bound the shared query size)"
+                ),
+            },
+        );
     }
 
     /// See `reject_infeasible_members`; the driving loop.
@@ -700,6 +731,9 @@ impl OpaqueService<DefaultBackend> {
         // cannot fail on the obfuscator's identical copy.
         let also = self.obfuscator.update_weights(updates)?;
         debug_assert_eq!(changed, also);
+        // lint: allow(panic-path) — inside debug_assert!, compiled out
+        // of release builds, and shards() is non-empty by
+        // ServiceBuilder construction.
         debug_assert!(Self::maps_in_lockstep(&self.obfuscator, self.backend.shards()[0].graph()));
         Ok(changed)
     }
@@ -711,6 +745,22 @@ impl OpaqueService<DefaultBackend> {
     pub fn swap_map(&mut self, map: roadnet::RoadNetwork) {
         self.obfuscator.swap_map(map.clone());
         self.backend.swap_map(map);
+    }
+}
+
+/// Record a terminal outcome for `client` in its reserved slot. Every
+/// admitted client has a slot by construction (the slot map is built
+/// from the same admitted list), so the lookups cannot miss — but the
+/// batch path must degrade, not abort, if that invariant ever breaks,
+/// so an unknown id is simply a no-op.
+fn set_outcome(
+    outcomes: &mut [(ClientId, ClientOutcome)],
+    outcome_slot: &HashMap<ClientId, usize>,
+    client: ClientId,
+    outcome: ClientOutcome,
+) {
+    if let Some(entry) = outcome_slot.get(&client).and_then(|&slot| outcomes.get_mut(slot)) {
+        entry.1 = outcome;
     }
 }
 

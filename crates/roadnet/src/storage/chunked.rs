@@ -177,6 +177,9 @@ impl ChunkedCsr {
 
     /// Bytes of arc data currently resident.
     pub fn resident_bytes(&self) -> usize {
+        // lint: allow(hash-iter) — a sum over all resident chunks;
+        // addition over usize is commutative, so order cannot reach the
+        // reported byte count.
         self.cache.borrow().data.values().map(|v| v.len() * RECORD_BYTES).sum()
     }
 
